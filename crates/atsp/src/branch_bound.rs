@@ -1,0 +1,186 @@
+//! Carpaneto–Dell'Amico–Toth-style branch-and-bound for the ATSP
+//! (the approach of ACM Algorithm 750, the paper's reference \[12\]).
+//!
+//! Each search node solves the **assignment problem** relaxation
+//! ([`crate::hungarian`]). If the AP permutation is a single Hamiltonian
+//! cycle the node is solved; otherwise the shortest subtour is broken by
+//! branching: child `k` *excludes* the subtour's `k`-th arc and *includes*
+//! arcs `0..k` — a partition of the search space that avoids duplicate
+//! exploration (Carpaneto & Toth 1980).
+
+use crate::heuristics;
+use crate::hungarian;
+use crate::instance::{AtspInstance, Tour, INF};
+
+/// Search statistics, exposed for the benchmark harness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BbStats {
+    /// Branch-and-bound nodes expanded (AP solves performed).
+    pub nodes: u64,
+    /// Nodes pruned by the AP lower bound.
+    pub pruned: u64,
+}
+
+/// Exact solution via AP-relaxation branch-and-bound.
+///
+/// # Panics
+///
+/// Panics if no finite tour exists (every Hamiltonian cycle crosses a
+/// forbidden arc) — the callers construct complete graphs where a finite
+/// tour always exists.
+#[must_use]
+pub fn solve(instance: &AtspInstance) -> Tour {
+    solve_with_stats(instance).0
+}
+
+/// Like [`solve`], also returning search statistics.
+#[must_use]
+pub fn solve_with_stats(instance: &AtspInstance) -> (Tour, BbStats) {
+    let n = instance.len();
+    if n == 1 {
+        return (Tour::new(instance, vec![0]), BbStats::default());
+    }
+    let mut stats = BbStats::default();
+
+    // Upper bound from the heuristic pipeline (may be infinite on
+    // heavily constrained instances; the search fixes that).
+    let mut best: Option<Tour> = {
+        let h = heuristics::construct(instance);
+        if h.cost < INF {
+            Some(h)
+        } else {
+            None
+        }
+    };
+
+    // DFS over cost-matrix modifications.
+    let mut stack: Vec<AtspInstance> = vec![instance.clone()];
+    while let Some(node) = stack.pop() {
+        stats.nodes += 1;
+        let ap = hungarian::solve(&node);
+        let bound = ap.cost;
+        if bound >= INF {
+            continue; // infeasible node
+        }
+        if let Some(b) = &best {
+            if bound >= b.cost {
+                stats.pruned += 1;
+                continue;
+            }
+        }
+        if ap.is_single_cycle() {
+            // AP solution is a tour: optimal for this node.
+            let mut order = Vec::with_capacity(n);
+            let mut cur = 0usize;
+            for _ in 0..n {
+                order.push(cur);
+                cur = ap.to[cur];
+            }
+            let t = Tour::new(instance, order);
+            if best.as_ref().is_none_or(|b| t.cost < b.cost) {
+                best = Some(t);
+            }
+            continue;
+        }
+        // Branch on the shortest subtour.
+        let mut cycles = ap.cycles();
+        cycles.sort_by_key(Vec::len);
+        let subtour = &cycles[0];
+        let arcs: Vec<(usize, usize)> = subtour
+            .iter()
+            .enumerate()
+            .map(|(k, &v)| (v, subtour[(k + 1) % subtour.len()]))
+            .collect();
+        for (k, &(from, to)) in arcs.iter().enumerate() {
+            let mut child = node.clone();
+            // exclude arc k
+            child.set_cost(from, to, INF);
+            // include arcs 0..k
+            for &(fi, ti) in &arcs[..k] {
+                for j in 0..n {
+                    if j != ti {
+                        child.set_cost(fi, j, INF);
+                    }
+                    if j != fi {
+                        child.set_cost(j, ti, INF);
+                    }
+                }
+            }
+            stack.push(child);
+        }
+    }
+    (best.expect("instance admits a finite tour"), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{brute, held_karp};
+
+    fn random_instance(n: usize, seed: u64) -> AtspInstance {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        AtspInstance::from_fn(n, |_, _| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state % 100
+        })
+    }
+
+    #[test]
+    fn agrees_with_brute_force() {
+        for n in 2..=8 {
+            for seed in 0..6 {
+                let inst = random_instance(n, seed * 17 + n as u64);
+                let bb = solve(&inst);
+                let bf = brute::solve(&inst);
+                assert_eq!(bb.cost, bf.cost, "n={n} seed={seed}");
+                assert!(inst.is_valid_tour(&bb.order));
+            }
+        }
+    }
+
+    #[test]
+    fn agrees_with_held_karp_on_larger_instances() {
+        for seed in 0..4 {
+            let inst = random_instance(12, seed + 900);
+            let bb = solve(&inst);
+            let hk = held_karp::solve(&inst);
+            assert_eq!(bb.cost, hk.cost, "seed={seed}");
+        }
+    }
+
+    #[test]
+    fn handles_forbidden_arcs() {
+        let inst = AtspInstance::from_rows(vec![
+            vec![0, INF, 1],
+            vec![1, 0, INF],
+            vec![INF, 1, 0],
+        ]);
+        let t = solve(&inst);
+        assert_eq!(t.cost, 3);
+        assert_eq!(t.order, vec![0, 2, 1]);
+    }
+
+    #[test]
+    fn stats_report_work() {
+        // Two cheap 2-cycles force at least one branching step.
+        let inst = AtspInstance::from_rows(vec![
+            vec![0, 1, 50, 50],
+            vec![1, 0, 50, 50],
+            vec![50, 50, 0, 1],
+            vec![50, 50, 1, 0],
+        ]);
+        let (t, stats) = solve_with_stats(&inst);
+        assert_eq!(t.cost, brute::solve(&inst).cost);
+        assert!(stats.nodes >= 1);
+    }
+
+    #[test]
+    fn single_and_two_node_instances() {
+        let one = AtspInstance::from_fn(1, |_, _| 0);
+        assert_eq!(solve(&one).order, vec![0]);
+        let two = AtspInstance::from_rows(vec![vec![0, 2], vec![5, 0]]);
+        assert_eq!(solve(&two).cost, 7);
+    }
+}

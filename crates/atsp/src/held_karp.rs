@@ -1,0 +1,260 @@
+//! The Held–Karp dynamic program: exact ATSP in `O(2ⁿ n²)` time and
+//! `O(2ⁿ n)` space, plus enumeration of **all** optimal tours.
+//!
+//! The generator uses the enumeration to de-risk the paper's
+//! "GTS length ≈ March complexity" proxy: every minimum-weight tour is
+//! converted to a March test and the shortest result wins.
+
+use crate::instance::{AtspInstance, Tour, INF};
+
+/// Practical node ceiling for the DP (`2²⁰ × 20 × 8` bytes ≈ 168 MiB is
+/// past reasonable; 18 keeps the table under 40 MiB).
+pub const MAX_NODES: usize = 18;
+
+/// Exact solution by dynamic programming.
+///
+/// # Panics
+///
+/// Panics if the instance exceeds [`MAX_NODES`].
+#[must_use]
+pub fn solve(instance: &AtspInstance) -> Tour {
+    let table = DpTable::build(instance);
+    Tour::new(instance, table.one_optimal_order())
+}
+
+/// All optimal tours, capped at `cap` results (the cap guards pathological
+/// all-equal-cost instances; `cap = 0` means "just one").
+///
+/// # Panics
+///
+/// Panics if the instance exceeds [`MAX_NODES`].
+#[must_use]
+pub fn solve_all(instance: &AtspInstance, cap: usize) -> Vec<Tour> {
+    let table = DpTable::build(instance);
+    table
+        .all_optimal_orders(cap.max(1))
+        .into_iter()
+        .map(|order| Tour::new(instance, order))
+        .collect()
+}
+
+struct DpTable<'a> {
+    instance: &'a AtspInstance,
+    n: usize,
+    /// `dp[mask * n + last]`: cheapest path starting at node 0, visiting
+    /// exactly the nodes of `mask` (which always contains 0 and `last`),
+    /// ending at `last`.
+    dp: Vec<u64>,
+    best_cost: u64,
+}
+
+impl<'a> DpTable<'a> {
+    fn build(instance: &'a AtspInstance) -> DpTable<'a> {
+        let n = instance.len();
+        assert!(n <= MAX_NODES, "Held-Karp capped at {MAX_NODES} nodes, got {n}");
+        if n == 1 {
+            return DpTable { instance, n, dp: vec![0, 0], best_cost: 0 };
+        }
+        let size = 1usize << n;
+        let mut dp = vec![INF; size * n];
+        dp[n] = 0; // at node 0, only 0 visited
+        for mask in 1..size {
+            if mask & 1 == 0 {
+                continue; // paths always include the start node 0
+            }
+            for last in 0..n {
+                if mask & (1 << last) == 0 {
+                    continue;
+                }
+                let cur = dp[mask * n + last];
+                if cur >= INF {
+                    continue;
+                }
+                for next in 0..n {
+                    if mask & (1 << next) != 0 {
+                        continue;
+                    }
+                    let cand = cur.saturating_add(instance.cost(last, next));
+                    let slot = &mut dp[(mask | (1 << next)) * n + next];
+                    if cand < *slot {
+                        *slot = cand;
+                    }
+                }
+            }
+        }
+        let full = size - 1;
+        let mut best_cost = INF;
+        for last in 1..n {
+            let c = dp[full * n + last].saturating_add(instance.cost(last, 0));
+            best_cost = best_cost.min(c);
+        }
+        DpTable { instance, n, dp, best_cost }
+    }
+
+    fn one_optimal_order(&self) -> Vec<usize> {
+        if self.n == 1 {
+            return vec![0];
+        }
+        let full = (1usize << self.n) - 1;
+        let mut last = (1..self.n)
+            .min_by_key(|&l| {
+                self.dp[full * self.n + l].saturating_add(self.instance.cost(l, 0))
+            })
+            .expect("n > 1");
+        let mut order = vec![last];
+        let mut mask = full;
+        while last != 0 {
+            let without = mask & !(1 << last);
+            let target = self.dp[mask * self.n + last];
+            let prev = (0..self.n)
+                .find(|&p| {
+                    p != last
+                        && (without & (1 << p)) != 0
+                        && self.dp[without * self.n + p]
+                            .saturating_add(self.instance.cost(p, last))
+                            == target
+                })
+                .expect("dp table is consistent");
+            order.push(prev);
+            mask = without;
+            last = prev;
+        }
+        order.reverse();
+        order
+    }
+
+    /// Depth-first enumeration of every optimal tour (suffix-first), up
+    /// to `cap` results.
+    fn all_optimal_orders(&self, cap: usize) -> Vec<Vec<usize>> {
+        if self.n == 1 {
+            return vec![vec![0]];
+        }
+        let full = (1usize << self.n) - 1;
+        let mut results: Vec<Vec<usize>> = Vec::new();
+        // stack entries: (mask, last, suffix from last to end)
+        let mut stack: Vec<(usize, usize, Vec<usize>)> = Vec::new();
+        for last in 1..self.n {
+            let c = self.dp[full * self.n + last].saturating_add(self.instance.cost(last, 0));
+            if c == self.best_cost && c < INF {
+                stack.push((full, last, vec![last]));
+            }
+        }
+        while let Some((mask, last, suffix)) = stack.pop() {
+            if results.len() >= cap {
+                break;
+            }
+            if last == 0 {
+                let mut order = suffix.clone();
+                order.reverse();
+                results.push(order);
+                continue;
+            }
+            let without = mask & !(1 << last);
+            let target = self.dp[mask * self.n + last];
+            for prev in 0..self.n {
+                if prev == last || (without & (1 << prev)) == 0 {
+                    continue;
+                }
+                let via = self.dp[without * self.n + prev]
+                    .saturating_add(self.instance.cost(prev, last));
+                if via == target {
+                    let mut next_suffix = suffix.clone();
+                    next_suffix.push(prev);
+                    stack.push((without, prev, next_suffix));
+                }
+            }
+        }
+        results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute;
+
+    fn pseudo_random_instance(n: usize, seed: u64) -> AtspInstance {
+        // xorshift-based deterministic matrix
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        AtspInstance::from_fn(n, |_, _| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state % 100
+        })
+    }
+
+    #[test]
+    fn matches_brute_force_on_small_instances() {
+        for n in 2..=7 {
+            for seed in 0..8 {
+                let inst = pseudo_random_instance(n, seed * 31 + n as u64);
+                let hk = solve(&inst);
+                let bf = brute::solve(&inst);
+                assert_eq!(hk.cost, bf.cost, "n={n} seed={seed}\n{inst}");
+                assert_eq!(inst.cycle_cost(&hk.order), hk.cost);
+            }
+        }
+    }
+
+    #[test]
+    fn single_node() {
+        let inst = AtspInstance::from_fn(1, |_, _| 0);
+        let t = solve(&inst);
+        assert_eq!(t.order, vec![0]);
+        assert_eq!(t.cost, 0);
+    }
+
+    #[test]
+    fn two_nodes() {
+        let inst = AtspInstance::from_rows(vec![vec![0, 3], vec![4, 0]]);
+        let t = solve(&inst);
+        assert_eq!(t.cost, 7);
+    }
+
+    #[test]
+    fn all_optimal_enumerates_every_minimum() {
+        // A symmetric 4-cycle of equal costs has several optimal tours.
+        let inst = AtspInstance::from_fn(4, |_, _| 5);
+        let all = solve_all(&inst, 64);
+        assert_eq!(all.len(), 6, "3! tours, all optimal");
+        assert!(all.iter().all(|t| t.cost == 20));
+        // Tours are distinct.
+        let mut orders: Vec<Vec<usize>> = all.iter().map(|t| t.order.clone()).collect();
+        orders.sort();
+        orders.dedup();
+        assert_eq!(orders.len(), 6);
+    }
+
+    #[test]
+    fn all_optimal_respects_cap() {
+        let inst = AtspInstance::from_fn(6, |_, _| 1);
+        let all = solve_all(&inst, 10);
+        assert_eq!(all.len(), 10);
+    }
+
+    #[test]
+    fn all_optimal_agrees_with_brute_on_random() {
+        for seed in 0..6 {
+            let inst = pseudo_random_instance(6, seed + 100);
+            let bf = brute::solve(&inst);
+            let all = solve_all(&inst, 1000);
+            assert!(!all.is_empty());
+            assert!(all.iter().all(|t| t.cost == bf.cost));
+            assert!(all.contains(&bf) || all.iter().any(|t| t.cost == bf.cost));
+        }
+    }
+
+    #[test]
+    fn forbidden_arcs_are_avoided_when_possible() {
+        // 0→1 forbidden; optimal must route 0→2→1→0.
+        let inst = AtspInstance::from_rows(vec![
+            vec![0, INF, 1],
+            vec![1, 0, INF],
+            vec![INF, 1, 0],
+        ]);
+        let t = solve(&inst);
+        assert_eq!(t.order, vec![0, 2, 1]);
+        assert_eq!(t.cost, 3);
+    }
+}

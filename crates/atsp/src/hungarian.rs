@@ -1,0 +1,215 @@
+//! The Hungarian algorithm (shortest-augmenting-path formulation,
+//! `O(n³)`) for the linear **assignment problem** — the relaxation at the
+//! heart of the Carpaneto–Dell'Amico–Toth ATSP branch-and-bound the paper
+//! uses (reference \[12\]).
+//!
+//! Relaxing the "single cycle" constraint of the ATSP leaves exactly the
+//! AP: choose one outgoing arc per node, one incoming arc per node, at
+//! minimum total cost. The AP optimum is therefore a lower bound on the
+//! ATSP optimum, and when its permutation happens to form one cycle it is
+//! already the optimal tour.
+
+use crate::instance::{AtspInstance, INF};
+
+/// An assignment-problem solution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Assignment {
+    /// `to[i]` = column assigned to row `i` (the successor of node `i`).
+    pub to: Vec<usize>,
+    /// Total assignment cost; `>= INF` when no finite assignment exists.
+    pub cost: u64,
+}
+
+impl Assignment {
+    /// Decomposes the assignment permutation into its cycles, each
+    /// returned in traversal order. A single cycle of length `n` means
+    /// the AP solution is a Hamiltonian tour.
+    #[must_use]
+    pub fn cycles(&self) -> Vec<Vec<usize>> {
+        let n = self.to.len();
+        let mut seen = vec![false; n];
+        let mut cycles = Vec::new();
+        for start in 0..n {
+            if seen[start] {
+                continue;
+            }
+            let mut cycle = Vec::new();
+            let mut v = start;
+            while !seen[v] {
+                seen[v] = true;
+                cycle.push(v);
+                v = self.to[v];
+            }
+            cycles.push(cycle);
+        }
+        cycles
+    }
+
+    /// `true` when the assignment is one Hamiltonian cycle.
+    #[must_use]
+    pub fn is_single_cycle(&self) -> bool {
+        self.cycles().len() == 1
+    }
+}
+
+/// Solves the assignment problem for the instance's cost matrix
+/// (diagonal arcs are treated as forbidden — an AP "fixed point" would
+/// be a zero-length subtour).
+#[must_use]
+pub fn solve(instance: &AtspInstance) -> Assignment {
+    let n = instance.len();
+    let cost = |i: usize, j: usize| -> i64 {
+        if i == j {
+            INF as i64
+        } else {
+            instance.cost(i, j).min(INF) as i64
+        }
+    };
+
+    // Jonker/Volgenant-style shortest augmenting path with potentials.
+    // Row/column indices are 1-based internally; 0 is the virtual root.
+    let inf = i64::MAX / 4;
+    let mut u = vec![0i64; n + 1]; // row potentials
+    let mut v = vec![0i64; n + 1]; // column potentials
+    let mut way = vec![0usize; n + 1]; // predecessor column on the path
+    let mut matched_row = vec![0usize; n + 1]; // matched_row[col] = row (1-based, 0 = free)
+
+    for i in 1..=n {
+        matched_row[0] = i;
+        let mut j0 = 0usize; // current column
+        let mut minv = vec![inf; n + 1];
+        let mut used = vec![false; n + 1];
+        loop {
+            used[j0] = true;
+            let i0 = matched_row[j0];
+            let mut delta = inf;
+            let mut j1 = 0usize;
+            for j in 1..=n {
+                if used[j] {
+                    continue;
+                }
+                let cur = cost(i0 - 1, j - 1) - u[i0] - v[j];
+                if cur < minv[j] {
+                    minv[j] = cur;
+                    way[j] = j0;
+                }
+                if minv[j] < delta {
+                    delta = minv[j];
+                    j1 = j;
+                }
+            }
+            for j in 0..=n {
+                if used[j] {
+                    u[matched_row[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if matched_row[j0] == 0 {
+                break;
+            }
+        }
+        // augment along the path
+        loop {
+            let j1 = way[j0];
+            matched_row[j0] = matched_row[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+
+    let mut to = vec![0usize; n];
+    for j in 1..=n {
+        if matched_row[j] > 0 {
+            to[matched_row[j] - 1] = j - 1;
+        }
+    }
+    let mut total = 0u64;
+    for (i, &j) in to.iter().enumerate() {
+        total = total.saturating_add(instance.cost(i, j).min(INF));
+    }
+    Assignment { to, cost: total }
+}
+
+/// The AP lower bound on the instance's optimal tour cost.
+#[must_use]
+pub fn lower_bound(instance: &AtspInstance) -> u64 {
+    solve(instance).cost
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute;
+
+    #[test]
+    fn assignment_is_a_permutation() {
+        let inst = AtspInstance::from_rows(vec![
+            vec![0, 4, 1, 3],
+            vec![2, 0, 5, 1],
+            vec![3, 6, 0, 2],
+            vec![1, 2, 3, 0],
+        ]);
+        let a = solve(&inst);
+        let mut seen = [false; 4];
+        for &j in &a.to {
+            assert!(!seen[j]);
+            seen[j] = true;
+        }
+    }
+
+    #[test]
+    fn ap_cost_lower_bounds_tour_cost() {
+        for seed in 0..10u64 {
+            let mut state = seed.wrapping_mul(2654435761) | 1;
+            let inst = AtspInstance::from_fn(6, |_, _| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state % 50
+            });
+            let lb = lower_bound(&inst);
+            let opt = brute::solve(&inst).cost;
+            assert!(lb <= opt, "seed {seed}: AP bound {lb} exceeds optimum {opt}");
+        }
+    }
+
+    #[test]
+    fn ap_exact_when_single_cycle() {
+        // A cyclic cost structure where following the cheap arcs is a tour.
+        let inst = AtspInstance::from_fn(5, |i, j| if (i + 1) % 5 == j { 1 } else { 40 });
+        let a = solve(&inst);
+        assert!(a.is_single_cycle());
+        assert_eq!(a.cost, 5);
+        assert_eq!(a.cost, brute::solve(&inst).cost);
+    }
+
+    #[test]
+    fn cycles_decomposition() {
+        // Costs that pair nodes 0↔1 and 2↔3 cheaply: AP picks two 2-cycles.
+        let inst = AtspInstance::from_rows(vec![
+            vec![0, 1, 50, 50],
+            vec![1, 0, 50, 50],
+            vec![50, 50, 0, 1],
+            vec![50, 50, 1, 0],
+        ]);
+        let a = solve(&inst);
+        assert_eq!(a.cost, 4);
+        let cycles = a.cycles();
+        assert_eq!(cycles.len(), 2);
+        assert!(!a.is_single_cycle());
+    }
+
+    #[test]
+    fn diagonal_never_assigned() {
+        let inst = AtspInstance::from_fn(4, |_, _| 1);
+        let a = solve(&inst);
+        for (i, &j) in a.to.iter().enumerate() {
+            assert_ne!(i, j, "AP must not assign the diagonal");
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! ATSP instances and tours.
+
+use std::fmt;
+
+/// Cost marking a forbidden arc. Large enough to dominate any real tour,
+/// small enough that sums of `n` of them never overflow `u64`.
+pub const INF: u64 = u64::MAX / 1024;
+
+/// An ATSP instance: a complete directed graph given by its cost matrix
+/// (`cost[i][j]` = cost of arc `i → j`; diagonal entries are ignored).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AtspInstance {
+    n: usize,
+    cost: Vec<u64>,
+}
+
+impl AtspInstance {
+    /// Builds an instance from a square row-major matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is empty or not square.
+    #[must_use]
+    pub fn from_rows(rows: Vec<Vec<u64>>) -> AtspInstance {
+        let n = rows.len();
+        assert!(n > 0, "an ATSP instance needs at least one node");
+        let mut cost = Vec::with_capacity(n * n);
+        for row in &rows {
+            assert_eq!(row.len(), n, "cost matrix must be square");
+            cost.extend_from_slice(row);
+        }
+        AtspInstance { n, cost }
+    }
+
+    /// Builds an instance of `n` nodes from a cost function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn from_fn(n: usize, mut f: impl FnMut(usize, usize) -> u64) -> AtspInstance {
+        assert!(n > 0, "an ATSP instance needs at least one node");
+        let mut cost = Vec::with_capacity(n * n);
+        for i in 0..n {
+            for j in 0..n {
+                cost.push(if i == j { INF } else { f(i, j) });
+            }
+        }
+        AtspInstance { n, cost }
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` for the single-node instance.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false // invariant: n > 0
+    }
+
+    /// Cost of arc `i → j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    #[must_use]
+    pub fn cost(&self, i: usize, j: usize) -> u64 {
+        assert!(i < self.n && j < self.n, "arc ({i},{j}) out of range");
+        self.cost[i * self.n + j]
+    }
+
+    /// Sets the cost of arc `i → j` (used by branch-and-bound nodes).
+    pub fn set_cost(&mut self, i: usize, j: usize, c: u64) {
+        assert!(i < self.n && j < self.n, "arc ({i},{j}) out of range");
+        self.cost[i * self.n + j] = c;
+    }
+
+    /// The cost of visiting `order` as a cycle (returning to the first
+    /// node), saturating on forbidden arcs.
+    #[must_use]
+    pub fn cycle_cost(&self, order: &[usize]) -> u64 {
+        if order.len() <= 1 {
+            return 0; // a single node is a zero-length cycle
+        }
+        let mut total = 0u64;
+        for k in 0..order.len() {
+            let from = order[k];
+            let to = order[(k + 1) % order.len()];
+            total = total.saturating_add(self.cost(from, to));
+        }
+        total
+    }
+
+    /// `true` when `order` is a permutation of `0..n`.
+    #[must_use]
+    pub fn is_valid_tour(&self, order: &[usize]) -> bool {
+        if order.len() != self.n {
+            return false;
+        }
+        let mut seen = vec![false; self.n];
+        for &v in order {
+            if v >= self.n || seen[v] {
+                return false;
+            }
+            seen[v] = true;
+        }
+        true
+    }
+}
+
+impl fmt::Display for AtspInstance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "ATSP({} nodes)", self.n)?;
+        for i in 0..self.n {
+            for j in 0..self.n {
+                if j > 0 {
+                    f.write_str(" ")?;
+                }
+                let c = self.cost(i, j);
+                if c >= INF || i == j {
+                    f.write_str("  ∞")?;
+                } else {
+                    write!(f, "{c:3}")?;
+                }
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// A Hamiltonian cycle with its cost. `order[0]` is always the lowest
+/// possible start (solvers canonicalize rotation so tours compare equal).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Tour {
+    /// Visit order; a cycle (the last node returns to the first).
+    pub order: Vec<usize>,
+    /// Total cycle cost.
+    pub cost: u64,
+}
+
+impl Tour {
+    /// Builds a tour, computing its cost and canonicalizing the rotation
+    /// so that node 0 comes first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` is not a permutation of the instance's nodes.
+    #[must_use]
+    pub fn new(instance: &AtspInstance, order: Vec<usize>) -> Tour {
+        assert!(instance.is_valid_tour(&order), "not a valid tour: {order:?}");
+        let cost = instance.cycle_cost(&order);
+        let mut t = Tour { order, cost };
+        t.canonicalize();
+        t
+    }
+
+    fn canonicalize(&mut self) {
+        if let Some(pos) = self.order.iter().position(|&v| v == 0) {
+            self.order.rotate_left(pos);
+        }
+    }
+
+    /// `true` when no forbidden arc is used.
+    #[must_use]
+    pub fn is_finite(&self) -> bool {
+        self.cost < INF
+    }
+}
+
+impl fmt::Display for Tour {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tour[")?;
+        for (k, v) in self.order.iter().enumerate() {
+            if k > 0 {
+                f.write_str(" → ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "] cost {}", self.cost)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_fn_blocks_diagonal() {
+        let inst = AtspInstance::from_fn(3, |i, j| (i * 10 + j) as u64);
+        assert_eq!(inst.cost(0, 0), INF);
+        assert_eq!(inst.cost(1, 2), 12);
+    }
+
+    #[test]
+    fn cycle_cost_wraps_around() {
+        let inst =
+            AtspInstance::from_rows(vec![vec![0, 1, 4], vec![2, 0, 1], vec![1, 7, 0]]);
+        assert_eq!(inst.cycle_cost(&[0, 1, 2]), 1 + 1 + 1);
+        assert_eq!(inst.cycle_cost(&[0, 2, 1]), 4 + 7 + 2);
+    }
+
+    #[test]
+    fn tour_canonicalizes_rotation() {
+        let inst = AtspInstance::from_fn(4, |_, _| 1);
+        let a = Tour::new(&inst, vec![2, 3, 0, 1]);
+        let b = Tour::new(&inst, vec![0, 1, 2, 3]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn tour_validity() {
+        let inst = AtspInstance::from_fn(3, |_, _| 1);
+        assert!(inst.is_valid_tour(&[0, 2, 1]));
+        assert!(!inst.is_valid_tour(&[0, 1]));
+        assert!(!inst.is_valid_tour(&[0, 1, 1]));
+        assert!(!inst.is_valid_tour(&[0, 1, 5]));
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn rejects_ragged_matrix() {
+        let _ = AtspInstance::from_rows(vec![vec![0, 1], vec![0]]);
+    }
+
+    #[test]
+    fn saturating_inf_sums_do_not_overflow() {
+        let inst = AtspInstance::from_fn(4, |_, _| INF);
+        let c = inst.cycle_cost(&[0, 1, 2, 3]);
+        assert!(c >= INF);
+    }
+}

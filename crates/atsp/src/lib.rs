@@ -1,0 +1,52 @@
+//! # marchgen-atsp
+//!
+//! Exact and heuristic solvers for the **Asymmetric Travelling Salesman
+//! Problem**, the combinatorial core of the paper's minimum-length Global
+//! Test Sequence search (Section 4, f.4.3).
+//!
+//! The paper delegates the ATSP to the Fortran branch-and-bound of
+//! Carpaneto, Dell'Amico and Toth (ACM Algorithm 750, reference \[12\]).
+//! This crate replaces it with pure Rust:
+//!
+//! * [`held_karp`] — the exact `O(2ⁿ n²)` dynamic program, including
+//!   enumeration of *all* optimal tours (the generator builds a March test
+//!   from each and keeps the best),
+//! * [`hungarian`] — an `O(n³)` assignment-problem solver used as the
+//!   relaxation lower bound,
+//! * [`branch_bound`] — a CDT-style subtour-patching branch-and-bound
+//!   built on the AP relaxation, exact for the mid-size instances,
+//! * [`heuristics`] — nearest-neighbour / greedy-edge construction and
+//!   asymmetric-safe Or-opt improvement, used for upper bounds and for
+//!   out-of-range instances,
+//! * [`solve`] / [`Solver`] — a facade that picks a method by instance
+//!   size.
+//!
+//! Costs use `u64` with [`INF`] marking forbidden arcs.
+//!
+//! # Example
+//!
+//! ```
+//! use marchgen_atsp::{AtspInstance, solve};
+//!
+//! let inst = AtspInstance::from_rows(vec![
+//!     vec![0, 1, 9],
+//!     vec![9, 0, 1],
+//!     vec![1, 9, 0],
+//! ]);
+//! let tour = solve(&inst);
+//! assert_eq!(tour.cost, 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod branch_bound;
+pub mod brute;
+pub mod held_karp;
+pub mod heuristics;
+pub mod hungarian;
+mod instance;
+mod solver;
+
+pub use instance::{AtspInstance, Tour, INF};
+pub use solver::{solve, solve_all_optimal, Solver};

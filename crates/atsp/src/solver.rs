@@ -1,0 +1,101 @@
+//! The solver facade: picks an algorithm by instance size.
+
+use crate::instance::{AtspInstance, Tour};
+use crate::{branch_bound, held_karp, heuristics};
+
+/// Which algorithm the facade (or a caller) should run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Solver {
+    /// Exact `O(2ⁿ n²)` dynamic programming ([`held_karp`]).
+    HeldKarp,
+    /// Exact AP-relaxation branch-and-bound ([`branch_bound`]).
+    BranchBound,
+    /// Heuristic construction + Or-opt ([`heuristics`]); not exact.
+    Heuristic,
+}
+
+impl Solver {
+    /// The method [`solve`] picks for an instance of `n` nodes: Held–Karp
+    /// up to its table limit, branch-and-bound up to 40 nodes, heuristics
+    /// beyond.
+    #[must_use]
+    pub fn for_size(n: usize) -> Solver {
+        if n <= held_karp::MAX_NODES {
+            Solver::HeldKarp
+        } else if n <= 40 {
+            Solver::BranchBound
+        } else {
+            Solver::Heuristic
+        }
+    }
+
+    /// Runs this solver on the instance.
+    #[must_use]
+    pub fn run(self, instance: &AtspInstance) -> Tour {
+        match self {
+            Solver::HeldKarp => held_karp::solve(instance),
+            Solver::BranchBound => branch_bound::solve(instance),
+            Solver::Heuristic => heuristics::construct(instance),
+        }
+    }
+}
+
+/// Solves the instance with the size-appropriate method (exact for every
+/// instance the March generator produces in practice).
+#[must_use]
+pub fn solve(instance: &AtspInstance) -> Tour {
+    Solver::for_size(instance.len()).run(instance)
+}
+
+/// Enumerates optimal tours: all of them (up to `cap`) when the instance
+/// fits Held–Karp, otherwise the single tour the exact/heuristic method
+/// returns.
+#[must_use]
+pub fn solve_all_optimal(instance: &AtspInstance, cap: usize) -> Vec<Tour> {
+    if instance.len() <= held_karp::MAX_NODES {
+        held_karp::solve_all(instance, cap)
+    } else {
+        vec![solve(instance)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_dispatch() {
+        assert_eq!(Solver::for_size(4), Solver::HeldKarp);
+        assert_eq!(Solver::for_size(held_karp::MAX_NODES), Solver::HeldKarp);
+        assert_eq!(Solver::for_size(held_karp::MAX_NODES + 1), Solver::BranchBound);
+        assert_eq!(Solver::for_size(64), Solver::Heuristic);
+    }
+
+    #[test]
+    fn facade_solves() {
+        let inst = AtspInstance::from_rows(vec![
+            vec![0, 1, 9],
+            vec![9, 0, 1],
+            vec![1, 9, 0],
+        ]);
+        assert_eq!(solve(&inst).cost, 3);
+        let all = solve_all_optimal(&inst, 8);
+        assert_eq!(all.len(), 1);
+        assert_eq!(all[0].cost, 3);
+    }
+
+    #[test]
+    fn all_solvers_agree_on_a_fixed_instance() {
+        let inst = AtspInstance::from_rows(vec![
+            vec![0, 2, 9, 10],
+            vec![1, 0, 6, 4],
+            vec![15, 7, 0, 8],
+            vec![6, 3, 12, 0],
+        ]);
+        let hk = Solver::HeldKarp.run(&inst);
+        let bb = Solver::BranchBound.run(&inst);
+        assert_eq!(hk.cost, bb.cost);
+        let h = Solver::Heuristic.run(&inst);
+        assert!(h.cost >= hk.cost);
+    }
+}

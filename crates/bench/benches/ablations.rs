@@ -1,0 +1,76 @@
+//! Ablations of the design choices DESIGN.md calls out:
+//!
+//! * the f.4.4 **uniform-start constraint** on vs off,
+//! * **all-optimal-tour enumeration** vs the single tour the paper uses,
+//! * the **minimization pass** (Table 2's role) on vs off.
+//!
+//! Measured on Table 3's hardest row (SAF+TF+ADF+CFin+CFid → 10n).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use marchgen_bench::{row_models, TABLE3};
+use marchgen_generator::Generator;
+use marchgen_tpg::StartPolicy;
+use std::hint::black_box;
+
+fn row5_models() -> Vec<marchgen_faults::FaultModel> {
+    row_models(&TABLE3[4])
+}
+
+fn bench_start_policy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations/start_policy");
+    group.sample_size(10);
+    let models = row5_models();
+    for (name, policy) in
+        [("uniform_f44", StartPolicy::Uniform), ("free", StartPolicy::Free)]
+    {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let out = Generator::new(models.clone())
+                    .start_policy(policy)
+                    .run()
+                    .expect("generates");
+                black_box(out.test.complexity())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_tour_enumeration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations/tour_enumeration");
+    group.sample_size(10);
+    let models = row5_models();
+    for (name, cap) in [("single_tour", 1usize), ("all_optimal_64", 64)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let out = Generator::new(models.clone())
+                    .tour_cap(cap)
+                    .run()
+                    .expect("generates");
+                black_box(out.test.complexity())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_minimization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations/minimization");
+    group.sample_size(10);
+    let models = row5_models();
+    for (name, on) in [("with_table2_pass", true), ("raw_schedule", false)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let out = Generator::new(models.clone())
+                    .compact(on)
+                    .run()
+                    .expect("generates");
+                black_box(out.test.complexity())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_start_policy, bench_tour_enumeration, bench_minimization);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! ATSP solver scaling — the role of the paper's reference [12] (ACM
+//! Algorithm 750): exact solutions "in very low computation time in
+//! problems with low number of nodes". Compares Held–Karp, the
+//! AP-relaxation branch-and-bound, the Hungarian bound alone and the
+//! heuristic pipeline across instance sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use marchgen_atsp::{branch_bound, held_karp, heuristics, hungarian};
+use marchgen_bench::random_atsp;
+use std::hint::black_box;
+
+fn bench_exact_solvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("atsp/exact");
+    for &n in &[6usize, 8, 10, 12, 14] {
+        let inst = random_atsp(n, 42 + n as u64);
+        group.bench_with_input(BenchmarkId::new("held_karp", n), &inst, |b, inst| {
+            b.iter(|| black_box(held_karp::solve(inst).cost));
+        });
+        group.bench_with_input(BenchmarkId::new("branch_bound", n), &inst, |b, inst| {
+            b.iter(|| black_box(branch_bound::solve(inst).cost));
+        });
+    }
+    group.finish();
+}
+
+fn bench_bound_and_heuristics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("atsp/support");
+    for &n in &[8usize, 16, 24] {
+        let inst = random_atsp(n, 7 + n as u64);
+        group.bench_with_input(BenchmarkId::new("hungarian_bound", n), &inst, |b, inst| {
+            b.iter(|| black_box(hungarian::lower_bound(inst)));
+        });
+        group.bench_with_input(BenchmarkId::new("heuristic", n), &inst, |b, inst| {
+            b.iter(|| black_box(heuristics::construct(inst).cost));
+        });
+    }
+    group.finish();
+}
+
+fn bench_all_optimal_enumeration(c: &mut Criterion) {
+    // The generator's de-risking step: enumerate every optimal tour.
+    let mut group = c.benchmark_group("atsp/enumerate_optimal");
+    for &n in &[8usize, 10, 12] {
+        let inst = random_atsp(n, 1000 + n as u64);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, inst| {
+            b.iter(|| black_box(held_karp::solve_all(inst, 64).len()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_exact_solvers,
+    bench_bound_and_heuristics,
+    bench_all_optimal_enumeration
+);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! The §2 claim, measured: prior-art **exhaustive transition-tree
+//! search** ([2]–[4]) against the paper's ATSP pipeline on the same
+//! fault lists. The exhaustive tree explodes exponentially with the
+//! complexity bound, while the pipeline stays in the milliseconds — the
+//! "who wins and by how much" shape of the paper's argument.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use marchgen_faults::parse_fault_list;
+use marchgen_generator::{baseline, Generator};
+use std::hint::black_box;
+
+fn bench_saf(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baseline_vs_pipeline/SAF");
+    group.sample_size(10);
+    let models = parse_fault_list("SAF").expect("parses");
+    group.bench_function("pipeline", |b| {
+        b.iter(|| {
+            let out = Generator::new(models.clone()).run().expect("generates");
+            black_box(out.test.complexity())
+        });
+    });
+    group.bench_function("exhaustive", |b| {
+        b.iter(|| {
+            let res = baseline::search(&models, 4, 3, u64::MAX);
+            black_box(res.test.expect("a 4n test exists").complexity())
+        });
+    });
+    group.finish();
+}
+
+fn bench_saf_tf(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baseline_vs_pipeline/SAF+TF");
+    group.sample_size(10);
+    let models = parse_fault_list("SAF, TF").expect("parses");
+    group.bench_function("pipeline", |b| {
+        b.iter(|| {
+            let out = Generator::new(models.clone()).run().expect("generates");
+            black_box(out.test.complexity())
+        });
+    });
+    group.bench_function("exhaustive", |b| {
+        b.iter(|| {
+            let res = baseline::search(&models, 5, 3, u64::MAX);
+            black_box(res.test.expect("a 5n test exists").complexity())
+        });
+    });
+    group.finish();
+}
+
+fn bench_tree_growth(c: &mut Criterion) {
+    // Node counts per bound — the exponential curve itself.
+    let mut group = c.benchmark_group("baseline_vs_pipeline/tree_nodes");
+    group.sample_size(10);
+    let models = parse_fault_list("SAF").expect("parses");
+    for bound in [2usize, 3, 4] {
+        group.bench_function(format!("bound_{bound}"), |b| {
+            b.iter(|| {
+                let res = baseline::search(&models, bound, 3, u64::MAX);
+                black_box(res.stats.nodes)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_saf, bench_saf_tf, bench_tree_growth);
+criterion_main!(benches);

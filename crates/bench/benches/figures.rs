@@ -1,0 +1,93 @@
+//! **Figures 1–4** and the §4 worked example: the cost of building each
+//! artifact the paper illustrates.
+//!
+//! * `figure1_m0` — the fault-free two-cell machine (Figure 1) and its
+//!   DOT rendering,
+//! * `figure2_faulty_machine` — the CFid ⟨↑,0⟩ machine + diff vs `M0`,
+//! * `figure3_bfe_split` — BFE extraction and TP derivation,
+//! * `figure4_tpg` — the Test Pattern Graph with f.4.1 weights,
+//! * `section4_end_to_end` — tour planning + GTS + March construction
+//!   for the worked example.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use marchgen_bench::section4_tps;
+use marchgen_faults::{bfe, catalog, FaultModel, TransitionDir};
+use marchgen_generator::{gts::Gts, schedule_tour};
+use marchgen_model::{dot, Bit, TwoCellMachine};
+use marchgen_tpg::{plan_tour, StartPolicy, Tpg};
+use std::hint::black_box;
+
+fn bench_figure1(c: &mut Criterion) {
+    c.bench_function("figures/figure1_m0", |b| {
+        b.iter(|| {
+            let m0 = TwoCellMachine::fault_free();
+            black_box(dot::render(&m0, "M0").len())
+        });
+    });
+}
+
+fn bench_figure2(c: &mut Criterion) {
+    let m0 = TwoCellMachine::fault_free();
+    c.bench_function("figures/figure2_faulty_machine", |b| {
+        b.iter(|| {
+            let machines = catalog::machines(FaultModel::CouplingIdempotent(
+                TransitionDir::Up,
+                Bit::Zero,
+            ));
+            let diffs: usize = machines.iter().map(|(_, m)| m0.diff(m).len()).sum();
+            black_box(diffs)
+        });
+    });
+}
+
+fn bench_figure3(c: &mut Criterion) {
+    let machines =
+        catalog::machines(FaultModel::CouplingIdempotent(TransitionDir::Up, Bit::Zero));
+    c.bench_function("figures/figure3_bfe_split", |b| {
+        b.iter(|| {
+            let mut tps = 0usize;
+            for (_, m) in &machines {
+                for bfe in bfe::extract(m) {
+                    tps += bfe.test_patterns().len();
+                }
+            }
+            black_box(tps)
+        });
+    });
+}
+
+fn bench_figure4(c: &mut Criterion) {
+    let tps = section4_tps();
+    c.bench_function("figures/figure4_tpg", |b| {
+        b.iter(|| {
+            let tpg = Tpg::new(black_box(tps.clone()));
+            let total: u32 = tpg.arcs().map(|(_, _, w)| w).sum();
+            black_box(total)
+        });
+    });
+}
+
+fn bench_section4(c: &mut Criterion) {
+    let tps = section4_tps();
+    c.bench_function("figures/section4_end_to_end", |b| {
+        b.iter(|| {
+            let tpg = Tpg::new(tps.clone());
+            let plans = plan_tour(&tpg, StartPolicy::Uniform, 16);
+            let plan = &plans[0];
+            let tour: Vec<_> = plan.order.iter().map(|&k| tps[k]).collect();
+            let gts = Gts::from_tour(&tour);
+            let test = schedule_tour(&tour).expect("schedules");
+            black_box((gts.len(), test.complexity()))
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_figure1,
+    bench_figure2,
+    bench_figure3,
+    bench_figure4,
+    bench_section4
+);
+criterion_main!(benches);

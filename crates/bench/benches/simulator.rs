@@ -1,0 +1,67 @@
+//! The §6 verification machinery: fault-simulation cost per March test,
+//! coverage-matrix construction and the set-covering non-redundancy
+//! check, across memory sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use marchgen_faults::parse_fault_list;
+use marchgen_march::known;
+use marchgen_sim::coverage::covers_all;
+use marchgen_sim::matrix::CoverageMatrix;
+use std::hint::black_box;
+
+fn bench_coverage_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator/coverage_sweep");
+    group.sample_size(10);
+    let models = parse_fault_list("SAF, TF, CFin, CFid").expect("parses");
+    let test = known::march_c_minus();
+    for &n in &[4usize, 6, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| black_box(covers_all(&test, &models, n)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_known_test_costs(c: &mut Criterion) {
+    // Simulation cost grows with test length: MATS (4n) … March SS (22n).
+    let mut group = c.benchmark_group("simulator/by_test");
+    group.sample_size(10);
+    let models = parse_fault_list("CFid").expect("parses");
+    for (name, test) in
+        [("MATS", known::mats()), ("March C-", known::march_c_minus()), ("March SS", known::march_ss())]
+    {
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(covers_all(&test, &models, 4)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_coverage_matrix_and_set_cover(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator/section6_checks");
+    group.sample_size(10);
+    let models = parse_fault_list("SAF, TF, CFin, CFid").expect("parses");
+    let test = known::march_c_minus();
+    group.bench_function("coverage_matrix", |b| {
+        b.iter(|| {
+            let cm = CoverageMatrix::build(&test, &models, 4);
+            black_box(cm.entries.len())
+        });
+    });
+    let cm = CoverageMatrix::build(&test, &models, 4);
+    group.bench_function("set_covering", |b| {
+        b.iter(|| {
+            let verdict = cm.non_redundancy();
+            black_box(verdict.minimum_cover)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_coverage_sweep,
+    bench_known_test_costs,
+    bench_coverage_matrix_and_set_cover
+);
+criterion_main!(benches);

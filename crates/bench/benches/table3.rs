@@ -1,0 +1,44 @@
+//! **Table 3** — the paper's main experimental result: per fault list,
+//! the end-to-end generation of the optimal March test (and the CPU-time
+//! column, reproduced on the host instead of the paper's PIII 650 MHz).
+//!
+//! Each bench measures one row's full pipeline run: requirement
+//! expansion, class enumeration, TPG + constrained ATSP, March
+//! construction, simulator verification and minimization.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use marchgen_bench::{row_models, TABLE3};
+use marchgen_generator::Generator;
+use std::hint::black_box;
+
+fn bench_table3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3");
+    group.sample_size(10);
+    for row in TABLE3 {
+        let models = row_models(row);
+        // Assert the reproduction once, outside the timing loop.
+        let outcome = Generator::new(models.clone()).run().expect("row generates");
+        assert_eq!(
+            outcome.test.complexity(),
+            row.paper_complexity,
+            "{}: expected {}n, got {}",
+            row.label,
+            row.paper_complexity,
+            outcome.test
+        );
+        assert!(outcome.verified, "{}", row.label);
+
+        group.bench_function(row.label, |b| {
+            b.iter(|| {
+                let out = Generator::new(black_box(models.clone()))
+                    .run()
+                    .expect("row generates");
+                black_box(out.test.complexity())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

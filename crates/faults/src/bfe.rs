@@ -1,0 +1,209 @@
+//! Basic Fault Effect extraction — paper Figure 3.
+//!
+//! A faulty machine `Mᵢ` is split into BFEs by diffing it against `M0`:
+//! every differing `(state, op)` entry is one BFE. A Test Pattern is then
+//! derived mechanically from each BFE: the initialization is the diff's
+//! source state, the excitation its operation, and the observation either
+//! the mis-produced output (λ-BFEs) or a read of a corrupted cell
+//! (δ-BFEs).
+//!
+//! This is the paper's route for **user-defined faults**: model the
+//! behaviour as a [`TwoCellMachine`], call [`derive_requirement`], feed
+//! the result to the generator.
+
+use crate::req::CoverageRequirement;
+use crate::tp::{generalize, Observation, TestPattern};
+use marchgen_model::{Cell, MachineDiff, TwoCellMachine};
+
+/// One Basic Fault Effect: a single `(δ, λ)` divergence from `M0`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Bfe {
+    /// The diverging entry.
+    pub diff: MachineDiff,
+}
+
+impl Bfe {
+    /// The machine realizing exactly this BFE (paper Figure 3: `M0` with
+    /// one overridden entry).
+    #[must_use]
+    pub fn machine(&self) -> TwoCellMachine {
+        TwoCellMachine::fault_free().with_override(self.diff.state, self.diff.op, self.diff.faulty)
+    }
+
+    /// The Test Patterns that expose this BFE, one per observable
+    /// divergence channel (wrong output, and/or each corrupted cell with a
+    /// known fault-free value).
+    #[must_use]
+    pub fn test_patterns(&self) -> Vec<TestPattern> {
+        let d = &self.diff;
+        let mut tps = Vec::new();
+        if d.good.output != d.faulty.output {
+            if let Some(expected) = d.good.output {
+                tps.push(TestPattern::pair(
+                    d.state,
+                    d.op,
+                    Observation::SelfRead { expected },
+                ));
+            }
+        }
+        for cell in Cell::ALL {
+            let good = d.good.next.get(cell);
+            let faulty = d.faulty.next.get(cell);
+            if good != faulty {
+                if let Some(expected) = good.bit() {
+                    tps.push(TestPattern::pair(
+                        d.state,
+                        d.op,
+                        Observation::Read { cell, expected },
+                    ));
+                }
+            }
+        }
+        tps
+    }
+}
+
+/// Splits a faulty machine into its BFEs (paper Figure 3).
+#[must_use]
+pub fn extract(machine: &TwoCellMachine) -> Vec<Bfe> {
+    TwoCellMachine::fault_free()
+        .diff(machine)
+        .into_iter()
+        .map(|diff| Bfe { diff })
+        .collect()
+}
+
+/// Derives the coverage requirement of a faulty machine: all BFE test
+/// patterns, generalized (one-bit don't-care merging) — any one of them
+/// exposes the fault.
+///
+/// Returns `None` when the machine has no observable divergence (it
+/// behaves exactly like `M0`).
+#[must_use]
+pub fn derive_requirement(
+    machine: &TwoCellMachine,
+    label: impl Into<String>,
+) -> Option<CoverageRequirement> {
+    let tps: Vec<TestPattern> =
+        extract(machine).iter().flat_map(Bfe::test_patterns).collect();
+    if tps.is_empty() {
+        return None;
+    }
+    Some(CoverageRequirement::new(label, generalize(&tps)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+    use crate::dir::TransitionDir;
+    use crate::model::FaultModel;
+    use marchgen_model::{Bit, MemOp, PairState, Tri};
+
+    /// Paper Figure 3: the full CFid ⟨↑,0⟩ fault (both address orders)
+    /// decomposes into two BFEs, tested by TP1 = (01, w1i, r1j) and
+    /// TP2 = (10, w1j, r1i).
+    #[test]
+    fn figure3_bfe_split_of_cfid_up0() {
+        let machines = catalog::machines(FaultModel::CouplingIdempotent(
+            TransitionDir::Up,
+            Bit::Zero,
+        ));
+        let mut tps = Vec::new();
+        for (_, m) in &machines {
+            let bfes = extract(m);
+            assert_eq!(bfes.len(), 1, "each order contributes one BFE");
+            tps.extend(bfes[0].test_patterns());
+        }
+        assert_eq!(tps.len(), 2);
+        let tp1 = TestPattern::pair(
+            PairState::new(Tri::Zero, Tri::One),
+            MemOp::write(marchgen_model::Cell::I, Bit::One),
+            Observation::Read { cell: marchgen_model::Cell::J, expected: Bit::One },
+        );
+        assert!(tps.contains(&tp1));
+        assert!(tps.contains(&tp1.mirrored()));
+    }
+
+    /// Machine-derived requirements agree with the curated catalog for the
+    /// idempotent coupling faults.
+    #[test]
+    fn derived_matches_catalog_for_cfid() {
+        for dir in TransitionDir::ALL {
+            for f in Bit::ALL {
+                let model = FaultModel::CouplingIdempotent(dir, f);
+                let machines = catalog::machines(model);
+                let catalog_reqs = catalog::requirements(model);
+                for ((label, m), want) in machines.iter().zip(&catalog_reqs) {
+                    let got = derive_requirement(m, label.clone()).expect("observable");
+                    assert_eq!(
+                        got.alternatives, want.alternatives,
+                        "{model}: machine-derived TPs diverge from catalog"
+                    );
+                }
+            }
+        }
+    }
+
+    /// CFin machines derive the two-alternative classes of Section 5.
+    #[test]
+    fn derived_cfin_classes_have_two_alternatives() {
+        for dir in TransitionDir::ALL {
+            let model = FaultModel::CouplingInversion(dir);
+            for (label, m) in catalog::machines(model) {
+                let req = derive_requirement(&m, label).expect("observable");
+                assert_eq!(req.cardinality(), 2);
+            }
+        }
+    }
+
+    #[test]
+    fn bfe_machine_is_single_diff() {
+        let m = catalog::machines(FaultModel::CouplingInversion(TransitionDir::Up))
+            .remove(0)
+            .1;
+        for bfe in extract(&m) {
+            assert!(bfe.machine().is_bfe());
+        }
+    }
+
+    #[test]
+    fn fault_free_machine_has_no_requirement() {
+        assert!(derive_requirement(&TwoCellMachine::fault_free(), "none").is_none());
+    }
+
+    /// A user-defined fault: writing 1 to `i` also clears `j` (a made-up
+    /// "write-coupled clear"). The derived requirement is usable directly.
+    #[test]
+    fn user_defined_fault_roundtrip() {
+        let m0 = TwoCellMachine::fault_free();
+        let mut m = m0.clone();
+        for s in PairState::all_known() {
+            let good = m0.transition(s, MemOp::write(marchgen_model::Cell::I, Bit::One)).next;
+            m = m.with_delta(
+                s,
+                MemOp::write(marchgen_model::Cell::I, Bit::One),
+                good.with(marchgen_model::Cell::J, Tri::Zero),
+            );
+        }
+        let req = derive_requirement(&m, "write-coupled clear").expect("observable");
+        // Only states with j=1 diverge observably; generalization merges
+        // the i polarities.
+        assert_eq!(req.cardinality(), 1);
+        let tp = req.alternatives[0];
+        assert_eq!(tp.init, PairState::new(Tri::X, Tri::One));
+        assert_eq!(tp.excite, MemOp::write(marchgen_model::Cell::I, Bit::One));
+    }
+
+    /// λ-faults derive self-observing TPs.
+    #[test]
+    fn lambda_fault_derives_self_read() {
+        let model = FaultModel::IncorrectRead(Bit::One);
+        let (label, m) = catalog::machines(model).remove(0);
+        let req = derive_requirement(&m, label).expect("observable");
+        assert!(req
+            .alternatives
+            .iter()
+            .all(|tp| matches!(tp.observe, Observation::SelfRead { .. })));
+    }
+}

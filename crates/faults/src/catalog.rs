@@ -1,0 +1,452 @@
+//! The curated fault catalog: coverage requirements (TP equivalence
+//! classes) and behavioural two-cell machines for every [`FaultModel`].
+//!
+//! TPs follow the standard detection-condition derivations of van de Goor
+//! \[1\]; for the pair faults they coincide with the machine-derived BFE
+//! patterns of [`crate::bfe`] (cross-checked by tests). Single-cell TPs
+//! use the [`TpKind::SingleCell`](crate::TpKind) convention: they apply
+//! at every cell a March sweep visits.
+
+use crate::dir::TransitionDir;
+use crate::model::{AdfKind, FaultModel};
+use crate::req::CoverageRequirement;
+use crate::tp::{Observation, TestPattern};
+use marchgen_model::{Bit, Cell, MemOp, PairState, Tri, TwoCellMachine};
+
+fn read_obs(cell: Cell, expected: Bit) -> Observation {
+    Observation::Read { cell, expected }
+}
+
+/// Coverage requirements of one fault model (see
+/// [`requirements_for`](crate::requirements_for) for lists).
+#[must_use]
+pub fn requirements(model: FaultModel) -> Vec<CoverageRequirement> {
+    match model {
+        FaultModel::StuckAt(v) => {
+            // SA⟨v⟩ is exposed by writing v̄ and reading it back, from any
+            // starting state.
+            let w = v.flip();
+            vec![CoverageRequirement::new(
+                format!("SA{v}"),
+                vec![TestPattern::single(Tri::X, MemOp::write(Cell::I, w), read_obs(Cell::I, w))],
+            )]
+        }
+        FaultModel::Transition(d) => {
+            // TF⟨d⟩: the d transition must actually be exercised, so the
+            // initialization pins the pre-transition value.
+            vec![CoverageRequirement::new(
+                format!("TF<{d}>"),
+                vec![TestPattern::single(
+                    d.from_value().into(),
+                    MemOp::write(Cell::I, d.to_value()),
+                    read_obs(Cell::I, d.to_value()),
+                )],
+            )]
+        }
+        FaultModel::StuckOpen => {
+            // SOF: the latch must hold the stale pre-transition value when
+            // the verifying read fires, hence pre-read + immediate.
+            let alt = |d: TransitionDir| {
+                TestPattern::single(
+                    d.from_value().into(),
+                    MemOp::write(Cell::I, d.to_value()),
+                    read_obs(Cell::I, d.to_value()),
+                )
+                .with_immediate()
+                .with_pre_read()
+            };
+            vec![CoverageRequirement::new(
+                "SOF".to_string(),
+                vec![alt(TransitionDir::Up), alt(TransitionDir::Down)],
+            )]
+        }
+        FaultModel::AddressDecoder(AdfKind::Write) => {
+            // Writes aimed at one cell also reach the other: expose by
+            // writing the aggressor address with the complement of the
+            // observed cell's content. Either polarity works — one class
+            // of two alternatives per address order.
+            let class = |aggr: Cell| {
+                let victim = aggr.other();
+                let alt = |v: Bit| {
+                    let init = PairState::UNKNOWN.with(victim, v.into());
+                    TestPattern::pair(init, MemOp::write(aggr, v.flip()), read_obs(victim, v))
+                };
+                CoverageRequirement::new(
+                    format!("ADF<w> ({aggr}-writes reach {victim})"),
+                    vec![alt(Bit::One), alt(Bit::Zero)],
+                )
+            };
+            vec![class(Cell::J), class(Cell::I)]
+        }
+        FaultModel::AddressDecoder(AdfKind::Read) => {
+            // Reads of one cell return the other cell's content: expose by
+            // reading while the two cells hold opposite values.
+            let class = |read: Cell| {
+                let alt = |iv: Bit| {
+                    let init = PairState::new_known(iv, iv.flip());
+                    let expected = match read {
+                        Cell::I => iv,
+                        Cell::J => iv.flip(),
+                    };
+                    TestPattern::pair(
+                        init,
+                        MemOp::read(read),
+                        Observation::SelfRead { expected },
+                    )
+                };
+                CoverageRequirement::new(
+                    format!("ADF<r> (reads of {read} return {})", read.other()),
+                    vec![alt(Bit::Zero), alt(Bit::One)],
+                )
+            };
+            vec![class(Cell::J), class(Cell::I)]
+        }
+        FaultModel::CouplingInversion(d) => {
+            // CFin⟨d⟩: the victim flips whichever value it holds, so the
+            // two victim polarities are alternatives (Section 5 example).
+            let class = |aggr: Cell| {
+                let victim = aggr.other();
+                let alt = |v: Bit| {
+                    let init = PairState::UNKNOWN
+                        .with(aggr, d.from_value().into())
+                        .with(victim, v.into());
+                    TestPattern::pair(init, MemOp::write(aggr, d.to_value()), read_obs(victim, v))
+                };
+                CoverageRequirement::new(
+                    format!("CFin<{d}> (aggressor {aggr})"),
+                    vec![alt(Bit::Zero), alt(Bit::One)],
+                )
+            };
+            vec![class(Cell::I), class(Cell::J)]
+        }
+        FaultModel::CouplingIdempotent(d, f) => {
+            // CFid⟨d,f⟩: only a victim holding f̄ shows the forcing — a
+            // single TP per address order (paper Figure 3 / f.2.3).
+            let class = |aggr: Cell| {
+                let victim = aggr.other();
+                let init = PairState::UNKNOWN
+                    .with(aggr, d.from_value().into())
+                    .with(victim, f.flip().into());
+                CoverageRequirement::new(
+                    format!("CFid<{d},{f}> (aggressor {aggr})"),
+                    vec![TestPattern::pair(
+                        init,
+                        MemOp::write(aggr, d.to_value()),
+                        read_obs(victim, f.flip()),
+                    )],
+                )
+            };
+            vec![class(Cell::I), class(Cell::J)]
+        }
+        FaultModel::CouplingState(s, f) => {
+            // CFst⟨s,f⟩: while the aggressor holds s the victim is forced
+            // to f. Two excitations work: entering the aggressor state
+            // with a sensitized victim, or writing the victim under the
+            // active condition.
+            let class = |aggr: Cell| {
+                let victim = aggr.other();
+                let enter_condition = TestPattern::pair(
+                    PairState::UNKNOWN.with(aggr, s.flip().into()).with(victim, f.flip().into()),
+                    MemOp::write(aggr, s),
+                    read_obs(victim, f.flip()),
+                );
+                let write_under_condition = TestPattern::pair(
+                    PairState::UNKNOWN.with(aggr, s.into()),
+                    MemOp::write(victim, f.flip()),
+                    read_obs(victim, f.flip()),
+                );
+                CoverageRequirement::new(
+                    format!("CFst<{s},{f}> (aggressor {aggr})"),
+                    vec![enter_condition, write_under_condition],
+                )
+            };
+            vec![class(Cell::I), class(Cell::J)]
+        }
+        FaultModel::ReadDestructive(x) | FaultModel::IncorrectRead(x) => {
+            // Both return the wrong value on the exciting read itself.
+            let label = model.to_string();
+            vec![CoverageRequirement::new(
+                label,
+                vec![TestPattern::single(
+                    x.into(),
+                    MemOp::read(Cell::I),
+                    Observation::SelfRead { expected: x },
+                )],
+            )]
+        }
+        FaultModel::DeceptiveReadDestructive(x) => {
+            // The exciting read answers correctly; a second read catches
+            // the flipped cell.
+            vec![CoverageRequirement::new(
+                model.to_string(),
+                vec![TestPattern::single(x.into(), MemOp::read(Cell::I), read_obs(Cell::I, x))],
+            )]
+        }
+        FaultModel::DataRetention(x) => {
+            // The cell decays after the wait period T.
+            vec![CoverageRequirement::new(
+                model.to_string(),
+                vec![TestPattern::single(x.into(), MemOp::Delay, read_obs(Cell::I, x))],
+            )]
+        }
+    }
+}
+
+/// Behavioural two-cell machines of the fault model's instances, labelled
+/// by which cell (or ordered pair role) is affected. Returns an empty
+/// vector for [`FaultModel::StuckOpen`], whose sense-amplifier latch is
+/// not a function of the pair state (the n-cell simulator models it
+/// directly).
+#[must_use]
+pub fn machines(model: FaultModel) -> Vec<(String, TwoCellMachine)> {
+    let m0 = TwoCellMachine::fault_free();
+    let states = PairState::all_known();
+    match model {
+        FaultModel::StuckOpen => Vec::new(),
+        FaultModel::StuckAt(v) => per_cell(model, |c| {
+            let mut m = m0.clone();
+            for s in states {
+                for d in Bit::ALL {
+                    m = m.with_delta(s, MemOp::write(c, d), {
+                        let good = m0.transition(s, MemOp::write(c, d)).next;
+                        good.with(c, v.into())
+                    });
+                }
+                m = m.with_override(
+                    s,
+                    MemOp::read(c),
+                    marchgen_model::Transition { next: s, output: Some(v) },
+                );
+            }
+            m
+        }),
+        FaultModel::Transition(dir) => per_cell(model, |c| {
+            let mut m = m0.clone();
+            for s in states {
+                if s.get(c) == dir.from_value().into() {
+                    m = m.with_delta(s, MemOp::write(c, dir.to_value()), s);
+                }
+            }
+            m
+        }),
+        FaultModel::ReadDestructive(x) => per_cell(model, |c| {
+            let mut m = m0.clone();
+            for s in states {
+                if s.get(c) == x.into() {
+                    m = m.with_override(
+                        s,
+                        MemOp::read(c),
+                        marchgen_model::Transition {
+                            next: s.with(c, x.flip().into()),
+                            output: Some(x.flip()),
+                        },
+                    );
+                }
+            }
+            m
+        }),
+        FaultModel::DeceptiveReadDestructive(x) => per_cell(model, |c| {
+            let mut m = m0.clone();
+            for s in states {
+                if s.get(c) == x.into() {
+                    m = m.with_delta(s, MemOp::read(c), s.with(c, x.flip().into()));
+                }
+            }
+            m
+        }),
+        FaultModel::IncorrectRead(x) => per_cell(model, |c| {
+            let mut m = m0.clone();
+            for s in states {
+                if s.get(c) == x.into() {
+                    m = m.with_lambda(s, MemOp::read(c), Some(x.flip()));
+                }
+            }
+            m
+        }),
+        FaultModel::DataRetention(x) => per_cell(model, |c| {
+            let mut m = m0.clone();
+            for s in states {
+                if s.get(c) == x.into() {
+                    m = m.with_delta(s, MemOp::Delay, s.with(c, x.flip().into()));
+                }
+            }
+            m
+        }),
+        FaultModel::AddressDecoder(AdfKind::Write) => per_aggressor(model, |aggr| {
+            let victim = aggr.other();
+            let mut m = m0.clone();
+            for s in states {
+                for d in Bit::ALL {
+                    let good = m0.transition(s, MemOp::write(aggr, d)).next;
+                    m = m.with_delta(s, MemOp::write(aggr, d), good.with(victim, d.into()));
+                }
+            }
+            m
+        }),
+        FaultModel::AddressDecoder(AdfKind::Read) => per_aggressor(model, |read| {
+            let other = read.other();
+            let mut m = m0.clone();
+            for s in states {
+                m = m.with_lambda(s, MemOp::read(read), s.get(other).bit());
+            }
+            m
+        }),
+        FaultModel::CouplingInversion(dir) => per_aggressor(model, |aggr| {
+            let victim = aggr.other();
+            let mut m = m0.clone();
+            for s in states {
+                if s.get(aggr) == dir.from_value().into() {
+                    let good = m0.transition(s, MemOp::write(aggr, dir.to_value())).next;
+                    m = m.with_delta(
+                        s,
+                        MemOp::write(aggr, dir.to_value()),
+                        good.with(victim, good.get(victim).flip()),
+                    );
+                }
+            }
+            m
+        }),
+        FaultModel::CouplingIdempotent(dir, f) => per_aggressor(model, |aggr| {
+            let victim = aggr.other();
+            let mut m = m0.clone();
+            for s in states {
+                if s.get(aggr) == dir.from_value().into() && s.get(victim) == f.flip().into() {
+                    let good = m0.transition(s, MemOp::write(aggr, dir.to_value())).next;
+                    m = m.with_delta(
+                        s,
+                        MemOp::write(aggr, dir.to_value()),
+                        good.with(victim, f.into()),
+                    );
+                }
+            }
+            m
+        }),
+        FaultModel::CouplingState(cond, f) => per_aggressor(model, |aggr| {
+            let victim = aggr.other();
+            let mut m = m0.clone();
+            for s in states {
+                // Entering the condition with a sensitized victim.
+                if s.get(aggr) == cond.flip().into() && s.get(victim) == f.flip().into() {
+                    let good = m0.transition(s, MemOp::write(aggr, cond)).next;
+                    m = m.with_delta(s, MemOp::write(aggr, cond), good.with(victim, f.into()));
+                }
+                // Victim writes that cannot stick while the condition holds.
+                if s.get(aggr) == cond.into() {
+                    let good = m0.transition(s, MemOp::write(victim, f.flip())).next;
+                    m = m.with_delta(s, MemOp::write(victim, f.flip()), good.with(victim, f.into()));
+                }
+            }
+            m
+        }),
+    }
+}
+
+fn per_cell(
+    model: FaultModel,
+    build: impl Fn(Cell) -> TwoCellMachine,
+) -> Vec<(String, TwoCellMachine)> {
+    Cell::ALL
+        .into_iter()
+        .map(|c| (format!("{model} on cell {c}"), build(c)))
+        .collect()
+}
+
+fn per_aggressor(
+    model: FaultModel,
+    build: impl Fn(Cell) -> TwoCellMachine,
+) -> Vec<(String, TwoCellMachine)> {
+    Cell::ALL
+        .into_iter()
+        .map(|c| (format!("{model} (aggressor {c})"), build(c)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Paper Figure 2: the CFid ⟨↑,0⟩ machine with aggressor `i` differs
+    /// from `M0` in exactly one transition (01 --w1i--> 10).
+    #[test]
+    fn figure2_cfid_up0_machine() {
+        let ms = machines(FaultModel::CouplingIdempotent(TransitionDir::Up, Bit::Zero));
+        assert_eq!(ms.len(), 2);
+        let m0 = TwoCellMachine::fault_free();
+        let aggr_i = &ms[0].1;
+        let diffs = m0.diff(aggr_i);
+        assert_eq!(diffs.len(), 1);
+        let d = diffs[0];
+        assert_eq!(d.state, PairState::new(Tri::Zero, Tri::One));
+        assert_eq!(d.op, MemOp::write(Cell::I, Bit::One));
+        assert_eq!(d.faulty.next, PairState::new(Tri::One, Tri::Zero));
+    }
+
+    #[test]
+    fn cfin_machines_flip_victim_for_both_polarities() {
+        let ms = machines(FaultModel::CouplingInversion(TransitionDir::Up));
+        let m0 = TwoCellMachine::fault_free();
+        for (label, m) in &ms {
+            assert_eq!(m0.diff(m).len(), 2, "{label} should have two BFEs (Figure 3 analogue)");
+        }
+    }
+
+    #[test]
+    fn every_machine_differs_from_m0() {
+        let m0 = TwoCellMachine::fault_free();
+        for model in FaultModel::all_classical() {
+            for (label, m) in machines(model) {
+                assert!(!m0.diff(&m).is_empty(), "{label} equals M0");
+            }
+        }
+    }
+
+    #[test]
+    fn all_catalog_tps_are_consistent() {
+        for model in FaultModel::all_classical() {
+            for req in requirements(model) {
+                for tp in &req.alternatives {
+                    assert!(tp.is_consistent(), "{model}: inconsistent TP {tp}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn paper_tp_examples_from_cfid() {
+        // f.2.3: ⟨↑,0⟩ is tested by TP1 = (01, w1i, r1j), TP2 = (10, w1j, r1i).
+        let reqs = requirements(FaultModel::CouplingIdempotent(TransitionDir::Up, Bit::Zero));
+        assert_eq!(reqs.len(), 2);
+        let tp1 = reqs[0].alternatives[0];
+        assert_eq!(tp1.init, PairState::new(Tri::Zero, Tri::One));
+        assert_eq!(tp1.excite, MemOp::write(Cell::I, Bit::One));
+        assert_eq!(tp1.observe, Observation::Read { cell: Cell::J, expected: Bit::One });
+        let tp2 = reqs[1].alternatives[0];
+        assert_eq!(tp2, tp1.mirrored());
+    }
+
+    #[test]
+    fn section4_tps_for_cfid_up1() {
+        // TP3 = (00, w1i, r0j), TP4 = (00, w1j, r0i).
+        let reqs = requirements(FaultModel::CouplingIdempotent(TransitionDir::Up, Bit::One));
+        let tp3 = reqs[0].alternatives[0];
+        assert_eq!(tp3.init, PairState::new(Tri::Zero, Tri::Zero));
+        assert_eq!(tp3.observe, Observation::Read { cell: Cell::J, expected: Bit::Zero });
+        assert_eq!(tp3.obs_state(), PairState::new(Tri::One, Tri::Zero));
+    }
+
+    #[test]
+    fn sof_requirements_carry_scheduling_attributes() {
+        let reqs = requirements(FaultModel::StuckOpen);
+        assert_eq!(reqs.len(), 1);
+        for tp in &reqs[0].alternatives {
+            assert!(tp.immediate && tp.pre_read);
+        }
+    }
+
+    #[test]
+    fn machine_count_conventions() {
+        assert_eq!(machines(FaultModel::StuckOpen).len(), 0);
+        assert_eq!(machines(FaultModel::StuckAt(Bit::Zero)).len(), 2);
+        assert_eq!(machines(FaultModel::AddressDecoder(AdfKind::Read)).len(), 2);
+    }
+}

@@ -1,0 +1,80 @@
+//! Transition directions of the `⟨S, F⟩` fault notation.
+
+use marchgen_model::Bit;
+use std::fmt;
+
+/// The aggressor (or victim) transition of a fault sensitization: `↑`
+/// (a `0 → 1` write) or `↓` (a `1 → 0` write), as in the `⟨↑, 0⟩`
+/// notation of van de Goor \[9\] used throughout the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TransitionDir {
+    /// `↑` — a write transition `0 → 1`.
+    Up,
+    /// `↓` — a write transition `1 → 0`.
+    Down,
+}
+
+impl TransitionDir {
+    /// Both directions.
+    pub const ALL: [TransitionDir; 2] = [TransitionDir::Up, TransitionDir::Down];
+
+    /// Cell value *before* the transition (`↑` starts from 0).
+    #[must_use]
+    pub fn from_value(self) -> Bit {
+        match self {
+            TransitionDir::Up => Bit::Zero,
+            TransitionDir::Down => Bit::One,
+        }
+    }
+
+    /// Cell value *after* the transition (`↑` ends at 1); also the value
+    /// the exciting write carries.
+    #[must_use]
+    pub fn to_value(self) -> Bit {
+        self.from_value().flip()
+    }
+
+    /// The opposite direction.
+    #[must_use]
+    pub fn reversed(self) -> TransitionDir {
+        match self {
+            TransitionDir::Up => TransitionDir::Down,
+            TransitionDir::Down => TransitionDir::Up,
+        }
+    }
+}
+
+impl fmt::Display for TransitionDir {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            TransitionDir::Up => "↑",
+            TransitionDir::Down => "↓",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn up_is_zero_to_one() {
+        assert_eq!(TransitionDir::Up.from_value(), Bit::Zero);
+        assert_eq!(TransitionDir::Up.to_value(), Bit::One);
+        assert_eq!(TransitionDir::Down.to_value(), Bit::Zero);
+    }
+
+    #[test]
+    fn reversal() {
+        for d in TransitionDir::ALL {
+            assert_eq!(d.reversed().reversed(), d);
+            assert_ne!(d.reversed(), d);
+        }
+    }
+
+    #[test]
+    fn display_arrows() {
+        assert_eq!(TransitionDir::Up.to_string(), "↑");
+        assert_eq!(TransitionDir::Down.to_string(), "↓");
+    }
+}

@@ -1,0 +1,176 @@
+//! The classical memory fault model taxonomy (van de Goor \[1\], \[9\])
+//! covered by the paper's Table 3, plus the read-fault and retention
+//! extensions of the works it cites (\[2\], \[6\]).
+
+use crate::dir::TransitionDir;
+use marchgen_model::Bit;
+use std::fmt;
+
+/// The two address-decoder fault mechanisms modelled on a cell pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AdfKind {
+    /// Write-decoder fault: writes directed at one address also (or
+    /// instead) reach the other cell of the pair.
+    Write,
+    /// Read-decoder fault: reads of one address return the other cell's
+    /// content.
+    Read,
+}
+
+impl fmt::Display for AdfKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AdfKind::Write => "w",
+            AdfKind::Read => "r",
+        })
+    }
+}
+
+/// A memory fault model.
+///
+/// Each variant describes a *family* of physical fault instances: a
+/// single-cell model has one instance per memory cell, a coupling model
+/// one instance per ordered pair of distinct cells. The generator works
+/// on the per-model [`CoverageRequirement`](crate::CoverageRequirement)s
+/// (via [`requirements_for`](crate::requirements_for)); the simulator
+/// verifies every instance behaviourally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultModel {
+    /// SAF — the cell is stuck at the given value.
+    StuckAt(Bit),
+    /// TF — the cell cannot perform the given write transition.
+    Transition(TransitionDir),
+    /// SOF — the cell is disconnected (stuck-open); reads return the
+    /// sense-amplifier latch, i.e. the value of the *previous* read.
+    StuckOpen,
+    /// ADF — address decoder fault of the given kind.
+    AddressDecoder(AdfKind),
+    /// CFin ⟨dir⟩ — inversion coupling: the aggressor transition flips
+    /// the victim.
+    CouplingInversion(TransitionDir),
+    /// CFid ⟨dir, value⟩ — idempotent coupling: the aggressor transition
+    /// forces the victim to `value`.
+    CouplingIdempotent(TransitionDir, Bit),
+    /// CFst ⟨state, value⟩ — state coupling: while the aggressor holds
+    /// `state`, the victim is forced to `value`.
+    CouplingState(Bit, Bit),
+    /// RDF ⟨value⟩ — read-destructive: reading a cell holding `value`
+    /// flips it and returns the flipped value.
+    ReadDestructive(Bit),
+    /// DRDF ⟨value⟩ — deceptive read-destructive: reading a cell holding
+    /// `value` returns the correct value but flips the cell.
+    DeceptiveReadDestructive(Bit),
+    /// IRF ⟨value⟩ — incorrect-read: reading a cell holding `value`
+    /// returns the complement, the cell itself is untouched.
+    IncorrectRead(Bit),
+    /// DRF ⟨value⟩ — data retention: a cell holding `value` decays to the
+    /// complement after the wait period `T`.
+    DataRetention(Bit),
+}
+
+impl FaultModel {
+    /// `true` when the model involves a pair of coupled cells (its
+    /// instances are ordered cell pairs).
+    #[must_use]
+    pub fn is_pair_fault(&self) -> bool {
+        matches!(
+            self,
+            FaultModel::AddressDecoder(_)
+                | FaultModel::CouplingInversion(_)
+                | FaultModel::CouplingIdempotent(..)
+                | FaultModel::CouplingState(..)
+        )
+    }
+
+    /// A short canonical name, parseable by
+    /// [`parse_fault_list`](crate::parse_fault_list).
+    #[must_use]
+    pub fn name(&self) -> String {
+        self.to_string()
+    }
+
+    /// All models of the classical taxonomy, for exhaustive sweeps.
+    #[must_use]
+    pub fn all_classical() -> Vec<FaultModel> {
+        let mut v = Vec::new();
+        v.extend(Bit::ALL.map(FaultModel::StuckAt));
+        v.extend(TransitionDir::ALL.map(FaultModel::Transition));
+        v.push(FaultModel::StuckOpen);
+        v.push(FaultModel::AddressDecoder(AdfKind::Write));
+        v.push(FaultModel::AddressDecoder(AdfKind::Read));
+        v.extend(TransitionDir::ALL.map(FaultModel::CouplingInversion));
+        for d in TransitionDir::ALL {
+            for b in Bit::ALL {
+                v.push(FaultModel::CouplingIdempotent(d, b));
+            }
+        }
+        for s in Bit::ALL {
+            for f in Bit::ALL {
+                v.push(FaultModel::CouplingState(s, f));
+            }
+        }
+        v.extend(Bit::ALL.map(FaultModel::ReadDestructive));
+        v.extend(Bit::ALL.map(FaultModel::DeceptiveReadDestructive));
+        v.extend(Bit::ALL.map(FaultModel::IncorrectRead));
+        v.extend(Bit::ALL.map(FaultModel::DataRetention));
+        v
+    }
+}
+
+impl fmt::Display for FaultModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultModel::StuckAt(b) => write!(f, "SA{b}"),
+            FaultModel::Transition(d) => write!(f, "TF<{d}>"),
+            FaultModel::StuckOpen => f.write_str("SOF"),
+            FaultModel::AddressDecoder(k) => write!(f, "ADF<{k}>"),
+            FaultModel::CouplingInversion(d) => write!(f, "CFin<{d}>"),
+            FaultModel::CouplingIdempotent(d, b) => write!(f, "CFid<{d},{b}>"),
+            FaultModel::CouplingState(s, v) => write!(f, "CFst<{s},{v}>"),
+            FaultModel::ReadDestructive(b) => write!(f, "RDF<{b}>"),
+            FaultModel::DeceptiveReadDestructive(b) => write!(f, "DRDF<{b}>"),
+            FaultModel::IncorrectRead(b) => write!(f, "IRF<{b}>"),
+            FaultModel::DataRetention(b) => write!(f, "DRF<{b}>"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classical_taxonomy_size() {
+        // 2 SAF + 2 TF + 1 SOF + 2 ADF + 2 CFin + 4 CFid + 4 CFst
+        // + 2 RDF + 2 DRDF + 2 IRF + 2 DRF = 25.
+        assert_eq!(FaultModel::all_classical().len(), 25);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(FaultModel::StuckAt(Bit::Zero).to_string(), "SA0");
+        assert_eq!(FaultModel::Transition(TransitionDir::Up).to_string(), "TF<↑>");
+        assert_eq!(
+            FaultModel::CouplingIdempotent(TransitionDir::Up, Bit::Zero).to_string(),
+            "CFid<↑,0>"
+        );
+        assert_eq!(FaultModel::AddressDecoder(AdfKind::Read).to_string(), "ADF<r>");
+    }
+
+    #[test]
+    fn pair_fault_classification() {
+        assert!(FaultModel::CouplingInversion(TransitionDir::Up).is_pair_fault());
+        assert!(FaultModel::AddressDecoder(AdfKind::Write).is_pair_fault());
+        assert!(!FaultModel::StuckAt(Bit::One).is_pair_fault());
+        assert!(!FaultModel::DataRetention(Bit::One).is_pair_fault());
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<String> =
+            FaultModel::all_classical().iter().map(FaultModel::name).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), FaultModel::all_classical().len());
+    }
+}

@@ -1,0 +1,250 @@
+//! Parser for textual fault lists, e.g. `"SAF, TF, ADF, CFin, CFid"`
+//! (the rows of the paper's Table 3) or fully qualified single models
+//! like `"CFid<↑,0>"`.
+
+use crate::dir::TransitionDir;
+use crate::model::{AdfKind, FaultModel};
+use marchgen_model::Bit;
+use std::fmt;
+
+/// Error produced when a fault list cannot be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseFaultError {
+    /// The offending token.
+    pub token: String,
+    /// Human-readable reason.
+    pub message: String,
+}
+
+impl fmt::Display for ParseFaultError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid fault token {:?}: {}", self.token, self.message)
+    }
+}
+
+impl std::error::Error for ParseFaultError {}
+
+/// Parses a comma/plus/whitespace-separated fault list.
+///
+/// Family names expand to every member:
+///
+/// * `SAF` → `SA0, SA1`
+/// * `TF` → `TF<↑>, TF<↓>`
+/// * `ADF` (or `AF`) → `ADF<w>, ADF<r>`
+/// * `CFin` → both directions; `CFid` → all four `⟨dir, value⟩`
+/// * `CFst` → all four `⟨state, value⟩`
+/// * `RDF`/`DRDF`/`IRF`/`DRF` → both polarities
+///
+/// Qualified forms use `<...>` with `u`/`d` (or `↑`/`↓`) and `0`/`1`, e.g.
+/// `CFid<u,0>`, `TF<d>`, `DRF<1>`. Parsing is case-insensitive.
+///
+/// # Errors
+///
+/// Returns [`ParseFaultError`] for the first unrecognized token.
+pub fn parse_fault_list(src: &str) -> Result<Vec<FaultModel>, ParseFaultError> {
+    let mut out = Vec::new();
+    // Split on , + ; — but not inside <...>, where commas are arguments.
+    let mut depth = 0usize;
+    let mut start = 0usize;
+    let mut tokens = Vec::new();
+    for (pos, c) in src.char_indices() {
+        match c {
+            '<' => depth += 1,
+            '>' => depth = depth.saturating_sub(1),
+            ',' | '+' | ';' if depth == 0 => {
+                tokens.push(&src[start..pos]);
+                start = pos + c.len_utf8();
+            }
+            _ => {}
+        }
+    }
+    tokens.push(&src[start..]);
+    for raw in tokens {
+        let token = raw.trim();
+        if token.is_empty() {
+            continue;
+        }
+        out.extend(parse_token(token)?);
+    }
+    Ok(out)
+}
+
+fn err(token: &str, message: impl Into<String>) -> ParseFaultError {
+    ParseFaultError { token: token.to_string(), message: message.into() }
+}
+
+fn parse_dir(token: &str, s: &str) -> Result<TransitionDir, ParseFaultError> {
+    match s.trim() {
+        "u" | "U" | "↑" | "up" | "UP" | "Up" => Ok(TransitionDir::Up),
+        "d" | "D" | "↓" | "down" | "DOWN" | "Down" => Ok(TransitionDir::Down),
+        other => Err(err(token, format!("expected a direction (u/d/↑/↓), got {other:?}"))),
+    }
+}
+
+fn parse_bit(token: &str, s: &str) -> Result<Bit, ParseFaultError> {
+    match s.trim() {
+        "0" => Ok(Bit::Zero),
+        "1" => Ok(Bit::One),
+        other => Err(err(token, format!("expected a value (0/1), got {other:?}"))),
+    }
+}
+
+/// Splits `name<args>` into `(name, Some(args))`, or `(token, None)`.
+fn split_args(token: &str) -> Result<(&str, Option<&str>), ParseFaultError> {
+    match token.find('<') {
+        None => Ok((token, None)),
+        Some(open) => {
+            let Some(stripped) = token[open..].strip_prefix('<').and_then(|s| s.strip_suffix('>'))
+            else {
+                return Err(err(token, "unbalanced '<...>'"));
+            };
+            Ok((&token[..open], Some(stripped)))
+        }
+    }
+}
+
+fn parse_token(token: &str) -> Result<Vec<FaultModel>, ParseFaultError> {
+    let (name, args) = split_args(token)?;
+    let upper = name.trim().to_ascii_uppercase();
+    let one_dir = |args: Option<&str>| -> Result<Vec<FaultModel>, ParseFaultError> {
+        match args {
+            None => Ok(TransitionDir::ALL.map(FaultModel::Transition).to_vec()),
+            Some(a) => Ok(vec![FaultModel::Transition(parse_dir(token, a)?)]),
+        }
+    };
+    match upper.as_str() {
+        "SAF" => match args {
+            None => Ok(Bit::ALL.map(FaultModel::StuckAt).to_vec()),
+            Some(a) => Ok(vec![FaultModel::StuckAt(parse_bit(token, a)?)]),
+        },
+        "SA0" => Ok(vec![FaultModel::StuckAt(Bit::Zero)]),
+        "SA1" => Ok(vec![FaultModel::StuckAt(Bit::One)]),
+        "TF" => one_dir(args),
+        "SOF" => Ok(vec![FaultModel::StuckOpen]),
+        "ADF" | "AF" => match args {
+            None => Ok(vec![
+                FaultModel::AddressDecoder(AdfKind::Write),
+                FaultModel::AddressDecoder(AdfKind::Read),
+            ]),
+            Some("w") | Some("W") => Ok(vec![FaultModel::AddressDecoder(AdfKind::Write)]),
+            Some("r") | Some("R") => Ok(vec![FaultModel::AddressDecoder(AdfKind::Read)]),
+            Some(other) => Err(err(token, format!("expected <w> or <r>, got {other:?}"))),
+        },
+        "CFIN" => match args {
+            None => Ok(TransitionDir::ALL.map(FaultModel::CouplingInversion).to_vec()),
+            Some(a) => Ok(vec![FaultModel::CouplingInversion(parse_dir(token, a)?)]),
+        },
+        "CFID" => match args {
+            None => {
+                let mut v = Vec::new();
+                for d in TransitionDir::ALL {
+                    for b in Bit::ALL {
+                        v.push(FaultModel::CouplingIdempotent(d, b));
+                    }
+                }
+                Ok(v)
+            }
+            Some(a) => {
+                let (d, b) = a
+                    .split_once(',')
+                    .ok_or_else(|| err(token, "expected <dir,value>, e.g. CFid<u,0>"))?;
+                Ok(vec![FaultModel::CouplingIdempotent(
+                    parse_dir(token, d)?,
+                    parse_bit(token, b)?,
+                )])
+            }
+        },
+        "CFST" => match args {
+            None => {
+                let mut v = Vec::new();
+                for s in Bit::ALL {
+                    for f in Bit::ALL {
+                        v.push(FaultModel::CouplingState(s, f));
+                    }
+                }
+                Ok(v)
+            }
+            Some(a) => {
+                let (s, f) = a
+                    .split_once(',')
+                    .ok_or_else(|| err(token, "expected <state,value>, e.g. CFst<1,0>"))?;
+                Ok(vec![FaultModel::CouplingState(parse_bit(token, s)?, parse_bit(token, f)?)])
+            }
+        },
+        "RDF" => match args {
+            None => Ok(Bit::ALL.map(FaultModel::ReadDestructive).to_vec()),
+            Some(a) => Ok(vec![FaultModel::ReadDestructive(parse_bit(token, a)?)]),
+        },
+        "DRDF" => match args {
+            None => Ok(Bit::ALL.map(FaultModel::DeceptiveReadDestructive).to_vec()),
+            Some(a) => Ok(vec![FaultModel::DeceptiveReadDestructive(parse_bit(token, a)?)]),
+        },
+        "IRF" => match args {
+            None => Ok(Bit::ALL.map(FaultModel::IncorrectRead).to_vec()),
+            Some(a) => Ok(vec![FaultModel::IncorrectRead(parse_bit(token, a)?)]),
+        },
+        "DRF" => match args {
+            None => Ok(Bit::ALL.map(FaultModel::DataRetention).to_vec()),
+            Some(a) => Ok(vec![FaultModel::DataRetention(parse_bit(token, a)?)]),
+        },
+        other => Err(err(token, format!("unknown fault model {other:?}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_row5_fault_list() {
+        let fl = parse_fault_list("SAF, TF, ADF, CFin, CFid").unwrap();
+        // 2 + 2 + 2 + 2 + 4
+        assert_eq!(fl.len(), 12);
+    }
+
+    #[test]
+    fn qualified_tokens() {
+        assert_eq!(
+            parse_fault_list("CFid<u,0>").unwrap(),
+            vec![FaultModel::CouplingIdempotent(TransitionDir::Up, Bit::Zero)]
+        );
+        assert_eq!(
+            parse_fault_list("CFid<↑,1>").unwrap(),
+            vec![FaultModel::CouplingIdempotent(TransitionDir::Up, Bit::One)]
+        );
+        assert_eq!(parse_fault_list("TF<d>").unwrap(), vec![FaultModel::Transition(TransitionDir::Down)]);
+        assert_eq!(parse_fault_list("SA1").unwrap(), vec![FaultModel::StuckAt(Bit::One)]);
+        assert_eq!(parse_fault_list("DRF<0>").unwrap(), vec![FaultModel::DataRetention(Bit::Zero)]);
+        assert_eq!(
+            parse_fault_list("ADF<w>").unwrap(),
+            vec![FaultModel::AddressDecoder(AdfKind::Write)]
+        );
+    }
+
+    #[test]
+    fn separators_and_case() {
+        let a = parse_fault_list("saf+tf").unwrap();
+        let b = parse_fault_list("SAF, TF").unwrap();
+        assert_eq!(a, b);
+        assert_eq!(parse_fault_list("").unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        for model in FaultModel::all_classical() {
+            let parsed = parse_fault_list(&model.to_string()).unwrap();
+            assert_eq!(parsed, vec![model], "roundtrip of {model}");
+        }
+    }
+
+    #[test]
+    fn errors_carry_token() {
+        let e = parse_fault_list("SAF, BOGUS").unwrap_err();
+        assert_eq!(e.token, "BOGUS");
+        assert!(e.to_string().contains("BOGUS"));
+        assert!(parse_fault_list("CFid<u").is_err());
+        assert!(parse_fault_list("CFid<x,0>").is_err());
+        assert!(parse_fault_list("TF<2>").is_err());
+        assert!(parse_fault_list("CFid<u0>").is_err());
+    }
+}

@@ -1,0 +1,143 @@
+//! Coverage requirements — the TP equivalence classes `Cᵢ` of paper
+//! Section 5.
+//!
+//! A fault *instance* (one cell, or one ordered cell pair, affected by
+//! one fault model) is covered as soon as **any one** of a small set of
+//! alternative Test Patterns is realized: an inversion coupling fault,
+//! for example, is exposed whichever value the victim happens to hold, so
+//! its two BFE-derived TPs form one class and the generator only needs to
+//! schedule one of them. The generator enumerates one TP choice per
+//! requirement (`E = Π |Cᵢ|` combinations, f.5) and keeps the best
+//! resulting March test.
+
+use crate::catalog;
+use crate::model::FaultModel;
+use crate::tp::TestPattern;
+use std::fmt;
+
+/// One equivalence class `Cᵢ`: a fault instance plus the alternative TPs
+/// that each cover it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoverageRequirement {
+    /// Human-readable description, e.g. `"CFid<↑,0> (aggressor i)"`.
+    pub label: String,
+    /// The alternative TPs; scheduling any one satisfies the requirement.
+    /// Never empty.
+    pub alternatives: Vec<TestPattern>,
+}
+
+impl CoverageRequirement {
+    /// Creates a requirement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alternatives` is empty — an unsatisfiable requirement is
+    /// a bug in the catalog, not a runtime condition.
+    #[must_use]
+    pub fn new(label: impl Into<String>, alternatives: Vec<TestPattern>) -> CoverageRequirement {
+        assert!(!alternatives.is_empty(), "a coverage requirement needs at least one TP");
+        CoverageRequirement { label: label.into(), alternatives }
+    }
+
+    /// Number of alternative TPs (the class cardinality `|Cᵢ|`).
+    #[must_use]
+    pub fn cardinality(&self) -> usize {
+        self.alternatives.len()
+    }
+}
+
+impl fmt::Display for CoverageRequirement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {{", self.label)?;
+        for (k, tp) in self.alternatives.iter().enumerate() {
+            if k > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{tp}")?;
+        }
+        f.write_str("}")
+    }
+}
+
+/// Expands a fault list into its coverage requirements, merging
+/// requirements whose alternative sets coincide (e.g. RDF and IRF share
+/// detection conditions).
+///
+/// The total number of TP-choice combinations the generator faces is
+/// `Π cardinality(Cᵢ)` — the paper's `E`.
+#[must_use]
+pub fn requirements_for(models: &[FaultModel]) -> Vec<CoverageRequirement> {
+    let mut reqs: Vec<CoverageRequirement> = Vec::new();
+    for &model in models {
+        for req in catalog::requirements(model) {
+            if let Some(existing) =
+                reqs.iter_mut().find(|r| r.alternatives == req.alternatives)
+            {
+                if !existing.label.contains(&req.label) {
+                    existing.label = format!("{} + {}", existing.label, req.label);
+                }
+            } else {
+                reqs.push(req);
+            }
+        }
+    }
+    reqs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dir::TransitionDir;
+    use marchgen_model::Bit;
+
+    #[test]
+    fn section4_example_has_four_single_tp_requirements() {
+        // FaultList = {⟨↑,1⟩, ⟨↑,0⟩}: four BFEs, each its own TP.
+        let models = [
+            FaultModel::CouplingIdempotent(TransitionDir::Up, Bit::One),
+            FaultModel::CouplingIdempotent(TransitionDir::Up, Bit::Zero),
+        ];
+        let reqs = requirements_for(&models);
+        assert_eq!(reqs.len(), 4);
+        assert!(reqs.iter().all(|r| r.cardinality() == 1));
+    }
+
+    #[test]
+    fn section5_cfin_classes_have_two_alternatives() {
+        let reqs = requirements_for(&[FaultModel::CouplingInversion(TransitionDir::Up)]);
+        assert_eq!(reqs.len(), 2); // one per address order
+        assert!(reqs.iter().all(|r| r.cardinality() == 2));
+    }
+
+    #[test]
+    fn identical_requirements_are_merged() {
+        let reqs = requirements_for(&[
+            FaultModel::ReadDestructive(Bit::Zero),
+            FaultModel::IncorrectRead(Bit::Zero),
+        ]);
+        assert_eq!(reqs.len(), 1, "RDF<0> and IRF<0> share their detection TP");
+        assert!(reqs[0].label.contains("RDF"), "{}", reqs[0].label);
+        assert!(reqs[0].label.contains("IRF"), "{}", reqs[0].label);
+    }
+
+    #[test]
+    fn duplicate_models_do_not_duplicate_requirements() {
+        let once = requirements_for(&[FaultModel::StuckAt(Bit::Zero)]);
+        let twice =
+            requirements_for(&[FaultModel::StuckAt(Bit::Zero), FaultModel::StuckAt(Bit::Zero)]);
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one TP")]
+    fn empty_requirement_rejected() {
+        let _ = CoverageRequirement::new("broken", Vec::new());
+    }
+
+    #[test]
+    fn display_lists_alternatives() {
+        let reqs = requirements_for(&[FaultModel::CouplingInversion(TransitionDir::Up)]);
+        let s = reqs[0].to_string();
+        assert!(s.contains('{') && s.contains(','), "{s}");
+    }
+}

@@ -1,0 +1,466 @@
+//! Test Patterns — paper formula f.2.3: `TP = (I, E, O)`.
+//!
+//! A TP prescribes how to expose one Basic Fault Effect: bring the
+//! fault-free memory into a state satisfying `I`, apply the excitation
+//! operation `E`, then *read-and-verify* per `O`. The generator chains TPs
+//! into a Global Test Sequence; the weight function of the Test Pattern
+//! Graph compares a TP's [`observation state`](TestPattern::obs_state)
+//! with its successor's initialization state.
+
+use marchgen_model::{Bit, Cell, MemOp, PairState, Tri};
+use std::fmt;
+
+/// Whether a TP concerns a single cell (applies at *every* address swept
+/// by a March test) or an ordered pair of coupled cells.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TpKind {
+    /// A single-cell fault: operations reference [`Cell::I`] by
+    /// convention and the `j` component of the initialization is `-`.
+    SingleCell,
+    /// A two-cell fault between the lower-addressed cell `i` and the
+    /// higher-addressed cell `j`.
+    Pair,
+}
+
+/// How the fault effect is observed after excitation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Observation {
+    /// The excitation operation is itself the observing read: `E` is a
+    /// read whose fault-free result is `expected` (λ-faults, read
+    /// faults, address-decoder read faults).
+    SelfRead {
+        /// Value the fault-free memory returns for the exciting read.
+        expected: Bit,
+    },
+    /// A separate *read-and-verify* `r_expected` on `cell` (the paper's
+    /// `O = r_d^k`).
+    Read {
+        /// The observed cell.
+        cell: Cell,
+        /// Value the fault-free memory holds there.
+        expected: Bit,
+    },
+}
+
+impl Observation {
+    /// The cell the observation reads (`cell` for [`Observation::Read`],
+    /// the excitation's cell for [`Observation::SelfRead`] — resolved by
+    /// the owning [`TestPattern`]).
+    #[must_use]
+    pub fn read_cell(&self, excite: MemOp) -> Cell {
+        match self {
+            Observation::Read { cell, .. } => *cell,
+            Observation::SelfRead { .. } => excite.cell().unwrap_or(Cell::I),
+        }
+    }
+
+    /// The value a fault-free memory returns for the observing read.
+    #[must_use]
+    pub fn expected(&self) -> Bit {
+        match self {
+            Observation::Read { expected, .. } | Observation::SelfRead { expected } => *expected,
+        }
+    }
+}
+
+/// A Test Pattern `(I, E, O)` with the scheduling attributes the March
+/// constructor honours.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TestPattern {
+    /// `I` — required fault-free memory state before excitation
+    /// (`-` components are don't-care).
+    pub init: PairState,
+    /// `E` — the excitation operation.
+    pub excite: MemOp,
+    /// `O` — the observation.
+    pub observe: Observation,
+    /// Single-cell or pair scope.
+    pub kind: TpKind,
+    /// The observation must *immediately* follow the excitation on the
+    /// same cell, inside one March element (stuck-open faults: the
+    /// sense-amplifier latch must not be refreshed in between).
+    pub immediate: bool,
+    /// The excitation must be *immediately preceded* by a read of the
+    /// initialization value on the same cell (stuck-open faults again:
+    /// the latch must hold the pre-transition value).
+    pub pre_read: bool,
+}
+
+impl TestPattern {
+    /// A pair-scope TP with plain (non-immediate) semantics.
+    #[must_use]
+    pub fn pair(init: PairState, excite: MemOp, observe: Observation) -> TestPattern {
+        TestPattern { init, excite, observe, kind: TpKind::Pair, immediate: false, pre_read: false }
+    }
+
+    /// A single-cell TP (`init_j` is forced to `-`, ops on [`Cell::I`]).
+    #[must_use]
+    pub fn single(init: Tri, excite: MemOp, observe: Observation) -> TestPattern {
+        TestPattern {
+            init: PairState::new(init, Tri::X),
+            excite,
+            observe,
+            kind: TpKind::SingleCell,
+            immediate: false,
+            pre_read: false,
+        }
+    }
+
+    /// Builder-style: marks the observation as immediate.
+    #[must_use]
+    pub fn with_immediate(mut self) -> TestPattern {
+        self.immediate = true;
+        self
+    }
+
+    /// Builder-style: requires a read of the init value right before the
+    /// excitation.
+    #[must_use]
+    pub fn with_pre_read(mut self) -> TestPattern {
+        self.pre_read = true;
+        self
+    }
+
+    /// The *observation state* used by the TPG weight function (f.4.1):
+    /// the fault-free memory state after applying `E` to `I` (reads and
+    /// `T` leave the state unchanged; the observing read never changes
+    /// it either).
+    #[must_use]
+    pub fn obs_state(&self) -> PairState {
+        match self.excite {
+            MemOp::Write(c, d) => self.init.with(c, d.into()),
+            MemOp::Read(_) | MemOp::Delay => self.init,
+        }
+    }
+
+    /// The cell the observation reads.
+    #[must_use]
+    pub fn observe_cell(&self) -> Cell {
+        self.observe.read_cell(self.excite)
+    }
+
+    /// The aggressor cell: the one the excitation addresses (delays
+    /// excite the observed cell itself).
+    #[must_use]
+    pub fn excite_cell(&self) -> Cell {
+        self.excite.cell().unwrap_or_else(|| self.observe_cell())
+    }
+
+    /// `true` when excitation and observation address the same cell.
+    #[must_use]
+    pub fn is_self_observing(&self) -> bool {
+        matches!(self.observe, Observation::SelfRead { .. })
+            || self.excite_cell() == self.observe_cell()
+    }
+
+    /// Whether a realization of `self` necessarily realizes `other`:
+    /// same excitation, observation and attributes, and an
+    /// initialization at least as specific (`self.init` specifies every
+    /// component `other.init` specifies, with the same value).
+    ///
+    /// The TF↑ pattern `(0, w1, r1)` subsumes the SA0 pattern
+    /// `(-, w1, r1)`: exciting the former also excites the latter, so the
+    /// weaker TP need not appear in the tour (this is what lets the
+    /// generator reach the paper's 5n for SAF+TF, Table 3 row 2).
+    #[must_use]
+    pub fn subsumes(&self, other: &TestPattern) -> bool {
+        self.excite == other.excite
+            && self.observe == other.observe
+            && self.kind == other.kind
+            && self.immediate == other.immediate
+            && self.pre_read == other.pre_read
+            && component_subsumes(self.init.i, other.init.i)
+            && component_subsumes(self.init.j, other.init.j)
+    }
+
+    /// The TP with cells `i`/`j` swapped — the same fault in the other
+    /// address order. Single-cell TPs are returned unchanged.
+    #[must_use]
+    pub fn mirrored(&self) -> TestPattern {
+        if self.kind == TpKind::SingleCell {
+            return *self;
+        }
+        let observe = match self.observe {
+            Observation::SelfRead { expected } => Observation::SelfRead { expected },
+            Observation::Read { cell, expected } => {
+                Observation::Read { cell: cell.other(), expected }
+            }
+        };
+        TestPattern {
+            init: self.init.mirrored(),
+            excite: self.excite.mirrored(),
+            observe,
+            ..*self
+        }
+    }
+
+    /// The TP with every data value complemented (polarity mirror).
+    #[must_use]
+    pub fn complement(&self) -> TestPattern {
+        let excite = match self.excite {
+            MemOp::Write(c, d) => MemOp::Write(c, d.flip()),
+            other => other,
+        };
+        let observe = match self.observe {
+            Observation::SelfRead { expected } => {
+                Observation::SelfRead { expected: expected.flip() }
+            }
+            Observation::Read { cell, expected } => {
+                Observation::Read { cell, expected: expected.flip() }
+            }
+        };
+        TestPattern { init: self.init.complement(), excite, observe, ..*self }
+    }
+
+    /// Internal consistency: the observation's expected value must be the
+    /// fault-free value of the observed cell after excitation, when the
+    /// initialization determines it.
+    #[must_use]
+    pub fn is_consistent(&self) -> bool {
+        if self.kind == TpKind::SingleCell {
+            if self.init.j != Tri::X {
+                return false;
+            }
+            if self.excite.cell() == Some(Cell::J) || self.observe_cell() == Cell::J {
+                return false;
+            }
+        }
+        let after = self.obs_state().get(self.observe_cell());
+        match after.bit() {
+            Some(v) => v == self.observe.expected(),
+            None => false, // observation of an unconstrained cell cannot verify anything
+        }
+    }
+}
+
+fn component_subsumes(stronger: Tri, weaker: Tri) -> bool {
+    match weaker {
+        Tri::X => true,
+        _ => stronger == weaker,
+    }
+}
+
+impl fmt::Display for TestPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let o = match self.observe {
+            Observation::SelfRead { expected } => format!("={expected}"),
+            Observation::Read { cell, expected } => format!("r{expected}{cell}"),
+        };
+        write!(f, "({}, {}, {})", self.init, self.excite, o)?;
+        if self.immediate {
+            f.write_str("!")?;
+        }
+        if self.pre_read {
+            f.write_str("^")?;
+        }
+        Ok(())
+    }
+}
+
+/// Removes duplicate and subsumed TPs from a chosen set, keeping the most
+/// specific representative of each behaviour (the survivor realizes every
+/// TP it absorbed).
+#[must_use]
+pub fn dedupe_subsumed(tps: &[TestPattern]) -> Vec<TestPattern> {
+    let mut kept: Vec<TestPattern> = Vec::new();
+    for &tp in tps {
+        if kept.iter().any(|k| k.subsumes(&tp)) {
+            continue;
+        }
+        kept.retain(|k| !tp.subsumes(k));
+        kept.push(tp);
+    }
+    kept
+}
+
+/// Merges TPs that differ in exactly one don't-careable init component
+/// (`(0,E,O)` + `(1,E,O)` → `(-,E,O)`), repeating to a fixed point. Used
+/// to canonicalize machine-derived TP classes.
+#[must_use]
+pub fn generalize(tps: &[TestPattern]) -> Vec<TestPattern> {
+    let mut set: Vec<TestPattern> = tps.to_vec();
+    set.dedup();
+    loop {
+        let mut merged = false;
+        'outer: for a_idx in 0..set.len() {
+            for b_idx in a_idx + 1..set.len() {
+                let (a, b) = (set[a_idx], set[b_idx]);
+                if a.excite != b.excite
+                    || a.observe != b.observe
+                    || a.kind != b.kind
+                    || a.immediate != b.immediate
+                    || a.pre_read != b.pre_read
+                {
+                    continue;
+                }
+                let same_i = a.init.i == b.init.i;
+                let same_j = a.init.j == b.init.j;
+                let mergeable = (same_i
+                    && a.init.j.is_known()
+                    && b.init.j.is_known()
+                    && a.init.j != b.init.j)
+                    || (same_j
+                        && a.init.i.is_known()
+                        && b.init.i.is_known()
+                        && a.init.i != b.init.i);
+                if mergeable {
+                    let init = if same_i {
+                        PairState::new(a.init.i, Tri::X)
+                    } else {
+                        PairState::new(Tri::X, a.init.j)
+                    };
+                    let merged_tp = TestPattern { init, ..a };
+                    set.remove(b_idx);
+                    set.remove(a_idx);
+                    set.push(merged_tp);
+                    merged = true;
+                    break 'outer;
+                }
+            }
+        }
+        if !merged {
+            return dedupe_subsumed(&set);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tp1() -> TestPattern {
+        // Paper f.2.3 example: TP1 = (01, w1i, r1j) for CFid ⟨↑,0⟩.
+        TestPattern::pair(
+            PairState::new(Tri::Zero, Tri::One),
+            MemOp::write(Cell::I, Bit::One),
+            Observation::Read { cell: Cell::J, expected: Bit::One },
+        )
+    }
+
+    fn tp2() -> TestPattern {
+        // TP2 = (10, w1j, r1i).
+        TestPattern::pair(
+            PairState::new(Tri::One, Tri::Zero),
+            MemOp::write(Cell::J, Bit::One),
+            Observation::Read { cell: Cell::I, expected: Bit::One },
+        )
+    }
+
+    #[test]
+    fn paper_tp_examples_are_consistent_mirrors() {
+        assert!(tp1().is_consistent());
+        assert!(tp2().is_consistent());
+        assert_eq!(tp1().mirrored(), tp2());
+        assert_eq!(tp2().mirrored(), tp1());
+    }
+
+    #[test]
+    fn obs_state_follows_good_machine() {
+        // TP1: init 01, excite w1i → obs state 11.
+        assert_eq!(tp1().obs_state(), PairState::new(Tri::One, Tri::One));
+        // A read excitation leaves the state unchanged.
+        let read_tp = TestPattern::pair(
+            PairState::new(Tri::Zero, Tri::One),
+            MemOp::read(Cell::J),
+            Observation::SelfRead { expected: Bit::One },
+        );
+        assert_eq!(read_tp.obs_state(), read_tp.init);
+    }
+
+    #[test]
+    fn subsumption_tf_over_saf() {
+        let saf0 = TestPattern::single(
+            Tri::X,
+            MemOp::write(Cell::I, Bit::One),
+            Observation::Read { cell: Cell::I, expected: Bit::One },
+        );
+        let tf_up = TestPattern::single(
+            Tri::Zero,
+            MemOp::write(Cell::I, Bit::One),
+            Observation::Read { cell: Cell::I, expected: Bit::One },
+        );
+        assert!(tf_up.subsumes(&saf0));
+        assert!(!saf0.subsumes(&tf_up));
+        assert!(tf_up.subsumes(&tf_up));
+        let deduped = dedupe_subsumed(&[saf0, tf_up]);
+        assert_eq!(deduped, vec![tf_up]);
+    }
+
+    #[test]
+    fn dedupe_keeps_unrelated_tps() {
+        let deduped = dedupe_subsumed(&[tp1(), tp2(), tp1()]);
+        assert_eq!(deduped.len(), 2);
+    }
+
+    #[test]
+    fn generalize_merges_one_bit_difference() {
+        let a = TestPattern::pair(
+            PairState::new(Tri::Zero, Tri::Zero),
+            MemOp::write(Cell::I, Bit::One),
+            Observation::Read { cell: Cell::I, expected: Bit::One },
+        );
+        let b = TestPattern::pair(
+            PairState::new(Tri::Zero, Tri::One),
+            MemOp::write(Cell::I, Bit::One),
+            Observation::Read { cell: Cell::I, expected: Bit::One },
+        );
+        let g = generalize(&[a, b]);
+        assert_eq!(g.len(), 1);
+        assert_eq!(g[0].init, PairState::new(Tri::Zero, Tri::X));
+    }
+
+    #[test]
+    fn consistency_rejects_wrong_expectations() {
+        // Observing j with expected 0 after an init that sets j=1 (and an
+        // excitation that does not touch j) is inconsistent.
+        let bad = TestPattern::pair(
+            PairState::new(Tri::Zero, Tri::One),
+            MemOp::write(Cell::I, Bit::One),
+            Observation::Read { cell: Cell::J, expected: Bit::Zero },
+        );
+        assert!(!bad.is_consistent());
+        // Observing an unconstrained cell is inconsistent too.
+        let vague = TestPattern::pair(
+            PairState::new(Tri::Zero, Tri::X),
+            MemOp::write(Cell::I, Bit::One),
+            Observation::Read { cell: Cell::J, expected: Bit::Zero },
+        );
+        assert!(!vague.is_consistent());
+    }
+
+    #[test]
+    fn single_cell_shape_enforced() {
+        let ok = TestPattern::single(
+            Tri::Zero,
+            MemOp::write(Cell::I, Bit::One),
+            Observation::Read { cell: Cell::I, expected: Bit::One },
+        );
+        assert!(ok.is_consistent());
+        let bad = TestPattern {
+            kind: TpKind::SingleCell,
+            ..tp1() // pair TP masquerading as single-cell
+        };
+        assert!(!bad.is_consistent());
+    }
+
+    #[test]
+    fn complement_involutive() {
+        for tp in [tp1(), tp2()] {
+            assert_eq!(tp.complement().complement(), tp);
+            assert!(tp.complement().is_consistent());
+        }
+    }
+
+    #[test]
+    fn display_matches_paper_style() {
+        assert_eq!(tp1().to_string(), "(01, w1i, r1j)");
+        let sof = TestPattern::single(
+            Tri::Zero,
+            MemOp::write(Cell::I, Bit::One),
+            Observation::Read { cell: Cell::I, expected: Bit::One },
+        )
+        .with_immediate()
+        .with_pre_read();
+        assert_eq!(sof.to_string(), "(0-, w1i, r1i)!^");
+    }
+}

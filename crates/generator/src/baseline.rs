@@ -1,0 +1,177 @@
+//! The prior-art baseline the paper improves on: **bounded exhaustive
+//! March test search** in the style of van de Goor & Smit's transition
+//! tree (\[2\]–\[4\] in the paper).
+//!
+//! The search enumerates March tests directly — per-cell operation by
+//! operation, with element-boundary and direction decisions — pruning
+//! read-inconsistent prefixes, and asks the fault simulator whether each
+//! complete candidate covers the target list. As §2 of the paper notes,
+//! the tree is unbounded, so a complexity bound must be imposed and the
+//! node count explodes exponentially with it; the benchmark harness
+//! measures exactly that blow-up against the ATSP pipeline.
+
+use marchgen_faults::FaultModel;
+use marchgen_march::{Direction, MarchElement, MarchOp, MarchTest};
+use marchgen_model::Bit;
+use marchgen_sim::coverage::covers_all;
+
+/// Search statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Prefixes expanded (transition-tree nodes).
+    pub nodes: u64,
+    /// Complete candidates handed to the fault simulator.
+    pub simulated: u64,
+}
+
+/// Result of the exhaustive search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SearchResult {
+    /// The first minimal covering test found, if any exists within the
+    /// complexity bound.
+    pub test: Option<MarchTest>,
+    /// Search statistics.
+    pub stats: SearchStats,
+}
+
+/// Exhaustively searches for a March test of complexity ≤ `max_ops`
+/// covering `models` (verified on an `n = verify_cells` memory), visiting
+/// at most `node_cap` tree nodes.
+///
+/// Tests are enumerated in increasing complexity, so the first hit is
+/// minimal. Directions per element range over `⇑`, `⇓` and `⇕`.
+#[must_use]
+pub fn search(
+    models: &[FaultModel],
+    max_ops: usize,
+    verify_cells: usize,
+    node_cap: u64,
+) -> SearchResult {
+    let mut stats = SearchStats::default();
+    for budget in 1..=max_ops {
+        let mut state = Dfs {
+            models,
+            verify_cells,
+            node_cap,
+            stats: &mut stats,
+            budget,
+        };
+        let mut elements: Vec<MarchElement> = Vec::new();
+        if let Some(test) = state.extend(&mut elements, None, 0) {
+            return SearchResult { test: Some(test), stats };
+        }
+        if stats.nodes >= node_cap {
+            break;
+        }
+    }
+    SearchResult { test: None, stats }
+}
+
+struct Dfs<'a> {
+    models: &'a [FaultModel],
+    verify_cells: usize,
+    node_cap: u64,
+    stats: &'a mut SearchStats,
+    budget: usize,
+}
+
+impl Dfs<'_> {
+    /// Depth-first extension of the current partial test. `cur` is the
+    /// per-cell value so far; `used` the operations spent.
+    fn extend(
+        &mut self,
+        elements: &mut Vec<MarchElement>,
+        cur: Option<Bit>,
+        used: usize,
+    ) -> Option<MarchTest> {
+        if self.stats.nodes >= self.node_cap {
+            return None;
+        }
+        self.stats.nodes += 1;
+        if used == self.budget {
+            let candidate = MarchTest::new(elements.clone());
+            if candidate.check_consistency().is_err() {
+                return None;
+            }
+            self.stats.simulated += 1;
+            if covers_all(&candidate, self.models, self.verify_cells) {
+                return Some(candidate);
+            }
+            return None;
+        }
+        // Candidate next operations: reads must match the running value;
+        // writes are free. (The consistency pruning of the transition
+        // tree.)
+        let mut ops: Vec<MarchOp> = Vec::with_capacity(3);
+        if let Some(v) = cur {
+            ops.push(MarchOp::Read(v));
+        }
+        ops.push(MarchOp::Write(Bit::Zero));
+        ops.push(MarchOp::Write(Bit::One));
+        for op in ops {
+            let next = match op {
+                MarchOp::Write(d) => Some(d),
+                _ => cur,
+            };
+            // Same element...
+            if let Some(last) = elements.last_mut() {
+                last.ops.push(op);
+                if let Some(t) = self.extend(elements, next, used + 1) {
+                    return Some(t);
+                }
+                elements.last_mut().expect("non-empty").ops.pop();
+            }
+            // ...or a new element, in each direction.
+            for dir in [Direction::Up, Direction::Down, Direction::Any] {
+                elements.push(MarchElement::new(dir, vec![op]));
+                if let Some(t) = self.extend(elements, next, used + 1) {
+                    return Some(t);
+                }
+                elements.pop();
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use marchgen_faults::parse_fault_list;
+
+    #[test]
+    fn finds_the_minimal_saf_test() {
+        let models = parse_fault_list("SAF").unwrap();
+        let result = search(&models, 4, 3, 2_000_000);
+        let test = result.test.expect("a 4n SAF test exists");
+        assert_eq!(test.complexity(), 4);
+        assert!(covers_all(&test, &models, 3));
+        assert!(result.stats.nodes > 0);
+    }
+
+    #[test]
+    fn respects_the_node_cap() {
+        let models = parse_fault_list("SAF, TF").unwrap();
+        let result = search(&models, 6, 3, 500);
+        assert!(result.stats.nodes <= 501);
+        assert_eq!(result.test, None);
+    }
+
+    #[test]
+    fn infeasible_budget_returns_none() {
+        let models = parse_fault_list("SAF").unwrap();
+        let result = search(&models, 3, 3, 1_000_000);
+        assert_eq!(result.test, None, "SAF needs 4 operations");
+    }
+
+    #[test]
+    fn node_counts_grow_exponentially() {
+        // The §2 claim: the transition tree explodes with the bound.
+        // Compare fully exhausted (solution-free) searches so early
+        // termination cannot mask the growth.
+        let models = parse_fault_list("SAF").unwrap();
+        let shallow = search(&models, 2, 3, u64::MAX).stats.nodes;
+        let deep = search(&models, 3, 3, u64::MAX).stats.nodes;
+        assert!(deep > shallow * 4, "shallow={shallow} deep={deep}");
+    }
+}

@@ -1,0 +1,178 @@
+//! The **Global Test Sequence**: the literal two-cell operation string a
+//! TP tour induces (paper Section 4) — initialization writes, each TP's
+//! excitation and observation, and the bridging writes of every arc.
+//!
+//! The GTS is the intermediate artifact of the paper's worked example:
+//!
+//! ```text
+//! GTS = w0i, w0j, w1i, r0j, w1j, r1i, w0i, w0j, w1j, r0i, w1i, r1j
+//! ```
+//!
+//! The March constructor ([`crate::schedule`]) consumes the *tour*, not
+//! this string, but the GTS is exposed for inspection, for the worked
+//! example reproduction and for the op-count accounting (f.4.3).
+
+use marchgen_faults::{Observation, TestPattern};
+use marchgen_model::{Bit, Cell, MemOp, PairState};
+use std::fmt;
+
+/// One GTS operation: a two-cell memory operation, optionally a
+/// *read-and-verify* with its expected value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GtsOp {
+    /// The memory operation.
+    pub op: MemOp,
+    /// Expected value for read-and-verify operations.
+    pub verify: Option<Bit>,
+    /// Which tour TP produced the op (`None` for bridge/init writes).
+    pub tp_index: Option<usize>,
+}
+
+impl fmt::Display for GtsOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.op, self.verify) {
+            (MemOp::Read(c), Some(d)) => write!(f, "r{d}{c}"),
+            (op, _) => write!(f, "{op}"),
+        }
+    }
+}
+
+/// A Global Test Sequence.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Gts {
+    ops: Vec<GtsOp>,
+}
+
+impl Gts {
+    /// Builds the GTS of a TP tour: power-up initialization of the first
+    /// TP, then for each TP the bridge writes from the previous
+    /// observation state, the excitation and the observation.
+    #[must_use]
+    pub fn from_tour(tour: &[TestPattern]) -> Gts {
+        let mut ops = Vec::new();
+        let mut state = PairState::UNKNOWN;
+        for (k, tp) in tour.iter().enumerate() {
+            for w in state.writes_to(&tp.init) {
+                ops.push(GtsOp { op: w, verify: None, tp_index: None });
+                if let MemOp::Write(c, d) = w {
+                    state = state.with(c, d.into());
+                }
+            }
+            ops.push(GtsOp {
+                op: tp.excite,
+                verify: match tp.observe {
+                    Observation::SelfRead { expected } => Some(expected),
+                    Observation::Read { .. } => None,
+                },
+                tp_index: Some(k),
+            });
+            if let MemOp::Write(c, d) = tp.excite {
+                state = state.with(c, d.into());
+            }
+            if let Observation::Read { cell, expected } = tp.observe {
+                ops.push(GtsOp {
+                    op: MemOp::read(cell),
+                    verify: Some(expected),
+                    tp_index: Some(k),
+                });
+            }
+        }
+        Gts { ops }
+    }
+
+    /// The operations in order.
+    #[must_use]
+    pub fn ops(&self) -> &[GtsOp] {
+        &self.ops
+    }
+
+    /// Number of operations (the f.4.3 objective realized).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// `true` when empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Number of operations addressing `cell`.
+    #[must_use]
+    pub fn ops_on(&self, cell: Cell) -> usize {
+        self.ops.iter().filter(|o| o.op.cell() == Some(cell)).count()
+    }
+}
+
+impl fmt::Display for Gts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (k, op) in self.ops.iter().enumerate() {
+            if k > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{op}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use marchgen_faults::{parse_fault_list, requirements_for};
+
+    fn section4_tps() -> Vec<TestPattern> {
+        let mut tps = Vec::new();
+        for token in ["CFid<u,0>", "CFid<u,1>"] {
+            let models = parse_fault_list(token).unwrap();
+            for r in requirements_for(&models) {
+                tps.push(r.alternatives[0]);
+            }
+        }
+        tps // [TP1, TP2, TP3, TP4] in paper numbering
+    }
+
+    /// The paper's §4 GTS for the tour TP3 → TP2 → TP4 → TP1:
+    /// `w0i, w0j, w1i, r0j, w1j, r1i, w0i, w0j, w1j, r0i, w1i, r1j`.
+    #[test]
+    fn section4_worked_example_gts() {
+        let tps = section4_tps();
+        let tour = vec![tps[2], tps[1], tps[3], tps[0]];
+        let gts = Gts::from_tour(&tour);
+        assert_eq!(
+            gts.to_string(),
+            "w0i, w0j, w1i, r0j, w1j, r1i, w0i, w0j, w1j, r0i, w1i, r1j"
+        );
+        assert_eq!(gts.len(), 12);
+    }
+
+    #[test]
+    fn zero_weight_arcs_add_no_bridges() {
+        let tps = section4_tps();
+        // TP4 → TP1 has weight 0: no writes between r0i and w1i.
+        let tour = vec![tps[3], tps[0]];
+        let gts = Gts::from_tour(&tour);
+        // init (w0i, w0j) + w1j + r0i + w1i + r1j
+        assert_eq!(gts.len(), 6);
+    }
+
+    #[test]
+    fn self_read_tps_merge_excite_and_observe() {
+        let models = parse_fault_list("ADF<r>").unwrap();
+        let tp = requirements_for(&models)[0].alternatives[0];
+        let gts = Gts::from_tour(&[tp]);
+        // init both cells + one read-and-verify
+        assert_eq!(gts.len(), 3);
+        let last = gts.ops().last().unwrap();
+        assert!(last.verify.is_some());
+    }
+
+    #[test]
+    fn op_distribution_by_cell() {
+        let tps = section4_tps();
+        let tour = vec![tps[2], tps[1], tps[3], tps[0]];
+        let gts = Gts::from_tour(&tour);
+        assert_eq!(gts.ops_on(Cell::I) + gts.ops_on(Cell::J), 12);
+    }
+}

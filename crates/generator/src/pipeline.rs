@@ -1,0 +1,381 @@
+//! The end-to-end generation pipeline (paper Sections 4–6): fault list →
+//! requirements → class combinations → TPG/ATSP tours → March
+//! construction → simulator verification → minimal verified test.
+
+use crate::gts::Gts;
+use crate::schedule::schedule_tour;
+use marchgen_faults::{
+    dedupe_subsumed, parse_fault_list, requirements_for, CoverageRequirement, FaultModel,
+    ParseFaultError, TestPattern,
+};
+use marchgen_march::MarchTest;
+use marchgen_sim::coverage::{coverage_report, CoverageReport};
+use marchgen_sim::redundancy;
+use marchgen_tpg::{plan_tour, StartPolicy, Tpg};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Why generation failed outright (verification shortfalls are reported
+/// in [`Outcome::verified`] instead, with the best candidate attached).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GenerateError {
+    /// The fault list expanded to no coverage requirement.
+    EmptyFaultList,
+    /// No tour could be scheduled into a consistent March test.
+    NoCandidate,
+}
+
+impl fmt::Display for GenerateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GenerateError::EmptyFaultList => f.write_str("the fault list is empty"),
+            GenerateError::NoCandidate => {
+                f.write_str("no tour could be scheduled into a march test")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GenerateError {}
+
+/// The result of a generator run.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// The best March test found.
+    pub test: MarchTest,
+    /// The tour it was built from.
+    pub tour: Vec<TestPattern>,
+    /// The tour's Global Test Sequence (paper §4 intermediate).
+    pub gts: Gts,
+    /// `true` when the fault simulator confirmed full coverage of every
+    /// requested model (always checked unless `verify_cells` is 0).
+    pub verified: bool,
+    /// Simulator coverage report (present when verification ran).
+    pub report: Option<CoverageReport>,
+    /// Operational non-redundancy (present when requested): no single
+    /// operation can be deleted without losing coverage.
+    pub non_redundant: Option<bool>,
+    /// Distinct March candidates constructed across tours/combinations.
+    pub candidates: usize,
+    /// Equivalence-class combinations examined (the paper's `E`).
+    pub combinations: usize,
+}
+
+/// The configurable generation pipeline.
+///
+/// ```
+/// use marchgen_generator::Generator;
+///
+/// let outcome = Generator::from_fault_list("SAF, TF").unwrap().run().unwrap();
+/// assert_eq!(outcome.test.complexity(), 5); // Table 3 row 2: MATS+ class
+/// ```
+#[derive(Debug, Clone)]
+pub struct Generator {
+    models: Vec<FaultModel>,
+    start_policy: StartPolicy,
+    tour_cap: usize,
+    verify_cells: usize,
+    compact: bool,
+    check_redundancy: bool,
+    max_combinations: usize,
+}
+
+impl Generator {
+    /// A generator for the given fault models with the paper's default
+    /// configuration (uniform-start constraint f.4.4, all-optimal-tour
+    /// enumeration, simulator verification on a 4-cell memory,
+    /// minimization to non-redundancy).
+    #[must_use]
+    pub fn new(models: Vec<FaultModel>) -> Generator {
+        Generator {
+            models,
+            start_policy: StartPolicy::Uniform,
+            tour_cap: 64,
+            verify_cells: 4,
+            compact: true,
+            check_redundancy: false,
+            max_combinations: 4096,
+        }
+    }
+
+    /// Parses a textual fault list (see
+    /// [`parse_fault_list`](marchgen_faults::parse_fault_list)).
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse error of the first invalid token.
+    pub fn from_fault_list(list: &str) -> Result<Generator, ParseFaultError> {
+        Ok(Generator::new(parse_fault_list(list)?))
+    }
+
+    /// Overrides the f.4.4 start policy (ablation hook).
+    #[must_use]
+    pub fn start_policy(mut self, policy: StartPolicy) -> Generator {
+        self.start_policy = policy;
+        self
+    }
+
+    /// Caps the number of optimal tours tried per combination.
+    #[must_use]
+    pub fn tour_cap(mut self, cap: usize) -> Generator {
+        self.tour_cap = cap.max(1);
+        self
+    }
+
+    /// Memory size for simulator verification; `0` disables verification
+    /// (and compaction).
+    #[must_use]
+    pub fn verify_cells(mut self, n: usize) -> Generator {
+        self.verify_cells = n;
+        self
+    }
+
+    /// Enables/disables the simulator-guided minimization pass (Table 2's
+    /// role; on by default).
+    #[must_use]
+    pub fn compact(mut self, on: bool) -> Generator {
+        self.compact = on;
+        self
+    }
+
+    /// Also run the operation-deletion non-redundancy check on the final
+    /// test (off by default; it is implied `true` when compaction ran).
+    #[must_use]
+    pub fn check_redundancy(mut self, on: bool) -> Generator {
+        self.check_redundancy = on;
+        self
+    }
+
+    /// The fault models targeted.
+    #[must_use]
+    pub fn models(&self) -> &[FaultModel] {
+        &self.models
+    }
+
+    /// Runs the pipeline.
+    ///
+    /// # Errors
+    ///
+    /// [`GenerateError::EmptyFaultList`] for an empty expansion,
+    /// [`GenerateError::NoCandidate`] when no tour schedules (does not
+    /// happen for the built-in catalog).
+    pub fn run(&self) -> Result<Outcome, GenerateError> {
+        let requirements = requirements_for(&self.models);
+        if requirements.is_empty() {
+            return Err(GenerateError::EmptyFaultList);
+        }
+
+        // Enumerate class combinations (paper §5: E = Π |Ci|), memoizing
+        // on the post-subsumption TP set: choices that collapse to the
+        // same set solve the same ATSP.
+        let mut seen_sets: BTreeMap<Vec<TestPattern>, ()> = BTreeMap::new();
+        let mut candidates: Vec<(MarchTest, Vec<TestPattern>)> = Vec::new();
+        let mut combinations = 0usize;
+        let mut constructed = 0usize;
+        for combo in ClassCombinations::new(&requirements).take(self.max_combinations) {
+            combinations += 1;
+            let mut tps = dedupe_subsumed(&combo);
+            tps.sort();
+            if seen_sets.insert(tps.clone(), ()).is_some() {
+                continue;
+            }
+            let tpg = Tpg::new(tps.clone());
+            for plan in plan_tour(&tpg, self.start_policy, self.tour_cap) {
+                let tour: Vec<TestPattern> =
+                    plan.order.iter().map(|&k| tps[k]).collect();
+                if let Ok(test) = schedule_tour(&tour) {
+                    if test.check_consistency().is_ok() {
+                        constructed += 1;
+                        candidates.push((test, tour));
+                    }
+                }
+            }
+        }
+        if candidates.is_empty() {
+            return Err(GenerateError::NoCandidate);
+        }
+
+        // Shortest first; deduplicate identical tests.
+        candidates.sort_by_key(|(t, _)| (t.complexity(), t.element_count()));
+        candidates.dedup_by(|a, b| a.0 == b.0);
+
+        if self.verify_cells == 0 {
+            let (test, tour) = candidates.swap_remove(0);
+            let gts = Gts::from_tour(&tour);
+            return Ok(Outcome {
+                test,
+                tour,
+                gts,
+                verified: false,
+                report: None,
+                non_redundant: None,
+                candidates: constructed,
+                combinations,
+            });
+        }
+
+        let n = self.verify_cells;
+        let mut fallback: Option<(MarchTest, Vec<TestPattern>)> = None;
+        for (test, tour) in &candidates {
+            let report = coverage_report(test, &self.models, n);
+            if report.complete() {
+                let final_test = if self.compact {
+                    redundancy::compact(test, &self.models, n)
+                } else {
+                    test.clone()
+                };
+                let report = coverage_report(&final_test, &self.models, n);
+                let non_redundant = if self.compact || self.check_redundancy {
+                    Some(redundancy::is_non_redundant(&final_test, &self.models, n))
+                } else {
+                    None
+                };
+                return Ok(Outcome {
+                    test: final_test,
+                    tour: tour.clone(),
+                    gts: Gts::from_tour(tour),
+                    verified: true,
+                    report: Some(report),
+                    non_redundant,
+                    candidates: constructed,
+                    combinations,
+                });
+            }
+            if fallback.is_none() {
+                fallback = Some((test.clone(), tour.clone()));
+            }
+        }
+
+        // No candidate verified — report the best one honestly.
+        let (test, tour) = fallback.expect("candidates non-empty");
+        let report = coverage_report(&test, &self.models, n);
+        Ok(Outcome {
+            test,
+            tour: tour.clone(),
+            gts: Gts::from_tour(&tour),
+            verified: false,
+            report: Some(report),
+            non_redundant: None,
+            candidates: constructed,
+            combinations,
+        })
+    }
+}
+
+/// Iterator over the cartesian product of requirement alternatives.
+struct ClassCombinations<'a> {
+    requirements: &'a [CoverageRequirement],
+    indices: Vec<usize>,
+    done: bool,
+}
+
+impl<'a> ClassCombinations<'a> {
+    fn new(requirements: &'a [CoverageRequirement]) -> ClassCombinations<'a> {
+        ClassCombinations {
+            requirements,
+            indices: vec![0; requirements.len()],
+            done: requirements.is_empty(),
+        }
+    }
+}
+
+impl Iterator for ClassCombinations<'_> {
+    type Item = Vec<TestPattern>;
+
+    fn next(&mut self) -> Option<Vec<TestPattern>> {
+        if self.done {
+            return None;
+        }
+        let combo: Vec<TestPattern> = self
+            .requirements
+            .iter()
+            .zip(&self.indices)
+            .map(|(r, &k)| r.alternatives[k])
+            .collect();
+        // Advance the mixed-radix counter.
+        let mut pos = self.indices.len();
+        loop {
+            if pos == 0 {
+                self.done = true;
+                break;
+            }
+            pos -= 1;
+            self.indices[pos] += 1;
+            if self.indices[pos] < self.requirements[pos].alternatives.len() {
+                break;
+            }
+            self.indices[pos] = 0;
+        }
+        Some(combo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn combination_count_is_product_of_cardinalities() {
+        let reqs = requirements_for(&parse_fault_list("CFin<u>").unwrap());
+        // two classes of two alternatives → E = 4 (paper §5)
+        let combos: Vec<_> = ClassCombinations::new(&reqs).collect();
+        assert_eq!(combos.len(), 4);
+    }
+
+    #[test]
+    fn empty_fault_list_rejected() {
+        let err = Generator::new(Vec::new()).run().unwrap_err();
+        assert_eq!(err, GenerateError::EmptyFaultList);
+    }
+
+    /// Table 3 row 1: SAF → 4n, verified and non-redundant.
+    #[test]
+    fn table3_row1_saf() {
+        let out = Generator::from_fault_list("SAF").unwrap().run().unwrap();
+        assert!(out.verified, "coverage report: {:?}", out.report);
+        assert_eq!(out.test.complexity(), 4, "{}", out.test);
+        assert_eq!(out.non_redundant, Some(true));
+    }
+
+    /// Table 3 row 2: SAF + TF → 5n (MATS+ class).
+    #[test]
+    fn table3_row2_saf_tf() {
+        let out = Generator::from_fault_list("SAF, TF").unwrap().run().unwrap();
+        assert!(out.verified);
+        assert_eq!(out.test.complexity(), 5, "{}", out.test);
+    }
+
+    /// The §4 example fault list: 8n.
+    #[test]
+    fn section4_example_8n() {
+        let out = Generator::from_fault_list("CFid<u,0>, CFid<u,1>")
+            .unwrap()
+            .run()
+            .unwrap();
+        assert!(out.verified);
+        assert_eq!(out.test.complexity(), 8, "{}", out.test);
+    }
+
+    /// Table 3 row 6: {CFid<↑,1>, CFid<↓,1>} → 5n.
+    #[test]
+    fn table3_row6_cfid_pair() {
+        let out = Generator::from_fault_list("CFid<u,1>, CFid<d,1>")
+            .unwrap()
+            .run()
+            .unwrap();
+        assert!(out.verified);
+        assert_eq!(out.test.complexity(), 5, "{}", out.test);
+    }
+
+    #[test]
+    fn unverified_mode_still_returns_a_candidate() {
+        let out = Generator::from_fault_list("SAF")
+            .unwrap()
+            .verify_cells(0)
+            .run()
+            .unwrap();
+        assert!(!out.verified);
+        assert!(out.report.is_none());
+        assert_eq!(out.test.complexity(), 4);
+    }
+}

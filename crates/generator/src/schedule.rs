@@ -1,0 +1,618 @@
+//! The GTS → March conversion: our reconstruction of the paper's
+//! reordering / minimization / March-generation rewrite phases
+//! (§4.1–§4.3, Tables 1–2, Rules 1–5).
+//!
+//! # The reconstruction (see also DESIGN.md)
+//!
+//! The archived paper's rewrite tables are OCR-mangled, but the §4 worked
+//! example pins the semantics down completely. Decoding its intermediate
+//! strings shows that the minimized `GTS_M` is exactly the **per-cell
+//! operation sequence** of the final March test, with the `i`/`j` tags
+//! denoting which *sweep phase* (ascending or descending) realizes each
+//! operation's coupling role, and the Red/Blue colors marking coupling
+//! excitations and their cross-element observation reads. The three
+//! phases then amount to:
+//!
+//! * **Reordering** — placing each TP's operations into the per-cell
+//!   schedule so that the March semantics realize `(I, E, O)`: an
+//!   element's leading read observes the pre-element value at every cell
+//!   the sweep has not reached yet, so an *aggressor-first* TP fits
+//!   inside one element (excite at the aggressor, observe via the same
+//!   element's leading read at the victim) while an *aggressor-second*
+//!   TP excites at the end of one element and observes with the leading
+//!   read of the next (the Red/Blue pair of Rule 2).
+//! * **Minimization** — operation sharing: phase-duplicate writes merge
+//!   into a single March operation (`ŵdⁱ ŵdʲ → ŵdⁱ` of Table 2), one
+//!   write excites several TPs, one read serves as observation of
+//!   several TPs and as the verify of the next element.
+//! * **March generation** — element boundaries fall where the schedule
+//!   opens a new leading read (Rule 1), Red/Blue-marked elements take
+//!   their phase's direction (Rules 3–4), unmarked elements are order
+//!   free (`⇕`, Rule 5's "c").
+//!
+//! On the worked example this reproduces the paper's intermediate
+//! `GTS_M = ŵ0 r̂0 [ŵ1]_R [r̂1]_B ŵ0 r̂0 [ŵ1]_R [r̂1]_B` and the final 8n
+//! test `⇑(w0) ⇑(r0,w1) ⇑(r1,w0) ⇓(r0,w1) ⇓(r1)` exactly (the leading
+//! background element is emitted as `⇕`, which subsumes the paper's `⇑`).
+
+use marchgen_faults::{Observation, TestPattern, TpKind};
+use marchgen_march::{Direction, MarchElement, MarchOp, MarchTest};
+use marchgen_model::{Bit, Cell, MemOp};
+use std::fmt;
+
+/// Why a tour could not be scheduled.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// A read would disagree with the fault-free per-cell value — the TP
+    /// sequence is internally inconsistent.
+    InconsistentRead {
+        /// The value the read expects.
+        expected: Bit,
+        /// The per-cell value at that point, if initialized.
+        actual: Option<Bit>,
+    },
+    /// Two coupling TPs forced opposite sweep directions onto one
+    /// element.
+    PhaseConflict,
+    /// A TP requires a known initialization the schedule cannot provide
+    /// (e.g. a pre-read on a cell whose value is still unknown).
+    UnknownValue,
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::InconsistentRead { expected, actual } => write!(
+                f,
+                "inconsistent read: expected {expected}, per-cell value is {}",
+                actual.map_or("unknown".to_string(), |b| b.to_string())
+            ),
+            ScheduleError::PhaseConflict => {
+                f.write_str("conflicting sweep directions on one march element")
+            }
+            ScheduleError::UnknownValue => {
+                f.write_str("operation requires a cell value that is still unknown")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+/// One scheduled per-cell operation with its pre-value and color mark.
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    op: MarchOp,
+    /// Per-cell value before this operation.
+    pre: Option<Bit>,
+}
+
+/// An element under construction.
+#[derive(Debug, Clone)]
+struct Elem {
+    ops: Vec<Slot>,
+    /// Per-cell value when the element starts.
+    start: Option<Bit>,
+    /// Sweep-phase mark from Red/Blue colored operations.
+    mark: Option<Direction>,
+}
+
+impl Elem {
+    fn new(start: Option<Bit>) -> Elem {
+        Elem { ops: Vec::new(), start, mark: None }
+    }
+
+    fn first_op(&self) -> Option<MarchOp> {
+        self.ops.first().map(|s| s.op)
+    }
+
+    fn last_op(&self) -> Option<MarchOp> {
+        self.ops.last().map(|s| s.op)
+    }
+
+    fn set_mark(&mut self, mark: Option<Direction>) -> Result<(), ScheduleError> {
+        match (self.mark, mark) {
+            (_, None) => Ok(()),
+            (None, m) => {
+                self.mark = m;
+                Ok(())
+            }
+            (Some(a), Some(b)) if a == b => Ok(()),
+            _ => Err(ScheduleError::PhaseConflict),
+        }
+    }
+}
+
+/// A pending observation read: registered when an excitation is placed,
+/// discharged by the next matching read (which opens the next element for
+/// cross-element observations).
+#[derive(Debug, Clone, Copy)]
+struct Pending {
+    expected: Bit,
+    /// Blue mark: the phase whose direction the observing element takes.
+    mark: Option<Direction>,
+}
+
+#[derive(Debug)]
+struct Builder {
+    closed: Vec<Elem>,
+    open: Option<Elem>,
+    cur: Option<Bit>,
+    phase: Direction,
+    pendings: Vec<Pending>,
+    /// Whether the most recently closed element may still host a shared
+    /// cross-excitation (no operation appended since it closed).
+    last_closed_sharable: bool,
+}
+
+impl Builder {
+    fn new() -> Builder {
+        Builder {
+            closed: Vec::new(),
+            open: None,
+            cur: None,
+            phase: Direction::Up,
+            pendings: Vec::new(),
+            last_closed_sharable: false,
+        }
+    }
+
+    fn open_mut(&mut self) -> &mut Elem {
+        if self.open.is_none() {
+            self.open = Some(Elem::new(self.cur));
+        }
+        self.open.as_mut().expect("just ensured")
+    }
+
+    fn close(&mut self) {
+        if let Some(e) = self.open.take() {
+            if !e.ops.is_empty() {
+                self.closed.push(e);
+                self.last_closed_sharable = true;
+            }
+        }
+    }
+
+    /// Appends a write, discharging pending observations first.
+    fn push_write(&mut self, value: Bit, mark: Option<Direction>) -> Result<(), ScheduleError> {
+        self.discharge_pendings()?;
+        let pre = self.cur;
+        let elem = self.open_mut();
+        elem.ops.push(Slot { op: MarchOp::Write(value), pre });
+        elem.set_mark(mark)?;
+        self.cur = Some(value);
+        self.last_closed_sharable = false;
+        Ok(())
+    }
+
+    /// Appends a read-and-verify; it discharges every pending observation
+    /// (they all expect the current per-cell value by construction).
+    fn push_read(&mut self, expected: Bit, mark: Option<Direction>) -> Result<(), ScheduleError> {
+        if self.cur != Some(expected) {
+            return Err(ScheduleError::InconsistentRead { expected, actual: self.cur });
+        }
+        let mut mark = mark;
+        for p in std::mem::take(&mut self.pendings) {
+            debug_assert_eq!(p.expected, expected, "pending invariant");
+            if mark.is_none() {
+                mark = p.mark;
+            }
+        }
+        let pre = self.cur;
+        let elem = self.open_mut();
+        elem.ops.push(Slot { op: MarchOp::Read(expected), pre });
+        elem.set_mark(mark)?;
+        self.last_closed_sharable = false;
+        Ok(())
+    }
+
+    /// Emits the pending observation reads (each opens a fresh element if
+    /// none is open — the cross-element observation shape).
+    fn discharge_pendings(&mut self) -> Result<(), ScheduleError> {
+        if self.pendings.is_empty() {
+            return Ok(());
+        }
+        let expected = self.pendings[0].expected;
+        self.push_read(expected, None)
+    }
+
+    /// Brings the per-cell value to `value` (no-op when already there or
+    /// when `value` is unconstrained).
+    fn ensure_value(&mut self, value: Option<Bit>) -> Result<(), ScheduleError> {
+        match value {
+            Some(v) if self.cur != Some(v) => self.push_write(v, None),
+            _ => Ok(()),
+        }
+    }
+
+    fn finish(mut self) -> Result<MarchTest, ScheduleError> {
+        self.discharge_pendings()?;
+        self.close();
+        let elements: Vec<MarchElement> = self
+            .closed
+            .into_iter()
+            .filter(|e| !e.ops.is_empty())
+            .map(|e| {
+                MarchElement::new(
+                    e.mark.unwrap_or(Direction::Any),
+                    e.ops.iter().map(|s| s.op).collect::<Vec<_>>(),
+                )
+            })
+            .collect();
+        Ok(MarchTest::new(elements))
+    }
+}
+
+/// The placement a pair TP gets in the current schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Placement {
+    /// Reuse an existing excitation operation (cost 0 + possible close
+    /// fix).
+    ShareCross { phase: Direction, fix_close: bool },
+    /// Aggressor is swept first: excite inside an element whose leading
+    /// read observes the victim.
+    Within { phase: Direction },
+    /// Aggressor is swept second: excite at the element end, observe with
+    /// the next element's leading read.
+    AppendCross { phase: Direction },
+}
+
+/// Converts a TP tour into a March test (the §4.1–4.3 phases).
+///
+/// # Errors
+///
+/// Returns [`ScheduleError`] when the tour cannot form a consistent March
+/// test (the pipeline then skips this tour).
+pub fn schedule_tour(tour: &[TestPattern]) -> Result<MarchTest, ScheduleError> {
+    let mut b = Builder::new();
+    for tp in tour {
+        match tp.kind {
+            TpKind::SingleCell => place_single(&mut b, tp)?,
+            TpKind::Pair => place_pair(&mut b, tp)?,
+        }
+    }
+    b.finish()
+}
+
+fn place_single(b: &mut Builder, tp: &TestPattern) -> Result<(), ScheduleError> {
+    let x = tp.init.i.bit();
+    match tp.excite {
+        MemOp::Write(_, d) => {
+            b.ensure_value(x)?;
+            if tp.pre_read {
+                let Some(v) = x.or(b.cur) else { return Err(ScheduleError::UnknownValue) };
+                if b.open.as_ref().and_then(Elem::last_op) != Some(MarchOp::Read(v)) {
+                    b.discharge_pendings()?;
+                    b.push_read(v, None)?;
+                }
+            }
+            b.push_write(d, None)?;
+            if tp.immediate {
+                b.push_read(d, None)?;
+            } else {
+                b.pendings.push(Pending { expected: d, mark: None });
+            }
+        }
+        MemOp::Read(_) => {
+            let Some(v) = x else { return Err(ScheduleError::UnknownValue) };
+            b.ensure_value(Some(v))?;
+            b.push_read(v, None)?;
+            if matches!(tp.observe, Observation::Read { .. }) {
+                // deceptive read faults: a second read catches the flip
+                b.pendings.push(Pending { expected: v, mark: None });
+            }
+        }
+        MemOp::Delay => {
+            let Some(v) = x else { return Err(ScheduleError::UnknownValue) };
+            b.ensure_value(Some(v))?;
+            b.discharge_pendings()?;
+            b.close();
+            b.closed.push(Elem {
+                ops: vec![Slot { op: MarchOp::Delay, pre: b.cur }],
+                start: b.cur,
+                mark: None,
+            });
+            b.last_closed_sharable = false;
+            b.pendings.push(Pending { expected: v, mark: None });
+        }
+    }
+    Ok(())
+}
+
+fn place_pair(b: &mut Builder, tp: &TestPattern) -> Result<(), ScheduleError> {
+    let aggr = tp.excite_cell();
+    let x_a = tp.init.get(aggr).bit();
+    let x_v = tp.init.get(aggr.other()).bit().ok_or(ScheduleError::UnknownValue)?;
+
+    let placement = choose_placement(b, tp, aggr, x_a, x_v);
+    match placement {
+        Placement::ShareCross { phase, fix_close } => {
+            if fix_close {
+                b.push_write(x_v, None)?;
+            }
+            // Mark the hosting element with the phase (it may have been
+            // built unmarked).
+            if let Some(e) = b.open.as_mut() {
+                e.set_mark(Some(phase))?;
+                b.close();
+            } else if let Some(e) = b.closed.last_mut() {
+                e.set_mark(Some(phase))?;
+            }
+            register_observation(b, tp, x_v, phase);
+        }
+        Placement::Within { phase } => {
+            let needs_leading_read = matches!(tp.observe, Observation::Read { .. });
+            let host_ok = |b: &Builder| -> bool {
+                b.phase == phase
+                    && match (&b.open, needs_leading_read) {
+                        (Some(e), true) => {
+                            e.first_op() == Some(MarchOp::Read(x_v))
+                                && e.start == Some(x_v)
+                                && (e.mark.is_none() || e.mark == Some(phase))
+                        }
+                        (Some(e), false) => {
+                            e.start == Some(x_v) && (e.mark.is_none() || e.mark == Some(phase))
+                        }
+                        (None, _) => false,
+                    }
+            };
+            if !host_ok(b) {
+                // A pending cross-observation read may open exactly the
+                // element this TP needs (its leading read then serves
+                // both TPs — the paper's operation sharing).
+                b.discharge_pendings()?;
+                if !host_ok(b) {
+                    // Arrange the pre-element value (bridge writes join
+                    // the element being closed — the paper's ⇑(r1,w0)
+                    // junction shape), close it, flip the sweep phase if
+                    // needed, then open the observation element.
+                    b.ensure_value(Some(x_v))?;
+                    b.close();
+                    b.phase = phase;
+                    if needs_leading_read {
+                        b.push_read(x_v, None)?;
+                    }
+                }
+            }
+            // When the host is reusable, its leading read doubles as this
+            // TP's observation — nothing to add.
+            if let Some(v) = x_a {
+                if b.cur != Some(v) {
+                    b.push_write(v, None)?;
+                }
+            }
+            match tp.excite {
+                MemOp::Write(_, d) => b.push_write(d, Some(phase))?,
+                MemOp::Read(_) => {
+                    let expected = tp.observe.expected();
+                    b.push_read(expected, Some(phase))?;
+                }
+                MemOp::Delay => return Err(ScheduleError::UnknownValue),
+            }
+        }
+        Placement::AppendCross { phase } => {
+            if b.phase != phase {
+                b.discharge_pendings()?;
+                b.close();
+                b.phase = phase;
+            }
+            b.ensure_value(x_a)?;
+            match tp.excite {
+                MemOp::Write(_, d) => {
+                    b.push_write(d, Some(phase))?;
+                    if b.cur != Some(x_v) {
+                        b.push_write(x_v, Some(phase))?;
+                    }
+                }
+                MemOp::Read(_) => {
+                    let expected = tp.observe.expected();
+                    b.push_read(expected, Some(phase))?;
+                    if b.cur != Some(x_v) {
+                        b.push_write(x_v, Some(phase))?;
+                    }
+                }
+                MemOp::Delay => return Err(ScheduleError::UnknownValue),
+            }
+            b.close();
+            register_observation(b, tp, x_v, phase);
+        }
+    }
+    Ok(())
+}
+
+fn register_observation(b: &mut Builder, tp: &TestPattern, x_v: Bit, phase: Direction) {
+    if matches!(tp.observe, Observation::Read { .. }) {
+        b.pendings.push(Pending { expected: x_v, mark: Some(phase) });
+    }
+}
+
+/// Picks the cheapest feasible placement: a zero-cost excitation share in
+/// the current phase, otherwise within/cross in the current phase before
+/// the flipped one.
+fn choose_placement(
+    b: &Builder,
+    tp: &TestPattern,
+    aggr: Cell,
+    x_a: Option<Bit>,
+    x_v: Bit,
+) -> Placement {
+    // 1. Share an existing excitation (open element, or the element that
+    //    just closed while its observation slot is still free).
+    for phase in [b.phase, b.phase.reversed()] {
+        // Sharing keeps the host element's sweep direction: the TP's
+        // aggressor must be swept *second* in that phase for the
+        // cross-observation shape.
+        let second = match phase {
+            Direction::Down => Cell::I,
+            _ => Cell::J,
+        };
+        if aggr != second {
+            continue;
+        }
+        let excite_matches = |slot: &Slot| -> bool {
+            match (tp.excite, slot.op) {
+                (MemOp::Write(_, d), MarchOp::Write(v)) => {
+                    d == v && (x_a.is_none() || slot.pre == x_a)
+                }
+                (MemOp::Read(_), MarchOp::Read(v)) => {
+                    tp.observe.expected() == v && (x_a.is_none() || slot.pre == x_a)
+                }
+                _ => false,
+            }
+        };
+        if let Some(e) = &b.open {
+            let mark_ok = e.mark.is_none() || e.mark == Some(phase);
+            if mark_ok && e.ops.iter().any(excite_matches) {
+                let fix_close = b.cur != Some(x_v);
+                // A fixing write must not undo the shared excitation: the
+                // excite op's effect on the aggressor has already fired
+                // when the sweep reaches it, so a trailing write is fine;
+                // but only a *write*-excite tolerates it (a shared read
+                // excite needs the pre-value intact — it has it, reads
+                // don't change values).
+                if !fix_close || matches!(tp.excite, MemOp::Write(..)) {
+                    return Placement::ShareCross { phase, fix_close };
+                }
+            }
+        } else if b.last_closed_sharable {
+            if let Some(e) = b.closed.last() {
+                let mark_ok = e.mark.is_none() || e.mark == Some(phase);
+                if mark_ok
+                    && b.cur == Some(x_v)
+                    && e.ops.iter().any(excite_matches)
+                    && phase == b.phase
+                {
+                    return Placement::ShareCross { phase, fix_close: false };
+                }
+            }
+        }
+    }
+
+    // 2. Within / cross placement, preferring the current phase.
+    for phase in [b.phase, b.phase.reversed()] {
+        let first = match phase {
+            Direction::Down => Cell::J,
+            _ => Cell::I,
+        };
+        if aggr == first {
+            return Placement::Within { phase };
+        }
+    }
+    // aggr is the second cell in the current phase.
+    Placement::AppendCross { phase: b.phase }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use marchgen_faults::{parse_fault_list, requirements_for};
+
+    fn tps_for(list: &str) -> Vec<TestPattern> {
+        let models = parse_fault_list(list).unwrap();
+        requirements_for(&models).iter().map(|r| r.alternatives[0]).collect()
+    }
+
+    /// §4 worked example: the tour TP3 → TP2 → TP4 → TP1 yields the 8n
+    /// test `⇕(w0) ⇑(r0,w1) ⇑(r1,w0) ⇓(r0,w1) ⇓(r1)`.
+    #[test]
+    fn section4_worked_example_march() {
+        let tps = tps_for("CFid<u,0>, CFid<u,1>");
+        // indices: 0=TP1 (01,w1i,r1j), 1=TP2 (10,w1j,r1i),
+        //          2=TP3 (00,w1i,r0j), 3=TP4 (00,w1j,r0i)
+        let tour = [tps[2], tps[1], tps[3], tps[0]];
+        let m = schedule_tour(&tour).expect("schedulable");
+        assert_eq!(m.check_consistency(), Ok(()));
+        assert_eq!(m.complexity(), 8, "{m}");
+        let want: MarchTest =
+            "⇕(w0); ⇑(r0,w1); ⇑(r1,w0); ⇓(r0,w1); ⇓(r1)".parse().unwrap();
+        assert_eq!(m, want, "{m}");
+    }
+
+    /// Table 3 row 1 shape: SAF alone schedules to 4 operations.
+    #[test]
+    fn saf_tour_schedules_to_4n() {
+        let tps = tps_for("SAF");
+        let m = schedule_tour(&tps).expect("schedulable");
+        assert_eq!(m.check_consistency(), Ok(()));
+        assert_eq!(m.complexity(), 4, "{m}");
+    }
+
+    /// Table 3 row 2 shape: the subsumption-deduped SAF+TF tour
+    /// (TF↑ then TF↓) schedules to 5 operations.
+    #[test]
+    fn saf_tf_tour_schedules_to_5n() {
+        let tps = tps_for("TF"); // SAF patterns are subsumed by TF's
+        let m = schedule_tour(&tps).expect("schedulable");
+        assert_eq!(m.check_consistency(), Ok(()));
+        assert_eq!(m.complexity(), 5, "{m}");
+    }
+
+    /// Table 3 row 6 shape: {CFid<↑,1>, CFid<↓,1>} admits a 5n test
+    /// (the paper's `⇑(w0) ⇑(r0,w1,w0) ⇓(r0)`, "Not Found" in the
+    /// literature) — via excitation sharing.
+    #[test]
+    fn cfid_row6_tour_schedules_to_5n() {
+        let tps = tps_for("CFid<u,1>, CFid<d,1>");
+        // tps: [P1=(00,w1i,r0j), P2=(00,w1j,r0i), P3=(10,w0i,r0j), P4=(01,w0j,r0i)]
+        let tour = [tps[0], tps[2], tps[1], tps[3]];
+        let m = schedule_tour(&tour).expect("schedulable");
+        assert_eq!(m.check_consistency(), Ok(()));
+        assert_eq!(m.complexity(), 5, "{m}");
+    }
+
+    /// A data-retention TP produces a standalone Del element.
+    #[test]
+    fn drf_schedules_delay_element() {
+        let tps = tps_for("DRF<1>");
+        let m = schedule_tour(&tps).expect("schedulable");
+        assert_eq!(m.check_consistency(), Ok(()));
+        assert_eq!(m.delay_count(), 1);
+        // w1; Del; r1
+        assert_eq!(m.complexity(), 2, "{m}");
+    }
+
+    /// SOF TPs produce the r-w-r same-element shape.
+    #[test]
+    fn sof_schedules_pre_read_and_immediate_read() {
+        let tps = tps_for("SOF");
+        let m = schedule_tour(&tps).expect("schedulable");
+        assert_eq!(m.check_consistency(), Ok(()));
+        let shaped = m.elements().iter().any(|e| {
+            e.ops
+                .windows(3)
+                .any(|w| w[0].is_read() && w[1].is_write() && w[2].is_read())
+        });
+        assert!(shaped, "expected an r,w,r element: {m}");
+    }
+
+    /// Deceptive read-destructive faults schedule a double read.
+    #[test]
+    fn drdf_schedules_double_read() {
+        let tps = tps_for("DRDF<0>");
+        let m = schedule_tour(&tps).expect("schedulable");
+        assert_eq!(m.check_consistency(), Ok(()));
+        let seq = m.per_cell_sequence();
+        let reads = seq.iter().filter(|o| o.is_read()).count();
+        assert!(reads >= 2, "{m}");
+    }
+
+    /// Every scheduled tour over catalog TPs is read-consistent.
+    #[test]
+    fn random_tours_always_consistent() {
+        let tps = tps_for("SAF, TF, CFin, CFid, ADF");
+        // Walk a few deterministic permutations.
+        let mut order: Vec<usize> = (0..tps.len()).collect();
+        for round in 0..24 {
+            order.rotate_left(1 + round % 3);
+            if round % 2 == 0 {
+                let last = order.len() - 1;
+                order.swap(0, last);
+            }
+            let tour: Vec<TestPattern> = order.iter().map(|&k| tps[k]).collect();
+            match schedule_tour(&tour) {
+                Ok(m) => assert_eq!(m.check_consistency(), Ok(()), "round {round}: {m}"),
+                Err(e) => panic!("round {round}: unschedulable: {e}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! March elements and addressing orders.
+
+use crate::op::MarchOp;
+use std::fmt;
+
+/// The address order in which a March element visits the memory cells.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Direction {
+    /// `⇑` — ascending address order.
+    Up,
+    /// `⇓` — descending address order.
+    Down,
+    /// `⇕` — either order is allowed; the test must detect its target
+    /// faults whichever order an implementation picks. This is the order
+    /// the paper's generation Rule 5 calls "c".
+    #[default]
+    Any,
+}
+
+impl Direction {
+    /// All three orders.
+    pub const ALL: [Direction; 3] = [Direction::Up, Direction::Down, Direction::Any];
+
+    /// The opposite order (`⇕` is its own opposite).
+    #[must_use]
+    pub fn reversed(self) -> Direction {
+        match self {
+            Direction::Up => Direction::Down,
+            Direction::Down => Direction::Up,
+            Direction::Any => Direction::Any,
+        }
+    }
+
+    /// The concrete orders an element with this direction may execute in.
+    #[must_use]
+    pub fn resolutions(self) -> &'static [Direction] {
+        match self {
+            Direction::Up => &[Direction::Up],
+            Direction::Down => &[Direction::Down],
+            Direction::Any => &[Direction::Up, Direction::Down],
+        }
+    }
+
+    /// The unicode arrow of the standard notation.
+    #[must_use]
+    pub fn arrow(self) -> char {
+        match self {
+            Direction::Up => '⇑',
+            Direction::Down => '⇓',
+            Direction::Any => '⇕',
+        }
+    }
+
+    /// A pure-ASCII mnemonic (`u`, `d`, `m`).
+    #[must_use]
+    pub fn ascii(self) -> char {
+        match self {
+            Direction::Up => 'u',
+            Direction::Down => 'd',
+            Direction::Any => 'm',
+        }
+    }
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.arrow())
+    }
+}
+
+/// One March element: an addressing order and the operations applied to
+/// each visited cell.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct MarchElement {
+    /// Address order of the sweep.
+    pub direction: Direction,
+    /// Operations applied, in order, at every visited cell.
+    pub ops: Vec<MarchOp>,
+}
+
+impl MarchElement {
+    /// Creates an element; `⇕(ops...)` is `MarchElement::new(Direction::Any, ops)`.
+    #[must_use]
+    pub fn new(direction: Direction, ops: impl Into<Vec<MarchOp>>) -> MarchElement {
+        MarchElement { direction, ops: ops.into() }
+    }
+
+    /// Ascending element `⇑(ops...)`.
+    #[must_use]
+    pub fn up(ops: impl Into<Vec<MarchOp>>) -> MarchElement {
+        MarchElement::new(Direction::Up, ops)
+    }
+
+    /// Descending element `⇓(ops...)`.
+    #[must_use]
+    pub fn down(ops: impl Into<Vec<MarchOp>>) -> MarchElement {
+        MarchElement::new(Direction::Down, ops)
+    }
+
+    /// Order-free element `⇕(ops...)`.
+    #[must_use]
+    pub fn any(ops: impl Into<Vec<MarchOp>>) -> MarchElement {
+        MarchElement::new(Direction::Any, ops)
+    }
+
+    /// Number of cell accesses per visited cell (excludes `Del`).
+    #[must_use]
+    pub fn access_count(&self) -> usize {
+        self.ops.iter().filter(|op| op.accesses_cell()).count()
+    }
+
+    /// `true` when the element performs no read (pure
+    /// initialization/background elements like `⇕(w0)`).
+    #[must_use]
+    pub fn is_write_only(&self) -> bool {
+        self.ops.iter().all(|op| !op.is_read())
+    }
+
+    /// The element with every operation data-complemented.
+    #[must_use]
+    pub fn complement(&self) -> MarchElement {
+        MarchElement {
+            direction: self.direction,
+            ops: self.ops.iter().map(|op| op.complement()).collect(),
+        }
+    }
+}
+
+impl fmt::Display for MarchElement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.direction)?;
+        for (k, op) in self.ops.iter().enumerate() {
+            if k > 0 {
+                f.write_str(",")?;
+            }
+            write!(f, "{op}")?;
+        }
+        f.write_str(")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direction_reversal() {
+        assert_eq!(Direction::Up.reversed(), Direction::Down);
+        assert_eq!(Direction::Any.reversed(), Direction::Any);
+        for d in Direction::ALL {
+            assert_eq!(d.reversed().reversed(), d);
+        }
+    }
+
+    #[test]
+    fn any_resolves_to_both_concrete_orders() {
+        assert_eq!(Direction::Any.resolutions().len(), 2);
+        assert_eq!(Direction::Up.resolutions(), &[Direction::Up]);
+    }
+
+    #[test]
+    fn element_display() {
+        let e = MarchElement::up([MarchOp::R0, MarchOp::W1]);
+        assert_eq!(e.to_string(), "⇑(r0,w1)");
+        assert_eq!(MarchElement::any([MarchOp::W0]).to_string(), "⇕(w0)");
+    }
+
+    #[test]
+    fn access_count_skips_delays() {
+        let e = MarchElement::any([MarchOp::Delay]);
+        assert_eq!(e.access_count(), 0);
+        let e = MarchElement::down([MarchOp::R1, MarchOp::W0, MarchOp::R0]);
+        assert_eq!(e.access_count(), 3);
+    }
+
+    #[test]
+    fn write_only_detection() {
+        assert!(MarchElement::any([MarchOp::W0]).is_write_only());
+        assert!(!MarchElement::any([MarchOp::R0, MarchOp::W1]).is_write_only());
+        assert!(MarchElement::any([MarchOp::Delay]).is_write_only());
+    }
+
+    #[test]
+    fn complement_preserves_direction() {
+        let e = MarchElement::down([MarchOp::R1, MarchOp::W0]);
+        let c = e.complement();
+        assert_eq!(c.direction, Direction::Down);
+        assert_eq!(c.ops, vec![MarchOp::R0, MarchOp::W1]);
+    }
+}

@@ -1,0 +1,267 @@
+//! The classical hand-made March tests from the literature — the
+//! comparators of the paper's Table 3 ("Equivalent Known March Test") and
+//! of van de Goor's survey \[1\], \[9\].
+//!
+//! Complexities:
+//!
+//! | Test     | Complexity | Classical coverage claim                    |
+//! |----------|------------|---------------------------------------------|
+//! | MATS     | 4n         | SAF                                          |
+//! | MATS+    | 5n         | SAF, AF                                      |
+//! | MATS++   | 6n         | SAF, TF, AF                                  |
+//! | March X  | 6n         | SAF, TF, AF, CFin                            |
+//! | March Y  | 8n         | SAF, TF, AF, CFin, some linked faults        |
+//! | March C− | 10n        | SAF, TF, AF, CFin, CFid, CFst                |
+//! | March C  | 11n        | March C− plus a redundant middle element     |
+//! | March A  | 15n        | SAF, TF, AF, CFin, linked CFid               |
+//! | March B  | 17n        | March A plus linked TF/CF combinations       |
+//! | March U  | 13n        | SAF, TF, AF, unlinked/linked CF              |
+//! | March LR | 14n        | realistic linked faults                      |
+//! | March SS | 22n        | all simple static faults                     |
+//! | March G  | 23n + 2Del | March B faults plus SOF and DRF              |
+
+use crate::element::MarchElement;
+use crate::op::MarchOp::{self, Delay};
+use crate::test::MarchTest;
+
+const R0: MarchOp = MarchOp::R0;
+const R1: MarchOp = MarchOp::R1;
+const W0: MarchOp = MarchOp::W0;
+const W1: MarchOp = MarchOp::W1;
+
+/// MATS — `{ ⇕(w0); ⇕(r0,w1); ⇕(r1) }`, 4n.
+#[must_use]
+pub fn mats() -> MarchTest {
+    MarchTest::new(vec![
+        MarchElement::any([W0]),
+        MarchElement::any([R0, W1]),
+        MarchElement::any([R1]),
+    ])
+}
+
+/// MATS+ — `{ ⇕(w0); ⇑(r0,w1); ⇓(r1,w0) }`, 5n.
+#[must_use]
+pub fn mats_plus() -> MarchTest {
+    MarchTest::new(vec![
+        MarchElement::any([W0]),
+        MarchElement::up([R0, W1]),
+        MarchElement::down([R1, W0]),
+    ])
+}
+
+/// MATS++ — `{ ⇕(w0); ⇑(r0,w1); ⇓(r1,w0,r0) }`, 6n.
+#[must_use]
+pub fn mats_plus_plus() -> MarchTest {
+    MarchTest::new(vec![
+        MarchElement::any([W0]),
+        MarchElement::up([R0, W1]),
+        MarchElement::down([R1, W0, R0]),
+    ])
+}
+
+/// March X — `{ ⇕(w0); ⇑(r0,w1); ⇓(r1,w0); ⇕(r0) }`, 6n.
+#[must_use]
+pub fn march_x() -> MarchTest {
+    MarchTest::new(vec![
+        MarchElement::any([W0]),
+        MarchElement::up([R0, W1]),
+        MarchElement::down([R1, W0]),
+        MarchElement::any([R0]),
+    ])
+}
+
+/// March Y — `{ ⇕(w0); ⇑(r0,w1,r1); ⇓(r1,w0,r0); ⇕(r0) }`, 8n.
+#[must_use]
+pub fn march_y() -> MarchTest {
+    MarchTest::new(vec![
+        MarchElement::any([W0]),
+        MarchElement::up([R0, W1, R1]),
+        MarchElement::down([R1, W0, R0]),
+        MarchElement::any([R0]),
+    ])
+}
+
+/// March C− — `{ ⇕(w0); ⇑(r0,w1); ⇑(r1,w0); ⇓(r0,w1); ⇓(r1,w0); ⇕(r0) }`,
+/// 10n.
+#[must_use]
+pub fn march_c_minus() -> MarchTest {
+    MarchTest::new(vec![
+        MarchElement::any([W0]),
+        MarchElement::up([R0, W1]),
+        MarchElement::up([R1, W0]),
+        MarchElement::down([R0, W1]),
+        MarchElement::down([R1, W0]),
+        MarchElement::any([R0]),
+    ])
+}
+
+/// March C — March C− with the historical (redundant) middle `⇕(r0)`,
+/// 11n.
+#[must_use]
+pub fn march_c() -> MarchTest {
+    MarchTest::new(vec![
+        MarchElement::any([W0]),
+        MarchElement::up([R0, W1]),
+        MarchElement::up([R1, W0]),
+        MarchElement::any([R0]),
+        MarchElement::down([R0, W1]),
+        MarchElement::down([R1, W0]),
+        MarchElement::any([R0]),
+    ])
+}
+
+/// March A — `{ ⇕(w0); ⇑(r0,w1,w0,w1); ⇑(r1,w0,w1); ⇓(r1,w0,w1,w0);
+/// ⇓(r0,w1,w0) }`, 15n.
+#[must_use]
+pub fn march_a() -> MarchTest {
+    MarchTest::new(vec![
+        MarchElement::any([W0]),
+        MarchElement::up([R0, W1, W0, W1]),
+        MarchElement::up([R1, W0, W1]),
+        MarchElement::down([R1, W0, W1, W0]),
+        MarchElement::down([R0, W1, W0]),
+    ])
+}
+
+/// March B — `{ ⇕(w0); ⇑(r0,w1,r1,w0,r0,w1); ⇑(r1,w0,w1); ⇓(r1,w0,w1,w0);
+/// ⇓(r0,w1,w0) }`, 17n.
+#[must_use]
+pub fn march_b() -> MarchTest {
+    MarchTest::new(vec![
+        MarchElement::any([W0]),
+        MarchElement::up([R0, W1, R1, W0, R0, W1]),
+        MarchElement::up([R1, W0, W1]),
+        MarchElement::down([R1, W0, W1, W0]),
+        MarchElement::down([R0, W1, W0]),
+    ])
+}
+
+/// March U — `{ ⇕(w0); ⇑(r0,w1,r1,w0); ⇑(r0,w1); ⇓(r1,w0,r0,w1);
+/// ⇓(r1,w0) }`, 13n.
+#[must_use]
+pub fn march_u() -> MarchTest {
+    MarchTest::new(vec![
+        MarchElement::any([W0]),
+        MarchElement::up([R0, W1, R1, W0]),
+        MarchElement::up([R0, W1]),
+        MarchElement::down([R1, W0, R0, W1]),
+        MarchElement::down([R1, W0]),
+    ])
+}
+
+/// March LR — `{ ⇕(w0); ⇓(r0,w1); ⇑(r1,w0,r0,w1); ⇑(r1,w0);
+/// ⇑(r0,w1,r1,w0); ⇑(r0) }`, 14n.
+#[must_use]
+pub fn march_lr() -> MarchTest {
+    MarchTest::new(vec![
+        MarchElement::any([W0]),
+        MarchElement::down([R0, W1]),
+        MarchElement::up([R1, W0, R0, W1]),
+        MarchElement::up([R1, W0]),
+        MarchElement::up([R0, W1, R1, W0]),
+        MarchElement::up([R0]),
+    ])
+}
+
+/// March SS — `{ ⇕(w0); ⇑(r0,r0,w0,r0,w1); ⇑(r1,r1,w1,r1,w0);
+/// ⇓(r0,r0,w0,r0,w1); ⇓(r1,r1,w1,r1,w0); ⇕(r0) }`, 22n.
+#[must_use]
+pub fn march_ss() -> MarchTest {
+    MarchTest::new(vec![
+        MarchElement::any([W0]),
+        MarchElement::up([R0, R0, W0, R0, W1]),
+        MarchElement::up([R1, R1, W1, R1, W0]),
+        MarchElement::down([R0, R0, W0, R0, W1]),
+        MarchElement::down([R1, R1, W1, R1, W0]),
+        MarchElement::any([R0]),
+    ])
+}
+
+/// March G — March B extended with stuck-open and data-retention phases:
+/// `{ ⇕(w0); ⇑(r0,w1,r1,w0,r0,w1); ⇑(r1,w0,w1); ⇓(r1,w0,w1,w0);
+/// ⇓(r0,w1,w0); Del; ⇕(r0,w1,r1); Del; ⇕(r1,w0,r0) }`, 23n + 2 delays.
+#[must_use]
+pub fn march_g() -> MarchTest {
+    MarchTest::new(vec![
+        MarchElement::any([W0]),
+        MarchElement::up([R0, W1, R1, W0, R0, W1]),
+        MarchElement::up([R1, W0, W1]),
+        MarchElement::down([R1, W0, W1, W0]),
+        MarchElement::down([R0, W1, W0]),
+        MarchElement::any([Delay]),
+        MarchElement::any([R0, W1, R1]),
+        MarchElement::any([Delay]),
+        MarchElement::any([R1, W0, R0]),
+    ])
+}
+
+/// Every test of this library with its conventional name.
+#[must_use]
+pub fn all() -> Vec<(&'static str, MarchTest)> {
+    vec![
+        ("MATS", mats()),
+        ("MATS+", mats_plus()),
+        ("MATS++", mats_plus_plus()),
+        ("March X", march_x()),
+        ("March Y", march_y()),
+        ("March C-", march_c_minus()),
+        ("March C", march_c()),
+        ("March A", march_a()),
+        ("March B", march_b()),
+        ("March U", march_u()),
+        ("March LR", march_lr()),
+        ("March SS", march_ss()),
+        ("March G", march_g()),
+    ]
+}
+
+/// Looks a test up by its conventional name (case-insensitive;
+/// `-`/`+`/space variations tolerated: `marchc-`, `March C-`, `MATS++`).
+#[must_use]
+pub fn by_name(name: &str) -> Option<MarchTest> {
+    let canon = |s: &str| -> String {
+        s.chars()
+            .filter(|c| !c.is_whitespace() && *c != '_')
+            .map(|c| c.to_ascii_lowercase())
+            .collect()
+    };
+    let wanted = canon(name);
+    all().into_iter().find(|(n, _)| canon(n) == wanted).map(|(_, t)| t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn library_has_thirteen_tests() {
+        assert_eq!(all().len(), 13);
+    }
+
+    #[test]
+    fn lookup_by_name_variants() {
+        assert_eq!(by_name("MATS+"), Some(mats_plus()));
+        assert_eq!(by_name("march c-"), Some(march_c_minus()));
+        assert_eq!(by_name("MarchC-"), Some(march_c_minus()));
+        assert_eq!(by_name("MARCH X"), Some(march_x()));
+        assert_eq!(by_name("nonexistent"), None);
+    }
+
+    #[test]
+    fn table3_comparator_complexities() {
+        // The "Equivalent Known March Test" column of Table 3.
+        assert_eq!(mats().complexity(), 4); // row 1
+        assert_eq!(mats_plus().complexity(), 5); // row 2
+        assert_eq!(mats_plus_plus().complexity(), 6); // row 3
+        assert_eq!(march_x().complexity(), 6); // row 4
+        assert_eq!(march_c_minus().complexity(), 10); // row 5
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = all().iter().map(|(n, _)| *n).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), all().len());
+    }
+}

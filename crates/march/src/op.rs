@@ -1,0 +1,112 @@
+//! The per-cell operations a March element is built from.
+
+use marchgen_model::Bit;
+use std::fmt;
+
+/// One operation of a March element, applied to the cell the element is
+/// currently visiting.
+///
+/// March notation writes reads with the value they *expect* on a
+/// fault-free memory: `r0` reads and verifies a `0`. This is the paper's
+/// *Read and Verify* operation `rd` (Section 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MarchOp {
+    /// `rd` — read the visited cell and verify its value is `d`.
+    Read(Bit),
+    /// `wd` — write `d` into the visited cell.
+    Write(Bit),
+    /// `Del` — a wait period (paper operation `T`), used by data-retention
+    /// tests (e.g. March G). Does not access any cell.
+    Delay,
+}
+
+impl MarchOp {
+    /// Shorthand for `r0`.
+    pub const R0: MarchOp = MarchOp::Read(Bit::Zero);
+    /// Shorthand for `r1`.
+    pub const R1: MarchOp = MarchOp::Read(Bit::One);
+    /// Shorthand for `w0`.
+    pub const W0: MarchOp = MarchOp::Write(Bit::Zero);
+    /// Shorthand for `w1`.
+    pub const W1: MarchOp = MarchOp::Write(Bit::One);
+
+    /// `true` for reads.
+    #[must_use]
+    pub fn is_read(self) -> bool {
+        matches!(self, MarchOp::Read(_))
+    }
+
+    /// `true` for writes.
+    #[must_use]
+    pub fn is_write(self) -> bool {
+        matches!(self, MarchOp::Write(_))
+    }
+
+    /// `true` when the operation accesses the cell (reads and writes;
+    /// `Del` does not and is excluded from the `kn` complexity count).
+    #[must_use]
+    pub fn accesses_cell(self) -> bool {
+        !matches!(self, MarchOp::Delay)
+    }
+
+    /// The data value carried by the operation, if any.
+    #[must_use]
+    pub fn data(self) -> Option<Bit> {
+        match self {
+            MarchOp::Read(d) | MarchOp::Write(d) => Some(d),
+            MarchOp::Delay => None,
+        }
+    }
+
+    /// The operation with its data value complemented (`Del` unchanged).
+    /// Complementing every operation of a test yields its data-polarity
+    /// mirror, which has identical coverage on polarity-symmetric fault
+    /// models.
+    #[must_use]
+    pub fn complement(self) -> MarchOp {
+        match self {
+            MarchOp::Read(d) => MarchOp::Read(d.flip()),
+            MarchOp::Write(d) => MarchOp::Write(d.flip()),
+            MarchOp::Delay => MarchOp::Delay,
+        }
+    }
+}
+
+impl fmt::Display for MarchOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MarchOp::Read(d) => write!(f, "r{d}"),
+            MarchOp::Write(d) => write!(f, "w{d}"),
+            MarchOp::Delay => f.write_str("Del"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_notation() {
+        assert_eq!(MarchOp::R0.to_string(), "r0");
+        assert_eq!(MarchOp::W1.to_string(), "w1");
+        assert_eq!(MarchOp::Delay.to_string(), "Del");
+    }
+
+    #[test]
+    fn complement_flips_data_only() {
+        assert_eq!(MarchOp::R0.complement(), MarchOp::R1);
+        assert_eq!(MarchOp::W1.complement(), MarchOp::W0);
+        assert_eq!(MarchOp::Delay.complement(), MarchOp::Delay);
+        for op in [MarchOp::R0, MarchOp::R1, MarchOp::W0, MarchOp::W1, MarchOp::Delay] {
+            assert_eq!(op.complement().complement(), op);
+        }
+    }
+
+    #[test]
+    fn delay_does_not_access_cell() {
+        assert!(!MarchOp::Delay.accesses_cell());
+        assert!(MarchOp::R0.accesses_cell());
+        assert_eq!(MarchOp::Delay.data(), None);
+    }
+}

@@ -1,0 +1,277 @@
+//! Parser for the standard March notation.
+//!
+//! Accepted grammar (whitespace-insensitive):
+//!
+//! ```text
+//! test     := '{'? element (';'? element)* '}'?
+//! element  := direction '('? op (','? op)* ')'?
+//! direction:= '⇑' | '⇓' | '⇕' | 'u' | 'U' | '^' | 'd' | 'D' | 'v' | 'm' | 'M' | 'a' | 'A'
+//! op       := ('r'|'R'|'w'|'W') ('0'|'1') | 'Del' | 'del' | 'T'
+//! ```
+//!
+//! Both the unicode form `{ ⇕(w0); ⇑(r0,w1); ⇓(r1,w0) }` and the ASCII
+//! form `m(w0); u(r0,w1); d(r1,w0)` round-trip through
+//! [`MarchTest::to_string`](crate::MarchTest) /
+//! [`MarchTest::to_ascii`](crate::MarchTest).
+
+use crate::element::{Direction, MarchElement};
+use crate::op::MarchOp;
+use crate::test::MarchTest;
+use marchgen_model::Bit;
+use std::fmt;
+
+/// Error produced when parsing a March test string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseMarchError {
+    /// Byte offset of the offending character.
+    pub position: usize,
+    /// Human-readable reason.
+    pub message: String,
+}
+
+impl fmt::Display for ParseMarchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid march test syntax at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseMarchError {}
+
+struct Cursor<'a> {
+    src: &'a str,
+    chars: Vec<(usize, char)>,
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Cursor<'a> {
+        Cursor { src, chars: src.char_indices().collect(), pos: 0 }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&(_, c)) = self.chars.get(self.pos) {
+            if c.is_whitespace() {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).map(|&(_, c)| c)
+    }
+
+    fn byte_pos(&self) -> usize {
+        self.chars.get(self.pos).map_or(self.src.len(), |&(b, _)| b)
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        Some(c)
+    }
+
+    fn eat(&mut self, c: char) -> bool {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseMarchError {
+        ParseMarchError { position: self.byte_pos(), message: message.into() }
+    }
+}
+
+fn parse_direction(cur: &mut Cursor<'_>) -> Result<Direction, ParseMarchError> {
+    let c = cur.peek().ok_or_else(|| cur.error("expected a direction"))?;
+    let dir = match c {
+        '⇑' | 'u' | 'U' | '^' => Direction::Up,
+        '⇓' | 'd' | 'D' | 'v' => Direction::Down,
+        '⇕' | 'm' | 'M' | 'a' | 'A' => Direction::Any,
+        other => {
+            return Err(cur.error(format!(
+                "expected a direction (⇑/⇓/⇕ or u/d/m), found {other:?}"
+            )))
+        }
+    };
+    cur.bump();
+    Ok(dir)
+}
+
+fn parse_op(cur: &mut Cursor<'_>) -> Result<MarchOp, ParseMarchError> {
+    cur.skip_ws();
+    let c = cur.peek().ok_or_else(|| cur.error("expected an operation"))?;
+    match c {
+        'r' | 'R' | 'w' | 'W' => {
+            cur.bump();
+            let d = match cur.peek() {
+                Some('0') => Bit::Zero,
+                Some('1') => Bit::One,
+                other => {
+                    return Err(cur.error(format!(
+                        "expected a data value 0/1 after {c:?}, found {other:?}"
+                    )))
+                }
+            };
+            cur.bump();
+            Ok(if c.eq_ignore_ascii_case(&'r') { MarchOp::Read(d) } else { MarchOp::Write(d) })
+        }
+        'D' | 'd' => {
+            // Del / del
+            let save = cur.pos;
+            cur.bump();
+            if (cur.eat('e') || cur.eat('E')) && (cur.eat('l') || cur.eat('L')) {
+                Ok(MarchOp::Delay)
+            } else {
+                cur.pos = save;
+                Err(cur.error("expected 'Del'"))
+            }
+        }
+        'T' => {
+            cur.bump();
+            Ok(MarchOp::Delay)
+        }
+        other => Err(cur.error(format!("expected r/w/Del, found {other:?}"))),
+    }
+}
+
+fn parse_element(cur: &mut Cursor<'_>) -> Result<MarchElement, ParseMarchError> {
+    cur.skip_ws();
+    let direction = parse_direction(cur)?;
+    cur.skip_ws();
+    let parenthesised = cur.eat('(');
+    let mut ops = vec![parse_op(cur)?];
+    loop {
+        cur.skip_ws();
+        match cur.peek() {
+            Some(',') => {
+                cur.bump();
+                ops.push(parse_op(cur)?);
+            }
+            Some(')') if parenthesised => {
+                cur.bump();
+                break;
+            }
+            Some(c) if !parenthesised && (c == ';' || c == '}') => break,
+            None if !parenthesised => break,
+            Some(c) if !parenthesised && matches!(c, 'r' | 'R' | 'w' | 'W' | 'T') => {
+                // unparenthesised ops may be space-separated
+                ops.push(parse_op(cur)?);
+            }
+            Some(other) => {
+                return Err(cur.error(format!("unexpected {other:?} inside element")))
+            }
+            None => return Err(cur.error("unterminated element: missing ')'")),
+        }
+    }
+    Ok(MarchElement { direction, ops })
+}
+
+/// Parses a March test; see the module docs for the grammar.
+///
+/// # Errors
+///
+/// Returns [`ParseMarchError`] with the byte position of the first
+/// offending character.
+pub fn parse_march(src: &str) -> Result<MarchTest, ParseMarchError> {
+    let mut cur = Cursor::new(src);
+    cur.skip_ws();
+    let braced = cur.eat('{');
+    let mut elements = Vec::new();
+    loop {
+        cur.skip_ws();
+        match cur.peek() {
+            Some('}') if braced => {
+                cur.bump();
+                break;
+            }
+            Some(';') => {
+                cur.bump();
+            }
+            None => {
+                if braced {
+                    return Err(cur.error("missing closing '}'"));
+                }
+                break;
+            }
+            Some(_) => elements.push(parse_element(&mut cur)?),
+        }
+    }
+    cur.skip_ws();
+    if cur.peek().is_some() {
+        return Err(cur.error("trailing input after march test"));
+    }
+    if elements.is_empty() {
+        return Err(cur.error("a march test needs at least one element"));
+    }
+    Ok(MarchTest::new(elements))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::known;
+
+    #[test]
+    fn parses_unicode_notation() {
+        let t: MarchTest = "{ ⇕(w0); ⇑(r0,w1); ⇓(r1,w0) }".parse().unwrap();
+        assert_eq!(t, known::mats_plus());
+    }
+
+    #[test]
+    fn parses_ascii_notation() {
+        let t: MarchTest = "m(w0); u(r0,w1); d(r1,w0)".parse().unwrap();
+        assert_eq!(t, known::mats_plus());
+    }
+
+    #[test]
+    fn parses_without_braces_or_parens() {
+        let t: MarchTest = "m w0; u r0,w1; d r1,w0".parse().unwrap();
+        assert_eq!(t, known::mats_plus());
+        let t: MarchTest = "m w0; u r0 w1; d r1 w0".parse().unwrap();
+        assert_eq!(t, known::mats_plus());
+    }
+
+    #[test]
+    fn parses_delay_ops() {
+        let t: MarchTest = "m(w1); m(Del); m(r1)".parse().unwrap();
+        assert_eq!(t.delay_count(), 1);
+        let t2: MarchTest = "m(w1); m(T); m(r1)".parse().unwrap();
+        assert_eq!(t, t2);
+    }
+
+    #[test]
+    fn error_positions_are_byte_offsets() {
+        let err = "⇑(rX)".parse::<MarchTest>().unwrap_err();
+        assert_eq!(err.position, "⇑(r".len());
+        assert!(err.message.contains("data value"), "{err}");
+    }
+
+    #[test]
+    fn rejects_empty_and_garbage() {
+        assert!("".parse::<MarchTest>().is_err());
+        assert!("{}".parse::<MarchTest>().is_err());
+        assert!("x(w0)".parse::<MarchTest>().is_err());
+        assert!("⇑(w0) trailing".parse::<MarchTest>().is_err());
+        assert!("{ ⇑(w0)".parse::<MarchTest>().is_err());
+        assert!("⇑(w0,)".parse::<MarchTest>().is_err());
+    }
+
+    #[test]
+    fn direction_aliases() {
+        let a: MarchTest = "^ (w0); v(r0)".parse().unwrap();
+        let b: MarchTest = "u(w0); d(r0)".parse().unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn error_display_mentions_position() {
+        let err = "⇑(q0)".parse::<MarchTest>().unwrap_err();
+        let s = err.to_string();
+        assert!(s.contains("byte"), "{s}");
+    }
+}

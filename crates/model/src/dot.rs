@@ -1,0 +1,94 @@
+//! Graphviz DOT export of two-cell machines, reproducing the visual form
+//! of paper Figures 1 and 2 (parallel edges merged into one label,
+//! fault-modified edges emphasised in bold).
+
+use crate::op::MemOp;
+use crate::state::PairState;
+use crate::two_cell::TwoCellMachine;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Renders `machine` as a Graphviz digraph.
+///
+/// Edges with the same source, destination and output are merged into one
+/// arrow labelled with the comma-separated operation list, matching the
+/// `(w0i, w0j, T) / -` style of paper Figure 1. Entries where `machine`
+/// differs from `M0` are drawn bold (the convention of Figure 2).
+///
+/// ```
+/// # use marchgen_model::{TwoCellMachine, dot};
+/// let g = dot::render(&TwoCellMachine::fault_free(), "M0");
+/// assert!(g.starts_with("digraph M0"));
+/// ```
+#[must_use]
+pub fn render(machine: &TwoCellMachine, name: &str) -> String {
+    let m0 = TwoCellMachine::fault_free();
+    let diffs: Vec<(PairState, MemOp)> =
+        m0.diff(machine).into_iter().map(|d| (d.state, d.op)).collect();
+
+    // (src, dst, output, bold) -> ops
+    let mut edges: BTreeMap<(usize, usize, String, bool), Vec<String>> = BTreeMap::new();
+    for (state, op, tr) in machine.entries() {
+        let out = tr.output.map_or("-".to_string(), |b| b.to_string());
+        let bold = diffs.contains(&(state, op));
+        edges
+            .entry((state.index(), tr.next.index(), out, bold))
+            .or_default()
+            .push(op.to_string());
+    }
+
+    let mut s = String::new();
+    let _ = writeln!(s, "digraph {name} {{");
+    let _ = writeln!(s, "  rankdir=LR;");
+    let _ = writeln!(s, "  node [shape=circle, fontname=\"Helvetica\"];");
+    for state in PairState::all_known() {
+        let _ = writeln!(s, "  s{} [label=\"{}\"];", state.index(), state);
+    }
+    for ((src, dst, out, bold), ops) in &edges {
+        let label = if ops.len() == 1 {
+            format!("{} / {}", ops[0], out)
+        } else {
+            format!("({}) / {}", ops.join(", "), out)
+        };
+        let style = if *bold { ", style=bold, color=red, penwidth=2.0" } else { "" };
+        let _ = writeln!(s, "  s{src} -> s{dst} [label=\"{label}\"{style}];");
+    }
+    let _ = writeln!(s, "}}");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Bit, Cell, Tri};
+
+    #[test]
+    fn m0_dot_has_four_states_and_merged_labels() {
+        let g = render(&TwoCellMachine::fault_free(), "M0");
+        for st in ["\"00\"", "\"01\"", "\"10\"", "\"11\""] {
+            assert!(g.contains(st), "missing state {st} in:\n{g}");
+        }
+        // The silent self-loop cluster of Figure 1 appears merged.
+        assert!(g.contains("(w0i, w0j, T) / -"), "{g}");
+        // The fault-free machine has no bold edge.
+        assert!(!g.contains("style=bold"), "{g}");
+    }
+
+    #[test]
+    fn faulty_machine_highlights_bfe_edge() {
+        let m1 = TwoCellMachine::fault_free().with_delta(
+            PairState::new(Tri::Zero, Tri::One),
+            MemOp::write(Cell::I, Bit::One),
+            PairState::new(Tri::One, Tri::Zero),
+        );
+        let g = render(&m1, "M1");
+        assert!(g.contains("style=bold"), "{g}");
+        assert!(g.contains("w1i"), "{g}");
+    }
+
+    #[test]
+    fn dot_is_syntactically_bracketed() {
+        let g = render(&TwoCellMachine::fault_free(), "M0");
+        assert_eq!(g.matches('{').count(), g.matches('}').count());
+    }
+}

@@ -1,0 +1,210 @@
+//! A small generic deterministic Mealy automaton, the formal object of
+//! paper formula f.2.1 for arbitrary state/input/output sets.
+//!
+//! The concrete two-cell machine ([`crate::TwoCellMachine`]) uses dense
+//! tables for speed; this generic container backs user-defined models
+//! (multi-port memories, wider neighbourhoods) and the tests that relate
+//! the two representations.
+
+use std::collections::BTreeMap;
+use std::fmt::Debug;
+
+/// A deterministic Mealy automaton `(Q, X, Y, δ, λ)` with explicit
+/// transition table.
+///
+/// `S`, `I`, `O` are the state, input and output alphabets. Missing
+/// entries are rejected at [`step`](Mealy::step) time with `None`, which
+/// lets partial machines (the paper's `Qᵢ ⊆ Q`, f.2.2) be represented
+/// directly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mealy<S, I, O> {
+    table: BTreeMap<(S, I), (S, O)>,
+}
+
+impl<S, I, O> Mealy<S, I, O>
+where
+    S: Ord + Clone,
+    I: Ord + Clone,
+    O: Clone + PartialEq,
+{
+    /// Creates an empty machine.
+    #[must_use]
+    pub fn new() -> Self {
+        Mealy { table: BTreeMap::new() }
+    }
+
+    /// Inserts (or replaces) the `(δ, λ)` entry for `(state, input)`,
+    /// returning the previous entry if any.
+    pub fn insert(&mut self, state: S, input: I, next: S, output: O) -> Option<(S, O)> {
+        self.table.insert((state, input), (next, output))
+    }
+
+    /// The `(δ, λ)` entry for `(state, input)`, if defined.
+    #[must_use]
+    pub fn get(&self, state: &S, input: &I) -> Option<&(S, O)> {
+        self.table.get(&(state.clone(), input.clone()))
+    }
+
+    /// Applies one input. Returns `None` when the transition is undefined
+    /// (outside `Qᵢ × Xᵢ`).
+    #[must_use]
+    pub fn step(&self, state: &S, input: &I) -> Option<(S, O)> {
+        self.get(state, input).cloned()
+    }
+
+    /// Runs an input word, collecting outputs; stops at the first
+    /// undefined transition and reports how many inputs were consumed.
+    pub fn run<'a>(&self, start: &S, word: impl IntoIterator<Item = &'a I>) -> RunResult<S, O>
+    where
+        I: 'a,
+    {
+        let mut state = start.clone();
+        let mut outputs = Vec::new();
+        let mut consumed = 0;
+        for input in word {
+            match self.step(&state, input) {
+                Some((next, out)) => {
+                    state = next;
+                    outputs.push(out);
+                    consumed += 1;
+                }
+                None => return RunResult { state, outputs, consumed, complete: false },
+            }
+        }
+        RunResult { state, outputs, consumed, complete: true }
+    }
+
+    /// Number of defined `(state, input)` entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// `true` when no entry is defined.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    /// Iterates over `((state, input), (next, output))` entries in
+    /// deterministic order.
+    pub fn iter(&self) -> impl Iterator<Item = (&(S, I), &(S, O))> {
+        self.table.iter()
+    }
+
+    /// The `(state, input)` points where two machines differ (including
+    /// entries defined in only one of them).
+    #[must_use]
+    pub fn diff_keys(&self, other: &Self) -> Vec<(S, I)> {
+        let mut keys: Vec<(S, I)> = Vec::new();
+        for (k, v) in &self.table {
+            match other.table.get(k) {
+                Some(w) if w.0 == v.0 && w.1 == v.1 => {}
+                _ => keys.push(k.clone()),
+            }
+        }
+        for k in other.table.keys() {
+            if !self.table.contains_key(k) {
+                keys.push(k.clone());
+            }
+        }
+        keys.sort();
+        keys.dedup();
+        keys
+    }
+}
+
+impl<S, I, O> Default for Mealy<S, I, O>
+where
+    S: Ord + Clone,
+    I: Ord + Clone,
+    O: Clone + PartialEq,
+{
+    fn default() -> Self {
+        Mealy::new()
+    }
+}
+
+/// Result of [`Mealy::run`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunResult<S, O> {
+    /// State after the last consumed input.
+    pub state: S,
+    /// Outputs of the consumed inputs, in order.
+    pub outputs: Vec<O>,
+    /// Number of inputs consumed.
+    pub consumed: usize,
+    /// `true` when the whole word was consumed.
+    pub complete: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MemOp, PairState, TwoCellMachine};
+
+    /// Builds the generic-representation mirror of a [`TwoCellMachine`].
+    fn generic_of(m: &TwoCellMachine) -> Mealy<usize, usize, Option<crate::Bit>> {
+        let mut g = Mealy::new();
+        for (s, op, tr) in m.entries() {
+            g.insert(s.index(), op.index(), tr.next.index(), tr.output);
+        }
+        g
+    }
+
+    #[test]
+    fn generic_mirror_agrees_with_dense_m0() {
+        let m0 = TwoCellMachine::fault_free();
+        let g = generic_of(&m0);
+        assert_eq!(g.len(), 4 * 7);
+        for (s, op, tr) in m0.entries() {
+            let (n, o) = g.step(&s.index(), &op.index()).unwrap();
+            assert_eq!(n, tr.next.index());
+            assert_eq!(o, tr.output);
+        }
+    }
+
+    #[test]
+    fn run_stops_on_undefined() {
+        let mut g: Mealy<u8, char, u8> = Mealy::new();
+        g.insert(0, 'a', 1, 10);
+        g.insert(1, 'b', 0, 20);
+        let r = g.run(&0, ['a', 'b', 'z'].iter());
+        assert_eq!(r.consumed, 2);
+        assert!(!r.complete);
+        assert_eq!(r.outputs, vec![10, 20]);
+        assert_eq!(r.state, 0);
+    }
+
+    #[test]
+    fn diff_keys_detects_overrides_and_domain_gaps() {
+        let m0 = TwoCellMachine::fault_free();
+        let g0 = generic_of(&m0);
+        let faulty = m0.with_delta(
+            PairState::from_index(1),
+            MemOp::write(crate::Cell::I, crate::Bit::One),
+            PairState::from_index(2),
+        );
+        let g1 = generic_of(&faulty);
+        let d = g0.diff_keys(&g1);
+        assert_eq!(d.len(), 1);
+
+        let mut partial = g1.clone();
+        // Emulate Qi ⊂ Q by rebuilding without state 3.
+        let mut g2 = Mealy::new();
+        for (k, v) in partial.iter() {
+            if k.0 != 3 {
+                g2.insert(k.0, k.1, v.0, v.1);
+            }
+        }
+        partial = g2;
+        assert_eq!(g1.diff_keys(&partial).len(), 7);
+    }
+
+    #[test]
+    fn empty_machine() {
+        let g: Mealy<u8, u8, u8> = Mealy::default();
+        assert!(g.is_empty());
+        assert_eq!(g.step(&0, &0), None);
+    }
+}

@@ -1,0 +1,227 @@
+//! The two-cell operation alphabet `X` of paper formula f.2.1:
+//! `X = {rᵢ, w0ᵢ, w1ᵢ | i ∈ {i, j}} ∪ {T}`.
+
+use crate::value::Bit;
+use std::fmt;
+
+/// One of the two cells of the pair automaton.
+///
+/// By the paper's convention (Section 3) the address of cell `i` is
+/// strictly lower than the address of cell `j`; an ascending (⇑) March
+/// element therefore visits `I` before `J`, a descending (⇓) one visits
+/// `J` first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Cell {
+    /// The lower-addressed cell (`i` in the paper).
+    I,
+    /// The higher-addressed cell (`j` in the paper).
+    J,
+}
+
+impl Cell {
+    /// Both cells, lower address first.
+    pub const ALL: [Cell; 2] = [Cell::I, Cell::J];
+
+    /// The other cell of the pair.
+    #[must_use]
+    pub fn other(self) -> Cell {
+        match self {
+            Cell::I => Cell::J,
+            Cell::J => Cell::I,
+        }
+    }
+
+    /// Index (`I → 0`, `J → 1`) for table lookups.
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            Cell::I => 0,
+            Cell::J => 1,
+        }
+    }
+}
+
+impl fmt::Display for Cell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Cell::I => "i",
+            Cell::J => "j",
+        })
+    }
+}
+
+/// A memory operation of the two-cell automaton.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum MemOp {
+    /// `rᵢ` / `rⱼ` — read the addressed cell; the machine outputs its value.
+    Read(Cell),
+    /// `wdᵢ` / `wdⱼ` — write value `d` into the addressed cell.
+    Write(Cell, Bit),
+    /// `T` — wait for a defined period of time (used to excite
+    /// data-retention faults; affects no cell of a fault-free memory).
+    Delay,
+}
+
+/// The broad kind of a [`MemOp`], without its operands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum OpKind {
+    /// A read.
+    Read,
+    /// A write.
+    Write,
+    /// The wait operation `T`.
+    Delay,
+}
+
+/// Number of symbols in the two-cell alphabet
+/// (`r` ×2 cells + `w0`/`w1` ×2 cells + `T`).
+pub const NUM_OPS: usize = 7;
+
+/// Every symbol of the two-cell alphabet, in index order
+/// (see [`MemOp::index`]).
+pub const ALL_OPS: [MemOp; NUM_OPS] = [
+    MemOp::Read(Cell::I),
+    MemOp::Read(Cell::J),
+    MemOp::Write(Cell::I, Bit::Zero),
+    MemOp::Write(Cell::I, Bit::One),
+    MemOp::Write(Cell::J, Bit::Zero),
+    MemOp::Write(Cell::J, Bit::One),
+    MemOp::Delay,
+];
+
+impl MemOp {
+    /// Convenience constructor for a read of `cell`.
+    #[must_use]
+    pub fn read(cell: Cell) -> MemOp {
+        MemOp::Read(cell)
+    }
+
+    /// Convenience constructor for a write of `value` into `cell`.
+    #[must_use]
+    pub fn write(cell: Cell, value: Bit) -> MemOp {
+        MemOp::Write(cell, value)
+    }
+
+    /// The cell the operation addresses (`None` for [`MemOp::Delay`]).
+    #[must_use]
+    pub fn cell(self) -> Option<Cell> {
+        match self {
+            MemOp::Read(c) | MemOp::Write(c, _) => Some(c),
+            MemOp::Delay => None,
+        }
+    }
+
+    /// The written value, if the operation is a write.
+    #[must_use]
+    pub fn written(self) -> Option<Bit> {
+        match self {
+            MemOp::Write(_, d) => Some(d),
+            _ => None,
+        }
+    }
+
+    /// The operation kind.
+    #[must_use]
+    pub fn kind(self) -> OpKind {
+        match self {
+            MemOp::Read(_) => OpKind::Read,
+            MemOp::Write(..) => OpKind::Write,
+            MemOp::Delay => OpKind::Delay,
+        }
+    }
+
+    /// `true` for reads.
+    #[must_use]
+    pub fn is_read(self) -> bool {
+        matches!(self, MemOp::Read(_))
+    }
+
+    /// `true` for writes.
+    #[must_use]
+    pub fn is_write(self) -> bool {
+        matches!(self, MemOp::Write(..))
+    }
+
+    /// Dense index of the symbol within [`ALL_OPS`].
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            MemOp::Read(c) => c.index(),
+            MemOp::Write(c, d) => 2 + c.index() * 2 + d.as_usize(),
+            MemOp::Delay => 6,
+        }
+    }
+
+    /// The same operation re-targeted at the other cell
+    /// ([`MemOp::Delay`] is unchanged).
+    #[must_use]
+    pub fn mirrored(self) -> MemOp {
+        match self {
+            MemOp::Read(c) => MemOp::Read(c.other()),
+            MemOp::Write(c, d) => MemOp::Write(c.other(), d),
+            MemOp::Delay => MemOp::Delay,
+        }
+    }
+}
+
+impl fmt::Display for MemOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemOp::Read(c) => write!(f, "r{c}"),
+            MemOp::Write(c, d) => write!(f, "w{d}{c}"),
+            MemOp::Delay => f.write_str("T"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alphabet_has_seven_symbols_as_in_f21() {
+        // f.2.1 for n = 2: |X| = 3n + 1 = 7.
+        assert_eq!(ALL_OPS.len(), 7);
+    }
+
+    #[test]
+    fn index_is_dense_and_consistent() {
+        for (k, op) in ALL_OPS.iter().enumerate() {
+            assert_eq!(op.index(), k, "op {op} has wrong index");
+        }
+    }
+
+    #[test]
+    fn mirrored_swaps_cells() {
+        assert_eq!(
+            MemOp::write(Cell::I, Bit::One).mirrored(),
+            MemOp::write(Cell::J, Bit::One)
+        );
+        assert_eq!(MemOp::read(Cell::J).mirrored(), MemOp::read(Cell::I));
+        assert_eq!(MemOp::Delay.mirrored(), MemOp::Delay);
+    }
+
+    #[test]
+    fn mirror_is_involutive() {
+        for op in ALL_OPS {
+            assert_eq!(op.mirrored().mirrored(), op);
+        }
+    }
+
+    #[test]
+    fn display_uses_paper_notation() {
+        assert_eq!(MemOp::write(Cell::I, Bit::Zero).to_string(), "w0i");
+        assert_eq!(MemOp::read(Cell::J).to_string(), "rj");
+        assert_eq!(MemOp::Delay.to_string(), "T");
+    }
+
+    #[test]
+    fn accessors() {
+        let w = MemOp::write(Cell::J, Bit::One);
+        assert_eq!(w.cell(), Some(Cell::J));
+        assert_eq!(w.written(), Some(Bit::One));
+        assert!(w.is_write() && !w.is_read());
+        assert_eq!(MemOp::Delay.cell(), None);
+        assert_eq!(MemOp::read(Cell::I).written(), None);
+    }
+}

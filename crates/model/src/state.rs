@@ -1,0 +1,277 @@
+//! Two-cell memory states, possibly partial (`-` components), and the
+//! Hamming-distance weight function of paper formula f.4.1.
+
+use crate::op::{Cell, MemOp};
+use crate::value::{Bit, Tri};
+use std::fmt;
+
+/// The state of the two-cell memory: the contents of cells `i` and `j`.
+///
+/// Components may be [`Tri::X`]: in a *test-pattern initialization state*
+/// an `X` means "don't care", in a *simulated memory* it means
+/// "uninitialized". The type offers both readings; see
+/// [`PairState::satisfies`] and [`PairState::distance_to`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PairState {
+    /// Content of the lower-addressed cell `i`.
+    pub i: Tri,
+    /// Content of the higher-addressed cell `j`.
+    pub j: Tri,
+}
+
+impl PairState {
+    /// A state with both cells unknown (`--`), the power-up state.
+    pub const UNKNOWN: PairState = PairState { i: Tri::X, j: Tri::X };
+
+    /// Creates a state from two three-valued contents.
+    #[must_use]
+    pub fn new(i: Tri, j: Tri) -> PairState {
+        PairState { i, j }
+    }
+
+    /// Creates a fully known state from two bits.
+    #[must_use]
+    pub fn new_known(i: Bit, j: Bit) -> PairState {
+        PairState { i: i.into(), j: j.into() }
+    }
+
+    /// All four fully specified states `00, 01, 10, 11`, in the index order
+    /// used by [`crate::TwoCellMachine`].
+    #[must_use]
+    pub fn all_known() -> [PairState; 4] {
+        [
+            PairState::new_known(Bit::Zero, Bit::Zero),
+            PairState::new_known(Bit::Zero, Bit::One),
+            PairState::new_known(Bit::One, Bit::Zero),
+            PairState::new_known(Bit::One, Bit::One),
+        ]
+    }
+
+    /// The content of `cell`.
+    #[must_use]
+    pub fn get(&self, cell: Cell) -> Tri {
+        match cell {
+            Cell::I => self.i,
+            Cell::J => self.j,
+        }
+    }
+
+    /// Returns a copy with `cell` set to `value`.
+    #[must_use]
+    pub fn with(self, cell: Cell, value: Tri) -> PairState {
+        match cell {
+            Cell::I => PairState { i: value, ..self },
+            Cell::J => PairState { j: value, ..self },
+        }
+    }
+
+    /// `true` when both components are known.
+    #[must_use]
+    pub fn is_fully_known(&self) -> bool {
+        self.i.is_known() && self.j.is_known()
+    }
+
+    /// `true` when every *specified* component holds the same value —
+    /// the "00 / 11" condition of paper formula f.4.4 (such states are
+    /// reachable with a single March write element).
+    ///
+    /// States with no specified component are uniform.
+    #[must_use]
+    pub fn is_uniform(&self) -> bool {
+        match (self.i.bit(), self.j.bit()) {
+            (Some(a), Some(b)) => a == b,
+            _ => true,
+        }
+    }
+
+    /// Dense index `i*2 + j` of a fully known state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any component is unknown.
+    #[must_use]
+    pub fn index(&self) -> usize {
+        let i = self.i.bit().expect("state component i is unknown").as_usize();
+        let j = self.j.bit().expect("state component j is unknown").as_usize();
+        i * 2 + j
+    }
+
+    /// Inverse of [`PairState::index`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx > 3`.
+    #[must_use]
+    pub fn from_index(idx: usize) -> PairState {
+        assert!(idx < 4, "state index out of range: {idx}");
+        PairState::new_known(Bit::from_usize(idx / 2), Bit::from_usize(idx % 2))
+    }
+
+    /// Whether this (concrete) state satisfies a (possibly partial)
+    /// requirement: every specified component of `req` must match.
+    #[must_use]
+    pub fn satisfies(&self, req: &PairState) -> bool {
+        self.i.satisfies(req.i) && self.j.satisfies(req.j)
+    }
+
+    /// The *weight* function of paper formula f.4.1: the number of write
+    /// operations needed to move a memory whose state is `self` into a
+    /// state satisfying `target`.
+    ///
+    /// This is the Hamming distance over the components `target` specifies;
+    /// an unknown component of `self` always costs a write (its content
+    /// cannot be relied upon).
+    ///
+    /// ```
+    /// # use marchgen_model::{PairState, Tri};
+    /// let s = PairState::new(Tri::One, Tri::Zero);
+    /// let t = PairState::new(Tri::Zero, Tri::Zero);
+    /// assert_eq!(s.distance_to(&t), 1);
+    /// assert_eq!(PairState::UNKNOWN.distance_to(&t), 2);
+    /// ```
+    #[must_use]
+    pub fn distance_to(&self, target: &PairState) -> u32 {
+        let component = |have: Tri, want: Tri| -> u32 {
+            match want {
+                Tri::X => 0,
+                _ if have == want => 0,
+                _ => 1,
+            }
+        };
+        component(self.i, target.i) + component(self.j, target.j)
+    }
+
+    /// The writes that move `self` into a state satisfying `target`
+    /// (cell `i` first). The length equals [`PairState::distance_to`].
+    #[must_use]
+    pub fn writes_to(&self, target: &PairState) -> Vec<MemOp> {
+        let mut ops = Vec::new();
+        for cell in Cell::ALL {
+            if let Some(bit) = target.get(cell).bit() {
+                if self.get(cell) != Tri::from(bit) {
+                    ops.push(MemOp::write(cell, bit));
+                }
+            }
+        }
+        ops
+    }
+
+    /// Merges two partial states, returning `None` on conflicting
+    /// specified components. Used when one test pattern must satisfy two
+    /// requirements at once.
+    #[must_use]
+    pub fn merge(&self, other: &PairState) -> Option<PairState> {
+        let comp = |a: Tri, b: Tri| -> Option<Tri> {
+            match (a, b) {
+                (Tri::X, v) | (v, Tri::X) => Some(v),
+                (a, b) if a == b => Some(a),
+                _ => None,
+            }
+        };
+        Some(PairState { i: comp(self.i, other.i)?, j: comp(self.j, other.j)? })
+    }
+
+    /// The state with both components complemented (`X` unchanged). Data
+    /// polarity is a symmetry of the fault models, so complemented states
+    /// appear in complement-equivalent tests.
+    #[must_use]
+    pub fn complement(&self) -> PairState {
+        PairState { i: self.i.flip(), j: self.j.flip() }
+    }
+
+    /// The state with the two cells swapped (address-order mirror).
+    #[must_use]
+    pub fn mirrored(&self) -> PairState {
+        PairState { i: self.j, j: self.i }
+    }
+}
+
+impl fmt::Display for PairState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", self.i, self.j)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrip() {
+        for idx in 0..4 {
+            assert_eq!(PairState::from_index(idx).index(), idx);
+        }
+    }
+
+    #[test]
+    fn uniform_states() {
+        assert!(PairState::new_known(Bit::Zero, Bit::Zero).is_uniform());
+        assert!(PairState::new_known(Bit::One, Bit::One).is_uniform());
+        assert!(!PairState::new_known(Bit::Zero, Bit::One).is_uniform());
+        assert!(PairState::new(Tri::One, Tri::X).is_uniform());
+        assert!(PairState::UNKNOWN.is_uniform());
+    }
+
+    #[test]
+    fn distance_examples_from_figure4() {
+        // Figure 4 edge weights: obs(TP3)=10 → init(TP2)=10 is 0,
+        // obs(TP1)=11 → init(TP2)=10 is 1, obs(TP3)=10 → init(TP1)=01 is 2.
+        let s10 = PairState::new_known(Bit::One, Bit::Zero);
+        let s11 = PairState::new_known(Bit::One, Bit::One);
+        let s01 = PairState::new_known(Bit::Zero, Bit::One);
+        assert_eq!(s10.distance_to(&s10), 0);
+        assert_eq!(s11.distance_to(&s10), 1);
+        assert_eq!(s10.distance_to(&s01), 2);
+    }
+
+    #[test]
+    fn distance_ignores_dont_care_targets() {
+        let t = PairState::new(Tri::One, Tri::X);
+        assert_eq!(PairState::new_known(Bit::One, Bit::Zero).distance_to(&t), 0);
+        assert_eq!(PairState::new_known(Bit::Zero, Bit::One).distance_to(&t), 1);
+        assert_eq!(PairState::UNKNOWN.distance_to(&t), 1);
+    }
+
+    #[test]
+    fn writes_to_reaches_target() {
+        for s in PairState::all_known() {
+            for t in PairState::all_known() {
+                let mut cur = s;
+                let ops = s.writes_to(&t);
+                assert_eq!(ops.len() as u32, s.distance_to(&t));
+                for op in ops {
+                    if let MemOp::Write(c, d) = op {
+                        cur = cur.with(c, d.into());
+                    }
+                }
+                assert!(cur.satisfies(&t));
+            }
+        }
+    }
+
+    #[test]
+    fn merge_conflicts_detected() {
+        let a = PairState::new(Tri::One, Tri::X);
+        let b = PairState::new(Tri::Zero, Tri::X);
+        assert_eq!(a.merge(&b), None);
+        let c = PairState::new(Tri::X, Tri::Zero);
+        assert_eq!(a.merge(&c), Some(PairState::new(Tri::One, Tri::Zero)));
+    }
+
+    #[test]
+    fn satisfies_partial() {
+        let req = PairState::new(Tri::Zero, Tri::X);
+        assert!(PairState::new_known(Bit::Zero, Bit::One).satisfies(&req));
+        assert!(!PairState::new_known(Bit::One, Bit::One).satisfies(&req));
+        assert!(!PairState::UNKNOWN.satisfies(&req));
+    }
+
+    #[test]
+    fn complement_and_mirror() {
+        let s = PairState::new(Tri::Zero, Tri::X);
+        assert_eq!(s.complement(), PairState::new(Tri::One, Tri::X));
+        assert_eq!(s.mirrored(), PairState::new(Tri::X, Tri::Zero));
+        assert_eq!(s.complement().complement(), s);
+        assert_eq!(s.mirrored().mirrored(), s);
+    }
+}

@@ -1,0 +1,325 @@
+//! The concrete two-cell memory automaton: the fault-free machine `M0`
+//! (paper Figure 1) and faulty variants built by overriding single
+//! transitions or outputs (paper formula f.2.2, Figure 2).
+
+use crate::op::{MemOp, ALL_OPS, NUM_OPS};
+use crate::state::PairState;
+use crate::value::Bit;
+use std::fmt;
+
+/// Number of fully specified states of the two-cell machine
+/// (`00`, `01`, `10`, `11`).
+pub const NUM_STATES: usize = 4;
+
+/// One entry of the `(δ, λ)` tables: successor state and produced output.
+///
+/// The output is `None` for the paper's `-` (writes and `T` produce no
+/// output on a fault-free memory).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Transition {
+    /// Successor state (index into [`PairState::all_known`] order).
+    pub next: PairState,
+    /// Output symbol, `None` for `-`.
+    pub output: Option<Bit>,
+}
+
+/// A single point where a faulty machine differs from `M0`: the paper's
+/// observable unit behind a *Basic Fault Effect*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MachineDiff {
+    /// Source state of the differing transition.
+    pub state: PairState,
+    /// Input symbol of the differing transition.
+    pub op: MemOp,
+    /// `(δ0, λ0)` entry of the fault-free machine.
+    pub good: Transition,
+    /// `(δi, λi)` entry of the faulty machine.
+    pub faulty: Transition,
+}
+
+/// A deterministic Mealy automaton over the two-cell state set
+/// `{00, 01, 10, 11}` and the seven-symbol alphabet of f.2.1.
+///
+/// The fault-free instance is the paper's `M0` (Figure 1); faulty machines
+/// are derived with [`TwoCellMachine::with_override`] and compared with
+/// [`TwoCellMachine::diff`]. A machine whose diff against `M0` has exactly
+/// one entry models a single *Basic Fault Effect* (Figure 3).
+#[derive(Clone, PartialEq, Eq)]
+pub struct TwoCellMachine {
+    table: [[Transition; NUM_OPS]; NUM_STATES],
+}
+
+impl TwoCellMachine {
+    /// Builds the fault-free machine `M0` of paper Figure 1:
+    /// writes move between states, reads output the addressed cell and
+    /// keep the state, `T` is a self-loop.
+    #[must_use]
+    pub fn fault_free() -> TwoCellMachine {
+        let mut table =
+            [[Transition { next: PairState::from_index(0), output: None }; NUM_OPS]; NUM_STATES];
+        for state in PairState::all_known() {
+            for op in ALL_OPS {
+                let tr = match op {
+                    MemOp::Read(c) => Transition {
+                        next: state,
+                        output: state.get(c).bit(),
+                    },
+                    MemOp::Write(c, d) => Transition {
+                        next: state.with(c, d.into()),
+                        output: None,
+                    },
+                    MemOp::Delay => Transition { next: state, output: None },
+                };
+                table[state.index()][op.index()] = tr;
+            }
+        }
+        TwoCellMachine { table }
+    }
+
+    /// The `(δ, λ)` entry for `(state, op)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` has unknown components (the machine is defined on
+    /// fully specified states only; enumerate power-up states explicitly).
+    #[must_use]
+    pub fn transition(&self, state: PairState, op: MemOp) -> Transition {
+        self.table[state.index()][op.index()]
+    }
+
+    /// Applies `op` in `state`, returning the successor state and output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` has unknown components.
+    #[must_use]
+    pub fn step(&self, state: PairState, op: MemOp) -> (PairState, Option<Bit>) {
+        let tr = self.transition(state, op);
+        (tr.next, tr.output)
+    }
+
+    /// Runs an operation sequence from `state`, collecting the outputs of
+    /// each step (one entry per operation, `None` for `-`).
+    #[must_use]
+    pub fn run(&self, mut state: PairState, ops: &[MemOp]) -> (PairState, Vec<Option<Bit>>) {
+        let mut outs = Vec::with_capacity(ops.len());
+        for &op in ops {
+            let (next, out) = self.step(state, op);
+            state = next;
+            outs.push(out);
+        }
+        (state, outs)
+    }
+
+    /// Returns a copy with the `(state, op)` entry replaced — the
+    /// construction of the paper's faulty machines `Mᵢ` (f.2.2).
+    #[must_use]
+    pub fn with_override(&self, state: PairState, op: MemOp, tr: Transition) -> TwoCellMachine {
+        let mut m = self.clone();
+        m.table[state.index()][op.index()] = tr;
+        m
+    }
+
+    /// Returns a copy where `(state, op)` leads to `next` (output kept).
+    #[must_use]
+    pub fn with_delta(&self, state: PairState, op: MemOp, next: PairState) -> TwoCellMachine {
+        let cur = self.transition(state, op);
+        self.with_override(state, op, Transition { next, output: cur.output })
+    }
+
+    /// Returns a copy where `(state, op)` outputs `output` (successor kept).
+    #[must_use]
+    pub fn with_lambda(
+        &self,
+        state: PairState,
+        op: MemOp,
+        output: Option<Bit>,
+    ) -> TwoCellMachine {
+        let cur = self.transition(state, op);
+        self.with_override(state, op, Transition { next: cur.next, output })
+    }
+
+    /// All `(state, op)` points where `self` and `other` differ.
+    ///
+    /// Splitting a faulty machine against `M0` with this method is exactly
+    /// the paper's BFE decomposition (Figure 3): each diff entry is one
+    /// Basic Fault Effect.
+    #[must_use]
+    pub fn diff(&self, other: &TwoCellMachine) -> Vec<MachineDiff> {
+        let mut diffs = Vec::new();
+        for state in PairState::all_known() {
+            for op in ALL_OPS {
+                let a = self.transition(state, op);
+                let b = other.transition(state, op);
+                if a != b {
+                    diffs.push(MachineDiff { state, op, good: a, faulty: b });
+                }
+            }
+        }
+        diffs
+    }
+
+    /// `true` when `self` differs from `M0` in exactly one `δ` transition
+    /// or one `λ` output — the paper's definition of a Basic Fault Effect.
+    #[must_use]
+    pub fn is_bfe(&self) -> bool {
+        TwoCellMachine::fault_free().diff(self).len() == 1
+    }
+
+    /// Iterator over every `(state, op, transition)` entry.
+    pub fn entries(&self) -> impl Iterator<Item = (PairState, MemOp, Transition)> + '_ {
+        PairState::all_known().into_iter().flat_map(move |s| {
+            ALL_OPS.into_iter().map(move |op| (s, op, self.transition(s, op)))
+        })
+    }
+}
+
+impl Default for TwoCellMachine {
+    fn default() -> TwoCellMachine {
+        TwoCellMachine::fault_free()
+    }
+}
+
+impl fmt::Debug for TwoCellMachine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let diffs = TwoCellMachine::fault_free().diff(self);
+        if diffs.is_empty() {
+            f.write_str("TwoCellMachine(M0)")
+        } else {
+            write!(f, "TwoCellMachine(M0 + {} overrides: ", diffs.len())?;
+            for (k, d) in diffs.iter().enumerate() {
+                if k > 0 {
+                    f.write_str(", ")?;
+                }
+                write!(
+                    f,
+                    "{} --{}--> {}/{}",
+                    d.state,
+                    d.op,
+                    d.faulty.next,
+                    d.faulty.output.map_or("-".to_string(), |b| b.to_string())
+                )?;
+            }
+            f.write_str(")")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::Cell;
+    use crate::value::Tri;
+
+    /// Paper Figure 1: structural properties of `M0`.
+    #[test]
+    fn figure1_m0_structure() {
+        let m0 = TwoCellMachine::fault_free();
+        // Reads are self-loops outputting the addressed cell.
+        for s in PairState::all_known() {
+            for c in Cell::ALL {
+                let tr = m0.transition(s, MemOp::read(c));
+                assert_eq!(tr.next, s);
+                assert_eq!(tr.output, s.get(c).bit());
+            }
+            // T is a silent self-loop.
+            let t = m0.transition(s, MemOp::Delay);
+            assert_eq!(t.next, s);
+            assert_eq!(t.output, None);
+            // Writes are silent and set the addressed cell.
+            for c in Cell::ALL {
+                for d in Bit::ALL {
+                    let tr = m0.transition(s, MemOp::write(c, d));
+                    assert_eq!(tr.next, s.with(c, d.into()));
+                    assert_eq!(tr.output, None);
+                }
+            }
+        }
+    }
+
+    /// Paper Figure 1 has, for each state, a silent self-loop cluster
+    /// `(w0i, w0j, T)`-style: writes of the value already held plus `T`.
+    #[test]
+    fn figure1_self_loop_clusters() {
+        let m0 = TwoCellMachine::fault_free();
+        for s in PairState::all_known() {
+            let silent_self_loops = ALL_OPS
+                .into_iter()
+                .filter(|&op| {
+                    let tr = m0.transition(s, op);
+                    tr.next == s && tr.output.is_none()
+                })
+                .count();
+            // w_{i-value} i, w_{j-value} j and T.
+            assert_eq!(silent_self_loops, 3, "state {s}");
+        }
+    }
+
+    /// Paper Figure 2: the CFid ⟨↑,0⟩ machine (aggressor `i`) differs from
+    /// `M0` by exactly one transition: `01 --w1i--> 10` instead of `11`.
+    #[test]
+    fn figure2_single_delta_override_is_bfe() {
+        let m0 = TwoCellMachine::fault_free();
+        let s01 = PairState::new(Tri::Zero, Tri::One);
+        let m1 = m0.with_delta(s01, MemOp::write(Cell::I, Bit::One), PairState::new(Tri::One, Tri::Zero));
+        assert!(m1.is_bfe());
+        let d = m0.diff(&m1);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].state, s01);
+        assert_eq!(d[0].op, MemOp::write(Cell::I, Bit::One));
+        assert_eq!(d[0].good.next, PairState::new(Tri::One, Tri::One));
+        assert_eq!(d[0].faulty.next, PairState::new(Tri::One, Tri::Zero));
+    }
+
+    #[test]
+    fn lambda_override_is_bfe() {
+        let m0 = TwoCellMachine::fault_free();
+        let s01 = PairState::new(Tri::Zero, Tri::One);
+        let m = m0.with_lambda(s01, MemOp::read(Cell::J), Some(Bit::Zero));
+        assert!(m.is_bfe());
+        let d = m0.diff(&m)[0];
+        assert_eq!(d.good.output, Some(Bit::One));
+        assert_eq!(d.faulty.output, Some(Bit::Zero));
+        assert_eq!(d.good.next, d.faulty.next);
+    }
+
+    #[test]
+    fn run_collects_outputs() {
+        let m0 = TwoCellMachine::fault_free();
+        let ops = [
+            MemOp::write(Cell::I, Bit::Zero),
+            MemOp::write(Cell::J, Bit::One),
+            MemOp::read(Cell::I),
+            MemOp::read(Cell::J),
+        ];
+        let (end, outs) = m0.run(PairState::new_known(Bit::One, Bit::Zero), &ops);
+        assert_eq!(end, PairState::new_known(Bit::Zero, Bit::One));
+        assert_eq!(outs, vec![None, None, Some(Bit::Zero), Some(Bit::One)]);
+    }
+
+    #[test]
+    fn diff_of_identical_machines_is_empty() {
+        let m0 = TwoCellMachine::fault_free();
+        assert!(m0.diff(&m0.clone()).is_empty());
+        assert!(!m0.with_delta(
+            PairState::from_index(0),
+            MemOp::write(Cell::I, Bit::One),
+            PairState::from_index(0)
+        )
+        .diff(&m0)
+        .is_empty());
+    }
+
+    #[test]
+    fn debug_never_empty() {
+        let m0 = TwoCellMachine::fault_free();
+        assert!(!format!("{m0:?}").is_empty());
+        let m = m0.with_delta(
+            PairState::from_index(1),
+            MemOp::write(Cell::I, Bit::One),
+            PairState::from_index(2),
+        );
+        let dbg = format!("{m:?}");
+        assert!(dbg.contains("w1i"), "{dbg}");
+    }
+}

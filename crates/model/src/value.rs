@@ -1,0 +1,227 @@
+//! The one-bit cell value algebra: [`Bit`] (known values) and [`Tri`]
+//! (three-valued logic with an *unknown/uninitialized* element, the `-` of
+//! the paper's state alphabet `Q = {0, 1, -}ⁿ`).
+
+use std::fmt;
+use std::ops::Not;
+
+/// A fully specified one-bit memory value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Bit {
+    /// Logic `0`.
+    Zero,
+    /// Logic `1`.
+    One,
+}
+
+impl Bit {
+    /// Both bit values, in numeric order.
+    pub const ALL: [Bit; 2] = [Bit::Zero, Bit::One];
+
+    /// The complementary value (`0 ↔ 1`).
+    ///
+    /// ```
+    /// # use marchgen_model::Bit;
+    /// assert_eq!(Bit::Zero.flip(), Bit::One);
+    /// ```
+    #[must_use]
+    pub fn flip(self) -> Bit {
+        match self {
+            Bit::Zero => Bit::One,
+            Bit::One => Bit::Zero,
+        }
+    }
+
+    /// Numeric value (`0` or `1`), handy for indexing tables.
+    #[must_use]
+    pub fn as_usize(self) -> usize {
+        match self {
+            Bit::Zero => 0,
+            Bit::One => 1,
+        }
+    }
+
+    /// Inverse of [`Bit::as_usize`] for values `0`/`1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v > 1`.
+    #[must_use]
+    pub fn from_usize(v: usize) -> Bit {
+        match v {
+            0 => Bit::Zero,
+            1 => Bit::One,
+            _ => panic!("bit value out of range: {v}"),
+        }
+    }
+}
+
+impl Not for Bit {
+    type Output = Bit;
+    fn not(self) -> Bit {
+        self.flip()
+    }
+}
+
+impl From<bool> for Bit {
+    fn from(b: bool) -> Bit {
+        if b {
+            Bit::One
+        } else {
+            Bit::Zero
+        }
+    }
+}
+
+impl From<Bit> for bool {
+    fn from(b: Bit) -> bool {
+        b == Bit::One
+    }
+}
+
+impl fmt::Display for Bit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Bit::Zero => "0",
+            Bit::One => "1",
+        })
+    }
+}
+
+/// A three-valued cell content: `0`, `1`, or `-` (unknown/uninitialized).
+///
+/// `X` is the power-up value of a real memory cell; a deterministic test
+/// cannot rely on it. The simulator propagates `X` so that "reads only
+/// verify initialized cells" is checked, not assumed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Tri {
+    /// Logic `0`.
+    Zero,
+    /// Logic `1`.
+    One,
+    /// Unknown / uninitialized (the paper's `-`).
+    #[default]
+    X,
+}
+
+impl Tri {
+    /// All three values.
+    pub const ALL: [Tri; 3] = [Tri::Zero, Tri::One, Tri::X];
+
+    /// `true` when the value is `0` or `1`.
+    #[must_use]
+    pub fn is_known(self) -> bool {
+        !matches!(self, Tri::X)
+    }
+
+    /// The known bit, if any.
+    #[must_use]
+    pub fn bit(self) -> Option<Bit> {
+        match self {
+            Tri::Zero => Some(Bit::Zero),
+            Tri::One => Some(Bit::One),
+            Tri::X => None,
+        }
+    }
+
+    /// Three-valued complement; `X` stays `X`.
+    #[must_use]
+    pub fn flip(self) -> Tri {
+        match self {
+            Tri::Zero => Tri::One,
+            Tri::One => Tri::Zero,
+            Tri::X => Tri::X,
+        }
+    }
+
+    /// Whether a cell holding `self` is *compatible* with a required value
+    /// `req` (an `X` requirement accepts anything; an `X` content satisfies
+    /// nothing but `X`).
+    ///
+    /// ```
+    /// # use marchgen_model::Tri;
+    /// assert!(Tri::Zero.satisfies(Tri::X));
+    /// assert!(!Tri::X.satisfies(Tri::Zero));
+    /// ```
+    #[must_use]
+    pub fn satisfies(self, req: Tri) -> bool {
+        match req {
+            Tri::X => true,
+            _ => self == req,
+        }
+    }
+}
+
+impl From<Bit> for Tri {
+    fn from(b: Bit) -> Tri {
+        match b {
+            Bit::Zero => Tri::Zero,
+            Bit::One => Tri::One,
+        }
+    }
+}
+
+impl fmt::Display for Tri {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Tri::Zero => "0",
+            Tri::One => "1",
+            Tri::X => "-",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_flip_is_involutive() {
+        for b in Bit::ALL {
+            assert_eq!(b.flip().flip(), b);
+        }
+    }
+
+    #[test]
+    fn bit_usize_roundtrip() {
+        for b in Bit::ALL {
+            assert_eq!(Bit::from_usize(b.as_usize()), b);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bit_from_usize_rejects_large() {
+        let _ = Bit::from_usize(2);
+    }
+
+    #[test]
+    fn tri_flip_keeps_x() {
+        assert_eq!(Tri::X.flip(), Tri::X);
+        assert_eq!(Tri::Zero.flip(), Tri::One);
+    }
+
+    #[test]
+    fn tri_satisfies_dont_care() {
+        for t in Tri::ALL {
+            assert!(t.satisfies(Tri::X), "{t} should satisfy '-'");
+        }
+        assert!(!Tri::X.satisfies(Tri::Zero));
+        assert!(Tri::One.satisfies(Tri::One));
+        assert!(!Tri::One.satisfies(Tri::Zero));
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(Tri::X.to_string(), "-");
+        assert_eq!(Bit::One.to_string(), "1");
+        assert_eq!(Tri::Zero.to_string(), "0");
+    }
+
+    #[test]
+    fn bool_conversions() {
+        assert_eq!(Bit::from(true), Bit::One);
+        assert!(bool::from(Bit::One));
+        assert!(!bool::from(Bit::Zero));
+    }
+}

@@ -1,0 +1,100 @@
+//! Property tests for the two-cell machine and state algebra.
+
+use marchgen_model::{Bit, Cell, MemOp, PairState, Transition, TwoCellMachine, ALL_OPS};
+use proptest::prelude::*;
+
+fn op_strategy() -> impl Strategy<Value = MemOp> {
+    (0usize..ALL_OPS.len()).prop_map(|k| ALL_OPS[k])
+}
+
+fn state_strategy() -> impl Strategy<Value = PairState> {
+    (0usize..4).prop_map(PairState::from_index)
+}
+
+proptest! {
+    /// M0 is write-deterministic: the state after a sequence equals the
+    /// last written value per cell (or the start value if never written).
+    #[test]
+    fn m0_state_is_last_write(
+        start in state_strategy(),
+        ops in proptest::collection::vec(op_strategy(), 0..32),
+    ) {
+        let m0 = TwoCellMachine::fault_free();
+        let (end, _) = m0.run(start, &ops);
+        for cell in Cell::ALL {
+            let expected = ops
+                .iter()
+                .rev()
+                .find_map(|op| match op {
+                    MemOp::Write(c, d) if *c == cell => Some((*d).into()),
+                    _ => None,
+                })
+                .unwrap_or(start.get(cell));
+            prop_assert_eq!(end.get(cell), expected);
+        }
+    }
+
+    /// M0 reads echo the current state and never change it.
+    #[test]
+    fn m0_reads_are_pure(start in state_strategy()) {
+        let m0 = TwoCellMachine::fault_free();
+        for cell in Cell::ALL {
+            let (next, out) = m0.step(start, MemOp::read(cell));
+            prop_assert_eq!(next, start);
+            prop_assert_eq!(out, start.get(cell).bit());
+        }
+    }
+
+    /// Overriding an entry and diffing recovers exactly that entry.
+    #[test]
+    fn override_diff_roundtrip(
+        state in state_strategy(),
+        op in op_strategy(),
+        target in state_strategy(),
+        out_sel in 0usize..3,
+    ) {
+        let m0 = TwoCellMachine::fault_free();
+        let output = [None, Some(Bit::Zero), Some(Bit::One)][out_sel];
+        let tr = Transition { next: target, output };
+        let faulty = m0.with_override(state, op, tr);
+        let diffs = m0.diff(&faulty);
+        if m0.transition(state, op) == tr {
+            prop_assert!(diffs.is_empty());
+        } else {
+            prop_assert_eq!(diffs.len(), 1);
+            prop_assert_eq!(diffs[0].state, state);
+            prop_assert_eq!(diffs[0].op, op);
+            prop_assert_eq!(diffs[0].faulty, tr);
+            prop_assert!(faulty.is_bfe());
+        }
+    }
+
+    /// distance_to is a metric-like gauge on fully known states: zero iff
+    /// satisfying, symmetric on fully specified states, ≤ 2.
+    #[test]
+    fn distance_properties(a in state_strategy(), b in state_strategy()) {
+        let d = a.distance_to(&b);
+        prop_assert!(d <= 2);
+        prop_assert_eq!(d == 0, a.satisfies(&b));
+        prop_assert_eq!(a.distance_to(&b), b.distance_to(&a));
+    }
+
+    /// writes_to produces exactly distance_to writes and reaches the
+    /// target through M0.
+    #[test]
+    fn writes_realize_distance(a in state_strategy(), b in state_strategy()) {
+        let m0 = TwoCellMachine::fault_free();
+        let writes = a.writes_to(&b);
+        prop_assert_eq!(writes.len() as u32, a.distance_to(&b));
+        let (end, _) = m0.run(a, &writes);
+        prop_assert!(end.satisfies(&b));
+    }
+
+    /// Mirror and complement are commuting involutions on states.
+    #[test]
+    fn state_symmetries(a in state_strategy()) {
+        prop_assert_eq!(a.mirrored().mirrored(), a);
+        prop_assert_eq!(a.complement().complement(), a);
+        prop_assert_eq!(a.mirrored().complement(), a.complement().mirrored());
+    }
+}

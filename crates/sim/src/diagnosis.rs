@@ -1,0 +1,261 @@
+//! Diagnostic analysis — the direction of the paper's reference \[6\]
+//! (Niggemeyer, Redeker, Rudnick: *"Diagnostic Testing of Embedded
+//! Memories based on Output Tracing"*): beyond detecting a fault, a March
+//! test's **syndrome** (which reads fail, and where, relative to the
+//! fault site) can identify *which* fault model is present.
+//!
+//! A syndrome here is the canonical-scenario fingerprint of a fault
+//! site: for a fixed scenario suite (deterministic power-up patterns and
+//! `⇕` resolutions), the set of per-cell operation indices whose reads
+//! mismatch, together with the failing address's role (the site itself,
+//! below it, above it). Sites of the same model at different addresses
+//! map to the same *positional* syndrome, so syndromes classify
+//! **models**, not addresses.
+
+use crate::engine::{power_up_patterns, resolution_vectors, run, FaultSite};
+use crate::memory::{FaultyMemory, SiteCells};
+use marchgen_faults::FaultModel;
+use marchgen_march::MarchTest;
+use marchgen_model::Bit;
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// The failing address's position relative to the fault site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FailRole {
+    /// The mismatch is at a site cell (the faulty/victim cell itself).
+    AtSite,
+    /// The mismatch is at a lower address than every site cell.
+    Below,
+    /// The mismatch is at a higher address than every site cell.
+    Above,
+    /// Anything else (between pair cells).
+    Between,
+}
+
+/// A positional syndrome: the ordered set of `(op index, role)` fail
+/// coordinates accumulated over the scenario suite.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub struct Syndrome {
+    entries: BTreeSet<(usize, FailRole)>,
+}
+
+impl Syndrome {
+    /// `true` when no read ever failed (the fault escaped every
+    /// scenario).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of distinct fail coordinates.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Iterates the fail coordinates.
+    pub fn iter(&self) -> impl Iterator<Item = &(usize, FailRole)> {
+        self.entries.iter()
+    }
+}
+
+impl fmt::Display for Syndrome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("{")?;
+        for (k, (op, role)) in self.entries.iter().enumerate() {
+            if k > 0 {
+                f.write_str(", ")?;
+            }
+            let r = match role {
+                FailRole::AtSite => "@",
+                FailRole::Below => "<",
+                FailRole::Above => ">",
+                FailRole::Between => "~",
+            };
+            write!(f, "op{op}{r}")?;
+        }
+        f.write_str("}")
+    }
+}
+
+fn role_of(addr: usize, cells: &SiteCells) -> FailRole {
+    let addrs = cells.addresses();
+    if addrs.contains(&addr) {
+        FailRole::AtSite
+    } else if addrs.iter().all(|&a| addr < a) {
+        FailRole::Below
+    } else if addrs.iter().all(|&a| addr > a) {
+        FailRole::Above
+    } else {
+        FailRole::Between
+    }
+}
+
+/// Computes the positional syndrome of one fault site under `test`.
+#[must_use]
+pub fn syndrome(test: &MarchTest, site: &FaultSite, n: usize) -> Syndrome {
+    let mut entries = BTreeSet::new();
+    for pattern in power_up_patterns(site, n) {
+        for resolution in resolution_vectors(test) {
+            for &latch in latch_suite(site.model) {
+                let mut mem = FaultyMemory::new(pattern.clone(), site.model, site.cells, latch);
+                for record in run(test, &mut mem, &resolution) {
+                    if record.mismatch() {
+                        entries.insert((record.op_index, role_of(record.addr, &site.cells)));
+                    }
+                }
+            }
+        }
+    }
+    Syndrome { entries }
+}
+
+fn latch_suite(model: FaultModel) -> &'static [Bit] {
+    match model {
+        FaultModel::StuckOpen => &Bit::ALL,
+        _ => &[Bit::Zero],
+    }
+}
+
+/// The canonical per-model syndrome: union over a fixed representative
+/// site set (first cell / first ordered pair in both orders), so that
+/// the classification is address-independent.
+#[must_use]
+pub fn model_syndrome(test: &MarchTest, model: FaultModel, n: usize) -> Syndrome {
+    assert!(n >= 3, "diagnosis needs at least 3 cells");
+    let sites: Vec<FaultSite> = if model.is_pair_fault() {
+        vec![
+            FaultSite { model, cells: SiteCells::Pair { aggressor: 1, victim: n - 2 } },
+            FaultSite { model, cells: SiteCells::Pair { aggressor: n - 2, victim: 1 } },
+        ]
+    } else {
+        vec![FaultSite { model, cells: SiteCells::Single(1) }]
+    };
+    let mut merged = Syndrome::default();
+    for site in sites {
+        merged.entries.extend(syndrome(test, &site, n).entries);
+    }
+    merged
+}
+
+/// The diagnosability report of a test over a set of fault models.
+#[derive(Debug, Clone)]
+pub struct DiagnosisReport {
+    /// Model → syndrome.
+    pub syndromes: Vec<(FaultModel, Syndrome)>,
+    /// Groups of models sharing a syndrome (indistinguishable classes).
+    pub classes: Vec<Vec<FaultModel>>,
+}
+
+impl DiagnosisReport {
+    /// Diagnostic resolution: distinguishable classes / models (1.0 =
+    /// every model identified uniquely).
+    #[must_use]
+    pub fn resolution(&self) -> f64 {
+        if self.syndromes.is_empty() {
+            return 1.0;
+        }
+        self.classes.len() as f64 / self.syndromes.len() as f64
+    }
+
+    /// `true` when every pair of models is told apart.
+    #[must_use]
+    pub fn fully_diagnostic(&self) -> bool {
+        self.classes.iter().all(|c| c.len() == 1)
+    }
+}
+
+impl fmt::Display for DiagnosisReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "diagnosis: {} models, {} classes (resolution {:.2})",
+            self.syndromes.len(),
+            self.classes.len(),
+            self.resolution()
+        )?;
+        for class in &self.classes {
+            let names: Vec<String> = class.iter().map(|m| m.to_string()).collect();
+            writeln!(f, "  [{}]", names.join(" = "))?;
+        }
+        Ok(())
+    }
+}
+
+/// Builds the diagnosability report of `test` against `models`.
+#[must_use]
+pub fn diagnose(test: &MarchTest, models: &[FaultModel], n: usize) -> DiagnosisReport {
+    let syndromes: Vec<(FaultModel, Syndrome)> =
+        models.iter().map(|&m| (m, model_syndrome(test, m, n))).collect();
+    let mut by_syndrome: BTreeMap<Syndrome, Vec<FaultModel>> = BTreeMap::new();
+    for (m, s) in &syndromes {
+        by_syndrome.entry(s.clone()).or_default().push(*m);
+    }
+    DiagnosisReport { syndromes, classes: by_syndrome.into_values().collect() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use marchgen_faults::{parse_fault_list, TransitionDir};
+    use marchgen_march::known;
+
+    #[test]
+    fn undetected_faults_have_empty_syndromes() {
+        // MATS has no delay: a retention fault never manifests, so its
+        // syndrome is empty. (TF↓ would be wrong here: MATS misses it
+        // only in *some* scenarios, and syndromes record possible fails.)
+        let s = model_syndrome(&known::mats(), FaultModel::DataRetention(Bit::One), 4);
+        assert!(s.is_empty());
+        let _ = TransitionDir::Up; // keep the import exercised
+    }
+
+    #[test]
+    fn detected_faults_have_nonempty_syndromes() {
+        let s = model_syndrome(&known::march_c_minus(), FaultModel::StuckAt(Bit::Zero), 4);
+        assert!(!s.is_empty());
+        assert!(s.to_string().contains("op"), "{s}");
+    }
+
+    #[test]
+    fn sa0_and_sa1_are_distinguished_by_any_read_pair() {
+        let report = diagnose(
+            &known::mats(),
+            &[FaultModel::StuckAt(Bit::Zero), FaultModel::StuckAt(Bit::One)],
+            4,
+        );
+        assert!(report.fully_diagnostic(), "{report}");
+    }
+
+    #[test]
+    fn richer_tests_diagnose_no_worse() {
+        let models = parse_fault_list("SAF, TF, CFid").unwrap();
+        let small = diagnose(&known::mats_plus_plus(), &models, 4);
+        let large = diagnose(&known::march_ss(), &models, 4);
+        assert!(
+            large.classes.len() >= small.classes.len(),
+            "March SS ({}) vs MATS++ ({})",
+            large.classes.len(),
+            small.classes.len()
+        );
+    }
+
+    #[test]
+    fn syndromes_are_address_independent_for_single_faults() {
+        let t = known::march_c_minus();
+        let m = FaultModel::StuckAt(Bit::One);
+        let a = syndrome(&t, &FaultSite { model: m, cells: SiteCells::Single(1) }, 4);
+        let b = syndrome(&t, &FaultSite { model: m, cells: SiteCells::Single(2) }, 4);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn report_display_lists_classes() {
+        let models = parse_fault_list("SAF").unwrap();
+        let report = diagnose(&known::mats(), &models, 4);
+        let s = report.to_string();
+        assert!(s.contains("classes"), "{s}");
+    }
+}

@@ -1,0 +1,270 @@
+//! Linked (interacting) fault pairs — the phenomenon behind March LR and
+//! the paper's "more complex user-defined fault models" outlook: two
+//! simultaneously present faults can **mask** each other, so a test that
+//! detects each fault alone may miss their combination.
+//!
+//! The textbook example: two inversion couplings sharing a victim. An
+//! ascending element `⇑(r0,w1)` triggers both aggressors before reaching
+//! the victim; the victim flips twice and reads back clean.
+
+use crate::engine::{power_up_patterns, resolution_vectors, run, FaultSite};
+use crate::memory::{FaultyMemory, MemoryBehavior, SiteCells};
+use marchgen_march::MarchTest;
+use marchgen_model::Bit;
+
+/// Two fault instances present at once. The first fault's behaviour is
+/// applied before the second on every operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkedPair {
+    /// First fault.
+    pub a: FaultSite,
+    /// Second fault.
+    pub b: FaultSite,
+}
+
+/// A memory with two injected faults, composed operation-wise: every
+/// access is replayed on both single-fault memories and the cell array
+/// views are *reconciled* against the fault-free expectation — a cell
+/// whose value deviates from what a fault-free memory would hold carries
+/// the deviating fault's effect, and the reconciled value is mirrored
+/// back into both views.
+///
+/// The composition is exact for pairs whose storage mechanisms do not
+/// deviate on the *same cell in the same operation* (the classical
+/// linked-fault setting). When both deviate at once, fault `a` wins —
+/// arbitrary but fixed, and documented.
+#[derive(Debug, Clone)]
+pub struct LinkedMemory {
+    cells: Vec<Bit>,
+    a: FaultyMemory,
+    b: FaultyMemory,
+}
+
+impl LinkedMemory {
+    /// Creates a linked-fault memory with the given power-up contents.
+    #[must_use]
+    pub fn new(cells: Vec<Bit>, pair: &LinkedPair, latch: Bit) -> LinkedMemory {
+        LinkedMemory {
+            a: FaultyMemory::new(cells.clone(), pair.a.model, pair.a.cells, latch),
+            b: FaultyMemory::new(cells.clone(), pair.b.model, pair.b.cells, latch),
+            cells,
+        }
+    }
+
+    /// Reconciles both views after an operation. `expected[c]` is the
+    /// value a fault-free memory would hold at `c` after the operation.
+    fn reconcile(&mut self, expected: &[Bit]) {
+        for (addr, &want) in expected.iter().enumerate() {
+            let pa = self.a.peek(addr);
+            let pb = self.b.peek(addr);
+            let next = if pa != want {
+                pa // fault a's storage deviates here
+            } else if pb != want {
+                pb // fault b's storage deviates here
+            } else {
+                want
+            };
+            self.cells[addr] = next;
+            self.a.poke(addr, next);
+            self.b.poke(addr, next);
+        }
+    }
+
+    /// The fault-free expectation after applying `op` to the current
+    /// shared view.
+    fn expectation(&self, write: Option<(usize, Bit)>) -> Vec<Bit> {
+        let mut e = self.cells.clone();
+        if let Some((addr, value)) = write {
+            e[addr] = value;
+        }
+        e
+    }
+}
+
+impl MemoryBehavior for LinkedMemory {
+    fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    fn write(&mut self, addr: usize, value: Bit) {
+        let expected = self.expectation(Some((addr, value)));
+        self.a.write(addr, value);
+        self.b.write(addr, value);
+        self.reconcile(&expected);
+    }
+
+    fn read(&mut self, addr: usize) -> Bit {
+        let expected = self.expectation(None);
+        let shared_before = self.cells[addr];
+        let va = self.a.read(addr);
+        let vb = self.b.read(addr);
+        // A read either fault corrupts is corrupted; resolution is
+        // against the pre-read shared view (sense-path deviation).
+        let out = if va != shared_before {
+            va
+        } else if vb != shared_before {
+            vb
+        } else {
+            shared_before
+        };
+        self.reconcile(&expected);
+        out
+    }
+
+    fn delay(&mut self) {
+        let expected = self.expectation(None);
+        self.a.delay();
+        self.b.delay();
+        self.reconcile(&expected);
+    }
+}
+
+/// Guaranteed detection of a linked pair: every scenario produces a
+/// mismatching read.
+#[must_use]
+pub fn detects_linked(test: &MarchTest, pair: &LinkedPair, n: usize) -> bool {
+    let mut patterns = power_up_patterns(&pair.a, n);
+    for p in power_up_patterns(&pair.b, n) {
+        if !patterns.contains(&p) {
+            patterns.push(p);
+        }
+    }
+    for pattern in patterns {
+        for resolution in resolution_vectors(test) {
+            let mut mem = LinkedMemory::new(pattern.clone(), pair, Bit::Zero);
+            let records = run(test, &mut mem, &resolution);
+            if records.iter().all(|r| !r.mismatch()) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Linked pairs of two instances of `model_a`/`model_b` sharing a victim
+/// cell, with both aggressors on the same side — the classical masking
+/// topology.
+#[must_use]
+pub fn shared_victim_pairs(
+    model_a: marchgen_faults::FaultModel,
+    model_b: marchgen_faults::FaultModel,
+    n: usize,
+) -> Vec<LinkedPair> {
+    let mut pairs = Vec::new();
+    for victim in 0..n {
+        for a1 in 0..n {
+            for a2 in 0..n {
+                if a1 == a2 || a1 == victim || a2 == victim {
+                    continue;
+                }
+                pairs.push(LinkedPair {
+                    a: FaultSite {
+                        model: model_a,
+                        cells: SiteCells::Pair { aggressor: a1, victim },
+                    },
+                    b: FaultSite {
+                        model: model_b,
+                        cells: SiteCells::Pair { aggressor: a2, victim },
+                    },
+                });
+            }
+        }
+    }
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use marchgen_faults::{parse_fault_list, FaultModel, TransitionDir};
+    use marchgen_march::known;
+
+    fn cfin_up() -> FaultModel {
+        FaultModel::CouplingInversion(TransitionDir::Up)
+    }
+
+    /// The masking phenomenon: March X detects every single CFin⟨↑⟩
+    /// instance, yet some linked shared-victim pair escapes it.
+    #[test]
+    fn linked_cfin_masks_march_x() {
+        let n = 4;
+        let single = parse_fault_list("CFin<u>").unwrap();
+        assert!(crate::coverage::covers_all(&known::march_x(), &single, n));
+        let escaped = shared_victim_pairs(cfin_up(), cfin_up(), n)
+            .into_iter()
+            .any(|pair| !detects_linked(&known::march_x(), &pair, n));
+        assert!(escaped, "expected a masked linked CFin pair under March X");
+    }
+
+    /// A single fault "linked" with itself degenerates to the plain
+    /// single-fault behaviour.
+    #[test]
+    fn self_linked_pair_behaves_like_single() {
+        let n = 4;
+        let site = FaultSite {
+            model: cfin_up(),
+            cells: SiteCells::Pair { aggressor: 0, victim: 2 },
+        };
+        let pair = LinkedPair { a: site, b: site };
+        assert_eq!(
+            detects_linked(&known::march_x(), &pair, n),
+            crate::engine::detects(&known::march_x(), &site, n)
+        );
+    }
+
+    /// Linked stuck-at faults at different cells never mask each other.
+    #[test]
+    fn linked_saf_cannot_mask() {
+        let n = 4;
+        let t = known::mats();
+        for c1 in 0..n {
+            for c2 in 0..n {
+                if c1 == c2 {
+                    continue;
+                }
+                let pair = LinkedPair {
+                    a: FaultSite {
+                        model: FaultModel::StuckAt(Bit::Zero),
+                        cells: SiteCells::Single(c1),
+                    },
+                    b: FaultSite {
+                        model: FaultModel::StuckAt(Bit::One),
+                        cells: SiteCells::Single(c2),
+                    },
+                };
+                assert!(detects_linked(&t, &pair, n), "{pair:?}");
+            }
+        }
+    }
+
+    /// The classical impossibility result, reproduced: a linked pair of
+    /// CFin⟨↑⟩ sharing a victim with both aggressors on the *same side*
+    /// masks itself under **every** March test — the two inversions fire
+    /// inside one sweep segment with no victim access in between. Pairs
+    /// with aggressors on opposite sides are split by the victim visit
+    /// and stay detectable.
+    #[test]
+    fn same_side_linked_cfin_is_march_untestable() {
+        let n = 4;
+        let same_side = |p: &LinkedPair| -> bool {
+            let (SiteCells::Pair { aggressor: a1, victim }, SiteCells::Pair { aggressor: a2, .. }) =
+                (p.a.cells, p.b.cells)
+            else {
+                unreachable!("constructed as pairs")
+            };
+            (a1 < victim) == (a2 < victim)
+        };
+        for (name, test) in
+            [("March X", known::march_x()), ("March C-", known::march_c_minus()), ("March SS", known::march_ss())]
+        {
+            for pair in shared_victim_pairs(cfin_up(), cfin_up(), n) {
+                let detected = detects_linked(&test, &pair, n);
+                if same_side(&pair) {
+                    assert!(!detected, "{name}: same-side pair {pair:?} unexpectedly detected");
+                } else {
+                    assert!(detected, "{name}: opposite-side pair {pair:?} escaped");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,510 @@
+//! Behavioural memories: the fault-free array and the single-fault
+//! injected array implementing every [`FaultModel`].
+
+use marchgen_faults::{AdfKind, FaultModel};
+use marchgen_model::Bit;
+
+/// The behavioural interface a March engine drives.
+pub trait MemoryBehavior {
+    /// Number of cells.
+    fn len(&self) -> usize;
+
+    /// `true` for a zero-cell memory (never constructed here).
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Writes `value` at `addr`.
+    fn write(&mut self, addr: usize, value: Bit);
+
+    /// Reads `addr`, returning what the device actually outputs.
+    fn read(&mut self, addr: usize) -> Bit;
+
+    /// The wait period `T` (data-retention decay happens here).
+    fn delay(&mut self);
+}
+
+/// A fault-free memory with a concrete power-up pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GoodMemory {
+    cells: Vec<Bit>,
+}
+
+impl GoodMemory {
+    /// Creates a memory with the given power-up contents.
+    #[must_use]
+    pub fn new(cells: Vec<Bit>) -> GoodMemory {
+        GoodMemory { cells }
+    }
+
+    /// Creates an `n`-cell memory with every cell at `fill`.
+    #[must_use]
+    pub fn filled(n: usize, fill: Bit) -> GoodMemory {
+        GoodMemory { cells: vec![fill; n] }
+    }
+
+    /// Current content of `addr`.
+    #[must_use]
+    pub fn get(&self, addr: usize) -> Bit {
+        self.cells[addr]
+    }
+}
+
+impl MemoryBehavior for GoodMemory {
+    fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    fn write(&mut self, addr: usize, value: Bit) {
+        self.cells[addr] = value;
+    }
+
+    fn read(&mut self, addr: usize) -> Bit {
+        self.cells[addr]
+    }
+
+    fn delay(&mut self) {}
+}
+
+/// Where a fault instance sits in the array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SiteCells {
+    /// A single-cell fault at this address.
+    Single(usize),
+    /// A two-cell fault: the aggressor (sensitizing) and victim
+    /// (corrupted) addresses. Any address order — both `a < v` and
+    /// `a > v` instances exist in a real array.
+    Pair {
+        /// Sensitizing cell.
+        aggressor: usize,
+        /// Corrupted cell.
+        victim: usize,
+    },
+}
+
+impl SiteCells {
+    /// Every address the site involves.
+    #[must_use]
+    pub fn addresses(&self) -> Vec<usize> {
+        match *self {
+            SiteCells::Single(c) => vec![c],
+            SiteCells::Pair { aggressor, victim } => vec![aggressor, victim],
+        }
+    }
+}
+
+/// A memory with exactly one injected fault instance.
+///
+/// The semantics mirror the behavioural definitions of the fault catalog
+/// (and, for pair faults, the two-cell machines of
+/// `marchgen_faults::catalog` — an agreement that is property-tested).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultyMemory {
+    cells: Vec<Bit>,
+    model: FaultModel,
+    site: SiteCells,
+    /// Sense-amplifier latch for stuck-open faults: holds the value of
+    /// the last read performed on *any* address.
+    latch: Bit,
+}
+
+impl FaultyMemory {
+    /// Creates a faulty memory with the given power-up contents and latch
+    /// state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the site addresses are out of range, coincide for a pair
+    /// fault, or the site shape does not match the model
+    /// (single-cell model with a pair site or vice versa).
+    #[must_use]
+    pub fn new(cells: Vec<Bit>, model: FaultModel, site: SiteCells, latch: Bit) -> FaultyMemory {
+        match site {
+            SiteCells::Single(c) => {
+                assert!(c < cells.len(), "site address out of range");
+                assert!(!model.is_pair_fault(), "{model} needs a pair site");
+            }
+            SiteCells::Pair { aggressor, victim } => {
+                assert!(aggressor < cells.len() && victim < cells.len());
+                assert_ne!(aggressor, victim, "pair site cells must differ");
+                assert!(model.is_pair_fault(), "{model} needs a single-cell site");
+            }
+        }
+        let mut mem = FaultyMemory { cells, model, site, latch };
+        mem.power_up();
+        mem
+    }
+
+    /// Applies power-up consequences of the fault (stuck cells hold their
+    /// stuck value from the start).
+    fn power_up(&mut self) {
+        if let (FaultModel::StuckAt(v), SiteCells::Single(c)) = (self.model, self.site) {
+            self.cells[c] = v;
+        }
+        self.apply_state_coupling();
+    }
+
+    fn pair(&self) -> Option<(usize, usize)> {
+        match self.site {
+            SiteCells::Pair { aggressor, victim } => Some((aggressor, victim)),
+            SiteCells::Single(_) => None,
+        }
+    }
+
+    fn single(&self) -> Option<usize> {
+        match self.site {
+            SiteCells::Single(c) => Some(c),
+            SiteCells::Pair { .. } => None,
+        }
+    }
+
+    /// CFst is a *condition*, not an event: enforce it after every
+    /// operation.
+    fn apply_state_coupling(&mut self) {
+        if let (FaultModel::CouplingState(s, f), Some((a, v))) = (self.model, self.pair()) {
+            if self.cells[a] == s {
+                self.cells[v] = f;
+            }
+        }
+    }
+
+    /// The injected model.
+    #[must_use]
+    pub fn model(&self) -> FaultModel {
+        self.model
+    }
+
+    /// The injected site.
+    #[must_use]
+    pub fn site(&self) -> SiteCells {
+        self.site
+    }
+
+    /// Direct view of a cell's stored value, without the read-path fault
+    /// effects (used by the linked-fault composition).
+    #[must_use]
+    pub fn peek(&self, addr: usize) -> Bit {
+        self.cells[addr]
+    }
+
+    /// Directly sets a cell's stored value, re-applying the invariants
+    /// the fault imposes on storage (stuck cells stay stuck, state
+    /// coupling re-asserts its condition). Used by the linked-fault
+    /// composition to mirror the other fault's corruption.
+    pub fn poke(&mut self, addr: usize, value: Bit) {
+        self.cells[addr] = value;
+        if let (FaultModel::StuckAt(v), SiteCells::Single(c)) = (self.model, self.site) {
+            if c == addr {
+                self.cells[addr] = v;
+            }
+        }
+        self.apply_state_coupling();
+    }
+}
+
+impl MemoryBehavior for FaultyMemory {
+    fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    fn write(&mut self, addr: usize, value: Bit) {
+        match self.model {
+            FaultModel::StuckAt(v) => {
+                if self.single() == Some(addr) {
+                    self.cells[addr] = v; // writes cannot move a stuck cell
+                } else {
+                    self.cells[addr] = value;
+                }
+            }
+            FaultModel::Transition(dir) => {
+                let blocked = self.single() == Some(addr)
+                    && self.cells[addr] == dir.from_value()
+                    && value == dir.to_value();
+                if !blocked {
+                    self.cells[addr] = value;
+                }
+            }
+            FaultModel::StuckOpen => {
+                if self.single() != Some(addr) {
+                    self.cells[addr] = value;
+                } // writes to the open cell are lost
+            }
+            FaultModel::AddressDecoder(AdfKind::Write) => {
+                self.cells[addr] = value;
+                if let Some((a, v)) = self.pair() {
+                    if addr == a {
+                        self.cells[v] = value; // the decoder also selects the victim
+                    }
+                }
+            }
+            FaultModel::CouplingInversion(dir) => {
+                let trigger = self
+                    .pair()
+                    .is_some_and(|(a, _)| addr == a)
+                    && self.cells[addr] == dir.from_value()
+                    && value == dir.to_value();
+                self.cells[addr] = value;
+                if trigger {
+                    let (_, v) = self.pair().expect("pair fault");
+                    self.cells[v] = self.cells[v].flip();
+                }
+            }
+            FaultModel::CouplingIdempotent(dir, f) => {
+                let trigger = self
+                    .pair()
+                    .is_some_and(|(a, _)| addr == a)
+                    && self.cells[addr] == dir.from_value()
+                    && value == dir.to_value();
+                self.cells[addr] = value;
+                if trigger {
+                    let (_, v) = self.pair().expect("pair fault");
+                    self.cells[v] = f;
+                }
+            }
+            _ => self.cells[addr] = value,
+        }
+        self.apply_state_coupling();
+    }
+
+    fn read(&mut self, addr: usize) -> Bit {
+        let out = match self.model {
+            FaultModel::StuckOpen if self.single() == Some(addr) => self.latch,
+            FaultModel::AddressDecoder(AdfKind::Read) => match self.pair() {
+                Some((a, v)) if addr == a => self.cells[v],
+                _ => self.cells[addr],
+            },
+            FaultModel::ReadDestructive(x)
+                if self.single() == Some(addr) && self.cells[addr] == x =>
+            {
+                self.cells[addr] = x.flip();
+                x.flip()
+            }
+            FaultModel::DeceptiveReadDestructive(x)
+                if self.single() == Some(addr) && self.cells[addr] == x =>
+            {
+                self.cells[addr] = x.flip();
+                x
+            }
+            FaultModel::IncorrectRead(x)
+                if self.single() == Some(addr) && self.cells[addr] == x =>
+            {
+                x.flip()
+            }
+            _ => self.cells[addr],
+        };
+        self.latch = out;
+        self.apply_state_coupling();
+        out
+    }
+
+    fn delay(&mut self) {
+        if let (FaultModel::DataRetention(x), Some(c)) = (self.model, self.single()) {
+            if self.cells[c] == x {
+                self.cells[c] = x.flip();
+            }
+        }
+        self.apply_state_coupling();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use marchgen_faults::TransitionDir;
+
+    fn zeros(n: usize) -> Vec<Bit> {
+        vec![Bit::Zero; n]
+    }
+
+    #[test]
+    fn good_memory_roundtrip() {
+        let mut m = GoodMemory::filled(4, Bit::Zero);
+        m.write(2, Bit::One);
+        assert_eq!(m.read(2), Bit::One);
+        assert_eq!(m.read(0), Bit::Zero);
+        m.delay();
+        assert_eq!(m.get(2), Bit::One);
+    }
+
+    #[test]
+    fn stuck_at_ignores_writes() {
+        let mut m = FaultyMemory::new(
+            zeros(3),
+            FaultModel::StuckAt(Bit::Zero),
+            SiteCells::Single(1),
+            Bit::Zero,
+        );
+        m.write(1, Bit::One);
+        assert_eq!(m.read(1), Bit::Zero);
+        m.write(0, Bit::One);
+        assert_eq!(m.read(0), Bit::One);
+    }
+
+    #[test]
+    fn transition_fault_blocks_one_direction() {
+        let mut m = FaultyMemory::new(
+            zeros(2),
+            FaultModel::Transition(TransitionDir::Up),
+            SiteCells::Single(0),
+            Bit::Zero,
+        );
+        m.write(0, Bit::One); // 0→1 blocked
+        assert_eq!(m.read(0), Bit::Zero);
+        // a cell that made it to 1 by other means can go down fine
+        let mut m = FaultyMemory::new(
+            vec![Bit::One, Bit::Zero],
+            FaultModel::Transition(TransitionDir::Up),
+            SiteCells::Single(0),
+            Bit::Zero,
+        );
+        m.write(0, Bit::Zero);
+        assert_eq!(m.read(0), Bit::Zero);
+        m.write(0, Bit::One); // now blocked again
+        assert_eq!(m.read(0), Bit::Zero);
+    }
+
+    #[test]
+    fn stuck_open_returns_latch() {
+        let mut m = FaultyMemory::new(
+            zeros(3),
+            FaultModel::StuckOpen,
+            SiteCells::Single(1),
+            Bit::One, // adversarial power-up latch
+        );
+        assert_eq!(m.read(1), Bit::One, "open cell reads the latch");
+        m.write(0, Bit::Zero);
+        assert_eq!(m.read(0), Bit::Zero); // latch now 0
+        m.write(1, Bit::One); // lost
+        assert_eq!(m.read(1), Bit::Zero, "latch still holds the previous read");
+    }
+
+    #[test]
+    fn adf_write_reaches_victim() {
+        let mut m = FaultyMemory::new(
+            zeros(4),
+            FaultModel::AddressDecoder(AdfKind::Write),
+            SiteCells::Pair { aggressor: 2, victim: 0 },
+            Bit::Zero,
+        );
+        m.write(0, Bit::One);
+        m.write(2, Bit::Zero);
+        assert_eq!(m.read(0), Bit::Zero, "write to 2 also cleared 0");
+    }
+
+    #[test]
+    fn adf_read_returns_other_cell() {
+        let mut m = FaultyMemory::new(
+            zeros(4),
+            FaultModel::AddressDecoder(AdfKind::Read),
+            SiteCells::Pair { aggressor: 1, victim: 3 },
+            Bit::Zero,
+        );
+        m.write(3, Bit::One);
+        m.write(1, Bit::Zero);
+        assert_eq!(m.read(1), Bit::One, "read of 1 is routed to 3");
+    }
+
+    #[test]
+    fn cfid_forces_victim() {
+        let mut m = FaultyMemory::new(
+            zeros(3),
+            FaultModel::CouplingIdempotent(TransitionDir::Up, Bit::One),
+            SiteCells::Pair { aggressor: 0, victim: 2 },
+            Bit::Zero,
+        );
+        m.write(0, Bit::One); // ↑ on the aggressor
+        assert_eq!(m.read(2), Bit::One, "victim forced to 1");
+        // Re-writing 1 over 1 is not a transition: victim stays.
+        m.write(2, Bit::Zero);
+        m.write(0, Bit::One);
+        assert_eq!(m.read(2), Bit::Zero);
+    }
+
+    #[test]
+    fn cfin_flips_victim() {
+        let mut m = FaultyMemory::new(
+            vec![Bit::Zero, Bit::One],
+            FaultModel::CouplingInversion(TransitionDir::Up),
+            SiteCells::Pair { aggressor: 0, victim: 1 },
+            Bit::Zero,
+        );
+        m.write(0, Bit::One);
+        assert_eq!(m.read(1), Bit::Zero);
+        m.write(0, Bit::Zero);
+        m.write(0, Bit::One);
+        assert_eq!(m.read(1), Bit::One, "flips again on the next ↑");
+    }
+
+    #[test]
+    fn cfst_is_a_continuous_condition() {
+        let mut m = FaultyMemory::new(
+            zeros(2),
+            FaultModel::CouplingState(Bit::One, Bit::Zero),
+            SiteCells::Pair { aggressor: 0, victim: 1 },
+            Bit::Zero,
+        );
+        m.write(0, Bit::One); // condition active
+        m.write(1, Bit::One); // cannot stick
+        assert_eq!(m.read(1), Bit::Zero);
+        m.write(0, Bit::Zero); // condition released
+        m.write(1, Bit::One);
+        assert_eq!(m.read(1), Bit::One);
+    }
+
+    #[test]
+    fn read_fault_family() {
+        // RDF: wrong value, cell flipped.
+        let mut m = FaultyMemory::new(
+            zeros(1),
+            FaultModel::ReadDestructive(Bit::Zero),
+            SiteCells::Single(0),
+            Bit::Zero,
+        );
+        assert_eq!(m.read(0), Bit::One);
+        assert_eq!(m.read(0), Bit::One, "cell now really holds 1");
+        // DRDF: correct value, cell flipped.
+        let mut m = FaultyMemory::new(
+            zeros(1),
+            FaultModel::DeceptiveReadDestructive(Bit::Zero),
+            SiteCells::Single(0),
+            Bit::Zero,
+        );
+        assert_eq!(m.read(0), Bit::Zero);
+        assert_eq!(m.read(0), Bit::One, "second read sees the flip");
+        // IRF: wrong value, cell intact.
+        let mut m = FaultyMemory::new(
+            zeros(1),
+            FaultModel::IncorrectRead(Bit::Zero),
+            SiteCells::Single(0),
+            Bit::Zero,
+        );
+        assert_eq!(m.read(0), Bit::One);
+        assert_eq!(m.read(0), Bit::One, "every read of 0 lies");
+        m.write(0, Bit::One);
+        assert_eq!(m.read(0), Bit::One, "reads of 1 are fine");
+    }
+
+    #[test]
+    fn data_retention_decays_on_delay() {
+        let mut m = FaultyMemory::new(
+            vec![Bit::One],
+            FaultModel::DataRetention(Bit::One),
+            SiteCells::Single(0),
+            Bit::Zero,
+        );
+        assert_eq!(m.read(0), Bit::One);
+        m.delay();
+        assert_eq!(m.read(0), Bit::Zero);
+    }
+
+    #[test]
+    #[should_panic(expected = "pair site")]
+    fn site_shape_is_validated() {
+        let _ = FaultyMemory::new(
+            zeros(2),
+            FaultModel::CouplingInversion(TransitionDir::Up),
+            SiteCells::Single(0),
+            Bit::Zero,
+        );
+    }
+}

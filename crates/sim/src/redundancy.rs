@@ -1,0 +1,124 @@
+//! Operation-deletion redundancy analysis: the operational counterpart of
+//! the paper's set-covering check. A March test is *operationally
+//! non-redundant* w.r.t. a fault list when no single operation can be
+//! removed (keeping the test well-formed) without losing coverage.
+//!
+//! A simulator-guided compactor built on the same primitive is exposed as
+//! [`compact`]: it is **not** part of the paper's flow (the generated
+//! tests are already minimal) but serves as an independent check that the
+//! generator's outputs cannot be shortened.
+
+use crate::coverage::covers_all;
+use marchgen_faults::FaultModel;
+use marchgen_march::{MarchElement, MarchTest};
+
+/// Every well-formed test obtained by deleting exactly one operation
+/// (empty elements are dropped; read-inconsistent candidates are
+/// skipped). Returned with the flat per-cell index of the deleted op.
+#[must_use]
+pub fn single_deletions(test: &MarchTest) -> Vec<(usize, MarchTest)> {
+    let mut out = Vec::new();
+    let mut flat = 0usize;
+    for (ei, element) in test.elements().iter().enumerate() {
+        for oi in 0..element.ops.len() {
+            let mut elements: Vec<MarchElement> = test.elements().to_vec();
+            elements[ei].ops.remove(oi);
+            if elements[ei].ops.is_empty() {
+                elements.remove(ei);
+            }
+            let candidate = MarchTest::new(elements);
+            if candidate.check_consistency().is_ok() {
+                out.push((flat + oi, candidate));
+            }
+        }
+        flat += element.ops.len();
+    }
+    out
+}
+
+/// The per-cell indices of operations whose deletion keeps full coverage
+/// — an empty result is the non-redundancy verdict.
+#[must_use]
+pub fn redundant_ops(test: &MarchTest, models: &[FaultModel], n: usize) -> Vec<usize> {
+    single_deletions(test)
+        .into_iter()
+        .filter(|(_, cand)| covers_all(cand, models, n))
+        .map(|(idx, _)| idx)
+        .collect()
+}
+
+/// `true` when no single-operation deletion preserves coverage.
+#[must_use]
+pub fn is_non_redundant(test: &MarchTest, models: &[FaultModel], n: usize) -> bool {
+    redundant_ops(test, models, n).is_empty()
+}
+
+/// Simulator-guided compaction: repeatedly deletes any operation whose
+/// removal keeps full coverage, until a fixed point. Requires the input
+/// to cover the fault list; returns the input unchanged otherwise.
+#[must_use]
+pub fn compact(test: &MarchTest, models: &[FaultModel], n: usize) -> MarchTest {
+    if !covers_all(test, models, n) {
+        return test.clone();
+    }
+    let mut current = test.clone();
+    loop {
+        let Some((_, shorter)) = single_deletions(&current)
+            .into_iter()
+            .find(|(_, cand)| covers_all(cand, models, n))
+        else {
+            return current;
+        };
+        current = shorter;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use marchgen_faults::parse_fault_list;
+    use marchgen_march::known;
+
+    #[test]
+    fn mats_is_non_redundant_for_saf() {
+        let models = parse_fault_list("SAF").unwrap();
+        assert!(is_non_redundant(&known::mats(), &models, 3));
+    }
+
+    #[test]
+    fn march_c_minus_is_redundant_for_saf_alone() {
+        // 10n is far more than SAF needs: many deletions survive.
+        let models = parse_fault_list("SAF").unwrap();
+        let redundant = redundant_ops(&known::march_c_minus(), &models, 3);
+        assert!(!redundant.is_empty());
+    }
+
+    #[test]
+    fn compact_shrinks_oversized_tests() {
+        let models = parse_fault_list("SAF").unwrap();
+        let compacted = compact(&known::march_c_minus(), &models, 3);
+        assert!(covers_all(&compacted, &models, 3));
+        assert!(compacted.complexity() <= 4, "SAF needs at most MATS (4n), got {compacted}");
+    }
+
+    #[test]
+    fn compact_keeps_already_minimal_tests() {
+        let models = parse_fault_list("SAF").unwrap();
+        let compacted = compact(&known::mats(), &models, 3);
+        assert_eq!(compacted.complexity(), known::mats().complexity());
+    }
+
+    #[test]
+    fn compact_requires_initial_coverage() {
+        let models = parse_fault_list("CFid").unwrap();
+        let out = compact(&known::mats(), &models, 3);
+        assert_eq!(out, known::mats());
+    }
+
+    #[test]
+    fn deletions_stay_well_formed() {
+        for (_, cand) in single_deletions(&known::march_b()) {
+            assert_eq!(cand.check_consistency(), Ok(()));
+        }
+    }
+}

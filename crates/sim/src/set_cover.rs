@@ -1,0 +1,228 @@
+//! Exact set covering — the paper's non-redundancy instrument
+//! (Section 6): *"The Set Covering finds the minimum number of CM rows
+//! needed to cover all the CM columns. If this number corresponds with
+//! the total number of rows, then the March Test can be considered
+//! non-redundant."*
+
+/// A set-covering instance: `sets[r]` lists the universe elements row `r`
+/// covers; the universe is `0..universe`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SetCover {
+    /// Universe size.
+    pub universe: usize,
+    /// Element lists per set.
+    pub sets: Vec<Vec<usize>>,
+}
+
+impl SetCover {
+    /// Creates an instance (elements out of range are ignored).
+    #[must_use]
+    pub fn new(universe: usize, sets: Vec<Vec<usize>>) -> SetCover {
+        SetCover { universe, sets }
+    }
+
+    fn masks(&self) -> Option<Vec<u128>> {
+        if self.universe > 128 {
+            return None;
+        }
+        Some(
+            self.sets
+                .iter()
+                .map(|s| {
+                    s.iter()
+                        .filter(|&&e| e < self.universe)
+                        .fold(0u128, |m, &e| m | (1u128 << e))
+                })
+                .collect(),
+        )
+    }
+
+    /// `true` when the union of all sets covers the universe.
+    #[must_use]
+    pub fn is_coverable(&self) -> bool {
+        match self.masks() {
+            Some(masks) => {
+                let full = full_mask(self.universe);
+                masks.iter().fold(0u128, |a, &m| a | m) == full
+            }
+            None => {
+                let mut seen = vec![false; self.universe];
+                for s in &self.sets {
+                    for &e in s {
+                        if e < self.universe {
+                            seen[e] = true;
+                        }
+                    }
+                }
+                seen.iter().all(|&b| b)
+            }
+        }
+    }
+
+    /// Greedy cover (logarithmic approximation); `None` if uncoverable.
+    #[must_use]
+    pub fn greedy(&self) -> Option<Vec<usize>> {
+        let masks = self.masks()?;
+        let full = full_mask(self.universe);
+        let mut covered = 0u128;
+        let mut chosen = Vec::new();
+        while covered != full {
+            let (best, gain) = masks
+                .iter()
+                .enumerate()
+                .map(|(k, &m)| (k, (m & !covered).count_ones()))
+                .max_by_key(|&(_, g)| g)?;
+            if gain == 0 {
+                return None;
+            }
+            chosen.push(best);
+            covered |= masks[best];
+        }
+        chosen.sort_unstable();
+        Some(chosen)
+    }
+
+    /// Exact minimum cover by branch-and-bound (universe ≤ 128), seeded
+    /// with the greedy bound. `None` if uncoverable.
+    #[must_use]
+    pub fn minimum(&self) -> Option<Vec<usize>> {
+        let masks = self.masks()?;
+        let full = full_mask(self.universe);
+        if self.universe == 0 {
+            return Some(Vec::new());
+        }
+        if !self.is_coverable() {
+            return None;
+        }
+        let mut best: Vec<usize> = self.greedy()?;
+        // Branch on the uncovered element with the fewest candidate sets.
+        let mut element_sets: Vec<Vec<usize>> = vec![Vec::new(); self.universe];
+        for (k, &m) in masks.iter().enumerate() {
+            for (e, sets) in element_sets.iter_mut().enumerate() {
+                if m & (1 << e) != 0 {
+                    sets.push(k);
+                }
+            }
+        }
+        let mut chosen: Vec<usize> = Vec::new();
+        fn recurse(
+            covered: u128,
+            full: u128,
+            masks: &[u128],
+            element_sets: &[Vec<usize>],
+            chosen: &mut Vec<usize>,
+            best: &mut Vec<usize>,
+        ) {
+            if covered == full {
+                if chosen.len() < best.len() {
+                    *best = chosen.clone();
+                }
+                return;
+            }
+            // Lower bound: at least ceil(missing / max-gain) more sets.
+            let missing = (full & !covered).count_ones();
+            let best_gain = masks.iter().map(|&m| (m & !covered).count_ones()).max().unwrap_or(0);
+            if best_gain == 0 {
+                return;
+            }
+            if chosen.len() + missing.div_ceil(best_gain) as usize >= best.len() {
+                return;
+            }
+            let pivot = (0..element_sets.len())
+                .filter(|&e| full & (1 << e) != 0 && covered & (1 << e) == 0)
+                .min_by_key(|&e| element_sets[e].len())
+                .expect("uncovered element exists");
+            for &k in &element_sets[pivot] {
+                chosen.push(k);
+                recurse(covered | masks[k], full, masks, element_sets, chosen, best);
+                chosen.pop();
+            }
+        }
+        recurse(0, full, &masks, &element_sets, &mut chosen, &mut best);
+        best.sort_unstable();
+        Some(best)
+    }
+}
+
+fn full_mask(universe: usize) -> u128 {
+    if universe == 0 {
+        0
+    } else if universe == 128 {
+        u128::MAX
+    } else {
+        (1u128 << universe) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trivial_instances() {
+        let sc = SetCover::new(0, vec![]);
+        assert_eq!(sc.minimum(), Some(vec![]));
+        let sc = SetCover::new(2, vec![vec![0, 1]]);
+        assert_eq!(sc.minimum(), Some(vec![0]));
+    }
+
+    #[test]
+    fn uncoverable_returns_none() {
+        let sc = SetCover::new(3, vec![vec![0], vec![1]]);
+        assert!(!sc.is_coverable());
+        assert_eq!(sc.minimum(), None);
+        assert_eq!(sc.greedy(), None);
+    }
+
+    #[test]
+    fn minimum_beats_greedy_on_classic_trap() {
+        // Greedy grabs the 4-element bait and then needs two repairs;
+        // the optimum covers everything with two sets.
+        let sc = SetCover::new(
+            6,
+            vec![
+                vec![0, 1, 2, 3], // greedy bait
+                vec![0, 1, 4],
+                vec![2, 3, 5],
+                vec![0, 4],
+            ],
+        );
+        let greedy = sc.greedy().unwrap();
+        assert_eq!(greedy.len(), 3, "greedy falls for the bait: {greedy:?}");
+        let min = sc.minimum().unwrap();
+        assert_eq!(min.len(), 2);
+        assert_eq!(min, vec![1, 2]);
+    }
+
+    #[test]
+    fn minimum_covers_everything() {
+        let sc = SetCover::new(
+            8,
+            vec![
+                vec![0, 3],
+                vec![1, 4],
+                vec![2, 5],
+                vec![6],
+                vec![7, 0],
+                vec![1, 2, 6],
+                vec![3, 4, 5, 7],
+            ],
+        );
+        let min = sc.minimum().unwrap();
+        let mut covered = [false; 8];
+        for &k in &min {
+            for &e in &sc.sets[k] {
+                covered[e] = true;
+            }
+        }
+        assert!(covered.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn all_rows_needed_case() {
+        // Disjoint singletons: the minimum cover is every set — the
+        // "non-redundant" verdict shape of the paper.
+        let sc = SetCover::new(4, vec![vec![0], vec![1], vec![2], vec![3]]);
+        assert_eq!(sc.minimum().unwrap().len(), sc.sets.len());
+    }
+}

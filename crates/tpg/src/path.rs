@@ -1,0 +1,187 @@
+//! Reduction of the minimum-weight TPG *path* problem to the ATSP, with
+//! the paper's start constraint (f.4.4).
+//!
+//! A GTS is an open path (first and last TP differ), while ATSP solutions
+//! are cycles; the paper closes the cycle with dummy nodes. We use the
+//! standard single-dummy construction (equivalent to the paper's
+//! two-dummy one): a virtual node `D` with
+//!
+//! * `cost(x → D) = 0` for every TP `x` (the path may end anywhere), and
+//! * `cost(D → y) = init_cost(y)` when `y` is an allowed start, `∞`
+//!   otherwise.
+//!
+//! Charging the *initialization writes* on the dummy's outgoing arc makes
+//! the ATSP objective equal the exact GTS operation count (up to the
+//! fixed per-TP excitation/observation operations), so "minimum-weight
+//! tour" and "minimum-length GTS" coincide.
+
+use crate::graph::Tpg;
+use marchgen_atsp::{solve_all_optimal, AtspInstance, Tour, INF};
+
+/// Which TPs may start the Global Test Sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum StartPolicy {
+    /// f.4.4: the first TP's initialization must be *uniform* (all
+    /// specified cells hold the same value — the "00"/"11" states) so the
+    /// March test can open with a single background write element. The
+    /// paper shows this yields the lowest-complexity results.
+    #[default]
+    Uniform,
+    /// No restriction (the ablation configuration).
+    Free,
+}
+
+impl StartPolicy {
+    fn allows(self, tpg: &Tpg, node: usize) -> bool {
+        match self {
+            StartPolicy::Free => true,
+            StartPolicy::Uniform => tpg.test_patterns()[node].init.is_uniform(),
+        }
+    }
+}
+
+/// An ordered visit plan of all TPG nodes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TourPlan {
+    /// TP indices in visit order.
+    pub order: Vec<usize>,
+    /// Total GTS operation count (f.4.3 objective plus the fixed per-TP
+    /// operations).
+    pub gts_ops: u32,
+}
+
+/// Plans minimum-length tours through the TPG: solves the dummy-closed
+/// ATSP and returns every optimal visit order (up to `cap`), so the
+/// March constructor can try each and keep the shortest test.
+///
+/// Falls back to [`StartPolicy::Free`] when the uniform-start constraint
+/// is unsatisfiable (no TP has a uniform initialization).
+///
+/// Returns an empty vector only for an empty TPG.
+#[must_use]
+pub fn plan_tour(tpg: &Tpg, policy: StartPolicy, cap: usize) -> Vec<TourPlan> {
+    let v = tpg.len();
+    if v == 0 {
+        return Vec::new();
+    }
+    if v == 1 {
+        return vec![TourPlan { order: vec![0], gts_ops: tpg.gts_op_count(&[0]) }];
+    }
+    let effective = if (0..v).any(|n| policy.allows(tpg, n)) { policy } else { StartPolicy::Free };
+
+    // Node v is the dummy. Index 0..v are TPs.
+    let dummy = v;
+    let inst = AtspInstance::from_fn(v + 1, |i, j| {
+        if i == dummy {
+            if effective.allows(tpg, j) {
+                u64::from(tpg.init_cost(j))
+            } else {
+                INF
+            }
+        } else if j == dummy {
+            0
+        } else {
+            u64::from(tpg.weight(i, j))
+        }
+    });
+
+    let tours = solve_all_optimal(&inst, cap);
+    tours.into_iter().map(|t| cut_at_dummy(tpg, &t, dummy)).collect()
+}
+
+fn cut_at_dummy(tpg: &Tpg, tour: &Tour, dummy: usize) -> TourPlan {
+    let pos = tour.order.iter().position(|&n| n == dummy).expect("dummy in tour");
+    let mut order = Vec::with_capacity(tour.order.len() - 1);
+    for k in 1..tour.order.len() {
+        order.push(tour.order[(pos + k) % tour.order.len()]);
+    }
+    let gts_ops = tpg.gts_op_count(&order);
+    TourPlan { order, gts_ops }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use marchgen_faults::{parse_fault_list, requirements_for, TestPattern};
+
+    fn section4_tps() -> Vec<TestPattern> {
+        let mut tps = Vec::new();
+        for token in ["CFid<u,0>", "CFid<u,1>"] {
+            let models = parse_fault_list(token).unwrap();
+            for r in requirements_for(&models) {
+                tps.push(r.alternatives[0]);
+            }
+        }
+        tps
+    }
+
+    /// The §4 example: minimum-weight uniform-start tours have path weight
+    /// 2 and GTS length 12 (the paper's worked GTS).
+    #[test]
+    fn section4_optimal_plan() {
+        let tpg = Tpg::new(section4_tps());
+        let plans = plan_tour(&tpg, StartPolicy::Uniform, 64);
+        assert!(!plans.is_empty());
+        for plan in &plans {
+            assert_eq!(plan.gts_ops, 12, "plan {:?}", plan.order);
+            // Start TP must have uniform init (TP3 or TP4, indices 2/3).
+            let first = plan.order[0];
+            assert!(tpg.test_patterns()[first].init.is_uniform());
+            // All four TPs visited exactly once.
+            let mut sorted = plan.order.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![0, 1, 2, 3]);
+        }
+    }
+
+    /// Both optimal tour shapes of the example appear:
+    /// TP3→TP2→TP4→TP1 and TP3→TP4→TP1→TP2 (and TP4-first mirrors).
+    #[test]
+    fn section4_multiple_optima_enumerated() {
+        let tpg = Tpg::new(section4_tps());
+        let plans = plan_tour(&tpg, StartPolicy::Uniform, 64);
+        assert!(plans.len() >= 2, "expected several optimal tours, got {}", plans.len());
+        assert!(plans.iter().any(|p| p.order == vec![2, 1, 3, 0]));
+    }
+
+    /// Without the f.4.4 constraint the optimum cannot get worse.
+    #[test]
+    fn free_start_never_worse() {
+        let tpg = Tpg::new(section4_tps());
+        let uniform = plan_tour(&tpg, StartPolicy::Uniform, 8)[0].gts_ops;
+        let free = plan_tour(&tpg, StartPolicy::Free, 8)[0].gts_ops;
+        assert!(free <= uniform);
+    }
+
+    /// Unsatisfiable uniform constraint falls back to free starts.
+    #[test]
+    fn uniform_fallback() {
+        // Two TPs, both with non-uniform (01/10) inits.
+        let models = parse_fault_list("CFid<u,0>").unwrap();
+        let tps: Vec<TestPattern> =
+            requirements_for(&models).iter().map(|r| r.alternatives[0]).collect();
+        assert!(tps.iter().all(|tp| !tp.init.is_uniform()));
+        let tpg = Tpg::new(tps);
+        let plans = plan_tour(&tpg, StartPolicy::Uniform, 8);
+        assert!(!plans.is_empty());
+    }
+
+    #[test]
+    fn single_tp_plan() {
+        let models = parse_fault_list("SA0").unwrap();
+        let tps: Vec<TestPattern> =
+            requirements_for(&models).iter().map(|r| r.alternatives[0]).collect();
+        let tpg = Tpg::new(tps);
+        let plans = plan_tour(&tpg, StartPolicy::Uniform, 8);
+        assert_eq!(plans.len(), 1);
+        assert_eq!(plans[0].order, vec![0]);
+        // SA0: no init writes, excite w1 + observe r1 = 2 ops.
+        assert_eq!(plans[0].gts_ops, 2);
+    }
+
+    #[test]
+    fn empty_tpg_plan() {
+        let tpg = Tpg::new(Vec::new());
+        assert!(plan_tour(&tpg, StartPolicy::Uniform, 8).is_empty());
+    }
+}

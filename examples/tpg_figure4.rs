@@ -1,0 +1,72 @@
+//! Reproduces the paper's figures as Graphviz DOT plus the §4 worked
+//! example end to end:
+//!
+//! * Figure 1 — the fault-free two-cell machine `M0`,
+//! * Figure 2 — `M1`, the CFid ⟨↑,0⟩ machine (faulty edge in bold red),
+//! * Figure 3 — the BFE split of ⟨↑,0⟩,
+//! * Figure 4 — the Test Pattern Graph of `{⟨↑,1⟩, ⟨↑,0⟩}`,
+//! * the optimal GTS and the resulting 8n March test.
+//!
+//! ```sh
+//! cargo run --example tpg_figure4
+//! ```
+
+use marchgen::faults::{bfe, catalog, requirements_for, TransitionDir};
+use marchgen::generator::gts::Gts;
+use marchgen::model::{dot, TwoCellMachine};
+use marchgen::prelude::*;
+use marchgen::tpg::{plan_tour, StartPolicy, Tpg};
+
+fn main() {
+    // Figure 1: M0.
+    let m0 = TwoCellMachine::fault_free();
+    println!("// ---- Figure 1: M0 (fault-free two-cell RAM) ----");
+    println!("{}", dot::render(&m0, "M0"));
+
+    // Figure 2: M1 = CFid<↑,0> with aggressor i.
+    let (label, m1) = catalog::machines(FaultModel::CouplingIdempotent(
+        TransitionDir::Up,
+        marchgen::model::Bit::Zero,
+    ))
+    .into_iter()
+    .next()
+    .expect("pair faults have machines");
+    println!("// ---- Figure 2: M1 = {label} ----");
+    println!("{}", dot::render(&m1, "M1"));
+
+    // Figure 3: BFE split.
+    println!("// ---- Figure 3: BFEs of CFid<↑,0> ----");
+    for (k, b) in bfe::extract(&m1).iter().enumerate() {
+        println!(
+            "// BFE {}: {} --{}--> {} (fault-free successor {})",
+            k + 1,
+            b.diff.state,
+            b.diff.op,
+            b.diff.faulty.next,
+            b.diff.good.next
+        );
+        for tp in b.test_patterns() {
+            println!("//   TP: {tp}");
+        }
+    }
+
+    // Figure 4: TPG of {⟨↑,1⟩, ⟨↑,0⟩}.
+    let models = parse_fault_list("CFid<u,0>, CFid<u,1>").expect("parses");
+    let tps: Vec<TestPattern> =
+        requirements_for(&models).iter().map(|r| r.alternatives[0]).collect();
+    let tpg = Tpg::new(tps.clone());
+    println!("// ---- Figure 4: TPG for {{⟨↑,1⟩, ⟨↑,0⟩}} ----");
+    println!("{}", tpg.to_dot("TPG"));
+
+    // §4 worked example: optimal constrained tour → GTS → March test.
+    let plan = plan_tour(&tpg, StartPolicy::Uniform, 16)
+        .into_iter()
+        .next()
+        .expect("tours exist");
+    let tour: Vec<TestPattern> = plan.order.iter().map(|&k| tps[k]).collect();
+    let gts = Gts::from_tour(&tour);
+    println!("// ---- Section 4 worked example ----");
+    println!("// GTS ({} ops): {}", gts.len(), gts);
+    let test = marchgen::generator::schedule_tour(&tour).expect("schedules");
+    println!("// March test: {}  ({}n)", test, test.complexity());
+}

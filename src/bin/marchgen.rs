@@ -1,0 +1,136 @@
+//! `marchgen` — command-line front end to the March test generator.
+//!
+//! ```text
+//! marchgen generate <fault-list>          generate a verified March test
+//! marchgen validate <march> <fault-list>  simulate a test against faults
+//! marchgen analyze  <march>               static detection conditions
+//! marchgen codegen  <march> [c|rust]      emit BIST source code
+//! marchgen known    [name]                show the classical library
+//! ```
+
+use marchgen::march::analysis;
+use marchgen::march::codegen;
+use marchgen::prelude::*;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("generate") => generate(&args[1..]),
+        Some("validate") => validate(&args[1..]),
+        Some("analyze") => analyze_cmd(&args[1..]),
+        Some("codegen") => codegen_cmd(&args[1..]),
+        Some("known") => known_cmd(&args[1..]),
+        _ => {
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+marchgen — automatic generation of optimal March tests (Benso et al., DATE 2002)
+
+usage:
+  marchgen generate <fault-list>            e.g. marchgen generate \"SAF, TF, CFin\"
+  marchgen validate <march> <fault-list>    e.g. marchgen validate \"m(w0); u(r0,w1); d(r1)\" SAF
+  marchgen analyze  <march>                 static detection conditions
+  marchgen codegen  <march> [c|rust]        emit BIST source code
+  marchgen known    [name]                  list/show the classical test library
+";
+
+fn generate(args: &[String]) -> Result<(), String> {
+    let list = args.first().ok_or("generate needs a fault list")?;
+    let generator = Generator::from_fault_list(list).map_err(|e| e.to_string())?;
+    let outcome = generator.run().map_err(|e| e.to_string())?;
+    println!("march test : {}", outcome.test);
+    println!("complexity : {}n", outcome.test.complexity());
+    if outcome.test.delay_count() > 0 {
+        println!("delays     : {}", outcome.test.delay_count());
+    }
+    println!("verified   : {}", outcome.verified);
+    if let Some(nr) = outcome.non_redundant {
+        println!("non-redund.: {nr}");
+    }
+    if !outcome.verified {
+        if let Some(report) = &outcome.report {
+            println!("{report}");
+        }
+        return Err("generated test failed verification".into());
+    }
+    Ok(())
+}
+
+fn parse_march_arg(s: &str) -> Result<MarchTest, String> {
+    known::by_name(s)
+        .map(Ok)
+        .unwrap_or_else(|| s.parse::<MarchTest>().map_err(|e| e.to_string()))
+}
+
+fn validate(args: &[String]) -> Result<(), String> {
+    let [march, faults] = args else {
+        return Err("validate needs <march> and <fault-list>".into());
+    };
+    let test = parse_march_arg(march)?;
+    test.check_consistency().map_err(|e| format!("inconsistent march test: {e}"))?;
+    let models = parse_fault_list(faults).map_err(|e| e.to_string())?;
+    let report = marchgen::sim::coverage::coverage_report(&test, &models, 6);
+    print!("{report}");
+    if report.complete() {
+        println!("verdict: full coverage");
+        Ok(())
+    } else {
+        Err("coverage incomplete".into())
+    }
+}
+
+fn analyze_cmd(args: &[String]) -> Result<(), String> {
+    let march = args.first().ok_or("analyze needs a march test")?;
+    let test = parse_march_arg(march)?;
+    test.check_consistency().map_err(|e| format!("inconsistent march test: {e}"))?;
+    let c = analysis::analyze(&test);
+    println!("test       : {test}");
+    println!("complexity : {}n", test.complexity());
+    println!("SAF        : {}", c.saf);
+    println!("TF         : {}", c.tf);
+    println!("AF         : {}", c.af);
+    println!("SOF        : {}", c.sof);
+    println!("DRF        : {}", c.drf);
+    println!("(sufficient conditions; use `validate` for exact simulation)");
+    Ok(())
+}
+
+fn codegen_cmd(args: &[String]) -> Result<(), String> {
+    let march = args.first().ok_or("codegen needs a march test")?;
+    let test = parse_march_arg(march)?;
+    test.check_consistency().map_err(|e| format!("inconsistent march test: {e}"))?;
+    match args.get(1).map(String::as_str).unwrap_or("c") {
+        "c" => print!("{}", codegen::to_c(&test, "march_test")),
+        "rust" => print!("{}", codegen::to_rust(&test, "march_test")),
+        other => return Err(format!("unknown language {other:?} (use c or rust)")),
+    }
+    Ok(())
+}
+
+fn known_cmd(args: &[String]) -> Result<(), String> {
+    match args.first() {
+        None => {
+            for (name, test) in known::all() {
+                println!("{name:<10} {:>3}n  {}", test.complexity(), test);
+            }
+            Ok(())
+        }
+        Some(name) => {
+            let test = known::by_name(name).ok_or_else(|| format!("unknown test {name:?}"))?;
+            println!("{test}");
+            Ok(())
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! # marchgen
+//!
+//! Automatic generation of **optimal March tests** for random access
+//! memories — a full Rust reproduction of
+//!
+//! > A. Benso, S. Di Carlo, G. Di Natale, P. Prinetto, *"An Optimal
+//! > Algorithm for the Automatic Generation of March Tests"*, DATE 2002,
+//! > pp. 938–943 (DOI 10.1109/DATE.2002.998412).
+//!
+//! Give it a memory fault list; it returns a minimal, non-redundant March
+//! test that is **proven** against a behavioural fault simulator:
+//!
+//! ```
+//! use marchgen::Generator;
+//!
+//! let outcome = Generator::from_fault_list("SAF, TF, ADF, CFin, CFid")?
+//!     .run()
+//!     .expect("catalog fault lists always generate");
+//! assert_eq!(outcome.test.complexity(), 10); // a March C−-class test
+//! assert!(outcome.verified);
+//! assert_eq!(outcome.non_redundant, Some(true));
+//! # Ok::<(), marchgen::faults::ParseFaultError>(())
+//! ```
+//!
+//! # Architecture
+//!
+//! The facade re-exports the workspace crates:
+//!
+//! | Module | Paper artifact | Contents |
+//! |--------|----------------|----------|
+//! | [`model`] | §3, Figures 1–2 | two-cell Mealy memory model `M0`/`Mᵢ` |
+//! | [`faults`] | §3, §5, Figure 3 | fault taxonomy, BFEs, Test Patterns, equivalence classes |
+//! | [`tpg`] | §4, Figure 4, f.4.1/f.4.4 | Test Pattern Graph, path-ATSP reduction |
+//! | [`atsp`] | §4 \[12\] | Held–Karp, Hungarian AP, branch-and-bound, heuristics |
+//! | [`march`] | §1 \[1\] | March test algebra, notation, classical test library |
+//! | [`generator`] | §4.1–4.3 | GTS, rewrite-phase scheduler, pipeline, exhaustive baseline |
+//! | [`sim`] | §6 | fault simulator, coverage matrix, set covering |
+//!
+//! The most common entry points are lifted to the crate root:
+//! [`Generator`], [`MarchTest`], [`FaultModel`], [`known`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use marchgen_atsp as atsp;
+pub use marchgen_faults as faults;
+pub use marchgen_generator as generator;
+pub use marchgen_march as march;
+pub use marchgen_model as model;
+pub use marchgen_sim as sim;
+pub use marchgen_tpg as tpg;
+
+pub use marchgen_faults::{parse_fault_list, FaultModel};
+pub use marchgen_generator::{Generator, Outcome};
+pub use marchgen_march::{known, Direction, MarchElement, MarchOp, MarchTest};
+
+/// Convenience prelude for examples and downstream quick starts.
+pub mod prelude {
+    pub use crate::faults::{parse_fault_list, FaultModel, TestPattern};
+    pub use crate::generator::{Generator, Outcome};
+    pub use crate::march::{known, Direction, MarchElement, MarchOp, MarchTest};
+    pub use crate::sim::coverage::{coverage_report, covers_all};
+}

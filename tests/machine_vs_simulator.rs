@@ -1,0 +1,165 @@
+//! Cross-validation of the two independent fault-behaviour
+//! implementations:
+//!
+//! * the **two-cell Mealy machines** of `faults::catalog` (paper f.2.2 —
+//!   used for BFE extraction and TP derivation), and
+//! * the **behavioural n-cell simulator** of `sim::memory` (paper §6 —
+//!   used for verification).
+//!
+//! On a 2-cell memory, driving both with the same operation sequence must
+//! produce identical outputs and identical final states, for every
+//! machine-representable fault model, every initial state and every
+//! aggressor order. Property-tested with random operation sequences.
+
+use marchgen::faults::catalog;
+use marchgen::model::{Bit, Cell, MemOp, PairState, TwoCellMachine};
+use marchgen::prelude::*;
+use marchgen::sim::memory::{FaultyMemory, MemoryBehavior};
+use marchgen::sim::SiteCells;
+use proptest::prelude::*;
+
+fn op_strategy() -> impl Strategy<Value = MemOp> {
+    prop_oneof![
+        Just(MemOp::read(Cell::I)),
+        Just(MemOp::read(Cell::J)),
+        Just(MemOp::write(Cell::I, Bit::Zero)),
+        Just(MemOp::write(Cell::I, Bit::One)),
+        Just(MemOp::write(Cell::J, Bit::Zero)),
+        Just(MemOp::write(Cell::J, Bit::One)),
+        Just(MemOp::Delay),
+    ]
+}
+
+/// The site corresponding to a catalog machine, on a 2-cell memory.
+/// Machines come in (cell I / aggressor I) then (cell J / aggressor J)
+/// order (see `catalog::machines`).
+fn site_for(model: FaultModel, index: usize) -> SiteCells {
+    if model.is_pair_fault() {
+        if index == 0 {
+            SiteCells::Pair { aggressor: 0, victim: 1 }
+        } else {
+            SiteCells::Pair { aggressor: 1, victim: 0 }
+        }
+    } else {
+        SiteCells::Single(index)
+    }
+}
+
+fn drive_machine(
+    machine: &TwoCellMachine,
+    start: PairState,
+    ops: &[MemOp],
+) -> (PairState, Vec<Option<Bit>>) {
+    machine.run(start, ops)
+}
+
+/// The machines are defined over the full state set `Q`, but a faulty
+/// memory can only *be* in storage-consistent states (a stuck-at-0 cell
+/// is physically 0 at power-up; an active CFst condition forces its
+/// victim immediately). Align both sides on the simulator's
+/// post-power-up state, which is where all reachable behaviour lives.
+fn aligned_start(model: FaultModel, site: SiteCells, requested: PairState) -> PairState {
+    let cells = vec![
+        requested.i.bit().expect("known start"),
+        requested.j.bit().expect("known start"),
+    ];
+    let mem = FaultyMemory::new(cells, model, site, Bit::Zero);
+    PairState::new_known(mem.peek(0), mem.peek(1))
+}
+
+fn drive_simulator(
+    model: FaultModel,
+    site: SiteCells,
+    start: PairState,
+    ops: &[MemOp],
+) -> (PairState, Vec<Option<Bit>>) {
+    let cells = vec![
+        start.i.bit().expect("known start"),
+        start.j.bit().expect("known start"),
+    ];
+    let mut mem = FaultyMemory::new(cells, model, site, Bit::Zero);
+    let mut outs = Vec::with_capacity(ops.len());
+    for &op in ops {
+        match op {
+            MemOp::Read(c) => outs.push(Some(mem.read(c.index()))),
+            MemOp::Write(c, d) => {
+                mem.write(c.index(), d);
+                outs.push(None);
+            }
+            MemOp::Delay => {
+                mem.delay();
+                outs.push(None);
+            }
+        }
+    }
+    let end = PairState::new_known(mem.peek(0), mem.peek(1));
+    (end, outs)
+}
+
+fn machine_models() -> Vec<FaultModel> {
+    FaultModel::all_classical()
+        .into_iter()
+        .filter(|m| !catalog::machines(*m).is_empty())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn machines_and_simulator_agree(
+        model_idx in 0usize..24,
+        start_idx in 0usize..4,
+        variant in 0usize..2,
+        ops in proptest::collection::vec(op_strategy(), 1..24),
+    ) {
+        let models = machine_models();
+        let model = models[model_idx % models.len()];
+        let machines = catalog::machines(model);
+        let (label, machine) = &machines[variant % machines.len()];
+        let site = site_for(model, variant % machines.len());
+        let start = aligned_start(model, site, PairState::from_index(start_idx));
+
+        let (m_end, m_outs) = drive_machine(machine, start, &ops);
+        let (s_end, s_outs) = drive_simulator(model, site, start, &ops);
+
+        prop_assert_eq!(
+            &m_outs, &s_outs,
+            "{} from {}: outputs diverge on {:?}", label, start, ops
+        );
+        prop_assert_eq!(
+            m_end, s_end,
+            "{} from {}: final states diverge on {:?}", label, start, ops
+        );
+    }
+}
+
+/// The deterministic exhaustive version for short sequences: every model,
+/// every variant, every start state, every op sequence of length ≤ 3.
+#[test]
+fn exhaustive_short_sequences_agree() {
+    let all_ops: Vec<MemOp> = marchgen::model::ALL_OPS.to_vec();
+    for model in machine_models() {
+        for (index, (label, machine)) in catalog::machines(model).iter().enumerate() {
+            let site = site_for(model, index);
+            for requested in PairState::all_known() {
+                let start = aligned_start(model, site, requested);
+                for a in &all_ops {
+                    for b in &all_ops {
+                        let ops = [*a, *b];
+                        let (m_end, m_outs) = drive_machine(machine, start, &ops);
+                        let (s_end, s_outs) = drive_simulator(model, site, start, &ops);
+                        assert_eq!(
+                            m_outs, s_outs,
+                            "{label} from {start}: outputs diverge on {a}, {b}"
+                        );
+                        assert_eq!(
+                            m_end, s_end,
+                            "{label} from {start}: states diverge on {a}, {b}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
