@@ -152,11 +152,7 @@ mod tests {
 
     #[test]
     fn handles_forbidden_arcs() {
-        let inst = AtspInstance::from_rows(vec![
-            vec![0, INF, 1],
-            vec![1, 0, INF],
-            vec![INF, 1, 0],
-        ]);
+        let inst = AtspInstance::from_rows(vec![vec![0, INF, 1], vec![1, 0, INF], vec![INF, 1, 0]]);
         let t = solve(&inst);
         assert_eq!(t.cost, 3);
         assert_eq!(t.order, vec![0, 2, 1]);

@@ -64,11 +64,7 @@ mod tests {
 
     #[test]
     fn three_node_cycle() {
-        let inst = AtspInstance::from_rows(vec![
-            vec![0, 1, 9],
-            vec![9, 0, 1],
-            vec![1, 9, 0],
-        ]);
+        let inst = AtspInstance::from_rows(vec![vec![0, 1, 9], vec![9, 0, 1], vec![1, 9, 0]]);
         let t = solve(&inst);
         assert_eq!(t.cost, 3);
         assert_eq!(t.order, vec![0, 1, 2]);

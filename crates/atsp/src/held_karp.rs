@@ -51,9 +51,17 @@ struct DpTable<'a> {
 impl<'a> DpTable<'a> {
     fn build(instance: &'a AtspInstance) -> DpTable<'a> {
         let n = instance.len();
-        assert!(n <= MAX_NODES, "Held-Karp capped at {MAX_NODES} nodes, got {n}");
+        assert!(
+            n <= MAX_NODES,
+            "Held-Karp capped at {MAX_NODES} nodes, got {n}"
+        );
         if n == 1 {
-            return DpTable { instance, n, dp: vec![0, 0], best_cost: 0 };
+            return DpTable {
+                instance,
+                n,
+                dp: vec![0, 0],
+                best_cost: 0,
+            };
         }
         let size = 1usize << n;
         let mut dp = vec![INF; size * n];
@@ -88,7 +96,12 @@ impl<'a> DpTable<'a> {
             let c = dp[full * n + last].saturating_add(instance.cost(last, 0));
             best_cost = best_cost.min(c);
         }
-        DpTable { instance, n, dp, best_cost }
+        DpTable {
+            instance,
+            n,
+            dp,
+            best_cost,
+        }
     }
 
     fn one_optimal_order(&self) -> Vec<usize> {
@@ -97,9 +110,7 @@ impl<'a> DpTable<'a> {
         }
         let full = (1usize << self.n) - 1;
         let mut last = (1..self.n)
-            .min_by_key(|&l| {
-                self.dp[full * self.n + l].saturating_add(self.instance.cost(l, 0))
-            })
+            .min_by_key(|&l| self.dp[full * self.n + l].saturating_add(self.instance.cost(l, 0)))
             .expect("n > 1");
         let mut order = vec![last];
         let mut mask = full;
@@ -110,8 +121,7 @@ impl<'a> DpTable<'a> {
                 .find(|&p| {
                     p != last
                         && (without & (1 << p)) != 0
-                        && self.dp[without * self.n + p]
-                            .saturating_add(self.instance.cost(p, last))
+                        && self.dp[without * self.n + p].saturating_add(self.instance.cost(p, last))
                             == target
                 })
                 .expect("dp table is consistent");
@@ -155,8 +165,8 @@ impl<'a> DpTable<'a> {
                 if prev == last || (without & (1 << prev)) == 0 {
                     continue;
                 }
-                let via = self.dp[without * self.n + prev]
-                    .saturating_add(self.instance.cost(prev, last));
+                let via =
+                    self.dp[without * self.n + prev].saturating_add(self.instance.cost(prev, last));
                 if via == target {
                     let mut next_suffix = suffix.clone();
                     next_suffix.push(prev);
@@ -248,11 +258,7 @@ mod tests {
     #[test]
     fn forbidden_arcs_are_avoided_when_possible() {
         // 0→1 forbidden; optimal must route 0→2→1→0.
-        let inst = AtspInstance::from_rows(vec![
-            vec![0, INF, 1],
-            vec![1, 0, INF],
-            vec![INF, 1, 0],
-        ]);
+        let inst = AtspInstance::from_rows(vec![vec![0, INF, 1], vec![1, 0, INF], vec![INF, 1, 0]]);
         let t = solve(&inst);
         assert_eq!(t.order, vec![0, 2, 1]);
         assert_eq!(t.cost, 3);

@@ -86,8 +86,12 @@ pub fn greedy_edge(instance: &AtspInstance) -> Tour {
         picked += 1;
     }
     // close the single remaining path into a cycle
-    let tail = (0..n).find(|&i| succ[i] == usize::MAX).expect("one open tail");
-    let head = (0..n).find(|&j| pred[j] == usize::MAX).expect("one open head");
+    let tail = (0..n)
+        .find(|&i| succ[i] == usize::MAX)
+        .expect("one open tail");
+    let head = (0..n)
+        .find(|&j| pred[j] == usize::MAX)
+        .expect("one open head");
     succ[tail] = head;
     let mut order = Vec::with_capacity(n);
     let mut cur = 0usize;

@@ -174,7 +174,10 @@ mod tests {
             });
             let lb = lower_bound(&inst);
             let opt = brute::solve(&inst).cost;
-            assert!(lb <= opt, "seed {seed}: AP bound {lb} exceeds optimum {opt}");
+            assert!(
+                lb <= opt,
+                "seed {seed}: AP bound {lb} exceeds optimum {opt}"
+            );
         }
     }
 

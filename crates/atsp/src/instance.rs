@@ -151,7 +151,10 @@ impl Tour {
     /// Panics if `order` is not a permutation of the instance's nodes.
     #[must_use]
     pub fn new(instance: &AtspInstance, order: Vec<usize>) -> Tour {
-        assert!(instance.is_valid_tour(&order), "not a valid tour: {order:?}");
+        assert!(
+            instance.is_valid_tour(&order),
+            "not a valid tour: {order:?}"
+        );
         let cost = instance.cycle_cost(&order);
         let mut t = Tour { order, cost };
         t.canonicalize();
@@ -197,8 +200,7 @@ mod tests {
 
     #[test]
     fn cycle_cost_wraps_around() {
-        let inst =
-            AtspInstance::from_rows(vec![vec![0, 1, 4], vec![2, 0, 1], vec![1, 7, 0]]);
+        let inst = AtspInstance::from_rows(vec![vec![0, 1, 4], vec![2, 0, 1], vec![1, 7, 0]]);
         assert_eq!(inst.cycle_cost(&[0, 1, 2]), 1 + 1 + 1);
         assert_eq!(inst.cycle_cost(&[0, 2, 1]), 4 + 7 + 2);
     }

@@ -49,4 +49,7 @@ mod instance;
 mod solver;
 
 pub use instance::{AtspInstance, Tour, INF};
-pub use solver::{solve, solve_all_optimal, Solver};
+pub use solver::{
+    solve, solve_all_optimal, AtspSolver, AutoSolver, BranchBoundSolver, HeldKarpSolver,
+    HeuristicSolver, Solver, SolverChoice, SolverRegistry, UnknownSolverError,
+};

@@ -1,7 +1,305 @@
-//! The solver facade: picks an algorithm by instance size.
+//! The solver facade: the [`AtspSolver`] extension trait, the built-in
+//! implementations, a by-name [`SolverRegistry`], and the size-dispatch
+//! helpers the generator used historically.
 
 use crate::instance::{AtspInstance, Tour};
 use crate::{branch_bound, held_karp, heuristics};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// A pluggable ATSP solving strategy.
+///
+/// The March generator talks to the ATSP layer exclusively through this
+/// trait, so alternative backends (an ILP solver, an external service, a
+/// tuned metaheuristic) can be dropped in via [`SolverRegistry`] without
+/// touching the pipeline.
+///
+/// Implementations must be `Send + Sync`: the batch service layer shares
+/// one solver across worker threads.
+pub trait AtspSolver: Send + Sync {
+    /// A short stable identifier (used by [`SolverRegistry`] and the
+    /// serialized request format).
+    fn name(&self) -> &str;
+
+    /// Solves the instance, returning one tour (the best the strategy
+    /// can produce; exact strategies return an optimum).
+    fn solve(&self, instance: &AtspInstance) -> Tour;
+
+    /// `true` when [`AtspSolver::solve`] is guaranteed optimal for this
+    /// instance.
+    fn is_exact_for(&self, instance: &AtspInstance) -> bool;
+
+    /// Enumerates optimal tours up to `cap`. The default returns the
+    /// single [`AtspSolver::solve`] tour; strategies that can enumerate
+    /// (Held–Karp) override this — the March constructor tries every
+    /// optimal tour and keeps the shortest test.
+    fn solve_all_optimal(&self, instance: &AtspInstance, cap: usize) -> Vec<Tour> {
+        let _ = cap;
+        vec![self.solve(instance)]
+    }
+}
+
+/// Exact Held–Karp dynamic programming with all-optimal-tour
+/// enumeration; instances beyond [`held_karp::MAX_NODES`] fall back to
+/// branch-and-bound (which cannot enumerate).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HeldKarpSolver;
+
+impl AtspSolver for HeldKarpSolver {
+    fn name(&self) -> &str {
+        "held-karp"
+    }
+
+    fn solve(&self, instance: &AtspInstance) -> Tour {
+        if instance.len() <= held_karp::MAX_NODES {
+            held_karp::solve(instance)
+        } else {
+            branch_bound::solve(instance)
+        }
+    }
+
+    fn is_exact_for(&self, _instance: &AtspInstance) -> bool {
+        true
+    }
+
+    fn solve_all_optimal(&self, instance: &AtspInstance, cap: usize) -> Vec<Tour> {
+        if instance.len() <= held_karp::MAX_NODES {
+            held_karp::solve_all(instance, cap)
+        } else {
+            vec![branch_bound::solve(instance)]
+        }
+    }
+}
+
+/// Exact AP-relaxation branch-and-bound (single optimal tour).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BranchBoundSolver;
+
+impl AtspSolver for BranchBoundSolver {
+    fn name(&self) -> &str {
+        "branch-bound"
+    }
+
+    fn solve(&self, instance: &AtspInstance) -> Tour {
+        branch_bound::solve(instance)
+    }
+
+    fn is_exact_for(&self, _instance: &AtspInstance) -> bool {
+        true
+    }
+}
+
+/// Heuristic construction + Or-opt improvement; fast but inexact.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HeuristicSolver;
+
+impl AtspSolver for HeuristicSolver {
+    fn name(&self) -> &str {
+        "heuristic"
+    }
+
+    fn solve(&self, instance: &AtspInstance) -> Tour {
+        heuristics::construct(instance)
+    }
+
+    fn is_exact_for(&self, _instance: &AtspInstance) -> bool {
+        false
+    }
+}
+
+/// Size-dispatching default: Held–Karp (with enumeration) up to its
+/// table limit, branch-and-bound up to 40 nodes, heuristics beyond —
+/// the behaviour of the free [`solve`] / [`solve_all_optimal`]
+/// functions.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AutoSolver;
+
+impl AtspSolver for AutoSolver {
+    fn name(&self) -> &str {
+        "auto"
+    }
+
+    fn solve(&self, instance: &AtspInstance) -> Tour {
+        Solver::for_size(instance.len()).run(instance)
+    }
+
+    fn is_exact_for(&self, instance: &AtspInstance) -> bool {
+        Solver::for_size(instance.len()) != Solver::Heuristic
+    }
+
+    fn solve_all_optimal(&self, instance: &AtspInstance, cap: usize) -> Vec<Tour> {
+        if instance.len() <= held_karp::MAX_NODES {
+            held_karp::solve_all(instance, cap)
+        } else {
+            vec![self.solve(instance)]
+        }
+    }
+}
+
+/// The solver requested by a generation run — serializable by name, and
+/// resolved against a [`SolverRegistry`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub enum SolverChoice {
+    /// Size-dispatching default ([`AutoSolver`]).
+    #[default]
+    Auto,
+    /// Exact with all-optimal enumeration ([`HeldKarpSolver`]).
+    HeldKarp,
+    /// Exact, single tour ([`BranchBoundSolver`]).
+    BranchBound,
+    /// Inexact but fast ([`HeuristicSolver`]).
+    Heuristic,
+    /// A custom strategy registered under this name.
+    Custom(String),
+}
+
+impl SolverChoice {
+    /// The registry key for this choice.
+    #[must_use]
+    pub fn key(&self) -> &str {
+        match self {
+            SolverChoice::Auto => "auto",
+            SolverChoice::HeldKarp => "held-karp",
+            SolverChoice::BranchBound => "branch-bound",
+            SolverChoice::Heuristic => "heuristic",
+            SolverChoice::Custom(name) => name,
+        }
+    }
+
+    /// Parses a registry key back into a choice (never fails: unknown
+    /// names become [`SolverChoice::Custom`] and are validated at
+    /// resolution time).
+    #[must_use]
+    pub fn from_key(key: &str) -> SolverChoice {
+        match key {
+            "auto" => SolverChoice::Auto,
+            "held-karp" => SolverChoice::HeldKarp,
+            "branch-bound" => SolverChoice::BranchBound,
+            "heuristic" => SolverChoice::Heuristic,
+            other => SolverChoice::Custom(other.to_owned()),
+        }
+    }
+}
+
+impl fmt::Display for SolverChoice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.key())
+    }
+}
+
+/// Error returned when a [`SolverChoice`] names no registered solver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownSolverError {
+    /// The unresolved registry key.
+    pub name: String,
+}
+
+impl fmt::Display for UnknownSolverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "no ATSP solver registered under {:?}", self.name)
+    }
+}
+
+impl std::error::Error for UnknownSolverError {}
+
+/// A by-name registry of [`AtspSolver`] strategies.
+///
+/// [`SolverRegistry::default`] carries the four built-ins (`auto`,
+/// `held-karp`, `branch-bound`, `heuristic`); callers add their own with
+/// [`SolverRegistry::register`] and select them per request through
+/// [`SolverChoice::Custom`].
+///
+/// ```
+/// use marchgen_atsp::{AtspInstance, AtspSolver, SolverChoice, SolverRegistry, Tour};
+///
+/// struct FixedOrder;
+/// impl AtspSolver for FixedOrder {
+///     fn name(&self) -> &str { "fixed" }
+///     fn solve(&self, inst: &AtspInstance) -> Tour {
+///         Tour::new(inst, (0..inst.len()).collect())
+///     }
+///     fn is_exact_for(&self, _inst: &AtspInstance) -> bool { false }
+/// }
+///
+/// let mut registry = SolverRegistry::default();
+/// registry.register(FixedOrder);
+/// let solver = registry.resolve(&SolverChoice::Custom("fixed".into())).unwrap();
+/// assert_eq!(solver.name(), "fixed");
+/// ```
+#[derive(Clone)]
+pub struct SolverRegistry {
+    solvers: BTreeMap<String, Arc<dyn AtspSolver>>,
+}
+
+impl Default for SolverRegistry {
+    fn default() -> SolverRegistry {
+        let mut registry = SolverRegistry {
+            solvers: BTreeMap::new(),
+        };
+        registry.register(AutoSolver);
+        registry.register(HeldKarpSolver);
+        registry.register(BranchBoundSolver);
+        registry.register(HeuristicSolver);
+        registry
+    }
+}
+
+impl fmt::Debug for SolverRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SolverRegistry")
+            .field("names", &self.names())
+            .finish()
+    }
+}
+
+impl SolverRegistry {
+    /// An empty registry (no built-ins).
+    #[must_use]
+    pub fn empty() -> SolverRegistry {
+        SolverRegistry {
+            solvers: BTreeMap::new(),
+        }
+    }
+
+    /// Registers a strategy under its [`AtspSolver::name`], replacing
+    /// any previous entry with that name.
+    pub fn register(&mut self, solver: impl AtspSolver + 'static) {
+        self.register_arc(Arc::new(solver));
+    }
+
+    /// Registers an already-shared strategy.
+    pub fn register_arc(&mut self, solver: Arc<dyn AtspSolver>) {
+        self.solvers.insert(solver.name().to_owned(), solver);
+    }
+
+    /// Looks a strategy up by name.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<Arc<dyn AtspSolver>> {
+        self.solvers.get(name).cloned()
+    }
+
+    /// Resolves a request's [`SolverChoice`].
+    ///
+    /// # Errors
+    ///
+    /// [`UnknownSolverError`] when nothing is registered under the
+    /// choice's key.
+    pub fn resolve(
+        &self,
+        choice: &SolverChoice,
+    ) -> Result<Arc<dyn AtspSolver>, UnknownSolverError> {
+        self.get(choice.key()).ok_or_else(|| UnknownSolverError {
+            name: choice.key().to_owned(),
+        })
+    }
+
+    /// The registered names, sorted.
+    #[must_use]
+    pub fn names(&self) -> Vec<&str> {
+        self.solvers.keys().map(String::as_str).collect()
+    }
+}
 
 /// Which algorithm the facade (or a caller) should run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -67,21 +365,71 @@ mod tests {
     fn size_dispatch() {
         assert_eq!(Solver::for_size(4), Solver::HeldKarp);
         assert_eq!(Solver::for_size(held_karp::MAX_NODES), Solver::HeldKarp);
-        assert_eq!(Solver::for_size(held_karp::MAX_NODES + 1), Solver::BranchBound);
+        assert_eq!(
+            Solver::for_size(held_karp::MAX_NODES + 1),
+            Solver::BranchBound
+        );
         assert_eq!(Solver::for_size(64), Solver::Heuristic);
     }
 
     #[test]
     fn facade_solves() {
-        let inst = AtspInstance::from_rows(vec![
-            vec![0, 1, 9],
-            vec![9, 0, 1],
-            vec![1, 9, 0],
-        ]);
+        let inst = AtspInstance::from_rows(vec![vec![0, 1, 9], vec![9, 0, 1], vec![1, 9, 0]]);
         assert_eq!(solve(&inst).cost, 3);
         let all = solve_all_optimal(&inst, 8);
         assert_eq!(all.len(), 1);
         assert_eq!(all[0].cost, 3);
+    }
+
+    #[test]
+    fn registry_resolves_builtins() {
+        let registry = SolverRegistry::default();
+        assert_eq!(
+            registry.names(),
+            vec!["auto", "branch-bound", "held-karp", "heuristic"]
+        );
+        for choice in [
+            SolverChoice::Auto,
+            SolverChoice::HeldKarp,
+            SolverChoice::BranchBound,
+            SolverChoice::Heuristic,
+        ] {
+            let solver = registry.resolve(&choice).expect("built-in resolves");
+            assert_eq!(solver.name(), choice.key());
+            assert_eq!(SolverChoice::from_key(choice.key()), choice);
+        }
+        let err = registry
+            .resolve(&SolverChoice::Custom("nope".into()))
+            .err()
+            .expect("must fail");
+        assert_eq!(err.name, "nope");
+    }
+
+    #[test]
+    fn trait_solvers_match_free_functions() {
+        let inst = AtspInstance::from_rows(vec![
+            vec![0, 2, 9, 10],
+            vec![1, 0, 6, 4],
+            vec![15, 7, 0, 8],
+            vec![6, 3, 12, 0],
+        ]);
+        let opt = solve(&inst).cost;
+        for choice in [
+            SolverChoice::Auto,
+            SolverChoice::HeldKarp,
+            SolverChoice::BranchBound,
+        ] {
+            let solver = SolverRegistry::default().resolve(&choice).unwrap();
+            assert_eq!(solver.solve(&inst).cost, opt, "{choice}");
+            assert!(solver.is_exact_for(&inst));
+            for tour in solver.solve_all_optimal(&inst, 16) {
+                assert_eq!(tour.cost, opt);
+                assert!(inst.is_valid_tour(&tour.order));
+            }
+        }
+        let heuristic = HeuristicSolver;
+        assert!(heuristic.solve(&inst).cost >= opt);
+        assert!(!heuristic.is_exact_for(&inst));
     }
 
     #[test]

@@ -20,9 +20,10 @@ fn bench_start_policy(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablations/start_policy");
     group.sample_size(10);
     let models = row5_models();
-    for (name, policy) in
-        [("uniform_f44", StartPolicy::Uniform), ("free", StartPolicy::Free)]
-    {
+    for (name, policy) in [
+        ("uniform_f44", StartPolicy::Uniform),
+        ("free", StartPolicy::Free),
+    ] {
         group.bench_function(name, |b| {
             b.iter(|| {
                 let out = Generator::new(models.clone())
@@ -72,5 +73,10 @@ fn bench_minimization(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_start_policy, bench_tour_enumeration, bench_minimization);
+criterion_group!(
+    benches,
+    bench_start_policy,
+    bench_tour_enumeration,
+    bench_minimization
+);
 criterion_main!(benches);

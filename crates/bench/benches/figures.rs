@@ -30,10 +30,8 @@ fn bench_figure2(c: &mut Criterion) {
     let m0 = TwoCellMachine::fault_free();
     c.bench_function("figures/figure2_faulty_machine", |b| {
         b.iter(|| {
-            let machines = catalog::machines(FaultModel::CouplingIdempotent(
-                TransitionDir::Up,
-                Bit::Zero,
-            ));
+            let machines =
+                catalog::machines(FaultModel::CouplingIdempotent(TransitionDir::Up, Bit::Zero));
             let diffs: usize = machines.iter().map(|(_, m)| m0.diff(m).len()).sum();
             black_box(diffs)
         });
@@ -41,8 +39,7 @@ fn bench_figure2(c: &mut Criterion) {
 }
 
 fn bench_figure3(c: &mut Criterion) {
-    let machines =
-        catalog::machines(FaultModel::CouplingIdempotent(TransitionDir::Up, Bit::Zero));
+    let machines = catalog::machines(FaultModel::CouplingIdempotent(TransitionDir::Up, Bit::Zero));
     c.bench_function("figures/figure3_bfe_split", |b| {
         b.iter(|| {
             let mut tps = 0usize;

@@ -27,9 +27,11 @@ fn bench_known_test_costs(c: &mut Criterion) {
     let mut group = c.benchmark_group("simulator/by_test");
     group.sample_size(10);
     let models = parse_fault_list("CFid").expect("parses");
-    for (name, test) in
-        [("MATS", known::mats()), ("March C-", known::march_c_minus()), ("March SS", known::march_ss())]
-    {
+    for (name, test) in [
+        ("MATS", known::mats()),
+        ("March C-", known::march_c_minus()),
+        ("March SS", known::march_ss()),
+    ] {
         group.bench_function(name, |b| {
             b.iter(|| black_box(covers_all(&test, &models, 4)));
         });

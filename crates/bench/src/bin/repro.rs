@@ -29,11 +29,13 @@ fn figures() {
         "Figure 1  M0: 4 states x 7 ops = {} transitions (paper: fault-free two-cell RAM)",
         4 * 7
     );
-    let machines =
-        catalog::machines(FaultModel::CouplingIdempotent(TransitionDir::Up, Bit::Zero));
+    let machines = catalog::machines(FaultModel::CouplingIdempotent(TransitionDir::Up, Bit::Zero));
     for (label, m) in &machines {
         let diffs = m0.diff(m);
-        println!("Figure 2  {label}: differs from M0 in {} transition(s) (paper: 1)", diffs.len());
+        println!(
+            "Figure 2  {label}: differs from M0 in {} transition(s) (paper: 1)",
+            diffs.len()
+        );
     }
     let mut tps = Vec::new();
     for (_, m) in &machines {
@@ -41,7 +43,10 @@ fn figures() {
             tps.extend(b.test_patterns());
         }
     }
-    println!("Figure 3  BFE split of CFid<↑,0>: {} TPs (paper: TP1=(01,w1i,r1j), TP2=(10,w1j,r1i))", tps.len());
+    println!(
+        "Figure 3  BFE split of CFid<↑,0>: {} TPs (paper: TP1=(01,w1i,r1j), TP2=(10,w1j,r1i))",
+        tps.len()
+    );
     for tp in &tps {
         println!("          {tp}");
     }
@@ -96,9 +101,13 @@ fn table3() {
     println!("(every row verified complete + non-redundant by the §6 simulator/set-covering)");
 
     println!("\nKnown-test cross-check (strict simulator semantics):");
-    for (row, name) in
-        [(0usize, "MATS"), (1, "MATS+"), (2, "MATS++"), (3, "March X"), (4, "March C-")]
-    {
+    for (row, name) in [
+        (0usize, "MATS"),
+        (1, "MATS+"),
+        (2, "MATS++"),
+        (3, "March X"),
+        (4, "March C-"),
+    ] {
         let models = row_models(&TABLE3[row]);
         let t = known::by_name(name).expect("known");
         println!(
@@ -112,9 +121,11 @@ fn table3() {
 
 fn baseline_comparison() {
     println!("\n== §2 baseline: exhaustive transition-tree vs pipeline ======");
-    for (label, list, bound) in
-        [("SAF", "SAF", 4usize), ("SAF+TF", "SAF, TF", 5), ("SAF+TF+ADF", "SAF, TF, ADF", 6)]
-    {
+    for (label, list, bound) in [
+        ("SAF", "SAF", 4usize),
+        ("SAF+TF", "SAF, TF", 5),
+        ("SAF+TF+ADF", "SAF, TF, ADF", 6),
+    ] {
         let models = marchgen_faults::parse_fault_list(list).expect("parses");
         let t0 = Instant::now();
         let out = Generator::new(models.clone()).run().expect("generates");
@@ -142,10 +153,22 @@ fn ablations() {
     println!("\n== Ablations on row 5 (SAF+TF+ADF+CFin+CFid) =================");
     let models = row_models(&TABLE3[4]);
     for (label, gen) in [
-        ("default (f.4.4 + enumeration + Table-2 pass)", Generator::new(models.clone())),
-        ("start policy: free", Generator::new(models.clone()).start_policy(StartPolicy::Free)),
-        ("single tour per combination", Generator::new(models.clone()).tour_cap(1)),
-        ("no minimization pass", Generator::new(models.clone()).compact(false)),
+        (
+            "default (f.4.4 + enumeration + Table-2 pass)",
+            Generator::new(models.clone()),
+        ),
+        (
+            "start policy: free",
+            Generator::new(models.clone()).start_policy(StartPolicy::Free),
+        ),
+        (
+            "single tour per combination",
+            Generator::new(models.clone()).tour_cap(1),
+        ),
+        (
+            "no minimization pass",
+            Generator::new(models.clone()).compact(false),
+        ),
     ] {
         let t = Instant::now();
         let out = gen.run().expect("generates");

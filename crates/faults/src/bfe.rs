@@ -84,8 +84,10 @@ pub fn derive_requirement(
     machine: &TwoCellMachine,
     label: impl Into<String>,
 ) -> Option<CoverageRequirement> {
-    let tps: Vec<TestPattern> =
-        extract(machine).iter().flat_map(Bfe::test_patterns).collect();
+    let tps: Vec<TestPattern> = extract(machine)
+        .iter()
+        .flat_map(Bfe::test_patterns)
+        .collect();
     if tps.is_empty() {
         return None;
     }
@@ -105,10 +107,8 @@ mod tests {
     /// TP2 = (10, w1j, r1i).
     #[test]
     fn figure3_bfe_split_of_cfid_up0() {
-        let machines = catalog::machines(FaultModel::CouplingIdempotent(
-            TransitionDir::Up,
-            Bit::Zero,
-        ));
+        let machines =
+            catalog::machines(FaultModel::CouplingIdempotent(TransitionDir::Up, Bit::Zero));
         let mut tps = Vec::new();
         for (_, m) in &machines {
             let bfes = extract(m);
@@ -119,7 +119,10 @@ mod tests {
         let tp1 = TestPattern::pair(
             PairState::new(Tri::Zero, Tri::One),
             MemOp::write(marchgen_model::Cell::I, Bit::One),
-            Observation::Read { cell: marchgen_model::Cell::J, expected: Bit::One },
+            Observation::Read {
+                cell: marchgen_model::Cell::J,
+                expected: Bit::One,
+            },
         );
         assert!(tps.contains(&tp1));
         assert!(tps.contains(&tp1.mirrored()));
@@ -179,7 +182,9 @@ mod tests {
         let m0 = TwoCellMachine::fault_free();
         let mut m = m0.clone();
         for s in PairState::all_known() {
-            let good = m0.transition(s, MemOp::write(marchgen_model::Cell::I, Bit::One)).next;
+            let good = m0
+                .transition(s, MemOp::write(marchgen_model::Cell::I, Bit::One))
+                .next;
             m = m.with_delta(
                 s,
                 MemOp::write(marchgen_model::Cell::I, Bit::One),

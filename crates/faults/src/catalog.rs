@@ -28,7 +28,11 @@ pub fn requirements(model: FaultModel) -> Vec<CoverageRequirement> {
             let w = v.flip();
             vec![CoverageRequirement::new(
                 format!("SA{v}"),
-                vec![TestPattern::single(Tri::X, MemOp::write(Cell::I, w), read_obs(Cell::I, w))],
+                vec![TestPattern::single(
+                    Tri::X,
+                    MemOp::write(Cell::I, w),
+                    read_obs(Cell::I, w),
+                )],
             )]
         }
         FaultModel::Transition(d) => {
@@ -88,11 +92,7 @@ pub fn requirements(model: FaultModel) -> Vec<CoverageRequirement> {
                         Cell::I => iv,
                         Cell::J => iv.flip(),
                     };
-                    TestPattern::pair(
-                        init,
-                        MemOp::read(read),
-                        Observation::SelfRead { expected },
-                    )
+                    TestPattern::pair(init, MemOp::read(read), Observation::SelfRead { expected })
                 };
                 CoverageRequirement::new(
                     format!("ADF<r> (reads of {read} return {})", read.other()),
@@ -146,7 +146,9 @@ pub fn requirements(model: FaultModel) -> Vec<CoverageRequirement> {
             let class = |aggr: Cell| {
                 let victim = aggr.other();
                 let enter_condition = TestPattern::pair(
-                    PairState::UNKNOWN.with(aggr, s.flip().into()).with(victim, f.flip().into()),
+                    PairState::UNKNOWN
+                        .with(aggr, s.flip().into())
+                        .with(victim, f.flip().into()),
                     MemOp::write(aggr, s),
                     read_obs(victim, f.flip()),
                 );
@@ -179,14 +181,22 @@ pub fn requirements(model: FaultModel) -> Vec<CoverageRequirement> {
             // the flipped cell.
             vec![CoverageRequirement::new(
                 model.to_string(),
-                vec![TestPattern::single(x.into(), MemOp::read(Cell::I), read_obs(Cell::I, x))],
+                vec![TestPattern::single(
+                    x.into(),
+                    MemOp::read(Cell::I),
+                    read_obs(Cell::I, x),
+                )],
             )]
         }
         FaultModel::DataRetention(x) => {
             // The cell decays after the wait period T.
             vec![CoverageRequirement::new(
                 model.to_string(),
-                vec![TestPattern::single(x.into(), MemOp::Delay, read_obs(Cell::I, x))],
+                vec![TestPattern::single(
+                    x.into(),
+                    MemOp::Delay,
+                    read_obs(Cell::I, x),
+                )],
             )]
         }
     }
@@ -215,7 +225,10 @@ pub fn machines(model: FaultModel) -> Vec<(String, TwoCellMachine)> {
                 m = m.with_override(
                     s,
                     MemOp::read(c),
-                    marchgen_model::Transition { next: s, output: Some(v) },
+                    marchgen_model::Transition {
+                        next: s,
+                        output: Some(v),
+                    },
                 );
             }
             m
@@ -333,7 +346,11 @@ pub fn machines(model: FaultModel) -> Vec<(String, TwoCellMachine)> {
                 // Victim writes that cannot stick while the condition holds.
                 if s.get(aggr) == cond.into() {
                     let good = m0.transition(s, MemOp::write(victim, f.flip())).next;
-                    m = m.with_delta(s, MemOp::write(victim, f.flip()), good.with(victim, f.into()));
+                    m = m.with_delta(
+                        s,
+                        MemOp::write(victim, f.flip()),
+                        good.with(victim, f.into()),
+                    );
                 }
             }
             m
@@ -386,7 +403,11 @@ mod tests {
         let ms = machines(FaultModel::CouplingInversion(TransitionDir::Up));
         let m0 = TwoCellMachine::fault_free();
         for (label, m) in &ms {
-            assert_eq!(m0.diff(m).len(), 2, "{label} should have two BFEs (Figure 3 analogue)");
+            assert_eq!(
+                m0.diff(m).len(),
+                2,
+                "{label} should have two BFEs (Figure 3 analogue)"
+            );
         }
     }
 
@@ -419,7 +440,13 @@ mod tests {
         let tp1 = reqs[0].alternatives[0];
         assert_eq!(tp1.init, PairState::new(Tri::Zero, Tri::One));
         assert_eq!(tp1.excite, MemOp::write(Cell::I, Bit::One));
-        assert_eq!(tp1.observe, Observation::Read { cell: Cell::J, expected: Bit::One });
+        assert_eq!(
+            tp1.observe,
+            Observation::Read {
+                cell: Cell::J,
+                expected: Bit::One
+            }
+        );
         let tp2 = reqs[1].alternatives[0];
         assert_eq!(tp2, tp1.mirrored());
     }
@@ -430,7 +457,13 @@ mod tests {
         let reqs = requirements(FaultModel::CouplingIdempotent(TransitionDir::Up, Bit::One));
         let tp3 = reqs[0].alternatives[0];
         assert_eq!(tp3.init, PairState::new(Tri::Zero, Tri::Zero));
-        assert_eq!(tp3.observe, Observation::Read { cell: Cell::J, expected: Bit::Zero });
+        assert_eq!(
+            tp3.observe,
+            Observation::Read {
+                cell: Cell::J,
+                expected: Bit::Zero
+            }
+        );
         assert_eq!(tp3.obs_state(), PairState::new(Tri::One, Tri::Zero));
     }
 

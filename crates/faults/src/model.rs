@@ -149,12 +149,18 @@ mod tests {
     #[test]
     fn display_names() {
         assert_eq!(FaultModel::StuckAt(Bit::Zero).to_string(), "SA0");
-        assert_eq!(FaultModel::Transition(TransitionDir::Up).to_string(), "TF<↑>");
+        assert_eq!(
+            FaultModel::Transition(TransitionDir::Up).to_string(),
+            "TF<↑>"
+        );
         assert_eq!(
             FaultModel::CouplingIdempotent(TransitionDir::Up, Bit::Zero).to_string(),
             "CFid<↑,0>"
         );
-        assert_eq!(FaultModel::AddressDecoder(AdfKind::Read).to_string(), "ADF<r>");
+        assert_eq!(
+            FaultModel::AddressDecoder(AdfKind::Read).to_string(),
+            "ADF<r>"
+        );
     }
 
     #[test]
@@ -167,8 +173,10 @@ mod tests {
 
     #[test]
     fn names_are_unique() {
-        let mut names: Vec<String> =
-            FaultModel::all_classical().iter().map(FaultModel::name).collect();
+        let mut names: Vec<String> = FaultModel::all_classical()
+            .iter()
+            .map(FaultModel::name)
+            .collect();
         names.sort();
         names.dedup();
         assert_eq!(names.len(), FaultModel::all_classical().len());

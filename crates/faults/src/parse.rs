@@ -70,14 +70,20 @@ pub fn parse_fault_list(src: &str) -> Result<Vec<FaultModel>, ParseFaultError> {
 }
 
 fn err(token: &str, message: impl Into<String>) -> ParseFaultError {
-    ParseFaultError { token: token.to_string(), message: message.into() }
+    ParseFaultError {
+        token: token.to_string(),
+        message: message.into(),
+    }
 }
 
 fn parse_dir(token: &str, s: &str) -> Result<TransitionDir, ParseFaultError> {
     match s.trim() {
         "u" | "U" | "↑" | "up" | "UP" | "Up" => Ok(TransitionDir::Up),
         "d" | "D" | "↓" | "down" | "DOWN" | "Down" => Ok(TransitionDir::Down),
-        other => Err(err(token, format!("expected a direction (u/d/↑/↓), got {other:?}"))),
+        other => Err(err(
+            token,
+            format!("expected a direction (u/d/↑/↓), got {other:?}"),
+        )),
     }
 }
 
@@ -94,7 +100,9 @@ fn split_args(token: &str) -> Result<(&str, Option<&str>), ParseFaultError> {
     match token.find('<') {
         None => Ok((token, None)),
         Some(open) => {
-            let Some(stripped) = token[open..].strip_prefix('<').and_then(|s| s.strip_suffix('>'))
+            let Some(stripped) = token[open..]
+                .strip_prefix('<')
+                .and_then(|s| s.strip_suffix('>'))
             else {
                 return Err(err(token, "unbalanced '<...>'"));
             };
@@ -131,7 +139,9 @@ fn parse_token(token: &str) -> Result<Vec<FaultModel>, ParseFaultError> {
             Some(other) => Err(err(token, format!("expected <w> or <r>, got {other:?}"))),
         },
         "CFIN" => match args {
-            None => Ok(TransitionDir::ALL.map(FaultModel::CouplingInversion).to_vec()),
+            None => Ok(TransitionDir::ALL
+                .map(FaultModel::CouplingInversion)
+                .to_vec()),
             Some(a) => Ok(vec![FaultModel::CouplingInversion(parse_dir(token, a)?)]),
         },
         "CFID" => match args {
@@ -168,7 +178,10 @@ fn parse_token(token: &str) -> Result<Vec<FaultModel>, ParseFaultError> {
                 let (s, f) = a
                     .split_once(',')
                     .ok_or_else(|| err(token, "expected <state,value>, e.g. CFst<1,0>"))?;
-                Ok(vec![FaultModel::CouplingState(parse_bit(token, s)?, parse_bit(token, f)?)])
+                Ok(vec![FaultModel::CouplingState(
+                    parse_bit(token, s)?,
+                    parse_bit(token, f)?,
+                )])
             }
         },
         "RDF" => match args {
@@ -177,7 +190,9 @@ fn parse_token(token: &str) -> Result<Vec<FaultModel>, ParseFaultError> {
         },
         "DRDF" => match args {
             None => Ok(Bit::ALL.map(FaultModel::DeceptiveReadDestructive).to_vec()),
-            Some(a) => Ok(vec![FaultModel::DeceptiveReadDestructive(parse_bit(token, a)?)]),
+            Some(a) => Ok(vec![FaultModel::DeceptiveReadDestructive(parse_bit(
+                token, a,
+            )?)]),
         },
         "IRF" => match args {
             None => Ok(Bit::ALL.map(FaultModel::IncorrectRead).to_vec()),
@@ -212,9 +227,18 @@ mod tests {
             parse_fault_list("CFid<↑,1>").unwrap(),
             vec![FaultModel::CouplingIdempotent(TransitionDir::Up, Bit::One)]
         );
-        assert_eq!(parse_fault_list("TF<d>").unwrap(), vec![FaultModel::Transition(TransitionDir::Down)]);
-        assert_eq!(parse_fault_list("SA1").unwrap(), vec![FaultModel::StuckAt(Bit::One)]);
-        assert_eq!(parse_fault_list("DRF<0>").unwrap(), vec![FaultModel::DataRetention(Bit::Zero)]);
+        assert_eq!(
+            parse_fault_list("TF<d>").unwrap(),
+            vec![FaultModel::Transition(TransitionDir::Down)]
+        );
+        assert_eq!(
+            parse_fault_list("SA1").unwrap(),
+            vec![FaultModel::StuckAt(Bit::One)]
+        );
+        assert_eq!(
+            parse_fault_list("DRF<0>").unwrap(),
+            vec![FaultModel::DataRetention(Bit::Zero)]
+        );
         assert_eq!(
             parse_fault_list("ADF<w>").unwrap(),
             vec![FaultModel::AddressDecoder(AdfKind::Write)]

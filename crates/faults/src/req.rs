@@ -35,8 +35,14 @@ impl CoverageRequirement {
     /// a bug in the catalog, not a runtime condition.
     #[must_use]
     pub fn new(label: impl Into<String>, alternatives: Vec<TestPattern>) -> CoverageRequirement {
-        assert!(!alternatives.is_empty(), "a coverage requirement needs at least one TP");
-        CoverageRequirement { label: label.into(), alternatives }
+        assert!(
+            !alternatives.is_empty(),
+            "a coverage requirement needs at least one TP"
+        );
+        CoverageRequirement {
+            label: label.into(),
+            alternatives,
+        }
     }
 
     /// Number of alternative TPs (the class cardinality `|Cᵢ|`).
@@ -70,9 +76,7 @@ pub fn requirements_for(models: &[FaultModel]) -> Vec<CoverageRequirement> {
     let mut reqs: Vec<CoverageRequirement> = Vec::new();
     for &model in models {
         for req in catalog::requirements(model) {
-            if let Some(existing) =
-                reqs.iter_mut().find(|r| r.alternatives == req.alternatives)
-            {
+            if let Some(existing) = reqs.iter_mut().find(|r| r.alternatives == req.alternatives) {
                 if !existing.label.contains(&req.label) {
                     existing.label = format!("{} + {}", existing.label, req.label);
                 }
@@ -123,8 +127,10 @@ mod tests {
     #[test]
     fn duplicate_models_do_not_duplicate_requirements() {
         let once = requirements_for(&[FaultModel::StuckAt(Bit::Zero)]);
-        let twice =
-            requirements_for(&[FaultModel::StuckAt(Bit::Zero), FaultModel::StuckAt(Bit::Zero)]);
+        let twice = requirements_for(&[
+            FaultModel::StuckAt(Bit::Zero),
+            FaultModel::StuckAt(Bit::Zero),
+        ]);
         assert_eq!(once, twice);
     }
 

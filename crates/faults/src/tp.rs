@@ -90,7 +90,14 @@ impl TestPattern {
     /// A pair-scope TP with plain (non-immediate) semantics.
     #[must_use]
     pub fn pair(init: PairState, excite: MemOp, observe: Observation) -> TestPattern {
-        TestPattern { init, excite, observe, kind: TpKind::Pair, immediate: false, pre_read: false }
+        TestPattern {
+            init,
+            excite,
+            observe,
+            kind: TpKind::Pair,
+            immediate: false,
+            pre_read: false,
+        }
     }
 
     /// A single-cell TP (`init_j` is forced to `-`, ops on [`Cell::I`]).
@@ -182,9 +189,10 @@ impl TestPattern {
         }
         let observe = match self.observe {
             Observation::SelfRead { expected } => Observation::SelfRead { expected },
-            Observation::Read { cell, expected } => {
-                Observation::Read { cell: cell.other(), expected }
-            }
+            Observation::Read { cell, expected } => Observation::Read {
+                cell: cell.other(),
+                expected,
+            },
         };
         TestPattern {
             init: self.init.mirrored(),
@@ -202,14 +210,20 @@ impl TestPattern {
             other => other,
         };
         let observe = match self.observe {
-            Observation::SelfRead { expected } => {
-                Observation::SelfRead { expected: expected.flip() }
-            }
-            Observation::Read { cell, expected } => {
-                Observation::Read { cell, expected: expected.flip() }
-            }
+            Observation::SelfRead { expected } => Observation::SelfRead {
+                expected: expected.flip(),
+            },
+            Observation::Read { cell, expected } => Observation::Read {
+                cell,
+                expected: expected.flip(),
+            },
         };
-        TestPattern { init: self.init.complement(), excite, observe, ..*self }
+        TestPattern {
+            init: self.init.complement(),
+            excite,
+            observe,
+            ..*self
+        }
     }
 
     /// Internal consistency: the observation's expected value must be the
@@ -295,14 +309,12 @@ pub fn generalize(tps: &[TestPattern]) -> Vec<TestPattern> {
                 }
                 let same_i = a.init.i == b.init.i;
                 let same_j = a.init.j == b.init.j;
-                let mergeable = (same_i
-                    && a.init.j.is_known()
-                    && b.init.j.is_known()
-                    && a.init.j != b.init.j)
-                    || (same_j
-                        && a.init.i.is_known()
-                        && b.init.i.is_known()
-                        && a.init.i != b.init.i);
+                let mergeable =
+                    (same_i && a.init.j.is_known() && b.init.j.is_known() && a.init.j != b.init.j)
+                        || (same_j
+                            && a.init.i.is_known()
+                            && b.init.i.is_known()
+                            && a.init.i != b.init.i);
                 if mergeable {
                     let init = if same_i {
                         PairState::new(a.init.i, Tri::X)
@@ -333,7 +345,10 @@ mod tests {
         TestPattern::pair(
             PairState::new(Tri::Zero, Tri::One),
             MemOp::write(Cell::I, Bit::One),
-            Observation::Read { cell: Cell::J, expected: Bit::One },
+            Observation::Read {
+                cell: Cell::J,
+                expected: Bit::One,
+            },
         )
     }
 
@@ -342,7 +357,10 @@ mod tests {
         TestPattern::pair(
             PairState::new(Tri::One, Tri::Zero),
             MemOp::write(Cell::J, Bit::One),
-            Observation::Read { cell: Cell::I, expected: Bit::One },
+            Observation::Read {
+                cell: Cell::I,
+                expected: Bit::One,
+            },
         )
     }
 
@@ -372,12 +390,18 @@ mod tests {
         let saf0 = TestPattern::single(
             Tri::X,
             MemOp::write(Cell::I, Bit::One),
-            Observation::Read { cell: Cell::I, expected: Bit::One },
+            Observation::Read {
+                cell: Cell::I,
+                expected: Bit::One,
+            },
         );
         let tf_up = TestPattern::single(
             Tri::Zero,
             MemOp::write(Cell::I, Bit::One),
-            Observation::Read { cell: Cell::I, expected: Bit::One },
+            Observation::Read {
+                cell: Cell::I,
+                expected: Bit::One,
+            },
         );
         assert!(tf_up.subsumes(&saf0));
         assert!(!saf0.subsumes(&tf_up));
@@ -397,12 +421,18 @@ mod tests {
         let a = TestPattern::pair(
             PairState::new(Tri::Zero, Tri::Zero),
             MemOp::write(Cell::I, Bit::One),
-            Observation::Read { cell: Cell::I, expected: Bit::One },
+            Observation::Read {
+                cell: Cell::I,
+                expected: Bit::One,
+            },
         );
         let b = TestPattern::pair(
             PairState::new(Tri::Zero, Tri::One),
             MemOp::write(Cell::I, Bit::One),
-            Observation::Read { cell: Cell::I, expected: Bit::One },
+            Observation::Read {
+                cell: Cell::I,
+                expected: Bit::One,
+            },
         );
         let g = generalize(&[a, b]);
         assert_eq!(g.len(), 1);
@@ -416,14 +446,20 @@ mod tests {
         let bad = TestPattern::pair(
             PairState::new(Tri::Zero, Tri::One),
             MemOp::write(Cell::I, Bit::One),
-            Observation::Read { cell: Cell::J, expected: Bit::Zero },
+            Observation::Read {
+                cell: Cell::J,
+                expected: Bit::Zero,
+            },
         );
         assert!(!bad.is_consistent());
         // Observing an unconstrained cell is inconsistent too.
         let vague = TestPattern::pair(
             PairState::new(Tri::Zero, Tri::X),
             MemOp::write(Cell::I, Bit::One),
-            Observation::Read { cell: Cell::J, expected: Bit::Zero },
+            Observation::Read {
+                cell: Cell::J,
+                expected: Bit::Zero,
+            },
         );
         assert!(!vague.is_consistent());
     }
@@ -433,7 +469,10 @@ mod tests {
         let ok = TestPattern::single(
             Tri::Zero,
             MemOp::write(Cell::I, Bit::One),
-            Observation::Read { cell: Cell::I, expected: Bit::One },
+            Observation::Read {
+                cell: Cell::I,
+                expected: Bit::One,
+            },
         );
         assert!(ok.is_consistent());
         let bad = TestPattern {
@@ -457,7 +496,10 @@ mod tests {
         let sof = TestPattern::single(
             Tri::Zero,
             MemOp::write(Cell::I, Bit::One),
-            Observation::Read { cell: Cell::I, expected: Bit::One },
+            Observation::Read {
+                cell: Cell::I,
+                expected: Bit::One,
+            },
         )
         .with_immediate()
         .with_pre_read();

@@ -58,7 +58,10 @@ pub fn search(
         };
         let mut elements: Vec<MarchElement> = Vec::new();
         if let Some(test) = state.extend(&mut elements, None, 0) {
-            return SearchResult { test: Some(test), stats };
+            return SearchResult {
+                test: Some(test),
+                stats,
+            };
         }
         if stats.nodes >= node_cap {
             break;

@@ -53,7 +53,11 @@ impl Gts {
         let mut state = PairState::UNKNOWN;
         for (k, tp) in tour.iter().enumerate() {
             for w in state.writes_to(&tp.init) {
-                ops.push(GtsOp { op: w, verify: None, tp_index: None });
+                ops.push(GtsOp {
+                    op: w,
+                    verify: None,
+                    tp_index: None,
+                });
                 if let MemOp::Write(c, d) = w {
                     state = state.with(c, d.into());
                 }
@@ -101,7 +105,10 @@ impl Gts {
     /// Number of operations addressing `cell`.
     #[must_use]
     pub fn ops_on(&self, cell: Cell) -> usize {
-        self.ops.iter().filter(|o| o.op.cell() == Some(cell)).count()
+        self.ops
+            .iter()
+            .filter(|o| o.op.cell() == Some(cell))
+            .count()
     }
 }
 

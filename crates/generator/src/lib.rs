@@ -36,8 +36,16 @@
 
 pub mod baseline;
 pub mod gts;
-pub mod schedule;
+mod outcome;
 mod pipeline;
+mod request;
+pub mod schedule;
+#[cfg(feature = "serde")]
+pub mod serde;
 
-pub use pipeline::{GenerateError, Generator, Outcome};
+pub use outcome::{Diagnostics, GenerateOutcome};
+pub use pipeline::{
+    generate, generate_with, generate_with_registry, GenerateError, Generator, Outcome,
+};
+pub use request::GenerateRequest;
 pub use schedule::{schedule_tour, ScheduleError};

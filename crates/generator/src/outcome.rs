@@ -1,0 +1,68 @@
+//! [`GenerateOutcome`] — the typed, serializable result of one
+//! generation run, with structured per-phase [`Diagnostics`].
+
+use marchgen_faults::TestPattern;
+use marchgen_march::MarchTest;
+use marchgen_sim::coverage::CoverageReport;
+
+/// The result of running a [`GenerateRequest`](crate::GenerateRequest).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenerateOutcome {
+    /// The best March test found.
+    pub test: MarchTest,
+    /// The Test Pattern tour it was built from.
+    pub tour: Vec<TestPattern>,
+    /// `true` when the verifier confirmed full coverage of every
+    /// requested model (always checked unless `verify_cells` is 0).
+    pub verified: bool,
+    /// Verifier coverage report (present when verification ran).
+    pub report: Option<CoverageReport>,
+    /// Operational non-redundancy (present when requested): no single
+    /// operation can be deleted without losing coverage.
+    pub non_redundant: Option<bool>,
+    /// Structured per-phase statistics of the run.
+    pub diagnostics: Diagnostics,
+}
+
+impl GenerateOutcome {
+    /// The generated test's complexity (operations per cell).
+    #[must_use]
+    pub fn complexity(&self) -> usize {
+        self.test.complexity()
+    }
+}
+
+/// Per-phase statistics of a generation run: how much of the search
+/// space was examined and where the time went.
+///
+/// Timings are integral microseconds so outcomes serialize losslessly.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Diagnostics {
+    /// Equivalence-class combinations examined (the paper's `E`).
+    pub combinations: usize,
+    /// Distinct post-subsumption TP sets among them (the memoized
+    /// ATSP instances actually solved).
+    pub unique_tp_sets: usize,
+    /// Optimal tours returned by the solver across all combinations.
+    pub tours_tried: usize,
+    /// Distinct March candidates successfully scheduled from tours.
+    pub candidates: usize,
+    /// Complexities of the deduplicated candidates, ascending — the
+    /// shape of the search frontier the verifier walked.
+    pub candidate_complexities: Vec<usize>,
+    /// Time expanding the fault list into coverage requirements, µs.
+    pub expand_micros: u64,
+    /// Time enumerating combinations, solving tours and scheduling
+    /// March candidates, µs.
+    pub search_micros: u64,
+    /// Time spent in the verifier (coverage, compaction, redundancy), µs.
+    pub verify_micros: u64,
+}
+
+impl Diagnostics {
+    /// Total accounted time across all phases, µs.
+    #[must_use]
+    pub fn total_micros(&self) -> u64 {
+        self.expand_micros + self.search_micros + self.verify_micros
+    }
+}

@@ -1,28 +1,41 @@
 //! The end-to-end generation pipeline (paper Sections 4–6): fault list →
 //! requirements → class combinations → TPG/ATSP tours → March
 //! construction → simulator verification → minimal verified test.
+//!
+//! The engine is the free function [`generate`] (and its
+//! dependency-injected variants [`generate_with_registry`] /
+//! [`generate_with`]), which maps a typed [`GenerateRequest`] to a typed
+//! [`GenerateOutcome`]. The historical [`Generator`] builder survives as
+//! a thin compatibility shim over the request layer.
 
 use crate::gts::Gts;
+use crate::outcome::{Diagnostics, GenerateOutcome};
+use crate::request::GenerateRequest;
 use crate::schedule::schedule_tour;
+use marchgen_atsp::{AtspSolver, SolverChoice, SolverRegistry};
 use marchgen_faults::{
     dedupe_subsumed, parse_fault_list, requirements_for, CoverageRequirement, FaultModel,
     ParseFaultError, TestPattern,
 };
 use marchgen_march::MarchTest;
-use marchgen_sim::coverage::{coverage_report, CoverageReport};
-use marchgen_sim::redundancy;
-use marchgen_tpg::{plan_tour, StartPolicy, Tpg};
+use marchgen_sim::coverage::CoverageReport;
+use marchgen_sim::{SimVerifier, Verifier};
+use marchgen_tpg::{plan_tour_with, StartPolicy, Tpg};
 use std::collections::BTreeMap;
 use std::fmt;
+use std::time::Instant;
 
 /// Why generation failed outright (verification shortfalls are reported
-/// in [`Outcome::verified`] instead, with the best candidate attached).
+/// in [`GenerateOutcome::verified`] instead, with the best candidate
+/// attached).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum GenerateError {
     /// The fault list expanded to no coverage requirement.
     EmptyFaultList,
     /// No tour could be scheduled into a consistent March test.
     NoCandidate,
+    /// The request named an ATSP solver the registry does not know.
+    UnknownSolver(String),
 }
 
 impl fmt::Display for GenerateError {
@@ -32,13 +45,174 @@ impl fmt::Display for GenerateError {
             GenerateError::NoCandidate => {
                 f.write_str("no tour could be scheduled into a march test")
             }
+            GenerateError::UnknownSolver(name) => {
+                write!(f, "no ATSP solver registered under {name:?}")
+            }
         }
     }
 }
 
 impl std::error::Error for GenerateError {}
 
-/// The result of a generator run.
+/// Runs a request with the default solver registry and the built-in
+/// simulator verifier — the standard entry point.
+///
+/// # Errors
+///
+/// [`GenerateError::EmptyFaultList`] for an empty expansion,
+/// [`GenerateError::NoCandidate`] when no tour schedules (does not
+/// happen for the built-in catalog), [`GenerateError::UnknownSolver`]
+/// when the request names an unregistered solver.
+pub fn generate(request: &GenerateRequest) -> Result<GenerateOutcome, GenerateError> {
+    generate_with_registry(request, &SolverRegistry::default())
+}
+
+/// Runs a request resolving its [`SolverChoice`] against a caller
+/// registry (custom strategies included), verifying with the built-in
+/// simulator.
+///
+/// # Errors
+///
+/// As [`generate`].
+pub fn generate_with_registry(
+    request: &GenerateRequest,
+    registry: &SolverRegistry,
+) -> Result<GenerateOutcome, GenerateError> {
+    let solver = registry
+        .resolve(&request.solver)
+        .map_err(|e| GenerateError::UnknownSolver(e.name))?;
+    let verifier = SimVerifier::new(request.verify_cells);
+    let active: Option<&dyn Verifier> = if request.verify_cells > 0 {
+        Some(&verifier)
+    } else {
+        None
+    };
+    generate_with(request, solver.as_ref(), active)
+}
+
+/// The fully dependency-injected engine: explicit solver strategy and
+/// optional verification backend. `None` for `verifier` skips
+/// verification, compaction and the redundancy check, exactly like
+/// `verify_cells == 0`.
+///
+/// # Errors
+///
+/// [`GenerateError::EmptyFaultList`] / [`GenerateError::NoCandidate`];
+/// this variant cannot fail on solver resolution.
+pub fn generate_with(
+    request: &GenerateRequest,
+    solver: &dyn AtspSolver,
+    verifier: Option<&dyn Verifier>,
+) -> Result<GenerateOutcome, GenerateError> {
+    let mut diagnostics = Diagnostics::default();
+
+    let expand_started = Instant::now();
+    let requirements = requirements_for(&request.faults);
+    diagnostics.expand_micros = as_micros(expand_started);
+    if requirements.is_empty() {
+        return Err(GenerateError::EmptyFaultList);
+    }
+
+    // Enumerate class combinations (paper §5: E = Π |Ci|), memoizing
+    // on the post-subsumption TP set: choices that collapse to the
+    // same set solve the same ATSP.
+    let search_started = Instant::now();
+    let mut seen_sets: BTreeMap<Vec<TestPattern>, ()> = BTreeMap::new();
+    let mut candidates: Vec<(MarchTest, Vec<TestPattern>)> = Vec::new();
+    for combo in ClassCombinations::new(&requirements).take(request.max_combinations) {
+        diagnostics.combinations += 1;
+        let mut tps = dedupe_subsumed(&combo);
+        tps.sort();
+        if seen_sets.insert(tps.clone(), ()).is_some() {
+            continue;
+        }
+        diagnostics.unique_tp_sets += 1;
+        let tpg = Tpg::new(tps.clone());
+        for plan in plan_tour_with(&tpg, request.start_policy, request.tour_cap, solver) {
+            diagnostics.tours_tried += 1;
+            let tour: Vec<TestPattern> = plan.order.iter().map(|&k| tps[k]).collect();
+            if let Ok(test) = schedule_tour(&tour) {
+                if test.check_consistency().is_ok() {
+                    diagnostics.candidates += 1;
+                    candidates.push((test, tour));
+                }
+            }
+        }
+    }
+    if candidates.is_empty() {
+        diagnostics.search_micros = as_micros(search_started);
+        return Err(GenerateError::NoCandidate);
+    }
+
+    // Shortest first; deduplicate identical tests.
+    candidates.sort_by_key(|(t, _)| (t.complexity(), t.element_count()));
+    candidates.dedup_by(|a, b| a.0 == b.0);
+    diagnostics.candidate_complexities = candidates.iter().map(|(t, _)| t.complexity()).collect();
+    diagnostics.search_micros = as_micros(search_started);
+
+    let Some(verifier) = verifier else {
+        let (test, tour) = candidates.swap_remove(0);
+        return Ok(GenerateOutcome {
+            test,
+            tour,
+            verified: false,
+            report: None,
+            non_redundant: None,
+            diagnostics,
+        });
+    };
+
+    let verify_started = Instant::now();
+    let mut fallback: Option<(MarchTest, Vec<TestPattern>)> = None;
+    for (test, tour) in &candidates {
+        let report = verifier.verify(test, &request.faults);
+        if report.complete() {
+            let final_test = if request.compact {
+                verifier.compact(test, &request.faults)
+            } else {
+                test.clone()
+            };
+            let report = verifier.verify(&final_test, &request.faults);
+            let non_redundant = if request.compact || request.check_redundancy {
+                Some(verifier.is_non_redundant(&final_test, &request.faults))
+            } else {
+                None
+            };
+            diagnostics.verify_micros = as_micros(verify_started);
+            return Ok(GenerateOutcome {
+                test: final_test,
+                tour: tour.clone(),
+                verified: true,
+                report: Some(report),
+                non_redundant,
+                diagnostics,
+            });
+        }
+        if fallback.is_none() {
+            fallback = Some((test.clone(), tour.clone()));
+        }
+    }
+
+    // No candidate verified — report the best one honestly.
+    let (test, tour) = fallback.expect("candidates non-empty");
+    let report = verifier.verify(&test, &request.faults);
+    diagnostics.verify_micros = as_micros(verify_started);
+    Ok(GenerateOutcome {
+        test,
+        tour,
+        verified: false,
+        report: Some(report),
+        non_redundant: None,
+        diagnostics,
+    })
+}
+
+fn as_micros(since: Instant) -> u64 {
+    u64::try_from(since.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+/// The result of a [`Generator`] run (compatibility shape; new code
+/// should prefer [`GenerateOutcome`]).
 #[derive(Debug, Clone)]
 pub struct Outcome {
     /// The best March test found.
@@ -61,7 +235,23 @@ pub struct Outcome {
     pub combinations: usize,
 }
 
-/// The configurable generation pipeline.
+impl From<GenerateOutcome> for Outcome {
+    fn from(outcome: GenerateOutcome) -> Outcome {
+        Outcome {
+            gts: Gts::from_tour(&outcome.tour),
+            test: outcome.test,
+            tour: outcome.tour,
+            verified: outcome.verified,
+            report: outcome.report,
+            non_redundant: outcome.non_redundant,
+            candidates: outcome.diagnostics.candidates,
+            combinations: outcome.diagnostics.combinations,
+        }
+    }
+}
+
+/// The configurable generation pipeline — a builder-style compatibility
+/// shim over [`GenerateRequest`] + [`generate`].
 ///
 /// ```
 /// use marchgen_generator::Generator;
@@ -71,13 +261,7 @@ pub struct Outcome {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Generator {
-    models: Vec<FaultModel>,
-    start_policy: StartPolicy,
-    tour_cap: usize,
-    verify_cells: usize,
-    compact: bool,
-    check_redundancy: bool,
-    max_combinations: usize,
+    request: GenerateRequest,
 }
 
 impl Generator {
@@ -88,13 +272,7 @@ impl Generator {
     #[must_use]
     pub fn new(models: Vec<FaultModel>) -> Generator {
         Generator {
-            models,
-            start_policy: StartPolicy::Uniform,
-            tour_cap: 64,
-            verify_cells: 4,
-            compact: true,
-            check_redundancy: false,
-            max_combinations: 4096,
+            request: GenerateRequest::new(models),
         }
     }
 
@@ -108,17 +286,30 @@ impl Generator {
         Ok(Generator::new(parse_fault_list(list)?))
     }
 
+    /// Wraps an existing request in the builder interface.
+    #[must_use]
+    pub fn from_request(request: GenerateRequest) -> Generator {
+        Generator { request }
+    }
+
     /// Overrides the f.4.4 start policy (ablation hook).
     #[must_use]
     pub fn start_policy(mut self, policy: StartPolicy) -> Generator {
-        self.start_policy = policy;
+        self.request.start_policy = policy;
+        self
+    }
+
+    /// Selects the ATSP solver strategy.
+    #[must_use]
+    pub fn solver(mut self, solver: SolverChoice) -> Generator {
+        self.request.solver = solver;
         self
     }
 
     /// Caps the number of optimal tours tried per combination.
     #[must_use]
     pub fn tour_cap(mut self, cap: usize) -> Generator {
-        self.tour_cap = cap.max(1);
+        self.request = self.request.with_tour_cap(cap);
         self
     }
 
@@ -126,7 +317,7 @@ impl Generator {
     /// (and compaction).
     #[must_use]
     pub fn verify_cells(mut self, n: usize) -> Generator {
-        self.verify_cells = n;
+        self.request.verify_cells = n;
         self
     }
 
@@ -134,7 +325,7 @@ impl Generator {
     /// role; on by default).
     #[must_use]
     pub fn compact(mut self, on: bool) -> Generator {
-        self.compact = on;
+        self.request.compact = on;
         self
     }
 
@@ -142,14 +333,26 @@ impl Generator {
     /// test (off by default; it is implied `true` when compaction ran).
     #[must_use]
     pub fn check_redundancy(mut self, on: bool) -> Generator {
-        self.check_redundancy = on;
+        self.request.check_redundancy = on;
         self
     }
 
     /// The fault models targeted.
     #[must_use]
     pub fn models(&self) -> &[FaultModel] {
-        &self.models
+        &self.request.faults
+    }
+
+    /// The underlying typed request.
+    #[must_use]
+    pub fn request(&self) -> &GenerateRequest {
+        &self.request
+    }
+
+    /// Consumes the builder into its typed request.
+    #[must_use]
+    pub fn into_request(self) -> GenerateRequest {
+        self.request
     }
 
     /// Runs the pipeline.
@@ -160,105 +363,7 @@ impl Generator {
     /// [`GenerateError::NoCandidate`] when no tour schedules (does not
     /// happen for the built-in catalog).
     pub fn run(&self) -> Result<Outcome, GenerateError> {
-        let requirements = requirements_for(&self.models);
-        if requirements.is_empty() {
-            return Err(GenerateError::EmptyFaultList);
-        }
-
-        // Enumerate class combinations (paper §5: E = Π |Ci|), memoizing
-        // on the post-subsumption TP set: choices that collapse to the
-        // same set solve the same ATSP.
-        let mut seen_sets: BTreeMap<Vec<TestPattern>, ()> = BTreeMap::new();
-        let mut candidates: Vec<(MarchTest, Vec<TestPattern>)> = Vec::new();
-        let mut combinations = 0usize;
-        let mut constructed = 0usize;
-        for combo in ClassCombinations::new(&requirements).take(self.max_combinations) {
-            combinations += 1;
-            let mut tps = dedupe_subsumed(&combo);
-            tps.sort();
-            if seen_sets.insert(tps.clone(), ()).is_some() {
-                continue;
-            }
-            let tpg = Tpg::new(tps.clone());
-            for plan in plan_tour(&tpg, self.start_policy, self.tour_cap) {
-                let tour: Vec<TestPattern> =
-                    plan.order.iter().map(|&k| tps[k]).collect();
-                if let Ok(test) = schedule_tour(&tour) {
-                    if test.check_consistency().is_ok() {
-                        constructed += 1;
-                        candidates.push((test, tour));
-                    }
-                }
-            }
-        }
-        if candidates.is_empty() {
-            return Err(GenerateError::NoCandidate);
-        }
-
-        // Shortest first; deduplicate identical tests.
-        candidates.sort_by_key(|(t, _)| (t.complexity(), t.element_count()));
-        candidates.dedup_by(|a, b| a.0 == b.0);
-
-        if self.verify_cells == 0 {
-            let (test, tour) = candidates.swap_remove(0);
-            let gts = Gts::from_tour(&tour);
-            return Ok(Outcome {
-                test,
-                tour,
-                gts,
-                verified: false,
-                report: None,
-                non_redundant: None,
-                candidates: constructed,
-                combinations,
-            });
-        }
-
-        let n = self.verify_cells;
-        let mut fallback: Option<(MarchTest, Vec<TestPattern>)> = None;
-        for (test, tour) in &candidates {
-            let report = coverage_report(test, &self.models, n);
-            if report.complete() {
-                let final_test = if self.compact {
-                    redundancy::compact(test, &self.models, n)
-                } else {
-                    test.clone()
-                };
-                let report = coverage_report(&final_test, &self.models, n);
-                let non_redundant = if self.compact || self.check_redundancy {
-                    Some(redundancy::is_non_redundant(&final_test, &self.models, n))
-                } else {
-                    None
-                };
-                return Ok(Outcome {
-                    test: final_test,
-                    tour: tour.clone(),
-                    gts: Gts::from_tour(tour),
-                    verified: true,
-                    report: Some(report),
-                    non_redundant,
-                    candidates: constructed,
-                    combinations,
-                });
-            }
-            if fallback.is_none() {
-                fallback = Some((test.clone(), tour.clone()));
-            }
-        }
-
-        // No candidate verified — report the best one honestly.
-        let (test, tour) = fallback.expect("candidates non-empty");
-        let report = coverage_report(&test, &self.models, n);
-        Ok(Outcome {
-            test,
-            tour: tour.clone(),
-            gts: Gts::from_tour(&tour),
-            verified: false,
-            report: Some(report),
-            non_redundant: None,
-            candidates: constructed,
-            combinations,
-        })
+        generate(&self.request).map(Outcome::from)
     }
 }
 
@@ -328,6 +433,15 @@ mod tests {
         assert_eq!(err, GenerateError::EmptyFaultList);
     }
 
+    #[test]
+    fn unknown_solver_rejected() {
+        let request = GenerateRequest::from_fault_list("SAF")
+            .unwrap()
+            .with_solver(SolverChoice::Custom("bogus".into()));
+        let err = generate(&request).unwrap_err();
+        assert_eq!(err, GenerateError::UnknownSolver("bogus".into()));
+    }
+
     /// Table 3 row 1: SAF → 4n, verified and non-redundant.
     #[test]
     fn table3_row1_saf() {
@@ -340,7 +454,10 @@ mod tests {
     /// Table 3 row 2: SAF + TF → 5n (MATS+ class).
     #[test]
     fn table3_row2_saf_tf() {
-        let out = Generator::from_fault_list("SAF, TF").unwrap().run().unwrap();
+        let out = Generator::from_fault_list("SAF, TF")
+            .unwrap()
+            .run()
+            .unwrap();
         assert!(out.verified);
         assert_eq!(out.test.complexity(), 5, "{}", out.test);
     }
@@ -377,5 +494,54 @@ mod tests {
         assert!(!out.verified);
         assert!(out.report.is_none());
         assert_eq!(out.test.complexity(), 4);
+    }
+
+    /// All exact solver choices agree on the Table 3 workloads.
+    #[test]
+    fn exact_solver_choices_agree() {
+        for faults in ["SAF", "SAF, TF", "CFid<u,0>, CFid<u,1>"] {
+            let baseline = generate(&GenerateRequest::from_fault_list(faults).unwrap())
+                .unwrap()
+                .complexity();
+            for choice in [SolverChoice::HeldKarp, SolverChoice::BranchBound] {
+                let request = GenerateRequest::from_fault_list(faults)
+                    .unwrap()
+                    .with_solver(choice.clone());
+                let out = generate(&request).unwrap();
+                assert!(out.verified, "{faults} with {choice}");
+                assert_eq!(out.complexity(), baseline, "{faults} with {choice}");
+            }
+        }
+    }
+
+    /// Diagnostics account for the search the engine performed.
+    #[test]
+    fn diagnostics_are_populated() {
+        let out = generate(&GenerateRequest::from_fault_list("SAF, TF").unwrap()).unwrap();
+        let d = &out.diagnostics;
+        assert!(d.combinations > 0);
+        assert!(d.unique_tp_sets > 0);
+        assert!(d.unique_tp_sets <= d.combinations);
+        assert!(d.tours_tried > 0);
+        assert!(d.candidates > 0);
+        assert!(!d.candidate_complexities.is_empty());
+        assert!(d.candidate_complexities.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(d.candidate_complexities[0], out.complexity());
+    }
+
+    /// The builder shim and the request layer produce identical results.
+    #[test]
+    fn shim_matches_engine() {
+        let generator = Generator::from_fault_list("SAF, TF")
+            .unwrap()
+            .check_redundancy(true);
+        let via_shim = generator.run().unwrap();
+        let via_engine = generate(generator.request()).unwrap();
+        assert_eq!(via_shim.test, via_engine.test);
+        assert_eq!(via_shim.tour, via_engine.tour);
+        assert_eq!(via_shim.verified, via_engine.verified);
+        assert_eq!(via_shim.non_redundant, via_engine.non_redundant);
+        assert_eq!(via_shim.candidates, via_engine.diagnostics.candidates);
+        assert_eq!(via_shim.combinations, via_engine.diagnostics.combinations);
     }
 }

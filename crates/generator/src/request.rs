@@ -1,0 +1,169 @@
+//! [`GenerateRequest`] — the typed, serializable description of one
+//! generation run.
+//!
+//! Every knob of the historical [`Generator`](crate::Generator) builder
+//! is captured here as plain data, so a request can be constructed
+//! programmatically, decoded from JSON (`serde` feature), queued through
+//! the batch service layer, and replayed byte-for-byte.
+
+use marchgen_atsp::SolverChoice;
+use marchgen_faults::{parse_fault_list, FaultModel, ParseFaultError};
+use marchgen_tpg::StartPolicy;
+
+/// A complete, self-contained description of one March-test generation
+/// run: target fault models plus engine configuration.
+///
+/// The [`Default`] configuration mirrors the paper's: uniform-start
+/// constraint f.4.4, automatic solver dispatch, all-optimal-tour
+/// enumeration capped at 64, simulator verification on a 4-cell memory,
+/// and minimization to non-redundancy.
+///
+/// ```
+/// use marchgen_generator::GenerateRequest;
+///
+/// let request = GenerateRequest::from_fault_list("SAF, TF").unwrap();
+/// assert_eq!(request.verify_cells, 4);
+/// assert!(request.compact);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenerateRequest {
+    /// The fault models the test must cover.
+    pub faults: Vec<FaultModel>,
+    /// The f.4.4 start constraint (uniform by default).
+    pub start_policy: StartPolicy,
+    /// Which ATSP solver strategy plans the TP tours.
+    pub solver: SolverChoice,
+    /// Cap on optimal tours tried per class combination.
+    pub tour_cap: usize,
+    /// Memory size for simulator verification; `0` disables verification
+    /// (and compaction).
+    pub verify_cells: usize,
+    /// Run the simulator-guided minimization pass (Table 2's role).
+    pub compact: bool,
+    /// Also run the operation-deletion non-redundancy check (implied
+    /// `true` when compaction ran).
+    pub check_redundancy: bool,
+    /// Cap on equivalence-class combinations examined (the paper's `E`).
+    pub max_combinations: usize,
+}
+
+impl GenerateRequest {
+    /// A request for the given fault models with the paper's default
+    /// configuration.
+    #[must_use]
+    pub fn new(faults: Vec<FaultModel>) -> GenerateRequest {
+        GenerateRequest {
+            faults,
+            start_policy: StartPolicy::Uniform,
+            solver: SolverChoice::Auto,
+            tour_cap: 64,
+            verify_cells: 4,
+            compact: true,
+            check_redundancy: false,
+            max_combinations: 4096,
+        }
+    }
+
+    /// Parses a textual fault list (see
+    /// [`parse_fault_list`](marchgen_faults::parse_fault_list)).
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse error of the first invalid token.
+    pub fn from_fault_list(list: &str) -> Result<GenerateRequest, ParseFaultError> {
+        Ok(GenerateRequest::new(parse_fault_list(list)?))
+    }
+
+    /// Builder-style override of the start policy.
+    #[must_use]
+    pub fn with_start_policy(mut self, policy: StartPolicy) -> GenerateRequest {
+        self.start_policy = policy;
+        self
+    }
+
+    /// Builder-style override of the solver strategy.
+    #[must_use]
+    pub fn with_solver(mut self, solver: SolverChoice) -> GenerateRequest {
+        self.solver = solver;
+        self
+    }
+
+    /// Builder-style override of the per-combination tour cap (clamped
+    /// to at least 1).
+    #[must_use]
+    pub fn with_tour_cap(mut self, cap: usize) -> GenerateRequest {
+        self.tour_cap = cap.max(1);
+        self
+    }
+
+    /// Builder-style override of the verification memory size.
+    #[must_use]
+    pub fn with_verify_cells(mut self, cells: usize) -> GenerateRequest {
+        self.verify_cells = cells;
+        self
+    }
+
+    /// Builder-style toggle of the minimization pass.
+    #[must_use]
+    pub fn with_compact(mut self, on: bool) -> GenerateRequest {
+        self.compact = on;
+        self
+    }
+
+    /// Builder-style toggle of the non-redundancy check.
+    #[must_use]
+    pub fn with_check_redundancy(mut self, on: bool) -> GenerateRequest {
+        self.check_redundancy = on;
+        self
+    }
+
+    /// Builder-style override of the combination cap (clamped to at
+    /// least 1).
+    #[must_use]
+    pub fn with_max_combinations(mut self, cap: usize) -> GenerateRequest {
+        self.max_combinations = cap.max(1);
+        self
+    }
+}
+
+impl Default for GenerateRequest {
+    fn default() -> GenerateRequest {
+        GenerateRequest::new(Vec::new())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_configuration() {
+        let req = GenerateRequest::from_fault_list("SAF").unwrap();
+        assert_eq!(req.start_policy, StartPolicy::Uniform);
+        assert_eq!(req.solver, SolverChoice::Auto);
+        assert_eq!(req.tour_cap, 64);
+        assert_eq!(req.verify_cells, 4);
+        assert!(req.compact);
+        assert!(!req.check_redundancy);
+        assert_eq!(req.max_combinations, 4096);
+    }
+
+    #[test]
+    fn builder_chain() {
+        let req = GenerateRequest::default()
+            .with_solver(SolverChoice::HeldKarp)
+            .with_start_policy(StartPolicy::Free)
+            .with_tour_cap(0)
+            .with_verify_cells(6)
+            .with_compact(false)
+            .with_check_redundancy(true)
+            .with_max_combinations(0);
+        assert_eq!(req.solver, SolverChoice::HeldKarp);
+        assert_eq!(req.start_policy, StartPolicy::Free);
+        assert_eq!(req.tour_cap, 1, "tour cap clamps to 1");
+        assert_eq!(req.max_combinations, 1, "combination cap clamps to 1");
+        assert_eq!(req.verify_cells, 6);
+        assert!(!req.compact);
+        assert!(req.check_redundancy);
+    }
+}

@@ -99,7 +99,11 @@ struct Elem {
 
 impl Elem {
     fn new(start: Option<Bit>) -> Elem {
-        Elem { ops: Vec::new(), start, mark: None }
+        Elem {
+            ops: Vec::new(),
+            start,
+            mark: None,
+        }
     }
 
     fn first_op(&self) -> Option<MarchOp> {
@@ -178,7 +182,10 @@ impl Builder {
         self.discharge_pendings()?;
         let pre = self.cur;
         let elem = self.open_mut();
-        elem.ops.push(Slot { op: MarchOp::Write(value), pre });
+        elem.ops.push(Slot {
+            op: MarchOp::Write(value),
+            pre,
+        });
         elem.set_mark(mark)?;
         self.cur = Some(value);
         self.last_closed_sharable = false;
@@ -189,7 +196,10 @@ impl Builder {
     /// (they all expect the current per-cell value by construction).
     fn push_read(&mut self, expected: Bit, mark: Option<Direction>) -> Result<(), ScheduleError> {
         if self.cur != Some(expected) {
-            return Err(ScheduleError::InconsistentRead { expected, actual: self.cur });
+            return Err(ScheduleError::InconsistentRead {
+                expected,
+                actual: self.cur,
+            });
         }
         let mut mark = mark;
         for p in std::mem::take(&mut self.pendings) {
@@ -200,7 +210,10 @@ impl Builder {
         }
         let pre = self.cur;
         let elem = self.open_mut();
-        elem.ops.push(Slot { op: MarchOp::Read(expected), pre });
+        elem.ops.push(Slot {
+            op: MarchOp::Read(expected),
+            pre,
+        });
         elem.set_mark(mark)?;
         self.last_closed_sharable = false;
         Ok(())
@@ -280,7 +293,9 @@ fn place_single(b: &mut Builder, tp: &TestPattern) -> Result<(), ScheduleError> 
         MemOp::Write(_, d) => {
             b.ensure_value(x)?;
             if tp.pre_read {
-                let Some(v) = x.or(b.cur) else { return Err(ScheduleError::UnknownValue) };
+                let Some(v) = x.or(b.cur) else {
+                    return Err(ScheduleError::UnknownValue);
+                };
                 if b.open.as_ref().and_then(Elem::last_op) != Some(MarchOp::Read(v)) {
                     b.discharge_pendings()?;
                     b.push_read(v, None)?;
@@ -290,30 +305,46 @@ fn place_single(b: &mut Builder, tp: &TestPattern) -> Result<(), ScheduleError> 
             if tp.immediate {
                 b.push_read(d, None)?;
             } else {
-                b.pendings.push(Pending { expected: d, mark: None });
+                b.pendings.push(Pending {
+                    expected: d,
+                    mark: None,
+                });
             }
         }
         MemOp::Read(_) => {
-            let Some(v) = x else { return Err(ScheduleError::UnknownValue) };
+            let Some(v) = x else {
+                return Err(ScheduleError::UnknownValue);
+            };
             b.ensure_value(Some(v))?;
             b.push_read(v, None)?;
             if matches!(tp.observe, Observation::Read { .. }) {
                 // deceptive read faults: a second read catches the flip
-                b.pendings.push(Pending { expected: v, mark: None });
+                b.pendings.push(Pending {
+                    expected: v,
+                    mark: None,
+                });
             }
         }
         MemOp::Delay => {
-            let Some(v) = x else { return Err(ScheduleError::UnknownValue) };
+            let Some(v) = x else {
+                return Err(ScheduleError::UnknownValue);
+            };
             b.ensure_value(Some(v))?;
             b.discharge_pendings()?;
             b.close();
             b.closed.push(Elem {
-                ops: vec![Slot { op: MarchOp::Delay, pre: b.cur }],
+                ops: vec![Slot {
+                    op: MarchOp::Delay,
+                    pre: b.cur,
+                }],
                 start: b.cur,
                 mark: None,
             });
             b.last_closed_sharable = false;
-            b.pendings.push(Pending { expected: v, mark: None });
+            b.pendings.push(Pending {
+                expected: v,
+                mark: None,
+            });
         }
     }
     Ok(())
@@ -322,7 +353,11 @@ fn place_single(b: &mut Builder, tp: &TestPattern) -> Result<(), ScheduleError> 
 fn place_pair(b: &mut Builder, tp: &TestPattern) -> Result<(), ScheduleError> {
     let aggr = tp.excite_cell();
     let x_a = tp.init.get(aggr).bit();
-    let x_v = tp.init.get(aggr.other()).bit().ok_or(ScheduleError::UnknownValue)?;
+    let x_v = tp
+        .init
+        .get(aggr.other())
+        .bit()
+        .ok_or(ScheduleError::UnknownValue)?;
 
     let placement = choose_placement(b, tp, aggr, x_a, x_v);
     match placement {
@@ -422,7 +457,10 @@ fn place_pair(b: &mut Builder, tp: &TestPattern) -> Result<(), ScheduleError> {
 
 fn register_observation(b: &mut Builder, tp: &TestPattern, x_v: Bit, phase: Direction) {
     if matches!(tp.observe, Observation::Read { .. }) {
-        b.pendings.push(Pending { expected: x_v, mark: Some(phase) });
+        b.pendings.push(Pending {
+            expected: x_v,
+            mark: Some(phase),
+        });
     }
 }
 
@@ -482,7 +520,10 @@ fn choose_placement(
                     && e.ops.iter().any(excite_matches)
                     && phase == b.phase
                 {
-                    return Placement::ShareCross { phase, fix_close: false };
+                    return Placement::ShareCross {
+                        phase,
+                        fix_close: false,
+                    };
                 }
             }
         }
@@ -509,7 +550,10 @@ mod tests {
 
     fn tps_for(list: &str) -> Vec<TestPattern> {
         let models = parse_fault_list(list).unwrap();
-        requirements_for(&models).iter().map(|r| r.alternatives[0]).collect()
+        requirements_for(&models)
+            .iter()
+            .map(|r| r.alternatives[0])
+            .collect()
     }
 
     /// §4 worked example: the tour TP3 → TP2 → TP4 → TP1 yields the 8n
@@ -523,8 +567,9 @@ mod tests {
         let m = schedule_tour(&tour).expect("schedulable");
         assert_eq!(m.check_consistency(), Ok(()));
         assert_eq!(m.complexity(), 8, "{m}");
-        let want: MarchTest =
-            "⇕(w0); ⇑(r0,w1); ⇑(r1,w0); ⇓(r0,w1); ⇓(r1)".parse().unwrap();
+        let want: MarchTest = "⇕(w0); ⇑(r0,w1); ⇑(r1,w0); ⇓(r0,w1); ⇓(r1)"
+            .parse()
+            .unwrap();
         assert_eq!(m, want, "{m}");
     }
 

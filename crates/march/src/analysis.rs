@@ -183,11 +183,27 @@ mod tests {
         // simulator confirms (see tests/analysis_validation.rs).
         let rows: Vec<(&str, MarchTest, [bool; 5])> = vec![
             ("MATS", known::mats(), [true, false, false, false, false]),
-            ("MATS+", known::mats_plus(), [true, false, true, false, false]),
-            ("MATS++", known::mats_plus_plus(), [true, true, true, true, false]),
-            ("March X", known::march_x(), [true, true, true, false, false]),
+            (
+                "MATS+",
+                known::mats_plus(),
+                [true, false, true, false, false],
+            ),
+            (
+                "MATS++",
+                known::mats_plus_plus(),
+                [true, true, true, true, false],
+            ),
+            (
+                "March X",
+                known::march_x(),
+                [true, true, true, false, false],
+            ),
             ("March Y", known::march_y(), [true, true, true, true, false]),
-            ("March C-", known::march_c_minus(), [true, true, true, false, false]),
+            (
+                "March C-",
+                known::march_c_minus(),
+                [true, true, true, false, false],
+            ),
             ("March B", known::march_b(), [true, true, true, true, false]),
             ("March G", known::march_g(), [true, true, true, true, true]),
         ];

@@ -82,7 +82,10 @@ impl MarchElement {
     /// Creates an element; `⇕(ops...)` is `MarchElement::new(Direction::Any, ops)`.
     #[must_use]
     pub fn new(direction: Direction, ops: impl Into<Vec<MarchOp>>) -> MarchElement {
-        MarchElement { direction, ops: ops.into() }
+        MarchElement {
+            direction,
+            ops: ops.into(),
+        }
     }
 
     /// Ascending element `⇑(ops...)`.

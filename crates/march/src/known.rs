@@ -226,7 +226,10 @@ pub fn by_name(name: &str) -> Option<MarchTest> {
             .collect()
     };
     let wanted = canon(name);
-    all().into_iter().find(|(n, _)| canon(n) == wanted).map(|(_, t)| t)
+    all()
+        .into_iter()
+        .find(|(n, _)| canon(n) == wanted)
+        .map(|(_, t)| t)
 }
 
 #[cfg(test)]

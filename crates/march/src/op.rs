@@ -98,7 +98,13 @@ mod tests {
         assert_eq!(MarchOp::R0.complement(), MarchOp::R1);
         assert_eq!(MarchOp::W1.complement(), MarchOp::W0);
         assert_eq!(MarchOp::Delay.complement(), MarchOp::Delay);
-        for op in [MarchOp::R0, MarchOp::R1, MarchOp::W0, MarchOp::W1, MarchOp::Delay] {
+        for op in [
+            MarchOp::R0,
+            MarchOp::R1,
+            MarchOp::W0,
+            MarchOp::W1,
+            MarchOp::Delay,
+        ] {
             assert_eq!(op.complement().complement(), op);
         }
     }

@@ -31,7 +31,11 @@ pub struct ParseMarchError {
 
 impl fmt::Display for ParseMarchError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invalid march test syntax at byte {}: {}", self.position, self.message)
+        write!(
+            f,
+            "invalid march test syntax at byte {}: {}",
+            self.position, self.message
+        )
     }
 }
 
@@ -45,7 +49,11 @@ struct Cursor<'a> {
 
 impl<'a> Cursor<'a> {
     fn new(src: &'a str) -> Cursor<'a> {
-        Cursor { src, chars: src.char_indices().collect(), pos: 0 }
+        Cursor {
+            src,
+            chars: src.char_indices().collect(),
+            pos: 0,
+        }
     }
 
     fn skip_ws(&mut self) {
@@ -82,12 +90,17 @@ impl<'a> Cursor<'a> {
     }
 
     fn error(&self, message: impl Into<String>) -> ParseMarchError {
-        ParseMarchError { position: self.byte_pos(), message: message.into() }
+        ParseMarchError {
+            position: self.byte_pos(),
+            message: message.into(),
+        }
     }
 }
 
 fn parse_direction(cur: &mut Cursor<'_>) -> Result<Direction, ParseMarchError> {
-    let c = cur.peek().ok_or_else(|| cur.error("expected a direction"))?;
+    let c = cur
+        .peek()
+        .ok_or_else(|| cur.error("expected a direction"))?;
     let dir = match c {
         '⇑' | 'u' | 'U' | '^' => Direction::Up,
         '⇓' | 'd' | 'D' | 'v' => Direction::Down,
@@ -104,7 +117,9 @@ fn parse_direction(cur: &mut Cursor<'_>) -> Result<Direction, ParseMarchError> {
 
 fn parse_op(cur: &mut Cursor<'_>) -> Result<MarchOp, ParseMarchError> {
     cur.skip_ws();
-    let c = cur.peek().ok_or_else(|| cur.error("expected an operation"))?;
+    let c = cur
+        .peek()
+        .ok_or_else(|| cur.error("expected an operation"))?;
     match c {
         'r' | 'R' | 'w' | 'W' => {
             cur.bump();
@@ -118,7 +133,11 @@ fn parse_op(cur: &mut Cursor<'_>) -> Result<MarchOp, ParseMarchError> {
                 }
             };
             cur.bump();
-            Ok(if c.eq_ignore_ascii_case(&'r') { MarchOp::Read(d) } else { MarchOp::Write(d) })
+            Ok(if c.eq_ignore_ascii_case(&'r') {
+                MarchOp::Read(d)
+            } else {
+                MarchOp::Write(d)
+            })
         }
         'D' | 'd' => {
             // Del / del
@@ -162,9 +181,7 @@ fn parse_element(cur: &mut Cursor<'_>) -> Result<MarchElement, ParseMarchError> 
                 // unparenthesised ops may be space-separated
                 ops.push(parse_op(cur)?);
             }
-            Some(other) => {
-                return Err(cur.error(format!("unexpected {other:?} inside element")))
-            }
+            Some(other) => return Err(cur.error(format!("unexpected {other:?} inside element"))),
             None => return Err(cur.error("unterminated element: missing ')'")),
         }
     }

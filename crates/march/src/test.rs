@@ -53,9 +53,16 @@ impl fmt::Display for ConsistencyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ConsistencyError::ReadOfUninitialized { element, op } => {
-                write!(f, "element {element}, op {op}: read of an uninitialized cell")
+                write!(
+                    f,
+                    "element {element}, op {op}: read of an uninitialized cell"
+                )
             }
-            ConsistencyError::WrongExpectedValue { element, op, actual } => {
+            ConsistencyError::WrongExpectedValue {
+                element,
+                op,
+                actual,
+            } => {
                 write!(
                     f,
                     "element {element}, op {op}: read expects the wrong value (cells hold {actual})"
@@ -74,7 +81,9 @@ impl MarchTest {
     /// Creates a test from its elements.
     #[must_use]
     pub fn new(elements: impl Into<Vec<MarchElement>>) -> MarchTest {
-        MarchTest { elements: elements.into() }
+        MarchTest {
+            elements: elements.into(),
+        }
     }
 
     /// The elements, in application order.
@@ -128,7 +137,10 @@ impl MarchTest {
     /// sequence (the defining property of a March test).
     #[must_use]
     pub fn per_cell_sequence(&self) -> Vec<MarchOp> {
-        self.elements.iter().flat_map(|e| e.ops.iter().copied()).collect()
+        self.elements
+            .iter()
+            .flat_map(|e| e.ops.iter().copied())
+            .collect()
     }
 
     /// Checks read consistency (see type-level docs).
@@ -174,7 +186,9 @@ impl MarchTest {
     /// often appear in either polarity.
     #[must_use]
     pub fn complement(&self) -> MarchTest {
-        MarchTest { elements: self.elements.iter().map(MarchElement::complement).collect() }
+        MarchTest {
+            elements: self.elements.iter().map(MarchElement::complement).collect(),
+        }
     }
 
     /// The address-order mirror: every `⇑ ↔ ⇓`. Mirroring swaps the roles
@@ -196,10 +210,13 @@ impl MarchTest {
     /// arbitrary data polarity the generator picked.
     #[must_use]
     pub fn normalized_polarity(&self) -> MarchTest {
-        let first_write = self
-            .per_cell_sequence()
-            .into_iter()
-            .find_map(|op| if let MarchOp::Write(d) = op { Some(d) } else { None });
+        let first_write = self.per_cell_sequence().into_iter().find_map(|op| {
+            if let MarchOp::Write(d) = op {
+                Some(d)
+            } else {
+                None
+            }
+        });
         match first_write {
             Some(Bit::One) => self.complement(),
             _ => self.clone(),
@@ -264,7 +281,9 @@ impl FromStr for MarchTest {
 
 impl FromIterator<MarchElement> for MarchTest {
     fn from_iter<T: IntoIterator<Item = MarchElement>>(iter: T) -> Self {
-        MarchTest { elements: iter.into_iter().collect() }
+        MarchTest {
+            elements: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -318,7 +337,11 @@ mod tests {
         ]);
         assert_eq!(
             t.check_consistency(),
-            Err(ConsistencyError::WrongExpectedValue { element: 1, op: 0, actual: Bit::Zero })
+            Err(ConsistencyError::WrongExpectedValue {
+                element: 1,
+                op: 0,
+                actual: Bit::Zero
+            })
         );
     }
 
@@ -334,7 +357,10 @@ mod tests {
     #[test]
     fn empty_element_detected() {
         let t = MarchTest::new(vec![MarchElement::any(Vec::new())]);
-        assert_eq!(t.check_consistency(), Err(ConsistencyError::EmptyElement { element: 0 }));
+        assert_eq!(
+            t.check_consistency(),
+            Err(ConsistencyError::EmptyElement { element: 0 })
+        );
     }
 
     #[test]
@@ -367,7 +393,13 @@ mod tests {
         let seq = known::mats_plus().per_cell_sequence();
         assert_eq!(
             seq,
-            vec![MarchOp::W0, MarchOp::R0, MarchOp::W1, MarchOp::R1, MarchOp::W0]
+            vec![
+                MarchOp::W0,
+                MarchOp::R0,
+                MarchOp::W1,
+                MarchOp::R1,
+                MarchOp::W0
+            ]
         );
     }
 
@@ -377,8 +409,10 @@ mod tests {
             let s = test.to_string();
             let back: MarchTest = s.parse().unwrap_or_else(|e| panic!("{name}: {e}"));
             assert_eq!(back, test, "{name} display/parse mismatch");
-            let ascii: MarchTest =
-                test.to_ascii().parse().unwrap_or_else(|e| panic!("{name} ascii: {e}"));
+            let ascii: MarchTest = test
+                .to_ascii()
+                .parse()
+                .unwrap_or_else(|e| panic!("{name} ascii: {e}"));
             assert_eq!(ascii, test, "{name} ascii/parse mismatch");
         }
     }

@@ -23,8 +23,11 @@ use std::fmt::Write as _;
 #[must_use]
 pub fn render(machine: &TwoCellMachine, name: &str) -> String {
     let m0 = TwoCellMachine::fault_free();
-    let diffs: Vec<(PairState, MemOp)> =
-        m0.diff(machine).into_iter().map(|d| (d.state, d.op)).collect();
+    let diffs: Vec<(PairState, MemOp)> = m0
+        .diff(machine)
+        .into_iter()
+        .map(|d| (d.state, d.op))
+        .collect();
 
     // (src, dst, output, bold) -> ops
     let mut edges: BTreeMap<(usize, usize, String, bool), Vec<String>> = BTreeMap::new();
@@ -50,7 +53,11 @@ pub fn render(machine: &TwoCellMachine, name: &str) -> String {
         } else {
             format!("({}) / {}", ops.join(", "), out)
         };
-        let style = if *bold { ", style=bold, color=red, penwidth=2.0" } else { "" };
+        let style = if *bold {
+            ", style=bold, color=red, penwidth=2.0"
+        } else {
+            ""
+        };
         let _ = writeln!(s, "  s{src} -> s{dst} [label=\"{label}\"{style}];");
     }
     let _ = writeln!(s, "}}");

@@ -30,7 +30,9 @@ where
     /// Creates an empty machine.
     #[must_use]
     pub fn new() -> Self {
-        Mealy { table: BTreeMap::new() }
+        Mealy {
+            table: BTreeMap::new(),
+        }
     }
 
     /// Inserts (or replaces) the `(δ, λ)` entry for `(state, input)`,
@@ -68,10 +70,22 @@ where
                     outputs.push(out);
                     consumed += 1;
                 }
-                None => return RunResult { state, outputs, consumed, complete: false },
+                None => {
+                    return RunResult {
+                        state,
+                        outputs,
+                        consumed,
+                        complete: false,
+                    }
+                }
             }
         }
-        RunResult { state, outputs, consumed, complete: true }
+        RunResult {
+            state,
+            outputs,
+            consumed,
+            complete: true,
+        }
     }
 
     /// Number of defined `(state, input)` entries.

@@ -21,7 +21,10 @@ pub struct PairState {
 
 impl PairState {
     /// A state with both cells unknown (`--`), the power-up state.
-    pub const UNKNOWN: PairState = PairState { i: Tri::X, j: Tri::X };
+    pub const UNKNOWN: PairState = PairState {
+        i: Tri::X,
+        j: Tri::X,
+    };
 
     /// Creates a state from two three-valued contents.
     #[must_use]
@@ -32,7 +35,10 @@ impl PairState {
     /// Creates a fully known state from two bits.
     #[must_use]
     pub fn new_known(i: Bit, j: Bit) -> PairState {
-        PairState { i: i.into(), j: j.into() }
+        PairState {
+            i: i.into(),
+            j: j.into(),
+        }
     }
 
     /// All four fully specified states `00, 01, 10, 11`, in the index order
@@ -91,8 +97,16 @@ impl PairState {
     /// Panics if any component is unknown.
     #[must_use]
     pub fn index(&self) -> usize {
-        let i = self.i.bit().expect("state component i is unknown").as_usize();
-        let j = self.j.bit().expect("state component j is unknown").as_usize();
+        let i = self
+            .i
+            .bit()
+            .expect("state component i is unknown")
+            .as_usize();
+        let j = self
+            .j
+            .bit()
+            .expect("state component j is unknown")
+            .as_usize();
         i * 2 + j
     }
 
@@ -168,7 +182,10 @@ impl PairState {
                 _ => None,
             }
         };
-        Some(PairState { i: comp(self.i, other.i)?, j: comp(self.j, other.j)? })
+        Some(PairState {
+            i: comp(self.i, other.i)?,
+            j: comp(self.j, other.j)?,
+        })
     }
 
     /// The state with both components complemented (`X` unchanged). Data
@@ -176,13 +193,19 @@ impl PairState {
     /// appear in complement-equivalent tests.
     #[must_use]
     pub fn complement(&self) -> PairState {
-        PairState { i: self.i.flip(), j: self.j.flip() }
+        PairState {
+            i: self.i.flip(),
+            j: self.j.flip(),
+        }
     }
 
     /// The state with the two cells swapped (address-order mirror).
     #[must_use]
     pub fn mirrored(&self) -> PairState {
-        PairState { i: self.j, j: self.i }
+        PairState {
+            i: self.j,
+            j: self.i,
+        }
     }
 }
 

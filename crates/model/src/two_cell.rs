@@ -55,8 +55,10 @@ impl TwoCellMachine {
     /// keep the state, `T` is a self-loop.
     #[must_use]
     pub fn fault_free() -> TwoCellMachine {
-        let mut table =
-            [[Transition { next: PairState::from_index(0), output: None }; NUM_OPS]; NUM_STATES];
+        let mut table = [[Transition {
+            next: PairState::from_index(0),
+            output: None,
+        }; NUM_OPS]; NUM_STATES];
         for state in PairState::all_known() {
             for op in ALL_OPS {
                 let tr = match op {
@@ -68,7 +70,10 @@ impl TwoCellMachine {
                         next: state.with(c, d.into()),
                         output: None,
                     },
-                    MemOp::Delay => Transition { next: state, output: None },
+                    MemOp::Delay => Transition {
+                        next: state,
+                        output: None,
+                    },
                 };
                 table[state.index()][op.index()] = tr;
             }
@@ -124,19 +129,28 @@ impl TwoCellMachine {
     #[must_use]
     pub fn with_delta(&self, state: PairState, op: MemOp, next: PairState) -> TwoCellMachine {
         let cur = self.transition(state, op);
-        self.with_override(state, op, Transition { next, output: cur.output })
+        self.with_override(
+            state,
+            op,
+            Transition {
+                next,
+                output: cur.output,
+            },
+        )
     }
 
     /// Returns a copy where `(state, op)` outputs `output` (successor kept).
     #[must_use]
-    pub fn with_lambda(
-        &self,
-        state: PairState,
-        op: MemOp,
-        output: Option<Bit>,
-    ) -> TwoCellMachine {
+    pub fn with_lambda(&self, state: PairState, op: MemOp, output: Option<Bit>) -> TwoCellMachine {
         let cur = self.transition(state, op);
-        self.with_override(state, op, Transition { next: cur.next, output })
+        self.with_override(
+            state,
+            op,
+            Transition {
+                next: cur.next,
+                output,
+            },
+        )
     }
 
     /// All `(state, op)` points where `self` and `other` differ.
@@ -152,7 +166,12 @@ impl TwoCellMachine {
                 let a = self.transition(state, op);
                 let b = other.transition(state, op);
                 if a != b {
-                    diffs.push(MachineDiff { state, op, good: a, faulty: b });
+                    diffs.push(MachineDiff {
+                        state,
+                        op,
+                        good: a,
+                        faulty: b,
+                    });
                 }
             }
         }
@@ -169,7 +188,9 @@ impl TwoCellMachine {
     /// Iterator over every `(state, op, transition)` entry.
     pub fn entries(&self) -> impl Iterator<Item = (PairState, MemOp, Transition)> + '_ {
         PairState::all_known().into_iter().flat_map(move |s| {
-            ALL_OPS.into_iter().map(move |op| (s, op, self.transition(s, op)))
+            ALL_OPS
+                .into_iter()
+                .map(move |op| (s, op, self.transition(s, op)))
         })
     }
 }
@@ -261,7 +282,11 @@ mod tests {
     fn figure2_single_delta_override_is_bfe() {
         let m0 = TwoCellMachine::fault_free();
         let s01 = PairState::new(Tri::Zero, Tri::One);
-        let m1 = m0.with_delta(s01, MemOp::write(Cell::I, Bit::One), PairState::new(Tri::One, Tri::Zero));
+        let m1 = m0.with_delta(
+            s01,
+            MemOp::write(Cell::I, Bit::One),
+            PairState::new(Tri::One, Tri::Zero),
+        );
         assert!(m1.is_bfe());
         let d = m0.diff(&m1);
         assert_eq!(d.len(), 1);
@@ -301,13 +326,14 @@ mod tests {
     fn diff_of_identical_machines_is_empty() {
         let m0 = TwoCellMachine::fault_free();
         assert!(m0.diff(&m0.clone()).is_empty());
-        assert!(!m0.with_delta(
-            PairState::from_index(0),
-            MemOp::write(Cell::I, Bit::One),
-            PairState::from_index(0)
-        )
-        .diff(&m0)
-        .is_empty());
+        assert!(!m0
+            .with_delta(
+                PairState::from_index(0),
+                MemOp::write(Cell::I, Bit::One),
+                PairState::from_index(0)
+            )
+            .diff(&m0)
+            .is_empty());
     }
 
     #[test]

@@ -1,24 +1,24 @@
-//! Property tests for the two-cell machine and state algebra.
+//! Property tests for the two-cell machine and state algebra
+//! (deterministic `marchgen-testkit` harness).
 
 use marchgen_model::{Bit, Cell, MemOp, PairState, Transition, TwoCellMachine, ALL_OPS};
-use proptest::prelude::*;
+use marchgen_testkit::{run_cases, Rng};
 
-fn op_strategy() -> impl Strategy<Value = MemOp> {
-    (0usize..ALL_OPS.len()).prop_map(|k| ALL_OPS[k])
+fn random_op(rng: &mut Rng) -> MemOp {
+    *rng.pick(&ALL_OPS)
 }
 
-fn state_strategy() -> impl Strategy<Value = PairState> {
-    (0usize..4).prop_map(PairState::from_index)
+fn random_state(rng: &mut Rng) -> PairState {
+    PairState::from_index(rng.range(0, 4))
 }
 
-proptest! {
-    /// M0 is write-deterministic: the state after a sequence equals the
-    /// last written value per cell (or the start value if never written).
-    #[test]
-    fn m0_state_is_last_write(
-        start in state_strategy(),
-        ops in proptest::collection::vec(op_strategy(), 0..32),
-    ) {
+/// M0 is write-deterministic: the state after a sequence equals the last
+/// written value per cell (or the start value if never written).
+#[test]
+fn m0_state_is_last_write() {
+    run_cases("m0_state_is_last_write", 256, |rng| {
+        let start = random_state(rng);
+        let ops = rng.vec(0, 32, random_op);
         let m0 = TwoCellMachine::fault_free();
         let (end, _) = m0.run(start, &ops);
         for cell in Cell::ALL {
@@ -30,71 +30,86 @@ proptest! {
                     _ => None,
                 })
                 .unwrap_or(start.get(cell));
-            prop_assert_eq!(end.get(cell), expected);
+            assert_eq!(end.get(cell), expected);
         }
-    }
+    });
+}
 
-    /// M0 reads echo the current state and never change it.
-    #[test]
-    fn m0_reads_are_pure(start in state_strategy()) {
+/// M0 reads echo the current state and never change it.
+#[test]
+fn m0_reads_are_pure() {
+    for start in PairState::all_known() {
         let m0 = TwoCellMachine::fault_free();
         for cell in Cell::ALL {
             let (next, out) = m0.step(start, MemOp::read(cell));
-            prop_assert_eq!(next, start);
-            prop_assert_eq!(out, start.get(cell).bit());
+            assert_eq!(next, start);
+            assert_eq!(out, start.get(cell).bit());
         }
     }
+}
 
-    /// Overriding an entry and diffing recovers exactly that entry.
-    #[test]
-    fn override_diff_roundtrip(
-        state in state_strategy(),
-        op in op_strategy(),
-        target in state_strategy(),
-        out_sel in 0usize..3,
-    ) {
+/// Overriding an entry and diffing recovers exactly that entry.
+#[test]
+fn override_diff_roundtrip() {
+    run_cases("override_diff_roundtrip", 256, |rng| {
+        let state = random_state(rng);
+        let op = random_op(rng);
+        let target = random_state(rng);
+        let output = *rng.pick(&[None, Some(Bit::Zero), Some(Bit::One)]);
         let m0 = TwoCellMachine::fault_free();
-        let output = [None, Some(Bit::Zero), Some(Bit::One)][out_sel];
-        let tr = Transition { next: target, output };
+        let tr = Transition {
+            next: target,
+            output,
+        };
         let faulty = m0.with_override(state, op, tr);
         let diffs = m0.diff(&faulty);
         if m0.transition(state, op) == tr {
-            prop_assert!(diffs.is_empty());
+            assert!(diffs.is_empty());
         } else {
-            prop_assert_eq!(diffs.len(), 1);
-            prop_assert_eq!(diffs[0].state, state);
-            prop_assert_eq!(diffs[0].op, op);
-            prop_assert_eq!(diffs[0].faulty, tr);
-            prop_assert!(faulty.is_bfe());
+            assert_eq!(diffs.len(), 1);
+            assert_eq!(diffs[0].state, state);
+            assert_eq!(diffs[0].op, op);
+            assert_eq!(diffs[0].faulty, tr);
+            assert!(faulty.is_bfe());
+        }
+    });
+}
+
+/// distance_to is a metric-like gauge on fully known states: zero iff
+/// satisfying, symmetric on fully specified states, ≤ 2.
+#[test]
+fn distance_properties() {
+    for a in PairState::all_known() {
+        for b in PairState::all_known() {
+            let d = a.distance_to(&b);
+            assert!(d <= 2);
+            assert_eq!(d == 0, a.satisfies(&b));
+            assert_eq!(a.distance_to(&b), b.distance_to(&a));
         }
     }
+}
 
-    /// distance_to is a metric-like gauge on fully known states: zero iff
-    /// satisfying, symmetric on fully specified states, ≤ 2.
-    #[test]
-    fn distance_properties(a in state_strategy(), b in state_strategy()) {
-        let d = a.distance_to(&b);
-        prop_assert!(d <= 2);
-        prop_assert_eq!(d == 0, a.satisfies(&b));
-        prop_assert_eq!(a.distance_to(&b), b.distance_to(&a));
+/// writes_to produces exactly distance_to writes and reaches the target
+/// through M0.
+#[test]
+fn writes_realize_distance() {
+    for a in PairState::all_known() {
+        for b in PairState::all_known() {
+            let m0 = TwoCellMachine::fault_free();
+            let writes = a.writes_to(&b);
+            assert_eq!(writes.len() as u32, a.distance_to(&b));
+            let (end, _) = m0.run(a, &writes);
+            assert!(end.satisfies(&b));
+        }
     }
+}
 
-    /// writes_to produces exactly distance_to writes and reaches the
-    /// target through M0.
-    #[test]
-    fn writes_realize_distance(a in state_strategy(), b in state_strategy()) {
-        let m0 = TwoCellMachine::fault_free();
-        let writes = a.writes_to(&b);
-        prop_assert_eq!(writes.len() as u32, a.distance_to(&b));
-        let (end, _) = m0.run(a, &writes);
-        prop_assert!(end.satisfies(&b));
-    }
-
-    /// Mirror and complement are commuting involutions on states.
-    #[test]
-    fn state_symmetries(a in state_strategy()) {
-        prop_assert_eq!(a.mirrored().mirrored(), a);
-        prop_assert_eq!(a.complement().complement(), a);
-        prop_assert_eq!(a.mirrored().complement(), a.complement().mirrored());
+/// Mirror and complement are commuting involutions on states.
+#[test]
+fn state_symmetries() {
+    for a in PairState::all_known() {
+        assert_eq!(a.mirrored().mirrored(), a);
+        assert_eq!(a.complement().complement(), a);
+        assert_eq!(a.mirrored().complement(), a.complement().mirrored());
     }
 }

@@ -93,7 +93,12 @@ pub fn model_coverage(test: &MarchTest, model: FaultModel, n: usize) -> ModelCov
             escapes.push(site);
         }
     }
-    ModelCoverage { model, total_sites, detected_sites: total_sites - escapes.len(), escapes }
+    ModelCoverage {
+        model,
+        total_sites,
+        detected_sites: total_sites - escapes.len(),
+        escapes,
+    }
 }
 
 /// Full report over a fault list.
@@ -109,7 +114,9 @@ pub fn coverage_report(test: &MarchTest, models: &[FaultModel], n: usize) -> Cov
 /// listed model.
 #[must_use]
 pub fn covers_all(test: &MarchTest, models: &[FaultModel], n: usize) -> bool {
-    models.iter().all(|&m| model_coverage(test, m, n).complete())
+    models
+        .iter()
+        .all(|&m| model_coverage(test, m, n).complete())
 }
 
 #[cfg(test)]
@@ -127,10 +134,18 @@ mod tests {
             ("MATS", known::mats(), "SAF"),
             ("MATS++", known::mats_plus_plus(), "SAF, TF"),
             ("March X", known::march_x(), "SAF, TF, CFin"),
-            ("March C-", known::march_c_minus(), "SAF, TF, ADF, CFin, CFid, CFst"),
+            (
+                "March C-",
+                known::march_c_minus(),
+                "SAF, TF, ADF, CFin, CFid, CFst",
+            ),
             ("March Y", known::march_y(), "SAF, TF, CFin"),
             ("March B", known::march_b(), "SAF, TF, CFin"),
-            ("March SS", known::march_ss(), "SAF, TF, CFin, CFid, CFst, RDF, DRDF, IRF"),
+            (
+                "March SS",
+                known::march_ss(),
+                "SAF, TF, CFin, CFid, CFst, RDF, DRDF, IRF",
+            ),
             ("March G", known::march_g(), "SAF, TF, SOF, CFin, DRF"),
         ];
         for (name, test, faults) in cases {

@@ -127,11 +127,26 @@ pub fn model_syndrome(test: &MarchTest, model: FaultModel, n: usize) -> Syndrome
     assert!(n >= 3, "diagnosis needs at least 3 cells");
     let sites: Vec<FaultSite> = if model.is_pair_fault() {
         vec![
-            FaultSite { model, cells: SiteCells::Pair { aggressor: 1, victim: n - 2 } },
-            FaultSite { model, cells: SiteCells::Pair { aggressor: n - 2, victim: 1 } },
+            FaultSite {
+                model,
+                cells: SiteCells::Pair {
+                    aggressor: 1,
+                    victim: n - 2,
+                },
+            },
+            FaultSite {
+                model,
+                cells: SiteCells::Pair {
+                    aggressor: n - 2,
+                    victim: 1,
+                },
+            },
         ]
     } else {
-        vec![FaultSite { model, cells: SiteCells::Single(1) }]
+        vec![FaultSite {
+            model,
+            cells: SiteCells::Single(1),
+        }]
     };
     let mut merged = Syndrome::default();
     for site in sites {
@@ -187,13 +202,18 @@ impl fmt::Display for DiagnosisReport {
 /// Builds the diagnosability report of `test` against `models`.
 #[must_use]
 pub fn diagnose(test: &MarchTest, models: &[FaultModel], n: usize) -> DiagnosisReport {
-    let syndromes: Vec<(FaultModel, Syndrome)> =
-        models.iter().map(|&m| (m, model_syndrome(test, m, n))).collect();
+    let syndromes: Vec<(FaultModel, Syndrome)> = models
+        .iter()
+        .map(|&m| (m, model_syndrome(test, m, n)))
+        .collect();
     let mut by_syndrome: BTreeMap<Syndrome, Vec<FaultModel>> = BTreeMap::new();
     for (m, s) in &syndromes {
         by_syndrome.entry(s.clone()).or_default().push(*m);
     }
-    DiagnosisReport { syndromes, classes: by_syndrome.into_values().collect() }
+    DiagnosisReport {
+        syndromes,
+        classes: by_syndrome.into_values().collect(),
+    }
 }
 
 #[cfg(test)]
@@ -223,7 +243,10 @@ mod tests {
     fn sa0_and_sa1_are_distinguished_by_any_read_pair() {
         let report = diagnose(
             &known::mats(),
-            &[FaultModel::StuckAt(Bit::Zero), FaultModel::StuckAt(Bit::One)],
+            &[
+                FaultModel::StuckAt(Bit::Zero),
+                FaultModel::StuckAt(Bit::One),
+            ],
             4,
         );
         assert!(report.fully_diagnostic(), "{report}");
@@ -246,8 +269,22 @@ mod tests {
     fn syndromes_are_address_independent_for_single_faults() {
         let t = known::march_c_minus();
         let m = FaultModel::StuckAt(Bit::One);
-        let a = syndrome(&t, &FaultSite { model: m, cells: SiteCells::Single(1) }, 4);
-        let b = syndrome(&t, &FaultSite { model: m, cells: SiteCells::Single(2) }, 4);
+        let a = syndrome(
+            &t,
+            &FaultSite {
+                model: m,
+                cells: SiteCells::Single(1),
+            },
+            4,
+        );
+        let b = syndrome(
+            &t,
+            &FaultSite {
+                model: m,
+                cells: SiteCells::Single(2),
+            },
+            4,
+        );
         assert_eq!(a, b);
     }
 

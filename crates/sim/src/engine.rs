@@ -36,14 +36,20 @@ impl FaultSite {
                     if a != v {
                         sites.push(FaultSite {
                             model,
-                            cells: SiteCells::Pair { aggressor: a, victim: v },
+                            cells: SiteCells::Pair {
+                                aggressor: a,
+                                victim: v,
+                            },
                         });
                     }
                 }
             }
         } else {
             for c in 0..n {
-                sites.push(FaultSite { model, cells: SiteCells::Single(c) });
+                sites.push(FaultSite {
+                    model,
+                    cells: SiteCells::Single(c),
+                });
             }
         }
         sites
@@ -114,7 +120,12 @@ pub fn run(
                     MarchOp::Delay => memory.delay(),
                     MarchOp::Read(expected) => {
                         let got = memory.read(addr);
-                        records.push(ReadRecord { op_index: op_base + k, addr, expected, got });
+                        records.push(ReadRecord {
+                            op_index: op_base + k,
+                            addr,
+                            expected,
+                            got,
+                        });
                     }
                 }
             }
@@ -140,7 +151,13 @@ pub fn resolution_vectors(test: &MarchTest) -> Vec<Vec<Direction>> {
         (0..(1usize << k))
             .map(|mask| {
                 (0..k)
-                    .map(|b| if mask & (1 << b) == 0 { Direction::Up } else { Direction::Down })
+                    .map(|b| {
+                        if mask & (1 << b) == 0 {
+                            Direction::Up
+                        } else {
+                            Direction::Down
+                        }
+                    })
                     .collect()
             })
             .collect()
@@ -149,10 +166,22 @@ pub fn resolution_vectors(test: &MarchTest) -> Vec<Vec<Direction>> {
             vec![Direction::Up; k],
             vec![Direction::Down; k],
             (0..k)
-                .map(|b| if b % 2 == 0 { Direction::Up } else { Direction::Down })
+                .map(|b| {
+                    if b % 2 == 0 {
+                        Direction::Up
+                    } else {
+                        Direction::Down
+                    }
+                })
                 .collect(),
             (0..k)
-                .map(|b| if b % 2 == 1 { Direction::Up } else { Direction::Down })
+                .map(|b| {
+                    if b % 2 == 1 {
+                        Direction::Up
+                    } else {
+                        Direction::Down
+                    }
+                })
                 .collect(),
         ]
     }
@@ -168,7 +197,11 @@ pub fn power_up_patterns(site: &FaultSite, n: usize) -> Vec<Vec<Bit>> {
         for combo in 0..(1usize << involved.len()) {
             let mut cells = vec![bg; n];
             for (k, &addr) in involved.iter().enumerate() {
-                cells[addr] = if combo & (1 << k) == 0 { Bit::Zero } else { Bit::One };
+                cells[addr] = if combo & (1 << k) == 0 {
+                    Bit::Zero
+                } else {
+                    Bit::One
+                };
             }
             if !patterns.contains(&cells) {
                 patterns.push(cells);
@@ -217,8 +250,11 @@ pub fn detecting_scenarios(test: &MarchTest, site: &FaultSite, n: usize) -> Dete
                 scenarios += 1;
                 let mut mem = FaultyMemory::new(pattern.clone(), site.model, site.cells, latch);
                 let records = run(test, &mut mem, &resolution);
-                let ops: Vec<usize> =
-                    records.iter().filter(|r| r.mismatch()).map(|r| r.op_index).collect();
+                let ops: Vec<usize> = records
+                    .iter()
+                    .filter(|r| r.mismatch())
+                    .map(|r| r.op_index)
+                    .collect();
                 if ops.is_empty() {
                     all_detected = false;
                 }
@@ -226,7 +262,11 @@ pub fn detecting_scenarios(test: &MarchTest, site: &FaultSite, n: usize) -> Dete
             }
         }
     }
-    DetectionOutcome { all_detected, scenarios, mismatch_ops }
+    DetectionOutcome {
+        all_detected,
+        scenarios,
+        mismatch_ops,
+    }
 }
 
 #[cfg(test)]
@@ -302,7 +342,11 @@ mod tests {
             }
         }
         for site in FaultSite::enumerate(FaultModel::StuckOpen, 4) {
-            assert!(detects(&g, &site, 4), "March G misses SOF at {:?}", site.cells);
+            assert!(
+                detects(&g, &site, 4),
+                "March G misses SOF at {:?}",
+                site.cells
+            );
         }
     }
 
@@ -327,7 +371,10 @@ mod tests {
     fn power_up_patterns_cover_site_combinations() {
         let site = FaultSite {
             model: FaultModel::CouplingInversion(TransitionDir::Up),
-            cells: SiteCells::Pair { aggressor: 0, victim: 2 },
+            cells: SiteCells::Pair {
+                aggressor: 0,
+                victim: 2,
+            },
         };
         let pats = power_up_patterns(&site, 4);
         // 2 backgrounds × 4 site combos, minus duplicates (site combo may
@@ -342,8 +389,20 @@ mod tests {
         // pair.
         let t: MarchTest = "⇑(w0); ⇑(r0,w1); ⇑(r1)".parse().unwrap();
         let model = FaultModel::CouplingIdempotent(TransitionDir::Up, Bit::One);
-        let below = FaultSite { model, cells: SiteCells::Pair { aggressor: 0, victim: 2 } };
-        let above = FaultSite { model, cells: SiteCells::Pair { aggressor: 2, victim: 0 } };
+        let below = FaultSite {
+            model,
+            cells: SiteCells::Pair {
+                aggressor: 0,
+                victim: 2,
+            },
+        };
+        let above = FaultSite {
+            model,
+            cells: SiteCells::Pair {
+                aggressor: 2,
+                victim: 0,
+            },
+        };
         assert!(detects(&t, &below, 4));
         assert!(!detects(&t, &above, 4));
     }

@@ -49,8 +49,10 @@ pub mod matrix;
 pub mod memory;
 pub mod redundancy;
 pub mod set_cover;
+pub mod verify;
 
 pub use coverage::{coverage_report, covers_all, CoverageReport, ModelCoverage};
 pub use engine::{detects, FaultSite};
 pub use matrix::CoverageMatrix;
 pub use memory::SiteCells;
+pub use verify::{SimVerifier, Verifier};

@@ -160,11 +160,17 @@ pub fn shared_victim_pairs(
                 pairs.push(LinkedPair {
                     a: FaultSite {
                         model: model_a,
-                        cells: SiteCells::Pair { aggressor: a1, victim },
+                        cells: SiteCells::Pair {
+                            aggressor: a1,
+                            victim,
+                        },
                     },
                     b: FaultSite {
                         model: model_b,
-                        cells: SiteCells::Pair { aggressor: a2, victim },
+                        cells: SiteCells::Pair {
+                            aggressor: a2,
+                            victim,
+                        },
                     },
                 });
             }
@@ -203,7 +209,10 @@ mod tests {
         let n = 4;
         let site = FaultSite {
             model: cfin_up(),
-            cells: SiteCells::Pair { aggressor: 0, victim: 2 },
+            cells: SiteCells::Pair {
+                aggressor: 0,
+                victim: 2,
+            },
         };
         let pair = LinkedPair { a: site, b: site };
         assert_eq!(
@@ -247,20 +256,30 @@ mod tests {
     fn same_side_linked_cfin_is_march_untestable() {
         let n = 4;
         let same_side = |p: &LinkedPair| -> bool {
-            let (SiteCells::Pair { aggressor: a1, victim }, SiteCells::Pair { aggressor: a2, .. }) =
-                (p.a.cells, p.b.cells)
+            let (
+                SiteCells::Pair {
+                    aggressor: a1,
+                    victim,
+                },
+                SiteCells::Pair { aggressor: a2, .. },
+            ) = (p.a.cells, p.b.cells)
             else {
                 unreachable!("constructed as pairs")
             };
             (a1 < victim) == (a2 < victim)
         };
-        for (name, test) in
-            [("March X", known::march_x()), ("March C-", known::march_c_minus()), ("March SS", known::march_ss())]
-        {
+        for (name, test) in [
+            ("March X", known::march_x()),
+            ("March C-", known::march_c_minus()),
+            ("March SS", known::march_ss()),
+        ] {
             for pair in shared_victim_pairs(cfin_up(), cfin_up(), n) {
                 let detected = detects_linked(&test, &pair, n);
                 if same_side(&pair) {
-                    assert!(!detected, "{name}: same-side pair {pair:?} unexpectedly detected");
+                    assert!(
+                        !detected,
+                        "{name}: same-side pair {pair:?} unexpectedly detected"
+                    );
                 } else {
                     assert!(detected, "{name}: opposite-side pair {pair:?} escaped");
                 }

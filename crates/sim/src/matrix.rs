@@ -47,10 +47,18 @@ impl CoverageMatrix {
         let blocks: Vec<usize> = seq
             .iter()
             .enumerate()
-            .filter_map(|(k, op)| if matches!(op, MarchOp::Read(_)) { Some(k) } else { None })
+            .filter_map(|(k, op)| {
+                if matches!(op, MarchOp::Read(_)) {
+                    Some(k)
+                } else {
+                    None
+                }
+            })
             .collect();
-        let sites: Vec<FaultSite> =
-            models.iter().flat_map(|&m| FaultSite::enumerate(m, n)).collect();
+        let sites: Vec<FaultSite> = models
+            .iter()
+            .flat_map(|&m| FaultSite::enumerate(m, n))
+            .collect();
         let mut entries = vec![vec![false; sites.len()]; blocks.len()];
         let mut scenario_split = Vec::new();
         let mut uncovered = Vec::new();
@@ -63,7 +71,11 @@ impl CoverageMatrix {
             // Blocks that mismatch in every scenario.
             let mut constant_blocks = Vec::new();
             for (row, &op_index) in blocks.iter().enumerate() {
-                if outcome.mismatch_ops.iter().all(|ops| ops.contains(&op_index)) {
+                if outcome
+                    .mismatch_ops
+                    .iter()
+                    .all(|ops| ops.contains(&op_index))
+                {
                     constant_blocks.push(row);
                 }
             }
@@ -75,7 +87,13 @@ impl CoverageMatrix {
                 }
             }
         }
-        CoverageMatrix { blocks, sites, entries, scenario_split, uncovered }
+        CoverageMatrix {
+            blocks,
+            sites,
+            entries,
+            scenario_split,
+            uncovered,
+        }
     }
 
     /// `true` when every column has a one (after removing scenario-split
@@ -91,8 +109,11 @@ impl CoverageMatrix {
         let attributable: Vec<usize> = (0..self.sites.len())
             .filter(|c| !self.scenario_split.contains(c) && !self.uncovered.contains(c))
             .collect();
-        let remap: std::collections::HashMap<usize, usize> =
-            attributable.iter().enumerate().map(|(new, &old)| (old, new)).collect();
+        let remap: std::collections::HashMap<usize, usize> = attributable
+            .iter()
+            .enumerate()
+            .map(|(new, &old)| (old, new))
+            .collect();
         let sets = self
             .entries
             .iter()
@@ -111,8 +132,11 @@ impl CoverageMatrix {
     /// minimum cover size and the number of useful blocks.
     #[must_use]
     pub fn non_redundancy(&self) -> NonRedundancy {
-        let useful_blocks =
-            self.entries.iter().filter(|row| row.iter().any(|&v| v)).count();
+        let useful_blocks = self
+            .entries
+            .iter()
+            .filter(|row| row.iter().any(|&v| v))
+            .count();
         let minimum = self.to_set_cover().minimum().map_or(0, |c| c.len());
         NonRedundancy {
             minimum_cover: minimum,

@@ -40,7 +40,9 @@ impl GoodMemory {
     /// Creates an `n`-cell memory with every cell at `fill`.
     #[must_use]
     pub fn filled(n: usize, fill: Bit) -> GoodMemory {
-        GoodMemory { cells: vec![fill; n] }
+        GoodMemory {
+            cells: vec![fill; n],
+        }
     }
 
     /// Current content of `addr`.
@@ -130,7 +132,12 @@ impl FaultyMemory {
                 assert!(model.is_pair_fault(), "{model} needs a single-cell site");
             }
         }
-        let mut mem = FaultyMemory { cells, model, site, latch };
+        let mut mem = FaultyMemory {
+            cells,
+            model,
+            site,
+            latch,
+        };
         mem.power_up();
         mem
     }
@@ -238,9 +245,7 @@ impl MemoryBehavior for FaultyMemory {
                 }
             }
             FaultModel::CouplingInversion(dir) => {
-                let trigger = self
-                    .pair()
-                    .is_some_and(|(a, _)| addr == a)
+                let trigger = self.pair().is_some_and(|(a, _)| addr == a)
                     && self.cells[addr] == dir.from_value()
                     && value == dir.to_value();
                 self.cells[addr] = value;
@@ -250,9 +255,7 @@ impl MemoryBehavior for FaultyMemory {
                 }
             }
             FaultModel::CouplingIdempotent(dir, f) => {
-                let trigger = self
-                    .pair()
-                    .is_some_and(|(a, _)| addr == a)
+                let trigger = self.pair().is_some_and(|(a, _)| addr == a)
                     && self.cells[addr] == dir.from_value()
                     && value == dir.to_value();
                 self.cells[addr] = value;
@@ -383,7 +386,10 @@ mod tests {
         let mut m = FaultyMemory::new(
             zeros(4),
             FaultModel::AddressDecoder(AdfKind::Write),
-            SiteCells::Pair { aggressor: 2, victim: 0 },
+            SiteCells::Pair {
+                aggressor: 2,
+                victim: 0,
+            },
             Bit::Zero,
         );
         m.write(0, Bit::One);
@@ -396,7 +402,10 @@ mod tests {
         let mut m = FaultyMemory::new(
             zeros(4),
             FaultModel::AddressDecoder(AdfKind::Read),
-            SiteCells::Pair { aggressor: 1, victim: 3 },
+            SiteCells::Pair {
+                aggressor: 1,
+                victim: 3,
+            },
             Bit::Zero,
         );
         m.write(3, Bit::One);
@@ -409,7 +418,10 @@ mod tests {
         let mut m = FaultyMemory::new(
             zeros(3),
             FaultModel::CouplingIdempotent(TransitionDir::Up, Bit::One),
-            SiteCells::Pair { aggressor: 0, victim: 2 },
+            SiteCells::Pair {
+                aggressor: 0,
+                victim: 2,
+            },
             Bit::Zero,
         );
         m.write(0, Bit::One); // ↑ on the aggressor
@@ -425,7 +437,10 @@ mod tests {
         let mut m = FaultyMemory::new(
             vec![Bit::Zero, Bit::One],
             FaultModel::CouplingInversion(TransitionDir::Up),
-            SiteCells::Pair { aggressor: 0, victim: 1 },
+            SiteCells::Pair {
+                aggressor: 0,
+                victim: 1,
+            },
             Bit::Zero,
         );
         m.write(0, Bit::One);
@@ -440,7 +455,10 @@ mod tests {
         let mut m = FaultyMemory::new(
             zeros(2),
             FaultModel::CouplingState(Bit::One, Bit::Zero),
-            SiteCells::Pair { aggressor: 0, victim: 1 },
+            SiteCells::Pair {
+                aggressor: 0,
+                victim: 1,
+            },
             Bit::Zero,
         );
         m.write(0, Bit::One); // condition active

@@ -98,7 +98,10 @@ mod tests {
         let models = parse_fault_list("SAF").unwrap();
         let compacted = compact(&known::march_c_minus(), &models, 3);
         assert!(covers_all(&compacted, &models, 3));
-        assert!(compacted.complexity() <= 4, "SAF needs at most MATS (4n), got {compacted}");
+        assert!(
+            compacted.complexity() <= 4,
+            "SAF needs at most MATS (4n), got {compacted}"
+        );
     }
 
     #[test]

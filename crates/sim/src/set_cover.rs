@@ -121,7 +121,11 @@ impl SetCover {
             }
             // Lower bound: at least ceil(missing / max-gain) more sets.
             let missing = (full & !covered).count_ones();
-            let best_gain = masks.iter().map(|&m| (m & !covered).count_ones()).max().unwrap_or(0);
+            let best_gain = masks
+                .iter()
+                .map(|&m| (m & !covered).count_ones())
+                .max()
+                .unwrap_or(0);
             if best_gain == 0 {
                 return;
             }

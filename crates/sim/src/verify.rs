@@ -1,0 +1,128 @@
+//! The [`Verifier`] extension trait: the pluggable oracle seam between
+//! the generation pipeline and the fault simulator of paper Section 6.
+//!
+//! The pipeline only ever asks three questions — "does this test cover
+//! the fault list?", "can it be compacted?", "is it non-redundant?" —
+//! so alternative backends (a parallel simulator, a SAT-based checker,
+//! a hardware-in-the-loop harness) can replace the built-in behavioural
+//! simulator by implementing this trait.
+
+use crate::coverage::{coverage_report, CoverageReport};
+use crate::redundancy;
+use marchgen_faults::FaultModel;
+use marchgen_march::MarchTest;
+
+/// A verification backend for generated March tests.
+///
+/// Implementations must be `Send + Sync`: the batch service layer shares
+/// one verifier across worker threads.
+pub trait Verifier: Send + Sync {
+    /// A short stable identifier for reports and diagnostics.
+    fn name(&self) -> &str;
+
+    /// Full per-model coverage of `test` over the fault list.
+    fn verify(&self, test: &MarchTest, models: &[FaultModel]) -> CoverageReport;
+
+    /// A minimal sub-test that still covers the fault list (the paper's
+    /// Table 2 minimization role). The default returns the test
+    /// unchanged (no compaction capability).
+    fn compact(&self, test: &MarchTest, models: &[FaultModel]) -> MarchTest {
+        let _ = models;
+        test.clone()
+    }
+
+    /// `true` when no single operation can be deleted from `test`
+    /// without losing coverage. The default is a conservative `false`
+    /// (capability not implemented).
+    fn is_non_redundant(&self, test: &MarchTest, models: &[FaultModel]) -> bool {
+        let _ = (test, models);
+        false
+    }
+}
+
+/// The built-in behavioural fault simulator (paper §6) on an `n`-cell
+/// memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimVerifier {
+    /// Memory size the sweeps run on. Four cells suffice for the
+    /// classical two-cell fault models; larger memories cost
+    /// quadratically more on coupling faults.
+    pub cells: usize,
+}
+
+impl SimVerifier {
+    /// A simulator-backed verifier on `cells` memory cells.
+    #[must_use]
+    pub fn new(cells: usize) -> SimVerifier {
+        SimVerifier { cells }
+    }
+}
+
+impl Default for SimVerifier {
+    /// The pipeline's default: a 4-cell memory.
+    fn default() -> SimVerifier {
+        SimVerifier { cells: 4 }
+    }
+}
+
+impl Verifier for SimVerifier {
+    fn name(&self) -> &str {
+        "simulator"
+    }
+
+    fn verify(&self, test: &MarchTest, models: &[FaultModel]) -> CoverageReport {
+        coverage_report(test, models, self.cells)
+    }
+
+    fn compact(&self, test: &MarchTest, models: &[FaultModel]) -> MarchTest {
+        redundancy::compact(test, models, self.cells)
+    }
+
+    fn is_non_redundant(&self, test: &MarchTest, models: &[FaultModel]) -> bool {
+        redundancy::is_non_redundant(test, models, self.cells)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use marchgen_faults::parse_fault_list;
+    use marchgen_march::known;
+
+    #[test]
+    fn sim_verifier_matches_free_functions() {
+        let models = parse_fault_list("SAF, TF").unwrap();
+        let test = known::march_c_minus();
+        let verifier = SimVerifier::new(4);
+        let direct = coverage_report(&test, &models, 4);
+        assert_eq!(verifier.verify(&test, &models), direct);
+        assert!(verifier.is_non_redundant(&verifier.compact(&test, &models), &models));
+    }
+
+    #[test]
+    fn trait_object_usable() {
+        let verifier: Box<dyn Verifier> = Box::new(SimVerifier::default());
+        let models = parse_fault_list("SAF").unwrap();
+        let report = verifier.verify(&known::mats(), &models);
+        assert!(report.complete());
+        assert_eq!(verifier.name(), "simulator");
+    }
+
+    #[test]
+    fn default_capabilities_are_conservative() {
+        struct CoverageOnly;
+        impl Verifier for CoverageOnly {
+            fn name(&self) -> &str {
+                "coverage-only"
+            }
+            fn verify(&self, test: &MarchTest, models: &[FaultModel]) -> CoverageReport {
+                coverage_report(test, models, 3)
+            }
+        }
+        let v = CoverageOnly;
+        let models = parse_fault_list("SAF").unwrap();
+        let test = known::mats();
+        assert_eq!(v.compact(&test, &models), test);
+        assert!(!v.is_non_redundant(&test, &models));
+    }
+}

@@ -74,7 +74,9 @@ impl Tpg {
     /// every arc. (The §4 worked example: 12 operations.)
     #[must_use]
     pub fn gts_op_count(&self, order: &[usize]) -> u32 {
-        let Some(&first) = order.first() else { return 0 };
+        let Some(&first) = order.first() else {
+            return 0;
+        };
         let mut ops = self.init_cost(first);
         for &node in order {
             let tp = &self.tps[node];

@@ -16,7 +16,7 @@
 //! tour" and "minimum-length GTS" coincide.
 
 use crate::graph::Tpg;
-use marchgen_atsp::{solve_all_optimal, AtspInstance, Tour, INF};
+use marchgen_atsp::{AtspInstance, AtspSolver, AutoSolver, Tour, INF};
 
 /// Which TPs may start the Global Test Sequence.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -60,14 +60,33 @@ pub struct TourPlan {
 /// Returns an empty vector only for an empty TPG.
 #[must_use]
 pub fn plan_tour(tpg: &Tpg, policy: StartPolicy, cap: usize) -> Vec<TourPlan> {
+    plan_tour_with(tpg, policy, cap, &AutoSolver)
+}
+
+/// [`plan_tour`] with an explicit [`AtspSolver`] strategy — the
+/// extension point the request layer's `SolverChoice` plugs into.
+#[must_use]
+pub fn plan_tour_with(
+    tpg: &Tpg,
+    policy: StartPolicy,
+    cap: usize,
+    solver: &dyn AtspSolver,
+) -> Vec<TourPlan> {
     let v = tpg.len();
     if v == 0 {
         return Vec::new();
     }
     if v == 1 {
-        return vec![TourPlan { order: vec![0], gts_ops: tpg.gts_op_count(&[0]) }];
+        return vec![TourPlan {
+            order: vec![0],
+            gts_ops: tpg.gts_op_count(&[0]),
+        }];
     }
-    let effective = if (0..v).any(|n| policy.allows(tpg, n)) { policy } else { StartPolicy::Free };
+    let effective = if (0..v).any(|n| policy.allows(tpg, n)) {
+        policy
+    } else {
+        StartPolicy::Free
+    };
 
     // Node v is the dummy. Index 0..v are TPs.
     let dummy = v;
@@ -85,12 +104,19 @@ pub fn plan_tour(tpg: &Tpg, policy: StartPolicy, cap: usize) -> Vec<TourPlan> {
         }
     });
 
-    let tours = solve_all_optimal(&inst, cap);
-    tours.into_iter().map(|t| cut_at_dummy(tpg, &t, dummy)).collect()
+    let tours = solver.solve_all_optimal(&inst, cap);
+    tours
+        .into_iter()
+        .map(|t| cut_at_dummy(tpg, &t, dummy))
+        .collect()
 }
 
 fn cut_at_dummy(tpg: &Tpg, tour: &Tour, dummy: usize) -> TourPlan {
-    let pos = tour.order.iter().position(|&n| n == dummy).expect("dummy in tour");
+    let pos = tour
+        .order
+        .iter()
+        .position(|&n| n == dummy)
+        .expect("dummy in tour");
     let mut order = Vec::with_capacity(tour.order.len() - 1);
     for k in 1..tour.order.len() {
         order.push(tour.order[(pos + k) % tour.order.len()]);
@@ -140,7 +166,11 @@ mod tests {
     fn section4_multiple_optima_enumerated() {
         let tpg = Tpg::new(section4_tps());
         let plans = plan_tour(&tpg, StartPolicy::Uniform, 64);
-        assert!(plans.len() >= 2, "expected several optimal tours, got {}", plans.len());
+        assert!(
+            plans.len() >= 2,
+            "expected several optimal tours, got {}",
+            plans.len()
+        );
         assert!(plans.iter().any(|p| p.order == vec![2, 1, 3, 0]));
     }
 
@@ -158,8 +188,10 @@ mod tests {
     fn uniform_fallback() {
         // Two TPs, both with non-uniform (01/10) inits.
         let models = parse_fault_list("CFid<u,0>").unwrap();
-        let tps: Vec<TestPattern> =
-            requirements_for(&models).iter().map(|r| r.alternatives[0]).collect();
+        let tps: Vec<TestPattern> = requirements_for(&models)
+            .iter()
+            .map(|r| r.alternatives[0])
+            .collect();
         assert!(tps.iter().all(|tp| !tp.init.is_uniform()));
         let tpg = Tpg::new(tps);
         let plans = plan_tour(&tpg, StartPolicy::Uniform, 8);
@@ -169,8 +201,10 @@ mod tests {
     #[test]
     fn single_tp_plan() {
         let models = parse_fault_list("SA0").unwrap();
-        let tps: Vec<TestPattern> =
-            requirements_for(&models).iter().map(|r| r.alternatives[0]).collect();
+        let tps: Vec<TestPattern> = requirements_for(&models)
+            .iter()
+            .map(|r| r.alternatives[0])
+            .collect();
         let tpg = Tpg::new(tps);
         let plans = plan_tour(&tpg, StartPolicy::Uniform, 8);
         assert_eq!(plans.len(), 1);

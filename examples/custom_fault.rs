@@ -48,9 +48,11 @@ fn main() {
     // 2. Build the TPG and an optimal tour (paper §4).
     let tpg = Tpg::new(tps);
     println!("\nTPG:\n{}", tpg.to_dot("write1_leak"));
-    let plan = plan_tour(&tpg, StartPolicy::Uniform, 16).into_iter().next().expect("plan exists");
-    let tour: Vec<TestPattern> =
-        plan.order.iter().map(|&k| tpg.test_patterns()[k]).collect();
+    let plan = plan_tour(&tpg, StartPolicy::Uniform, 16)
+        .into_iter()
+        .next()
+        .expect("plan exists");
+    let tour: Vec<TestPattern> = plan.order.iter().map(|&k| tpg.test_patterns()[k]).collect();
 
     // 3. Schedule the tour into a March test.
     let test = marchgen::generator::schedule_tour(&tour).expect("tour schedules");
@@ -61,6 +63,9 @@ fn main() {
     //    must catch the behaviourally-equivalent catalog fault CFid<↑,1>
     //    (write-1-leak is exactly its ↑-triggered forcing).
     let models = parse_fault_list("CFid<u,1>").expect("parses");
-    assert!(covers_all(&test, &models, 4), "derived test covers the equivalent catalog fault");
+    assert!(
+        covers_all(&test, &models, 4),
+        "derived test covers the equivalent catalog fault"
+    );
     println!("simulator cross-check: covers CFid<↑,1> on a 4-cell memory ✓");
 }

@@ -10,11 +10,14 @@ use marchgen::prelude::*;
 use marchgen::sim::diagnosis::diagnose;
 
 fn main() {
-    let models = parse_fault_list("SAF, TF, CFin<u>, CFid<u,0>, CFid<u,1>, IRF")
-        .expect("fault list parses");
+    let models =
+        parse_fault_list("SAF, TF, CFin<u>, CFid<u,0>, CFid<u,1>, IRF").expect("fault list parses");
 
     println!("Diagnostic resolution of classical March tests");
-    println!("(models: SAF, TF, CFin<↑>, CFid<↑,0>, CFid<↑,1>, IRF — {} instances)\n", models.len());
+    println!(
+        "(models: SAF, TF, CFin<↑>, CFid<↑,0>, CFid<↑,1>, IRF — {} instances)\n",
+        models.len()
+    );
 
     for (name, test) in [
         ("MATS", known::mats()),

@@ -10,7 +10,9 @@
 use marchgen::prelude::*;
 
 fn main() {
-    let list = std::env::args().nth(1).unwrap_or_else(|| "SAF, TF, ADF, CFin, CFid".to_string());
+    let list = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "SAF, TF, ADF, CFin, CFid".to_string());
 
     let generator = match Generator::from_fault_list(&list) {
         Ok(g) => g,

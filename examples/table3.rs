@@ -19,9 +19,24 @@ struct Row {
 }
 
 const ROWS: &[Row] = &[
-    Row { label: "SAF", faults: "SAF", paper_complexity: 4, known: "MATS" },
-    Row { label: "SAF,TF", faults: "SAF, TF", paper_complexity: 5, known: "MATS+" },
-    Row { label: "SAF,TF,ADF", faults: "SAF, TF, ADF", paper_complexity: 6, known: "MATS++" },
+    Row {
+        label: "SAF",
+        faults: "SAF",
+        paper_complexity: 4,
+        known: "MATS",
+    },
+    Row {
+        label: "SAF,TF",
+        faults: "SAF, TF",
+        paper_complexity: 5,
+        known: "MATS+",
+    },
+    Row {
+        label: "SAF,TF,ADF",
+        faults: "SAF, TF, ADF",
+        paper_complexity: 6,
+        known: "MATS++",
+    },
     Row {
         label: "SAF,TF,ADF,CFin",
         faults: "SAF, TF, ADF, CFin",
@@ -60,12 +75,13 @@ fn main() {
 
         // Comparator: same complexity and same coverage as the known test.
         let known_matches = known::by_name(row.known)
-            .map(|k| {
-                k.complexity() == outcome.test.complexity()
-                    && covers_all(&k, &models, 4)
-            })
+            .map(|k| k.complexity() == outcome.test.complexity() && covers_all(&k, &models, 4))
             .map_or("-".to_string(), |same| {
-                if same { "match".to_string() } else { "differs".to_string() }
+                if same {
+                    "match".to_string()
+                } else {
+                    "differs".to_string()
+                }
             });
 
         println!(

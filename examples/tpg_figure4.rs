@@ -52,8 +52,10 @@ fn main() {
 
     // Figure 4: TPG of {⟨↑,1⟩, ⟨↑,0⟩}.
     let models = parse_fault_list("CFid<u,0>, CFid<u,1>").expect("parses");
-    let tps: Vec<TestPattern> =
-        requirements_for(&models).iter().map(|r| r.alternatives[0]).collect();
+    let tps: Vec<TestPattern> = requirements_for(&models)
+        .iter()
+        .map(|r| r.alternatives[0])
+        .collect();
     let tpg = Tpg::new(tps.clone());
     println!("// ---- Figure 4: TPG for {{⟨↑,1⟩, ⟨↑,0⟩}} ----");
     println!("{}", tpg.to_dot("TPG"));

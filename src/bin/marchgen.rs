@@ -1,11 +1,14 @@
 //! `marchgen` — command-line front end to the March test generator.
 //!
 //! ```text
-//! marchgen generate <fault-list>          generate a verified March test
-//! marchgen validate <march> <fault-list>  simulate a test against faults
-//! marchgen analyze  <march>               static detection conditions
-//! marchgen codegen  <march> [c|rust]      emit BIST source code
-//! marchgen known    [name]                show the classical library
+//! marchgen generate <fault-list> [--json]     generate a verified March test
+//! marchgen validate <march> <fault-list> [--json]
+//!                                             simulate a test against faults
+//! marchgen analyze  <march> [--json]          static detection conditions
+//! marchgen codegen  <march> [c|rust]          emit BIST source code
+//! marchgen known    [name]                    show the classical library
+//! marchgen batch    <file> [--json] [--threads N]
+//!                                             run one fault list per line
 //! ```
 
 use marchgen::march::analysis;
@@ -14,13 +17,22 @@ use marchgen::prelude::*;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let json = take_flag(&mut args, "--json");
+    let threads = match take_option(&mut args, "--threads") {
+        Ok(t) => t,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::from(2);
+        }
+    };
     let result = match args.first().map(String::as_str) {
-        Some("generate") => generate(&args[1..]),
-        Some("validate") => validate(&args[1..]),
-        Some("analyze") => analyze_cmd(&args[1..]),
+        Some("generate") => generate_cmd(&args[1..], json),
+        Some("validate") => validate(&args[1..], json),
+        Some("analyze") => analyze_cmd(&args[1..], json),
         Some("codegen") => codegen_cmd(&args[1..]),
         Some("known") => known_cmd(&args[1..]),
+        Some("batch") => batch_cmd(&args[1..], json, threads),
         _ => {
             eprint!("{USAGE}");
             return ExitCode::from(2);
@@ -39,17 +51,57 @@ const USAGE: &str = "\
 marchgen — automatic generation of optimal March tests (Benso et al., DATE 2002)
 
 usage:
-  marchgen generate <fault-list>            e.g. marchgen generate \"SAF, TF, CFin\"
-  marchgen validate <march> <fault-list>    e.g. marchgen validate \"m(w0); u(r0,w1); d(r1)\" SAF
-  marchgen analyze  <march>                 static detection conditions
+  marchgen generate <fault-list> [--json]   e.g. marchgen generate \"SAF, TF, CFin\"
+  marchgen validate <march> <fault-list> [--json]
+                                            e.g. marchgen validate \"m(w0); u(r0,w1); d(r1)\" SAF
+  marchgen analyze  <march> [--json]        static detection conditions
   marchgen codegen  <march> [c|rust]        emit BIST source code
   marchgen known    [name]                  list/show the classical test library
+  marchgen batch    <file> [--json] [--threads N]
+                                            one fault list per line through the batch service
 ";
 
-fn generate(args: &[String]) -> Result<(), String> {
+/// Removes `flag` from `args` if present; returns whether it was there.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    let before = args.len();
+    args.retain(|a| a != flag);
+    args.len() != before
+}
+
+/// Removes `--name VALUE` from `args`; returns the parsed value.
+fn take_option(args: &mut Vec<String>, name: &str) -> Result<Option<usize>, String> {
+    let Some(pos) = args.iter().position(|a| a == name) else {
+        return Ok(None);
+    };
+    if pos + 1 >= args.len() {
+        return Err(format!("{name} needs a value"));
+    }
+    let value = args[pos + 1]
+        .parse::<usize>()
+        .map_err(|_| format!("{name} needs an integer, got {:?}", args[pos + 1]))?;
+    args.drain(pos..=pos + 1);
+    Ok(Some(value))
+}
+
+fn generate_cmd(args: &[String], json: bool) -> Result<(), String> {
     let list = args.first().ok_or("generate needs a fault list")?;
-    let generator = Generator::from_fault_list(list).map_err(|e| e.to_string())?;
-    let outcome = generator.run().map_err(|e| e.to_string())?;
+    let request = GenerateRequest::from_fault_list(list).map_err(|e| e.to_string())?;
+    let outcome = generate(&request).map_err(|e| e.to_string())?;
+    if json {
+        print_outcome_json(&outcome)?;
+    } else {
+        print_outcome_text(&outcome);
+    }
+    if !outcome.verified {
+        if let (false, Some(report)) = (json, &outcome.report) {
+            println!("{report}");
+        }
+        return Err("generated test failed verification".into());
+    }
+    Ok(())
+}
+
+fn print_outcome_text(outcome: &GenerateOutcome) {
     println!("march test : {}", outcome.test);
     println!("complexity : {}n", outcome.test.complexity());
     if outcome.test.delay_count() > 0 {
@@ -59,13 +111,26 @@ fn generate(args: &[String]) -> Result<(), String> {
     if let Some(nr) = outcome.non_redundant {
         println!("non-redund.: {nr}");
     }
-    if !outcome.verified {
-        if let Some(report) = &outcome.report {
-            println!("{report}");
-        }
-        return Err("generated test failed verification".into());
-    }
+    let d = &outcome.diagnostics;
+    println!(
+        "search     : {} combinations, {} tours, {} candidates, {} µs",
+        d.combinations,
+        d.tours_tried,
+        d.candidates,
+        d.total_micros()
+    );
+}
+
+#[cfg(feature = "serde")]
+fn print_outcome_json(outcome: &GenerateOutcome) -> Result<(), String> {
+    use marchgen::json::ToJson;
+    print!("{}", outcome.to_json_pretty());
     Ok(())
+}
+
+#[cfg(not(feature = "serde"))]
+fn print_outcome_json(_outcome: &GenerateOutcome) -> Result<(), String> {
+    Err("this build has no JSON support (rebuild with the `serde` feature)".into())
 }
 
 fn parse_march_arg(s: &str) -> Result<MarchTest, String> {
@@ -74,28 +139,62 @@ fn parse_march_arg(s: &str) -> Result<MarchTest, String> {
         .unwrap_or_else(|| s.parse::<MarchTest>().map_err(|e| e.to_string()))
 }
 
-fn validate(args: &[String]) -> Result<(), String> {
+fn validate(args: &[String], json: bool) -> Result<(), String> {
     let [march, faults] = args else {
         return Err("validate needs <march> and <fault-list>".into());
     };
     let test = parse_march_arg(march)?;
-    test.check_consistency().map_err(|e| format!("inconsistent march test: {e}"))?;
+    test.check_consistency()
+        .map_err(|e| format!("inconsistent march test: {e}"))?;
     let models = parse_fault_list(faults).map_err(|e| e.to_string())?;
     let report = marchgen::sim::coverage::coverage_report(&test, &models, 6);
-    print!("{report}");
+    if json {
+        print_report_json(&test, &report)?;
+    } else {
+        print!("{report}");
+    }
     if report.complete() {
-        println!("verdict: full coverage");
+        if !json {
+            println!("verdict: full coverage");
+        }
         Ok(())
     } else {
         Err("coverage incomplete".into())
     }
 }
 
-fn analyze_cmd(args: &[String]) -> Result<(), String> {
+#[cfg(feature = "serde")]
+fn print_report_json(
+    test: &MarchTest,
+    report: &marchgen::sim::CoverageReport,
+) -> Result<(), String> {
+    use marchgen::json::Json;
+    let doc = Json::object([
+        ("test", Json::Str(test.to_string())),
+        ("complexity", Json::from(test.complexity())),
+        ("report", marchgen::generator::serde::report_to_json(report)),
+    ]);
+    print!("{}", doc.render_pretty());
+    Ok(())
+}
+
+#[cfg(not(feature = "serde"))]
+fn print_report_json(
+    _test: &MarchTest,
+    _report: &marchgen::sim::CoverageReport,
+) -> Result<(), String> {
+    Err("this build has no JSON support (rebuild with the `serde` feature)".into())
+}
+
+fn analyze_cmd(args: &[String], json: bool) -> Result<(), String> {
     let march = args.first().ok_or("analyze needs a march test")?;
     let test = parse_march_arg(march)?;
-    test.check_consistency().map_err(|e| format!("inconsistent march test: {e}"))?;
+    test.check_consistency()
+        .map_err(|e| format!("inconsistent march test: {e}"))?;
     let c = analysis::analyze(&test);
+    if json {
+        return print_conditions_json(&test, &c);
+    }
     println!("test       : {test}");
     println!("complexity : {}n", test.complexity());
     println!("SAF        : {}", c.saf);
@@ -107,10 +206,37 @@ fn analyze_cmd(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+#[cfg(feature = "serde")]
+fn print_conditions_json(test: &MarchTest, c: &analysis::Conditions) -> Result<(), String> {
+    use marchgen::json::Json;
+    let doc = Json::object([
+        ("test", Json::Str(test.to_string())),
+        ("complexity", Json::from(test.complexity())),
+        (
+            "conditions",
+            Json::object([
+                ("saf", Json::Bool(c.saf)),
+                ("tf", Json::Bool(c.tf)),
+                ("af", Json::Bool(c.af)),
+                ("sof", Json::Bool(c.sof)),
+                ("drf", Json::Bool(c.drf)),
+            ]),
+        ),
+    ]);
+    print!("{}", doc.render_pretty());
+    Ok(())
+}
+
+#[cfg(not(feature = "serde"))]
+fn print_conditions_json(_test: &MarchTest, _c: &analysis::Conditions) -> Result<(), String> {
+    Err("this build has no JSON support (rebuild with the `serde` feature)".into())
+}
+
 fn codegen_cmd(args: &[String]) -> Result<(), String> {
     let march = args.first().ok_or("codegen needs a march test")?;
     let test = parse_march_arg(march)?;
-    test.check_consistency().map_err(|e| format!("inconsistent march test: {e}"))?;
+    test.check_consistency()
+        .map_err(|e| format!("inconsistent march test: {e}"))?;
     match args.get(1).map(String::as_str).unwrap_or("c") {
         "c" => print!("{}", codegen::to_c(&test, "march_test")),
         "rust" => print!("{}", codegen::to_rust(&test, "march_test")),
@@ -133,4 +259,117 @@ fn known_cmd(args: &[String]) -> Result<(), String> {
             Ok(())
         }
     }
+}
+
+fn batch_cmd(args: &[String], json: bool, threads: Option<usize>) -> Result<(), String> {
+    let path = args
+        .first()
+        .ok_or("batch needs a file of fault lists (one per line)")?;
+    let content =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
+    let mut lists: Vec<&str> = Vec::new();
+    let mut requests = Vec::new();
+    for (lineno, line) in content.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let request = GenerateRequest::from_fault_list(line)
+            .map_err(|e| format!("{path}:{}: {e}", lineno + 1))?;
+        lists.push(line);
+        requests.push(request);
+    }
+    if requests.is_empty() {
+        return Err(format!("{path}: no fault lists found"));
+    }
+
+    let mut batch = Batch::new();
+    if let Some(threads) = threads {
+        batch = batch.threads(threads);
+    }
+    let total = requests.len();
+    let results = batch.run_with_progress(requests, |event| match event {
+        marchgen::service::BatchEvent::Started { index, request } => {
+            eprintln!(
+                "[{}/{total}] generating for {} models...",
+                index + 1,
+                request.faults.len()
+            );
+        }
+        marchgen::service::BatchEvent::Finished { index, outcome } => {
+            eprintln!("[{}/{total}] done: {}n", index + 1, outcome.complexity());
+        }
+        marchgen::service::BatchEvent::Failed { index, error } => {
+            eprintln!("[{}/{total}] failed: {error}", index + 1);
+        }
+    });
+
+    if json {
+        print_batch_json(&lists, &results)?;
+    } else {
+        for (list, result) in lists.iter().zip(&results) {
+            match result {
+                Ok(outcome) => println!(
+                    "{list:<40} {:>3}n  verified={}  {}",
+                    outcome.complexity(),
+                    outcome.verified,
+                    outcome.test
+                ),
+                Err(error) => println!("{list:<40} ERROR {error}"),
+            }
+        }
+    }
+    let all_ok = results
+        .iter()
+        .all(|r| r.as_ref().map(|outcome| outcome.verified).unwrap_or(false));
+    if all_ok {
+        Ok(())
+    } else {
+        Err("some batch entries failed or did not verify".into())
+    }
+}
+
+#[cfg(feature = "serde")]
+fn print_batch_json(
+    lists: &[&str],
+    results: &[Result<GenerateOutcome, Error>],
+) -> Result<(), String> {
+    use marchgen::json::{Json, ToJson};
+    let entries = lists
+        .iter()
+        .zip(results)
+        .map(|(list, result)| match result {
+            Ok(outcome) => Json::object([
+                ("faults", Json::from(*list)),
+                ("outcome", outcome.to_json()),
+            ]),
+            Err(error) => Json::object([
+                ("faults", Json::from(*list)),
+                ("error", Json::Str(error_chain(error))),
+            ]),
+        });
+    print!("{}", Json::array(entries).render_pretty());
+    Ok(())
+}
+
+#[cfg(not(feature = "serde"))]
+fn print_batch_json(
+    _lists: &[&str],
+    _results: &[Result<GenerateOutcome, Error>],
+) -> Result<(), String> {
+    Err("this build has no JSON support (rebuild with the `serde` feature)".into())
+}
+
+/// Flattens an error and its sources into one line.
+#[cfg(feature = "serde")]
+fn error_chain(error: &Error) -> String {
+    use std::error::Error as _;
+    let mut text = error.to_string();
+    let mut source = error.source();
+    while let Some(cause) = source {
+        text.push_str(": ");
+        text.push_str(&cause.to_string());
+        source = cause.source();
+    }
+    text
 }

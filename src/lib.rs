@@ -22,6 +22,28 @@
 //! # Ok::<(), marchgen::faults::ParseFaultError>(())
 //! ```
 //!
+//! # API layering
+//!
+//! The public surface is organized in three layers; each is built on the
+//! one below and all three are supported entry points:
+//!
+//! 1. **Typed request/outcome core.** [`GenerateRequest`] captures every
+//!    engine knob as plain data; [`generate`] maps it to a
+//!    [`GenerateOutcome`] carrying the test, the tour, the verification
+//!    report and structured per-phase [`Diagnostics`]. Both types are
+//!    JSON-serializable behind the default-on `serde` feature (see the
+//!    [`json`] kit), and every failure folds into the unified
+//!    [`Error`] taxonomy. Extension points are trait-based: the ATSP
+//!    solver is an [`atsp::AtspSolver`] selected per request via
+//!    [`SolverChoice`] against a [`SolverRegistry`], and verification
+//!    backends implement [`sim::Verifier`].
+//! 2. **Batch service layer.** [`service::Batch`] executes a vector of
+//!    requests across worker threads with progress events — the
+//!    in-process core a network service wraps.
+//! 3. **Builder facade.** [`Generator`] is a thin compatibility shim
+//!    over layer 1 for ergonomic one-off runs; the `marchgen` CLI sits
+//!    on layers 1–2 and exposes `--json` for machine consumers.
+//!
 //! # Architecture
 //!
 //! The facade re-exports the workspace crates:
@@ -31,12 +53,13 @@
 //! | [`model`] | §3, Figures 1–2 | two-cell Mealy memory model `M0`/`Mᵢ` |
 //! | [`faults`] | §3, §5, Figure 3 | fault taxonomy, BFEs, Test Patterns, equivalence classes |
 //! | [`tpg`] | §4, Figure 4, f.4.1/f.4.4 | Test Pattern Graph, path-ATSP reduction |
-//! | [`atsp`] | §4 \[12\] | Held–Karp, Hungarian AP, branch-and-bound, heuristics |
+//! | [`atsp`] | §4 \[12\] | Held–Karp, Hungarian AP, branch-and-bound, heuristics, solver registry |
 //! | [`march`] | §1 \[1\] | March test algebra, notation, classical test library |
-//! | [`generator`] | §4.1–4.3 | GTS, rewrite-phase scheduler, pipeline, exhaustive baseline |
-//! | [`sim`] | §6 | fault simulator, coverage matrix, set covering |
+//! | [`generator`] | §4.1–4.3 | request/outcome core, GTS, scheduler, pipeline, baseline |
+//! | [`sim`] | §6 | fault simulator, coverage matrix, set covering, verifier trait |
 //!
 //! The most common entry points are lifted to the crate root:
+//! [`generate`], [`GenerateRequest`], [`GenerateOutcome`],
 //! [`Generator`], [`MarchTest`], [`FaultModel`], [`known`].
 
 #![forbid(unsafe_code)]
@@ -50,14 +73,33 @@ pub use marchgen_model as model;
 pub use marchgen_sim as sim;
 pub use marchgen_tpg as tpg;
 
+/// The JSON document kit behind the `serde` feature (re-exported so
+/// downstream code can build and inspect serialized requests without a
+/// separate dependency).
+#[cfg(feature = "serde")]
+pub use marchgen_json as json;
+
+mod error;
+pub mod service;
+
+pub use error::Error;
+pub use marchgen_atsp::{AtspSolver, SolverChoice, SolverRegistry};
 pub use marchgen_faults::{parse_fault_list, FaultModel};
-pub use marchgen_generator::{Generator, Outcome};
+pub use marchgen_generator::{
+    generate, generate_with, generate_with_registry, Diagnostics, GenerateOutcome, GenerateRequest,
+    Generator, Outcome,
+};
 pub use marchgen_march::{known, Direction, MarchElement, MarchOp, MarchTest};
+pub use marchgen_sim::{SimVerifier, Verifier};
 
 /// Convenience prelude for examples and downstream quick starts.
 pub mod prelude {
     pub use crate::faults::{parse_fault_list, FaultModel, TestPattern};
-    pub use crate::generator::{Generator, Outcome};
+    pub use crate::generator::{
+        generate, Diagnostics, GenerateOutcome, GenerateRequest, Generator, Outcome,
+    };
     pub use crate::march::{known, Direction, MarchElement, MarchOp, MarchTest};
+    pub use crate::service::Batch;
     pub use crate::sim::coverage::{coverage_report, covers_all};
+    pub use crate::Error;
 }

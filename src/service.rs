@@ -1,0 +1,222 @@
+//! The batch service layer: execute many [`GenerateRequest`]s across
+//! worker threads with progress events.
+//!
+//! This is the first brick of the ROADMAP's production-scale service: a
+//! synchronous, in-process scheduler with the shape a network front-end
+//! needs — typed requests in, typed outcomes out, a shared pluggable
+//! [`SolverRegistry`], and a callback stream for progress reporting.
+//!
+//! ```
+//! use marchgen::service::Batch;
+//! use marchgen::GenerateRequest;
+//!
+//! let requests = vec![
+//!     GenerateRequest::from_fault_list("SAF").unwrap(),
+//!     GenerateRequest::from_fault_list("SAF, TF").unwrap(),
+//! ];
+//! let results = Batch::new().run(requests);
+//! assert_eq!(results[0].as_ref().unwrap().complexity(), 4);
+//! assert_eq!(results[1].as_ref().unwrap().complexity(), 5);
+//! ```
+
+use crate::error::Error;
+use marchgen_atsp::SolverRegistry;
+use marchgen_generator::{generate_with_registry, GenerateOutcome, GenerateRequest};
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// A progress event emitted while a batch runs. Events for different
+/// requests interleave arbitrarily; `index` ties them back to the input
+/// order.
+#[derive(Debug)]
+pub enum BatchEvent<'a> {
+    /// A worker picked up request `index`.
+    Started {
+        /// Position in the input vector.
+        index: usize,
+        /// The request being run.
+        request: &'a GenerateRequest,
+    },
+    /// Request `index` finished successfully.
+    Finished {
+        /// Position in the input vector.
+        index: usize,
+        /// The produced outcome.
+        outcome: &'a GenerateOutcome,
+    },
+    /// Request `index` failed.
+    Failed {
+        /// Position in the input vector.
+        index: usize,
+        /// The error it failed with.
+        error: &'a Error,
+    },
+}
+
+/// A configurable multi-threaded batch executor over the generation
+/// engine.
+///
+/// Requests are pulled from a shared queue by `threads` workers (scoped
+/// threads — no `'static` bounds), each resolved against one shared
+/// [`SolverRegistry`]. Results come back in input order, one
+/// `Result` per request, so a single bad request never poisons the
+/// batch.
+pub struct Batch {
+    threads: NonZeroUsize,
+    registry: SolverRegistry,
+}
+
+impl Default for Batch {
+    fn default() -> Batch {
+        Batch::new()
+    }
+}
+
+impl Batch {
+    /// A batch executor with one worker per available CPU and the
+    /// built-in solver registry.
+    #[must_use]
+    pub fn new() -> Batch {
+        let threads = std::thread::available_parallelism()
+            .unwrap_or(NonZeroUsize::new(1).expect("1 is non-zero"));
+        Batch {
+            threads,
+            registry: SolverRegistry::default(),
+        }
+    }
+
+    /// Overrides the worker count (clamped to at least 1).
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Batch {
+        self.threads = NonZeroUsize::new(threads.max(1)).expect("clamped to >= 1");
+        self
+    }
+
+    /// Replaces the solver registry shared by all workers (register
+    /// custom [`AtspSolver`](marchgen_atsp::AtspSolver) strategies here
+    /// and select them per request via `SolverChoice::Custom`).
+    #[must_use]
+    pub fn registry(mut self, registry: SolverRegistry) -> Batch {
+        self.registry = registry;
+        self
+    }
+
+    /// Runs every request, returning one result per request in input
+    /// order.
+    #[must_use]
+    pub fn run(&self, requests: Vec<GenerateRequest>) -> Vec<Result<GenerateOutcome, Error>> {
+        self.run_with_progress(requests, |_| {})
+    }
+
+    /// [`Batch::run`] with a progress callback. The callback is invoked
+    /// from worker threads (hence `Sync`) and must be cheap; it sees
+    /// every [`BatchEvent`] exactly once.
+    #[must_use]
+    pub fn run_with_progress(
+        &self,
+        requests: Vec<GenerateRequest>,
+        on_event: impl Fn(BatchEvent<'_>) + Sync,
+    ) -> Vec<Result<GenerateOutcome, Error>> {
+        let total = requests.len();
+        let mut results: Vec<Option<Result<GenerateOutcome, Error>>> = Vec::new();
+        results.resize_with(total, || None);
+        let results = Mutex::new(results);
+        let next = AtomicUsize::new(0);
+        let workers = self.threads.get().min(total.max(1));
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(request) = requests.get(index) else {
+                        break;
+                    };
+                    on_event(BatchEvent::Started { index, request });
+                    let result =
+                        generate_with_registry(request, &self.registry).map_err(Error::from);
+                    match &result {
+                        Ok(outcome) => on_event(BatchEvent::Finished { index, outcome }),
+                        Err(error) => on_event(BatchEvent::Failed { index, error }),
+                    }
+                    results.lock().expect("results lock")[index] = Some(result);
+                });
+            }
+        });
+
+        results
+            .into_inner()
+            .expect("results lock")
+            .into_iter()
+            .map(|slot| slot.expect("every request ran"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use marchgen_generator::GenerateError;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn empty_batch() {
+        assert!(Batch::new().run(Vec::new()).is_empty());
+    }
+
+    #[test]
+    fn results_keep_input_order_and_isolate_failures() {
+        let requests = vec![
+            GenerateRequest::from_fault_list("SAF, TF").unwrap(),
+            GenerateRequest::default(), // empty fault list → fails
+            GenerateRequest::from_fault_list("SAF").unwrap(),
+        ];
+        let results = Batch::new().threads(2).run(requests);
+        assert_eq!(results.len(), 3);
+        assert_eq!(results[0].as_ref().unwrap().complexity(), 5);
+        assert_eq!(
+            results[1].as_ref().unwrap_err(),
+            &Error::Generate(GenerateError::EmptyFaultList)
+        );
+        assert_eq!(results[2].as_ref().unwrap().complexity(), 4);
+    }
+
+    #[test]
+    fn progress_events_cover_every_request() {
+        let requests = vec![
+            GenerateRequest::from_fault_list("SAF").unwrap(),
+            GenerateRequest::default(),
+            GenerateRequest::from_fault_list("TF").unwrap(),
+        ];
+        let started = AtomicUsize::new(0);
+        let finished = AtomicUsize::new(0);
+        let failed = AtomicUsize::new(0);
+        let _ = Batch::new()
+            .threads(3)
+            .run_with_progress(requests, |event| {
+                match event {
+                    BatchEvent::Started { .. } => started.fetch_add(1, Ordering::Relaxed),
+                    BatchEvent::Finished { .. } => finished.fetch_add(1, Ordering::Relaxed),
+                    BatchEvent::Failed { .. } => failed.fetch_add(1, Ordering::Relaxed),
+                };
+            });
+        assert_eq!(started.load(Ordering::Relaxed), 3);
+        assert_eq!(finished.load(Ordering::Relaxed), 2);
+        assert_eq!(failed.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn single_thread_matches_parallel() {
+        let requests: Vec<GenerateRequest> = ["SAF", "SAF, TF", "CFin"]
+            .iter()
+            .map(|list| GenerateRequest::from_fault_list(list).unwrap())
+            .collect();
+        let serial = Batch::new().threads(1).run(requests.clone());
+        let parallel = Batch::new().threads(4).run(requests);
+        for (a, b) in serial.iter().zip(&parallel) {
+            let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+            assert_eq!(a.test, b.test);
+            assert_eq!(a.verified, b.verified);
+        }
+    }
+}

@@ -6,7 +6,10 @@ use marchgen::prelude::*;
 use marchgen::tpg::StartPolicy;
 
 fn generate(list: &str) -> Outcome {
-    Generator::from_fault_list(list).expect("parses").run().expect("generates")
+    Generator::from_fault_list(list)
+        .expect("parses")
+        .run()
+        .expect("generates")
 }
 
 #[test]
@@ -22,7 +25,11 @@ fn stuck_open_generates_a_verified_test() {
 fn data_retention_generates_delay_elements() {
     let out = generate("DRF");
     assert!(out.verified, "{}", out.test);
-    assert!(out.test.delay_count() >= 2, "two decay directions: {}", out.test);
+    assert!(
+        out.test.delay_count() >= 2,
+        "two decay directions: {}",
+        out.test
+    );
 }
 
 #[test]
@@ -101,8 +108,21 @@ fn generated_tests_also_verify_on_larger_memories() {
 fn single_model_roundtrips() {
     // Each catalog family alone must generate and verify.
     for list in [
-        "SA0", "SA1", "TF<u>", "TF<d>", "ADF<w>", "ADF<r>", "CFin<u>", "CFin<d>",
-        "CFid<u,0>", "CFid<d,1>", "CFst<0,1>", "RDF<0>", "DRDF<1>", "IRF<0>", "DRF<1>",
+        "SA0",
+        "SA1",
+        "TF<u>",
+        "TF<d>",
+        "ADF<w>",
+        "ADF<r>",
+        "CFin<u>",
+        "CFin<d>",
+        "CFid<u,0>",
+        "CFid<d,1>",
+        "CFst<0,1>",
+        "RDF<0>",
+        "DRDF<1>",
+        "IRF<0>",
+        "DRF<1>",
     ] {
         let out = generate(list);
         assert!(out.verified, "{list}: {}", out.test);

@@ -9,25 +9,18 @@
 //! On a 2-cell memory, driving both with the same operation sequence must
 //! produce identical outputs and identical final states, for every
 //! machine-representable fault model, every initial state and every
-//! aggressor order. Property-tested with random operation sequences.
+//! aggressor order. Property-tested with random operation sequences
+//! (deterministic `marchgen-testkit` harness).
 
 use marchgen::faults::catalog;
-use marchgen::model::{Bit, Cell, MemOp, PairState, TwoCellMachine};
+use marchgen::model::{Bit, MemOp, PairState, TwoCellMachine, ALL_OPS};
 use marchgen::prelude::*;
 use marchgen::sim::memory::{FaultyMemory, MemoryBehavior};
 use marchgen::sim::SiteCells;
-use proptest::prelude::*;
+use marchgen_testkit::{run_cases, Rng};
 
-fn op_strategy() -> impl Strategy<Value = MemOp> {
-    prop_oneof![
-        Just(MemOp::read(Cell::I)),
-        Just(MemOp::read(Cell::J)),
-        Just(MemOp::write(Cell::I, Bit::Zero)),
-        Just(MemOp::write(Cell::I, Bit::One)),
-        Just(MemOp::write(Cell::J, Bit::Zero)),
-        Just(MemOp::write(Cell::J, Bit::One)),
-        Just(MemOp::Delay),
-    ]
+fn random_op(rng: &mut Rng) -> MemOp {
+    *rng.pick(&ALL_OPS)
 }
 
 /// The site corresponding to a catalog machine, on a 2-cell memory.
@@ -36,9 +29,15 @@ fn op_strategy() -> impl Strategy<Value = MemOp> {
 fn site_for(model: FaultModel, index: usize) -> SiteCells {
     if model.is_pair_fault() {
         if index == 0 {
-            SiteCells::Pair { aggressor: 0, victim: 1 }
+            SiteCells::Pair {
+                aggressor: 0,
+                victim: 1,
+            }
         } else {
-            SiteCells::Pair { aggressor: 1, victim: 0 }
+            SiteCells::Pair {
+                aggressor: 1,
+                victim: 0,
+            }
         }
     } else {
         SiteCells::Single(index)
@@ -103,35 +102,30 @@ fn machine_models() -> Vec<FaultModel> {
         .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn machines_and_simulator_agree(
-        model_idx in 0usize..24,
-        start_idx in 0usize..4,
-        variant in 0usize..2,
-        ops in proptest::collection::vec(op_strategy(), 1..24),
-    ) {
-        let models = machine_models();
-        let model = models[model_idx % models.len()];
+#[test]
+fn machines_and_simulator_agree() {
+    let models = machine_models();
+    run_cases("machines_and_simulator_agree", 64, |rng| {
+        let model = *rng.pick(&models);
         let machines = catalog::machines(model);
-        let (label, machine) = &machines[variant % machines.len()];
-        let site = site_for(model, variant % machines.len());
-        let start = aligned_start(model, site, PairState::from_index(start_idx));
+        let variant = rng.range(0, machines.len());
+        let (label, machine) = &machines[variant];
+        let site = site_for(model, variant);
+        let start = aligned_start(model, site, PairState::from_index(rng.range(0, 4)));
+        let ops = rng.vec(1, 24, random_op);
 
         let (m_end, m_outs) = drive_machine(machine, start, &ops);
         let (s_end, s_outs) = drive_simulator(model, site, start, &ops);
 
-        prop_assert_eq!(
-            &m_outs, &s_outs,
-            "{} from {}: outputs diverge on {:?}", label, start, ops
+        assert_eq!(
+            m_outs, s_outs,
+            "{label} from {start}: outputs diverge on {ops:?}"
         );
-        prop_assert_eq!(
+        assert_eq!(
             m_end, s_end,
-            "{} from {}: final states diverge on {:?}", label, start, ops
+            "{label} from {start}: final states diverge on {ops:?}"
         );
-    }
+    });
 }
 
 /// The deterministic exhaustive version for short sequences: every model,

@@ -1,142 +1,162 @@
-//! Property-based integration tests (proptest): invariants that must hold
-//! across randomly drawn fault lists, tours and March tests.
+//! Property-based integration tests: invariants that must hold across
+//! randomly drawn fault lists, tours and March tests (deterministic
+//! `marchgen-testkit` harness).
 
 use marchgen::faults::requirements_for;
 use marchgen::generator::schedule_tour;
 use marchgen::prelude::*;
 use marchgen::sim::engine::{run, FaultSite};
 use marchgen::sim::memory::{GoodMemory, MemoryBehavior};
-use proptest::prelude::*;
+use marchgen_testkit::{run_cases, Rng};
 
-/// A strategy over non-empty sublists of the polarity-complete fault
-/// families (complement symmetry holds for these).
-fn fault_family_list() -> impl Strategy<Value = Vec<FaultModel>> {
+/// A non-empty sublist of the polarity-complete fault families
+/// (complement symmetry holds for these).
+fn random_family_list(rng: &mut Rng) -> Vec<FaultModel> {
     let families = ["SAF", "TF", "ADF", "CFin", "CFid", "CFst", "RDF", "IRF"];
-    proptest::collection::vec(0..families.len(), 1..4).prop_map(move |idx| {
-        let mut models = Vec::new();
-        for k in idx {
-            models.extend(parse_fault_list(families[k]).expect("family parses"));
+    let mut models = Vec::new();
+    for _ in 0..rng.range(1, 4) {
+        let family = families[rng.range(0, families.len())];
+        models.extend(parse_fault_list(family).expect("family parses"));
+    }
+    models.dedup();
+    models
+}
+
+/// A structurally random (possibly inconsistent) March test.
+fn random_march(rng: &mut Rng) -> MarchTest {
+    let ops = [MarchOp::W0, MarchOp::W1, MarchOp::R0, MarchOp::R1];
+    let dirs = [Direction::Up, Direction::Down, Direction::Any];
+    let elements = rng.vec(1, 5, |rng| {
+        let dir = *rng.pick(&dirs);
+        let element_ops = rng.vec(1, 4, |rng| *rng.pick(&ops));
+        MarchElement::new(dir, element_ops)
+    });
+    MarchTest::new(elements)
+}
+
+/// A random March test that passes the consistency check (rejection
+/// sampled; the acceptance rate is high enough for the short shapes
+/// drawn here).
+fn random_consistent_march(rng: &mut Rng) -> MarchTest {
+    loop {
+        let test = random_march(rng);
+        if test.check_consistency().is_ok() {
+            return test;
         }
-        models.dedup();
-        models
-    })
+    }
 }
 
-/// A strategy over structurally random (possibly inconsistent) March
-/// tests.
-fn arbitrary_march() -> impl Strategy<Value = MarchTest> {
-    let op = prop_oneof![
-        Just(MarchOp::W0),
-        Just(MarchOp::W1),
-        Just(MarchOp::R0),
-        Just(MarchOp::R1),
-    ];
-    let dir = prop_oneof![
-        Just(Direction::Up),
-        Just(Direction::Down),
-        Just(Direction::Any),
-    ];
-    let element = (dir, proptest::collection::vec(op, 1..4))
-        .prop_map(|(d, ops)| MarchElement::new(d, ops));
-    proptest::collection::vec(element, 1..5).prop_map(MarchTest::new)
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Any tour over any choice of catalog TPs schedules into a
-    /// read-consistent March test.
-    #[test]
-    fn scheduled_tours_are_always_consistent(
-        models in fault_family_list(),
-        seed in 0usize..1000,
-    ) {
+/// Any tour over any choice of catalog TPs schedules into a
+/// read-consistent March test.
+#[test]
+fn scheduled_tours_are_always_consistent() {
+    run_cases("scheduled_tours_are_always_consistent", 48, |rng| {
+        let models = random_family_list(rng);
+        let seed = rng.range(0, 1000);
         let reqs = requirements_for(&models);
-        let mut tps: Vec<TestPattern> =
-            reqs.iter().map(|r| r.alternatives[seed % r.cardinality().max(1)]).collect();
+        let mut tps: Vec<TestPattern> = reqs
+            .iter()
+            .map(|r| r.alternatives[seed % r.cardinality().max(1)])
+            .collect();
         // a deterministic pseudo-shuffle
         let n = tps.len();
         for k in 0..n {
             tps.swap(k, (k * 7 + seed) % n);
         }
         let test = schedule_tour(&tps).expect("catalog tours schedule");
-        prop_assert_eq!(test.check_consistency(), Ok(()));
-    }
+        assert_eq!(test.check_consistency(), Ok(()));
+    });
+}
 
-    /// Display → parse is the identity on consistent generated tests.
-    #[test]
-    fn display_parse_roundtrip(models in fault_family_list()) {
+/// Display → parse is the identity on consistent generated tests.
+#[test]
+fn display_parse_roundtrip() {
+    run_cases("display_parse_roundtrip", 48, |rng| {
+        let models = random_family_list(rng);
         let reqs = requirements_for(&models);
         let tps: Vec<TestPattern> = reqs.iter().map(|r| r.alternatives[0]).collect();
         let test = schedule_tour(&tps).expect("schedules");
         let reparsed: MarchTest = test.to_string().parse().expect("parses back");
-        prop_assert_eq!(&reparsed, &test);
+        assert_eq!(reparsed, test);
         let ascii: MarchTest = test.to_ascii().parse().expect("ascii parses back");
-        prop_assert_eq!(&ascii, &test);
-    }
+        assert_eq!(ascii, test);
+    });
+}
 
-    /// A consistent March test never mismatches on a fault-free memory,
-    /// whatever the power-up pattern and `⇕` resolutions.
-    #[test]
-    fn fault_free_memories_never_fail(test in arbitrary_march(), fill in any::<bool>()) {
-        prop_assume!(test.check_consistency().is_ok());
+/// A consistent March test never mismatches on a fault-free memory,
+/// whatever the power-up pattern and `⇕` resolutions.
+#[test]
+fn fault_free_memories_never_fail() {
+    run_cases("fault_free_memories_never_fail", 48, |rng| {
+        let test = random_consistent_march(rng);
+        let fill = rng.flip();
         for resolution in marchgen::sim::engine::resolution_vectors(&test) {
             let mut mem = GoodMemory::filled(5, marchgen::model::Bit::from(fill));
             let records = run(&test, &mut mem, &resolution);
-            prop_assert!(records.iter().all(|r| !r.mismatch()));
+            assert!(records.iter().all(|r| !r.mismatch()), "{test}");
         }
-    }
+    });
+}
 
-    /// Coverage is invariant under data-polarity complement for
-    /// polarity-closed fault families.
-    #[test]
-    fn complement_preserves_family_coverage(
-        test in arbitrary_march(),
-        family in 0usize..4,
-    ) {
-        prop_assume!(test.check_consistency().is_ok());
+/// Coverage is invariant under data-polarity complement for
+/// polarity-closed fault families.
+#[test]
+fn complement_preserves_family_coverage() {
+    run_cases("complement_preserves_family_coverage", 48, |rng| {
+        let test = random_consistent_march(rng);
         let lists = ["SAF", "TF", "CFin", "CFid"];
-        let models = parse_fault_list(lists[family]).expect("parses");
+        let models = parse_fault_list(lists[rng.range(0, lists.len())]).expect("parses");
         let n = 3;
         let direct = covers_all(&test, &models, n);
         let complemented = covers_all(&test.complement(), &models, n);
-        prop_assert_eq!(direct, complemented, "{}", test);
-    }
+        assert_eq!(direct, complemented, "{test}");
+    });
+}
 
-    /// Coverage is invariant under address-order mirroring for the
-    /// order-closed pair families (both orderings enumerated).
-    #[test]
-    fn mirror_preserves_pair_coverage(test in arbitrary_march()) {
-        prop_assume!(test.check_consistency().is_ok());
+/// Coverage is invariant under address-order mirroring for the
+/// order-closed pair families (both orderings enumerated).
+#[test]
+fn mirror_preserves_pair_coverage() {
+    run_cases("mirror_preserves_pair_coverage", 48, |rng| {
+        let test = random_consistent_march(rng);
         let models = parse_fault_list("CFid").expect("parses");
         let n = 3;
         let direct = covers_all(&test, &models, n);
         let mirrored = covers_all(&test.mirrored(), &models, n);
-        prop_assert_eq!(direct, mirrored, "{}", test);
-    }
+        assert_eq!(direct, mirrored, "{test}");
+    });
+}
 
-    /// The per-cell sequence invariant: the flat operation count equals
-    /// the complexity plus delays.
-    #[test]
-    fn per_cell_sequence_length(test in arbitrary_march()) {
+/// The per-cell sequence invariant: the flat operation count equals the
+/// complexity plus delays.
+#[test]
+fn per_cell_sequence_length() {
+    run_cases("per_cell_sequence_length", 48, |rng| {
+        let test = random_march(rng);
         let seq = test.per_cell_sequence();
-        prop_assert_eq!(seq.len(), test.complexity() + test.delay_count());
-    }
+        assert_eq!(seq.len(), test.complexity() + test.delay_count());
+    });
+}
 
-    /// Simulating a fault site never mutates detection by enumeration
-    /// order: `detects` is deterministic.
-    #[test]
-    fn detection_is_deterministic(test in arbitrary_march(), aggr in 0usize..3, vict in 0usize..3) {
-        prop_assume!(test.check_consistency().is_ok());
-        prop_assume!(aggr != vict);
+/// Simulating a fault site never mutates detection by enumeration order:
+/// `detects` is deterministic.
+#[test]
+fn detection_is_deterministic() {
+    run_cases("detection_is_deterministic", 48, |rng| {
+        let test = random_consistent_march(rng);
+        let aggr = rng.range(0, 3);
+        let vict = (aggr + rng.range(1, 3)) % 3;
         let site = FaultSite {
             model: parse_fault_list("CFid<u,0>").unwrap()[0],
-            cells: marchgen::sim::SiteCells::Pair { aggressor: aggr, victim: vict },
+            cells: marchgen::sim::SiteCells::Pair {
+                aggressor: aggr,
+                victim: vict,
+            },
         };
         let a = marchgen::sim::detects(&test, &site, 3);
         let b = marchgen::sim::detects(&test, &site, 3);
-        prop_assert_eq!(a, b);
-    }
+        assert_eq!(a, b);
+    });
 }
 
 #[test]

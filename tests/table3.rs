@@ -15,9 +15,21 @@ struct Row {
 
 fn rows() -> Vec<Row> {
     vec![
-        Row { faults: "SAF", paper_complexity: 4, known_equivalent: Some("MATS") },
-        Row { faults: "SAF, TF", paper_complexity: 5, known_equivalent: Some("MATS+") },
-        Row { faults: "SAF, TF, ADF", paper_complexity: 6, known_equivalent: Some("MATS++") },
+        Row {
+            faults: "SAF",
+            paper_complexity: 4,
+            known_equivalent: Some("MATS"),
+        },
+        Row {
+            faults: "SAF, TF",
+            paper_complexity: 5,
+            known_equivalent: Some("MATS+"),
+        },
+        Row {
+            faults: "SAF, TF, ADF",
+            paper_complexity: 6,
+            known_equivalent: Some("MATS++"),
+        },
         Row {
             faults: "SAF, TF, ADF, CFin",
             paper_complexity: 6,
@@ -30,7 +42,11 @@ fn rows() -> Vec<Row> {
         },
         // Row 6: the published 5n test covers the victim-forced-to-one
         // idempotent coupling subset; see DESIGN.md for the decoding.
-        Row { faults: "CFid<u,1>, CFid<d,1>", paper_complexity: 5, known_equivalent: None },
+        Row {
+            faults: "CFid<u,1>, CFid<d,1>",
+            paper_complexity: 5,
+            known_equivalent: None,
+        },
     ]
 }
 
@@ -102,7 +118,13 @@ fn all_rows_pass_the_section6_set_covering_statement() {
     for row in rows() {
         let (out, models) = generate(row.faults);
         let cm = CoverageMatrix::build(&out.test, &models, 4);
-        assert!(cm.all_columns_covered(), "{}: {}\n{}", row.faults, out.test, cm);
+        assert!(
+            cm.all_columns_covered(),
+            "{}: {}\n{}",
+            row.faults,
+            out.test,
+            cm
+        );
         let verdict = cm.non_redundancy();
         assert!(
             verdict.minimum_cover == verdict.useful_blocks,
@@ -118,7 +140,9 @@ fn all_rows_pass_the_section6_set_covering_statement() {
 #[test]
 fn generated_tests_match_known_equivalents() {
     for row in rows() {
-        let Some(name) = row.known_equivalent else { continue };
+        let Some(name) = row.known_equivalent else {
+            continue;
+        };
         let (out, models) = generate(row.faults);
         let known_test = known::by_name(name).expect("library test exists");
         assert_eq!(

@@ -44,8 +44,7 @@ fn test_patterns_match_f23() {
 #[test]
 fn figure2_machine_has_one_extra_edge() {
     let m0 = TwoCellMachine::fault_free();
-    let machines =
-        catalog::machines(FaultModel::CouplingIdempotent(TransitionDir::Up, Bit::Zero));
+    let machines = catalog::machines(FaultModel::CouplingIdempotent(TransitionDir::Up, Bit::Zero));
     assert_eq!(machines.len(), 2);
     for (label, m) in machines {
         assert_eq!(m0.diff(&m).len(), 1, "{label}");
@@ -91,7 +90,10 @@ fn optimal_tours_schedule_to_8n() {
         assert_eq!(test.check_consistency(), Ok(()));
         // Individual optimal tours may schedule a little above the
         // minimum (the pipeline keeps the best across all of them).
-        assert!(test.complexity() <= 12, "tour scheduled unreasonably: {test}");
+        assert!(
+            test.complexity() <= 12,
+            "tour scheduled unreasonably: {test}"
+        );
         best = best.min(test.complexity());
     }
     assert_eq!(best, 8, "the best optimal tour realizes the paper's 8n");
@@ -110,16 +112,25 @@ fn pipeline_reproduces_8n() {
     assert_eq!(out.non_redundant, Some(true));
     // The paper's concrete answer is among the optimal solutions; ours
     // must match it up to the free direction of the background element.
-    let paper: MarchTest = "⇑(w0); ⇑(r0,w1); ⇑(r1,w0); ⇓(r0,w1); ⇓(r1)".parse().unwrap();
+    let paper: MarchTest = "⇑(w0); ⇑(r0,w1); ⇑(r1,w0); ⇓(r0,w1); ⇓(r1)"
+        .parse()
+        .unwrap();
     let models = parse_fault_list("CFid<u,0>, CFid<u,1>").unwrap();
-    assert!(covers_all(&paper, &models, 4), "the paper's own test simulates clean");
+    assert!(
+        covers_all(&paper, &models, 4),
+        "the paper's own test simulates clean"
+    );
     assert_eq!(out.test.complexity(), paper.complexity());
 }
 
 /// The paper's 8n answer itself is operationally non-redundant.
 #[test]
 fn papers_8n_answer_is_non_redundant() {
-    let paper: MarchTest = "⇑(w0); ⇑(r0,w1); ⇑(r1,w0); ⇓(r0,w1); ⇓(r1)".parse().unwrap();
+    let paper: MarchTest = "⇑(w0); ⇑(r0,w1); ⇑(r1,w0); ⇓(r0,w1); ⇓(r1)"
+        .parse()
+        .unwrap();
     let models = parse_fault_list("CFid<u,0>, CFid<u,1>").unwrap();
-    assert!(marchgen::sim::redundancy::is_non_redundant(&paper, &models, 4));
+    assert!(marchgen::sim::redundancy::is_non_redundant(
+        &paper, &models, 4
+    ));
 }
