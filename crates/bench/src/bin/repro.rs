@@ -4,22 +4,209 @@
 //! ```sh
 //! cargo run --release -p marchgen-bench --bin repro
 //! ```
+//!
+//! With `--perf-json <path>` it instead runs the offline **perf smoke**:
+//! the Table 3 workloads through the full pipeline with the scalar and
+//! the bit-parallel verifier, plus verify-phase microbenchmarks, written
+//! as a JSON record (the benchmark trajectory, `BENCH_pr2.json`). The
+//! process exits non-zero if the bit-parallel backend is slower than
+//! twice the scalar time on any pair-fault workload (a 2x noise margin
+//! over the ~10x measured advantage), or if the two backends ever
+//! disagree on a coverage report.
+//!
+//! ```sh
+//! cargo run --release -p marchgen-bench --bin repro -- --perf-json BENCH_pr2.json
+//! ```
 
 use marchgen_bench::{row_models, section4_tps, TABLE3};
-use marchgen_faults::{bfe, catalog, FaultModel, TransitionDir};
-use marchgen_generator::{baseline, gts::Gts, schedule_tour, Generator};
-use marchgen_march::known;
+use marchgen_faults::{bfe, catalog, parse_fault_list, FaultModel, TransitionDir};
+use marchgen_generator::{
+    baseline, generate, gts::Gts, schedule_tour, GenerateRequest, Generator, VerifierChoice,
+};
+use marchgen_json::Json;
+use marchgen_march::{known, MarchTest};
 use marchgen_model::{Bit, TwoCellMachine};
 use marchgen_sim::coverage::covers_all;
 use marchgen_sim::matrix::CoverageMatrix;
+use marchgen_sim::verify::Verifier;
+use marchgen_sim::{BitSimVerifier, SimVerifier};
 use marchgen_tpg::{plan_tour, StartPolicy, Tpg};
+use std::process::ExitCode;
 use std::time::Instant;
 
-fn main() {
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(pos) = args.iter().position(|a| a == "--perf-json") {
+        let path = args
+            .get(pos + 1)
+            .cloned()
+            .unwrap_or_else(|| "BENCH_pr2.json".to_string());
+        return perf_smoke(&path);
+    }
     figures();
     table3();
     baseline_comparison();
     ablations();
+    ExitCode::SUCCESS
+}
+
+// ---- perf smoke (scalar vs bit-parallel verification) ------------------
+
+/// Best-of-`reps` wall-clock of `f`, in µs.
+fn best_micros(reps: usize, mut f: impl FnMut()) -> u64 {
+    (0..reps)
+        .map(|_| {
+            let started = Instant::now();
+            f();
+            u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX)
+        })
+        .min()
+        .expect("at least one rep")
+}
+
+/// One verify-phase microbenchmark: full coverage sweep of `test` over
+/// `faults` on `cells` memory cells, scalar vs bit-parallel.
+fn verify_case(label: &str, faults: &str, cells: usize, test: &MarchTest) -> (Json, bool) {
+    let models = parse_fault_list(faults).expect("perf workloads parse");
+    let pair_fault = models.iter().any(FaultModel::is_pair_fault);
+    let scalar = SimVerifier::new(cells);
+    let packed = BitSimVerifier::new(cells);
+    let scalar_report = scalar.verify(test, &models);
+    let packed_report = packed.verify(test, &models);
+    let agree = scalar_report == packed_report;
+    let reps = 3;
+    let scalar_micros = best_micros(reps, || {
+        let _ = scalar.verify(test, &models);
+    });
+    let bitsim_micros = best_micros(reps, || {
+        let _ = packed.verify(test, &models);
+    });
+    let speedup = scalar_micros as f64 / bitsim_micros.max(1) as f64;
+    // The regression gate leaves a 2x safety factor over the raw
+    // wall-clock comparison: the recorded margins are ~10x, so a real
+    // regression still trips it, while scheduler noise on a shared CI
+    // runner does not.
+    let ok = agree && (!pair_fault || bitsim_micros <= scalar_micros.saturating_mul(2));
+    println!(
+        "  {label:<34} scalar {scalar_micros:>9} µs | bitsim {bitsim_micros:>8} µs | {speedup:>6.1}x  agree={agree}"
+    );
+    let entry = Json::object([
+        ("label", Json::from(label)),
+        ("faults", Json::from(faults)),
+        ("cells", Json::from(cells)),
+        ("test", Json::Str(test.to_string())),
+        ("pair_fault", Json::Bool(pair_fault)),
+        ("scalar_verify_micros", Json::from(scalar_micros)),
+        ("bitsim_verify_micros", Json::from(bitsim_micros)),
+        ("speedup", Json::Str(format!("{speedup:.2}"))),
+        ("reports_agree", Json::Bool(agree)),
+    ]);
+    (entry, ok)
+}
+
+/// The offline perf smoke: per-phase pipeline timings on the Table 3
+/// workloads under both verification backends, plus verify-phase
+/// microbenchmarks (including the pair-fault CFin+CFid+CFst sweep at 8
+/// cells). Writes the record to `path`; non-zero exit when bit-parallel
+/// exceeds twice the scalar time on a pair-fault workload (2x noise
+/// margin) or the backends disagree.
+fn perf_smoke(path: &str) -> ExitCode {
+    let mut ok = true;
+
+    println!("== perf smoke: pipeline per-phase timings (Table 3) ==========");
+    let mut pipeline_rows = Vec::new();
+    for row in TABLE3 {
+        let models = row_models(row);
+        let pair_fault = models.iter().any(FaultModel::is_pair_fault);
+        for (backend, choice) in [
+            ("scalar", VerifierChoice::Scalar),
+            ("bitsim", VerifierChoice::BitParallel),
+        ] {
+            let request = GenerateRequest::new(models.clone()).with_verifier(choice);
+            let started = Instant::now();
+            let out = generate(&request).expect("table rows generate");
+            let total = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+            let d = &out.diagnostics;
+            println!(
+                "  {:<22} {:<7} {:>2}n  expand {:>6} µs | search {:>8} µs | verify {:>9} µs",
+                row.label,
+                backend,
+                out.test.complexity(),
+                d.expand_micros,
+                d.search_micros,
+                d.verify_micros
+            );
+            pipeline_rows.push(Json::object([
+                ("label", Json::from(row.label)),
+                ("backend", Json::from(backend)),
+                ("complexity", Json::from(out.test.complexity())),
+                ("verified", Json::Bool(out.verified)),
+                ("pair_fault", Json::Bool(pair_fault)),
+                ("expand_micros", Json::from(d.expand_micros)),
+                ("search_micros", Json::from(d.search_micros)),
+                ("verify_micros", Json::from(d.verify_micros)),
+                ("total_micros", Json::from(total)),
+                (
+                    "shard_micros",
+                    Json::array(d.shard_micros.iter().map(|&m| Json::from(m))),
+                ),
+            ]));
+        }
+    }
+
+    println!("== perf smoke: verify-phase sweeps, scalar vs bit-parallel ===");
+    let mut verify_rows = Vec::new();
+    let march_c = known::march_c_minus();
+    let march_ss = known::march_ss();
+    for (label, faults, cells, test) in [
+        (
+            "single faults @8 (March C-)",
+            "SAF, TF, RDF, IRF",
+            8,
+            &march_c,
+        ),
+        ("CFin+CFid @4 (March C-)", "CFin, CFid", 4, &march_c),
+        (
+            "CFin+CFid+CFst @8 (March C-)",
+            "CFin, CFid, CFst",
+            8,
+            &march_c,
+        ),
+        (
+            "CFin+CFid+CFst @8 (March SS)",
+            "CFin, CFid, CFst",
+            8,
+            &march_ss,
+        ),
+        (
+            "Table3 row5 list @6",
+            "SAF, TF, ADF, CFin, CFid",
+            6,
+            &march_c,
+        ),
+    ] {
+        let (entry, case_ok) = verify_case(label, faults, cells, test);
+        verify_rows.push(entry);
+        ok &= case_ok;
+    }
+
+    let doc = Json::object([
+        ("schema", Json::from("marchgen-bench/2")),
+        ("pipeline_rows", Json::array(pipeline_rows)),
+        ("verify_phase", Json::array(verify_rows)),
+        ("pass", Json::Bool(ok)),
+    ]);
+    if let Err(e) = std::fs::write(path, doc.render_pretty()) {
+        eprintln!("error: cannot write {path:?}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {path}");
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("error: bit-parallel verifier exceeded 2x scalar time on a pair-fault workload (or reports disagreed)");
+        ExitCode::FAILURE
+    }
 }
 
 fn figures() {

@@ -45,7 +45,8 @@ pub mod serde;
 
 pub use outcome::{Diagnostics, GenerateOutcome};
 pub use pipeline::{
-    generate, generate_with, generate_with_registry, GenerateError, Generator, Outcome,
+    generate, generate_with, generate_with_registry, verifier_for, ClassCombinations,
+    GenerateError, Generator, Outcome,
 };
-pub use request::GenerateRequest;
+pub use request::{GenerateRequest, VerifierChoice};
 pub use schedule::{schedule_tour, ScheduleError};

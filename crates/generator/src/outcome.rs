@@ -57,6 +57,11 @@ pub struct Diagnostics {
     pub search_micros: u64,
     /// Time spent in the verifier (coverage, compaction, redundancy), µs.
     pub verify_micros: u64,
+    /// Per-shard solve times, µs: one entry per unique TP set (the unit
+    /// of parallel work the sharded search distributes across its
+    /// workers), in deterministic first-seen order. The *length* is
+    /// independent of the thread count; only the values vary run to run.
+    pub shard_micros: Vec<u64>,
 }
 
 impl Diagnostics {

@@ -10,7 +10,7 @@
 
 use crate::gts::Gts;
 use crate::outcome::{Diagnostics, GenerateOutcome};
-use crate::request::GenerateRequest;
+use crate::request::{GenerateRequest, VerifierChoice};
 use crate::schedule::schedule_tour;
 use marchgen_atsp::{AtspSolver, SolverChoice, SolverRegistry};
 use marchgen_faults::{
@@ -19,10 +19,13 @@ use marchgen_faults::{
 };
 use marchgen_march::MarchTest;
 use marchgen_sim::coverage::CoverageReport;
-use marchgen_sim::{SimVerifier, Verifier};
+use marchgen_sim::{BitSimVerifier, SimVerifier, Verifier};
 use marchgen_tpg::{plan_tour_with, StartPolicy, Tpg};
 use std::collections::BTreeMap;
 use std::fmt;
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// Why generation failed outright (verification shortfalls are reported
@@ -81,13 +84,31 @@ pub fn generate_with_registry(
     let solver = registry
         .resolve(&request.solver)
         .map_err(|e| GenerateError::UnknownSolver(e.name))?;
-    let verifier = SimVerifier::new(request.verify_cells);
-    let active: Option<&dyn Verifier> = if request.verify_cells > 0 {
-        Some(&verifier)
-    } else {
-        None
+    let verifier = verifier_for(request);
+    generate_with(request, solver.as_ref(), verifier.as_deref())
+}
+
+/// Resolves the request's [`VerifierChoice`] into a concrete backend
+/// (`None` when `verify_cells == 0` disables verification).
+///
+/// `Auto` picks the bit-parallel simulator exactly when the fault list
+/// contains pair faults — the workloads whose `n·(n−1)` site sweeps
+/// dominate verification time.
+#[must_use]
+pub fn verifier_for(request: &GenerateRequest) -> Option<Box<dyn Verifier>> {
+    if request.verify_cells == 0 {
+        return None;
+    }
+    let bit_parallel = match request.verifier {
+        VerifierChoice::Scalar => false,
+        VerifierChoice::BitParallel => true,
+        VerifierChoice::Auto => request.faults.iter().any(FaultModel::is_pair_fault),
     };
-    generate_with(request, solver.as_ref(), active)
+    Some(if bit_parallel {
+        Box::new(BitSimVerifier::new(request.verify_cells))
+    } else {
+        Box::new(SimVerifier::new(request.verify_cells))
+    })
 }
 
 /// The fully dependency-injected engine: explicit solver strategy and
@@ -113,31 +134,68 @@ pub fn generate_with(
         return Err(GenerateError::EmptyFaultList);
     }
 
-    // Enumerate class combinations (paper §5: E = Π |Ci|), memoizing
-    // on the post-subsumption TP set: choices that collapse to the
-    // same set solve the same ATSP.
+    // Enumerate class combinations (paper §5: E = Π |Ci|), memoizing on
+    // the post-subsumption TP set: choices that collapse to the same set
+    // solve the same ATSP. The search is sharded: the mixed-radix
+    // combination space is range-partitioned across workers for
+    // enumeration, and the unique TP sets are then solved from a shared
+    // work queue. Both passes collect results by index, so the outcome is
+    // identical for every thread count (including 1, which runs inline).
     let search_started = Instant::now();
-    let mut seen_sets: BTreeMap<Vec<TestPattern>, ()> = BTreeMap::new();
-    let mut candidates: Vec<(MarchTest, Vec<TestPattern>)> = Vec::new();
-    for combo in ClassCombinations::new(&requirements).take(request.max_combinations) {
-        diagnostics.combinations += 1;
-        let mut tps = dedupe_subsumed(&combo);
-        tps.sort();
-        if seen_sets.insert(tps.clone(), ()).is_some() {
-            continue;
+    let workers = search_workers(request);
+    let limit = ClassCombinations::total(&requirements).min(request.max_combinations);
+    diagnostics.combinations = limit;
+
+    // Pass 1: enumerate combinations and collapse them to their
+    // post-subsumption TP sets, keeping first-seen order.
+    let tp_sets: Vec<Vec<TestPattern>> = {
+        let shards = combination_shards(limit, workers);
+        let per_shard = run_indexed(shards.len(), workers, |s| {
+            let (lo, hi) = shards[s];
+            ClassCombinations::range(&requirements, lo, hi)
+                .map(|combo| {
+                    let mut tps = dedupe_subsumed(&combo);
+                    tps.sort();
+                    tps
+                })
+                .collect::<Vec<_>>()
+        });
+        let mut seen: BTreeMap<Vec<TestPattern>, ()> = BTreeMap::new();
+        let mut unique = Vec::new();
+        for tps in per_shard.into_iter().flatten() {
+            if seen.insert(tps.clone(), ()).is_none() {
+                unique.push(tps);
+            }
         }
-        diagnostics.unique_tp_sets += 1;
+        unique
+    };
+    diagnostics.unique_tp_sets = tp_sets.len();
+
+    // Pass 2: plan tours and schedule March candidates per unique TP
+    // set, fanned out across the workers.
+    let solved = run_indexed(tp_sets.len(), workers, |k| {
+        let shard_started = Instant::now();
+        let tps = &tp_sets[k];
         let tpg = Tpg::new(tps.clone());
+        let mut tours_tried = 0usize;
+        let mut candidates: Vec<(MarchTest, Vec<TestPattern>)> = Vec::new();
         for plan in plan_tour_with(&tpg, request.start_policy, request.tour_cap, solver) {
-            diagnostics.tours_tried += 1;
-            let tour: Vec<TestPattern> = plan.order.iter().map(|&k| tps[k]).collect();
+            tours_tried += 1;
+            let tour: Vec<TestPattern> = plan.order.iter().map(|&i| tps[i]).collect();
             if let Ok(test) = schedule_tour(&tour) {
                 if test.check_consistency().is_ok() {
-                    diagnostics.candidates += 1;
                     candidates.push((test, tour));
                 }
             }
         }
+        (candidates, tours_tried, as_micros(shard_started))
+    });
+    let mut candidates: Vec<(MarchTest, Vec<TestPattern>)> = Vec::new();
+    for (shard_candidates, tours_tried, micros) in solved {
+        diagnostics.tours_tried += tours_tried;
+        diagnostics.candidates += shard_candidates.len();
+        diagnostics.shard_micros.push(micros);
+        candidates.extend(shard_candidates);
     }
     if candidates.is_empty() {
         diagnostics.search_micros = as_micros(search_started);
@@ -168,7 +226,7 @@ pub fn generate_with(
         let report = verifier.verify(test, &request.faults);
         if report.complete() {
             let final_test = if request.compact {
-                verifier.compact(test, &request.faults)
+                verifier.compact(test, &request.faults).into_owned()
             } else {
                 test.clone()
             };
@@ -209,6 +267,59 @@ pub fn generate_with(
 
 fn as_micros(since: Instant) -> u64 {
     u64::try_from(since.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+/// Effective worker count for the in-request sharded search.
+fn search_workers(request: &GenerateRequest) -> usize {
+    match request.search_threads {
+        0 => std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1),
+        t => t,
+    }
+}
+
+/// Contiguous `[lo, hi)` index ranges covering `0..limit`, one per
+/// worker (empty trailing shards are dropped).
+fn combination_shards(limit: usize, workers: usize) -> Vec<(usize, usize)> {
+    let workers = workers.clamp(1, limit.max(1));
+    let chunk = limit.div_ceil(workers).max(1);
+    (0..workers)
+        .map(|w| ((w * chunk).min(limit), ((w + 1) * chunk).min(limit)))
+        .filter(|(lo, hi)| lo < hi)
+        .collect()
+}
+
+/// Runs `f(0..jobs)` across up to `workers` scoped threads pulling from
+/// a shared queue (the same machinery as the batch service layer),
+/// collecting results **by index** — so the output is identical to the
+/// inline `workers <= 1` path regardless of scheduling.
+fn run_indexed<T: Send>(jobs: usize, workers: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
+    if workers <= 1 || jobs <= 1 {
+        return (0..jobs).map(f).collect();
+    }
+    let mut slots: Vec<Option<T>> = Vec::new();
+    slots.resize_with(jobs, || None);
+    let slots = Mutex::new(slots);
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers.min(jobs) {
+            scope.spawn(|| loop {
+                let k = next.fetch_add(1, Ordering::Relaxed);
+                if k >= jobs {
+                    break;
+                }
+                let out = f(k);
+                slots.lock().expect("shard slots lock")[k] = Some(out);
+            });
+        }
+    });
+    slots
+        .into_inner()
+        .expect("shard slots lock")
+        .into_iter()
+        .map(|slot| slot.expect("every shard ran"))
+        .collect()
 }
 
 /// The result of a [`Generator`] run (compatibility shape; new code
@@ -337,6 +448,21 @@ impl Generator {
         self
     }
 
+    /// Selects the verification backend (scalar / bit-parallel / auto).
+    #[must_use]
+    pub fn verifier(mut self, verifier: VerifierChoice) -> Generator {
+        self.request.verifier = verifier;
+        self
+    }
+
+    /// Worker threads for the sharded candidate search (`0` = one per
+    /// available CPU). Never changes the outcome, only the wall-clock.
+    #[must_use]
+    pub fn search_threads(mut self, threads: usize) -> Generator {
+        self.request.search_threads = threads;
+        self
+    }
+
     /// The fault models targeted.
     #[must_use]
     pub fn models(&self) -> &[FaultModel] {
@@ -367,19 +493,64 @@ impl Generator {
     }
 }
 
-/// Iterator over the cartesian product of requirement alternatives.
-struct ClassCombinations<'a> {
+/// Iterator over the cartesian product of requirement alternatives —
+/// the paper's class combination space, `E = Π |Cᵢ|` entries.
+///
+/// The counter is a **mixed-radix integer** (last requirement advances
+/// fastest), so any contiguous index range `[lo, hi)` of the enumeration
+/// can be produced independently via [`ClassCombinations::range`] — the
+/// primitive the sharded search uses to partition the space across
+/// worker threads without coordination.
+pub struct ClassCombinations<'a> {
     requirements: &'a [CoverageRequirement],
     indices: Vec<usize>,
-    done: bool,
+    remaining: usize,
 }
 
 impl<'a> ClassCombinations<'a> {
-    fn new(requirements: &'a [CoverageRequirement]) -> ClassCombinations<'a> {
+    /// The full enumeration, in mixed-radix order.
+    #[must_use]
+    pub fn new(requirements: &'a [CoverageRequirement]) -> ClassCombinations<'a> {
+        ClassCombinations::range(requirements, 0, ClassCombinations::total(requirements))
+    }
+
+    /// The number of combinations `E = Π |Cᵢ|` (saturating; `0` for an
+    /// empty requirement list, matching the empty enumeration).
+    #[must_use]
+    pub fn total(requirements: &[CoverageRequirement]) -> usize {
+        if requirements.is_empty() {
+            return 0;
+        }
+        requirements
+            .iter()
+            .map(|r| r.alternatives.len())
+            .fold(1usize, usize::saturating_mul)
+    }
+
+    /// The combinations with linear indices in `[lo, hi)` (clamped to
+    /// the enumeration size). Concatenating adjacent ranges reproduces
+    /// the full enumeration exactly.
+    #[must_use]
+    pub fn range(
+        requirements: &'a [CoverageRequirement],
+        lo: usize,
+        hi: usize,
+    ) -> ClassCombinations<'a> {
+        let total = ClassCombinations::total(requirements);
+        let lo = lo.min(total);
+        let hi = hi.min(total);
+        // Decode `lo` into mixed-radix digits, last digit fastest.
+        let mut indices = vec![0usize; requirements.len()];
+        let mut rest = lo;
+        for (pos, requirement) in requirements.iter().enumerate().rev() {
+            let radix = requirement.alternatives.len();
+            indices[pos] = rest % radix;
+            rest /= radix;
+        }
         ClassCombinations {
             requirements,
-            indices: vec![0; requirements.len()],
-            done: requirements.is_empty(),
+            indices,
+            remaining: hi.saturating_sub(lo),
         }
     }
 }
@@ -388,9 +559,10 @@ impl Iterator for ClassCombinations<'_> {
     type Item = Vec<TestPattern>;
 
     fn next(&mut self) -> Option<Vec<TestPattern>> {
-        if self.done {
+        if self.remaining == 0 {
             return None;
         }
+        self.remaining -= 1;
         let combo: Vec<TestPattern> = self
             .requirements
             .iter()
@@ -401,7 +573,6 @@ impl Iterator for ClassCombinations<'_> {
         let mut pos = self.indices.len();
         loop {
             if pos == 0 {
-                self.done = true;
                 break;
             }
             pos -= 1;
@@ -413,7 +584,13 @@ impl Iterator for ClassCombinations<'_> {
         }
         Some(combo)
     }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
 }
+
+impl ExactSizeIterator for ClassCombinations<'_> {}
 
 #[cfg(test)]
 mod tests {
@@ -425,6 +602,106 @@ mod tests {
         // two classes of two alternatives → E = 4 (paper §5)
         let combos: Vec<_> = ClassCombinations::new(&reqs).collect();
         assert_eq!(combos.len(), 4);
+        assert_eq!(ClassCombinations::total(&reqs), 4);
+    }
+
+    #[test]
+    fn range_partitions_reproduce_full_enumeration() {
+        let reqs = requirements_for(&parse_fault_list("SAF, TF, CFin, CFid").unwrap());
+        let total = ClassCombinations::total(&reqs);
+        assert!(total > 8, "want a non-trivial space, got {total}");
+        let full: Vec<_> = ClassCombinations::new(&reqs).collect();
+        assert_eq!(full.len(), total);
+        for parts in [1usize, 2, 3, 7, total, total + 5] {
+            let chunk = total.div_ceil(parts).max(1);
+            let mut stitched = Vec::new();
+            let mut lo = 0;
+            while lo < total {
+                let hi = (lo + chunk).min(total);
+                stitched.extend(ClassCombinations::range(&reqs, lo, hi));
+                lo = hi;
+            }
+            assert_eq!(stitched, full, "{parts} partitions");
+        }
+        // Out-of-range and empty windows are empty, not wrong.
+        assert_eq!(ClassCombinations::range(&reqs, total, total + 9).count(), 0);
+        assert_eq!(ClassCombinations::range(&reqs, 3, 3).count(), 0);
+    }
+
+    #[test]
+    fn combination_shards_cover_the_space() {
+        for (limit, workers) in [(1usize, 8usize), (10, 3), (4096, 8), (7, 1), (64, 64)] {
+            let shards = combination_shards(limit, workers);
+            assert_eq!(shards[0].0, 0);
+            assert_eq!(shards.last().unwrap().1, limit);
+            for pair in shards.windows(2) {
+                assert_eq!(pair[0].1, pair[1].0, "contiguous shards");
+            }
+        }
+    }
+
+    /// The sharded search is deterministic: 1, 2 and 8 workers produce
+    /// identical outcomes (modulo wall-clock timings).
+    #[test]
+    fn sharded_search_is_deterministic() {
+        for faults in ["SAF, TF, ADF, CFin", "CFid<u,1>, CFid<d,1>"] {
+            let base = GenerateRequest::from_fault_list(faults)
+                .unwrap()
+                .with_check_redundancy(true);
+            let mut outcomes: Vec<GenerateOutcome> = [1usize, 2, 8]
+                .iter()
+                .map(|&t| generate(&base.clone().with_search_threads(t)).unwrap())
+                .collect();
+            for o in &mut outcomes {
+                o.diagnostics.expand_micros = 0;
+                o.diagnostics.search_micros = 0;
+                o.diagnostics.verify_micros = 0;
+                o.diagnostics.shard_micros = vec![0; o.diagnostics.shard_micros.len()];
+            }
+            assert_eq!(outcomes[0], outcomes[1], "{faults}: 1 vs 2 threads");
+            assert_eq!(outcomes[0], outcomes[2], "{faults}: 1 vs 8 threads");
+        }
+    }
+
+    /// `Auto` resolves to the bit-parallel backend exactly on pair-fault
+    /// lists, and explicit choices are honored.
+    #[test]
+    fn verifier_resolution_rules() {
+        let single = GenerateRequest::from_fault_list("SAF, TF").unwrap();
+        let pair = GenerateRequest::from_fault_list("SAF, CFin").unwrap();
+        assert_eq!(verifier_for(&single).unwrap().name(), "simulator");
+        assert_eq!(verifier_for(&pair).unwrap().name(), "bitsim");
+        assert_eq!(
+            verifier_for(&single.clone().with_verifier(VerifierChoice::BitParallel))
+                .unwrap()
+                .name(),
+            "bitsim"
+        );
+        assert_eq!(
+            verifier_for(&pair.clone().with_verifier(VerifierChoice::Scalar))
+                .unwrap()
+                .name(),
+            "simulator"
+        );
+        assert!(verifier_for(&pair.with_verify_cells(0)).is_none());
+    }
+
+    /// Scalar and bit-parallel verification produce the same outcome on
+    /// the paper workloads (end-to-end pipeline agreement).
+    #[test]
+    fn verifier_backends_agree_end_to_end() {
+        for faults in ["SAF, TF", "CFid<u,0>, CFid<u,1>", "SAF, TF, ADF, CFin"] {
+            let base = GenerateRequest::from_fault_list(faults)
+                .unwrap()
+                .with_check_redundancy(true);
+            let scalar = generate(&base.clone().with_verifier(VerifierChoice::Scalar)).unwrap();
+            let packed =
+                generate(&base.clone().with_verifier(VerifierChoice::BitParallel)).unwrap();
+            assert_eq!(scalar.test, packed.test, "{faults}");
+            assert_eq!(scalar.report, packed.report, "{faults}");
+            assert_eq!(scalar.non_redundant, packed.non_redundant, "{faults}");
+            assert_eq!(scalar.verified, packed.verified, "{faults}");
+        }
     }
 
     #[test]

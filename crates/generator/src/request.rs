@@ -9,6 +9,57 @@
 use marchgen_atsp::SolverChoice;
 use marchgen_faults::{parse_fault_list, FaultModel, ParseFaultError};
 use marchgen_tpg::StartPolicy;
+use std::fmt;
+
+/// Which verification backend runs the coverage, compaction and
+/// redundancy checks of a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum VerifierChoice {
+    /// Pick per request: the bit-parallel simulator when the fault list
+    /// contains pair (coupling / address-decoder) faults — where the
+    /// `n·(n−1)` site sweep dominates — and the scalar simulator
+    /// otherwise. The default.
+    #[default]
+    Auto,
+    /// The scalar behavioural simulator
+    /// ([`SimVerifier`](marchgen_sim::SimVerifier)), one scenario at a
+    /// time.
+    Scalar,
+    /// The bit-parallel simulator
+    /// ([`BitSimVerifier`](marchgen_sim::BitSimVerifier)), 64 scenario
+    /// lanes per `u64` word. Exact agreement with the scalar backend is
+    /// enforced by the differential test suite.
+    BitParallel,
+}
+
+impl VerifierChoice {
+    /// The stable serialization key (`"auto"` / `"scalar"` / `"bitsim"`).
+    #[must_use]
+    pub fn key(self) -> &'static str {
+        match self {
+            VerifierChoice::Auto => "auto",
+            VerifierChoice::Scalar => "scalar",
+            VerifierChoice::BitParallel => "bitsim",
+        }
+    }
+
+    /// Parses a serialization key; `None` for unknown names.
+    #[must_use]
+    pub fn from_key(key: &str) -> Option<VerifierChoice> {
+        match key {
+            "auto" => Some(VerifierChoice::Auto),
+            "scalar" => Some(VerifierChoice::Scalar),
+            "bitsim" => Some(VerifierChoice::BitParallel),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for VerifierChoice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.key())
+    }
+}
 
 /// A complete, self-contained description of one March-test generation
 /// run: target fault models plus engine configuration.
@@ -45,6 +96,13 @@ pub struct GenerateRequest {
     pub check_redundancy: bool,
     /// Cap on equivalence-class combinations examined (the paper's `E`).
     pub max_combinations: usize,
+    /// Which verification backend to use (see [`VerifierChoice`]).
+    pub verifier: VerifierChoice,
+    /// Worker threads for the in-request candidate search (the class
+    /// combination space is range-partitioned across them); `0` means
+    /// one per available CPU. The thread count never changes the
+    /// outcome — results are collected deterministically.
+    pub search_threads: usize,
 }
 
 impl GenerateRequest {
@@ -61,6 +119,8 @@ impl GenerateRequest {
             compact: true,
             check_redundancy: false,
             max_combinations: 4096,
+            verifier: VerifierChoice::Auto,
+            search_threads: 0,
         }
     }
 
@@ -124,6 +184,21 @@ impl GenerateRequest {
         self.max_combinations = cap.max(1);
         self
     }
+
+    /// Builder-style override of the verification backend.
+    #[must_use]
+    pub fn with_verifier(mut self, verifier: VerifierChoice) -> GenerateRequest {
+        self.verifier = verifier;
+        self
+    }
+
+    /// Builder-style override of the search worker count (`0` = one per
+    /// available CPU).
+    #[must_use]
+    pub fn with_search_threads(mut self, threads: usize) -> GenerateRequest {
+        self.search_threads = threads;
+        self
+    }
 }
 
 impl Default for GenerateRequest {
@@ -146,6 +221,21 @@ mod tests {
         assert!(req.compact);
         assert!(!req.check_redundancy);
         assert_eq!(req.max_combinations, 4096);
+        assert_eq!(req.verifier, VerifierChoice::Auto);
+        assert_eq!(req.search_threads, 0, "0 = one worker per CPU");
+    }
+
+    #[test]
+    fn verifier_choice_keys_roundtrip() {
+        for choice in [
+            VerifierChoice::Auto,
+            VerifierChoice::Scalar,
+            VerifierChoice::BitParallel,
+        ] {
+            assert_eq!(VerifierChoice::from_key(choice.key()), Some(choice));
+        }
+        assert_eq!(VerifierChoice::from_key("bogus"), None);
+        assert_eq!(VerifierChoice::BitParallel.to_string(), "bitsim");
     }
 
     #[test]
@@ -157,8 +247,12 @@ mod tests {
             .with_verify_cells(6)
             .with_compact(false)
             .with_check_redundancy(true)
-            .with_max_combinations(0);
+            .with_max_combinations(0)
+            .with_verifier(VerifierChoice::BitParallel)
+            .with_search_threads(4);
         assert_eq!(req.solver, SolverChoice::HeldKarp);
+        assert_eq!(req.verifier, VerifierChoice::BitParallel);
+        assert_eq!(req.search_threads, 4);
         assert_eq!(req.start_policy, StartPolicy::Free);
         assert_eq!(req.tour_cap, 1, "tour cap clamps to 1");
         assert_eq!(req.max_combinations, 1, "combination cap clamps to 1");

@@ -12,7 +12,7 @@
 //!   structurally, so outcomes survive a round-trip bit-for-bit.
 
 use crate::outcome::{Diagnostics, GenerateOutcome};
-use crate::request::GenerateRequest;
+use crate::request::{GenerateRequest, VerifierChoice};
 use marchgen_atsp::SolverChoice;
 use marchgen_faults::{parse_fault_list, FaultModel, Observation, TestPattern, TpKind};
 use marchgen_json::{bool_field, field, str_field, usize_field, FromJson, Json, JsonError, ToJson};
@@ -327,6 +327,8 @@ impl ToJson for GenerateRequest {
             ("compact", Json::Bool(self.compact)),
             ("check_redundancy", Json::Bool(self.check_redundancy)),
             ("max_combinations", Json::from(self.max_combinations)),
+            ("verifier", Json::Str(self.verifier.key().to_owned())),
+            ("search_threads", Json::from(self.search_threads)),
         ])
     }
 }
@@ -356,6 +358,20 @@ impl FromJson for GenerateRequest {
                     .ok_or_else(|| JsonError::decode("field \"solver\" must be a string"))?,
             ),
         };
+        // `verifier` is optional and backward compatible: schema v1
+        // documents written before the bit-parallel backend existed
+        // simply omit it and get the auto choice.
+        let verifier = match json.get("verifier") {
+            None => defaults.verifier,
+            Some(v) => v
+                .as_str()
+                .and_then(VerifierChoice::from_key)
+                .ok_or_else(|| {
+                    JsonError::decode(
+                        "field \"verifier\" must be \"auto\", \"scalar\" or \"bitsim\"",
+                    )
+                })?,
+        };
         let opt_usize = |key: &str, fallback: usize| -> Result<usize, JsonError> {
             match json.get(key) {
                 None => Ok(fallback),
@@ -375,9 +391,11 @@ impl FromJson for GenerateRequest {
             faults: faults_from_json(field(json, "faults")?)?,
             start_policy,
             solver,
+            verifier,
             verify_cells: opt_usize("verify_cells", defaults.verify_cells)?,
             compact: opt_bool("compact", defaults.compact)?,
             check_redundancy: opt_bool("check_redundancy", defaults.check_redundancy)?,
+            search_threads: opt_usize("search_threads", defaults.search_threads)?,
             ..GenerateRequest::default()
         }
         .with_tour_cap(opt_usize("tour_cap", defaults.tour_cap)?)
@@ -399,6 +417,10 @@ impl ToJson for Diagnostics {
             ("expand_micros", Json::from(self.expand_micros)),
             ("search_micros", Json::from(self.search_micros)),
             ("verify_micros", Json::from(self.verify_micros)),
+            (
+                "shard_micros",
+                Json::array(self.shard_micros.iter().map(|&m| Json::from(m))),
+            ),
         ])
     }
 }
@@ -414,6 +436,23 @@ impl FromJson for Diagnostics {
                     .ok_or_else(|| JsonError::decode("complexities must be non-negative integers"))
             })
             .collect::<Result<Vec<_>, _>>()?;
+        // Optional and backward compatible: documents predating the
+        // sharded search omit the per-shard timings.
+        let shard_micros = match json.get("shard_micros") {
+            None => Vec::new(),
+            Some(value) => value
+                .as_array()
+                .ok_or_else(|| JsonError::decode("field \"shard_micros\" must be an array"))?
+                .iter()
+                .map(|v| {
+                    v.as_int()
+                        .and_then(|m| u64::try_from(m).ok())
+                        .ok_or_else(|| {
+                            JsonError::decode("shard timings must be non-negative integers")
+                        })
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+        };
         Ok(Diagnostics {
             combinations: usize_field(json, "combinations")?,
             unique_tp_sets: usize_field(json, "unique_tp_sets")?,
@@ -423,6 +462,7 @@ impl FromJson for Diagnostics {
             expand_micros: u64_field(json, "expand_micros")?,
             search_micros: u64_field(json, "search_micros")?,
             verify_micros: u64_field(json, "verify_micros")?,
+            shard_micros,
         })
     }
 }
@@ -500,10 +540,41 @@ mod tests {
             .with_verify_cells(6)
             .with_compact(false)
             .with_check_redundancy(true)
-            .with_max_combinations(99);
+            .with_max_combinations(99)
+            .with_verifier(VerifierChoice::BitParallel)
+            .with_search_threads(3);
         let text = request.to_json_string();
         let back = GenerateRequest::from_json_str(&text).unwrap();
         assert_eq!(back, request);
+    }
+
+    /// The `verifier` key is optional (pre-bitsim schema v1 documents
+    /// omit it) and validated when present.
+    #[test]
+    fn verifier_key_is_optional_and_checked() {
+        let back = GenerateRequest::from_json_str(r#"{"faults": ["SAF"]}"#).unwrap();
+        assert_eq!(back.verifier, VerifierChoice::Auto);
+        assert_eq!(back.search_threads, 0);
+        let back =
+            GenerateRequest::from_json_str(r#"{"faults": ["SAF"], "verifier": "scalar"}"#).unwrap();
+        assert_eq!(back.verifier, VerifierChoice::Scalar);
+        assert!(
+            GenerateRequest::from_json_str(r#"{"faults": ["SAF"], "verifier": "quantum"}"#)
+                .is_err()
+        );
+    }
+
+    /// Outcomes predating the sharded search decode with empty shard
+    /// timings.
+    #[test]
+    fn absent_shard_micros_decodes_empty() {
+        let doc = r#"{
+            "combinations": 1, "unique_tp_sets": 1, "tours_tried": 1,
+            "candidates": 1, "candidate_complexities": [4],
+            "expand_micros": 1, "search_micros": 2, "verify_micros": 3
+        }"#;
+        let d = Diagnostics::from_json_str(doc).unwrap();
+        assert!(d.shard_micros.is_empty());
     }
 
     #[test]

@@ -1,0 +1,580 @@
+//! Bit-parallel fault simulation: up to **64 scenario lanes per `u64`
+//! memory word**, executing each March operation once across all lanes.
+//!
+//! # Lane-packing layout
+//!
+//! The scalar engine ([`crate::engine`]) simulates one *scenario* at a
+//! time: a concrete fault site × power-up pattern × sense-latch value,
+//! re-executed for every `⇕` resolution vector. For a pair-fault model on
+//! an `n`-cell memory that is `n·(n−1)` sites × up to 8 patterns — a few
+//! hundred full March executions per resolution, each touching one bit
+//! of state per memory cell.
+//!
+//! This module transposes that sweep. The memory is a `Vec<u64>` with one
+//! word per cell address; **bit `l` of word `a` is the value cell `a`
+//! holds in scenario lane `l`**. All lanes share the same fault *model*
+//! (fault semantics are bitwise formulas over whole words) but each lane
+//! carries its own
+//!
+//! * site placement (single cell, or aggressor/victim pair),
+//! * power-up pattern, and
+//! * sense-amplifier latch power-up value (stuck-open only),
+//!
+//! so one March execution over the packed words advances up to 64
+//! scalar scenarios at once. Site placement is precompiled into per-
+//! address masks (`single_mask[a]` = lanes whose faulty cell is `a`,
+//! `aggr_mask[a]` = lanes whose aggressor is `a`, plus victim groups
+//! keyed by aggressor address), so every faulty read/write is a handful
+//! of AND/OR/XOR word operations. Address order is shared control flow,
+//! not per-lane data, so `⇕` resolution vectors stay an outer loop —
+//! exactly mirroring the scalar scenario enumeration.
+//!
+//! Detection bookkeeping is a single `u64`: every read ORs
+//! `out ^ expected` into a mismatch accumulator, and a site counts as
+//! **detected** only when every one of its lanes mismatches under every
+//! resolution — the same guaranteed-detection rule as
+//! [`crate::engine::detects`], verified bit-for-bit by the differential
+//! test suite.
+//!
+//! Entry points mirror [`crate::coverage`]: [`model_coverage`],
+//! [`coverage_report`], [`covers_all`], plus the
+//! [`BitSimVerifier`](crate::verify::BitSimVerifier) backend built on
+//! them.
+
+use crate::coverage::{CoverageReport, ModelCoverage};
+use crate::engine::{latch_values, power_up_patterns, resolution_vectors, FaultSite};
+use crate::memory::SiteCells;
+use marchgen_faults::{AdfKind, FaultModel};
+use marchgen_march::{Direction, MarchOp, MarchTest};
+use marchgen_model::Bit;
+
+/// Broadcast of a scalar bit across all 64 lanes.
+fn splat(bit: Bit) -> u64 {
+    match bit {
+        Bit::Zero => 0,
+        Bit::One => !0,
+    }
+}
+
+/// One scenario lane: which site it simulates and its power-up state.
+#[derive(Debug, Clone)]
+struct Lane {
+    /// Index into the site list the sweep runs over.
+    site_index: usize,
+    /// Site placement (drives the address masks).
+    cells: SiteCells,
+    /// Power-up pattern of the whole array.
+    pattern: Vec<Bit>,
+    /// Sense-amplifier latch power-up value.
+    latch: Bit,
+}
+
+/// Every scenario lane of a site sweep, in the scalar engine's
+/// enumeration order (site-major, then pattern, then latch).
+fn lanes_for(sites: &[FaultSite], n: usize) -> Vec<Lane> {
+    let mut lanes = Vec::new();
+    for (site_index, site) in sites.iter().enumerate() {
+        for pattern in power_up_patterns(site, n) {
+            for &latch in latch_values(site) {
+                lanes.push(Lane {
+                    site_index,
+                    cells: site.cells,
+                    pattern: pattern.clone(),
+                    latch,
+                });
+            }
+        }
+    }
+    lanes
+}
+
+/// A packed batch of up to 64 scenario lanes sharing one fault model.
+struct LaneBatch {
+    n: usize,
+    model: FaultModel,
+    /// Post-power-up packed contents, restored on every [`Self::reset`].
+    init: Vec<u64>,
+    latch_init: u64,
+    /// Per address: lanes whose single-cell site is that address.
+    single_mask: Vec<u64>,
+    /// Per address: lanes whose aggressor is that address.
+    aggr_mask: Vec<u64>,
+    /// Per aggressor address: victim addresses with their lane masks.
+    victims_of: Vec<Vec<(usize, u64)>>,
+    /// Distinct (aggressor address, lane mask) groups — CFst condition.
+    aggr_groups: Vec<(usize, u64)>,
+    /// Distinct (victim address, lane mask) groups — CFst assignment.
+    vict_groups: Vec<(usize, u64)>,
+    // Execution state.
+    cells: Vec<u64>,
+    latch: u64,
+    mismatch: u64,
+}
+
+impl LaneBatch {
+    /// Packs `lanes` (at most 64) into one batch.
+    fn new(model: FaultModel, n: usize, lanes: &[Lane]) -> LaneBatch {
+        assert!(lanes.len() <= 64, "a batch holds at most 64 lanes");
+        let mut single_mask = vec![0u64; n];
+        let mut aggr_mask = vec![0u64; n];
+        let mut victims_of: Vec<Vec<(usize, u64)>> = vec![Vec::new(); n];
+        let mut init = vec![0u64; n];
+        let mut latch_init = 0u64;
+        for (l, lane) in lanes.iter().enumerate() {
+            let bit = 1u64 << l;
+            match lane.cells {
+                SiteCells::Single(c) => single_mask[c] |= bit,
+                SiteCells::Pair { aggressor, victim } => {
+                    aggr_mask[aggressor] |= bit;
+                    match victims_of[aggressor].iter_mut().find(|(v, _)| *v == victim) {
+                        Some((_, mask)) => *mask |= bit,
+                        None => victims_of[aggressor].push((victim, bit)),
+                    }
+                }
+            }
+            for (addr, &value) in lane.pattern.iter().enumerate() {
+                if value == Bit::One {
+                    init[addr] |= bit;
+                }
+            }
+            if lane.latch == Bit::One {
+                latch_init |= bit;
+            }
+        }
+        let aggr_groups: Vec<(usize, u64)> = aggr_mask
+            .iter()
+            .enumerate()
+            .filter(|&(_, &m)| m != 0)
+            .map(|(a, &m)| (a, m))
+            .collect();
+        let mut vict_groups: Vec<(usize, u64)> = Vec::new();
+        for groups in &victims_of {
+            for &(v, m) in groups {
+                match vict_groups.iter_mut().find(|(addr, _)| *addr == v) {
+                    Some((_, mask)) => *mask |= m,
+                    None => vict_groups.push((v, m)),
+                }
+            }
+        }
+        let mut batch = LaneBatch {
+            n,
+            model,
+            init,
+            latch_init,
+            single_mask,
+            aggr_mask,
+            victims_of,
+            aggr_groups,
+            vict_groups,
+            cells: vec![0u64; n],
+            latch: 0,
+            mismatch: 0,
+        };
+        // Apply power-up consequences once, into the restorable image
+        // (mirrors `FaultyMemory::power_up`).
+        batch.cells.copy_from_slice(&batch.init);
+        if let FaultModel::StuckAt(v) = model {
+            let vb = splat(v);
+            for addr in 0..n {
+                let sm = batch.single_mask[addr];
+                batch.cells[addr] = (batch.cells[addr] & !sm) | (vb & sm);
+            }
+        }
+        batch.apply_state_coupling();
+        batch.init.copy_from_slice(&batch.cells);
+        batch
+    }
+
+    /// Restores the power-up state for a fresh scenario execution.
+    fn reset(&mut self) {
+        self.cells.copy_from_slice(&self.init);
+        self.latch = self.latch_init;
+        self.mismatch = 0;
+    }
+
+    /// CFst is a *condition*, not an event (see `FaultyMemory`): enforce
+    /// it after every operation, lane-wise.
+    fn apply_state_coupling(&mut self) {
+        if let FaultModel::CouplingState(s, f) = self.model {
+            let mut cond = 0u64;
+            for &(a, m) in &self.aggr_groups {
+                let held = if s == Bit::One {
+                    self.cells[a]
+                } else {
+                    !self.cells[a]
+                };
+                cond |= held & m;
+            }
+            for &(v, m) in &self.vict_groups {
+                let active = cond & m;
+                self.cells[v] = if f == Bit::One {
+                    self.cells[v] | active
+                } else {
+                    self.cells[v] & !active
+                };
+            }
+        }
+    }
+
+    /// Lane-parallel `write(addr, value)` with the model's fault
+    /// semantics (mirrors `FaultyMemory::write` arm for arm).
+    fn write(&mut self, addr: usize, value: Bit) {
+        let vb = splat(value);
+        match self.model {
+            FaultModel::StuckAt(v) => {
+                let sm = self.single_mask[addr];
+                self.cells[addr] = (vb & !sm) | (splat(v) & sm);
+            }
+            FaultModel::Transition(dir) => {
+                let cur = self.cells[addr];
+                let blocked = if value == dir.to_value() {
+                    let from_held = if dir.from_value() == Bit::One {
+                        cur
+                    } else {
+                        !cur
+                    };
+                    self.single_mask[addr] & from_held
+                } else {
+                    0
+                };
+                self.cells[addr] = (cur & blocked) | (vb & !blocked);
+            }
+            FaultModel::StuckOpen => {
+                let sm = self.single_mask[addr];
+                self.cells[addr] = (self.cells[addr] & sm) | (vb & !sm);
+            }
+            FaultModel::AddressDecoder(AdfKind::Write) => {
+                self.cells[addr] = vb;
+                for k in 0..self.victims_of[addr].len() {
+                    let (v, m) = self.victims_of[addr][k];
+                    self.cells[v] = (self.cells[v] & !m) | (vb & m);
+                }
+            }
+            FaultModel::CouplingInversion(dir) => {
+                let trigger = self.coupling_trigger(addr, value, dir);
+                self.cells[addr] = vb;
+                for k in 0..self.victims_of[addr].len() {
+                    let (v, m) = self.victims_of[addr][k];
+                    self.cells[v] ^= trigger & m;
+                }
+            }
+            FaultModel::CouplingIdempotent(dir, f) => {
+                let trigger = self.coupling_trigger(addr, value, dir);
+                self.cells[addr] = vb;
+                for k in 0..self.victims_of[addr].len() {
+                    let (v, m) = self.victims_of[addr][k];
+                    let forced = trigger & m;
+                    self.cells[v] = if f == Bit::One {
+                        self.cells[v] | forced
+                    } else {
+                        self.cells[v] & !forced
+                    };
+                }
+            }
+            _ => self.cells[addr] = vb,
+        }
+        self.apply_state_coupling();
+    }
+
+    /// Lanes whose aggressor sits at `addr` and observes the sensitizing
+    /// transition `dir` when `value` is written over the current content.
+    fn coupling_trigger(
+        &self,
+        addr: usize,
+        value: Bit,
+        dir: marchgen_faults::TransitionDir,
+    ) -> u64 {
+        if value != dir.to_value() {
+            return 0;
+        }
+        let cur = self.cells[addr];
+        let from_held = if dir.from_value() == Bit::One {
+            cur
+        } else {
+            !cur
+        };
+        self.aggr_mask[addr] & from_held
+    }
+
+    /// Lane-parallel `read(addr)` (mirrors `FaultyMemory::read`),
+    /// returning the per-lane device outputs.
+    fn read(&mut self, addr: usize) -> u64 {
+        let cur = self.cells[addr];
+        let out = match self.model {
+            FaultModel::StuckOpen => {
+                let sm = self.single_mask[addr];
+                (cur & !sm) | (self.latch & sm)
+            }
+            FaultModel::AddressDecoder(AdfKind::Read) => {
+                let am = self.aggr_mask[addr];
+                let mut out = cur & !am;
+                for &(v, m) in &self.victims_of[addr] {
+                    out |= self.cells[v] & m;
+                }
+                out
+            }
+            FaultModel::ReadDestructive(x) => {
+                let affected = self.read_affected(addr, cur, x);
+                self.cells[addr] = cur ^ affected;
+                cur ^ affected
+            }
+            FaultModel::DeceptiveReadDestructive(x) => {
+                let affected = self.read_affected(addr, cur, x);
+                self.cells[addr] = cur ^ affected;
+                cur
+            }
+            FaultModel::IncorrectRead(x) => cur ^ self.read_affected(addr, cur, x),
+            _ => cur,
+        };
+        self.latch = out;
+        self.apply_state_coupling();
+        out
+    }
+
+    /// Lanes whose faulty cell is `addr` and currently holds `x`.
+    fn read_affected(&self, addr: usize, cur: u64, x: Bit) -> u64 {
+        let holds_x = if x == Bit::One { cur } else { !cur };
+        self.single_mask[addr] & holds_x
+    }
+
+    /// Lane-parallel wait period (mirrors `FaultyMemory::delay`).
+    fn delay(&mut self) {
+        if let FaultModel::DataRetention(x) = self.model {
+            for addr in 0..self.n {
+                let sm = self.single_mask[addr];
+                if sm == 0 {
+                    continue;
+                }
+                let cur = self.cells[addr];
+                let holds_x = if x == Bit::One { cur } else { !cur };
+                self.cells[addr] = cur ^ (sm & holds_x);
+            }
+        }
+        self.apply_state_coupling();
+    }
+
+    /// Executes `test` once across all lanes under one `⇕` resolution
+    /// vector, returning the lanes that produced at least one mismatching
+    /// read. Control flow mirrors [`crate::engine::run`] exactly.
+    fn run(&mut self, test: &MarchTest, resolution: &[Direction]) -> u64 {
+        self.reset();
+        let mut res_iter = resolution.iter();
+        for element in test.elements() {
+            let dir = match element.direction {
+                Direction::Any => *res_iter.next().expect("a resolution per ⇕ element"),
+                d => d,
+            };
+            if element.ops.len() == 1 && element.ops[0] == MarchOp::Delay {
+                self.delay();
+                continue;
+            }
+            match dir {
+                Direction::Down => {
+                    for addr in (0..self.n).rev() {
+                        self.visit(addr, &element.ops);
+                    }
+                }
+                _ => {
+                    for addr in 0..self.n {
+                        self.visit(addr, &element.ops);
+                    }
+                }
+            }
+        }
+        self.mismatch
+    }
+
+    fn visit(&mut self, addr: usize, ops: &[MarchOp]) {
+        for &op in ops {
+            match op {
+                MarchOp::Write(d) => self.write(addr, d),
+                MarchOp::Delay => self.delay(),
+                MarchOp::Read(expected) => {
+                    let got = self.read(addr);
+                    self.mismatch |= got ^ splat(expected);
+                }
+            }
+        }
+    }
+}
+
+/// Runs the packed sweep for one model, returning per-site detection
+/// verdicts (in [`FaultSite::enumerate`] order). With `early_exit`, the
+/// sweep stops at the first undetected scenario — only the boolean
+/// "every site detected" remains meaningful then.
+fn sweep(
+    test: &MarchTest,
+    model: FaultModel,
+    n: usize,
+    sites: &[FaultSite],
+    early_exit: bool,
+) -> Vec<bool> {
+    let resolutions = resolution_vectors(test);
+    let lanes = lanes_for(sites, n);
+    let mut detected = vec![true; sites.len()];
+    for chunk in lanes.chunks(64) {
+        let full: u64 = if chunk.len() == 64 {
+            !0
+        } else {
+            (1u64 << chunk.len()) - 1
+        };
+        let mut batch = LaneBatch::new(model, n, chunk);
+        let mut all = full;
+        for resolution in &resolutions {
+            all &= batch.run(test, resolution);
+            // Some lane already has a clean scenario: its site can never
+            // reach guaranteed detection.
+            if early_exit && all != full {
+                for (l, lane) in chunk.iter().enumerate() {
+                    if all & (1 << l) == 0 {
+                        detected[lane.site_index] = false;
+                    }
+                }
+                return detected;
+            }
+        }
+        for (l, lane) in chunk.iter().enumerate() {
+            if all & (1 << l) == 0 {
+                detected[lane.site_index] = false;
+            }
+        }
+    }
+    detected
+}
+
+/// Bit-parallel equivalent of [`crate::coverage::model_coverage`]:
+/// sweeps every instance of `model` in an `n`-cell memory, 64 scenario
+/// lanes at a time.
+#[must_use]
+pub fn model_coverage(test: &MarchTest, model: FaultModel, n: usize) -> ModelCoverage {
+    let sites = FaultSite::enumerate(model, n);
+    let detected = sweep(test, model, n, &sites, false);
+    let escapes: Vec<FaultSite> = sites
+        .iter()
+        .zip(&detected)
+        .filter(|&(_, &ok)| !ok)
+        .map(|(&site, _)| site)
+        .collect();
+    ModelCoverage {
+        model,
+        total_sites: sites.len(),
+        detected_sites: sites.len() - escapes.len(),
+        escapes,
+    }
+}
+
+/// Bit-parallel equivalent of [`crate::coverage::coverage_report`].
+#[must_use]
+pub fn coverage_report(test: &MarchTest, models: &[FaultModel], n: usize) -> CoverageReport {
+    CoverageReport {
+        models: models.iter().map(|&m| model_coverage(test, m, n)).collect(),
+        memory_size: n,
+    }
+}
+
+/// Bit-parallel equivalent of [`crate::coverage::covers_all`], with
+/// early exit on the first escaped scenario — the fast path for
+/// compaction, where most deletion candidates lose coverage quickly.
+#[must_use]
+pub fn covers_all(test: &MarchTest, models: &[FaultModel], n: usize) -> bool {
+    covers_all_sites(test, &enumerate_sites(models, n), n)
+}
+
+/// Per-model site lists enumerated once, for repeated coverage queries
+/// over varying tests (the compaction deletion loop) — the same hoist
+/// the scalar path applies in [`crate::redundancy`].
+#[must_use]
+pub fn enumerate_sites(models: &[FaultModel], n: usize) -> Vec<(FaultModel, Vec<FaultSite>)> {
+    models
+        .iter()
+        .map(|&m| (m, FaultSite::enumerate(m, n)))
+        .collect()
+}
+
+/// [`covers_all`] over pre-enumerated site lists (see
+/// [`enumerate_sites`]).
+#[must_use]
+pub fn covers_all_sites(
+    test: &MarchTest,
+    site_lists: &[(FaultModel, Vec<FaultSite>)],
+    n: usize,
+) -> bool {
+    site_lists
+        .iter()
+        .all(|(model, sites)| sweep(test, *model, n, sites, true).iter().all(|&ok| ok))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coverage;
+    use marchgen_faults::parse_fault_list;
+    use marchgen_march::known;
+
+    #[test]
+    fn splat_is_lane_uniform() {
+        assert_eq!(splat(Bit::Zero), 0);
+        assert_eq!(splat(Bit::One), u64::MAX);
+    }
+
+    #[test]
+    fn lane_enumeration_matches_scalar_scenario_order() {
+        let model = FaultModel::CouplingIdempotent(marchgen_faults::TransitionDir::Up, Bit::One);
+        let sites = FaultSite::enumerate(model, 4);
+        let lanes = lanes_for(&sites, 4);
+        // site-major: lanes of site k all precede lanes of site k+1.
+        let mut last = 0usize;
+        for lane in &lanes {
+            assert!(lane.site_index >= last);
+            last = lane.site_index;
+        }
+        let per_site: usize = power_up_patterns(&sites[0], 4).len();
+        assert_eq!(lanes.len(), sites.len() * per_site);
+    }
+
+    #[test]
+    fn matches_scalar_on_classical_claims() {
+        let n = 4;
+        for (list, test) in [
+            ("SAF, TF", known::mats_plus_plus()),
+            ("SAF, TF, ADF, CFin, CFid, CFst", known::march_c_minus()),
+            ("SAF, TF, SOF, CFin, DRF", known::march_g()),
+            ("RDF, DRDF, IRF", known::march_ss()),
+        ] {
+            let models = parse_fault_list(list).unwrap();
+            let scalar = coverage::coverage_report(&test, &models, n);
+            let packed = coverage_report(&test, &models, n);
+            assert_eq!(packed, scalar, "{list}");
+            assert!(covers_all(&test, &models, n));
+        }
+    }
+
+    #[test]
+    fn matches_scalar_on_gaps_including_escape_lists() {
+        let n = 4;
+        for (list, test) in [
+            ("TF", known::mats()),
+            ("CFid", known::march_x()),
+            ("SOF", known::march_c_minus()),
+            ("DRF", known::march_c_minus()),
+        ] {
+            let models = parse_fault_list(list).unwrap();
+            let scalar = coverage::coverage_report(&test, &models, n);
+            let packed = coverage_report(&test, &models, n);
+            assert_eq!(packed, scalar, "{list}");
+            assert!(!packed.complete());
+            assert!(!covers_all(&test, &models, n));
+        }
+    }
+
+    #[test]
+    fn sweeps_larger_than_one_batch() {
+        // n = 8 pair faults: 56 sites × 8 patterns = 448 lanes → 7 batches.
+        let n = 8;
+        let models = parse_fault_list("CFin<u>").unwrap();
+        let scalar = coverage::coverage_report(&known::march_c_minus(), &models, n);
+        let packed = coverage_report(&known::march_c_minus(), &models, n);
+        assert_eq!(packed, scalar);
+        assert!(packed.complete());
+    }
+}

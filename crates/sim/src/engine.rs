@@ -95,8 +95,25 @@ pub fn run(
     memory: &mut dyn MemoryBehavior,
     resolutions: &[Direction],
 ) -> Vec<ReadRecord> {
-    let n = memory.len();
     let mut records = Vec::new();
+    run_with(test, memory, resolutions, |record| records.push(record));
+    records
+}
+
+/// Streaming variant of [`run`]: every read is handed to `on_read` as it
+/// happens instead of being collected, so detection sweeps that only need
+/// "was there a mismatch?" pay no per-scenario allocation.
+///
+/// # Panics
+///
+/// Panics if `resolutions` is shorter than the number of `⇕` elements.
+pub fn run_with(
+    test: &MarchTest,
+    memory: &mut dyn MemoryBehavior,
+    resolutions: &[Direction],
+    mut on_read: impl FnMut(ReadRecord),
+) {
+    let n = memory.len();
     let mut op_base = 0usize;
     let mut res_iter = resolutions.iter();
     for element in test.elements() {
@@ -120,7 +137,7 @@ pub fn run(
                     MarchOp::Delay => memory.delay(),
                     MarchOp::Read(expected) => {
                         let got = memory.read(addr);
-                        records.push(ReadRecord {
+                        on_read(ReadRecord {
                             op_index: op_base + k,
                             addr,
                             expected,
@@ -132,7 +149,6 @@ pub fn run(
         }
         op_base += element.ops.len();
     }
-    records
 }
 
 /// All `⇕` resolution vectors to check: exhaustive up to 6 `Any`
@@ -212,7 +228,7 @@ pub fn power_up_patterns(site: &FaultSite, n: usize) -> Vec<Vec<Bit>> {
 }
 
 /// Latch power-up values worth checking (only stuck-open reads it).
-fn latch_values(site: &FaultSite) -> &'static [Bit] {
+pub(crate) fn latch_values(site: &FaultSite) -> &'static [Bit] {
     match site.model {
         FaultModel::StuckOpen => &Bit::ALL,
         _ => &[Bit::Zero],
@@ -221,9 +237,33 @@ fn latch_values(site: &FaultSite) -> &'static [Bit] {
 
 /// Guaranteed detection: `true` when every scenario (power-up pattern ×
 /// `⇕` resolution × latch value) yields at least one mismatching read.
+///
+/// This is the hot primitive of every coverage sweep, so it avoids the
+/// per-scenario churn of [`detecting_scenarios`]: the resolution vectors
+/// are computed once per call, one [`FaultyMemory`] buffer is reused via
+/// [`FaultyMemory::reset`] across scenarios, reads stream through
+/// [`run_with`] without being collected, and the sweep bails on the
+/// first scenario with no mismatching read.
 #[must_use]
 pub fn detects(test: &MarchTest, site: &FaultSite, n: usize) -> bool {
-    detecting_scenarios(test, site, n).all_detected
+    let resolutions = resolution_vectors(test);
+    let patterns = power_up_patterns(site, n);
+    let mut mem = FaultyMemory::new(vec![Bit::Zero; n], site.model, site.cells, Bit::Zero);
+    for pattern in &patterns {
+        for resolution in &resolutions {
+            for &latch in latch_values(site) {
+                mem.reset(pattern, latch);
+                let mut mismatched = false;
+                run_with(test, &mut mem, resolution, |r| {
+                    mismatched = mismatched || r.mismatch();
+                });
+                if !mismatched {
+                    return false;
+                }
+            }
+        }
+    }
+    true
 }
 
 /// Detection details across scenarios.
@@ -244,17 +284,19 @@ pub fn detecting_scenarios(test: &MarchTest, site: &FaultSite, n: usize) -> Dete
     let mut all_detected = true;
     let mut scenarios = 0usize;
     let mut mismatch_ops = Vec::new();
+    let resolutions = resolution_vectors(test);
+    let mut mem = FaultyMemory::new(vec![Bit::Zero; n], site.model, site.cells, Bit::Zero);
     for pattern in power_up_patterns(site, n) {
-        for resolution in resolution_vectors(test) {
+        for resolution in &resolutions {
             for &latch in latch_values(site) {
                 scenarios += 1;
-                let mut mem = FaultyMemory::new(pattern.clone(), site.model, site.cells, latch);
-                let records = run(test, &mut mem, &resolution);
-                let ops: Vec<usize> = records
-                    .iter()
-                    .filter(|r| r.mismatch())
-                    .map(|r| r.op_index)
-                    .collect();
+                mem.reset(&pattern, latch);
+                let mut ops: Vec<usize> = Vec::new();
+                run_with(test, &mut mem, resolution, |r| {
+                    if r.mismatch() {
+                        ops.push(r.op_index);
+                    }
+                });
                 if ops.is_empty() {
                     all_detected = false;
                 }

@@ -20,6 +20,9 @@
 //!   mismatching read (guaranteed detection),
 //! * [`coverage`] — per-model site sweeps (`n·(n−1)` ordered pairs for
 //!   coupling faults) and aggregated reports,
+//! * [`bitsim`] — the bit-parallel sweep: up to 64 scenario lanes packed
+//!   into one `u64` per memory word, exact-agreement verified against
+//!   the scalar engine and exposed as [`BitSimVerifier`],
 //! * [`matrix`] — the Coverage Matrix over elementary blocks (Section 6),
 //! * [`set_cover`] — exact set covering over the matrix: the paper's
 //!   non-redundancy proof,
@@ -41,6 +44,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bitsim;
 pub mod coverage;
 pub mod diagnosis;
 pub mod engine;
@@ -55,4 +59,4 @@ pub use coverage::{coverage_report, covers_all, CoverageReport, ModelCoverage};
 pub use engine::{detects, FaultSite};
 pub use matrix::CoverageMatrix;
 pub use memory::SiteCells;
-pub use verify::{SimVerifier, Verifier};
+pub use verify::{BitSimVerifier, SimVerifier, Verifier};

@@ -175,6 +175,22 @@ impl FaultyMemory {
         }
     }
 
+    /// Reinitializes the memory in place for a new scenario: the cell
+    /// array is overwritten with `pattern`, the latch with `latch`, and
+    /// power-up consequences are re-applied. Equivalent to constructing a
+    /// fresh [`FaultyMemory`] with the same model and site, without the
+    /// per-scenario allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pattern` has a different length than the memory.
+    pub fn reset(&mut self, pattern: &[Bit], latch: Bit) {
+        assert_eq!(pattern.len(), self.cells.len(), "pattern size mismatch");
+        self.cells.copy_from_slice(pattern);
+        self.latch = latch;
+        self.power_up();
+    }
+
     /// The injected model.
     #[must_use]
     pub fn model(&self) -> FaultModel {

@@ -1,0 +1,162 @@
+//! Differential tests: the bit-parallel sweep ([`marchgen_sim::bitsim`]
+//! / [`BitSimVerifier`]) must agree **exactly** with the scalar
+//! behavioural simulator ([`coverage`] / [`SimVerifier`]) — same
+//! [`CoverageReport`]s (including escape lists, in order), same
+//! compactions, same non-redundancy verdicts — across the full
+//! classical fault catalog, the known-test library, and deterministic
+//! random March tests.
+
+use marchgen_faults::{parse_fault_list, FaultModel};
+use marchgen_march::{known, Direction, MarchElement, MarchOp, MarchTest};
+use marchgen_model::{Bit, Tri};
+use marchgen_sim::verify::{BitSimVerifier, SimVerifier, Verifier};
+use marchgen_sim::{bitsim, coverage};
+use marchgen_testkit::{run_cases, Rng};
+
+/// A random *consistent* March test: reads always expect the value the
+/// per-cell sequence currently holds, so `check_consistency` passes by
+/// construction.
+fn random_march(rng: &mut Rng) -> MarchTest {
+    let directions = [Direction::Up, Direction::Down, Direction::Any];
+    let elements = rng.range(1, 5);
+    let mut cur = Tri::X;
+    let mut out: Vec<MarchElement> = Vec::new();
+    for _ in 0..elements {
+        let dir = *rng.pick(&directions);
+        let mut ops: Vec<MarchOp> = Vec::new();
+        for _ in 0..rng.range(1, 4) {
+            match rng.range(0, 4) {
+                0 | 1 => {
+                    let v = if rng.flip() { Bit::One } else { Bit::Zero };
+                    ops.push(MarchOp::Write(v));
+                    cur = Tri::from(v);
+                }
+                2 => {
+                    if let Some(expect) = cur.bit() {
+                        ops.push(MarchOp::Read(expect));
+                    } else {
+                        ops.push(MarchOp::Write(Bit::Zero));
+                        cur = Tri::from(Bit::Zero);
+                    }
+                }
+                _ => ops.push(MarchOp::Delay),
+            }
+        }
+        out.push(MarchElement::new(dir, ops));
+    }
+    let test = MarchTest::new(out);
+    assert_eq!(test.check_consistency(), Ok(()));
+    test
+}
+
+/// Every model of the classical taxonomy × every known test: identical
+/// reports, including per-site escape lists.
+#[test]
+fn full_catalog_matches_on_known_tests() {
+    let n = 4;
+    let catalog = FaultModel::all_classical();
+    for (name, test) in known::all() {
+        for &model in &catalog {
+            let scalar = coverage::model_coverage(&test, model, n);
+            let packed = bitsim::model_coverage(&test, model, n);
+            assert_eq!(packed, scalar, "{name} × {model}");
+        }
+    }
+}
+
+/// Same sweep on a larger memory for a subset of tests, so multi-batch
+/// packing (pair faults at n = 6 → 120+ lanes) is exercised.
+#[test]
+fn full_catalog_matches_on_larger_memory() {
+    let n = 6;
+    for (name, test) in [
+        ("MATS", known::mats()),
+        ("March C-", known::march_c_minus()),
+        ("March G", known::march_g()),
+    ] {
+        for model in FaultModel::all_classical() {
+            let scalar = coverage::model_coverage(&test, model, n);
+            let packed = bitsim::model_coverage(&test, model, n);
+            assert_eq!(packed, scalar, "{name} × {model} at n={n}");
+        }
+    }
+}
+
+/// Deterministic random March tests, random fault subsets, random
+/// memory sizes: reports and `covers_all` agree.
+#[test]
+fn random_tests_match_scalar_reports() {
+    let catalog = FaultModel::all_classical();
+    run_cases("bitsim ≡ scalar on random tests", 48, |rng| {
+        let test = random_march(rng);
+        let n = rng.range(2, 6);
+        let models: Vec<FaultModel> = (0..rng.range(1, 4)).map(|_| *rng.pick(&catalog)).collect();
+        let scalar = coverage::coverage_report(&test, &models, n);
+        let packed = bitsim::coverage_report(&test, &models, n);
+        assert_eq!(packed, scalar, "{test} over {models:?} at n={n}");
+        assert_eq!(
+            bitsim::covers_all(&test, &models, n),
+            coverage::covers_all(&test, &models, n),
+            "{test} over {models:?} at n={n}"
+        );
+    });
+}
+
+/// The two verifier backends agree on compaction and non-redundancy for
+/// the workloads the pipeline actually runs (Table 3 fault lists).
+#[test]
+fn verifier_backends_agree_on_compaction() {
+    let n = 4;
+    for list in [
+        "SAF",
+        "SAF, TF",
+        "SAF, TF, ADF",
+        "SAF, TF, ADF, CFin",
+        "CFid<u,1>, CFid<d,1>",
+        "CFin, CFid, CFst",
+    ] {
+        let models = parse_fault_list(list).unwrap();
+        let scalar = SimVerifier::new(n);
+        let packed = BitSimVerifier::new(n);
+        for (name, test) in known::all() {
+            assert_eq!(
+                packed.verify(&test, &models),
+                scalar.verify(&test, &models),
+                "{name} × {list}"
+            );
+            assert_eq!(
+                *packed.compact(&test, &models),
+                *scalar.compact(&test, &models),
+                "{name} × {list}"
+            );
+            assert_eq!(
+                packed.is_non_redundant(&test, &models),
+                scalar.is_non_redundant(&test, &models),
+                "{name} × {list}"
+            );
+        }
+    }
+}
+
+/// Random tests through both verifiers end to end (verify + compact).
+#[test]
+fn random_tests_match_through_verifier_trait() {
+    let catalog = FaultModel::all_classical();
+    run_cases("verifier backends ≡ on random tests", 24, |rng| {
+        let test = random_march(rng);
+        let n = rng.range(2, 5);
+        let models: Vec<FaultModel> = (0..rng.range(1, 3)).map(|_| *rng.pick(&catalog)).collect();
+        let scalar = SimVerifier::new(n);
+        let packed = BitSimVerifier::new(n);
+        assert_eq!(
+            packed.verify(&test, &models),
+            scalar.verify(&test, &models),
+            "{test} over {models:?} at n={n}"
+        );
+        assert_eq!(
+            *packed.compact(&test, &models),
+            *scalar.compact(&test, &models),
+            "{test} over {models:?} at n={n}"
+        );
+    });
+}

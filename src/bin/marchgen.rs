@@ -19,20 +19,28 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let json = take_flag(&mut args, "--json");
-    let threads = match take_option(&mut args, "--threads") {
-        Ok(t) => t,
-        Err(msg) => {
-            eprintln!("error: {msg}");
-            return ExitCode::from(2);
+    // Engine knobs are only meaningful for the generating subcommands;
+    // leaving them in `args` elsewhere makes a stray `--verifier` on
+    // e.g. `validate` a loud usage error instead of a silent no-op.
+    let generating = matches!(args.first().map(String::as_str), Some("generate" | "batch"));
+    let (threads, knobs) = if generating {
+        match take_global_options(&mut args) {
+            Ok(options) => options,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                return ExitCode::from(2);
+            }
         }
+    } else {
+        (None, RequestKnobs::default())
     };
     let result = match args.first().map(String::as_str) {
-        Some("generate") => generate_cmd(&args[1..], json),
+        Some("generate") => generate_cmd(&args[1..], json, knobs),
         Some("validate") => validate(&args[1..], json),
         Some("analyze") => analyze_cmd(&args[1..], json),
         Some("codegen") => codegen_cmd(&args[1..]),
         Some("known") => known_cmd(&args[1..]),
-        Some("batch") => batch_cmd(&args[1..], json, threads),
+        Some("batch") => batch_cmd(&args[1..], json, threads, knobs),
         _ => {
             eprint!("{USAGE}");
             return ExitCode::from(2);
@@ -51,15 +59,61 @@ const USAGE: &str = "\
 marchgen — automatic generation of optimal March tests (Benso et al., DATE 2002)
 
 usage:
-  marchgen generate <fault-list> [--json]   e.g. marchgen generate \"SAF, TF, CFin\"
+  marchgen generate <fault-list> [--json] [--verifier auto|scalar|bitsim] [--search-threads N]
+                                            e.g. marchgen generate \"SAF, TF, CFin\"
   marchgen validate <march> <fault-list> [--json]
                                             e.g. marchgen validate \"m(w0); u(r0,w1); d(r1)\" SAF
   marchgen analyze  <march> [--json]        static detection conditions
   marchgen codegen  <march> [c|rust]        emit BIST source code
   marchgen known    [name]                  list/show the classical test library
-  marchgen batch    <file> [--json] [--threads N]
+  marchgen batch    <file> [--json] [--threads N] [--verifier auto|scalar|bitsim] [--search-threads N]
                                             one fault list per line through the batch service
+
+  --verifier        verification backend: auto (bit-parallel on pair-fault
+                    lists, the default), scalar, or bitsim (bit-parallel)
+  --search-threads  worker threads for the sharded in-request candidate
+                    search (0 = one per CPU; never changes the result)
 ";
+
+/// Request-level knobs applied uniformly by `generate` and `batch`.
+#[derive(Clone, Copy, Default)]
+struct RequestKnobs {
+    verifier: Option<VerifierChoice>,
+    search_threads: Option<usize>,
+}
+
+/// Parses the options shared by `generate` and `batch`: `--threads`,
+/// `--search-threads` and `--verifier`.
+fn take_global_options(args: &mut Vec<String>) -> Result<(Option<usize>, RequestKnobs), String> {
+    let threads = take_option(args, "--threads")?;
+    let search_threads = take_option(args, "--search-threads")?;
+    let verifier =
+        match take_str_option(args, "--verifier")? {
+            None => None,
+            Some(name) => Some(VerifierChoice::from_key(&name).ok_or_else(|| {
+                format!("--verifier must be auto, scalar or bitsim, got {name:?}")
+            })?),
+        };
+    Ok((
+        threads,
+        RequestKnobs {
+            verifier,
+            search_threads,
+        },
+    ))
+}
+
+impl RequestKnobs {
+    fn apply(self, mut request: GenerateRequest) -> GenerateRequest {
+        if let Some(verifier) = self.verifier {
+            request = request.with_verifier(verifier);
+        }
+        if let Some(threads) = self.search_threads {
+            request = request.with_search_threads(threads);
+        }
+        request
+    }
+}
 
 /// Removes `flag` from `args` if present; returns whether it was there.
 fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
@@ -83,9 +137,22 @@ fn take_option(args: &mut Vec<String>, name: &str) -> Result<Option<usize>, Stri
     Ok(Some(value))
 }
 
-fn generate_cmd(args: &[String], json: bool) -> Result<(), String> {
+/// Removes `--name VALUE` from `args`; returns the raw string value.
+fn take_str_option(args: &mut Vec<String>, name: &str) -> Result<Option<String>, String> {
+    let Some(pos) = args.iter().position(|a| a == name) else {
+        return Ok(None);
+    };
+    if pos + 1 >= args.len() {
+        return Err(format!("{name} needs a value"));
+    }
+    let value = args[pos + 1].clone();
+    args.drain(pos..=pos + 1);
+    Ok(Some(value))
+}
+
+fn generate_cmd(args: &[String], json: bool, knobs: RequestKnobs) -> Result<(), String> {
     let list = args.first().ok_or("generate needs a fault list")?;
-    let request = GenerateRequest::from_fault_list(list).map_err(|e| e.to_string())?;
+    let request = knobs.apply(GenerateRequest::from_fault_list(list).map_err(|e| e.to_string())?);
     let outcome = generate(&request).map_err(|e| e.to_string())?;
     if json {
         print_outcome_json(&outcome)?;
@@ -261,7 +328,12 @@ fn known_cmd(args: &[String]) -> Result<(), String> {
     }
 }
 
-fn batch_cmd(args: &[String], json: bool, threads: Option<usize>) -> Result<(), String> {
+fn batch_cmd(
+    args: &[String],
+    json: bool,
+    threads: Option<usize>,
+    knobs: RequestKnobs,
+) -> Result<(), String> {
     let path = args
         .first()
         .ok_or("batch needs a file of fault lists (one per line)")?;
@@ -274,8 +346,10 @@ fn batch_cmd(args: &[String], json: bool, threads: Option<usize>) -> Result<(), 
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let request = GenerateRequest::from_fault_list(line)
-            .map_err(|e| format!("{path}:{}: {e}", lineno + 1))?;
+        let request = knobs.apply(
+            GenerateRequest::from_fault_list(line)
+                .map_err(|e| format!("{path}:{}: {e}", lineno + 1))?,
+        );
         lists.push(line);
         requests.push(request);
     }

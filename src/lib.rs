@@ -87,16 +87,16 @@ pub use marchgen_atsp::{AtspSolver, SolverChoice, SolverRegistry};
 pub use marchgen_faults::{parse_fault_list, FaultModel};
 pub use marchgen_generator::{
     generate, generate_with, generate_with_registry, Diagnostics, GenerateOutcome, GenerateRequest,
-    Generator, Outcome,
+    Generator, Outcome, VerifierChoice,
 };
 pub use marchgen_march::{known, Direction, MarchElement, MarchOp, MarchTest};
-pub use marchgen_sim::{SimVerifier, Verifier};
+pub use marchgen_sim::{BitSimVerifier, SimVerifier, Verifier};
 
 /// Convenience prelude for examples and downstream quick starts.
 pub mod prelude {
     pub use crate::faults::{parse_fault_list, FaultModel, TestPattern};
     pub use crate::generator::{
-        generate, Diagnostics, GenerateOutcome, GenerateRequest, Generator, Outcome,
+        generate, Diagnostics, GenerateOutcome, GenerateRequest, Generator, Outcome, VerifierChoice,
     };
     pub use crate::march::{known, Direction, MarchElement, MarchOp, MarchTest};
     pub use crate::service::Batch;

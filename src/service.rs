@@ -133,8 +133,22 @@ impl Batch {
                         break;
                     };
                     on_event(BatchEvent::Started { index, request });
-                    let result =
-                        generate_with_registry(request, &self.registry).map_err(Error::from);
+                    // Requests left on automatic search threading would
+                    // each spawn one shard worker per CPU *inside* a
+                    // batch that already runs one worker per CPU — pin
+                    // them to a single shard worker instead. Explicit
+                    // `search_threads` choices are honored as-is, and
+                    // the pinning never changes an outcome (sharding is
+                    // deterministic by construction).
+                    let result = if workers > 1 && request.search_threads == 0 {
+                        generate_with_registry(
+                            &request.clone().with_search_threads(1),
+                            &self.registry,
+                        )
+                    } else {
+                        generate_with_registry(request, &self.registry)
+                    }
+                    .map_err(Error::from);
                     match &result {
                         Ok(outcome) => on_event(BatchEvent::Finished { index, outcome }),
                         Err(error) => on_event(BatchEvent::Failed { index, error }),
@@ -218,5 +232,21 @@ mod tests {
             assert_eq!(a.test, b.test);
             assert_eq!(a.verified, b.verified);
         }
+    }
+
+    /// Requests carrying explicit verifier / search-thread choices run
+    /// unchanged through the batch layer, and the anti-oversubscription
+    /// pinning of auto-threaded requests never changes their outcome.
+    #[test]
+    fn batch_honors_request_level_knobs() {
+        use marchgen_generator::VerifierChoice;
+        let auto = GenerateRequest::from_fault_list("CFin").unwrap();
+        let pinned = auto.clone().with_search_threads(2);
+        let scalar = auto.clone().with_verifier(VerifierChoice::Scalar);
+        let results = Batch::new().threads(3).run(vec![auto, pinned, scalar]);
+        let outcomes: Vec<_> = results.iter().map(|r| r.as_ref().unwrap()).collect();
+        assert_eq!(outcomes[0].test, outcomes[1].test);
+        assert_eq!(outcomes[0].test, outcomes[2].test);
+        assert_eq!(outcomes[0].report, outcomes[2].report);
     }
 }

@@ -35,6 +35,12 @@ fn random_request(rng: &mut Rng) -> GenerateRequest {
         .with_compact(rng.flip())
         .with_check_redundancy(rng.flip())
         .with_max_combinations(rng.range(1, 10_000))
+        .with_verifier(match rng.range(0, 3) {
+            0 => VerifierChoice::Auto,
+            1 => VerifierChoice::Scalar,
+            _ => VerifierChoice::BitParallel,
+        })
+        .with_search_threads(rng.range(0, 9))
 }
 
 /// A synthetic but structurally faithful outcome: real TPs from the
@@ -72,6 +78,7 @@ fn random_outcome(rng: &mut Rng) -> GenerateOutcome {
             expand_micros: rng.next_u64() % 1_000_000,
             search_micros: rng.next_u64() % 1_000_000,
             verify_micros: rng.next_u64() % 1_000_000,
+            shard_micros: rng.vec(0, 6, |rng| rng.next_u64() % 1_000_000),
         },
     }
 }

@@ -1,0 +1,62 @@
+//! Determinism of the sharded in-request candidate search: the worker
+//! thread count is a pure wall-clock knob. Running the same request on
+//! 1, 2 and 8 shard workers must yield **byte-identical**
+//! `GenerateOutcome` JSON once the (inherently run-varying) wall-clock
+//! timings are normalized — every other field, down to the per-shard
+//! timing *count* and the candidate-complexity frontier, is exact.
+
+#![cfg(feature = "serde")]
+
+use marchgen::json::ToJson;
+use marchgen::prelude::*;
+
+/// Zeroes the wall-clock fields; everything else must match exactly.
+/// The *number* of shard timings is preserved — it equals the unique TP
+/// set count and must not depend on the thread count.
+fn normalized_json(mut outcome: GenerateOutcome) -> String {
+    outcome.diagnostics.expand_micros = 0;
+    outcome.diagnostics.search_micros = 0;
+    outcome.diagnostics.verify_micros = 0;
+    outcome.diagnostics.shard_micros = vec![0; outcome.diagnostics.shard_micros.len()];
+    outcome.to_json_pretty()
+}
+
+#[test]
+fn sharded_search_json_is_byte_identical_across_thread_counts() {
+    for faults in [
+        "SAF, TF",
+        "SAF, TF, ADF, CFin",
+        "CFid<u,1>, CFid<d,1>",
+        "CFin, CFid",
+    ] {
+        let base = GenerateRequest::from_fault_list(faults)
+            .unwrap()
+            .with_check_redundancy(true);
+        let reference = normalized_json(generate(&base.clone().with_search_threads(1)).unwrap());
+        for threads in [2usize, 8] {
+            let sharded =
+                normalized_json(generate(&base.clone().with_search_threads(threads)).unwrap());
+            assert_eq!(
+                sharded, reference,
+                "{faults}: {threads} shard workers diverged from serial"
+            );
+        }
+    }
+}
+
+/// The verifier backend is *not* supposed to leak into the outcome
+/// either: scalar and bit-parallel verification serialize identically.
+#[test]
+fn verifier_backend_does_not_change_outcome_json() {
+    for faults in ["SAF, CFin", "CFid<u,0>, CFid<u,1>"] {
+        let base = GenerateRequest::from_fault_list(faults)
+            .unwrap()
+            .with_check_redundancy(true);
+        let scalar =
+            normalized_json(generate(&base.clone().with_verifier(VerifierChoice::Scalar)).unwrap());
+        let packed = normalized_json(
+            generate(&base.clone().with_verifier(VerifierChoice::BitParallel)).unwrap(),
+        );
+        assert_eq!(packed, scalar, "{faults}");
+    }
+}
