@@ -1,0 +1,113 @@
+//! The persistent half of the outcome cache: one JSON file per key.
+//!
+//! Layout: `<dir>/<32-hex-key>.json`, each file a complete
+//! [`GenerateOutcome`] in JSON schema v1 — exactly the daemon/CLI wire
+//! format, so entries are greppable, diffable and portable between
+//! machines. Writes go through a process-unique temp file in the same
+//! directory followed by a rename, which is atomic on POSIX: readers
+//! (including concurrent daemons sharing the directory) never observe a
+//! torn entry. Corrupt or unreadable files behave as misses.
+
+use crate::key::CacheKey;
+use marchgen_generator::GenerateOutcome;
+use marchgen_json::{FromJson, ToJson};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static TEMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A directory of cached outcomes keyed by [`CacheKey`].
+#[derive(Debug)]
+pub struct DiskStore {
+    dir: PathBuf,
+}
+
+impl DiskStore {
+    /// Opens (creating if needed) the store rooted at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation failures.
+    pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<DiskStore> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(DiskStore { dir })
+    }
+
+    /// The directory this store persists into.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn path_for(&self, key: CacheKey) -> PathBuf {
+        self.dir.join(format!("{key}.json"))
+    }
+
+    /// Loads the outcome stored under `key`; `None` when absent or
+    /// undecodable (a corrupt entry is a miss, never an error).
+    #[must_use]
+    pub fn load(&self, key: CacheKey) -> Option<GenerateOutcome> {
+        let text = std::fs::read_to_string(self.path_for(key)).ok()?;
+        GenerateOutcome::from_json_str(&text).ok()
+    }
+
+    /// Persists `outcome` under `key` atomically (temp file + rename).
+    /// Storage failures are swallowed: the cache is an accelerator, and
+    /// a full disk must not fail the request that computed the outcome.
+    pub fn store(&self, key: CacheKey, outcome: &GenerateOutcome) {
+        let final_path = self.path_for(key);
+        let temp_path = self.dir.join(format!(
+            ".{key}.tmp.{}.{}",
+            std::process::id(),
+            TEMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let written = std::fs::write(&temp_path, outcome.to_json_pretty())
+            .and_then(|()| std::fs::rename(&temp_path, &final_path));
+        if written.is_err() {
+            let _ = std::fs::remove_file(&temp_path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use marchgen_generator::{generate, GenerateRequest};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("marchgen-cache-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn store_then_load_roundtrips() {
+        let dir = temp_dir("roundtrip");
+        let store = DiskStore::open(&dir).unwrap();
+        let outcome = generate(&GenerateRequest::from_fault_list("SAF").unwrap()).unwrap();
+        let key = CacheKey(42);
+        assert!(store.load(key).is_none());
+        store.store(key, &outcome);
+        assert_eq!(store.load(key), Some(outcome));
+        // The entry sits at the documented path and no temp litter
+        // remains.
+        let entries: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .collect();
+        assert_eq!(entries, vec![format!("{key}.json")]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_entries_read_as_misses() {
+        let dir = temp_dir("corrupt");
+        let store = DiskStore::open(&dir).unwrap();
+        let key = CacheKey(7);
+        std::fs::write(store.dir().join(format!("{key}.json")), "not json").unwrap();
+        assert!(store.load(key).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,159 @@
+//! Content-addressed cache keys for [`GenerateRequest`]s.
+//!
+//! The key is a 128-bit FNV-1a hash over a canonical, versioned text
+//! encoding of the *normalized* request
+//! ([`GenerateRequest::normalize`]): the fault list sorted in taxonomy
+//! order and deduplicated, every semantic knob spelled out explicitly
+//! (so omitted-and-defaulted JSON fields key identically to explicit
+//! defaults), and a schema tag so a future wire-format revision can
+//! never replay stale entries.
+//!
+//! Two request fields are deliberately **excluded** from the key:
+//! `verifier` and `search_threads`. Both are execution knobs proven
+//! outcome-invariant by the differential and determinism test suites
+//! (`crates/sim/tests/differential.rs`, `tests/determinism.rs`), so
+//! clients running with different thread counts or verification
+//! backends share cache entries for the same generation problem.
+
+use marchgen_generator::GenerateRequest;
+use marchgen_tpg::StartPolicy;
+use std::fmt;
+
+/// Version tag folded into every key. Bump when the canonical encoding
+/// or the outcome schema changes incompatibly.
+pub const KEY_SCHEMA: u32 = 1;
+
+const FNV_OFFSET_128: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+const FNV_PRIME_128: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+
+/// A 128-bit content hash identifying one normalized generation
+/// problem. Renders as (and parses from) 32 lowercase hex digits — the
+/// on-disk file stem of the persistent store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CacheKey(pub u128);
+
+impl CacheKey {
+    /// Parses the 32-hex-digit rendering back into a key.
+    #[must_use]
+    pub fn from_hex(text: &str) -> Option<CacheKey> {
+        if text.len() != 32 {
+            return None;
+        }
+        u128::from_str_radix(text, 16).ok().map(CacheKey)
+    }
+}
+
+impl fmt::Display for CacheKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+fn fnv1a_128(bytes: &[u8]) -> u128 {
+    let mut hash = FNV_OFFSET_128;
+    for &b in bytes {
+        hash ^= u128::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME_128);
+    }
+    hash
+}
+
+/// The canonical key text of a request — the exact bytes that get
+/// hashed. Exposed (rather than kept private to [`request_key`]) so
+/// tests and debugging tools can see *why* two requests collide or
+/// diverge.
+#[must_use]
+pub fn canonical_key_text(request: &GenerateRequest) -> String {
+    let normal = request.clone().normalize();
+    let mut text = format!("marchgen-cache/v{KEY_SCHEMA};faults=");
+    for (k, model) in normal.faults.iter().enumerate() {
+        if k > 0 {
+            text.push(',');
+        }
+        text.push_str(&model.name());
+    }
+    let start = match normal.start_policy {
+        StartPolicy::Uniform => "uniform",
+        StartPolicy::Free => "free",
+    };
+    text.push_str(&format!(
+        ";start={start};solver={};tour_cap={};verify_cells={};compact={};\
+         check_redundancy={};max_combinations={}",
+        normal.solver.key(),
+        normal.tour_cap,
+        normal.verify_cells,
+        normal.compact,
+        normal.check_redundancy,
+        normal.max_combinations,
+    ));
+    text
+}
+
+/// The content-addressed key of a request (see the module docs for what
+/// is and is not part of the identity).
+#[must_use]
+pub fn request_key(request: &GenerateRequest) -> CacheKey {
+    CacheKey(fnv1a_128(canonical_key_text(request).as_bytes()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use marchgen_generator::VerifierChoice;
+
+    #[test]
+    fn hex_roundtrip() {
+        let key = CacheKey(0x0123_4567_89ab_cdef_0011_2233_4455_6677);
+        let text = key.to_string();
+        assert_eq!(text.len(), 32);
+        assert_eq!(CacheKey::from_hex(&text), Some(key));
+        assert_eq!(CacheKey::from_hex("xyz"), None);
+        assert_eq!(CacheKey::from_hex(""), None);
+    }
+
+    #[test]
+    fn fnv_vectors() {
+        // Standard FNV-1a 128 reference values.
+        assert_eq!(fnv1a_128(b""), FNV_OFFSET_128);
+        assert_ne!(fnv1a_128(b"a"), fnv1a_128(b"b"));
+    }
+
+    #[test]
+    fn permuted_fault_lists_share_a_key() {
+        let a = GenerateRequest::from_fault_list("SAF, TF, CFin").unwrap();
+        let b = GenerateRequest::from_fault_list("CFin, SAF, TF").unwrap();
+        assert_ne!(a.faults, b.faults);
+        assert_eq!(request_key(&a), request_key(&b));
+    }
+
+    #[test]
+    fn execution_knobs_do_not_change_the_key() {
+        let base = GenerateRequest::from_fault_list("SAF, CFid").unwrap();
+        let tweaked = base
+            .clone()
+            .with_verifier(VerifierChoice::Scalar)
+            .with_search_threads(7);
+        assert_eq!(request_key(&base), request_key(&tweaked));
+    }
+
+    #[test]
+    fn semantic_fields_change_the_key() {
+        let base = GenerateRequest::from_fault_list("SAF").unwrap();
+        let variants = [
+            GenerateRequest::from_fault_list("SAF, TF").unwrap(),
+            base.clone().with_verify_cells(6),
+            base.clone().with_compact(false),
+            base.clone().with_tour_cap(7),
+            base.clone().with_max_combinations(9),
+            base.clone().with_check_redundancy(true),
+        ];
+        for variant in &variants {
+            assert_ne!(
+                request_key(&base),
+                request_key(variant),
+                "{}",
+                canonical_key_text(variant)
+            );
+        }
+    }
+}

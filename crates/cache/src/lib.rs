@@ -1,0 +1,454 @@
+//! # marchgen-cache
+//!
+//! A content-addressed outcome cache for the `marchgen` generation
+//! engine, dependency-free and shareable across threads and processes.
+//!
+//! Identical generation problems are served from memory (sharded LRU),
+//! then disk (one JSON file per key, written atomically), and only then
+//! recomputed — with *single-flight* coalescing so concurrent identical
+//! requests fund exactly one pipeline run. Keys are 128-bit FNV-1a
+//! hashes of the canonical request encoding (see [`key`]): fault-list
+//! permutations, duplicated models and spelled-out default fields all
+//! collapse onto one entry, while every semantic knob change gets its
+//! own.
+//!
+//! ```
+//! use marchgen_cache::{request_key, OutcomeCache};
+//! use marchgen_generator::{generate, GenerateRequest};
+//!
+//! let cache = OutcomeCache::new(1024);
+//! let request = GenerateRequest::from_fault_list("SAF, TF").unwrap();
+//! let first = cache.get_or_compute(&request, generate).unwrap();
+//! let again = cache.get_or_compute(&request, generate).unwrap();
+//! assert!(!first.diagnostics.cache_hit);
+//! assert!(again.diagnostics.cache_hit);
+//! assert_eq!(first.test, again.test);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod disk;
+pub mod key;
+pub mod lru;
+
+pub use disk::DiskStore;
+pub use key::{canonical_key_text, request_key, CacheKey, KEY_SCHEMA};
+pub use lru::ShardedLru;
+
+use marchgen_generator::{GenerateOutcome, GenerateRequest};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Monotonic counters describing cache behaviour since construction.
+/// All counters are cumulative; rates belong to the caller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStatsSnapshot {
+    /// Lookups answered from the in-memory LRU.
+    pub memory_hits: u64,
+    /// Lookups answered from the persistent store (and promoted to
+    /// memory).
+    pub disk_hits: u64,
+    /// Lookups that found nothing in memory or on disk.
+    pub misses: u64,
+    /// Outcomes inserted (computed fresh and stored).
+    pub inserts: u64,
+    /// LRU entries displaced to make room.
+    pub evictions: u64,
+    /// Requests that coalesced onto another thread's in-flight
+    /// computation instead of starting their own.
+    pub coalesced: u64,
+}
+
+impl CacheStatsSnapshot {
+    /// All hits, memory and disk.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.memory_hits + self.disk_hits
+    }
+}
+
+#[derive(Default)]
+struct CacheStats {
+    memory_hits: AtomicU64,
+    disk_hits: AtomicU64,
+    misses: AtomicU64,
+    inserts: AtomicU64,
+    coalesced: AtomicU64,
+}
+
+/// A completion latch for one in-flight computation. Carries no result:
+/// waiters re-check the cache once the leader finishes, which keeps the
+/// flight type independent of the caller's error type.
+struct Flight {
+    done: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Flight {
+    fn new() -> Flight {
+        Flight {
+            done: Mutex::new(false),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn complete(&self) {
+        // Poison-tolerant: called from the unwind path of FlightGuard.
+        let mut done = match self.done.lock() {
+            Ok(done) => done,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        *done = true;
+        drop(done);
+        self.cv.notify_all();
+    }
+
+    fn wait(&self) {
+        let mut done = self.done.lock().expect("flight lock");
+        while !*done {
+            done = self.cv.wait(done).expect("flight lock");
+        }
+    }
+}
+
+/// Removes and completes a leader's flight on scope exit, including
+/// panic unwinds: waiters wake, re-check the cache, and the next one
+/// becomes the new leader instead of blocking forever.
+struct FlightGuard<'a> {
+    cache: &'a OutcomeCache,
+    key: CacheKey,
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        // Runs during panic unwinds, so it must not panic itself:
+        // tolerate lock poisoning and an already-removed flight.
+        let mut flights = match self.cache.flights.lock() {
+            Ok(flights) => flights,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let landed = flights.remove(&self.key.0);
+        drop(flights);
+        if let Some(landed) = landed {
+            landed.complete();
+        }
+    }
+}
+
+/// The two-level (memory + optional disk), single-flight outcome cache.
+pub struct OutcomeCache {
+    memory: ShardedLru<GenerateOutcome>,
+    disk: Option<DiskStore>,
+    flights: Mutex<HashMap<u128, Arc<Flight>>>,
+    stats: CacheStats,
+}
+
+impl OutcomeCache {
+    /// A memory-only cache holding roughly `capacity` outcomes.
+    #[must_use]
+    pub fn new(capacity: usize) -> OutcomeCache {
+        OutcomeCache {
+            memory: ShardedLru::new(capacity),
+            disk: None,
+            flights: Mutex::new(HashMap::new()),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Attaches a persistent store rooted at `dir` (created if absent):
+    /// misses fall through to disk before computing, and computed
+    /// outcomes are persisted for future processes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation failures.
+    pub fn with_disk(
+        mut self,
+        dir: impl Into<std::path::PathBuf>,
+    ) -> std::io::Result<OutcomeCache> {
+        self.disk = Some(DiskStore::open(dir)?);
+        Ok(self)
+    }
+
+    /// Looks `key` up in memory, then disk. Hits are re-stamped
+    /// `cache_hit = true` in their [`Diagnostics`]
+    /// (`marchgen_generator::Diagnostics`), so replayed outcomes are
+    /// byte-comparable to fresh ones modulo the diagnostics block. A
+    /// miss counts toward [`CacheStatsSnapshot::misses`].
+    #[must_use]
+    pub fn lookup(&self, key: CacheKey) -> Option<GenerateOutcome> {
+        let hit = self.peek(key);
+        if hit.is_none() {
+            self.stats.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
+    /// [`OutcomeCache::lookup`] minus the miss accounting: a probe that
+    /// will be followed by [`OutcomeCache::get_or_compute`] on a miss
+    /// (which counts it) uses this, so one served request never counts
+    /// two misses. Hits still count — they are final answers.
+    #[must_use]
+    pub fn peek(&self, key: CacheKey) -> Option<GenerateOutcome> {
+        let mut outcome = if let Some(hit) = self.memory.get(key) {
+            self.stats.memory_hits.fetch_add(1, Ordering::Relaxed);
+            hit
+        } else {
+            let disk_hit = self.disk.as_ref().and_then(|d| d.load(key))?;
+            self.stats.disk_hits.fetch_add(1, Ordering::Relaxed);
+            // Promote so the next lookup skips the filesystem.
+            self.memory.insert(key, disk_hit.clone());
+            disk_hit
+        };
+        outcome.diagnostics.cache_hit = true;
+        Some(outcome)
+    }
+
+    /// Stores a freshly computed outcome under `key` (memory and, when
+    /// attached, disk). The stored copy is always stamped
+    /// `cache_hit = false`; [`OutcomeCache::lookup`] re-stamps on the
+    /// way out.
+    pub fn insert(&self, key: CacheKey, outcome: &GenerateOutcome) {
+        let mut stored = outcome.clone();
+        stored.diagnostics.cache_hit = false;
+        self.stats.inserts.fetch_add(1, Ordering::Relaxed);
+        if let Some(disk) = &self.disk {
+            disk.store(key, &stored);
+        }
+        self.memory.insert(key, stored);
+    }
+
+    /// The heart of the cache: returns the outcome for `request`,
+    /// computing it with `compute` only when no cached copy exists and
+    /// no other thread is already computing the same key
+    /// (single-flight). Waiters block until the leader finishes, then
+    /// read its result from the cache; if the leader *failed*, one
+    /// waiter takes over as the new leader and retries (errors are
+    /// cheap — parse and validation failures — and never cached).
+    ///
+    /// `compute` always receives the **canonical**
+    /// ([`GenerateRequest::normalize`]d) form of the request, never the
+    /// raw one: the stored entry must be a pure function of the key, so
+    /// a request that bypassed the clamping builders (or listed its
+    /// faults in a different order) cannot seed the shared entry with
+    /// bytes a differently-spelled twin would not have produced.
+    ///
+    /// # Errors
+    ///
+    /// Whatever `compute` returns; errors are never cached.
+    pub fn get_or_compute<E>(
+        &self,
+        request: &GenerateRequest,
+        compute: impl Fn(&GenerateRequest) -> Result<GenerateOutcome, E>,
+    ) -> Result<GenerateOutcome, E> {
+        let key = request_key(request);
+        loop {
+            if let Some(hit) = self.lookup(key) {
+                return Ok(hit);
+            }
+            let flight = {
+                let mut flights = self.flights.lock().expect("flights lock");
+                match flights.get(&key.0) {
+                    Some(in_flight) => Some(Arc::clone(in_flight)),
+                    None => {
+                        flights.insert(key.0, Arc::new(Flight::new()));
+                        None
+                    }
+                }
+            };
+            match flight {
+                None => {
+                    // Leader: compute, publish, land the flight. (The
+                    // miss was already counted by the failed lookup.)
+                    // The guard lands the flight even if `compute`
+                    // panics — an abandoned flight would wedge every
+                    // future request for this key forever.
+                    let _guard = FlightGuard { cache: self, key };
+                    let result = compute(&request.clone().normalize());
+                    if let Ok(outcome) = &result {
+                        self.insert(key, outcome);
+                    }
+                    return result;
+                }
+                Some(in_flight) => {
+                    // Waiter: coalesce, then re-check from the top.
+                    self.stats.coalesced.fetch_add(1, Ordering::Relaxed);
+                    in_flight.wait();
+                }
+            }
+        }
+    }
+
+    /// A consistent-enough snapshot of the cumulative counters (each
+    /// counter is read atomically; the set is not).
+    #[must_use]
+    pub fn stats(&self) -> CacheStatsSnapshot {
+        CacheStatsSnapshot {
+            memory_hits: self.stats.memory_hits.load(Ordering::Relaxed),
+            disk_hits: self.stats.disk_hits.load(Ordering::Relaxed),
+            misses: self.stats.misses.load(Ordering::Relaxed),
+            inserts: self.stats.inserts.load(Ordering::Relaxed),
+            evictions: self.memory.evictions(),
+            coalesced: self.stats.coalesced.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Outcomes currently resident in memory.
+    #[must_use]
+    pub fn resident(&self) -> usize {
+        self.memory.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use marchgen_generator::{generate, GenerateError};
+    use std::sync::atomic::AtomicUsize;
+
+    fn req(list: &str) -> GenerateRequest {
+        GenerateRequest::from_fault_list(list).unwrap()
+    }
+
+    #[test]
+    fn hit_path_stamps_cache_hit() {
+        let cache = OutcomeCache::new(64);
+        let request = req("SAF");
+        let computed = cache.get_or_compute(&request, generate).unwrap();
+        assert!(!computed.diagnostics.cache_hit);
+        let replayed = cache.get_or_compute(&request, generate).unwrap();
+        assert!(replayed.diagnostics.cache_hit);
+        // Byte-comparable modulo diagnostics.
+        assert_eq!(computed.test, replayed.test);
+        assert_eq!(computed.tour, replayed.tour);
+        assert_eq!(computed.report, replayed.report);
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.memory_hits, 1);
+        assert_eq!(stats.inserts, 1);
+    }
+
+    #[test]
+    fn permuted_requests_share_an_entry() {
+        let cache = OutcomeCache::new(64);
+        let _ = cache
+            .get_or_compute(&req("SAF, TF, CFin"), generate)
+            .unwrap();
+        let replay = cache
+            .get_or_compute(&req("CFin, TF, SAF"), generate)
+            .unwrap();
+        assert!(replay.diagnostics.cache_hit);
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn errors_are_returned_and_never_cached() {
+        let cache = OutcomeCache::new(64);
+        let empty = GenerateRequest::default();
+        for _ in 0..2 {
+            let err = cache.get_or_compute(&empty, generate).unwrap_err();
+            assert!(matches!(err, GenerateError::EmptyFaultList));
+        }
+        // Both calls computed — failures leave no entry behind.
+        assert_eq!(cache.stats().misses, 2);
+        assert_eq!(cache.stats().inserts, 0);
+        assert_eq!(cache.resident(), 0);
+    }
+
+    #[test]
+    fn disk_round_trip_across_cache_instances() {
+        let dir =
+            std::env::temp_dir().join(format!("marchgen-cache-lib-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let request = req("SAF, TF");
+        let computed = {
+            let cache = OutcomeCache::new(64).with_disk(&dir).unwrap();
+            cache.get_or_compute(&request, generate).unwrap()
+        };
+        // A fresh process (modelled by a fresh cache) hits disk.
+        let cache = OutcomeCache::new(64).with_disk(&dir).unwrap();
+        let replayed = cache.get_or_compute(&request, generate).unwrap();
+        assert!(replayed.diagnostics.cache_hit);
+        assert_eq!(computed.test, replayed.test);
+        let stats = cache.stats();
+        assert_eq!(stats.disk_hits, 1);
+        assert_eq!(stats.misses, 0);
+        // The disk hit was promoted: a second lookup stays in memory.
+        let _ = cache.get_or_compute(&request, generate).unwrap();
+        assert_eq!(cache.stats().memory_hits, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A leader whose compute panics must land its flight on the way
+    /// out — otherwise every later request for the key blocks forever.
+    #[test]
+    fn a_panicking_leader_does_not_wedge_the_key() {
+        let cache = OutcomeCache::new(64);
+        let request = req("SAF");
+        let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = cache.get_or_compute(&request, |_| -> Result<GenerateOutcome, ()> {
+                panic!("compute exploded")
+            });
+        }));
+        assert!(attempt.is_err(), "the panic propagates to the caller");
+        // The key is free again: a fresh compute succeeds and caches.
+        let outcome = cache.get_or_compute(&request, generate).unwrap();
+        assert_eq!(outcome.complexity(), 4);
+        assert!(
+            cache
+                .get_or_compute(&request, generate)
+                .unwrap()
+                .diagnostics
+                .cache_hit
+        );
+    }
+
+    /// The computation a leader runs is the canonical form: a request
+    /// that bypassed the clamping builders cannot seed the shared entry
+    /// with bytes its well-formed twin would not produce.
+    #[test]
+    fn leaders_compute_the_canonical_form() {
+        let cache = OutcomeCache::new(64);
+        let mut raw = req("SAF");
+        raw.tour_cap = 0; // bypasses with_tour_cap's clamp
+        let outcome = cache
+            .get_or_compute(&raw, |r| {
+                assert_eq!(r.tour_cap, 1, "compute sees the clamped request");
+                generate(r)
+            })
+            .unwrap();
+        assert_eq!(outcome.complexity(), 4);
+        // The well-formed twin (`tour_cap` clamped to 1 by the builder,
+        // exactly what `0` normalizes to) hits the same entry.
+        let twin = cache
+            .get_or_compute(&req("SAF").with_tour_cap(1), generate)
+            .unwrap();
+        assert!(twin.diagnostics.cache_hit);
+    }
+
+    #[test]
+    fn single_flight_coalesces_concurrent_identical_requests() {
+        let cache = OutcomeCache::new(64);
+        let computes = AtomicUsize::new(0);
+        let request = req("SAF, TF, ADF, CFin, CFid");
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    let outcome = cache
+                        .get_or_compute(&request, |r| {
+                            computes.fetch_add(1, Ordering::SeqCst);
+                            generate(r)
+                        })
+                        .unwrap();
+                    assert_eq!(outcome.complexity(), 10);
+                });
+            }
+        });
+        // Exactly one thread ran the pipeline; the rest coalesced or
+        // hit the finished entry.
+        assert_eq!(computes.load(Ordering::SeqCst), 1);
+        assert_eq!(cache.stats().inserts, 1);
+    }
+}

@@ -1,0 +1,167 @@
+//! A sharded, mutex-striped LRU map.
+//!
+//! Keys are pre-hashed [`CacheKey`]s, so shard selection is a bit mask
+//! over the high key bits — no second hash. Each shard is an
+//! independently locked map with approximate-LRU eviction: entries
+//! carry the global access tick at which they were last touched, and an
+//! over-capacity insert evicts the stalest entry of that shard. The
+//! scan is `O(shard len)` but runs only on eviction, and shard
+//! capacities are small (total capacity / shard count), so the constant
+//! is tiny next to a single pipeline run.
+
+use crate::key::CacheKey;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+const SHARDS: usize = 16;
+
+struct Entry<V> {
+    value: V,
+    touched: u64,
+}
+
+/// A concurrent LRU keyed by [`CacheKey`], value type `V` (cloned out
+/// on hit).
+pub struct ShardedLru<V> {
+    shards: Vec<Mutex<HashMap<u128, Entry<V>>>>,
+    per_shard_capacity: usize,
+    tick: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl<V: Clone> ShardedLru<V> {
+    /// An LRU holding roughly `capacity` entries across all shards
+    /// (clamped so every shard holds at least one).
+    #[must_use]
+    pub fn new(capacity: usize) -> ShardedLru<V> {
+        ShardedLru {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            per_shard_capacity: (capacity / SHARDS).max(1),
+            tick: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: CacheKey) -> &Mutex<HashMap<u128, Entry<V>>> {
+        // High bits: FNV-1a diffuses well, and the low bits already pick
+        // the on-disk fan-out in a future sharded store.
+        &self.shards[(key.0 >> 124) as usize % SHARDS]
+    }
+
+    /// Looks up `key`, refreshing its recency on hit.
+    #[must_use]
+    pub fn get(&self, key: CacheKey) -> Option<V> {
+        let mut shard = self.shard(key).lock().expect("lru shard lock");
+        let entry = shard.get_mut(&key.0)?;
+        entry.touched = self.tick.fetch_add(1, Ordering::Relaxed);
+        Some(entry.value.clone())
+    }
+
+    /// Inserts (or refreshes) `key`, evicting the stalest entry of the
+    /// shard when it would exceed its capacity.
+    pub fn insert(&self, key: CacheKey, value: V) {
+        let touched = self.tick.fetch_add(1, Ordering::Relaxed);
+        let mut shard = self.shard(key).lock().expect("lru shard lock");
+        if shard.len() >= self.per_shard_capacity && !shard.contains_key(&key.0) {
+            if let Some(&stalest) = shard
+                .iter()
+                .min_by_key(|(_, entry)| entry.touched)
+                .map(|(k, _)| k)
+            {
+                shard.remove(&stalest);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        shard.insert(key.0, Entry { value, touched });
+    }
+
+    /// Entries currently resident across all shards.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("lru shard lock").len())
+            .sum()
+    }
+
+    /// `true` when no entry is resident.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total evictions since construction.
+    #[must_use]
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(n: u128) -> CacheKey {
+        CacheKey(n)
+    }
+
+    #[test]
+    fn get_after_insert() {
+        let lru = ShardedLru::new(64);
+        assert!(lru.is_empty());
+        lru.insert(key(1), "one");
+        lru.insert(key(2), "two");
+        assert_eq!(lru.get(key(1)), Some("one"));
+        assert_eq!(lru.get(key(3)), None);
+        assert_eq!(lru.len(), 2);
+    }
+
+    #[test]
+    fn reinsert_replaces_without_eviction() {
+        let lru = ShardedLru::new(16);
+        lru.insert(key(5), 1);
+        lru.insert(key(5), 2);
+        assert_eq!(lru.get(key(5)), Some(2));
+        assert_eq!(lru.len(), 1);
+        assert_eq!(lru.evictions(), 0);
+    }
+
+    #[test]
+    fn eviction_prefers_the_stalest_entry() {
+        // Capacity 16 → one slot per shard; keys that land in the same
+        // shard (same top 4 bits) contend for it.
+        let lru = ShardedLru::new(16);
+        let a = key(0x1);
+        let b = key(0x2);
+        lru.insert(a, "a");
+        lru.insert(b, "b"); // evicts a (stalest, same shard 0)
+        assert_eq!(lru.get(a), None);
+        assert_eq!(lru.get(b), Some("b"));
+        assert_eq!(lru.evictions(), 1);
+    }
+
+    #[test]
+    fn recency_refresh_protects_hot_entries() {
+        let lru = ShardedLru::new(32); // two slots per shard
+        let (a, b, c) = (key(0x1), key(0x2), key(0x3));
+        lru.insert(a, "a");
+        lru.insert(b, "b");
+        assert_eq!(lru.get(a), Some("a")); // refresh a; b is now stalest
+        lru.insert(c, "c"); // evicts b
+        assert_eq!(lru.get(a), Some("a"));
+        assert_eq!(lru.get(b), None);
+        assert_eq!(lru.get(c), Some("c"));
+    }
+
+    #[test]
+    fn keys_spread_across_shards() {
+        let lru = ShardedLru::new(SHARDS * 4);
+        for i in 0..SHARDS as u128 {
+            lru.insert(key(i << 124), i);
+        }
+        // One entry per shard — nothing evicted.
+        assert_eq!(lru.len(), SHARDS);
+        assert_eq!(lru.evictions(), 0);
+    }
+}

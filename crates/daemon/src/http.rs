@@ -1,0 +1,471 @@
+//! A minimal, strict HTTP/1.1 codec over blocking streams.
+//!
+//! Scope is exactly what the service front-end needs: request-line +
+//! header parsing with hard limits, `Content-Length` bodies (chunked
+//! uploads are rejected — the wire format is small JSON documents),
+//! keep-alive by default, and structured JSON error responses. Every
+//! limit violation maps to a proper status code instead of a dropped
+//! connection.
+
+use marchgen_json::Json;
+use std::io::{BufRead, Write};
+
+/// Longest accepted request line (method + path + version).
+const MAX_REQUEST_LINE: usize = 8 * 1024;
+/// Longest accepted single header line.
+const MAX_HEADER_LINE: usize = 8 * 1024;
+/// Most headers accepted per request.
+const MAX_HEADERS: usize = 64;
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Uppercase method token (`GET`, `POST`, ...).
+    pub method: String,
+    /// The path component as sent (query strings are not split off;
+    /// the service API does not use them).
+    pub path: String,
+    /// Header `(name, value)` pairs; names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+    /// `true` when the request line said `HTTP/1.0`, whose connection
+    /// default is close (1.1 defaults to keep-alive).
+    pub http10: bool,
+}
+
+impl Request {
+    /// First header value under `name` (case-insensitive).
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// `true` when the connection should drop after this exchange: the
+    /// client said `Connection: close`, or spoke HTTP/1.0 without
+    /// opting into keep-alive (1.0's default is close).
+    #[must_use]
+    pub fn wants_close(&self) -> bool {
+        match self.header("connection") {
+            Some(value) => value.eq_ignore_ascii_case("close"),
+            None => self.http10,
+        }
+    }
+}
+
+/// An HTTP response ready to serialize.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Status code (reason phrase derived).
+    pub status: u16,
+    /// Response body bytes.
+    pub body: String,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Close the connection after sending (errors that leave the stream
+    /// in an undefined position always close).
+    pub close: bool,
+    /// Ask the server to begin a graceful shutdown once this response
+    /// is on the wire (used by the admin shutdown endpoint).
+    pub shutdown: bool,
+}
+
+impl Response {
+    /// A `200 OK` JSON response.
+    #[must_use]
+    pub fn json(doc: &Json) -> Response {
+        Response {
+            status: 200,
+            body: doc.render(),
+            content_type: "application/json",
+            close: false,
+            shutdown: false,
+        }
+    }
+
+    /// A structured JSON error: `{"error": {"status", "code", "message"}}`.
+    #[must_use]
+    pub fn error(status: u16, code: &str, message: impl Into<String>) -> Response {
+        let doc = Json::object([(
+            "error",
+            Json::object([
+                ("status", Json::Int(i64::from(status))),
+                ("code", Json::from(code)),
+                ("message", Json::Str(message.into())),
+            ]),
+        )]);
+        Response {
+            status,
+            body: doc.render(),
+            content_type: "application/json",
+            // 4xx responses keep the connection when the stream is
+            // still in sync; the parser overrides `close` when not.
+            close: status >= 500,
+            shutdown: false,
+        }
+    }
+
+    /// Builder-style: close the connection after this response.
+    #[must_use]
+    pub fn with_close(mut self) -> Response {
+        self.close = true;
+        self
+    }
+
+    /// Builder-style: trigger graceful server shutdown after sending.
+    #[must_use]
+    pub fn with_shutdown(mut self) -> Response {
+        self.shutdown = true;
+        self
+    }
+
+    /// Serializes onto `stream` (HTTP/1.1, explicit `Content-Length`).
+    /// The whole response is assembled in memory and written in one
+    /// call, so it leaves as a single segment on unfragmented paths.
+    ///
+    /// # Errors
+    ///
+    /// Propagates stream write failures.
+    pub fn write_to(&self, stream: &mut impl Write) -> std::io::Result<()> {
+        let connection = if self.close { "close" } else { "keep-alive" };
+        let mut wire = format!(
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {connection}\r\n\r\n",
+            self.status,
+            reason(self.status),
+            self.content_type,
+            self.body.len(),
+        );
+        wire.push_str(&self.body);
+        stream.write_all(wire.as_bytes())?;
+        stream.flush()
+    }
+}
+
+/// Canonical reason phrases for the codes this daemon emits.
+#[must_use]
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        411 => "Length Required",
+        413 => "Content Too Large",
+        422 => "Unprocessable Content",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// The outcome of reading one request off a connection.
+#[derive(Debug)]
+pub enum ReadOutcome {
+    /// A complete, well-formed request.
+    Complete(Request),
+    /// The peer closed (or timed out) between requests — a normal
+    /// keep-alive termination, nothing to answer.
+    Closed,
+    /// The request violated the protocol or a limit; answer with this
+    /// response (already marked close) and drop the connection.
+    Reject(Response),
+}
+
+fn reject(status: u16, code: &str, message: impl Into<String>) -> ReadOutcome {
+    ReadOutcome::Reject(Response::error(status, code, message).with_close())
+}
+
+/// Reads one line terminated by `\n` (tolerating `\r\n`), bounded.
+/// `Ok(None)` on clean EOF before any byte.
+fn read_line(
+    reader: &mut impl BufRead,
+    limit: usize,
+) -> std::io::Result<Option<Result<String, ()>>> {
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match reader.read(&mut byte) {
+            Ok(0) => {
+                return Ok(if line.is_empty() { None } else { Some(Err(())) });
+            }
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    if line.last() == Some(&b'\r') {
+                        line.pop();
+                    }
+                    return Ok(Some(String::from_utf8(line).map_err(|_| ())));
+                }
+                if line.len() >= limit {
+                    return Ok(Some(Err(())));
+                }
+                line.push(byte[0]);
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Reads and validates one request. `max_body` bounds the accepted
+/// `Content-Length`; larger bodies are answered `413` without reading.
+///
+/// # Errors
+///
+/// Propagates underlying I/O failures (including read timeouts, which
+/// the server layer treats as [`ReadOutcome::Closed`]).
+pub fn read_request(reader: &mut impl BufRead, max_body: usize) -> std::io::Result<ReadOutcome> {
+    // ---- request line ---------------------------------------------------
+    let line = match read_line(reader, MAX_REQUEST_LINE)? {
+        None => return Ok(ReadOutcome::Closed),
+        Some(Err(())) => return Ok(reject(400, "bad_request_line", "unreadable request line")),
+        Some(Ok(line)) => line,
+    };
+    let mut parts = line.split(' ');
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v), None) if !m.is_empty() && p.starts_with('/') => {
+            (m.to_owned(), p.to_owned(), v)
+        }
+        _ => {
+            return Ok(reject(
+                400,
+                "bad_request_line",
+                format!("malformed request line {line:?}"),
+            ))
+        }
+    };
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Ok(reject(
+            400,
+            "bad_version",
+            format!("unsupported protocol version {version:?}"),
+        ));
+    }
+
+    // ---- headers --------------------------------------------------------
+    let mut headers: Vec<(String, String)> = Vec::new();
+    loop {
+        let line = match read_line(reader, MAX_HEADER_LINE)? {
+            None => {
+                return Ok(reject(
+                    400,
+                    "truncated_headers",
+                    "connection closed mid-headers",
+                ))
+            }
+            Some(Err(())) => {
+                return Ok(reject(431, "oversized_header", "header line exceeds limit"))
+            }
+            Some(Ok(line)) => line,
+        };
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Ok(reject(
+                431,
+                "too_many_headers",
+                "more headers than accepted",
+            ));
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Ok(reject(
+                400,
+                "bad_header",
+                format!("malformed header {line:?}"),
+            ));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
+    }
+
+    let mut request = Request {
+        method,
+        path,
+        headers,
+        body: Vec::new(),
+        http10: version == "HTTP/1.0",
+    };
+
+    // ---- body -----------------------------------------------------------
+    if request
+        .header("transfer-encoding")
+        .is_some_and(|v| !v.eq_ignore_ascii_case("identity"))
+    {
+        return Ok(reject(
+            411,
+            "length_required",
+            "chunked transfer encoding is not supported; send Content-Length",
+        ));
+    }
+    let content_length = match request.header("content-length") {
+        None => 0,
+        Some(text) => match text.parse::<usize>() {
+            Ok(n) => n,
+            Err(_) => {
+                return Ok(reject(
+                    400,
+                    "bad_content_length",
+                    format!("unparseable content-length {text:?}"),
+                ))
+            }
+        },
+    };
+    if content_length > max_body {
+        return Ok(reject(
+            413,
+            "body_too_large",
+            format!("request body of {content_length} bytes exceeds the {max_body} byte limit"),
+        ));
+    }
+    if content_length > 0 {
+        let mut body = vec![0u8; content_length];
+        if reader.read_exact(&mut body).is_err() {
+            return Ok(reject(400, "truncated_body", "connection closed mid-body"));
+        }
+        request.body = body;
+    }
+    Ok(ReadOutcome::Complete(request))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(text: &str) -> ReadOutcome {
+        read_request(&mut BufReader::new(text.as_bytes()), 1024).unwrap()
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let outcome =
+            parse("POST /v1/generate HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\nhello");
+        let ReadOutcome::Complete(req) = outcome else {
+            panic!("expected a complete request, got {outcome:?}");
+        };
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/generate");
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.body, b"hello");
+        assert!(!req.wants_close());
+    }
+
+    #[test]
+    fn get_without_body() {
+        let ReadOutcome::Complete(req) = parse("GET /v1/health HTTP/1.1\r\n\r\n") else {
+            panic!("expected complete");
+        };
+        assert_eq!(req.method, "GET");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn eof_before_bytes_is_a_clean_close() {
+        assert!(matches!(parse(""), ReadOutcome::Closed));
+    }
+
+    #[test]
+    fn oversized_body_rejects_with_413() {
+        let outcome = parse("POST /v1/generate HTTP/1.1\r\nContent-Length: 9999\r\n\r\n");
+        let ReadOutcome::Reject(resp) = outcome else {
+            panic!("expected a reject");
+        };
+        assert_eq!(resp.status, 413);
+        assert!(resp.close);
+        assert!(resp.body.contains("body_too_large"));
+    }
+
+    #[test]
+    fn garbage_rejects_with_400() {
+        for bad in [
+            "NOT A REQUEST\r\n\r\n",
+            "GET missing-slash HTTP/1.1\r\n\r\n",
+            "GET /x HTTP/3.0\r\n\r\n",
+            "GET /x HTTP/1.1\r\nbroken header line\r\n\r\n",
+            "POST /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n",
+        ] {
+            let outcome = parse(bad);
+            let ReadOutcome::Reject(resp) = outcome else {
+                panic!("{bad:?} should reject, got {outcome:?}");
+            };
+            assert_eq!(resp.status, 400, "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn chunked_uploads_are_rejected() {
+        let outcome = parse("POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n");
+        let ReadOutcome::Reject(resp) = outcome else {
+            panic!("expected reject");
+        };
+        assert_eq!(resp.status, 411);
+    }
+
+    #[test]
+    fn truncated_body_rejects() {
+        let outcome = parse("POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort");
+        let ReadOutcome::Reject(resp) = outcome else {
+            panic!("expected reject");
+        };
+        assert_eq!(resp.status, 400);
+    }
+
+    #[test]
+    fn http10_defaults_to_close_unless_keepalive_requested() {
+        let ReadOutcome::Complete(req) = parse("GET /v1/health HTTP/1.0\r\n\r\n") else {
+            panic!("expected complete");
+        };
+        assert!(req.http10);
+        assert!(req.wants_close(), "HTTP/1.0 default is close");
+        let ReadOutcome::Complete(req) =
+            parse("GET /v1/health HTTP/1.0\r\nConnection: keep-alive\r\n\r\n")
+        else {
+            panic!("expected complete");
+        };
+        assert!(!req.wants_close(), "explicit keep-alive opts in");
+        let ReadOutcome::Complete(req) = parse("GET /v1/health HTTP/1.1\r\n\r\n") else {
+            panic!("expected complete");
+        };
+        assert!(!req.wants_close(), "HTTP/1.1 default is keep-alive");
+    }
+
+    #[test]
+    fn connection_close_header_is_honored() {
+        let ReadOutcome::Complete(req) =
+            parse("GET /v1/health HTTP/1.1\r\nConnection: close\r\n\r\n")
+        else {
+            panic!("expected complete");
+        };
+        assert!(req.wants_close());
+    }
+
+    #[test]
+    fn responses_serialize_with_length_and_connection() {
+        let mut wire = Vec::new();
+        Response::json(&Json::object([("ok", Json::Bool(true))]))
+            .write_to(&mut wire)
+            .unwrap();
+        let text = String::from_utf8(wire).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("content-length: 11"), "{text}");
+        assert!(text.contains("connection: keep-alive"), "{text}");
+        assert!(text.ends_with("{\"ok\":true}"), "{text}");
+
+        let mut wire = Vec::new();
+        Response::error(429, "queue_full", "try later")
+            .with_close()
+            .write_to(&mut wire)
+            .unwrap();
+        let text = String::from_utf8(wire).unwrap();
+        assert!(
+            text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"),
+            "{text}"
+        );
+        assert!(text.contains("connection: close"), "{text}");
+        assert!(text.contains("\"code\":\"queue_full\""), "{text}");
+    }
+}

@@ -1,0 +1,344 @@
+//! The connection engine: accept loop, bounded queue, worker pool.
+//!
+//! Threading model (std-only, no async runtime — the generation core is
+//! synchronous by design, so the daemon owns concurrency with plain
+//! threads):
+//!
+//! * one accept loop polls the listener and pushes connections into a
+//!   **bounded** queue — when the queue is full the connection is
+//!   answered `429` immediately, which is the backpressure surface;
+//! * `workers` threads pop connections and serve them keep-alive,
+//!   dispatching each parsed request to the application [`Handler`];
+//! * graceful shutdown (a handler response flagged
+//!   [`Response::with_shutdown`], or [`ShutdownSignal::trigger`]) stops
+//!   the accept loop, drains queued connections with `503`, lets
+//!   in-flight requests finish, and joins every thread before
+//!   [`Server::run`] returns.
+
+use crate::http::{read_request, ReadOutcome, Request, Response};
+use crate::stats::ServerStats;
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Most requests served on one keep-alive connection before it is
+/// recycled.
+const MAX_KEEPALIVE_REQUESTS: usize = 1024;
+/// Accept-loop poll interval while idle or draining.
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
+
+/// The application half of the daemon: maps one parsed request to one
+/// response. Implementations must be thread-safe — workers call
+/// concurrently.
+pub trait Handler: Send + Sync {
+    /// Produces the response for `request`.
+    fn handle(&self, request: &Request) -> Response;
+}
+
+impl<F: Fn(&Request) -> Response + Send + Sync> Handler for F {
+    fn handle(&self, request: &Request) -> Response {
+        self(request)
+    }
+}
+
+/// Tunables of the connection engine.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads serving connections (`0` = one per available
+    /// CPU).
+    pub workers: usize,
+    /// Bound of the accept queue; connections beyond it get `429`.
+    pub queue_capacity: usize,
+    /// Largest accepted request body, bytes; beyond it `413`.
+    pub max_body_bytes: usize,
+    /// Per-read socket timeout; an idle keep-alive connection is
+    /// recycled after this long.
+    pub read_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            workers: 0,
+            queue_capacity: 256,
+            max_body_bytes: 1 << 20,
+            read_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// A cloneable handle that triggers graceful shutdown from outside the
+/// request path (signal handlers, tests).
+#[derive(Debug, Clone)]
+pub struct ShutdownSignal(Arc<AtomicBool>);
+
+impl ShutdownSignal {
+    /// Begins graceful shutdown; idempotent.
+    pub fn trigger(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    /// `true` once shutdown has been requested.
+    #[must_use]
+    pub fn is_triggered(&self) -> bool {
+        self.0.load(Ordering::SeqCst)
+    }
+}
+
+/// A bound-and-listening service daemon; [`Server::run`] serves until
+/// shutdown.
+pub struct Server<H> {
+    listener: TcpListener,
+    config: ServerConfig,
+    handler: H,
+    stats: Arc<ServerStats>,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl<H: Handler> Server<H> {
+    /// Binds `addr` (e.g. `"127.0.0.1:8378"`; port `0` picks a free
+    /// one) and prepares the engine. Nothing is served until
+    /// [`Server::run`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+        handler: H,
+    ) -> std::io::Result<Server<H>> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(Server {
+            listener,
+            config,
+            handler,
+            stats: Arc::new(ServerStats::default()),
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (useful after binding port `0`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying socket query failure.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The live server counters (share with the handler so `/v1/stats`
+    /// can report them).
+    #[must_use]
+    pub fn stats(&self) -> Arc<ServerStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// A handle that triggers graceful shutdown from another thread.
+    #[must_use]
+    pub fn shutdown_signal(&self) -> ShutdownSignal {
+        ShutdownSignal(Arc::clone(&self.shutdown))
+    }
+
+    /// Serves until shutdown is triggered, then drains and joins every
+    /// worker. Accept errors are not fatal: the loop keeps serving.
+    pub fn run(self) {
+        let Server {
+            listener,
+            config,
+            handler,
+            stats,
+            shutdown,
+        } = self;
+        listener
+            .set_nonblocking(true)
+            .expect("listener nonblocking mode");
+        let workers = if config.workers == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            config.workers
+        };
+        let queue: Mutex<VecDeque<TcpStream>> = Mutex::new(VecDeque::new());
+        let available = Condvar::new();
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let conn = {
+                        let mut q = queue.lock().expect("accept queue lock");
+                        loop {
+                            if let Some(conn) = q.pop_front() {
+                                break Some(conn);
+                            }
+                            if shutdown.load(Ordering::SeqCst) {
+                                break None;
+                            }
+                            q = available
+                                .wait_timeout(q, ACCEPT_POLL * 20)
+                                .expect("accept queue lock")
+                                .0;
+                        }
+                    };
+                    let Some(stream) = conn else { break };
+                    if shutdown.load(Ordering::SeqCst) {
+                        // Drain: the connection was queued before the
+                        // shutdown request — turn it away cleanly.
+                        stats.shutdown_reject();
+                        let mut stream = stream;
+                        let _ = Response::error(503, "shutting_down", "server is shutting down")
+                            .with_close()
+                            .write_to(&mut stream);
+                        continue;
+                    }
+                    serve_connection(stream, &config, &handler, &stats, &shutdown);
+                });
+            }
+
+            // ---- accept loop (this thread) ------------------------------
+            while !shutdown.load(Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        stats.connection();
+                        let mut q = queue.lock().expect("accept queue lock");
+                        if q.len() >= config.queue_capacity {
+                            drop(q);
+                            stats.queue_full();
+                            let mut stream = stream;
+                            let _ = Response::error(
+                                429,
+                                "queue_full",
+                                "accept queue is full; retry with backoff",
+                            )
+                            .with_close()
+                            .write_to(&mut stream);
+                        } else {
+                            q.push_back(stream);
+                            drop(q);
+                            available.notify_one();
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(ACCEPT_POLL);
+                    }
+                    Err(_) => std::thread::sleep(ACCEPT_POLL),
+                }
+            }
+            available.notify_all();
+        });
+    }
+}
+
+/// Discards unread request bytes before a connection is dropped with
+/// data still queued by the peer: without this, `close()` sends RST and
+/// the kernel throws away the un-acknowledged response bytes. Bounded
+/// in both volume and time — a hostile streamer cannot pin the worker.
+fn drain_before_close(stream: &TcpStream, reader: &mut impl std::io::Read) {
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+    let mut scratch = [0u8; 8192];
+    let mut budget: usize = 4 << 20;
+    while budget > 0 {
+        match reader.read(&mut scratch) {
+            Ok(0) | Err(_) => return,
+            Ok(n) => budget = budget.saturating_sub(n),
+        }
+    }
+}
+
+/// Serves one connection keep-alive until close, error, idle timeout or
+/// the keep-alive cap.
+///
+/// Between requests the worker polls in short slices so a graceful
+/// shutdown is noticed within [`ACCEPT_POLL`]-scale latency even while
+/// parked on an idle keep-alive connection; once bytes start arriving,
+/// the full `read_timeout` applies to the request.
+fn serve_connection(
+    stream: TcpStream,
+    config: &ServerConfig,
+    handler: &impl Handler,
+    stats: &ServerStats,
+    shutdown: &AtomicBool,
+) {
+    let boundary_poll = Duration::from_millis(100);
+    // BSD-derived platforms make accepted sockets inherit the
+    // listener's O_NONBLOCK; this loop assumes blocking reads with
+    // timeouts, so reset explicitly (a no-op on Linux).
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    for _ in 0..MAX_KEEPALIVE_REQUESTS {
+        // ---- idle wait at the request boundary ---------------------
+        let _ = writer.set_read_timeout(Some(boundary_poll));
+        let mut idle = Duration::ZERO;
+        loop {
+            match reader.fill_buf() {
+                Ok([]) => return, // clean EOF between requests
+                Ok(_) => break,   // bytes waiting — parse a request
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    if shutdown.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    idle += boundary_poll;
+                    if idle >= config.read_timeout {
+                        return;
+                    }
+                }
+                Err(_) => return,
+            }
+        }
+        let _ = writer.set_read_timeout(Some(config.read_timeout));
+        let request = match read_request(&mut reader, config.max_body_bytes) {
+            // I/O failures (including idle timeouts) end the connection.
+            Err(_) | Ok(ReadOutcome::Closed) => return,
+            Ok(ReadOutcome::Reject(response)) => {
+                stats.protocol_error();
+                let _ = response.write_to(&mut writer);
+                // The reject may leave unread request bytes (e.g. a 413
+                // body that was never read); closing now would RST and
+                // destroy the queued response before the client reads
+                // it. Signal FIN, then drain a bounded amount so the
+                // error actually arrives.
+                drain_before_close(&writer, &mut reader);
+                return;
+            }
+            Ok(ReadOutcome::Complete(request)) => request,
+        };
+        let mut response = if shutdown.load(Ordering::SeqCst) {
+            stats.shutdown_reject();
+            Response::error(503, "shutting_down", "server is shutting down").with_close()
+        } else {
+            stats.dispatch_begin();
+            let response =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| handler.handle(&request)))
+                    .unwrap_or_else(|_| {
+                        Response::error(500, "handler_panic", "internal handler failure")
+                            .with_close()
+                    });
+            stats.dispatch_end();
+            response
+        };
+        // Honor the client's `Connection: close` in the advertised
+        // header, not just in behaviour.
+        response.close = response.close || request.wants_close();
+        if response.shutdown {
+            shutdown.store(true, Ordering::SeqCst);
+        }
+        if response.write_to(&mut writer).is_err() || response.close {
+            return;
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Server-level counters, shared between the accept loop, the workers
+//! and the application handler (which typically folds a snapshot into
+//! its `/v1/stats` response).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Live atomic counters. Cheap to update from any thread; read with
+/// [`ServerStats::snapshot`].
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    connections: AtomicU64,
+    requests: AtomicU64,
+    in_flight: AtomicU64,
+    rejected_queue_full: AtomicU64,
+    rejected_shutdown: AtomicU64,
+    protocol_errors: AtomicU64,
+}
+
+/// A point-in-time copy of every counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServerStatsSnapshot {
+    /// Connections accepted (including ones later rejected).
+    pub connections: u64,
+    /// Requests fully parsed and dispatched to the handler.
+    pub requests: u64,
+    /// Requests currently inside the handler.
+    pub in_flight: u64,
+    /// Connections turned away with `429` because the accept queue was
+    /// full.
+    pub rejected_queue_full: u64,
+    /// Requests/connections answered `503` during shutdown.
+    pub rejected_shutdown: u64,
+    /// Requests rejected at the protocol layer (4xx before dispatch).
+    pub protocol_errors: u64,
+}
+
+impl ServerStats {
+    pub(crate) fn connection(&self) {
+        self.connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn queue_full(&self) {
+        self.rejected_queue_full.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn shutdown_reject(&self) {
+        self.rejected_shutdown.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn protocol_error(&self) {
+        self.protocol_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn dispatch_begin(&self) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.in_flight.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn dispatch_end(&self) {
+        self.in_flight.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy (each counter atomic; the set not).
+    #[must_use]
+    pub fn snapshot(&self) -> ServerStatsSnapshot {
+        ServerStatsSnapshot {
+            connections: self.connections.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+            in_flight: self.in_flight.load(Ordering::Relaxed),
+            rejected_queue_full: self.rejected_queue_full.load(Ordering::Relaxed),
+            rejected_shutdown: self.rejected_shutdown.load(Ordering::Relaxed),
+            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+        }
+    }
+}

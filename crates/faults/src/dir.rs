@@ -6,7 +6,7 @@ use std::fmt;
 /// The aggressor (or victim) transition of a fault sensitization: `↑`
 /// (a `0 → 1` write) or `↓` (a `1 → 0` write), as in the `⟨↑, 0⟩`
 /// notation of van de Goor \[9\] used throughout the paper.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum TransitionDir {
     /// `↑` — a write transition `0 → 1`.
     Up,

@@ -7,7 +7,7 @@ use marchgen_model::Bit;
 use std::fmt;
 
 /// The two address-decoder fault mechanisms modelled on a cell pair.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum AdfKind {
     /// Write-decoder fault: writes directed at one address also (or
     /// instead) reach the other cell of the pair.
@@ -34,7 +34,7 @@ impl fmt::Display for AdfKind {
 /// on the per-model [`CoverageRequirement`](crate::CoverageRequirement)s
 /// (via [`requirements_for`](crate::requirements_for)); the simulator
 /// verifies every instance behaviourally.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum FaultModel {
     /// SAF — the cell is stuck at the given value.
     StuckAt(Bit),

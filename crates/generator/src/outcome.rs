@@ -62,6 +62,13 @@ pub struct Diagnostics {
     /// workers), in deterministic first-seen order. The *length* is
     /// independent of the thread count; only the values vary run to run.
     pub shard_micros: Vec<u64>,
+    /// `true` when this outcome was replayed from a content-addressed
+    /// cache (`marchgen-cache`) rather than computed by the pipeline.
+    /// Freshly computed outcomes always carry `false`; the cache
+    /// re-stamps the flag on every hit. Excluded (with the timings) from
+    /// byte-comparability claims: two outcomes for the same request are
+    /// equal modulo `Diagnostics`.
+    pub cache_hit: bool,
 }
 
 impl Diagnostics {

@@ -199,6 +199,31 @@ impl GenerateRequest {
         self.search_threads = threads;
         self
     }
+
+    /// The canonical form of this request: the fault list sorted in
+    /// taxonomy order and deduplicated, and the caps clamped to the
+    /// builder invariants (≥ 1).
+    ///
+    /// Two requests describing the same generation problem — e.g. the
+    /// same fault models listed in a different order, or a duplicated
+    /// model — normalize to the same value, which makes the canonical
+    /// form the natural input for content-addressed caching
+    /// (`marchgen-cache`). The generated test, tour and verification
+    /// verdicts are invariant under normalization (the engine's search
+    /// does not depend on fault-list order, and the clamps mirror what
+    /// [`GenerateRequest::with_tour_cap`] /
+    /// [`GenerateRequest::with_max_combinations`] already enforce); the
+    /// one observable difference is presentational — the coverage
+    /// report lists its per-model sections in request order, so a
+    /// normalized request reports in canonical taxonomy order.
+    #[must_use]
+    pub fn normalize(mut self) -> GenerateRequest {
+        self.faults.sort_unstable();
+        self.faults.dedup();
+        self.tour_cap = self.tour_cap.max(1);
+        self.max_combinations = self.max_combinations.max(1);
+        self
+    }
 }
 
 impl Default for GenerateRequest {
@@ -236,6 +261,33 @@ mod tests {
         }
         assert_eq!(VerifierChoice::from_key("bogus"), None);
         assert_eq!(VerifierChoice::BitParallel.to_string(), "bitsim");
+    }
+
+    #[test]
+    fn normalize_sorts_dedups_and_clamps() {
+        let shuffled = GenerateRequest::from_fault_list("CFin<u>, SAF, TF<d>, SA0").unwrap();
+        let sorted = GenerateRequest::from_fault_list("SAF, TF<d>, CFin<u>").unwrap();
+        assert_ne!(
+            shuffled.faults, sorted.faults,
+            "inputs differ pre-normalization"
+        );
+        assert_eq!(shuffled.normalize(), sorted.normalize());
+
+        let mut raw = GenerateRequest::from_fault_list("SAF").unwrap();
+        raw.tour_cap = 0;
+        raw.max_combinations = 0;
+        let normal = raw.normalize();
+        assert_eq!(normal.tour_cap, 1);
+        assert_eq!(normal.max_combinations, 1);
+    }
+
+    /// Normalization is idempotent and preserves already-canonical
+    /// requests untouched.
+    #[test]
+    fn normalize_is_idempotent() {
+        let req = GenerateRequest::from_fault_list("SAF, TF, CFin").unwrap();
+        let once = req.clone().normalize();
+        assert_eq!(once.clone().normalize(), once);
     }
 
     #[test]

@@ -421,6 +421,7 @@ impl ToJson for Diagnostics {
                 "shard_micros",
                 Json::array(self.shard_micros.iter().map(|&m| Json::from(m))),
             ),
+            ("cache_hit", Json::Bool(self.cache_hit)),
         ])
     }
 }
@@ -453,6 +454,12 @@ impl FromJson for Diagnostics {
                 })
                 .collect::<Result<Vec<_>, _>>()?,
         };
+        // Optional and backward compatible: documents predating the
+        // outcome cache omit the hit flag and decode as fresh computes.
+        let cache_hit = match json.get("cache_hit") {
+            None => false,
+            Some(_) => bool_field(json, "cache_hit")?,
+        };
         Ok(Diagnostics {
             combinations: usize_field(json, "combinations")?,
             unique_tp_sets: usize_field(json, "unique_tp_sets")?,
@@ -463,6 +470,7 @@ impl FromJson for Diagnostics {
             search_micros: u64_field(json, "search_micros")?,
             verify_micros: u64_field(json, "verify_micros")?,
             shard_micros,
+            cache_hit,
         })
     }
 }
@@ -565,7 +573,8 @@ mod tests {
     }
 
     /// Outcomes predating the sharded search decode with empty shard
-    /// timings.
+    /// timings, and outcomes predating the outcome cache decode as
+    /// fresh (non-hit) computes.
     #[test]
     fn absent_shard_micros_decodes_empty() {
         let doc = r#"{
@@ -575,6 +584,29 @@ mod tests {
         }"#;
         let d = Diagnostics::from_json_str(doc).unwrap();
         assert!(d.shard_micros.is_empty());
+        assert!(!d.cache_hit);
+    }
+
+    /// Regression (default consistency): spelling out the `verifier` and
+    /// `search_threads` defaults must decode — and therefore normalize
+    /// and cache-key — identically to omitting the keys entirely.
+    #[test]
+    fn explicit_defaults_equal_omitted_keys() {
+        let terse = GenerateRequest::from_json_str(r#"{"faults": ["SAF"]}"#).unwrap();
+        let spelled = GenerateRequest::from_json_str(
+            r#"{"faults": ["SAF"], "verifier": "auto", "search_threads": 0,
+                "solver": "auto", "start_policy": "uniform"}"#,
+        )
+        .unwrap();
+        assert_eq!(terse, spelled);
+        assert_eq!(terse.clone().normalize(), spelled.normalize());
+        // And both re-encode to the same canonical document.
+        assert_eq!(
+            terse.to_json_string(),
+            GenerateRequest::from_json_str(&terse.to_json_string())
+                .unwrap()
+                .to_json_string()
+        );
     }
 
     #[test]

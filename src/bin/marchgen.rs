@@ -16,6 +16,10 @@ use marchgen::march::codegen;
 use marchgen::prelude::*;
 use std::process::ExitCode;
 
+#[path = "shared/args.rs"]
+mod args;
+use args::{take_flag, take_option, take_str_option};
+
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let json = take_flag(&mut args, "--json");
@@ -60,33 +64,64 @@ marchgen — automatic generation of optimal March tests (Benso et al., DATE 200
 
 usage:
   marchgen generate <fault-list> [--json] [--verifier auto|scalar|bitsim] [--search-threads N]
-                                            e.g. marchgen generate \"SAF, TF, CFin\"
+                    [--cache-dir DIR]       e.g. marchgen generate \"SAF, TF, CFin\"
   marchgen validate <march> <fault-list> [--json]
                                             e.g. marchgen validate \"m(w0); u(r0,w1); d(r1)\" SAF
   marchgen analyze  <march> [--json]        static detection conditions
   marchgen codegen  <march> [c|rust]        emit BIST source code
   marchgen known    [name]                  list/show the classical test library
   marchgen batch    <file> [--json] [--threads N] [--verifier auto|scalar|bitsim] [--search-threads N]
-                                            one fault list per line through the batch service
+                    [--cache-dir DIR]       one fault list per line through the batch service
 
   --verifier        verification backend: auto (bit-parallel on pair-fault
                     lists, the default), scalar, or bitsim (bit-parallel)
   --search-threads  worker threads for the sharded in-request candidate
                     search (0 = one per CPU; never changes the result)
+  --cache-dir       persistent content-addressed outcome cache: identical
+                    requests (modulo fault-list order and execution knobs)
+                    are replayed instead of recomputed, across processes
 ";
 
 /// Request-level knobs applied uniformly by `generate` and `batch`.
-#[derive(Clone, Copy, Default)]
+#[derive(Clone, Default)]
 struct RequestKnobs {
     verifier: Option<VerifierChoice>,
     search_threads: Option<usize>,
+    cache_dir: Option<String>,
+}
+
+impl RequestKnobs {
+    /// Opens the persistent outcome cache when `--cache-dir` was given.
+    #[cfg(feature = "serde")]
+    fn open_cache(&self) -> Result<Option<marchgen::cache::OutcomeCache>, String> {
+        match &self.cache_dir {
+            None => Ok(None),
+            Some(dir) => marchgen::cache::OutcomeCache::new(1024)
+                .with_disk(dir)
+                .map(Some)
+                .map_err(|e| format!("cannot open cache dir {dir:?}: {e}")),
+        }
+    }
+
+    /// Without the `serde` feature there is no cache (entries are JSON
+    /// documents); `--cache-dir` is a loud error rather than a no-op.
+    #[cfg(not(feature = "serde"))]
+    fn reject_cache_dir(&self) -> Result<(), String> {
+        match self.cache_dir {
+            None => Ok(()),
+            Some(_) => {
+                Err("this build has no cache support (rebuild with the `serde` feature)".into())
+            }
+        }
+    }
 }
 
 /// Parses the options shared by `generate` and `batch`: `--threads`,
-/// `--search-threads` and `--verifier`.
+/// `--search-threads`, `--verifier` and `--cache-dir`.
 fn take_global_options(args: &mut Vec<String>) -> Result<(Option<usize>, RequestKnobs), String> {
     let threads = take_option(args, "--threads")?;
     let search_threads = take_option(args, "--search-threads")?;
+    let cache_dir = take_str_option(args, "--cache-dir")?;
     let verifier =
         match take_str_option(args, "--verifier")? {
             None => None,
@@ -99,12 +134,13 @@ fn take_global_options(args: &mut Vec<String>) -> Result<(Option<usize>, Request
         RequestKnobs {
             verifier,
             search_threads,
+            cache_dir,
         },
     ))
 }
 
 impl RequestKnobs {
-    fn apply(self, mut request: GenerateRequest) -> GenerateRequest {
+    fn apply(&self, mut request: GenerateRequest) -> GenerateRequest {
         if let Some(verifier) = self.verifier {
             request = request.with_verifier(verifier);
         }
@@ -115,45 +151,32 @@ impl RequestKnobs {
     }
 }
 
-/// Removes `flag` from `args` if present; returns whether it was there.
-fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
-    let before = args.len();
-    args.retain(|a| a != flag);
-    args.len() != before
+#[cfg(feature = "serde")]
+fn generate_maybe_cached(
+    knobs: &RequestKnobs,
+    request: &GenerateRequest,
+) -> Result<GenerateOutcome, String> {
+    match knobs.open_cache()? {
+        Some(cache) => cache
+            .get_or_compute(request, generate)
+            .map_err(|e| e.to_string()),
+        None => generate(request).map_err(|e| e.to_string()),
+    }
 }
 
-/// Removes `--name VALUE` from `args`; returns the parsed value.
-fn take_option(args: &mut Vec<String>, name: &str) -> Result<Option<usize>, String> {
-    let Some(pos) = args.iter().position(|a| a == name) else {
-        return Ok(None);
-    };
-    if pos + 1 >= args.len() {
-        return Err(format!("{name} needs a value"));
-    }
-    let value = args[pos + 1]
-        .parse::<usize>()
-        .map_err(|_| format!("{name} needs an integer, got {:?}", args[pos + 1]))?;
-    args.drain(pos..=pos + 1);
-    Ok(Some(value))
-}
-
-/// Removes `--name VALUE` from `args`; returns the raw string value.
-fn take_str_option(args: &mut Vec<String>, name: &str) -> Result<Option<String>, String> {
-    let Some(pos) = args.iter().position(|a| a == name) else {
-        return Ok(None);
-    };
-    if pos + 1 >= args.len() {
-        return Err(format!("{name} needs a value"));
-    }
-    let value = args[pos + 1].clone();
-    args.drain(pos..=pos + 1);
-    Ok(Some(value))
+#[cfg(not(feature = "serde"))]
+fn generate_maybe_cached(
+    knobs: &RequestKnobs,
+    request: &GenerateRequest,
+) -> Result<GenerateOutcome, String> {
+    knobs.reject_cache_dir()?;
+    generate(request).map_err(|e| e.to_string())
 }
 
 fn generate_cmd(args: &[String], json: bool, knobs: RequestKnobs) -> Result<(), String> {
     let list = args.first().ok_or("generate needs a fault list")?;
     let request = knobs.apply(GenerateRequest::from_fault_list(list).map_err(|e| e.to_string())?);
-    let outcome = generate(&request).map_err(|e| e.to_string())?;
+    let outcome = generate_maybe_cached(&knobs, &request)?;
     if json {
         print_outcome_json(&outcome)?;
     } else {
@@ -362,7 +385,7 @@ fn batch_cmd(
         batch = batch.threads(threads);
     }
     let total = requests.len();
-    let results = batch.run_with_progress(requests, |event| match event {
+    let on_event = |event: marchgen::service::BatchEvent<'_>| match event {
         marchgen::service::BatchEvent::Started { index, request } => {
             eprintln!(
                 "[{}/{total}] generating for {} models...",
@@ -376,7 +399,24 @@ fn batch_cmd(
         marchgen::service::BatchEvent::Failed { index, error } => {
             eprintln!("[{}/{total}] failed: {error}", index + 1);
         }
-    });
+        marchgen::service::BatchEvent::Completed {
+            total: batch_total,
+            succeeded,
+            failed,
+        } => {
+            eprintln!("batch complete: {succeeded}/{batch_total} generated, {failed} failed");
+        }
+    };
+    #[cfg(feature = "serde")]
+    let results = match knobs.open_cache()? {
+        Some(cache) => batch.run_cached(&cache, requests, on_event),
+        None => batch.run_with_progress(requests, on_event),
+    };
+    #[cfg(not(feature = "serde"))]
+    let results = {
+        knobs.reject_cache_dir()?;
+        batch.run_with_progress(requests, on_event)
+    };
 
     if json {
         print_batch_json(&lists, &results)?;

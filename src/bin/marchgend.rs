@@ -1,0 +1,405 @@
+//! `marchgend` — the long-running March-test generation service.
+//!
+//! A dependency-free HTTP/1.1 daemon (std `TcpListener` + worker pool,
+//! no async runtime) wiring the three service bricks together: the
+//! [`marchgen_daemon`] connection engine in front, the
+//! [`marchgen_cache`] content-addressed outcome cache in the middle
+//! (single-flight: concurrent identical requests fund one computation),
+//! and [`marchgen::service::Batch`] underneath. The wire format is
+//! exactly JSON schema v1 — the same documents `marchgen --json`
+//! reads and writes.
+//!
+//! ```text
+//! marchgend --addr 127.0.0.1:8378 --cache-dir .marchgen-cache
+//!
+//! POST /v1/generate   one GenerateRequest  → one GenerateOutcome
+//! POST /v1/batch      [GenerateRequest...] → [{"outcome"|"error"}...]
+//! GET  /v1/health     liveness + version
+//! GET  /v1/stats      server / cache / per-phase timing counters
+//! POST /v1/shutdown   graceful drain and exit
+//! ```
+
+use marchgen::cache::{OutcomeCache, KEY_SCHEMA};
+use marchgen::daemon::{
+    FromJson, Json, Request, Response, Server, ServerConfig, ServerStats, ToJson,
+};
+use marchgen::service::Batch;
+use marchgen::{Diagnostics, GenerateRequest};
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+#[path = "shared/args.rs"]
+#[allow(dead_code)]
+mod args;
+use args::{take_option, take_str_option};
+
+const USAGE: &str = "\
+marchgend — HTTP service daemon for March test generation (JSON schema v1)
+
+usage:
+  marchgend [--addr HOST:PORT] [--cache-dir DIR] [--cache-capacity N]
+            [--workers N] [--queue-capacity N] [--max-body-bytes N]
+
+  --addr            listen address (default 127.0.0.1:8378; port 0 picks
+                    a free port — the bound address is printed on stdout)
+  --cache-dir       persist outcomes as one JSON file per request hash;
+                    shared across restarts and with `marchgen --cache-dir`
+  --cache-capacity  in-memory LRU size, outcomes (default 4096)
+  --workers         connection worker threads (default: one per CPU)
+  --queue-capacity  bounded accept queue; beyond it clients get 429
+                    (default 256)
+  --max-body-bytes  largest accepted request body; beyond it 413
+                    (default 1048576)
+
+endpoints: POST /v1/generate, POST /v1/batch, GET /v1/health,
+           GET /v1/stats, POST /v1/shutdown
+";
+
+/// Cumulative per-phase timing over every *computed* (non-cache-hit)
+/// outcome this daemon produced, plus the wall time spent producing
+/// them. Cache hits by design contribute nothing here — that is the
+/// point of the cache — so `computed × phase` averages stay honest.
+#[derive(Default)]
+struct PhaseAggregates {
+    computed: AtomicU64,
+    expand_micros: AtomicU64,
+    search_micros: AtomicU64,
+    verify_micros: AtomicU64,
+    wall_micros: AtomicU64,
+}
+
+impl PhaseAggregates {
+    fn record(&self, diagnostics: &Diagnostics, wall_micros: u64) {
+        self.computed.fetch_add(1, Ordering::Relaxed);
+        self.expand_micros
+            .fetch_add(diagnostics.expand_micros, Ordering::Relaxed);
+        self.search_micros
+            .fetch_add(diagnostics.search_micros, Ordering::Relaxed);
+        self.verify_micros
+            .fetch_add(diagnostics.verify_micros, Ordering::Relaxed);
+        self.wall_micros.fetch_add(wall_micros, Ordering::Relaxed);
+    }
+
+    fn to_json(&self) -> Json {
+        Json::object([
+            (
+                "computed",
+                Json::from(self.computed.load(Ordering::Relaxed)),
+            ),
+            (
+                "expand_micros",
+                Json::from(self.expand_micros.load(Ordering::Relaxed)),
+            ),
+            (
+                "search_micros",
+                Json::from(self.search_micros.load(Ordering::Relaxed)),
+            ),
+            (
+                "verify_micros",
+                Json::from(self.verify_micros.load(Ordering::Relaxed)),
+            ),
+            (
+                "wall_micros",
+                Json::from(self.wall_micros.load(Ordering::Relaxed)),
+            ),
+        ])
+    }
+}
+
+/// The application half of the daemon: routing, codec glue, cache and
+/// batch wiring. Shared by every connection worker.
+struct App {
+    cache: OutcomeCache,
+    batch: Batch,
+    timing: PhaseAggregates,
+    generate_requests: AtomicU64,
+    batch_requests: AtomicU64,
+    // Set right after bind (the server owns counter allocation), read
+    // by `/v1/stats`.
+    server_stats: OnceLock<Arc<ServerStats>>,
+}
+
+impl App {
+    fn handle(&self, request: &Request) -> Response {
+        match (request.method.as_str(), request.path.as_str()) {
+            ("POST", "/v1/generate") => self.generate_endpoint(&request.body),
+            ("POST", "/v1/batch") => self.batch_endpoint(&request.body),
+            ("GET", "/v1/health") => health_endpoint(),
+            ("GET", "/v1/stats") => self.stats_endpoint(),
+            ("POST", "/v1/shutdown") => {
+                Response::json(&Json::object([("stopping", Json::Bool(true))])).with_shutdown()
+            }
+            (_, "/v1/generate" | "/v1/batch" | "/v1/shutdown") => Response::error(
+                405,
+                "method_not_allowed",
+                format!("{} requires POST", request.path),
+            ),
+            (_, "/v1/health" | "/v1/stats") => Response::error(
+                405,
+                "method_not_allowed",
+                format!("{} requires GET", request.path),
+            ),
+            _ => Response::error(
+                404,
+                "not_found",
+                format!("no endpoint {:?}; see /v1/health", request.path),
+            ),
+        }
+    }
+
+    /// Decodes one request document; splits syntax (`400`) from schema
+    /// (`422`) failures.
+    fn decode_request(body: &[u8]) -> Result<GenerateRequest, Response> {
+        let text = std::str::from_utf8(body)
+            .map_err(|_| Response::error(400, "invalid_json", "body is not UTF-8"))?;
+        let doc =
+            Json::parse(text).map_err(|e| Response::error(400, "invalid_json", e.to_string()))?;
+        GenerateRequest::from_json(&doc)
+            .map_err(|e| Response::error(422, "invalid_request", e.message))
+    }
+
+    fn generate_endpoint(&self, body: &[u8]) -> Response {
+        self.generate_requests.fetch_add(1, Ordering::Relaxed);
+        let mut request = match App::decode_request(body) {
+            Ok(request) => request,
+            Err(response) => return response,
+        };
+        // Same anti-oversubscription rule as `Batch::run_workers`: an
+        // auto-threaded request would spawn one shard worker per CPU
+        // inside a daemon that already runs one connection worker per
+        // CPU. Pin it to a single shard worker whenever another request
+        // is being served concurrently (the snapshot includes this
+        // request, so in-flight ≥ 2 means real contention); a lone
+        // request keeps the full machine. Never changes the outcome —
+        // sharding is deterministic — or the cache key.
+        let contended = self
+            .server_stats
+            .get()
+            .map(|stats| stats.snapshot().in_flight >= 2)
+            .unwrap_or(false);
+        if contended && request.search_threads == 0 {
+            request = request.with_search_threads(1);
+        }
+        let started = Instant::now();
+        match self.cache.get_or_compute(&request, marchgen::generate) {
+            Ok(outcome) => {
+                if !outcome.diagnostics.cache_hit {
+                    let wall = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+                    self.timing.record(&outcome.diagnostics, wall);
+                }
+                Response::json(&outcome.to_json())
+            }
+            Err(error) => Response::error(422, "generation_failed", error_chain(&error)),
+        }
+    }
+
+    /// `POST /v1/batch`: a JSON array of request documents (or
+    /// `{"requests": [...]}`), answered as an array of
+    /// `{"outcome": ...}` / `{"error": ...}` entries in input order —
+    /// one bad generation never poisons its neighbours (decode errors
+    /// do reject the whole document: the request itself is malformed).
+    fn batch_endpoint(&self, body: &[u8]) -> Response {
+        self.batch_requests.fetch_add(1, Ordering::Relaxed);
+        let text = match std::str::from_utf8(body) {
+            Ok(text) => text,
+            Err(_) => return Response::error(400, "invalid_json", "body is not UTF-8"),
+        };
+        let doc = match Json::parse(text) {
+            Ok(doc) => doc,
+            Err(e) => return Response::error(400, "invalid_json", e.to_string()),
+        };
+        let items = match doc
+            .as_array()
+            .or_else(|| doc.get("requests").and_then(Json::as_array))
+        {
+            Some(items) => items,
+            None => {
+                return Response::error(
+                    422,
+                    "invalid_request",
+                    "batch body must be an array of requests (or {\"requests\": [...]})",
+                )
+            }
+        };
+        let mut requests = Vec::with_capacity(items.len());
+        for (index, item) in items.iter().enumerate() {
+            match GenerateRequest::from_json(item) {
+                Ok(request) => requests.push(request),
+                Err(e) => {
+                    return Response::error(
+                        422,
+                        "invalid_request",
+                        format!("request #{index}: {}", e.message),
+                    )
+                }
+            }
+        }
+        let started = Instant::now();
+        let results = self.batch.run_cached(&self.cache, requests, |_| {});
+        let wall = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+        let mut computed = 0u64;
+        let entries = results.iter().map(|result| match result {
+            Ok(outcome) => {
+                if !outcome.diagnostics.cache_hit {
+                    computed += 1;
+                    self.timing.record(&outcome.diagnostics, 0);
+                }
+                Json::object([("outcome", outcome.to_json())])
+            }
+            Err(error) => Json::object([("error", Json::Str(error_chain(error)))]),
+        });
+        let body = Json::array(entries.collect::<Vec<_>>());
+        if computed > 0 {
+            // Wall time is per batch call (phases are per outcome).
+            self.timing.wall_micros.fetch_add(wall, Ordering::Relaxed);
+        }
+        Response::json(&body)
+    }
+
+    fn stats_endpoint(&self) -> Response {
+        let server = self
+            .server_stats
+            .get()
+            .map(|stats| stats.snapshot())
+            .unwrap_or_default();
+        let cache = self.cache.stats();
+        Response::json(&Json::object([
+            (
+                "server",
+                Json::object([
+                    ("connections", Json::from(server.connections)),
+                    ("requests", Json::from(server.requests)),
+                    ("in_flight", Json::from(server.in_flight)),
+                    (
+                        "rejected_queue_full",
+                        Json::from(server.rejected_queue_full),
+                    ),
+                    ("rejected_shutdown", Json::from(server.rejected_shutdown)),
+                    ("protocol_errors", Json::from(server.protocol_errors)),
+                ]),
+            ),
+            (
+                "cache",
+                Json::object([
+                    ("memory_hits", Json::from(cache.memory_hits)),
+                    ("disk_hits", Json::from(cache.disk_hits)),
+                    ("hits", Json::from(cache.hits())),
+                    ("misses", Json::from(cache.misses)),
+                    ("inserts", Json::from(cache.inserts)),
+                    ("evictions", Json::from(cache.evictions)),
+                    ("coalesced", Json::from(cache.coalesced)),
+                    ("resident", Json::from(self.cache.resident())),
+                ]),
+            ),
+            ("timing", self.timing.to_json()),
+            (
+                "endpoints",
+                Json::object([
+                    (
+                        "generate",
+                        Json::from(self.generate_requests.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "batch",
+                        Json::from(self.batch_requests.load(Ordering::Relaxed)),
+                    ),
+                ]),
+            ),
+        ]))
+    }
+}
+
+fn health_endpoint() -> Response {
+    Response::json(&Json::object([
+        ("status", Json::from("ok")),
+        ("service", Json::from("marchgend")),
+        ("version", Json::from(env!("CARGO_PKG_VERSION"))),
+        ("schema", Json::Int(i64::from(KEY_SCHEMA))),
+    ]))
+}
+
+/// Flattens an error and its sources into one line.
+fn error_chain(error: &dyn std::error::Error) -> String {
+    let mut text = error.to_string();
+    let mut source = error.source();
+    while let Some(cause) = source {
+        text.push_str(": ");
+        text.push_str(&cause.to_string());
+        source = cause.source();
+    }
+    text
+}
+
+fn run() -> Result<(), String> {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{USAGE}");
+        return Ok(());
+    }
+    let addr = take_str_option(&mut args, "--addr")?.unwrap_or_else(|| "127.0.0.1:8378".to_owned());
+    let cache_dir = take_str_option(&mut args, "--cache-dir")?;
+    let cache_capacity = take_option(&mut args, "--cache-capacity")?.unwrap_or(4096);
+    let mut config = ServerConfig::default();
+    if let Some(workers) = take_option(&mut args, "--workers")? {
+        config.workers = workers;
+    }
+    if let Some(queue) = take_option(&mut args, "--queue-capacity")? {
+        config.queue_capacity = queue;
+    }
+    if let Some(max_body) = take_option(&mut args, "--max-body-bytes")? {
+        config.max_body_bytes = max_body;
+    }
+    if !args.is_empty() {
+        return Err(format!("unrecognized arguments {args:?}\n\n{USAGE}"));
+    }
+
+    let mut cache = OutcomeCache::new(cache_capacity);
+    if let Some(dir) = &cache_dir {
+        cache = cache
+            .with_disk(dir)
+            .map_err(|e| format!("cannot open cache dir {dir:?}: {e}"))?;
+    }
+    let app = Arc::new(App {
+        cache,
+        batch: Batch::new(),
+        timing: PhaseAggregates::default(),
+        generate_requests: AtomicU64::new(0),
+        batch_requests: AtomicU64::new(0),
+        server_stats: OnceLock::new(),
+    });
+
+    let handler_app = Arc::clone(&app);
+    let server = Server::bind(addr.as_str(), config, move |request: &Request| {
+        handler_app.handle(request)
+    })
+    .map_err(|e| format!("cannot bind {addr:?}: {e}"))?;
+    let bound = server.local_addr().map_err(|e| e.to_string())?;
+    app.server_stats
+        .set(server.stats())
+        .unwrap_or_else(|_| unreachable!("stats set once, right after bind"));
+
+    // One parseable line on stdout: smoke tests and process managers
+    // scrape the bound address from it (important with port 0). Writes
+    // are fallible on purpose — a supervisor may close the pipe after
+    // scraping, and a dead stdout must not kill a draining daemon.
+    use std::io::Write as _;
+    let mut stdout = std::io::stdout();
+    let _ = writeln!(stdout, "marchgend listening on http://{bound}");
+    let _ = stdout.flush();
+
+    server.run();
+    let _ = writeln!(stdout, "marchgend: drained and shut down");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

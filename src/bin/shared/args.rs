@@ -1,0 +1,35 @@
+//! Argument-extraction helpers shared by the `marchgen` and `marchgend`
+//! binaries (included via `#[path]`; this directory is not a binary
+//! target). All helpers remove what they match, so whatever remains in
+//! `args` after extraction can be validated as positional input.
+
+/// Removes `flag` from `args` if present; returns whether it was there.
+pub fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    let before = args.len();
+    args.retain(|a| a != flag);
+    args.len() != before
+}
+
+/// Removes `--name VALUE` from `args`; returns the parsed integer.
+pub fn take_option(args: &mut Vec<String>, name: &str) -> Result<Option<usize>, String> {
+    match take_str_option(args, name)? {
+        None => Ok(None),
+        Some(text) => text
+            .parse::<usize>()
+            .map(Some)
+            .map_err(|_| format!("{name} needs an integer, got {text:?}")),
+    }
+}
+
+/// Removes `--name VALUE` from `args`; returns the raw string value.
+pub fn take_str_option(args: &mut Vec<String>, name: &str) -> Result<Option<String>, String> {
+    let Some(pos) = args.iter().position(|a| a == name) else {
+        return Ok(None);
+    };
+    if pos + 1 >= args.len() {
+        return Err(format!("{name} needs a value"));
+    }
+    let value = args[pos + 1].clone();
+    args.drain(pos..=pos + 1);
+    Ok(Some(value))
+}

@@ -39,7 +39,12 @@
 //!    backends implement [`sim::Verifier`].
 //! 2. **Batch service layer.** [`service::Batch`] executes a vector of
 //!    requests across worker threads with progress events — the
-//!    in-process core a network service wraps.
+//!    in-process core a network service wraps. [`cache::OutcomeCache`]
+//!    memoizes outcomes by the content hash of the canonical request
+//!    ([`GenerateRequest::normalize`]) with single-flight coalescing
+//!    and an optional persistent store ([`service::Batch::run_cached`]
+//!    threads the two together); the [`daemon`] crate and the
+//!    `marchgend` binary put an HTTP/1.1 front-end on top.
 //! 3. **Builder facade.** [`Generator`] is a thin compatibility shim
 //!    over layer 1 for ergonomic one-off runs; the `marchgen` CLI sits
 //!    on layers 1–2 and exposes `--json` for machine consumers.
@@ -57,6 +62,8 @@
 //! | [`march`] | §1 \[1\] | March test algebra, notation, classical test library |
 //! | [`generator`] | §4.1–4.3 | request/outcome core, GTS, scheduler, pipeline, baseline |
 //! | [`sim`] | §6 | fault simulator, coverage matrix, set covering, verifier trait |
+//! | [`cache`] | — | content-addressed outcome cache (keys, LRU, disk, single-flight) |
+//! | [`daemon`] | — | dependency-free HTTP/1.1 service engine behind `marchgend` |
 //!
 //! The most common entry points are lifted to the crate root:
 //! [`generate`], [`GenerateRequest`], [`GenerateOutcome`],
@@ -67,6 +74,16 @@
 
 pub use marchgen_atsp as atsp;
 pub use marchgen_faults as faults;
+
+/// The content-addressed outcome cache behind `--cache-dir` and the
+/// daemon (`serde` feature: entries persist as schema-v1 documents).
+#[cfg(feature = "serde")]
+pub use marchgen_cache as cache;
+
+/// The dependency-free HTTP/1.1 service engine behind `marchgend`
+/// (`serde` feature: the wire format is schema-v1 JSON).
+#[cfg(feature = "serde")]
+pub use marchgen_daemon as daemon;
 pub use marchgen_generator as generator;
 pub use marchgen_march as march;
 pub use marchgen_model as model;

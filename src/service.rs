@@ -21,6 +21,8 @@
 
 use crate::error::Error;
 use marchgen_atsp::SolverRegistry;
+#[cfg(feature = "serde")]
+use marchgen_cache::{request_key, CacheKey, OutcomeCache};
 use marchgen_generator::{generate_with_registry, GenerateOutcome, GenerateRequest};
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -52,6 +54,18 @@ pub enum BatchEvent<'a> {
         /// The error it failed with.
         error: &'a Error,
     },
+    /// The whole batch is done: every worker has drained and every
+    /// per-request event has been delivered. Emitted exactly once, last
+    /// — daemons and CLIs can key completion off this instead of
+    /// counting `Finished`/`Failed` events.
+    Completed {
+        /// Requests in the batch.
+        total: usize,
+        /// How many produced an outcome.
+        succeeded: usize,
+        /// How many failed (`total - succeeded`).
+        failed: usize,
+    },
 }
 
 /// A configurable multi-threaded batch executor over the generation
@@ -68,22 +82,27 @@ pub struct Batch {
 }
 
 impl Default for Batch {
+    /// One worker per available CPU, built-in solver registry — the
+    /// canonical configuration. `Default` owns the construction logic
+    /// (rather than bouncing through [`Batch::new`]) so derived holders
+    /// like `#[derive(Default)]` service structs get a fully working
+    /// executor.
     fn default() -> Batch {
-        Batch::new()
-    }
-}
-
-impl Batch {
-    /// A batch executor with one worker per available CPU and the
-    /// built-in solver registry.
-    #[must_use]
-    pub fn new() -> Batch {
         let threads = std::thread::available_parallelism()
             .unwrap_or(NonZeroUsize::new(1).expect("1 is non-zero"));
         Batch {
             threads,
             registry: SolverRegistry::default(),
         }
+    }
+}
+
+impl Batch {
+    /// A batch executor with one worker per available CPU and the
+    /// built-in solver registry (alias of [`Batch::default`]).
+    #[must_use]
+    pub fn new() -> Batch {
+        Batch::default()
     }
 
     /// Overrides the worker count (clamped to at least 1).
@@ -111,12 +130,36 @@ impl Batch {
 
     /// [`Batch::run`] with a progress callback. The callback is invoked
     /// from worker threads (hence `Sync`) and must be cheap; it sees
-    /// every [`BatchEvent`] exactly once.
+    /// every [`BatchEvent`] exactly once, ending with the terminal
+    /// [`BatchEvent::Completed`].
     #[must_use]
     pub fn run_with_progress(
         &self,
         requests: Vec<GenerateRequest>,
         on_event: impl Fn(BatchEvent<'_>) + Sync,
+    ) -> Vec<Result<GenerateOutcome, Error>> {
+        let total = requests.len();
+        let results = self.run_workers(requests, &on_event, &|request| {
+            generate_with_registry(request, &self.registry).map_err(Error::from)
+        });
+        let succeeded = results.iter().filter(|r| r.is_ok()).count();
+        on_event(BatchEvent::Completed {
+            total,
+            succeeded,
+            failed: total - succeeded,
+        });
+        results
+    }
+
+    /// The worker-pool core shared by [`Batch::run_with_progress`] and
+    /// [`Batch::run_cached`]: runs every request through `compute`,
+    /// emits the per-request events (not the terminal one — the caller
+    /// owns batch totals).
+    fn run_workers(
+        &self,
+        requests: Vec<GenerateRequest>,
+        on_event: &(impl Fn(BatchEvent<'_>) + Sync),
+        compute: &(impl Fn(&GenerateRequest) -> Result<GenerateOutcome, Error> + Sync),
     ) -> Vec<Result<GenerateOutcome, Error>> {
         let total = requests.len();
         let mut results: Vec<Option<Result<GenerateOutcome, Error>>> = Vec::new();
@@ -139,16 +182,13 @@ impl Batch {
                     // them to a single shard worker instead. Explicit
                     // `search_threads` choices are honored as-is, and
                     // the pinning never changes an outcome (sharding is
-                    // deterministic by construction).
+                    // deterministic by construction) or a cache key
+                    // (`search_threads` is excluded from hashing).
                     let result = if workers > 1 && request.search_threads == 0 {
-                        generate_with_registry(
-                            &request.clone().with_search_threads(1),
-                            &self.registry,
-                        )
+                        compute(&request.clone().with_search_threads(1))
                     } else {
-                        generate_with_registry(request, &self.registry)
-                    }
-                    .map_err(Error::from);
+                        compute(request)
+                    };
                     match &result {
                         Ok(outcome) => on_event(BatchEvent::Finished { index, outcome }),
                         Err(error) => on_event(BatchEvent::Failed { index, error }),
@@ -163,6 +203,109 @@ impl Batch {
             .expect("results lock")
             .into_iter()
             .map(|slot| slot.expect("every request ran"))
+            .collect()
+    }
+
+    /// [`Batch::run`] through a content-addressed [`OutcomeCache`]:
+    /// cached requests are answered without computing (their outcomes
+    /// re-stamped `cache_hit`), identical misses *within* the batch are
+    /// deduplicated onto one computation, and fresh outcomes are
+    /// inserted for the next caller. Results stay in input order, one
+    /// per request. Per-request progress events fire only for the
+    /// deduplicated computations (cache hits are silent) but carry the
+    /// *original input index* of the leading request, and the terminal
+    /// [`BatchEvent::Completed`] covers the full request count.
+    ///
+    /// Leaders compute through [`OutcomeCache::get_or_compute`], so the
+    /// single-flight guarantee holds *across* concurrent callers too: a
+    /// batch racing another batch (or a single cached generate) for the
+    /// same uncached problem funds one pipeline run, and the stored
+    /// entry is always the canonical
+    /// ([`GenerateRequest::normalize`]d) computation.
+    #[cfg(feature = "serde")]
+    #[must_use]
+    pub fn run_cached(
+        &self,
+        cache: &OutcomeCache,
+        requests: Vec<GenerateRequest>,
+        on_event: impl Fn(BatchEvent<'_>) + Sync,
+    ) -> Vec<Result<GenerateOutcome, Error>> {
+        let total = requests.len();
+        let keys: Vec<CacheKey> = requests.iter().map(request_key).collect();
+        let mut slots: Vec<Option<Result<GenerateOutcome, Error>>> = Vec::new();
+        slots.resize_with(total, || None);
+
+        // Serve what the cache already has, then deduplicate the
+        // remaining work by key: one computation may answer many slots.
+        let mut leaders: Vec<usize> = Vec::new();
+        for (index, key) in keys.iter().enumerate() {
+            // `peek`, not `lookup`: a miss here is not a final answer —
+            // the leader's `get_or_compute` does the miss accounting.
+            if let Some(hit) = cache.peek(*key) {
+                slots[index] = Some(Ok(hit));
+            } else if !leaders.iter().any(|&l| keys[l] == *key) {
+                leaders.push(index);
+            }
+        }
+        let miss_requests: Vec<GenerateRequest> =
+            leaders.iter().map(|&l| requests[l].clone()).collect();
+        // Translate worker indices (into the miss list) back to the
+        // original input positions so progress lines stay meaningful.
+        let computed = self.run_workers(
+            miss_requests,
+            &|event| {
+                on_event(match event {
+                    BatchEvent::Started { index, request } => BatchEvent::Started {
+                        index: leaders[index],
+                        request,
+                    },
+                    BatchEvent::Finished { index, outcome } => BatchEvent::Finished {
+                        index: leaders[index],
+                        outcome,
+                    },
+                    BatchEvent::Failed { index, error } => BatchEvent::Failed {
+                        index: leaders[index],
+                        error,
+                    },
+                    terminal @ BatchEvent::Completed { .. } => terminal,
+                });
+            },
+            &|request| {
+                cache
+                    .get_or_compute(request, |normalized| {
+                        generate_with_registry(normalized, &self.registry)
+                    })
+                    .map_err(Error::from)
+            },
+        );
+        for (&leader, result) in leaders.iter().zip(computed) {
+            // Fan the leader's result out to every slot sharing its key
+            // (`get_or_compute` already stored successful outcomes).
+            for index in leader..total {
+                if slots[index].is_none() && keys[index] == keys[leader] {
+                    slots[index] = Some(match &result {
+                        Ok(outcome) if index != leader => {
+                            let mut replay = outcome.clone();
+                            replay.diagnostics.cache_hit = true;
+                            Ok(replay)
+                        }
+                        other => other.clone(),
+                    });
+                }
+            }
+        }
+        let succeeded = slots
+            .iter()
+            .filter(|slot| matches!(slot, Some(Ok(_))))
+            .count();
+        on_event(BatchEvent::Completed {
+            total,
+            succeeded,
+            failed: total - succeeded,
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every request served"))
             .collect()
     }
 }
@@ -196,7 +339,7 @@ mod tests {
     }
 
     #[test]
-    fn progress_events_cover_every_request() {
+    fn progress_events_cover_every_request_and_terminate() {
         let requests = vec![
             GenerateRequest::from_fault_list("SAF").unwrap(),
             GenerateRequest::default(),
@@ -205,6 +348,7 @@ mod tests {
         let started = AtomicUsize::new(0);
         let finished = AtomicUsize::new(0);
         let failed = AtomicUsize::new(0);
+        let completed = AtomicUsize::new(0);
         let _ = Batch::new()
             .threads(3)
             .run_with_progress(requests, |event| {
@@ -212,11 +356,70 @@ mod tests {
                     BatchEvent::Started { .. } => started.fetch_add(1, Ordering::Relaxed),
                     BatchEvent::Finished { .. } => finished.fetch_add(1, Ordering::Relaxed),
                     BatchEvent::Failed { .. } => failed.fetch_add(1, Ordering::Relaxed),
+                    BatchEvent::Completed {
+                        total,
+                        succeeded,
+                        failed,
+                    } => {
+                        // Terminal event: every per-request event has
+                        // already been delivered by now.
+                        assert_eq!((total, succeeded, failed), (3, 2, 1));
+                        assert_eq!(started.load(Ordering::Relaxed), 3);
+                        completed.fetch_add(1, Ordering::Relaxed)
+                    }
                 };
             });
         assert_eq!(started.load(Ordering::Relaxed), 3);
         assert_eq!(finished.load(Ordering::Relaxed), 2);
         assert_eq!(failed.load(Ordering::Relaxed), 1);
+        assert_eq!(
+            completed.load(Ordering::Relaxed),
+            1,
+            "exactly one terminal event"
+        );
+    }
+
+    /// `run_cached` answers repeats from the cache, deduplicates
+    /// identical in-batch requests onto one computation, and keeps
+    /// results in input order.
+    #[cfg(feature = "serde")]
+    #[test]
+    fn run_cached_serves_hits_and_dedupes() {
+        let cache = OutcomeCache::new(64);
+        let saf = GenerateRequest::from_fault_list("SAF").unwrap();
+        let saf_permuted = GenerateRequest::from_fault_list("SA1, SA0").unwrap();
+        let tf = GenerateRequest::from_fault_list("TF").unwrap();
+        let batch = Batch::new().threads(2);
+
+        let first = batch.run_cached(
+            &cache,
+            vec![saf.clone(), tf.clone(), saf_permuted.clone()],
+            |_| {},
+        );
+        assert_eq!(first.len(), 3);
+        assert!(!first[0].as_ref().unwrap().diagnostics.cache_hit);
+        assert!(
+            first[2].as_ref().unwrap().diagnostics.cache_hit,
+            "in-batch duplicate rides the leader's computation"
+        );
+        assert_eq!(
+            first[0].as_ref().unwrap().test,
+            first[2].as_ref().unwrap().test
+        );
+        // Two unique problems → two computations.
+        assert_eq!(cache.stats().inserts, 2);
+
+        // A re-run is all hits: no new computation.
+        let again = batch.run_cached(&cache, vec![tf, saf], |_| {});
+        assert!(again
+            .iter()
+            .all(|r| r.as_ref().unwrap().diagnostics.cache_hit));
+        assert_eq!(cache.stats().inserts, 2);
+
+        // Failures pass through per-slot and are never cached.
+        let mixed = batch.run_cached(&cache, vec![GenerateRequest::default()], |_| {});
+        assert!(mixed[0].is_err());
+        assert_eq!(cache.stats().inserts, 2);
     }
 
     #[test]

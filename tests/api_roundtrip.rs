@@ -79,6 +79,7 @@ fn random_outcome(rng: &mut Rng) -> GenerateOutcome {
             search_micros: rng.next_u64() % 1_000_000,
             verify_micros: rng.next_u64() % 1_000_000,
             shard_micros: rng.vec(0, 6, |rng| rng.next_u64() % 1_000_000),
+            cache_hit: rng.flip(),
         },
     }
 }

@@ -1,0 +1,266 @@
+//! End-to-end smoke test of the `marchgend` daemon: spawns the real
+//! binary on a loopback port and drives it with a std-only `TcpStream`
+//! client through the acceptance sequence — generate → permuted-request
+//! cache hit (with the ≥10× latency drop) → oversized body → stats →
+//! graceful shutdown — and checks daemon outcomes are byte-identical to
+//! CLI `--json` output modulo the diagnostics block.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const FAULTS: &str = r#"["SAF", "TF", "ADF", "CFin", "CFid"]"#;
+const FAULTS_PERMUTED: &str = r#"["CFid", "ADF", "CFin", "TF", "SAF"]"#;
+
+struct Daemon {
+    child: Child,
+    addr: String,
+}
+
+impl Daemon {
+    fn spawn(extra_args: &[&str]) -> Daemon {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_marchgend"))
+            .arg("--addr")
+            .arg("127.0.0.1:0")
+            .args(extra_args)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .expect("spawn marchgend");
+        let stdout = child.stdout.take().expect("piped stdout");
+        let mut first_line = String::new();
+        BufReader::new(stdout)
+            .read_line(&mut first_line)
+            .expect("read listen line");
+        let addr = first_line
+            .trim()
+            .strip_prefix("marchgend listening on http://")
+            .unwrap_or_else(|| panic!("unexpected banner {first_line:?}"))
+            .to_owned();
+        Daemon { child, addr }
+    }
+
+    /// One HTTP exchange on a fresh connection; returns (status, body).
+    fn request(&self, method: &str, path: &str, body: &str) -> (u16, String) {
+        let mut stream = TcpStream::connect(&self.addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(120)))
+            .unwrap();
+        write!(
+            stream,
+            "{method} {path} HTTP/1.1\r\nhost: marchgend\r\nconnection: close\r\ncontent-length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .expect("send request");
+        let mut wire = String::new();
+        stream.read_to_string(&mut wire).expect("read response");
+        let status: u16 = wire
+            .strip_prefix("HTTP/1.1 ")
+            .and_then(|rest| rest.get(..3))
+            .and_then(|code| code.parse().ok())
+            .unwrap_or_else(|| panic!("unparseable response {wire:?}"));
+        let body = wire
+            .split_once("\r\n\r\n")
+            .map(|(_, body)| body.to_owned())
+            .unwrap_or_default();
+        (status, body)
+    }
+
+    fn wait_for_exit(mut self) {
+        let deadline = Instant::now() + Duration::from_secs(60);
+        loop {
+            match self.child.try_wait().expect("poll daemon") {
+                Some(status) => {
+                    assert!(status.success(), "daemon exited with {status}");
+                    return;
+                }
+                None if Instant::now() > deadline => {
+                    let _ = self.child.kill();
+                    panic!("daemon did not exit within the deadline after shutdown");
+                }
+                None => std::thread::sleep(Duration::from_millis(20)),
+            }
+        }
+    }
+}
+
+/// Pulls an integer out of rendered JSON like `"misses":3` — enough for
+/// asserting flat counter objects without a decoder dependency.
+fn counter(body: &str, name: &str) -> i64 {
+    let pattern = format!("\"{name}\":");
+    let start = body
+        .find(&pattern)
+        .unwrap_or_else(|| panic!("{name:?} not in {body}"))
+        + pattern.len();
+    body[start..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '-')
+        .collect::<String>()
+        .parse()
+        .unwrap_or_else(|_| panic!("{name:?} is not an integer in {body}"))
+}
+
+/// Strips the volatile diagnostics block out of a rendered outcome so
+/// two outcomes can be compared byte-for-byte. Diagnostics is the only
+/// field allowed to differ between a computed and a replayed outcome
+/// (timings + the `cache_hit` stamp), and it renders as the trailing
+/// `"diagnostics":{...}` member of the schema-v1 document.
+fn without_diagnostics(outcome_json: &str) -> String {
+    let start = outcome_json
+        .find("\"diagnostics\"")
+        .unwrap_or_else(|| panic!("no diagnostics in {outcome_json}"));
+    outcome_json[..start].to_owned()
+}
+
+#[test]
+fn daemon_smoke_generate_cache_stats_shutdown() {
+    let cache_dir =
+        std::env::temp_dir().join(format!("marchgend-smoke-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let daemon = Daemon::spawn(&[
+        "--cache-dir",
+        cache_dir.to_str().unwrap(),
+        "--max-body-bytes",
+        "4096",
+        "--workers",
+        "2",
+    ]);
+
+    // ---- health ---------------------------------------------------------
+    let (status, body) = daemon.request("GET", "/v1/health", "");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"status\":\"ok\""), "{body}");
+    assert!(body.contains("\"schema\":1"), "{body}");
+
+    // ---- first generate: a full computation -----------------------------
+    let request_doc = format!("{{\"faults\": {FAULTS}}}");
+    let cold_started = Instant::now();
+    let (status, cold_body) = daemon.request("POST", "/v1/generate", &request_doc);
+    let cold_latency = cold_started.elapsed();
+    assert_eq!(status, 200, "{cold_body}");
+    assert!(cold_body.contains("\"complexity\":10"), "{cold_body}");
+    assert!(cold_body.contains("\"verified\":true"), "{cold_body}");
+    assert!(cold_body.contains("\"cache_hit\":false"), "{cold_body}");
+
+    // ---- permuted repeat: served from cache, ≥10× faster ----------------
+    let permuted_doc = format!("{{\"faults\": {FAULTS_PERMUTED}}}");
+    let warm_started = Instant::now();
+    let (status, warm_body) = daemon.request("POST", "/v1/generate", &permuted_doc);
+    let warm_latency = warm_started.elapsed();
+    assert_eq!(status, 200, "{warm_body}");
+    assert!(warm_body.contains("\"cache_hit\":true"), "{warm_body}");
+    assert_eq!(
+        without_diagnostics(&cold_body),
+        without_diagnostics(&warm_body),
+        "replayed outcome must be byte-identical modulo diagnostics"
+    );
+    assert!(
+        warm_latency * 10 <= cold_latency,
+        "cache hit should be ≥10× faster: cold {cold_latency:?}, warm {warm_latency:?}"
+    );
+
+    // ---- daemon output ≡ CLI --json output (modulo diagnostics) ---------
+    let cli = Command::new(env!("CARGO_BIN_EXE_marchgen"))
+        .args(["generate", "SAF, TF, ADF, CFin, CFid", "--json"])
+        .output()
+        .expect("run marchgen CLI");
+    assert!(cli.status.success());
+    // The CLI pretty-prints; normalize both documents by stripping all
+    // inter-token whitespace outside strings (schema-v1 strings in this
+    // workload never contain spaces that matter to the comparison —
+    // March notation uses NBSP-free separators — so plain whitespace
+    // stripping is a faithful normalizer here).
+    let normalize = |text: &str| -> String {
+        without_diagnostics(text)
+            .chars()
+            .filter(|c| !c.is_whitespace())
+            .collect()
+    };
+    let cli_json = String::from_utf8(cli.stdout).unwrap();
+    assert_eq!(
+        normalize(&cli_json),
+        normalize(&cold_body),
+        "daemon and CLI must serve identical outcomes for the same request"
+    );
+
+    // ---- oversized body → 413, never dispatched -------------------------
+    let oversized = format!("{{\"faults\": [{}]}}", "\"SAF\",".repeat(1000) + "\"SAF\"");
+    assert!(oversized.len() > 4096);
+    let (status, body) = daemon.request("POST", "/v1/generate", &oversized);
+    assert_eq!(status, 413, "{body}");
+    assert!(body.contains("body_too_large"), "{body}");
+
+    // ---- batch: one hit, one fresh, in input order ----------------------
+    let batch_doc = format!("[{{\"faults\": {FAULTS}}}, {{\"faults\": [\"SAF\"]}}]");
+    let (status, batch_body) = daemon.request("POST", "/v1/batch", &batch_doc);
+    assert_eq!(status, 200, "{batch_body}");
+    assert!(batch_body.starts_with("[{\"outcome\""), "{batch_body}");
+    assert_eq!(batch_body.matches("\"outcome\"").count(), 2, "{batch_body}");
+
+    // ---- malformed and invalid documents --------------------------------
+    let (status, body) = daemon.request("POST", "/v1/generate", "{not json");
+    assert_eq!(status, 400, "{body}");
+    let (status, body) = daemon.request("POST", "/v1/generate", "{\"faults\": [\"NOPE\"]}");
+    assert_eq!(status, 422, "{body}");
+    let (status, _) = daemon.request("GET", "/v1/missing", "");
+    assert_eq!(status, 404);
+    let (status, _) = daemon.request("GET", "/v1/generate", "");
+    assert_eq!(status, 405);
+
+    // ---- stats reflect all of the above ---------------------------------
+    let (status, stats) = daemon.request("GET", "/v1/stats", "");
+    assert_eq!(status, 200, "{stats}");
+    assert!(counter(&stats, "hits") >= 2, "{stats}"); // permuted repeat + batch entry
+    assert_eq!(counter(&stats, "inserts"), 2, "{stats}"); // 5-model list + SAF
+    assert!(counter(&stats, "misses") >= 2, "{stats}");
+    assert!(counter(&stats, "computed") >= 2, "{stats}");
+    assert!(counter(&stats, "generate") >= 4, "{stats}");
+    assert_eq!(counter(&stats, "batch"), 1, "{stats}");
+    // The stats request itself is the one request in flight.
+    assert_eq!(counter(&stats, "in_flight"), 1, "{stats}");
+    assert!(counter(&stats, "requests") >= 8, "{stats}");
+    // The oversized body was turned away at the protocol layer.
+    assert_eq!(counter(&stats, "protocol_errors"), 1, "{stats}");
+
+    // ---- graceful shutdown ----------------------------------------------
+    let (status, body) = daemon.request("POST", "/v1/shutdown", "");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"stopping\":true"), "{body}");
+    daemon.wait_for_exit();
+
+    // The persistent store survived: one file per cached problem.
+    let entries = std::fs::read_dir(&cache_dir)
+        .expect("cache dir exists")
+        .count();
+    assert_eq!(entries, 2, "one JSON file per cached outcome");
+    let _ = std::fs::remove_dir_all(&cache_dir);
+}
+
+/// A fresh daemon pointed at a pre-warmed `--cache-dir` serves its very
+/// first request from disk — memoization across processes.
+#[test]
+fn daemon_serves_from_a_prewarmed_disk_cache() {
+    let cache_dir =
+        std::env::temp_dir().join(format!("marchgend-smoke-disk-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let dir_arg = cache_dir.to_str().unwrap().to_owned();
+
+    let first = Daemon::spawn(&["--cache-dir", &dir_arg]);
+    let (status, _) = first.request("POST", "/v1/generate", r#"{"faults": ["SAF", "TF"]}"#);
+    assert_eq!(status, 200);
+    let (status, _) = first.request("POST", "/v1/shutdown", "");
+    assert_eq!(status, 200);
+    first.wait_for_exit();
+
+    let second = Daemon::spawn(&["--cache-dir", &dir_arg]);
+    let (status, body) = second.request("POST", "/v1/generate", r#"{"faults": ["TF", "SAF"]}"#);
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"cache_hit\":true"), "{body}");
+    let (_, stats) = second.request("GET", "/v1/stats", "");
+    assert_eq!(counter(&stats, "disk_hits"), 1, "{stats}");
+    let (status, _) = second.request("POST", "/v1/shutdown", "");
+    assert_eq!(status, 200);
+    second.wait_for_exit();
+    let _ = std::fs::remove_dir_all(&cache_dir);
+}
