@@ -172,6 +172,24 @@ mod tests {
         assert!(stats.nodes >= 1);
     }
 
+    /// Regression: the AP bound used to saturate on near-`u64::MAX`
+    /// weights, pinning bounds at the max so pruning decisions compared
+    /// equal. Clamped arcs + checked accumulation keep the search exact.
+    #[test]
+    fn near_max_weights_resolve_to_the_true_optimum() {
+        let huge = u64::MAX - 3;
+        let inst = AtspInstance::from_rows(vec![
+            vec![0, huge, 1, 2],
+            vec![2, 0, huge, 1],
+            vec![1, 2, 0, huge],
+            vec![huge, 1, 2, 0],
+        ]);
+        let bb = solve(&inst);
+        let bf = brute::solve(&inst);
+        assert_eq!(bb.cost, bf.cost);
+        assert_eq!(inst.cycle_cost(&bb.order), bb.cost);
+    }
+
     #[test]
     fn single_and_two_node_instances() {
         let one = AtspInstance::from_fn(1, |_, _| 0);

@@ -5,7 +5,7 @@
 //! "GTS length ≈ March complexity" proxy: every minimum-weight tour is
 //! converted to a March test and the shortest result wins.
 
-use crate::instance::{AtspInstance, Tour, INF};
+use crate::instance::{add_cost, AtspInstance, Tour, INF};
 
 /// Practical node ceiling for the DP (`2²⁰ × 20 × 8` bytes ≈ 168 MiB is
 /// past reasonable; 18 keeps the table under 40 MiB).
@@ -82,7 +82,7 @@ impl<'a> DpTable<'a> {
                     if mask & (1 << next) != 0 {
                         continue;
                     }
-                    let cand = cur.saturating_add(instance.cost(last, next));
+                    let cand = add_cost(cur, instance.cost(last, next));
                     let slot = &mut dp[(mask | (1 << next)) * n + next];
                     if cand < *slot {
                         *slot = cand;
@@ -93,7 +93,7 @@ impl<'a> DpTable<'a> {
         let full = size - 1;
         let mut best_cost = INF;
         for last in 1..n {
-            let c = dp[full * n + last].saturating_add(instance.cost(last, 0));
+            let c = add_cost(dp[full * n + last], instance.cost(last, 0));
             best_cost = best_cost.min(c);
         }
         DpTable {
@@ -110,7 +110,7 @@ impl<'a> DpTable<'a> {
         }
         let full = (1usize << self.n) - 1;
         let mut last = (1..self.n)
-            .min_by_key(|&l| self.dp[full * self.n + l].saturating_add(self.instance.cost(l, 0)))
+            .min_by_key(|&l| add_cost(self.dp[full * self.n + l], self.instance.cost(l, 0)))
             .expect("n > 1");
         let mut order = vec![last];
         let mut mask = full;
@@ -121,7 +121,7 @@ impl<'a> DpTable<'a> {
                 .find(|&p| {
                     p != last
                         && (without & (1 << p)) != 0
-                        && self.dp[without * self.n + p].saturating_add(self.instance.cost(p, last))
+                        && add_cost(self.dp[without * self.n + p], self.instance.cost(p, last))
                             == target
                 })
                 .expect("dp table is consistent");
@@ -144,7 +144,7 @@ impl<'a> DpTable<'a> {
         // stack entries: (mask, last, suffix from last to end)
         let mut stack: Vec<(usize, usize, Vec<usize>)> = Vec::new();
         for last in 1..self.n {
-            let c = self.dp[full * self.n + last].saturating_add(self.instance.cost(last, 0));
+            let c = add_cost(self.dp[full * self.n + last], self.instance.cost(last, 0));
             if c == self.best_cost && c < INF {
                 stack.push((full, last, vec![last]));
             }
@@ -165,8 +165,10 @@ impl<'a> DpTable<'a> {
                 if prev == last || (without & (1 << prev)) == 0 {
                     continue;
                 }
-                let via =
-                    self.dp[without * self.n + prev].saturating_add(self.instance.cost(prev, last));
+                let via = add_cost(
+                    self.dp[without * self.n + prev],
+                    self.instance.cost(prev, last),
+                );
                 if via == target {
                     let mut next_suffix = suffix.clone();
                     next_suffix.push(prev);
@@ -253,6 +255,36 @@ mod tests {
             assert!(all.iter().all(|t| t.cost == bf.cost));
             assert!(all.contains(&bf) || all.iter().any(|t| t.cost == bf.cost));
         }
+    }
+
+    /// Regression: with near-`u64::MAX` weights the old saturating DP
+    /// pinned every completion at the max, so tours through a different
+    /// number of extreme arcs compared *equal* and the "optimal" pick
+    /// was arbitrary. Clamped arcs + checked accumulation keep the
+    /// order exact: the unique cheap cycle must win.
+    #[test]
+    fn near_max_weights_resolve_to_the_true_optimum() {
+        let huge = u64::MAX - 17;
+        // Cheap Hamiltonian cycle 0→1→2→3→0 of cost 4; every other arc
+        // is an extreme weight (clamping makes them forbidden).
+        let inst = AtspInstance::from_fn(4, |i, j| if (i + 1) % 4 == j { 1 } else { huge });
+        let t = solve(&inst);
+        assert_eq!(t.order, vec![0, 1, 2, 3]);
+        assert_eq!(t.cost, 4);
+        assert!(t.is_finite());
+        // A mixed instance — extreme arcs present, cheap tour hidden —
+        // must agree with the brute-force oracle exactly.
+        let inst = AtspInstance::from_rows(vec![
+            vec![0, huge, 3, 9],
+            vec![2, 0, huge, 4],
+            vec![7, 1, 0, huge],
+            vec![huge, 8, 5, 0],
+        ]);
+        let t = solve(&inst);
+        let bf = brute::solve(&inst);
+        assert_eq!(t.cost, bf.cost);
+        assert!(t.is_finite(), "the clamped arcs are routed around");
+        assert_eq!(inst.cycle_cost(&t.order), t.cost);
     }
 
     #[test]

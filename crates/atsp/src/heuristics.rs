@@ -147,14 +147,19 @@ pub fn or_opt(instance: &AtspInstance, tour: &Tour) -> Tour {
     Tour::new(instance, order)
 }
 
-/// The full heuristic pipeline: best of nearest-neighbour and greedy-edge
-/// construction, polished with Or-opt.
+/// The full heuristic pipeline: nearest-neighbour and greedy-edge
+/// construction, each polished with Or-opt, best result kept. Both
+/// seeds are descended — the cheaper *construction* does not always
+/// lead to the cheaper *local optimum*.
 #[must_use]
 pub fn construct(instance: &AtspInstance) -> Tour {
-    let nn = best_nearest_neighbor(instance);
-    let ge = greedy_edge(instance);
-    let seed = if nn.cost <= ge.cost { nn } else { ge };
-    or_opt(instance, &seed)
+    let nn = or_opt(instance, &best_nearest_neighbor(instance));
+    let ge = or_opt(instance, &greedy_edge(instance));
+    if nn.cost <= ge.cost {
+        nn
+    } else {
+        ge
+    }
 }
 
 /// `true` when the tour uses no forbidden arc — heuristics on heavily

@@ -9,7 +9,7 @@
 //! ATSP optimum, and when its permutation happens to form one cycle it is
 //! already the optimal tour.
 
-use crate::instance::{AtspInstance, INF};
+use crate::instance::{add_cost, AtspInstance, INF};
 
 /// An assignment-problem solution.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -130,7 +130,9 @@ pub fn solve(instance: &AtspInstance) -> Assignment {
     }
     let mut total = 0u64;
     for (i, &j) in to.iter().enumerate() {
-        total = total.saturating_add(instance.cost(i, j).min(INF));
+        // Arcs are clamped at INF by the instance; checked accumulation
+        // keeps bounds exact instead of saturating into false ties.
+        total = add_cost(total, instance.cost(i, j).min(INF));
     }
     Assignment { to, cost: total }
 }

@@ -4,7 +4,26 @@ use std::fmt;
 
 /// Cost marking a forbidden arc. Large enough to dominate any real tour,
 /// small enough that sums of `n` of them never overflow `u64`.
+///
+/// `INF` is a *threshold*, not just a sentinel: constructors clamp every
+/// arc at it, so any cost `>= INF` means "forbidden". Together with
+/// [`MAX_DIMENSION`] this makes cost accumulation overflow-free — the
+/// worst possible cycle sums to `MAX_DIMENSION × INF ≤ u64::MAX` — so
+/// the solvers can compare tour costs exactly instead of saturating
+/// (saturated sums pin at the max and compare *equal*, which once let
+/// the DP return a provably non-optimal tour on extreme-weight
+/// instances without any error).
 pub const INF: u64 = u64::MAX / 1024;
+
+/// Largest accepted node count. `MAX_DIMENSION × INF` is the largest
+/// cycle cost any instance can produce, and it still fits `u64` — the
+/// explicit guard that keeps every cost accumulation in this crate
+/// exact. Far beyond any Test Pattern Graph the generator builds.
+pub const MAX_DIMENSION: usize = 1024;
+
+// The overflow-freedom argument, checked at compile time: the most
+// expensive cycle (every arc clamped at INF, MAX_DIMENSION nodes) fits.
+const _: () = assert!((MAX_DIMENSION as u128) * (INF as u128) <= u64::MAX as u128);
 
 /// An ATSP instance: a complete directed graph given by its cost matrix
 /// (`cost[i][j]` = cost of arc `i → j`; diagonal entries are ignored).
@@ -15,35 +34,46 @@ pub struct AtspInstance {
 }
 
 impl AtspInstance {
-    /// Builds an instance from a square row-major matrix.
+    /// Builds an instance from a square row-major matrix. Costs at or
+    /// above [`INF`] are clamped to `INF` (forbidden).
     ///
     /// # Panics
     ///
-    /// Panics if the matrix is empty or not square.
+    /// Panics if the matrix is empty, not square, or larger than
+    /// [`MAX_DIMENSION`].
     #[must_use]
     pub fn from_rows(rows: Vec<Vec<u64>>) -> AtspInstance {
         let n = rows.len();
         assert!(n > 0, "an ATSP instance needs at least one node");
+        assert!(
+            n <= MAX_DIMENSION,
+            "ATSP instances are capped at {MAX_DIMENSION} nodes, got {n}"
+        );
         let mut cost = Vec::with_capacity(n * n);
         for row in &rows {
             assert_eq!(row.len(), n, "cost matrix must be square");
-            cost.extend_from_slice(row);
+            cost.extend(row.iter().map(|&c| c.min(INF)));
         }
         AtspInstance { n, cost }
     }
 
-    /// Builds an instance of `n` nodes from a cost function.
+    /// Builds an instance of `n` nodes from a cost function. Costs at
+    /// or above [`INF`] are clamped to `INF` (forbidden).
     ///
     /// # Panics
     ///
-    /// Panics if `n == 0`.
+    /// Panics if `n == 0` or `n > MAX_DIMENSION`.
     #[must_use]
     pub fn from_fn(n: usize, mut f: impl FnMut(usize, usize) -> u64) -> AtspInstance {
         assert!(n > 0, "an ATSP instance needs at least one node");
+        assert!(
+            n <= MAX_DIMENSION,
+            "ATSP instances are capped at {MAX_DIMENSION} nodes, got {n}"
+        );
         let mut cost = Vec::with_capacity(n * n);
         for i in 0..n {
             for j in 0..n {
-                cost.push(if i == j { INF } else { f(i, j) });
+                cost.push(if i == j { INF } else { f(i, j).min(INF) });
             }
         }
         AtspInstance { n, cost }
@@ -72,26 +102,30 @@ impl AtspInstance {
         self.cost[i * self.n + j]
     }
 
-    /// Sets the cost of arc `i → j` (used by branch-and-bound nodes).
+    /// Sets the cost of arc `i → j` (used by branch-and-bound nodes),
+    /// clamped at [`INF`].
     pub fn set_cost(&mut self, i: usize, j: usize, c: u64) {
         assert!(i < self.n && j < self.n, "arc ({i},{j}) out of range");
-        self.cost[i * self.n + j] = c;
+        self.cost[i * self.n + j] = c.min(INF);
     }
 
     /// The cost of visiting `order` as a cycle (returning to the first
-    /// node), saturating on forbidden arcs.
+    /// node). Exact: arcs are clamped at [`INF`] and instances capped at
+    /// [`MAX_DIMENSION`] nodes, so the widened accumulator always
+    /// converts back losslessly — tours through forbidden arcs get
+    /// costs `>= INF` that still compare correctly against each other.
     #[must_use]
     pub fn cycle_cost(&self, order: &[usize]) -> u64 {
         if order.len() <= 1 {
             return 0; // a single node is a zero-length cycle
         }
-        let mut total = 0u64;
+        let mut total = 0u128;
         for k in 0..order.len() {
             let from = order[k];
             let to = order[(k + 1) % order.len()];
-            total = total.saturating_add(self.cost(from, to));
+            total += u128::from(self.cost(from, to));
         }
-        total
+        u64::try_from(total).expect("MAX_DIMENSION * INF fits u64")
     }
 
     /// `true` when `order` is a permutation of `0..n`.
@@ -109,6 +143,25 @@ impl AtspInstance {
         }
         true
     }
+}
+
+/// Checked addition of two path/arc costs. By the crate invariants
+/// (arcs clamped at [`INF`], instances capped at [`MAX_DIMENSION`]) a
+/// partial-path cost plus one arc can never overflow; this helper makes
+/// that assumption *loud* instead of silently saturating — saturated
+/// sums compare equal, which once let the exact solvers return a
+/// provably non-optimal tour on extreme-weight instances without any
+/// error.
+///
+/// # Panics
+///
+/// Panics on overflow (unreachable unless the invariants are broken).
+#[must_use]
+pub fn add_cost(a: u64, b: u64) -> u64 {
+    a.checked_add(b).expect(
+        "cost accumulation cannot overflow: arcs are clamped at INF \
+         and instances capped at MAX_DIMENSION nodes",
+    )
 }
 
 impl fmt::Display for AtspInstance {
@@ -233,5 +286,44 @@ mod tests {
         let inst = AtspInstance::from_fn(4, |_, _| INF);
         let c = inst.cycle_cost(&[0, 1, 2, 3]);
         assert!(c >= INF);
+    }
+
+    /// Regression: costs near `u64::MAX` used to survive into the cost
+    /// matrix, where saturating sums pinned every tour at the max and
+    /// compared equal. They now clamp to `INF` at construction, so
+    /// cycle costs stay exact and tours with *different* numbers of
+    /// extreme arcs stay distinguishable.
+    #[test]
+    fn near_max_weights_clamp_and_stay_comparable() {
+        let huge = u64::MAX / 2; // above INF, below u64::MAX
+        let inst =
+            AtspInstance::from_rows(vec![vec![0, huge, 1], vec![1, 0, huge], vec![huge, 1, 0]]);
+        assert_eq!(inst.cost(0, 1), INF, "extreme weights clamp to INF");
+        // One direction uses three clamped arcs, the other none: before
+        // the clamp both directions saturated to u64::MAX and tied.
+        let all_huge = inst.cycle_cost(&[0, 1, 2]);
+        let all_small = inst.cycle_cost(&[0, 2, 1]);
+        assert_eq!(all_huge, 3 * INF);
+        assert_eq!(all_small, 3);
+        assert!(all_small < all_huge);
+    }
+
+    #[test]
+    fn set_cost_clamps_at_inf() {
+        let mut inst = AtspInstance::from_fn(3, |_, _| 1);
+        inst.set_cost(0, 1, u64::MAX);
+        assert_eq!(inst.cost(0, 1), INF);
+    }
+
+    #[test]
+    fn add_cost_is_exact_in_range() {
+        assert_eq!(add_cost(3, 4), 7);
+        assert_eq!(add_cost(INF, INF), 2 * INF);
+    }
+
+    #[test]
+    #[should_panic(expected = "capped at")]
+    fn rejects_oversized_instances() {
+        let _ = AtspInstance::from_fn(MAX_DIMENSION + 1, |_, _| 1);
     }
 }

@@ -16,10 +16,13 @@
 //! * [`branch_bound`] — a CDT-style subtour-patching branch-and-bound
 //!   built on the AP relaxation, exact for the mid-size instances,
 //! * [`heuristics`] — nearest-neighbour / greedy-edge construction and
-//!   asymmetric-safe Or-opt improvement, used for upper bounds and for
-//!   out-of-range instances,
+//!   asymmetric-safe Or-opt improvement, used for upper bounds and as
+//!   the local-search seed,
+//! * [`local_search`] — a Lin–Kernighan-style local search (candidate
+//!   lists, Or-opt/2-opt moves, don't-look bits, deterministic seeded
+//!   restarts) for instances beyond the exact solvers' range,
 //! * [`solve`] / [`Solver`] — a facade that picks a method by instance
-//!   size.
+//!   size (exact up to [`EXACT_THRESHOLD`] nodes, local search beyond).
 //!
 //! Costs use `u64` with [`INF`] marking forbidden arcs.
 //!
@@ -46,10 +49,12 @@ pub mod held_karp;
 pub mod heuristics;
 pub mod hungarian;
 mod instance;
+pub mod local_search;
 mod solver;
 
-pub use instance::{AtspInstance, Tour, INF};
+pub use instance::{add_cost, AtspInstance, Tour, INF, MAX_DIMENSION};
 pub use solver::{
     solve, solve_all_optimal, AtspSolver, AutoSolver, BranchBoundSolver, HeldKarpSolver,
-    HeuristicSolver, Solver, SolverChoice, SolverRegistry, UnknownSolverError,
+    HeuristicSolver, LocalSearchSolver, SolveStats, Solver, SolverChoice, SolverRegistry,
+    UnknownSolverError, EXACT_THRESHOLD,
 };

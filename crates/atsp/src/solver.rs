@@ -3,10 +3,35 @@
 //! helpers the generator used historically.
 
 use crate::instance::{AtspInstance, Tour};
-use crate::{branch_bound, held_karp, heuristics};
+use crate::{branch_bound, held_karp, heuristics, local_search};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
+
+/// Largest instance the size-dispatching [`AutoSolver`] still solves
+/// *exactly* (Held–Karp up to its table limit, branch-and-bound up to
+/// here); beyond it the Lin–Kernighan-style local search takes over.
+pub const EXACT_THRESHOLD: usize = 40;
+
+/// Statistics of one solver invocation, surfaced by the request layer's
+/// diagnostics. Exact solvers report zeros; the local search counts its
+/// improving moves and perturbation rounds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolveStats {
+    /// Improving local-search moves applied.
+    pub iterations: u64,
+    /// Perturbation restarts performed.
+    pub restarts: u64,
+}
+
+impl SolveStats {
+    /// Accumulates another invocation's counters (requests solve one
+    /// ATSP instance per unique TP set).
+    pub fn absorb(&mut self, other: SolveStats) {
+        self.iterations += other.iterations;
+        self.restarts += other.restarts;
+    }
+}
 
 /// A pluggable ATSP solving strategy.
 ///
@@ -37,6 +62,19 @@ pub trait AtspSolver: Send + Sync {
     fn solve_all_optimal(&self, instance: &AtspInstance, cap: usize) -> Vec<Tour> {
         let _ = cap;
         vec![self.solve(instance)]
+    }
+
+    /// [`AtspSolver::solve_all_optimal`] plus the invocation's
+    /// [`SolveStats`]. The default reports zeros (exact strategies do no
+    /// iterative search); the local-search backend overrides it so the
+    /// request layer can surface iteration and restart counts in its
+    /// diagnostics.
+    fn solve_all_optimal_with_stats(
+        &self,
+        instance: &AtspInstance,
+        cap: usize,
+    ) -> (Vec<Tour>, SolveStats) {
+        (self.solve_all_optimal(instance, cap), SolveStats::default())
     }
 }
 
@@ -108,10 +146,43 @@ impl AtspSolver for HeuristicSolver {
     }
 }
 
+/// Lin–Kernighan-style local search ([`local_search`]): candidate-list
+/// guided Or-opt/2-opt descent with don't-look bits and deterministic
+/// seeded restarts. Inexact but near-optimal, and the backend of choice
+/// for instances beyond the exact solvers' range.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LocalSearchSolver;
+
+impl AtspSolver for LocalSearchSolver {
+    fn name(&self) -> &str {
+        "local-search"
+    }
+
+    fn solve(&self, instance: &AtspInstance) -> Tour {
+        local_search::solve(instance)
+    }
+
+    fn is_exact_for(&self, _instance: &AtspInstance) -> bool {
+        false
+    }
+
+    fn solve_all_optimal_with_stats(
+        &self,
+        instance: &AtspInstance,
+        _cap: usize,
+    ) -> (Vec<Tour>, SolveStats) {
+        let (tour, stats) =
+            local_search::solve_with_stats(instance, &local_search::Config::default());
+        (vec![tour], stats)
+    }
+}
+
 /// Size-dispatching default: Held–Karp (with enumeration) up to its
-/// table limit, branch-and-bound up to 40 nodes, heuristics beyond —
-/// the behaviour of the free [`solve`] / [`solve_all_optimal`]
-/// functions.
+/// table limit, branch-and-bound up to [`EXACT_THRESHOLD`] nodes, the
+/// Lin–Kernighan-style local search beyond — the behaviour of the free
+/// [`solve`] / [`solve_all_optimal`] functions. The exact path is
+/// retained as the cross-check oracle for the local search in the
+/// differential test suites.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct AutoSolver;
 
@@ -125,7 +196,7 @@ impl AtspSolver for AutoSolver {
     }
 
     fn is_exact_for(&self, instance: &AtspInstance) -> bool {
-        Solver::for_size(instance.len()) != Solver::Heuristic
+        instance.len() <= EXACT_THRESHOLD
     }
 
     fn solve_all_optimal(&self, instance: &AtspInstance, cap: usize) -> Vec<Tour> {
@@ -133,6 +204,18 @@ impl AtspSolver for AutoSolver {
             held_karp::solve_all(instance, cap)
         } else {
             vec![self.solve(instance)]
+        }
+    }
+
+    fn solve_all_optimal_with_stats(
+        &self,
+        instance: &AtspInstance,
+        cap: usize,
+    ) -> (Vec<Tour>, SolveStats) {
+        if instance.len() > EXACT_THRESHOLD {
+            LocalSearchSolver.solve_all_optimal_with_stats(instance, cap)
+        } else {
+            (self.solve_all_optimal(instance, cap), SolveStats::default())
         }
     }
 }
@@ -150,6 +233,8 @@ pub enum SolverChoice {
     BranchBound,
     /// Inexact but fast ([`HeuristicSolver`]).
     Heuristic,
+    /// Lin–Kernighan-style local search ([`LocalSearchSolver`]).
+    LocalSearch,
     /// A custom strategy registered under this name.
     Custom(String),
 }
@@ -163,6 +248,7 @@ impl SolverChoice {
             SolverChoice::HeldKarp => "held-karp",
             SolverChoice::BranchBound => "branch-bound",
             SolverChoice::Heuristic => "heuristic",
+            SolverChoice::LocalSearch => "local-search",
             SolverChoice::Custom(name) => name,
         }
     }
@@ -177,6 +263,7 @@ impl SolverChoice {
             "held-karp" => SolverChoice::HeldKarp,
             "branch-bound" => SolverChoice::BranchBound,
             "heuristic" => SolverChoice::Heuristic,
+            "local-search" => SolverChoice::LocalSearch,
             other => SolverChoice::Custom(other.to_owned()),
         }
     }
@@ -205,8 +292,9 @@ impl std::error::Error for UnknownSolverError {}
 
 /// A by-name registry of [`AtspSolver`] strategies.
 ///
-/// [`SolverRegistry::default`] carries the four built-ins (`auto`,
-/// `held-karp`, `branch-bound`, `heuristic`); callers add their own with
+/// [`SolverRegistry::default`] carries the five built-ins (`auto`,
+/// `held-karp`, `branch-bound`, `heuristic`, `local-search`); callers
+/// add their own with
 /// [`SolverRegistry::register`] and select them per request through
 /// [`SolverChoice::Custom`].
 ///
@@ -241,6 +329,7 @@ impl Default for SolverRegistry {
         registry.register(HeldKarpSolver);
         registry.register(BranchBoundSolver);
         registry.register(HeuristicSolver);
+        registry.register(LocalSearchSolver);
         registry
     }
 }
@@ -310,20 +399,23 @@ pub enum Solver {
     BranchBound,
     /// Heuristic construction + Or-opt ([`heuristics`]); not exact.
     Heuristic,
+    /// Lin–Kernighan-style local search ([`local_search`]); not exact
+    /// but near-optimal, and stronger than the one-shot heuristics.
+    LocalSearch,
 }
 
 impl Solver {
     /// The method [`solve`] picks for an instance of `n` nodes: Held–Karp
-    /// up to its table limit, branch-and-bound up to 40 nodes, heuristics
-    /// beyond.
+    /// up to its table limit, branch-and-bound up to [`EXACT_THRESHOLD`]
+    /// nodes, the local search beyond.
     #[must_use]
     pub fn for_size(n: usize) -> Solver {
         if n <= held_karp::MAX_NODES {
             Solver::HeldKarp
-        } else if n <= 40 {
+        } else if n <= EXACT_THRESHOLD {
             Solver::BranchBound
         } else {
-            Solver::Heuristic
+            Solver::LocalSearch
         }
     }
 
@@ -334,6 +426,7 @@ impl Solver {
             Solver::HeldKarp => held_karp::solve(instance),
             Solver::BranchBound => branch_bound::solve(instance),
             Solver::Heuristic => heuristics::construct(instance),
+            Solver::LocalSearch => local_search::solve(instance),
         }
     }
 }
@@ -369,7 +462,9 @@ mod tests {
             Solver::for_size(held_karp::MAX_NODES + 1),
             Solver::BranchBound
         );
-        assert_eq!(Solver::for_size(64), Solver::Heuristic);
+        assert_eq!(Solver::for_size(EXACT_THRESHOLD), Solver::BranchBound);
+        assert_eq!(Solver::for_size(EXACT_THRESHOLD + 1), Solver::LocalSearch);
+        assert_eq!(Solver::for_size(64), Solver::LocalSearch);
     }
 
     #[test]
@@ -386,13 +481,20 @@ mod tests {
         let registry = SolverRegistry::default();
         assert_eq!(
             registry.names(),
-            vec!["auto", "branch-bound", "held-karp", "heuristic"]
+            vec![
+                "auto",
+                "branch-bound",
+                "held-karp",
+                "heuristic",
+                "local-search"
+            ]
         );
         for choice in [
             SolverChoice::Auto,
             SolverChoice::HeldKarp,
             SolverChoice::BranchBound,
             SolverChoice::Heuristic,
+            SolverChoice::LocalSearch,
         ] {
             let solver = registry.resolve(&choice).expect("built-in resolves");
             assert_eq!(solver.name(), choice.key());
@@ -430,6 +532,54 @@ mod tests {
         let heuristic = HeuristicSolver;
         assert!(heuristic.solve(&inst).cost >= opt);
         assert!(!heuristic.is_exact_for(&inst));
+        let local = LocalSearchSolver;
+        assert!(local.solve(&inst).cost >= opt);
+        assert!(!local.is_exact_for(&inst));
+    }
+
+    /// The local-search backend surfaces its work through the stats
+    /// variant; exact backends report zeros.
+    #[test]
+    fn solve_stats_plumbing() {
+        let mut state = 0x1234_5678_u64;
+        let inst = AtspInstance::from_fn(14, |_, _| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state % 100
+        });
+        let (tours, stats) = LocalSearchSolver.solve_all_optimal_with_stats(&inst, 8);
+        assert_eq!(tours.len(), 1);
+        assert!(stats.restarts > 0);
+        let (_, exact_stats) = HeldKarpSolver.solve_all_optimal_with_stats(&inst, 8);
+        assert_eq!(exact_stats, SolveStats::default());
+        let mut sum = SolveStats::default();
+        sum.absorb(stats);
+        sum.absorb(stats);
+        assert_eq!(sum.restarts, 2 * stats.restarts);
+    }
+
+    /// `Auto` stays exact through [`EXACT_THRESHOLD`] and hands larger
+    /// instances to the local search (visible through its stats).
+    #[test]
+    fn auto_dispatches_to_local_search_beyond_the_exact_threshold() {
+        let mut state = 0x9876_u64;
+        let big = AtspInstance::from_fn(EXACT_THRESHOLD + 2, |_, _| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state % 100
+        });
+        assert!(!AutoSolver.is_exact_for(&big));
+        let (tours, stats) = AutoSolver.solve_all_optimal_with_stats(&big, 4);
+        assert_eq!(tours.len(), 1);
+        assert!(stats.restarts > 0, "local search ran");
+        assert!(big.is_valid_tour(&tours[0].order));
+
+        let small = AtspInstance::from_rows(vec![vec![0, 1, 9], vec![9, 0, 1], vec![1, 9, 0]]);
+        assert!(AutoSolver.is_exact_for(&small));
+        let (_, stats) = AutoSolver.solve_all_optimal_with_stats(&small, 4);
+        assert_eq!(stats, SolveStats::default(), "exact path reports zeros");
     }
 
     #[test]

@@ -7,15 +7,19 @@
 //!
 //! With `--perf-json <path>` it instead runs the offline **perf smoke**:
 //! the Table 3 workloads through the full pipeline with the scalar and
-//! the bit-parallel verifier, plus verify-phase microbenchmarks, written
-//! as a JSON record (the benchmark trajectory, `BENCH_pr2.json`). The
-//! process exits non-zero if the bit-parallel backend is slower than
-//! twice the scalar time on any pair-fault workload (a 2x noise margin
-//! over the ~10x measured advantage), or if the two backends ever
-//! disagree on a coverage report.
+//! the bit-parallel verifier, verify-phase microbenchmarks, and —
+//! since PR 4 — a **solver phase**: every registered ATSP backend over
+//! deterministic instances and pipeline workloads, with per-solver
+//! tour-cost and latency columns. Written as a JSON record (the
+//! benchmark trajectory, `BENCH_pr4.json`). The process exits non-zero
+//! if the bit-parallel verifier is slower than twice the scalar time on
+//! any pair-fault workload (2x noise margin over the ~10x measured
+//! advantage), if the verification backends ever disagree on a
+//! coverage report, or if the local-search solver misses the exact
+//! optimum on an exact-range instance.
 //!
 //! ```sh
-//! cargo run --release -p marchgen-bench --bin repro -- --perf-json BENCH_pr2.json
+//! cargo run --release -p marchgen-bench --bin repro -- --perf-json BENCH_pr4.json
 //! ```
 
 use marchgen_bench::{row_models, section4_tps, TABLE3};
@@ -40,7 +44,7 @@ fn main() -> ExitCode {
         let path = args
             .get(pos + 1)
             .cloned()
-            .unwrap_or_else(|| "BENCH_pr2.json".to_string());
+            .unwrap_or_else(|| "BENCH_pr4.json".to_string());
         return perf_smoke(&path);
     }
     figures();
@@ -104,12 +108,153 @@ fn verify_case(label: &str, faults: &str, cells: usize, test: &MarchTest) -> (Js
     (entry, ok)
 }
 
+/// Deterministic xorshift instance for the solver sweeps.
+fn solver_bench_instance(n: usize, seed: u64) -> marchgen_atsp::AtspInstance {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    marchgen_atsp::AtspInstance::from_fn(n, |_, _| {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state % 100
+    })
+}
+
+/// The ATSP solver sweep: every registered backend over deterministic
+/// instances spanning the exact range (n = 12), the branch-and-bound
+/// range (n = 30) and the local-search range (n = 48). Emits
+/// per-solver tour-cost and latency columns; fails when the local
+/// search misses the exact optimum inside the exact range, or any
+/// backend returns an invalid tour.
+fn solver_sweep(rows: &mut Vec<Json>) -> bool {
+    use marchgen_atsp::SolverRegistry;
+    let mut ok = true;
+    let registry = SolverRegistry::default();
+    println!("== perf smoke: ATSP solver sweep (cost | latency) ============");
+    for (n, seed) in [(12usize, 7u64), (30, 11), (48, 23)] {
+        let inst = solver_bench_instance(n, seed);
+        // Exact reference where an exact backend is in range (the same
+        // thresholds the auto policy dispatches on).
+        let exact_cost = (n <= marchgen_atsp::EXACT_THRESHOLD).then(|| {
+            if n <= marchgen_atsp::held_karp::MAX_NODES {
+                marchgen_atsp::held_karp::solve(&inst).cost
+            } else {
+                marchgen_atsp::branch_bound::solve(&inst).cost
+            }
+        });
+        for name in registry.names() {
+            let solver = registry.get(name).expect("registered");
+            let tour = solver.solve(&inst);
+            let valid = inst.is_valid_tour(&tour.order);
+            ok &= valid;
+            let micros = best_micros(3, || {
+                let _ = solver.solve(&inst);
+            });
+            let exact_hit = exact_cost.map(|opt| tour.cost == opt);
+            if let (true, Some(opt)) = (
+                name == "local-search" && n <= marchgen_atsp::held_karp::MAX_NODES,
+                exact_cost,
+            ) {
+                // The acceptance gate: inside the exact range the local
+                // search must land on the optimum.
+                ok &= tour.cost == opt;
+            }
+            println!(
+                "  n={n:<3} {name:<13} cost {:>6} | {micros:>8} µs | exact_hit={:?}",
+                tour.cost, exact_hit
+            );
+            rows.push(Json::object([
+                ("n", Json::from(n)),
+                ("seed", Json::from(seed)),
+                ("solver", Json::from(name)),
+                ("tour_cost", Json::from(tour.cost)),
+                ("solve_micros", Json::from(micros)),
+                (
+                    "exact_optimum",
+                    exact_cost.map(Json::from).unwrap_or(Json::Null),
+                ),
+                (
+                    "matches_exact",
+                    exact_hit.map(Json::Bool).unwrap_or(Json::Null),
+                ),
+                ("valid_tour", Json::Bool(valid)),
+            ]));
+        }
+    }
+    ok
+}
+
+/// The pipeline solver sweep: two catalog workloads through `generate`
+/// once per backend, recording complexity (the tour-cost proxy the
+/// paper optimizes), search latency and the local-search counters.
+/// Fails when a backend other than the bounded one-shot heuristic
+/// misses the exact baseline complexity or fails verification.
+fn solver_pipeline_sweep(rows: &mut Vec<Json>) -> bool {
+    use marchgen_atsp::SolverChoice;
+    let mut ok = true;
+    println!("== perf smoke: pipeline per-solver (complexity | search µs) ==");
+    for faults in ["CFid<u,0>, CFid<u,1>", "SAF, TF, ADF, CFin, CFid"] {
+        let baseline = generate(&GenerateRequest::from_fault_list(faults).expect("parses"))
+            .expect("generates")
+            .complexity();
+        for key in [
+            "auto",
+            "held-karp",
+            "branch-bound",
+            "heuristic",
+            "local-search",
+        ] {
+            let request = GenerateRequest::from_fault_list(faults)
+                .expect("parses")
+                .with_solver(SolverChoice::from_key(key));
+            let started = Instant::now();
+            let out = generate(&request).expect("generates");
+            let total = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+            let d = &out.diagnostics;
+            let matches = out.complexity() == baseline && out.verified;
+            // Gate by what each backend promises: the enumerating exact
+            // backends must hit the baseline complexity exactly; the
+            // single-tour backends (branch-and-bound, local search) may
+            // lose one operation to tour-enumeration — the March
+            // constructor tries every optimal tour only when the
+            // backend can enumerate them — and the one-shot heuristic
+            // gets the same slack. Everything must verify.
+            ok &= out.verified;
+            if matches!(key, "auto" | "held-karp") {
+                ok &= matches;
+            } else {
+                ok &= out.complexity() <= baseline + 1;
+            }
+            println!(
+                "  {faults:<26} {key:<13} {:>2}n | search {:>8} µs | total {:>8} µs | ls {}it/{}re",
+                out.complexity(),
+                d.search_micros,
+                total,
+                d.solver_iterations,
+                d.solver_restarts,
+            );
+            rows.push(Json::object([
+                ("faults", Json::from(faults)),
+                ("solver", Json::from(key)),
+                ("complexity", Json::from(out.complexity())),
+                ("verified", Json::Bool(out.verified)),
+                ("matches_baseline", Json::Bool(matches)),
+                ("search_micros", Json::from(d.search_micros)),
+                ("total_micros", Json::from(total)),
+                ("solver_iterations", Json::from(d.solver_iterations)),
+                ("solver_restarts", Json::from(d.solver_restarts)),
+            ]));
+        }
+    }
+    ok
+}
+
 /// The offline perf smoke: per-phase pipeline timings on the Table 3
-/// workloads under both verification backends, plus verify-phase
+/// workloads under both verification backends, verify-phase
 /// microbenchmarks (including the pair-fault CFin+CFid+CFst sweep at 8
-/// cells). Writes the record to `path`; non-zero exit when bit-parallel
-/// exceeds twice the scalar time on a pair-fault workload (2x noise
-/// margin) or the backends disagree.
+/// cells), and the per-solver cost/latency sweeps. Writes the record to
+/// `path`; non-zero exit when bit-parallel exceeds twice the scalar
+/// time on a pair-fault workload (2x noise margin), the verification
+/// backends disagree, or a solver misses its cost gate.
 fn perf_smoke(path: &str) -> ExitCode {
     let mut ok = true;
 
@@ -190,10 +335,17 @@ fn perf_smoke(path: &str) -> ExitCode {
         ok &= case_ok;
     }
 
+    let mut solver_rows = Vec::new();
+    ok &= solver_sweep(&mut solver_rows);
+    let mut solver_pipeline_rows = Vec::new();
+    ok &= solver_pipeline_sweep(&mut solver_pipeline_rows);
+
     let doc = Json::object([
-        ("schema", Json::from("marchgen-bench/2")),
+        ("schema", Json::from("marchgen-bench/3")),
         ("pipeline_rows", Json::array(pipeline_rows)),
         ("verify_phase", Json::array(verify_rows)),
+        ("solver_phase", Json::array(solver_rows)),
+        ("solver_pipeline", Json::array(solver_pipeline_rows)),
         ("pass", Json::Bool(ok)),
     ]);
     if let Err(e) = std::fs::write(path, doc.render_pretty()) {
@@ -204,7 +356,10 @@ fn perf_smoke(path: &str) -> ExitCode {
     if ok {
         ExitCode::SUCCESS
     } else {
-        eprintln!("error: bit-parallel verifier exceeded 2x scalar time on a pair-fault workload (or reports disagreed)");
+        eprintln!(
+            "error: a perf gate failed — bit-parallel verify over 2x scalar on a pair-fault \
+             workload, verifier reports disagreed, or a solver missed its cost gate"
+        );
         ExitCode::FAILURE
     }
 }

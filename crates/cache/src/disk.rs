@@ -1,20 +1,37 @@
 //! The persistent half of the outcome cache: one JSON file per key.
 //!
-//! Layout: `<dir>/<32-hex-key>.json`, each file a complete
-//! [`GenerateOutcome`] in JSON schema v1 — exactly the daemon/CLI wire
-//! format, so entries are greppable, diffable and portable between
-//! machines. Writes go through a process-unique temp file in the same
-//! directory followed by a rename, which is atomic on POSIX: readers
-//! (including concurrent daemons sharing the directory) never observe a
-//! torn entry. Corrupt or unreadable files behave as misses.
+//! Layout: `<dir>/<32-hex-key>.json`, each file an envelope
+//! `{"canonical_request": <canonical key text>, "outcome": <GenerateOutcome>}`
+//! — the outcome in JSON schema v1 (exactly the daemon/CLI wire format,
+//! so entries stay greppable and portable), plus the canonical request
+//! text the key was hashed from. The text is what makes hits safe: the
+//! 128-bit FNV key is non-cryptographic, so a loader verifies the
+//! stored text against the request it is serving before trusting the
+//! entry (see [`OutcomeCache`](crate::OutcomeCache)). Writes go through
+//! a process-unique temp file in the same directory followed by a
+//! rename, which is atomic on POSIX: readers (including concurrent
+//! daemons sharing the directory) never observe a torn entry. Corrupt,
+//! unreadable or pre-envelope files behave as misses.
 
 use crate::key::CacheKey;
 use marchgen_generator::GenerateOutcome;
-use marchgen_json::{FromJson, ToJson};
+use marchgen_json::{FromJson, Json, ToJson};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 static TEMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// One decoded disk entry: the outcome plus the canonical request text
+/// it was stored under. Callers must compare `canonical` against the
+/// request they are serving before using `outcome`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoredEntry {
+    /// The canonical key text ([`crate::canonical_key_text`]) of the
+    /// request that produced this outcome.
+    pub canonical: String,
+    /// The cached outcome.
+    pub outcome: GenerateOutcome,
+}
 
 /// A directory of cached outcomes keyed by [`CacheKey`].
 #[derive(Debug)]
@@ -44,25 +61,36 @@ impl DiskStore {
         self.dir.join(format!("{key}.json"))
     }
 
-    /// Loads the outcome stored under `key`; `None` when absent or
+    /// Loads the entry stored under `key`; `None` when absent or
     /// undecodable (a corrupt entry is a miss, never an error).
+    /// Pre-envelope files — bare outcomes without a canonical text —
+    /// also read as misses: without the text the entry cannot be
+    /// verified against the request being served.
     #[must_use]
-    pub fn load(&self, key: CacheKey) -> Option<GenerateOutcome> {
+    pub fn load(&self, key: CacheKey) -> Option<StoredEntry> {
         let text = std::fs::read_to_string(self.path_for(key)).ok()?;
-        GenerateOutcome::from_json_str(&text).ok()
+        let doc = Json::parse(&text).ok()?;
+        let canonical = doc.get("canonical_request")?.as_str()?.to_owned();
+        let outcome = GenerateOutcome::from_json(doc.get("outcome")?).ok()?;
+        Some(StoredEntry { canonical, outcome })
     }
 
-    /// Persists `outcome` under `key` atomically (temp file + rename).
+    /// Persists `outcome` under `key` atomically (temp file + rename),
+    /// alongside the canonical request text a future hit verifies.
     /// Storage failures are swallowed: the cache is an accelerator, and
     /// a full disk must not fail the request that computed the outcome.
-    pub fn store(&self, key: CacheKey, outcome: &GenerateOutcome) {
+    pub fn store(&self, key: CacheKey, canonical: &str, outcome: &GenerateOutcome) {
+        let envelope = Json::object([
+            ("canonical_request", Json::from(canonical)),
+            ("outcome", outcome.to_json()),
+        ]);
         let final_path = self.path_for(key);
         let temp_path = self.dir.join(format!(
             ".{key}.tmp.{}.{}",
             std::process::id(),
             TEMP_SEQ.fetch_add(1, Ordering::Relaxed)
         ));
-        let written = std::fs::write(&temp_path, outcome.to_json_pretty())
+        let written = std::fs::write(&temp_path, envelope.render_pretty())
             .and_then(|()| std::fs::rename(&temp_path, &final_path));
         if written.is_err() {
             let _ = std::fs::remove_file(&temp_path);
@@ -89,8 +117,10 @@ mod tests {
         let outcome = generate(&GenerateRequest::from_fault_list("SAF").unwrap()).unwrap();
         let key = CacheKey(42);
         assert!(store.load(key).is_none());
-        store.store(key, &outcome);
-        assert_eq!(store.load(key), Some(outcome));
+        store.store(key, "canonical-text", &outcome);
+        let entry = store.load(key).expect("stored entry loads");
+        assert_eq!(entry.canonical, "canonical-text");
+        assert_eq!(entry.outcome, outcome);
         // The entry sits at the documented path and no temp litter
         // remains.
         let entries: Vec<_> = std::fs::read_dir(&dir)
@@ -107,6 +137,24 @@ mod tests {
         let store = DiskStore::open(&dir).unwrap();
         let key = CacheKey(7);
         std::fs::write(store.dir().join(format!("{key}.json")), "not json").unwrap();
+        assert!(store.load(key).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Entries written before the canonical-text envelope (a bare
+    /// outcome document) cannot be verified and must read as misses.
+    #[test]
+    fn pre_envelope_entries_read_as_misses() {
+        use marchgen_json::ToJson as _;
+        let dir = temp_dir("pre-envelope");
+        let store = DiskStore::open(&dir).unwrap();
+        let outcome = generate(&GenerateRequest::from_fault_list("SAF").unwrap()).unwrap();
+        let key = CacheKey(9);
+        std::fs::write(
+            store.dir().join(format!("{key}.json")),
+            outcome.to_json_pretty(),
+        )
+        .unwrap();
         assert!(store.load(key).is_none());
         let _ = std::fs::remove_dir_all(&dir);
     }

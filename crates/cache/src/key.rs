@@ -89,11 +89,25 @@ pub fn canonical_key_text(request: &GenerateRequest) -> String {
     text
 }
 
+/// The key a canonical text hashes to. [`request_key`] composes this
+/// with [`canonical_key_text`]; callers that already hold the text
+/// (the collision-verifying hit path stores it next to every entry)
+/// use this directly instead of re-deriving it.
+#[must_use]
+pub fn key_for_text(canonical: &str) -> CacheKey {
+    CacheKey(fnv1a_128(canonical.as_bytes()))
+}
+
 /// The content-addressed key of a request (see the module docs for what
 /// is and is not part of the identity).
+///
+/// FNV-1a is non-cryptographic: two *different* canonical texts can —
+/// accidentally or by construction — hash to the same 128-bit key.
+/// The cache therefore never trusts the key alone; every stored entry
+/// carries its canonical text and a hit compares it (mismatch = miss).
 #[must_use]
 pub fn request_key(request: &GenerateRequest) -> CacheKey {
-    CacheKey(fnv1a_128(canonical_key_text(request).as_bytes()))
+    key_for_text(&canonical_key_text(request))
 }
 
 #[cfg(test)]

@@ -12,6 +12,15 @@
 //! collapse onto one entry, while every semantic knob change gets its
 //! own.
 //!
+//! FNV-1a is **non-cryptographic**, so the key alone is never trusted:
+//! every entry (memory and disk) stores the canonical key text it was
+//! computed for, and a hit compares that text against the request being
+//! served. A mismatch — an accidental or crafted collision, or a
+//! corrupted entry — counts as a miss (tracked in
+//! [`CacheStatsSnapshot::key_mismatches`]) and the right outcome is
+//! recomputed; a colliding entry can therefore never be served as the
+//! *wrong* outcome.
+//!
 //! ```
 //! use marchgen_cache::{request_key, OutcomeCache};
 //! use marchgen_generator::{generate, GenerateRequest};
@@ -32,8 +41,8 @@ pub mod disk;
 pub mod key;
 pub mod lru;
 
-pub use disk::DiskStore;
-pub use key::{canonical_key_text, request_key, CacheKey, KEY_SCHEMA};
+pub use disk::{DiskStore, StoredEntry};
+pub use key::{canonical_key_text, key_for_text, request_key, CacheKey, KEY_SCHEMA};
 pub use lru::ShardedLru;
 
 use marchgen_generator::{GenerateOutcome, GenerateRequest};
@@ -59,6 +68,10 @@ pub struct CacheStatsSnapshot {
     /// Requests that coalesced onto another thread's in-flight
     /// computation instead of starting their own.
     pub coalesced: u64,
+    /// Entries found under the right key but carrying the *wrong*
+    /// canonical request text — an FNV collision or corruption. Each
+    /// one was served as a miss instead of a wrong outcome.
+    pub key_mismatches: u64,
 }
 
 impl CacheStatsSnapshot {
@@ -76,6 +89,7 @@ struct CacheStats {
     misses: AtomicU64,
     inserts: AtomicU64,
     coalesced: AtomicU64,
+    key_mismatches: AtomicU64,
 }
 
 /// A completion latch for one in-flight computation. Carries no result:
@@ -139,7 +153,7 @@ impl Drop for FlightGuard<'_> {
 
 /// The two-level (memory + optional disk), single-flight outcome cache.
 pub struct OutcomeCache {
-    memory: ShardedLru<GenerateOutcome>,
+    memory: ShardedLru<StoredEntry>,
     disk: Option<DiskStore>,
     flights: Mutex<HashMap<u128, Arc<Flight>>>,
     stats: CacheStats,
@@ -172,14 +186,18 @@ impl OutcomeCache {
         Ok(self)
     }
 
-    /// Looks `key` up in memory, then disk. Hits are re-stamped
-    /// `cache_hit = true` in their [`Diagnostics`]
+    /// Looks `key` up in memory, then disk, **verifying** every
+    /// candidate entry's stored canonical text against `canonical` —
+    /// the FNV key is non-cryptographic, so the text comparison is what
+    /// guarantees a hit is the *right* outcome (a mismatch counts as a
+    /// miss and toward [`CacheStatsSnapshot::key_mismatches`]). Hits
+    /// are re-stamped `cache_hit = true` in their [`Diagnostics`]
     /// (`marchgen_generator::Diagnostics`), so replayed outcomes are
     /// byte-comparable to fresh ones modulo the diagnostics block. A
     /// miss counts toward [`CacheStatsSnapshot::misses`].
     #[must_use]
-    pub fn lookup(&self, key: CacheKey) -> Option<GenerateOutcome> {
-        let hit = self.peek(key);
+    pub fn lookup(&self, key: CacheKey, canonical: &str) -> Option<GenerateOutcome> {
+        let hit = self.peek(key, canonical);
         if hit.is_none() {
             self.stats.misses.fetch_add(1, Ordering::Relaxed);
         }
@@ -191,33 +209,50 @@ impl OutcomeCache {
     /// (which counts it) uses this, so one served request never counts
     /// two misses. Hits still count — they are final answers.
     #[must_use]
-    pub fn peek(&self, key: CacheKey) -> Option<GenerateOutcome> {
-        let mut outcome = if let Some(hit) = self.memory.get(key) {
+    pub fn peek(&self, key: CacheKey, canonical: &str) -> Option<GenerateOutcome> {
+        let mut outcome = if let Some(entry) = self.memory.get(key) {
+            if entry.canonical != canonical {
+                // Collision (or corruption): the slot belongs to a
+                // different canonical request. Never serve it.
+                self.stats.key_mismatches.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
             self.stats.memory_hits.fetch_add(1, Ordering::Relaxed);
-            hit
+            entry.outcome
         } else {
-            let disk_hit = self.disk.as_ref().and_then(|d| d.load(key))?;
+            let entry = self.disk.as_ref().and_then(|d| d.load(key))?;
+            if entry.canonical != canonical {
+                self.stats.key_mismatches.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
             self.stats.disk_hits.fetch_add(1, Ordering::Relaxed);
             // Promote so the next lookup skips the filesystem.
-            self.memory.insert(key, disk_hit.clone());
-            disk_hit
+            self.memory.insert(key, entry.clone());
+            entry.outcome
         };
         outcome.diagnostics.cache_hit = true;
         Some(outcome)
     }
 
     /// Stores a freshly computed outcome under `key` (memory and, when
-    /// attached, disk). The stored copy is always stamped
+    /// attached, disk), together with the canonical request text future
+    /// hits verify. The stored copy is always stamped
     /// `cache_hit = false`; [`OutcomeCache::lookup`] re-stamps on the
     /// way out.
-    pub fn insert(&self, key: CacheKey, outcome: &GenerateOutcome) {
+    pub fn insert(&self, key: CacheKey, canonical: &str, outcome: &GenerateOutcome) {
         let mut stored = outcome.clone();
         stored.diagnostics.cache_hit = false;
         self.stats.inserts.fetch_add(1, Ordering::Relaxed);
         if let Some(disk) = &self.disk {
-            disk.store(key, &stored);
+            disk.store(key, canonical, &stored);
         }
-        self.memory.insert(key, stored);
+        self.memory.insert(
+            key,
+            StoredEntry {
+                canonical: canonical.to_owned(),
+                outcome: stored,
+            },
+        );
     }
 
     /// The heart of the cache: returns the outcome for `request`,
@@ -243,9 +278,10 @@ impl OutcomeCache {
         request: &GenerateRequest,
         compute: impl Fn(&GenerateRequest) -> Result<GenerateOutcome, E>,
     ) -> Result<GenerateOutcome, E> {
-        let key = request_key(request);
+        let canonical = canonical_key_text(request);
+        let key = key_for_text(&canonical);
         loop {
-            if let Some(hit) = self.lookup(key) {
+            if let Some(hit) = self.lookup(key, &canonical) {
                 return Ok(hit);
             }
             let flight = {
@@ -268,7 +304,7 @@ impl OutcomeCache {
                     let _guard = FlightGuard { cache: self, key };
                     let result = compute(&request.clone().normalize());
                     if let Ok(outcome) = &result {
-                        self.insert(key, outcome);
+                        self.insert(key, &canonical, outcome);
                     }
                     return result;
                 }
@@ -292,6 +328,7 @@ impl OutcomeCache {
             inserts: self.stats.inserts.load(Ordering::Relaxed),
             evictions: self.memory.evictions(),
             coalesced: self.stats.coalesced.load(Ordering::Relaxed),
+            key_mismatches: self.stats.key_mismatches.load(Ordering::Relaxed),
         }
     }
 
@@ -426,6 +463,59 @@ mod tests {
             .get_or_compute(&req("SAF").with_tour_cap(1), generate)
             .unwrap();
         assert!(twin.diagnostics.cache_hit);
+    }
+
+    /// Regression (collision safety): an entry stored under a key must
+    /// never be served to a request whose canonical text differs — a
+    /// 128-bit FNV collision, accidental or crafted, is a miss, not a
+    /// wrong outcome.
+    #[test]
+    fn colliding_entries_are_misses_not_wrong_outcomes() {
+        let cache = OutcomeCache::new(64);
+        let saf = req("SAF");
+        let outcome = generate(&saf).unwrap();
+        let key = request_key(&saf);
+        cache.insert(key, &canonical_key_text(&saf), &outcome);
+
+        // Simulate a colliding request: same 128-bit key, different
+        // canonical text (the attack/accident the key alone cannot
+        // distinguish).
+        let impostor_text = "marchgen-cache/v1;faults=TF<u>;something-else";
+        assert!(
+            cache.lookup(key, impostor_text).is_none(),
+            "colliding lookup must miss"
+        );
+        let stats = cache.stats();
+        assert_eq!(stats.key_mismatches, 1);
+        assert_eq!(stats.misses, 1);
+        // The rightful owner still hits.
+        assert!(cache.lookup(key, &canonical_key_text(&saf)).is_some());
+    }
+
+    /// The same verification holds through the persistent store: a
+    /// disk entry whose stored canonical text does not match the
+    /// request being served reads as a miss.
+    #[test]
+    fn colliding_disk_entries_are_misses() {
+        let dir = std::env::temp_dir().join(format!(
+            "marchgen-cache-collision-test-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let saf = req("SAF");
+        let outcome = generate(&saf).unwrap();
+        let key = request_key(&saf);
+        {
+            let cache = OutcomeCache::new(64).with_disk(&dir).unwrap();
+            cache.insert(key, &canonical_key_text(&saf), &outcome);
+        }
+        // Fresh process (fresh memory), same disk: the impostor text
+        // must not be served the stored outcome.
+        let cache = OutcomeCache::new(64).with_disk(&dir).unwrap();
+        assert!(cache.lookup(key, "different-canonical-text").is_none());
+        assert_eq!(cache.stats().key_mismatches, 1);
+        assert!(cache.lookup(key, &canonical_key_text(&saf)).is_some());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -35,7 +35,12 @@ pub struct Request {
 }
 
 impl Request {
-    /// First header value under `name` (case-insensitive).
+    /// First header value under `name` (case-insensitive). For headers
+    /// where a duplicate changes framing (`Content-Length`,
+    /// `Transfer-Encoding`) the parser rejects the request *before*
+    /// this accessor can be reached with conflicting values — a request
+    /// smuggled behind a proxy must never be served using whichever
+    /// copy this happens to return.
     #[must_use]
     pub fn header(&self, name: &str) -> Option<&str> {
         let name = name.to_ascii_lowercase();
@@ -43,6 +48,17 @@ impl Request {
             .iter()
             .find(|(n, _)| *n == name)
             .map(|(_, v)| v.as_str())
+    }
+
+    /// Every value carried under `name` (case-insensitive), in order.
+    #[must_use]
+    pub fn header_values(&self, name: &str) -> Vec<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .filter(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+            .collect()
     }
 
     /// `true` when the connection should drop after this exchange: the
@@ -291,8 +307,47 @@ pub fn read_request(reader: &mut impl BufRead, max_body: usize) -> std::io::Resu
     };
 
     // ---- body -----------------------------------------------------------
-    if request
-        .header("transfer-encoding")
+    // Framing headers are checked for *conflicts first*: a request
+    // carrying two Content-Length values (or Content-Length next to
+    // Transfer-Encoding) is the classic smuggling shape behind a proxy
+    // that resolves the ambiguity differently than we would. Serving it
+    // using "the first matching header" silently picks a side; reject
+    // the whole request instead.
+    let lengths = request.header_values("content-length");
+    if lengths.len() > 1 {
+        return Ok(reject(
+            400,
+            "duplicate_content_length",
+            format!(
+                "{} content-length headers in one request; requests must carry at most one",
+                lengths.len()
+            ),
+        ));
+    }
+    // Transfer-Encoding gets the same every-copy treatment: a proxy in
+    // front joins repeated lines into one comma list ("identity,
+    // chunked"), so inspecting only the first copy would let the
+    // chunked rejection be bypassed by a duplicate header line.
+    let encodings = request.header_values("transfer-encoding");
+    if encodings.len() > 1 {
+        return Ok(reject(
+            400,
+            "duplicate_transfer_encoding",
+            format!(
+                "{} transfer-encoding headers in one request; requests must carry at most one",
+                encodings.len()
+            ),
+        ));
+    }
+    if !lengths.is_empty() && !encodings.is_empty() {
+        return Ok(reject(
+            400,
+            "conflicting_framing",
+            "content-length and transfer-encoding must not be combined",
+        ));
+    }
+    if encodings
+        .first()
         .is_some_and(|v| !v.eq_ignore_ascii_case("identity"))
     {
         return Ok(reject(
@@ -301,7 +356,7 @@ pub fn read_request(reader: &mut impl BufRead, max_body: usize) -> std::io::Resu
             "chunked transfer encoding is not supported; send Content-Length",
         ));
     }
-    let content_length = match request.header("content-length") {
+    let content_length = match lengths.first() {
         None => 0,
         Some(text) => match text.parse::<usize>() {
             Ok(n) => n,
@@ -394,6 +449,95 @@ mod tests {
             };
             assert_eq!(resp.status, 400, "{bad:?}");
         }
+    }
+
+    /// Duplicate `Content-Length` headers — equal or conflicting — are
+    /// the request-smuggling shape: a proxy in front may frame the body
+    /// with one copy while we frame it with the other. Reject with a
+    /// structured 400 instead of serving whichever header comes first.
+    #[test]
+    fn duplicate_content_length_is_rejected() {
+        for bad in [
+            // conflicting values
+            "POST /x HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 6\r\n\r\nhello",
+            // equal values are rejected too: a smuggler controls both
+            "POST /x HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 5\r\n\r\nhello",
+            // case variations collapse onto the same header name
+            "POST /x HTTP/1.1\r\ncontent-length: 5\r\nCONTENT-LENGTH: 99\r\n\r\nhello",
+        ] {
+            let outcome = parse(bad);
+            let ReadOutcome::Reject(resp) = outcome else {
+                panic!("{bad:?} should reject, got {outcome:?}");
+            };
+            assert_eq!(resp.status, 400, "{bad:?}");
+            assert!(resp.close, "desynchronized stream must drop");
+            assert!(
+                resp.body.contains("duplicate_content_length"),
+                "{}",
+                resp.body
+            );
+        }
+    }
+
+    /// `Content-Length` combined with `Transfer-Encoding` (any value,
+    /// chunked or identity) is the other smuggling vector: the two
+    /// frame the body differently. Structured 400, not 411.
+    #[test]
+    fn content_length_with_transfer_encoding_is_rejected() {
+        for bad in [
+            "POST /x HTTP/1.1\r\nContent-Length: 5\r\nTransfer-Encoding: chunked\r\n\r\nhello",
+            "POST /x HTTP/1.1\r\nTransfer-Encoding: identity\r\nContent-Length: 5\r\n\r\nhello",
+        ] {
+            let outcome = parse(bad);
+            let ReadOutcome::Reject(resp) = outcome else {
+                panic!("{bad:?} should reject, got {outcome:?}");
+            };
+            assert_eq!(resp.status, 400, "{bad:?}");
+            assert!(resp.body.contains("conflicting_framing"), "{}", resp.body);
+        }
+    }
+
+    /// Duplicate `Transfer-Encoding` lines must not bypass the chunked
+    /// rejection: a front proxy joins them into one comma list, so a
+    /// first-copy-only check ("identity") would desynchronize framing.
+    #[test]
+    fn duplicate_transfer_encoding_is_rejected() {
+        let outcome = parse(
+            "POST /x HTTP/1.1\r\nTransfer-Encoding: identity\r\nTransfer-Encoding: chunked\r\n\r\n",
+        );
+        let ReadOutcome::Reject(resp) = outcome else {
+            panic!("expected reject");
+        };
+        assert_eq!(resp.status, 400);
+        assert!(
+            resp.body.contains("duplicate_transfer_encoding"),
+            "{}",
+            resp.body
+        );
+    }
+
+    /// A comma-joined length list inside one header value is just as
+    /// ambiguous and stays rejected through the number parser.
+    #[test]
+    fn comma_joined_content_length_is_rejected() {
+        let outcome = parse("POST /x HTTP/1.1\r\nContent-Length: 5, 5\r\n\r\nhello");
+        let ReadOutcome::Reject(resp) = outcome else {
+            panic!("expected reject");
+        };
+        assert_eq!(resp.status, 400);
+        assert!(resp.body.contains("bad_content_length"));
+    }
+
+    #[test]
+    fn header_values_collects_every_copy() {
+        let ReadOutcome::Complete(req) =
+            parse("GET /v1/health HTTP/1.1\r\nAccept: a\r\nACCEPT: b\r\n\r\n")
+        else {
+            panic!("expected complete");
+        };
+        assert_eq!(req.header_values("accept"), vec!["a", "b"]);
+        assert_eq!(req.header("accept"), Some("a"));
+        assert!(req.header_values("cookie").is_empty());
     }
 
     #[test]

@@ -38,6 +38,17 @@ impl GenerateOutcome {
 /// Timings are integral microseconds so outcomes serialize losslessly.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Diagnostics {
+    /// The ATSP solver backend the run resolved its
+    /// [`SolverChoice`](marchgen_atsp::SolverChoice) to (the registry
+    /// name: `"auto"`, `"held-karp"`, `"local-search"`, ...). Empty on
+    /// documents predating the solver diagnostics.
+    pub solver: String,
+    /// Improving local-search moves applied across all TP-set solves
+    /// (zero when only exact backends ran).
+    pub solver_iterations: u64,
+    /// Local-search perturbation restarts across all TP-set solves
+    /// (zero when only exact backends ran).
+    pub solver_restarts: u64,
     /// Equivalence-class combinations examined (the paper's `E`).
     pub combinations: usize,
     /// Distinct post-subsumption TP sets among them (the memoized

@@ -12,7 +12,7 @@ use crate::gts::Gts;
 use crate::outcome::{Diagnostics, GenerateOutcome};
 use crate::request::{GenerateRequest, VerifierChoice};
 use crate::schedule::schedule_tour;
-use marchgen_atsp::{AtspSolver, SolverChoice, SolverRegistry};
+use marchgen_atsp::{AtspSolver, SolveStats, SolverChoice, SolverRegistry};
 use marchgen_faults::{
     dedupe_subsumed, parse_fault_list, requirements_for, CoverageRequirement, FaultModel,
     ParseFaultError, TestPattern,
@@ -20,7 +20,7 @@ use marchgen_faults::{
 use marchgen_march::MarchTest;
 use marchgen_sim::coverage::CoverageReport;
 use marchgen_sim::{BitSimVerifier, SimVerifier, Verifier};
-use marchgen_tpg::{plan_tour_with, StartPolicy, Tpg};
+use marchgen_tpg::{plan_tour_with_stats, StartPolicy, Tpg};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::num::NonZeroUsize;
@@ -125,7 +125,10 @@ pub fn generate_with(
     solver: &dyn AtspSolver,
     verifier: Option<&dyn Verifier>,
 ) -> Result<GenerateOutcome, GenerateError> {
-    let mut diagnostics = Diagnostics::default();
+    let mut diagnostics = Diagnostics {
+        solver: solver.name().to_owned(),
+        ..Diagnostics::default()
+    };
 
     let expand_started = Instant::now();
     let requirements = requirements_for(&request.faults);
@@ -179,7 +182,9 @@ pub fn generate_with(
         let tpg = Tpg::new(tps.clone());
         let mut tours_tried = 0usize;
         let mut candidates: Vec<(MarchTest, Vec<TestPattern>)> = Vec::new();
-        for plan in plan_tour_with(&tpg, request.start_policy, request.tour_cap, solver) {
+        let (plans, solve_stats) =
+            plan_tour_with_stats(&tpg, request.start_policy, request.tour_cap, solver);
+        for plan in plans {
             tours_tried += 1;
             let tour: Vec<TestPattern> = plan.order.iter().map(|&i| tps[i]).collect();
             if let Ok(test) = schedule_tour(&tour) {
@@ -188,15 +193,24 @@ pub fn generate_with(
                 }
             }
         }
-        (candidates, tours_tried, as_micros(shard_started))
+        (
+            candidates,
+            tours_tried,
+            solve_stats,
+            as_micros(shard_started),
+        )
     });
     let mut candidates: Vec<(MarchTest, Vec<TestPattern>)> = Vec::new();
-    for (shard_candidates, tours_tried, micros) in solved {
+    let mut solver_stats = SolveStats::default();
+    for (shard_candidates, tours_tried, solve_stats, micros) in solved {
         diagnostics.tours_tried += tours_tried;
         diagnostics.candidates += shard_candidates.len();
         diagnostics.shard_micros.push(micros);
+        solver_stats.absorb(solve_stats);
         candidates.extend(shard_candidates);
     }
+    diagnostics.solver_iterations = solver_stats.iterations;
+    diagnostics.solver_restarts = solver_stats.restarts;
     if candidates.is_empty() {
         diagnostics.search_micros = as_micros(search_started);
         return Err(GenerateError::NoCandidate);
@@ -791,11 +805,37 @@ mod tests {
         }
     }
 
+    /// The local-search backend generates verified tests end-to-end and
+    /// surfaces its work in the diagnostics.
+    #[test]
+    fn local_search_choice_generates_and_reports() {
+        let request = GenerateRequest::from_fault_list("CFid<u,0>, CFid<u,1>")
+            .unwrap()
+            .with_solver(SolverChoice::LocalSearch);
+        let out = generate(&request).unwrap();
+        assert!(out.verified, "local-search outcome verifies");
+        assert_eq!(out.diagnostics.solver, "local-search");
+        assert!(
+            out.diagnostics.solver_restarts > 0,
+            "the TPG here is large enough for the restart phase"
+        );
+        // The exact baseline: same complexity on this catalog workload.
+        let exact =
+            generate(&GenerateRequest::from_fault_list("CFid<u,0>, CFid<u,1>").unwrap()).unwrap();
+        assert_eq!(out.complexity(), exact.complexity());
+        assert_eq!(exact.diagnostics.solver, "auto");
+        assert_eq!(
+            exact.diagnostics.solver_iterations, 0,
+            "exact path is search-free"
+        );
+    }
+
     /// Diagnostics account for the search the engine performed.
     #[test]
     fn diagnostics_are_populated() {
         let out = generate(&GenerateRequest::from_fault_list("SAF, TF").unwrap()).unwrap();
         let d = &out.diagnostics;
+        assert_eq!(d.solver, "auto");
         assert!(d.combinations > 0);
         assert!(d.unique_tp_sets > 0);
         assert!(d.unique_tp_sets <= d.combinations);

@@ -406,6 +406,9 @@ impl FromJson for GenerateRequest {
 impl ToJson for Diagnostics {
     fn to_json(&self) -> Json {
         Json::object([
+            ("solver", Json::Str(self.solver.clone())),
+            ("solver_iterations", Json::from(self.solver_iterations)),
+            ("solver_restarts", Json::from(self.solver_restarts)),
             ("combinations", Json::from(self.combinations)),
             ("unique_tp_sets", Json::from(self.unique_tp_sets)),
             ("tours_tried", Json::from(self.tours_tried)),
@@ -460,7 +463,23 @@ impl FromJson for Diagnostics {
             None => false,
             Some(_) => bool_field(json, "cache_hit")?,
         };
+        // Optional and backward compatible: documents predating the
+        // solver diagnostics decode with an empty backend name and
+        // zeroed local-search counters.
+        let solver = match json.get("solver") {
+            None => String::new(),
+            Some(_) => str_field(json, "solver")?.to_owned(),
+        };
+        let opt_u64 = |key: &str| -> Result<u64, JsonError> {
+            match json.get(key) {
+                None => Ok(0),
+                Some(_) => u64_field(json, key),
+            }
+        };
         Ok(Diagnostics {
+            solver,
+            solver_iterations: opt_u64("solver_iterations")?,
+            solver_restarts: opt_u64("solver_restarts")?,
             combinations: usize_field(json, "combinations")?,
             unique_tp_sets: usize_field(json, "unique_tp_sets")?,
             tours_tried: usize_field(json, "tours_tried")?,
@@ -585,6 +604,9 @@ mod tests {
         let d = Diagnostics::from_json_str(doc).unwrap();
         assert!(d.shard_micros.is_empty());
         assert!(!d.cache_hit);
+        assert_eq!(d.solver, "", "pre-solver-diagnostics documents decode");
+        assert_eq!(d.solver_iterations, 0);
+        assert_eq!(d.solver_restarts, 0);
     }
 
     /// Regression (default consistency): spelling out the `verifier` and

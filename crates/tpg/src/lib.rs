@@ -40,4 +40,4 @@ mod graph;
 pub mod path;
 
 pub use graph::Tpg;
-pub use path::{plan_tour, plan_tour_with, StartPolicy, TourPlan};
+pub use path::{plan_tour, plan_tour_with, plan_tour_with_stats, StartPolicy, TourPlan};

@@ -16,7 +16,7 @@
 //! tour" and "minimum-length GTS" coincide.
 
 use crate::graph::Tpg;
-use marchgen_atsp::{AtspInstance, AtspSolver, AutoSolver, Tour, INF};
+use marchgen_atsp::{AtspInstance, AtspSolver, AutoSolver, SolveStats, Tour, INF};
 
 /// Which TPs may start the Global Test Sequence.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -72,15 +72,32 @@ pub fn plan_tour_with(
     cap: usize,
     solver: &dyn AtspSolver,
 ) -> Vec<TourPlan> {
+    plan_tour_with_stats(tpg, policy, cap, solver).0
+}
+
+/// [`plan_tour_with`] plus the solver's [`SolveStats`] for this TPG —
+/// exact backends report zeros, the local search its iteration and
+/// restart counts. The request layer aggregates these per generation
+/// run into its diagnostics.
+#[must_use]
+pub fn plan_tour_with_stats(
+    tpg: &Tpg,
+    policy: StartPolicy,
+    cap: usize,
+    solver: &dyn AtspSolver,
+) -> (Vec<TourPlan>, SolveStats) {
     let v = tpg.len();
     if v == 0 {
-        return Vec::new();
+        return (Vec::new(), SolveStats::default());
     }
     if v == 1 {
-        return vec![TourPlan {
-            order: vec![0],
-            gts_ops: tpg.gts_op_count(&[0]),
-        }];
+        return (
+            vec![TourPlan {
+                order: vec![0],
+                gts_ops: tpg.gts_op_count(&[0]),
+            }],
+            SolveStats::default(),
+        );
     }
     let effective = if (0..v).any(|n| policy.allows(tpg, n)) {
         policy
@@ -104,11 +121,14 @@ pub fn plan_tour_with(
         }
     });
 
-    let tours = solver.solve_all_optimal(&inst, cap);
-    tours
-        .into_iter()
-        .map(|t| cut_at_dummy(tpg, &t, dummy))
-        .collect()
+    let (tours, stats) = solver.solve_all_optimal_with_stats(&inst, cap);
+    (
+        tours
+            .into_iter()
+            .map(|t| cut_at_dummy(tpg, &t, dummy))
+            .collect(),
+        stats,
+    )
 }
 
 fn cut_at_dummy(tpg: &Tpg, tour: &Tour, dummy: usize) -> TourPlan {

@@ -63,16 +63,21 @@ const USAGE: &str = "\
 marchgen — automatic generation of optimal March tests (Benso et al., DATE 2002)
 
 usage:
-  marchgen generate <fault-list> [--json] [--verifier auto|scalar|bitsim] [--search-threads N]
-                    [--cache-dir DIR]       e.g. marchgen generate \"SAF, TF, CFin\"
+  marchgen generate <fault-list> [--json] [--solver NAME] [--verifier auto|scalar|bitsim]
+                    [--search-threads N] [--cache-dir DIR]
+                                            e.g. marchgen generate \"SAF, TF, CFin\"
   marchgen validate <march> <fault-list> [--json]
                                             e.g. marchgen validate \"m(w0); u(r0,w1); d(r1)\" SAF
   marchgen analyze  <march> [--json]        static detection conditions
   marchgen codegen  <march> [c|rust]        emit BIST source code
   marchgen known    [name]                  list/show the classical test library
-  marchgen batch    <file> [--json] [--threads N] [--verifier auto|scalar|bitsim] [--search-threads N]
-                    [--cache-dir DIR]       one fault list per line through the batch service
+  marchgen batch    <file> [--json] [--threads N] [--solver NAME] [--verifier auto|scalar|bitsim]
+                    [--search-threads N] [--cache-dir DIR]
+                                            one fault list per line through the batch service
 
+  --solver          ATSP backend: auto (exact up to 40 nodes, then the
+                    LKH-style local search; the default), held-karp,
+                    branch-bound, heuristic, or local-search
   --verifier        verification backend: auto (bit-parallel on pair-fault
                     lists, the default), scalar, or bitsim (bit-parallel)
   --search-threads  worker threads for the sharded in-request candidate
@@ -85,6 +90,7 @@ usage:
 /// Request-level knobs applied uniformly by `generate` and `batch`.
 #[derive(Clone, Default)]
 struct RequestKnobs {
+    solver: Option<marchgen::SolverChoice>,
     verifier: Option<VerifierChoice>,
     search_threads: Option<usize>,
     cache_dir: Option<String>,
@@ -117,11 +123,27 @@ impl RequestKnobs {
 }
 
 /// Parses the options shared by `generate` and `batch`: `--threads`,
-/// `--search-threads`, `--verifier` and `--cache-dir`.
+/// `--search-threads`, `--solver`, `--verifier` and `--cache-dir`.
 fn take_global_options(args: &mut Vec<String>) -> Result<(Option<usize>, RequestKnobs), String> {
     let threads = take_option(args, "--threads")?;
     let search_threads = take_option(args, "--search-threads")?;
     let cache_dir = take_str_option(args, "--cache-dir")?;
+    let solver = match take_str_option(args, "--solver")? {
+        None => None,
+        Some(name) => {
+            // Validate eagerly against the built-in registry so a typo
+            // fails at the command line, not deep inside generation.
+            let choice = marchgen::SolverChoice::from_key(&name);
+            let registry = marchgen::SolverRegistry::default();
+            if registry.resolve(&choice).is_err() {
+                return Err(format!(
+                    "--solver must be one of {}, got {name:?}",
+                    registry.names().join(", ")
+                ));
+            }
+            Some(choice)
+        }
+    };
     let verifier =
         match take_str_option(args, "--verifier")? {
             None => None,
@@ -132,6 +154,7 @@ fn take_global_options(args: &mut Vec<String>) -> Result<(Option<usize>, Request
     Ok((
         threads,
         RequestKnobs {
+            solver,
             verifier,
             search_threads,
             cache_dir,
@@ -141,6 +164,9 @@ fn take_global_options(args: &mut Vec<String>) -> Result<(Option<usize>, Request
 
 impl RequestKnobs {
     fn apply(&self, mut request: GenerateRequest) -> GenerateRequest {
+        if let Some(solver) = &self.solver {
+            request = request.with_solver(solver.clone());
+        }
         if let Some(verifier) = self.verifier {
             request = request.with_verifier(verifier);
         }
@@ -209,6 +235,14 @@ fn print_outcome_text(outcome: &GenerateOutcome) {
         d.candidates,
         d.total_micros()
     );
+    if d.solver_iterations > 0 || d.solver_restarts > 0 {
+        println!(
+            "solver     : {} ({} iterations, {} restarts)",
+            d.solver, d.solver_iterations, d.solver_restarts
+        );
+    } else if !d.solver.is_empty() {
+        println!("solver     : {} (exact)", d.solver);
+    }
 }
 
 #[cfg(feature = "serde")]

@@ -290,6 +290,7 @@ impl App {
                     ("inserts", Json::from(cache.inserts)),
                     ("evictions", Json::from(cache.evictions)),
                     ("coalesced", Json::from(cache.coalesced)),
+                    ("key_mismatches", Json::from(cache.key_mismatches)),
                     ("resident", Json::from(self.cache.resident())),
                 ]),
             ),

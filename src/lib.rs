@@ -100,7 +100,7 @@ mod error;
 pub mod service;
 
 pub use error::Error;
-pub use marchgen_atsp::{AtspSolver, SolverChoice, SolverRegistry};
+pub use marchgen_atsp::{AtspSolver, LocalSearchSolver, SolveStats, SolverChoice, SolverRegistry};
 pub use marchgen_faults::{parse_fault_list, FaultModel};
 pub use marchgen_generator::{
     generate, generate_with, generate_with_registry, Diagnostics, GenerateOutcome, GenerateRequest,

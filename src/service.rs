@@ -22,7 +22,7 @@
 use crate::error::Error;
 use marchgen_atsp::SolverRegistry;
 #[cfg(feature = "serde")]
-use marchgen_cache::{request_key, CacheKey, OutcomeCache};
+use marchgen_cache::{canonical_key_text, key_for_text, OutcomeCache};
 use marchgen_generator::{generate_with_registry, GenerateOutcome, GenerateRequest};
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -231,19 +231,24 @@ impl Batch {
         on_event: impl Fn(BatchEvent<'_>) + Sync,
     ) -> Vec<Result<GenerateOutcome, Error>> {
         let total = requests.len();
-        let keys: Vec<CacheKey> = requests.iter().map(request_key).collect();
+        // Identity is the canonical key *text*, not the 128-bit hash:
+        // FNV collisions between different requests must lead to two
+        // computations, never to one request being served the other's
+        // outcome.
+        let canonicals: Vec<String> = requests.iter().map(canonical_key_text).collect();
         let mut slots: Vec<Option<Result<GenerateOutcome, Error>>> = Vec::new();
         slots.resize_with(total, || None);
 
         // Serve what the cache already has, then deduplicate the
-        // remaining work by key: one computation may answer many slots.
+        // remaining work by canonical text: one computation may answer
+        // many slots.
         let mut leaders: Vec<usize> = Vec::new();
-        for (index, key) in keys.iter().enumerate() {
+        for (index, canonical) in canonicals.iter().enumerate() {
             // `peek`, not `lookup`: a miss here is not a final answer —
             // the leader's `get_or_compute` does the miss accounting.
-            if let Some(hit) = cache.peek(*key) {
+            if let Some(hit) = cache.peek(key_for_text(canonical), canonical) {
                 slots[index] = Some(Ok(hit));
-            } else if !leaders.iter().any(|&l| keys[l] == *key) {
+            } else if !leaders.iter().any(|&l| canonicals[l] == *canonical) {
                 leaders.push(index);
             }
         }
@@ -279,10 +284,11 @@ impl Batch {
             },
         );
         for (&leader, result) in leaders.iter().zip(computed) {
-            // Fan the leader's result out to every slot sharing its key
-            // (`get_or_compute` already stored successful outcomes).
+            // Fan the leader's result out to every slot sharing its
+            // canonical text (`get_or_compute` already stored
+            // successful outcomes).
             for index in leader..total {
-                if slots[index].is_none() && keys[index] == keys[leader] {
+                if slots[index].is_none() && canonicals[index] == canonicals[leader] {
                     slots[index] = Some(match &result {
                         Ok(outcome) if index != leader => {
                             let mut replay = outcome.clone();

@@ -67,6 +67,30 @@ impl Daemon {
         (status, body)
     }
 
+    /// Sends raw bytes verbatim on a fresh connection — for protocol
+    /// shapes `request` cannot produce (duplicate framing headers).
+    fn raw(&self, wire_request: &str) -> (u16, String) {
+        let mut stream = TcpStream::connect(&self.addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(120)))
+            .unwrap();
+        stream
+            .write_all(wire_request.as_bytes())
+            .expect("send raw request");
+        let mut wire = String::new();
+        stream.read_to_string(&mut wire).expect("read response");
+        let status: u16 = wire
+            .strip_prefix("HTTP/1.1 ")
+            .and_then(|rest| rest.get(..3))
+            .and_then(|code| code.parse().ok())
+            .unwrap_or_else(|| panic!("unparseable response {wire:?}"));
+        let body = wire
+            .split_once("\r\n\r\n")
+            .map(|(_, body)| body.to_owned())
+            .unwrap_or_default();
+        (status, body)
+    }
+
     fn wait_for_exit(mut self) {
         let deadline = Instant::now() + Duration::from_secs(60);
         loop {
@@ -198,6 +222,37 @@ fn daemon_smoke_generate_cache_stats_shutdown() {
     assert!(batch_body.starts_with("[{\"outcome\""), "{batch_body}");
     assert_eq!(batch_body.matches("\"outcome\"").count(), 2, "{batch_body}");
 
+    // ---- solver pass-through: the wire format carries the request's
+    // SolverChoice end-to-end and the outcome reports the backend ------
+    let (status, body) = daemon.request(
+        "POST",
+        "/v1/generate",
+        r#"{"faults": ["SAF"], "solver": "local-search"}"#,
+    );
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"solver\":\"local-search\""), "{body}");
+    assert!(body.contains("\"verified\":true"), "{body}");
+    let (status, body) = daemon.request(
+        "POST",
+        "/v1/generate",
+        r#"{"faults": ["SAF"], "solver": "no-such-backend"}"#,
+    );
+    assert_eq!(status, 422, "unknown solver must fail generation: {body}");
+
+    // ---- request smuggling shapes are rejected with structured 400s -----
+    let (status, body) = daemon.raw(
+        "POST /v1/generate HTTP/1.1\r\nhost: x\r\nconnection: close\r\n\
+         content-length: 16\r\ncontent-length: 3\r\n\r\n{\"faults\":[\"SAF\"]}",
+    );
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("duplicate_content_length"), "{body}");
+    let (status, body) = daemon.raw(
+        "POST /v1/generate HTTP/1.1\r\nhost: x\r\nconnection: close\r\n\
+         content-length: 16\r\ntransfer-encoding: chunked\r\n\r\n{\"faults\":[\"SAF\"]}",
+    );
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("conflicting_framing"), "{body}");
+
     // ---- malformed and invalid documents --------------------------------
     let (status, body) = daemon.request("POST", "/v1/generate", "{not json");
     assert_eq!(status, 400, "{body}");
@@ -212,16 +267,20 @@ fn daemon_smoke_generate_cache_stats_shutdown() {
     let (status, stats) = daemon.request("GET", "/v1/stats", "");
     assert_eq!(status, 200, "{stats}");
     assert!(counter(&stats, "hits") >= 2, "{stats}"); // permuted repeat + batch entry
-    assert_eq!(counter(&stats, "inserts"), 2, "{stats}"); // 5-model list + SAF
+                                                      // 5-model list + SAF-via-local-search + batch's plain SAF.
+    assert_eq!(counter(&stats, "inserts"), 3, "{stats}");
     assert!(counter(&stats, "misses") >= 2, "{stats}");
     assert!(counter(&stats, "computed") >= 2, "{stats}");
     assert!(counter(&stats, "generate") >= 4, "{stats}");
     assert_eq!(counter(&stats, "batch"), 1, "{stats}");
+    // No colliding entries were encountered anywhere in the sequence.
+    assert_eq!(counter(&stats, "key_mismatches"), 0, "{stats}");
     // The stats request itself is the one request in flight.
     assert_eq!(counter(&stats, "in_flight"), 1, "{stats}");
     assert!(counter(&stats, "requests") >= 8, "{stats}");
-    // The oversized body was turned away at the protocol layer.
-    assert_eq!(counter(&stats, "protocol_errors"), 1, "{stats}");
+    // The oversized body and the two smuggling shapes were turned away
+    // at the protocol layer.
+    assert_eq!(counter(&stats, "protocol_errors"), 3, "{stats}");
 
     // ---- graceful shutdown ----------------------------------------------
     let (status, body) = daemon.request("POST", "/v1/shutdown", "");
@@ -233,7 +292,7 @@ fn daemon_smoke_generate_cache_stats_shutdown() {
     let entries = std::fs::read_dir(&cache_dir)
         .expect("cache dir exists")
         .count();
-    assert_eq!(entries, 2, "one JSON file per cached outcome");
+    assert_eq!(entries, 3, "one JSON file per cached outcome");
     let _ = std::fs::remove_dir_all(&cache_dir);
 }
 

@@ -44,6 +44,30 @@ fn sharded_search_json_is_byte_identical_across_thread_counts() {
     }
 }
 
+/// The inexact local-search backend is deterministic too: its restart
+/// RNG is fixed-seeded and per-instance, so outcomes (including the
+/// solver iteration/restart diagnostics) are byte-identical across
+/// shard worker counts.
+#[test]
+fn local_search_solver_json_is_byte_identical_across_thread_counts() {
+    use marchgen::SolverChoice;
+    for faults in ["SAF, TF", "CFid<u,1>, CFid<d,1>", "CFin, CFid"] {
+        let base = GenerateRequest::from_fault_list(faults)
+            .unwrap()
+            .with_solver(SolverChoice::LocalSearch)
+            .with_check_redundancy(true);
+        let reference = normalized_json(generate(&base.clone().with_search_threads(1)).unwrap());
+        for threads in [2usize, 8] {
+            let sharded =
+                normalized_json(generate(&base.clone().with_search_threads(threads)).unwrap());
+            assert_eq!(
+                sharded, reference,
+                "{faults}: local search with {threads} shard workers diverged"
+            );
+        }
+    }
+}
+
 /// The verifier backend is *not* supposed to leak into the outcome
 /// either: scalar and bit-parallel verification serialize identically.
 #[test]
