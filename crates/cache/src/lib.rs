@@ -191,8 +191,8 @@ impl OutcomeCache {
     /// the FNV key is non-cryptographic, so the text comparison is what
     /// guarantees a hit is the *right* outcome (a mismatch counts as a
     /// miss and toward [`CacheStatsSnapshot::key_mismatches`]). Hits
-    /// are re-stamped `cache_hit = true` in their [`Diagnostics`]
-    /// (`marchgen_generator::Diagnostics`), so replayed outcomes are
+    /// are re-stamped `cache_hit = true` in their
+    /// [`Diagnostics`](marchgen_generator::Diagnostics), so replayed outcomes are
     /// byte-comparable to fresh ones modulo the diagnostics block. A
     /// miss counts toward [`CacheStatsSnapshot::misses`].
     #[must_use]

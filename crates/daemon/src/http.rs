@@ -6,6 +6,15 @@
 //! keep-alive by default, and structured JSON error responses. Every
 //! limit violation maps to a proper status code instead of a dropped
 //! connection.
+//!
+//! Two response shapes exist. [`Response`] is the buffered one: the
+//! whole body is assembled first and serialized with an explicit
+//! `Content-Length`. [`StreamResponse`] is the incremental one: the
+//! handler hands over a producer callback and the engine serializes
+//! whatever it emits as `Transfer-Encoding: chunked` frames through a
+//! [`ChunkSink`] — this is what feeds the daemon's `/v1/stream`
+//! progress endpoint, where a multi-second batch reports per-item
+//! completions as they happen instead of a silent buffered POST.
 
 use marchgen_json::Json;
 use std::io::{BufRead, Write};
@@ -88,6 +97,10 @@ pub struct Response {
     /// Ask the server to begin a graceful shutdown once this response
     /// is on the wire (used by the admin shutdown endpoint).
     pub shutdown: bool,
+    /// When set, a `Retry-After: <seconds>` header is emitted — the
+    /// standard companion of `429`/`503` answers telling well-behaved
+    /// clients how long to back off before retrying.
+    pub retry_after: Option<u64>,
 }
 
 impl Response {
@@ -100,6 +113,7 @@ impl Response {
             content_type: "application/json",
             close: false,
             shutdown: false,
+            retry_after: None,
         }
     }
 
@@ -122,6 +136,7 @@ impl Response {
             // still in sync; the parser overrides `close` when not.
             close: status >= 500,
             shutdown: false,
+            retry_after: None,
         }
     }
 
@@ -139,6 +154,14 @@ impl Response {
         self
     }
 
+    /// Builder-style: advertise `Retry-After: seconds` (for `429`/`503`
+    /// answers from the rate limiter and the drain path).
+    #[must_use]
+    pub fn with_retry_after(mut self, seconds: u64) -> Response {
+        self.retry_after = Some(seconds);
+        self
+    }
+
     /// Serializes onto `stream` (HTTP/1.1, explicit `Content-Length`).
     /// The whole response is assembled in memory and written in one
     /// call, so it leaves as a single segment on unfragmented paths.
@@ -148,8 +171,12 @@ impl Response {
     /// Propagates stream write failures.
     pub fn write_to(&self, stream: &mut impl Write) -> std::io::Result<()> {
         let connection = if self.close { "close" } else { "keep-alive" };
+        let retry = match self.retry_after {
+            Some(seconds) => format!("retry-after: {seconds}\r\n"),
+            None => String::new(),
+        };
         let mut wire = format!(
-            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {connection}\r\n\r\n",
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\n{retry}connection: {connection}\r\n\r\n",
             self.status,
             reason(self.status),
             self.content_type,
@@ -158,6 +185,148 @@ impl Response {
         wire.push_str(&self.body);
         stream.write_all(wire.as_bytes())?;
         stream.flush()
+    }
+}
+
+/// The serializer side of a [`StreamResponse`]: the engine constructs
+/// one over the connection and hands it to the producer callback, which
+/// emits body frames through it. Each frame leaves as one
+/// `Transfer-Encoding: chunked` chunk (flushed immediately, so clients
+/// observe progress in real time); against an HTTP/1.0 peer — which
+/// predates chunked encoding — frames are written raw and the body is
+/// delimited by connection close instead.
+pub struct ChunkSink<'a> {
+    writer: &'a mut (dyn Write + Send),
+    chunked: bool,
+}
+
+impl ChunkSink<'_> {
+    /// Writes one body frame (one chunk) and flushes it to the wire.
+    ///
+    /// # Errors
+    ///
+    /// Propagates stream write failures — typically the peer hanging
+    /// up mid-stream. Producers should treat an error as "nobody is
+    /// listening" and stop emitting (already-running work may finish).
+    pub fn send(&mut self, frame: &[u8]) -> std::io::Result<()> {
+        if frame.is_empty() {
+            // An empty chunk would terminate the chunked body early.
+            return Ok(());
+        }
+        if self.chunked {
+            write!(self.writer, "{:x}\r\n", frame.len())?;
+            self.writer.write_all(frame)?;
+            self.writer.write_all(b"\r\n")?;
+        } else {
+            self.writer.write_all(frame)?;
+        }
+        self.writer.flush()
+    }
+
+    /// Renders `doc` and sends it as one newline-terminated frame —
+    /// the JSON-lines convention of the `/v1/stream` wire format.
+    ///
+    /// # Errors
+    ///
+    /// Propagates stream write failures (see [`ChunkSink::send`]).
+    pub fn send_json(&mut self, doc: &Json) -> std::io::Result<()> {
+        let mut line = doc.render();
+        line.push('\n');
+        self.send(line.as_bytes())
+    }
+}
+
+/// The producer callback of a [`StreamResponse`]: invoked exactly once
+/// with the live [`ChunkSink`] after the response head is on the wire.
+pub type StreamProducer = Box<dyn FnOnce(&mut ChunkSink<'_>) -> std::io::Result<()> + Send>;
+
+/// An incremental response: status and headers are decided up front,
+/// the body is produced frame-by-frame while the handler's work runs.
+/// Built by handlers via [`StreamResponse::new`] and returned through
+/// [`Reply::Stream`](crate::server::Reply); the connection engine owns
+/// serialization (chunked framing, the terminal zero chunk, keep-alive
+/// bookkeeping).
+pub struct StreamResponse {
+    /// Status code sent before the first frame (the producer cannot
+    /// change it later — validate the request *before* streaming).
+    pub status: u16,
+    /// `Content-Type` header value; defaults to `application/x-ndjson`
+    /// (one JSON document per line).
+    pub content_type: &'static str,
+    /// Close the connection after the stream completes instead of
+    /// keeping it alive for the next request.
+    pub close: bool,
+    producer: StreamProducer,
+}
+
+impl StreamResponse {
+    /// A `200` JSON-lines stream whose body is written by `producer`.
+    #[must_use]
+    pub fn new(
+        producer: impl FnOnce(&mut ChunkSink<'_>) -> std::io::Result<()> + Send + 'static,
+    ) -> StreamResponse {
+        StreamResponse {
+            status: 200,
+            content_type: "application/x-ndjson",
+            close: false,
+            producer: Box::new(producer),
+        }
+    }
+
+    /// Builder-style: close the connection once the stream completes.
+    #[must_use]
+    pub fn with_close(mut self) -> StreamResponse {
+        self.close = true;
+        self
+    }
+
+    /// Serializes the head, runs the producer, and terminates the body.
+    /// `http10` selects the framing: chunked for HTTP/1.1, raw bytes +
+    /// connection close for HTTP/1.0 (which predates chunked encoding).
+    /// Returns `true` when the connection may be kept alive — only a
+    /// chunked stream that completed without error keeps its framing
+    /// synchronized.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write failures from the head, the producer, or the
+    /// terminal chunk; the connection must close in every error case.
+    pub fn write_to(self, stream: &mut (impl Write + Send), http10: bool) -> std::io::Result<bool> {
+        let close = self.close || http10;
+        let connection = if close { "close" } else { "keep-alive" };
+        let framing = if http10 {
+            String::new()
+        } else {
+            "transfer-encoding: chunked\r\n".to_owned()
+        };
+        write!(
+            stream,
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\n{framing}connection: {connection}\r\n\r\n",
+            self.status,
+            reason(self.status),
+            self.content_type,
+        )?;
+        stream.flush()?;
+        let mut sink = ChunkSink {
+            writer: stream,
+            chunked: !http10,
+        };
+        (self.producer)(&mut sink)?;
+        if !http10 {
+            stream.write_all(b"0\r\n\r\n")?;
+        }
+        stream.flush()?;
+        Ok(!close)
+    }
+}
+
+impl std::fmt::Debug for StreamResponse {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamResponse")
+            .field("status", &self.status)
+            .field("content_type", &self.content_type)
+            .field("close", &self.close)
+            .finish_non_exhaustive()
     }
 }
 
@@ -611,5 +780,81 @@ mod tests {
         );
         assert!(text.contains("connection: close"), "{text}");
         assert!(text.contains("\"code\":\"queue_full\""), "{text}");
+    }
+
+    #[test]
+    fn retry_after_header_is_emitted_when_set() {
+        let mut wire = Vec::new();
+        Response::error(429, "rate_limited", "slow down")
+            .with_retry_after(7)
+            .with_close()
+            .write_to(&mut wire)
+            .unwrap();
+        let text = String::from_utf8(wire).unwrap();
+        assert!(text.contains("retry-after: 7\r\n"), "{text}");
+        let mut wire = Vec::new();
+        Response::error(429, "queue_full", "later")
+            .write_to(&mut wire)
+            .unwrap();
+        let text = String::from_utf8(wire).unwrap();
+        assert!(!text.contains("retry-after"), "{text}");
+    }
+
+    #[test]
+    fn stream_response_frames_as_chunked_and_keeps_alive() {
+        let mut wire = Vec::new();
+        let keep_alive = StreamResponse::new(|sink| {
+            sink.send_json(&Json::object([("event", Json::from("started"))]))?;
+            sink.send(b"")?; // empty frames are dropped, not terminal
+            sink.send_json(&Json::object([("event", Json::from("completed"))]))
+        })
+        .write_to(&mut wire, false)
+        .unwrap();
+        assert!(keep_alive, "clean chunked stream may keep the connection");
+        let text = String::from_utf8(wire).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("transfer-encoding: chunked"), "{text}");
+        assert!(
+            text.contains("content-type: application/x-ndjson"),
+            "{text}"
+        );
+        assert!(text.contains("connection: keep-alive"), "{text}");
+        // Each frame is one sized chunk; the body ends with the
+        // terminal zero chunk.
+        let line = "{\"event\":\"started\"}\n";
+        assert!(
+            text.contains(&format!("{:x}\r\n{line}\r\n", line.len())),
+            "{text}"
+        );
+        assert!(text.ends_with("0\r\n\r\n"), "{text}");
+    }
+
+    #[test]
+    fn stream_response_to_http10_writes_raw_and_closes() {
+        let mut wire = Vec::new();
+        let keep_alive = StreamResponse::new(|sink| sink.send(b"{\"ok\":true}\n"))
+            .write_to(&mut wire, true)
+            .unwrap();
+        assert!(!keep_alive, "EOF-delimited bodies must close");
+        let text = String::from_utf8(wire).unwrap();
+        assert!(!text.contains("transfer-encoding"), "{text}");
+        assert!(text.contains("connection: close"), "{text}");
+        assert!(text.ends_with("{\"ok\":true}\n"), "{text}");
+    }
+
+    #[test]
+    fn stream_response_propagates_producer_errors() {
+        let mut wire = Vec::new();
+        let result = StreamResponse::new(|sink| {
+            sink.send(b"partial\n")?;
+            Err(std::io::Error::other("peer went away"))
+        })
+        .write_to(&mut wire, false);
+        assert!(result.is_err());
+        let text = String::from_utf8(wire).unwrap();
+        assert!(
+            !text.ends_with("0\r\n\r\n"),
+            "a failed stream must not be terminated cleanly: {text}"
+        );
     }
 }

@@ -29,21 +29,35 @@
 //! serving.join().unwrap();
 //! ```
 //!
+//! Handlers answer with a [`Reply`]: either a buffered [`Response`]
+//! (serialized with `Content-Length` — the common case) or a
+//! [`StreamResponse`] whose body is produced frame-by-frame through a
+//! [`ChunkSink`] while the work runs (serialized with
+//! `Transfer-Encoding: chunked` — long-running progress streams).
+//! Closures returning a plain [`Response`] keep working unchanged.
+//!
+//! Connection-level abuse is bounded twice: the bounded accept queue
+//! (global backpressure) and an optional per-peer token-bucket
+//! [`RateLimiter`] ([`ServerConfig::rate_limit`]) that answers
+//! over-budget peers `429` + `Retry-After` before they reach a worker.
+//!
 //! Status codes emitted by the engine itself: `400` (malformed
 //! protocol), `411` (chunked upload), `413` (oversized body), `429`
-//! (accept queue full), `431` (oversized headers), `500` (handler
-//! panic), `503` (shutting down). Everything else is the handler's
-//! business.
+//! (accept queue full, or per-peer rate limit with a `Retry-After`
+//! header), `431` (oversized headers), `500` (handler panic), `503`
+//! (shutting down). Everything else is the handler's business.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod http;
+pub mod limit;
 pub mod server;
 pub mod stats;
 
-pub use http::{reason, ReadOutcome, Request, Response};
-pub use server::{Handler, Server, ServerConfig, ShutdownSignal};
+pub use http::{reason, ChunkSink, ReadOutcome, Request, Response, StreamResponse};
+pub use limit::{RateDecision, RateLimitConfig, RateLimiter};
+pub use server::{Handler, Reply, Server, ServerConfig, ShutdownSignal};
 pub use stats::{ServerStats, ServerStatsSnapshot};
 
 // The JSON kit is part of this crate's API surface
@@ -174,6 +188,130 @@ mod tests {
                 "late request should see nothing or a 503, got {text:?}"
             );
         }
+    }
+
+    /// A handler mixing buffered and streaming replies: `/stream`
+    /// emits three chunked frames, everything else stays buffered.
+    fn mixed_handler(request: &Request) -> Reply {
+        match request.path.as_str() {
+            "/stream" => Reply::Stream(StreamResponse::new(|sink| {
+                for i in 0..3u64 {
+                    sink.send_json(&Json::object([("frame", Json::from(i))]))?;
+                }
+                Ok(())
+            })),
+            "/stream-panic" => Reply::Stream(StreamResponse::new(|sink| {
+                sink.send(b"first\n")?;
+                panic!("producer exploded mid-stream");
+            })),
+            _ => Reply::Full(Response::json(&Json::object([("ok", Json::Bool(true))]))),
+        }
+    }
+
+    #[test]
+    fn streaming_replies_are_chunked_and_keep_the_connection() {
+        let server = Server::bind(
+            "127.0.0.1:0",
+            ServerConfig {
+                workers: 1,
+                ..ServerConfig::default()
+            },
+            mixed_handler,
+        )
+        .unwrap();
+        let addr = server.local_addr().unwrap();
+        let stats = server.stats();
+        let signal = server.shutdown_signal();
+        let handle = std::thread::spawn(move || server.run());
+
+        // One keep-alive connection: stream, then a buffered request.
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        stream.write_all(b"GET /stream HTTP/1.1\r\n\r\n").unwrap();
+        let mut text = String::new();
+        let mut chunk = [0u8; 512];
+        while !text.contains("0\r\n\r\n") {
+            let n = stream.read(&mut chunk).unwrap();
+            assert!(n > 0, "connection closed before terminal chunk: {text:?}");
+            text.push_str(&String::from_utf8_lossy(&chunk[..n]));
+        }
+        assert!(text.starts_with("HTTP/1.1 200 OK"), "{text}");
+        assert!(text.contains("transfer-encoding: chunked"), "{text}");
+        assert!(text.contains("connection: keep-alive"), "{text}");
+        for i in 0..3 {
+            assert!(text.contains(&format!("{{\"frame\":{i}}}")), "{text}");
+        }
+
+        // The connection survived the stream: a buffered request works.
+        stream.write_all(b"GET /after HTTP/1.1\r\n\r\n").unwrap();
+        let mut text = String::new();
+        while !text.contains("{\"ok\":true}") {
+            let n = stream.read(&mut chunk).unwrap();
+            assert!(n > 0, "keep-alive after stream failed: {text:?}");
+            text.push_str(&String::from_utf8_lossy(&chunk[..n]));
+        }
+        drop(stream);
+
+        // A panicking producer tears the connection down without a
+        // terminal chunk (the client sees a truncated chunked body).
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        stream
+            .write_all(b"GET /stream-panic HTTP/1.1\r\n\r\n")
+            .unwrap();
+        let mut wire = String::new();
+        stream.read_to_string(&mut wire).unwrap();
+        assert!(wire.starts_with("HTTP/1.1 200 OK"), "{wire}");
+        assert!(!wire.ends_with("0\r\n\r\n"), "{wire}");
+
+        signal.trigger();
+        handle.join().unwrap();
+        assert_eq!(stats.snapshot().streams, 2, "both streams counted");
+    }
+
+    #[test]
+    fn per_peer_rate_limit_rejects_with_retry_after() {
+        // Refill is 0.01 tokens/s: the bucket cannot regain a token
+        // within any plausible test runtime, so the third connection is
+        // deterministically over budget even on a stalled CI machine.
+        let server = Server::bind(
+            "127.0.0.1:0",
+            ServerConfig {
+                workers: 1,
+                rate_limit: Some(crate::limit::RateLimitConfig::new(0.01, 2.0)),
+                ..ServerConfig::default()
+            },
+            mixed_handler,
+        )
+        .unwrap();
+        let addr = server.local_addr().unwrap();
+        let stats = server.stats();
+        let signal = server.shutdown_signal();
+        let handle = std::thread::spawn(move || server.run());
+
+        // The burst budget admits the first two connections.
+        for _ in 0..2 {
+            let ok = roundtrip(addr, "GET /x HTTP/1.1\r\nConnection: close\r\n\r\n");
+            assert!(ok.starts_with("HTTP/1.1 200 OK"), "{ok}");
+        }
+        // The third is over budget: 429 + Retry-After, never dispatched.
+        let rejected = roundtrip(addr, "GET /x HTTP/1.1\r\nConnection: close\r\n\r\n");
+        assert!(
+            rejected.starts_with("HTTP/1.1 429 Too Many Requests"),
+            "{rejected}"
+        );
+        assert!(rejected.contains("retry-after: "), "{rejected}");
+        assert!(rejected.contains("\"code\":\"rate_limited\""), "{rejected}");
+
+        signal.trigger();
+        handle.join().unwrap();
+        let snapshot = stats.snapshot();
+        assert_eq!(snapshot.rejected_rate_limited, 1);
+        assert_eq!(snapshot.requests, 2, "the rejected connection never ran");
     }
 
     #[test]

@@ -1,0 +1,335 @@
+//! Per-peer connection rate limiting: a classic token bucket keyed by
+//! peer IP address.
+//!
+//! The limiter sits in the accept loop, *before* the bounded queue: a
+//! peer opening connections faster than its bucket refills is answered
+//! `429` with a `Retry-After` hint and never reaches a worker. This is
+//! what keeps the streaming endpoint honest — a chunked `/v1/stream`
+//! response pins a worker for the duration of its batch, so without a
+//! per-peer bound one client could open enough streams to starve
+//! everyone else.
+//!
+//! Buckets are keyed by IP only (not port): every connection from one
+//! host draws from one budget, which is the right granularity both for
+//! a hostile peer cycling source ports and for a well-behaved client
+//! pool. Behind a reverse proxy the daemon sees the proxy's address —
+//! terminate abuse at the proxy in that deployment (see
+//! `docs/DEPLOY.md`) or run with the limiter sized for the proxy's
+//! aggregate.
+
+use std::collections::HashMap;
+use std::net::IpAddr;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Most peers tracked, a hard bound. At the cap a sweep drops buckets
+/// that have refilled to capacity — forgetting a full bucket is
+/// lossless, it reconstructs identically on the peer's next connection.
+/// If the table is still full after sweeping (a distinct-IP flood with
+/// slow refill), *new* peers are admitted untracked rather than
+/// inserted: per-IP budgets cannot stop an address-rotating flood
+/// anyway, and the alternative — unbounded growth, or rejecting every
+/// newcomer — hurts memory or honest first-time clients instead.
+const MAX_TRACKED_PEERS: usize = 4096;
+
+/// Least wall-clock time between two capacity sweeps. The sweep is the
+/// only O(table) operation, and it runs under the accept loop's mutex —
+/// throttling it keeps a distinct-IP flood from turning every accept
+/// into a full-table scan.
+const SWEEP_INTERVAL: Duration = Duration::from_secs(1);
+
+/// Tunables of the per-peer token bucket.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RateLimitConfig {
+    /// Sustained budget: tokens (connections) added per second.
+    pub per_second: f64,
+    /// Burst budget: bucket capacity, and the budget a fresh peer
+    /// starts with.
+    pub burst: f64,
+}
+
+impl RateLimitConfig {
+    /// A config allowing `per_second` sustained connections with bursts
+    /// of `burst`; both clamped to at least a whole token so a
+    /// configured limiter can never deadlock every peer out.
+    #[must_use]
+    pub fn new(per_second: f64, burst: f64) -> RateLimitConfig {
+        RateLimitConfig {
+            per_second: per_second.max(f64::MIN_POSITIVE),
+            burst: burst.max(1.0),
+        }
+    }
+}
+
+/// One peer's bucket: the balance at `refreshed`; the true balance at
+/// any later instant is `tokens + elapsed × per_second`, capped at
+/// `burst`.
+#[derive(Debug, Clone, Copy)]
+struct Bucket {
+    tokens: f64,
+    refreshed: Instant,
+}
+
+/// The decision for one connection attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RateDecision {
+    /// Within budget: serve the connection.
+    Admit,
+    /// Over budget: reject with `429` and this many seconds of
+    /// `Retry-After` (always ≥ 1 so clients cannot busy-loop on a
+    /// zero hint).
+    Reject {
+        /// Whole seconds until a token will be available.
+        retry_after: u64,
+    },
+}
+
+/// The mutex-guarded interior of a [`RateLimiter`].
+#[derive(Debug)]
+struct LimiterState {
+    buckets: HashMap<IpAddr, Bucket>,
+    /// When the last capacity sweep ran (`None` = never).
+    swept: Option<Instant>,
+}
+
+/// A thread-safe token-bucket rate limiter keyed by peer IP.
+#[derive(Debug)]
+pub struct RateLimiter {
+    config: RateLimitConfig,
+    state: Mutex<LimiterState>,
+}
+
+impl RateLimiter {
+    /// A limiter enforcing `config` with no peers tracked yet.
+    #[must_use]
+    pub fn new(config: RateLimitConfig) -> RateLimiter {
+        RateLimiter {
+            config,
+            state: Mutex::new(LimiterState {
+                buckets: HashMap::new(),
+                swept: None,
+            }),
+        }
+    }
+
+    /// The config this limiter enforces.
+    #[must_use]
+    pub fn config(&self) -> RateLimitConfig {
+        self.config
+    }
+
+    /// Charges one connection from `peer` against its bucket at the
+    /// current instant.
+    pub fn check(&self, peer: IpAddr) -> RateDecision {
+        self.check_at(peer, Instant::now())
+    }
+
+    /// [`RateLimiter::check`] with an explicit clock — the testable
+    /// core: decisions are a pure function of the config and the
+    /// sequence of `(peer, now)` calls.
+    pub fn check_at(&self, peer: IpAddr, now: Instant) -> RateDecision {
+        let state = &mut *self.state.lock().expect("rate limiter lock");
+        if state.buckets.len() >= MAX_TRACKED_PEERS && !state.buckets.contains_key(&peer) {
+            // At capacity and meeting a new peer: sweep buckets that
+            // have refilled to the full burst (dropping them is
+            // lossless — a fresh bucket starts full). The sweep is
+            // O(table) under the accept loop's mutex, so it runs at
+            // most once per SWEEP_INTERVAL.
+            let due = state
+                .swept
+                .is_none_or(|last| now.saturating_duration_since(last) >= SWEEP_INTERVAL);
+            if due {
+                let config = self.config;
+                state.buckets.retain(|_, bucket| {
+                    let elapsed = now.saturating_duration_since(bucket.refreshed);
+                    bucket.tokens + elapsed.as_secs_f64() * config.per_second < config.burst
+                });
+                state.swept = Some(now);
+            }
+            if state.buckets.len() >= MAX_TRACKED_PEERS {
+                // Still full: admit the newcomer untracked instead of
+                // growing without bound (see MAX_TRACKED_PEERS).
+                return RateDecision::Admit;
+            }
+        }
+        let bucket = state.buckets.entry(peer).or_insert(Bucket {
+            tokens: self.config.burst,
+            refreshed: now,
+        });
+        // Refill for the time elapsed since the last decision, capped
+        // at the burst budget. `saturating_duration_since` tolerates
+        // out-of-order `now` values from racing callers.
+        let elapsed = now.saturating_duration_since(bucket.refreshed);
+        bucket.tokens =
+            (bucket.tokens + elapsed.as_secs_f64() * self.config.per_second).min(self.config.burst);
+        bucket.refreshed = now;
+        if bucket.tokens >= 1.0 {
+            bucket.tokens -= 1.0;
+            RateDecision::Admit
+        } else {
+            // Seconds until the deficit refills to one whole token,
+            // rounded up and floored at 1 — a `Retry-After: 0` would
+            // invite an immediate busy retry.
+            let deficit = 1.0 - bucket.tokens;
+            let wait = (deficit / self.config.per_second).ceil();
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            let retry_after = if wait.is_finite() && (1.0..=1e18).contains(&wait) {
+                wait as u64
+            } else {
+                1
+            };
+            RateDecision::Reject { retry_after }
+        }
+    }
+
+    /// Peers currently tracked (diagnostic; racy by nature).
+    #[must_use]
+    pub fn tracked_peers(&self) -> usize {
+        self.state.lock().expect("rate limiter lock").buckets.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+    use std::time::Duration;
+
+    fn ip(last: u8) -> IpAddr {
+        IpAddr::V4(Ipv4Addr::new(10, 0, 0, last))
+    }
+
+    #[test]
+    fn burst_is_admitted_then_rejected_with_retry_hint() {
+        let limiter = RateLimiter::new(RateLimitConfig::new(1.0, 3.0));
+        let t0 = Instant::now();
+        for _ in 0..3 {
+            assert_eq!(limiter.check_at(ip(1), t0), RateDecision::Admit);
+        }
+        let RateDecision::Reject { retry_after } = limiter.check_at(ip(1), t0) else {
+            panic!("fourth connection in the same instant must be rejected");
+        };
+        assert_eq!(retry_after, 1, "one token per second → retry in 1s");
+    }
+
+    #[test]
+    fn tokens_refill_over_time() {
+        let limiter = RateLimiter::new(RateLimitConfig::new(2.0, 2.0));
+        let t0 = Instant::now();
+        assert_eq!(limiter.check_at(ip(1), t0), RateDecision::Admit);
+        assert_eq!(limiter.check_at(ip(1), t0), RateDecision::Admit);
+        assert!(matches!(
+            limiter.check_at(ip(1), t0),
+            RateDecision::Reject { .. }
+        ));
+        // Half a second at 2 tokens/s refills one whole token.
+        let t1 = t0 + Duration::from_millis(500);
+        assert_eq!(limiter.check_at(ip(1), t1), RateDecision::Admit);
+        assert!(matches!(
+            limiter.check_at(ip(1), t1),
+            RateDecision::Reject { .. }
+        ));
+    }
+
+    #[test]
+    fn refill_is_capped_at_burst() {
+        let limiter = RateLimiter::new(RateLimitConfig::new(100.0, 2.0));
+        let t0 = Instant::now();
+        // A long idle period must not bank more than `burst` tokens.
+        let t1 = t0 + Duration::from_secs(3600);
+        assert_eq!(limiter.check_at(ip(1), t0), RateDecision::Admit);
+        assert_eq!(limiter.check_at(ip(1), t1), RateDecision::Admit);
+        assert_eq!(limiter.check_at(ip(1), t1), RateDecision::Admit);
+        assert!(matches!(
+            limiter.check_at(ip(1), t1),
+            RateDecision::Reject { .. }
+        ));
+    }
+
+    #[test]
+    fn peers_are_isolated() {
+        let limiter = RateLimiter::new(RateLimitConfig::new(1.0, 1.0));
+        let t0 = Instant::now();
+        assert_eq!(limiter.check_at(ip(1), t0), RateDecision::Admit);
+        assert!(matches!(
+            limiter.check_at(ip(1), t0),
+            RateDecision::Reject { .. }
+        ));
+        // A different peer has its own untouched bucket.
+        assert_eq!(limiter.check_at(ip(2), t0), RateDecision::Admit);
+    }
+
+    #[test]
+    fn slow_refill_reports_a_proportional_retry_after() {
+        // 0.1 tokens/s: after spending the single burst token the peer
+        // must wait 10 seconds for the next one.
+        let limiter = RateLimiter::new(RateLimitConfig::new(0.1, 1.0));
+        let t0 = Instant::now();
+        assert_eq!(limiter.check_at(ip(1), t0), RateDecision::Admit);
+        let RateDecision::Reject { retry_after } = limiter.check_at(ip(1), t0) else {
+            panic!("over budget");
+        };
+        assert_eq!(retry_after, 10);
+    }
+
+    #[test]
+    fn config_clamps_degenerate_values() {
+        let config = RateLimitConfig::new(0.0, 0.0);
+        assert!(config.per_second > 0.0);
+        assert!((config.burst - 1.0).abs() < f64::EPSILON);
+        // Even the most restrictive config admits a fresh peer's first
+        // connection.
+        let limiter = RateLimiter::new(config);
+        assert_eq!(limiter.check_at(ip(1), Instant::now()), RateDecision::Admit);
+    }
+
+    #[test]
+    fn table_is_hard_bounded_and_full_buckets_are_swept() {
+        let limiter = RateLimiter::new(RateLimitConfig::new(1000.0, 1.0));
+        let t0 = Instant::now();
+        for a in 0..=255u8 {
+            for b in 0..=16u8 {
+                let peer = IpAddr::V4(Ipv4Addr::new(10, 9, b, a));
+                let _ = limiter.check_at(peer, t0);
+            }
+        }
+        // 4352 distinct peers in the same instant: none are sweepable
+        // (every bucket just spent its token), so the table stops
+        // growing at the cap and newcomers are admitted untracked.
+        assert_eq!(limiter.tracked_peers(), MAX_TRACKED_PEERS);
+        // A second later everything has refilled at 1000 tokens/s: the
+        // sweep clears the table and new peers are tracked again.
+        let t1 = t0 + Duration::from_secs(1);
+        assert_eq!(limiter.check_at(ip(1), t1), RateDecision::Admit);
+        assert_eq!(limiter.tracked_peers(), 1, "swept and re-tracked");
+    }
+
+    /// A distinct-IP flood against a *slow-refill* config cannot grow
+    /// the table past the cap, cannot run the O(table) sweep more than
+    /// once per interval, and fails open for newcomers — while peers
+    /// that are tracked stay limited.
+    #[test]
+    fn saturated_table_fails_open_for_new_peers_only() {
+        let limiter = RateLimiter::new(RateLimitConfig::new(0.001, 1.0));
+        let t0 = Instant::now();
+        for a in 0..=255u8 {
+            for b in 0..=16u8 {
+                let peer = IpAddr::V4(Ipv4Addr::new(10, 9, b, a));
+                let _ = limiter.check_at(peer, t0);
+            }
+        }
+        assert_eq!(limiter.tracked_peers(), MAX_TRACKED_PEERS);
+        // Nothing refills in a millisecond at 0.001 tokens/s; the
+        // newcomer is admitted untracked (fail-open), repeatedly.
+        let t1 = t0 + Duration::from_millis(1);
+        let newcomer = IpAddr::V4(Ipv4Addr::new(192, 0, 2, 1));
+        assert_eq!(limiter.check_at(newcomer, t1), RateDecision::Admit);
+        assert_eq!(limiter.check_at(newcomer, t1), RateDecision::Admit);
+        assert_eq!(limiter.tracked_peers(), MAX_TRACKED_PEERS);
+        // A tracked peer's spent bucket still rejects.
+        assert!(matches!(
+            limiter.check_at(IpAddr::V4(Ipv4Addr::new(10, 9, 0, 0)), t1),
+            RateDecision::Reject { .. }
+        ));
+    }
+}

@@ -15,7 +15,8 @@
 //!   in-flight requests finish, and joins every thread before
 //!   [`Server::run`] returns.
 
-use crate::http::{read_request, ReadOutcome, Request, Response};
+use crate::http::{read_request, ReadOutcome, Request, Response, StreamResponse};
+use crate::limit::{RateDecision, RateLimiter};
 use crate::stats::ServerStats;
 use std::collections::VecDeque;
 use std::io::{BufRead, BufReader};
@@ -30,17 +31,47 @@ const MAX_KEEPALIVE_REQUESTS: usize = 1024;
 /// Accept-loop poll interval while idle or draining.
 const ACCEPT_POLL: Duration = Duration::from_millis(5);
 
-/// The application half of the daemon: maps one parsed request to one
-/// response. Implementations must be thread-safe — workers call
-/// concurrently.
-pub trait Handler: Send + Sync {
-    /// Produces the response for `request`.
-    fn handle(&self, request: &Request) -> Response;
+/// What a [`Handler`] answers a request with: either a fully buffered
+/// [`Response`] (the common case — small JSON documents) or a
+/// [`StreamResponse`] whose body is produced incrementally while the
+/// work runs (the `/v1/stream` case — chunked progress frames).
+#[derive(Debug)]
+pub enum Reply {
+    /// A buffered response, serialized with `Content-Length`.
+    Full(Response),
+    /// An incremental response, serialized with
+    /// `Transfer-Encoding: chunked` (raw + close for HTTP/1.0 peers).
+    Stream(StreamResponse),
 }
 
-impl<F: Fn(&Request) -> Response + Send + Sync> Handler for F {
-    fn handle(&self, request: &Request) -> Response {
-        self(request)
+impl From<Response> for Reply {
+    fn from(response: Response) -> Reply {
+        Reply::Full(response)
+    }
+}
+
+impl From<StreamResponse> for Reply {
+    fn from(response: StreamResponse) -> Reply {
+        Reply::Stream(response)
+    }
+}
+
+/// The application half of the daemon: maps one parsed request to one
+/// reply. Implementations must be thread-safe — workers call
+/// concurrently. Plain functions and closures returning [`Response`]
+/// (or anything `Into<Reply>`) implement it automatically.
+pub trait Handler: Send + Sync {
+    /// Produces the reply for `request`.
+    fn handle(&self, request: &Request) -> Reply;
+}
+
+impl<F, R> Handler for F
+where
+    F: Fn(&Request) -> R + Send + Sync,
+    R: Into<Reply>,
+{
+    fn handle(&self, request: &Request) -> Reply {
+        self(request).into()
     }
 }
 
@@ -57,6 +88,11 @@ pub struct ServerConfig {
     /// Per-read socket timeout; an idle keep-alive connection is
     /// recycled after this long.
     pub read_timeout: Duration,
+    /// Per-peer connection rate limit (token bucket keyed by peer IP);
+    /// `None` disables limiting. Enforced in the accept loop, before
+    /// the queue: an over-budget peer is answered `429` +
+    /// `Retry-After` and never occupies a worker.
+    pub rate_limit: Option<crate::limit::RateLimitConfig>,
 }
 
 impl Default for ServerConfig {
@@ -66,6 +102,7 @@ impl Default for ServerConfig {
             queue_capacity: 256,
             max_body_bytes: 1 << 20,
             read_timeout: Duration::from_secs(30),
+            rate_limit: None,
         }
     }
 }
@@ -189,10 +226,11 @@ impl<H: Handler> Server<H> {
                         // Drain: the connection was queued before the
                         // shutdown request — turn it away cleanly.
                         stats.shutdown_reject();
-                        let mut stream = stream;
-                        let _ = Response::error(503, "shutting_down", "server is shutting down")
-                            .with_close()
-                            .write_to(&mut stream);
+                        reject_connection(
+                            stream,
+                            &Response::error(503, "shutting_down", "server is shutting down")
+                                .with_close(),
+                        );
                         continue;
                     }
                     serve_connection(stream, &config, &handler, &stats, &shutdown);
@@ -200,22 +238,42 @@ impl<H: Handler> Server<H> {
             }
 
             // ---- accept loop (this thread) ------------------------------
+            let limiter = config.rate_limit.map(RateLimiter::new);
             while !shutdown.load(Ordering::SeqCst) {
                 match listener.accept() {
-                    Ok((stream, _peer)) => {
+                    Ok((stream, peer)) => {
                         stats.connection();
+                        if let Some(limiter) = &limiter {
+                            if let RateDecision::Reject { retry_after } = limiter.check(peer.ip()) {
+                                stats.rate_limited();
+                                reject_connection(
+                                    stream,
+                                    &Response::error(
+                                        429,
+                                        "rate_limited",
+                                        format!(
+                                            "per-peer connection budget exhausted; retry in {retry_after}s"
+                                        ),
+                                    )
+                                    .with_retry_after(retry_after)
+                                    .with_close(),
+                                );
+                                continue;
+                            }
+                        }
                         let mut q = queue.lock().expect("accept queue lock");
                         if q.len() >= config.queue_capacity {
                             drop(q);
                             stats.queue_full();
-                            let mut stream = stream;
-                            let _ = Response::error(
-                                429,
-                                "queue_full",
-                                "accept queue is full; retry with backoff",
-                            )
-                            .with_close()
-                            .write_to(&mut stream);
+                            reject_connection(
+                                stream,
+                                &Response::error(
+                                    429,
+                                    "queue_full",
+                                    "accept queue is full; retry with backoff",
+                                )
+                                .with_close(),
+                            );
                         } else {
                             q.push_back(stream);
                             drop(q);
@@ -233,16 +291,43 @@ impl<H: Handler> Server<H> {
     }
 }
 
+/// Answers a connection that is being turned away before dispatch
+/// (queue full, rate limited, draining) and closes it cleanly. The
+/// write-then-drain order matters: the peer has usually already sent
+/// its request bytes, and dropping the socket with them unread would
+/// RST and destroy the queued response before the client reads it.
+///
+/// Runs on the accept thread, whose stall radius is every future
+/// connection — the drain deadline is kept short: an honest client
+/// reads the error and closes within a round trip; a peer still
+/// trickling bytes at the deadline forfeits clean delivery.
+fn reject_connection(mut stream: TcpStream, response: &Response) {
+    let _ = response.write_to(&mut stream);
+    let mut reader = match stream.try_clone() {
+        Ok(reader) => reader,
+        Err(_) => return,
+    };
+    drain_before_close(&stream, &mut reader, Duration::from_millis(250));
+}
+
 /// Discards unread request bytes before a connection is dropped with
 /// data still queued by the peer: without this, `close()` sends RST and
 /// the kernel throws away the un-acknowledged response bytes. Bounded
-/// in both volume and time — a hostile streamer cannot pin the worker.
-fn drain_before_close(stream: &TcpStream, reader: &mut impl std::io::Read) {
+/// in volume *and wall time* — the byte budget alone would let a peer
+/// trickling one byte per read-timeout pin the calling thread for
+/// hours, so `deadline` is the authoritative bound; a peer that is
+/// still sending when it expires simply loses the clean close.
+fn drain_before_close(stream: &TcpStream, reader: &mut impl std::io::Read, deadline: Duration) {
     let _ = stream.shutdown(std::net::Shutdown::Write);
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+    let expires = std::time::Instant::now() + deadline;
     let mut scratch = [0u8; 8192];
     let mut budget: usize = 4 << 20;
     while budget > 0 {
+        let remaining = expires.saturating_duration_since(std::time::Instant::now());
+        if remaining.is_zero() {
+            return;
+        }
+        let _ = stream.set_read_timeout(Some(remaining.min(Duration::from_millis(250))));
         match reader.read(&mut scratch) {
             Ok(0) | Err(_) => return,
             Ok(n) => budget = budget.saturating_sub(n),
@@ -311,34 +396,61 @@ fn serve_connection(
                 // body that was never read); closing now would RST and
                 // destroy the queued response before the client reads
                 // it. Signal FIN, then drain a bounded amount so the
-                // error actually arrives.
-                drain_before_close(&writer, &mut reader);
+                // error actually arrives. The deadline is looser than
+                // the accept-loop's: stalling here pins one worker,
+                // not the listener.
+                drain_before_close(&writer, &mut reader, Duration::from_secs(2));
                 return;
             }
             Ok(ReadOutcome::Complete(request)) => request,
         };
-        let mut response = if shutdown.load(Ordering::SeqCst) {
+        let reply = if shutdown.load(Ordering::SeqCst) {
             stats.shutdown_reject();
-            Response::error(503, "shutting_down", "server is shutting down").with_close()
+            Reply::Full(
+                Response::error(503, "shutting_down", "server is shutting down").with_close(),
+            )
         } else {
             stats.dispatch_begin();
-            let response =
+            let reply =
                 std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| handler.handle(&request)))
                     .unwrap_or_else(|_| {
-                        Response::error(500, "handler_panic", "internal handler failure")
-                            .with_close()
+                        Reply::Full(
+                            Response::error(500, "handler_panic", "internal handler failure")
+                                .with_close(),
+                        )
                     });
             stats.dispatch_end();
-            response
+            reply
         };
-        // Honor the client's `Connection: close` in the advertised
-        // header, not just in behaviour.
-        response.close = response.close || request.wants_close();
-        if response.shutdown {
-            shutdown.store(true, Ordering::SeqCst);
-        }
-        if response.write_to(&mut writer).is_err() || response.close {
-            return;
+        match reply {
+            Reply::Full(mut response) => {
+                // Honor the client's `Connection: close` in the
+                // advertised header, not just in behaviour.
+                response.close = response.close || request.wants_close();
+                if response.shutdown {
+                    shutdown.store(true, Ordering::SeqCst);
+                }
+                if response.write_to(&mut writer).is_err() || response.close {
+                    return;
+                }
+            }
+            Reply::Stream(mut stream_response) => {
+                stats.stream_begin();
+                stream_response.close = stream_response.close || request.wants_close();
+                // The producer is application code running after the
+                // response head is on the wire: a panic cannot be
+                // turned into a 500 anymore, so it tears the
+                // connection down instead — the truncated chunked body
+                // (no terminal zero chunk) tells the client the stream
+                // died.
+                let served = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    stream_response.write_to(&mut writer, request.http10)
+                }));
+                match served {
+                    Ok(Ok(true)) => {} // clean stream; keep the connection
+                    _ => return,
+                }
+            }
         }
     }
 }

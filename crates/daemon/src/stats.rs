@@ -12,8 +12,10 @@ pub struct ServerStats {
     requests: AtomicU64,
     in_flight: AtomicU64,
     rejected_queue_full: AtomicU64,
+    rejected_rate_limited: AtomicU64,
     rejected_shutdown: AtomicU64,
     protocol_errors: AtomicU64,
+    streams: AtomicU64,
 }
 
 /// A point-in-time copy of every counter.
@@ -28,10 +30,16 @@ pub struct ServerStatsSnapshot {
     /// Connections turned away with `429` because the accept queue was
     /// full.
     pub rejected_queue_full: u64,
+    /// Connections turned away with `429` by the per-peer rate limiter
+    /// (`ServerConfig::rate_limit`).
+    pub rejected_rate_limited: u64,
     /// Requests/connections answered `503` during shutdown.
     pub rejected_shutdown: u64,
     /// Requests rejected at the protocol layer (4xx before dispatch).
     pub protocol_errors: u64,
+    /// Streaming responses started (chunked bodies; each pins a worker
+    /// for its duration).
+    pub streams: u64,
 }
 
 impl ServerStats {
@@ -41,6 +49,14 @@ impl ServerStats {
 
     pub(crate) fn queue_full(&self) {
         self.rejected_queue_full.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn rate_limited(&self) {
+        self.rejected_rate_limited.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn stream_begin(&self) {
+        self.streams.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn shutdown_reject(&self) {
@@ -68,8 +84,10 @@ impl ServerStats {
             requests: self.requests.load(Ordering::Relaxed),
             in_flight: self.in_flight.load(Ordering::Relaxed),
             rejected_queue_full: self.rejected_queue_full.load(Ordering::Relaxed),
+            rejected_rate_limited: self.rejected_rate_limited.load(Ordering::Relaxed),
             rejected_shutdown: self.rejected_shutdown.load(Ordering::Relaxed),
             protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            streams: self.streams.load(Ordering::Relaxed),
         }
     }
 }

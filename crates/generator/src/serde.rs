@@ -494,6 +494,34 @@ impl FromJson for Diagnostics {
     }
 }
 
+impl GenerateOutcome {
+    /// Compact single-object encoding for streaming progress frames:
+    /// the headline results (test, complexity, verification verdicts)
+    /// plus the full per-phase [`Diagnostics`] block, *without* the
+    /// tour and the per-site coverage report that dominate the full
+    /// [`ToJson`] document. This is the per-item payload of the
+    /// daemon's `/v1/stream` endpoint — each frame must stay one short
+    /// JSON line; clients wanting the complete outcome re-request it
+    /// through `/v1/generate`, which the outcome cache answers without
+    /// recomputing.
+    #[must_use]
+    pub fn to_summary_json(&self) -> Json {
+        Json::object([
+            ("test", march_to_json(&self.test)),
+            ("complexity", Json::from(self.complexity())),
+            ("verified", Json::Bool(self.verified)),
+            (
+                "non_redundant",
+                match self.non_redundant {
+                    Some(flag) => Json::Bool(flag),
+                    None => Json::Null,
+                },
+            ),
+            ("diagnostics", self.diagnostics.to_json()),
+        ])
+    }
+}
+
 impl ToJson for GenerateOutcome {
     fn to_json(&self) -> Json {
         Json::object([
@@ -660,6 +688,31 @@ mod tests {
         let text = outcome.to_json_pretty();
         let back = GenerateOutcome::from_json_str(&text).unwrap();
         assert_eq!(back, outcome);
+    }
+
+    /// The streaming summary carries the headline results and the full
+    /// diagnostics block but drops the heavyweight tour/report members,
+    /// and always renders as a single line.
+    #[test]
+    fn summary_json_is_compact_and_consistent() {
+        let request = GenerateRequest::from_fault_list("SAF, TF").unwrap();
+        let outcome = generate(&request).unwrap();
+        let summary = outcome.to_summary_json();
+        assert_eq!(
+            summary.get("test").and_then(Json::as_str),
+            Some(outcome.test.to_string().as_str())
+        );
+        assert_eq!(
+            summary.get("complexity").and_then(Json::as_int),
+            Some(outcome.complexity() as i64)
+        );
+        assert_eq!(
+            summary.get("diagnostics"),
+            Some(&outcome.diagnostics.to_json())
+        );
+        assert!(summary.get("tour").is_none(), "summaries omit the tour");
+        assert!(summary.get("report").is_none(), "summaries omit the report");
+        assert!(!summary.render().contains('\n'), "one frame, one line");
     }
 
     #[test]

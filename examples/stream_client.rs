@@ -1,0 +1,113 @@
+//! A minimal `/v1/stream` consumer: submits a batch of fault lists to a
+//! running `marchgend` daemon and prints each progress frame as it
+//! arrives — no HTTP library, just a `TcpStream` and the chunked
+//! transfer coding decoded by hand, to show exactly what is on the
+//! wire.
+//!
+//! Start a daemon, then stream a batch against it:
+//!
+//! ```text
+//! $ marchgend --addr 127.0.0.1:8378 &
+//! $ cargo run --example stream_client -- 127.0.0.1:8378 "SAF" "SAF, TF" "CFin, CFid"
+//! frame: {"event":"started","index":0,"faults":["SA0","SA1"]}
+//! frame: {"event":"item","index":0,"ok":true,"outcome":{...}}
+//! ...
+//! frame: {"event":"completed","total":3,"succeeded":3,"failed":0}
+//! ```
+//!
+//! Each line of the body is one self-describing JSON frame (see
+//! `docs/WIRE_FORMAT.md`): `"started"` when a worker picks an item up,
+//! `"item"` with the outcome summary (or the error) when it finishes,
+//! and a terminal `"completed"` carrying the batch totals.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let addr = args.next().unwrap_or_else(|| "127.0.0.1:8378".to_owned());
+    let lists: Vec<String> = args.collect();
+    if lists.is_empty() {
+        eprintln!("usage: stream_client [HOST:PORT] \"FAULT LIST\" [\"FAULT LIST\"...]");
+        std::process::exit(2);
+    }
+
+    // One request document per fault-list argument; a single entry like
+    // "SAF, TF" expands server-side exactly like the CLI parser.
+    let body = format!(
+        "[{}]",
+        lists
+            .iter()
+            .map(|list| format!("{{\"faults\": [\"{}\"]}}", list.replace('"', "")))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+
+    let mut stream = TcpStream::connect(&addr)?;
+    write!(
+        stream,
+        "POST /v1/stream HTTP/1.1\r\nhost: {addr}\r\nconnection: close\r\ncontent-length: {}\r\n\r\n{body}",
+        body.len()
+    )?;
+
+    let mut reader = BufReader::new(stream);
+
+    // ---- response head --------------------------------------------------
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    if !status_line.starts_with("HTTP/1.1 200") {
+        // Validation failures arrive buffered (Content-Length), so the
+        // rest of the stream is the structured error document.
+        let mut rest = String::new();
+        reader.read_to_string(&mut rest)?;
+        let error_body = rest.rsplit("\r\n\r\n").next().unwrap_or(&rest);
+        eprintln!("daemon answered {}: {error_body}", status_line.trim());
+        std::process::exit(1);
+    }
+    let mut chunked = false;
+    loop {
+        let mut header = String::new();
+        reader.read_line(&mut header)?;
+        if header.trim().is_empty() {
+            break;
+        }
+        if header
+            .to_ascii_lowercase()
+            .starts_with("transfer-encoding: chunked")
+        {
+            chunked = true;
+        }
+    }
+
+    // ---- body: one JSON frame per line ----------------------------------
+    // The daemon flushes every frame as its own chunk, so each iteration
+    // observes progress in real time — chunk sizes are read and the
+    // payload re-split on newlines (one chunk is one line today, but the
+    // coding does not promise that).
+    let mut pending = String::new();
+    if chunked {
+        loop {
+            let mut size_line = String::new();
+            if reader.read_line(&mut size_line)? == 0 {
+                break;
+            }
+            let size = usize::from_str_radix(size_line.trim(), 16)?;
+            if size == 0 {
+                break;
+            }
+            let mut chunk = vec![0u8; size + 2]; // payload + CRLF
+            reader.read_exact(&mut chunk)?;
+            pending.push_str(std::str::from_utf8(&chunk[..size])?);
+            while let Some(newline) = pending.find('\n') {
+                println!("frame: {}", &pending[..newline]);
+                pending.drain(..=newline);
+            }
+        }
+    } else {
+        // An HTTP/1.0-style peer fallback: EOF-delimited raw lines.
+        for line in reader.lines() {
+            println!("frame: {}", line?);
+        }
+    }
+    Ok(())
+}

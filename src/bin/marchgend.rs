@@ -14,6 +14,7 @@
 //!
 //! POST /v1/generate   one GenerateRequest  → one GenerateOutcome
 //! POST /v1/batch      [GenerateRequest...] → [{"outcome"|"error"}...]
+//! GET|POST /v1/stream [GenerateRequest...] → chunked JSON-lines progress frames
 //! GET  /v1/health     liveness + version
 //! GET  /v1/stats      server / cache / per-phase timing counters
 //! POST /v1/shutdown   graceful drain and exit
@@ -21,12 +22,14 @@
 
 use marchgen::cache::{OutcomeCache, KEY_SCHEMA};
 use marchgen::daemon::{
-    FromJson, Json, Request, Response, Server, ServerConfig, ServerStats, ToJson,
+    FromJson, Json, RateLimitConfig, Reply, Request, Response, Server, ServerConfig, ServerStats,
+    StreamResponse, ToJson,
 };
 use marchgen::service::Batch;
 use marchgen::{Diagnostics, GenerateRequest};
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
@@ -41,6 +44,7 @@ marchgend — HTTP service daemon for March test generation (JSON schema v1)
 usage:
   marchgend [--addr HOST:PORT] [--cache-dir DIR] [--cache-capacity N]
             [--workers N] [--queue-capacity N] [--max-body-bytes N]
+            [--rate-limit PER_SECOND] [--rate-burst N]
 
   --addr            listen address (default 127.0.0.1:8378; port 0 picks
                     a free port — the bound address is printed on stdout)
@@ -52,9 +56,15 @@ usage:
                     (default 256)
   --max-body-bytes  largest accepted request body; beyond it 413
                     (default 1048576)
+  --rate-limit      per-peer connection budget, connections/second
+                    (fractions accepted; 0 = unlimited, the default).
+                    Over-budget peers get 429 + Retry-After before
+                    reaching a worker.
+  --rate-burst      per-peer burst bucket size (default: 2x rate-limit,
+                    at least 1); only meaningful with --rate-limit
 
-endpoints: POST /v1/generate, POST /v1/batch, GET /v1/health,
-           GET /v1/stats, POST /v1/shutdown
+endpoints: POST /v1/generate, POST /v1/batch, GET|POST /v1/stream,
+           GET /v1/health, GET /v1/stats, POST /v1/shutdown
 ";
 
 /// Cumulative per-phase timing over every *computed* (non-cache-hit)
@@ -116,36 +126,57 @@ struct App {
     timing: PhaseAggregates,
     generate_requests: AtomicU64,
     batch_requests: AtomicU64,
+    stream_requests: AtomicU64,
     // Set right after bind (the server owns counter allocation), read
     // by `/v1/stats`.
     server_stats: OnceLock<Arc<ServerStats>>,
 }
 
 impl App {
-    fn handle(&self, request: &Request) -> Response {
+    /// Routes one request. Takes the owning [`Arc`] (not a plain
+    /// `&self`) because the streaming endpoint's producer outlives this
+    /// call: it runs on the connection worker after the response head
+    /// is on the wire, so it must carry its own strong reference.
+    fn handle(self: &Arc<App>, request: &Request) -> Reply {
         match (request.method.as_str(), request.path.as_str()) {
-            ("POST", "/v1/generate") => self.generate_endpoint(&request.body),
-            ("POST", "/v1/batch") => self.batch_endpoint(&request.body),
-            ("GET", "/v1/health") => health_endpoint(),
-            ("GET", "/v1/stats") => self.stats_endpoint(),
+            ("POST", "/v1/generate") => self.generate_endpoint(&request.body).into(),
+            ("POST", "/v1/batch") => self.batch_endpoint(&request.body).into(),
+            // GET is accepted alongside POST so interactive clients
+            // (curl without -d, browsers) can watch an empty-body
+            // stream fail fast with a structured 400 instead of a
+            // method error; the body semantics are identical.
+            ("GET" | "POST", "/v1/stream") => self.stream_endpoint(&request.body),
+            ("GET", "/v1/health") => health_endpoint().into(),
+            ("GET", "/v1/stats") => self.stats_endpoint().into(),
             ("POST", "/v1/shutdown") => {
-                Response::json(&Json::object([("stopping", Json::Bool(true))])).with_shutdown()
+                Response::json(&Json::object([("stopping", Json::Bool(true))]))
+                    .with_shutdown()
+                    .into()
             }
             (_, "/v1/generate" | "/v1/batch" | "/v1/shutdown") => Response::error(
                 405,
                 "method_not_allowed",
                 format!("{} requires POST", request.path),
-            ),
+            )
+            .into(),
             (_, "/v1/health" | "/v1/stats") => Response::error(
                 405,
                 "method_not_allowed",
                 format!("{} requires GET", request.path),
-            ),
+            )
+            .into(),
+            (_, "/v1/stream") => Response::error(
+                405,
+                "method_not_allowed",
+                format!("{} requires GET or POST", request.path),
+            )
+            .into(),
             _ => Response::error(
                 404,
                 "not_found",
                 format!("no endpoint {:?}; see /v1/health", request.path),
-            ),
+            )
+            .into(),
         }
     }
 
@@ -195,6 +226,41 @@ impl App {
         }
     }
 
+    /// Decodes a batch document — a JSON array of request documents, or
+    /// `{"requests": [...]}` — shared by `/v1/batch` and `/v1/stream`.
+    /// Decode errors reject the whole document (the request itself is
+    /// malformed); generation failures later stay per-item.
+    fn decode_batch(body: &[u8]) -> Result<Vec<GenerateRequest>, Response> {
+        let text = std::str::from_utf8(body)
+            .map_err(|_| Response::error(400, "invalid_json", "body is not UTF-8"))?;
+        let doc =
+            Json::parse(text).map_err(|e| Response::error(400, "invalid_json", e.to_string()))?;
+        let items = doc
+            .as_array()
+            .or_else(|| doc.get("requests").and_then(Json::as_array))
+            .ok_or_else(|| {
+                Response::error(
+                    422,
+                    "invalid_request",
+                    "batch body must be an array of requests (or {\"requests\": [...]})",
+                )
+            })?;
+        let mut requests = Vec::with_capacity(items.len());
+        for (index, item) in items.iter().enumerate() {
+            match GenerateRequest::from_json(item) {
+                Ok(request) => requests.push(request),
+                Err(e) => {
+                    return Err(Response::error(
+                        422,
+                        "invalid_request",
+                        format!("request #{index}: {}", e.message),
+                    ))
+                }
+            }
+        }
+        Ok(requests)
+    }
+
     /// `POST /v1/batch`: a JSON array of request documents (or
     /// `{"requests": [...]}`), answered as an array of
     /// `{"outcome": ...}` / `{"error": ...}` entries in input order —
@@ -202,40 +268,10 @@ impl App {
     /// do reject the whole document: the request itself is malformed).
     fn batch_endpoint(&self, body: &[u8]) -> Response {
         self.batch_requests.fetch_add(1, Ordering::Relaxed);
-        let text = match std::str::from_utf8(body) {
-            Ok(text) => text,
-            Err(_) => return Response::error(400, "invalid_json", "body is not UTF-8"),
+        let requests = match App::decode_batch(body) {
+            Ok(requests) => requests,
+            Err(response) => return response,
         };
-        let doc = match Json::parse(text) {
-            Ok(doc) => doc,
-            Err(e) => return Response::error(400, "invalid_json", e.to_string()),
-        };
-        let items = match doc
-            .as_array()
-            .or_else(|| doc.get("requests").and_then(Json::as_array))
-        {
-            Some(items) => items,
-            None => {
-                return Response::error(
-                    422,
-                    "invalid_request",
-                    "batch body must be an array of requests (or {\"requests\": [...]})",
-                )
-            }
-        };
-        let mut requests = Vec::with_capacity(items.len());
-        for (index, item) in items.iter().enumerate() {
-            match GenerateRequest::from_json(item) {
-                Ok(request) => requests.push(request),
-                Err(e) => {
-                    return Response::error(
-                        422,
-                        "invalid_request",
-                        format!("request #{index}: {}", e.message),
-                    )
-                }
-            }
-        }
         let started = Instant::now();
         let results = self.batch.run_cached(&self.cache, requests, |_| {});
         let wall = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
@@ -258,6 +294,65 @@ impl App {
         Response::json(&body)
     }
 
+    /// `GET|POST /v1/stream`: the same batch document as `/v1/batch`,
+    /// answered as a chunked JSON-lines stream of
+    /// [`BatchEvent`](marchgen::service::BatchEvent) frames
+    /// (`started` / `item` / terminal `completed`) emitted while the
+    /// batch runs — long-running requests report progress instead of a
+    /// silent multi-second POST. Decode errors are answered *buffered*
+    /// (400/422 with the usual structured body): the status line is
+    /// already on the wire once streaming starts, so all validation
+    /// happens first.
+    fn stream_endpoint(self: &Arc<App>, body: &[u8]) -> Reply {
+        self.stream_requests.fetch_add(1, Ordering::Relaxed);
+        let requests = match App::decode_batch(body) {
+            Ok(requests) => requests,
+            Err(response) => return response.into(),
+        };
+        let app = Arc::clone(self);
+        StreamResponse::new(move |sink| {
+            // Workers emit events concurrently; the mutex serializes
+            // whole frames so lines never interleave mid-document. A
+            // peer hanging up mid-stream must not cancel computations
+            // other cache waiters may be coalesced onto, so write
+            // errors stop emission (sticky `dead` flag) while the
+            // batch runs to completion; the producer then reports the
+            // failure so the engine closes the desynchronized
+            // connection.
+            let sink = Mutex::new(sink);
+            let dead = std::sync::atomic::AtomicBool::new(false);
+            let started = Instant::now();
+            let results = app.batch.run_cached(&app.cache, requests, |event| {
+                // Nothing renders once the peer is gone — the batch
+                // only keeps running for coalesced cache waiters.
+                if !dead.load(Ordering::Relaxed) {
+                    let frame = event.to_json();
+                    let mut sink = sink.lock().expect("stream sink lock");
+                    if sink.send_json(&frame).is_err() {
+                        dead.store(true, Ordering::Relaxed);
+                    }
+                }
+            });
+            let wall = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+            let mut computed = 0u64;
+            for outcome in results.iter().flatten() {
+                if !outcome.diagnostics.cache_hit {
+                    computed += 1;
+                    app.timing.record(&outcome.diagnostics, 0);
+                }
+            }
+            if computed > 0 {
+                // Wall time is per stream call (phases are per outcome).
+                app.timing.wall_micros.fetch_add(wall, Ordering::Relaxed);
+            }
+            if dead.load(Ordering::Relaxed) {
+                return Err(std::io::Error::other("stream client went away"));
+            }
+            Ok(())
+        })
+        .into()
+    }
+
     fn stats_endpoint(&self) -> Response {
         let server = self
             .server_stats
@@ -276,8 +371,13 @@ impl App {
                         "rejected_queue_full",
                         Json::from(server.rejected_queue_full),
                     ),
+                    (
+                        "rejected_rate_limited",
+                        Json::from(server.rejected_rate_limited),
+                    ),
                     ("rejected_shutdown", Json::from(server.rejected_shutdown)),
                     ("protocol_errors", Json::from(server.protocol_errors)),
+                    ("streams", Json::from(server.streams)),
                 ]),
             ),
             (
@@ -305,6 +405,10 @@ impl App {
                     (
                         "batch",
                         Json::from(self.batch_requests.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "stream",
+                        Json::from(self.stream_requests.load(Ordering::Relaxed)),
                     ),
                 ]),
             ),
@@ -352,6 +456,34 @@ fn run() -> Result<(), String> {
     if let Some(max_body) = take_option(&mut args, "--max-body-bytes")? {
         config.max_body_bytes = max_body;
     }
+    let take_f64 = |args: &mut Vec<String>, name: &str| -> Result<Option<f64>, String> {
+        match take_str_option(args, name)? {
+            None => Ok(None),
+            Some(text) => text
+                .parse::<f64>()
+                .ok()
+                .filter(|v| v.is_finite() && *v >= 0.0)
+                .map(Some)
+                .ok_or_else(|| format!("{name} needs a non-negative number, got {text:?}")),
+        }
+    };
+    let rate_limit = take_f64(&mut args, "--rate-limit")?;
+    let rate_burst = take_f64(&mut args, "--rate-burst")?;
+    match rate_limit {
+        // 0 (the default) disables limiting entirely.
+        None | Some(0.0) => {
+            if rate_burst.is_some() {
+                return Err("--rate-burst needs --rate-limit".to_owned());
+            }
+        }
+        Some(per_second) => {
+            // Default burst: double the sustained rate, so short spikes
+            // from a healthy client pool ride through while a sustained
+            // overrun still hits the limit within a couple of seconds.
+            let burst = rate_burst.unwrap_or(per_second * 2.0);
+            config.rate_limit = Some(RateLimitConfig::new(per_second, burst));
+        }
+    }
     if !args.is_empty() {
         return Err(format!("unrecognized arguments {args:?}\n\n{USAGE}"));
     }
@@ -368,6 +500,7 @@ fn run() -> Result<(), String> {
         timing: PhaseAggregates::default(),
         generate_requests: AtomicU64::new(0),
         batch_requests: AtomicU64::new(0),
+        stream_requests: AtomicU64::new(0),
         server_stats: OnceLock::new(),
     });
 

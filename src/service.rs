@@ -68,6 +68,59 @@ pub enum BatchEvent<'a> {
     },
 }
 
+#[cfg(feature = "serde")]
+impl BatchEvent<'_> {
+    /// Encodes the event as one self-describing JSON object — the frame
+    /// format of the daemon's `/v1/stream` endpoint (one frame per
+    /// line). The `"event"` discriminator takes three values:
+    ///
+    /// * `"started"` — a worker picked up item `index`; carries the
+    ///   item's canonical fault list,
+    /// * `"item"` — item `index` finished; `"ok"` tells success from
+    ///   failure, successes carry the outcome summary (headline results
+    ///   plus per-phase diagnostics, see
+    ///   [`GenerateOutcome::to_summary_json`]), failures carry the
+    ///   error text,
+    /// * `"completed"` — the terminal frame with the batch totals,
+    ///   emitted exactly once, last.
+    #[must_use]
+    pub fn to_json(&self) -> marchgen_json::Json {
+        use marchgen_json::Json;
+        match self {
+            BatchEvent::Started { index, request } => Json::object([
+                ("event", Json::from("started")),
+                ("index", Json::from(*index)),
+                (
+                    "faults",
+                    Json::array(request.faults.iter().map(|m| Json::Str(m.name()))),
+                ),
+            ]),
+            BatchEvent::Finished { index, outcome } => Json::object([
+                ("event", Json::from("item")),
+                ("index", Json::from(*index)),
+                ("ok", Json::Bool(true)),
+                ("outcome", outcome.to_summary_json()),
+            ]),
+            BatchEvent::Failed { index, error } => Json::object([
+                ("event", Json::from("item")),
+                ("index", Json::from(*index)),
+                ("ok", Json::Bool(false)),
+                ("error", Json::Str(error.to_string())),
+            ]),
+            BatchEvent::Completed {
+                total,
+                succeeded,
+                failed,
+            } => Json::object([
+                ("event", Json::from("completed")),
+                ("total", Json::from(*total)),
+                ("succeeded", Json::from(*succeeded)),
+                ("failed", Json::from(*failed)),
+            ]),
+        }
+    }
+}
+
 /// A configurable multi-threaded batch executor over the generation
 /// engine.
 ///
@@ -426,6 +479,56 @@ mod tests {
         let mixed = batch.run_cached(&cache, vec![GenerateRequest::default()], |_| {});
         assert!(mixed[0].is_err());
         assert_eq!(cache.stats().inserts, 2);
+    }
+
+    /// Every event kind encodes as a self-describing one-line frame
+    /// with the `"event"` discriminator the stream clients switch on.
+    #[cfg(feature = "serde")]
+    #[test]
+    fn batch_events_serialize_as_stream_frames() {
+        use std::sync::Mutex;
+        let requests = vec![
+            GenerateRequest::from_fault_list("SAF").unwrap(),
+            GenerateRequest::default(), // empty fault list → fails
+        ];
+        let frames: Mutex<Vec<String>> = Mutex::new(Vec::new());
+        let _ = Batch::new()
+            .threads(1)
+            .run_with_progress(requests, |event| {
+                frames.lock().unwrap().push(event.to_json().render());
+            });
+        let frames = frames.into_inner().unwrap();
+        assert_eq!(
+            frames.len(),
+            5,
+            "started×2 + item×2 + completed: {frames:?}"
+        );
+        assert!(frames
+            .iter()
+            .all(|f| !f.contains('\n') && f.starts_with("{\"event\":\"")));
+        assert!(
+            frames[0]
+                .starts_with("{\"event\":\"started\",\"index\":0,\"faults\":[\"SA0\",\"SA1\"]}"),
+            "{}",
+            frames[0]
+        );
+        assert!(
+            frames.iter().any(|f| f.contains("\"event\":\"item\"")
+                && f.contains("\"ok\":true")
+                && f.contains("\"complexity\":4")
+                && f.contains("\"diagnostics\"")),
+            "{frames:?}"
+        );
+        assert!(
+            frames
+                .iter()
+                .any(|f| f.contains("\"ok\":false") && f.contains("\"error\"")),
+            "{frames:?}"
+        );
+        assert_eq!(
+            frames.last().unwrap(),
+            "{\"event\":\"completed\",\"total\":2,\"succeeded\":1,\"failed\":1}"
+        );
     }
 
     #[test]

@@ -67,6 +67,24 @@ impl Daemon {
         (status, body)
     }
 
+    /// Opens one keep-alive connection for several exchanges. Latency
+    /// comparisons ride this: a fresh connection pays up to one
+    /// accept-loop poll interval of jitter before a worker picks it
+    /// up — comparable to the whole handling time of a cache hit in
+    /// release builds — while on an established connection the serving
+    /// worker is already parked on the socket and wakes on arrival.
+    fn keepalive(&self) -> KeepAlive {
+        let stream = TcpStream::connect(&self.addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(120)))
+            .unwrap();
+        stream.set_nodelay(true).unwrap();
+        KeepAlive {
+            reader: BufReader::new(stream.try_clone().expect("clone stream")),
+            stream,
+        }
+    }
+
     /// Sends raw bytes verbatim on a fresh connection — for protocol
     /// shapes `request` cannot produce (duplicate framing headers).
     fn raw(&self, wire_request: &str) -> (u16, String) {
@@ -106,6 +124,48 @@ impl Daemon {
                 None => std::thread::sleep(Duration::from_millis(20)),
             }
         }
+    }
+}
+
+/// One persistent daemon connection (see [`Daemon::keepalive`]).
+struct KeepAlive {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl KeepAlive {
+    /// One HTTP exchange on the persistent connection; returns
+    /// `(status, body)`. Responses are framed by `Content-Length`, so
+    /// the connection stays usable for the next exchange.
+    fn request(&mut self, method: &str, path: &str, body: &str) -> (u16, String) {
+        write!(
+            self.stream,
+            "{method} {path} HTTP/1.1\r\nhost: marchgend\r\ncontent-length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .expect("send request");
+        let mut status_line = String::new();
+        self.reader.read_line(&mut status_line).expect("status");
+        let status: u16 = status_line
+            .strip_prefix("HTTP/1.1 ")
+            .and_then(|rest| rest.get(..3))
+            .and_then(|code| code.parse().ok())
+            .unwrap_or_else(|| panic!("unparseable status line {status_line:?}"));
+        let mut content_length = 0usize;
+        loop {
+            let mut header = String::new();
+            self.reader.read_line(&mut header).expect("header");
+            let header = header.trim();
+            if header.is_empty() {
+                break;
+            }
+            if let Some(value) = header.to_ascii_lowercase().strip_prefix("content-length:") {
+                content_length = value.trim().parse().expect("content-length value");
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body).expect("body");
+        (status, String::from_utf8(body).expect("utf-8 body"))
     }
 }
 
@@ -158,9 +218,14 @@ fn daemon_smoke_generate_cache_stats_shutdown() {
     assert!(body.contains("\"schema\":1"), "{body}");
 
     // ---- first generate: a full computation -----------------------------
+    // Cold and warm ride one keep-alive connection so the latency
+    // comparison measures the daemon's handling time, not accept-loop
+    // poll jitter (which is of the same order as a whole cache hit in
+    // release builds).
+    let mut latency_conn = daemon.keepalive();
     let request_doc = format!("{{\"faults\": {FAULTS}}}");
     let cold_started = Instant::now();
-    let (status, cold_body) = daemon.request("POST", "/v1/generate", &request_doc);
+    let (status, cold_body) = latency_conn.request("POST", "/v1/generate", &request_doc);
     let cold_latency = cold_started.elapsed();
     assert_eq!(status, 200, "{cold_body}");
     assert!(cold_body.contains("\"complexity\":10"), "{cold_body}");
@@ -168,11 +233,20 @@ fn daemon_smoke_generate_cache_stats_shutdown() {
     assert!(cold_body.contains("\"cache_hit\":false"), "{cold_body}");
 
     // ---- permuted repeat: served from cache, ≥10× faster ----------------
+    // Warm latency is the minimum over a few repeats — the standard
+    // noise-free estimator; the cold computation keeps its single
+    // (pessimistic for the assertion) measurement.
     let permuted_doc = format!("{{\"faults\": {FAULTS_PERMUTED}}}");
-    let warm_started = Instant::now();
-    let (status, warm_body) = daemon.request("POST", "/v1/generate", &permuted_doc);
-    let warm_latency = warm_started.elapsed();
-    assert_eq!(status, 200, "{warm_body}");
+    let mut warm_latency = Duration::MAX;
+    let mut warm_body = String::new();
+    for _ in 0..5 {
+        let warm_started = Instant::now();
+        let (status, body) = latency_conn.request("POST", "/v1/generate", &permuted_doc);
+        warm_latency = warm_latency.min(warm_started.elapsed());
+        assert_eq!(status, 200, "{body}");
+        warm_body = body;
+    }
+    drop(latency_conn);
     assert!(warm_body.contains("\"cache_hit\":true"), "{warm_body}");
     assert_eq!(
         without_diagnostics(&cold_body),
@@ -181,7 +255,7 @@ fn daemon_smoke_generate_cache_stats_shutdown() {
     );
     assert!(
         warm_latency * 10 <= cold_latency,
-        "cache hit should be ≥10× faster: cold {cold_latency:?}, warm {warm_latency:?}"
+        "cache hit should be ≥10× faster: cold {cold_latency:?}, warm (min of 5) {warm_latency:?}"
     );
 
     // ---- daemon output ≡ CLI --json output (modulo diagnostics) ---------
@@ -294,6 +368,176 @@ fn daemon_smoke_generate_cache_stats_shutdown() {
         .count();
     assert_eq!(entries, 3, "one JSON file per cached outcome");
     let _ = std::fs::remove_dir_all(&cache_dir);
+}
+
+/// Splits one raw HTTP response into `(status, headers, body)` with the
+/// chunked transfer coding decoded — the reader side of the daemon's
+/// `/v1/stream` wire format.
+fn dechunk(wire: &str) -> (u16, String, String) {
+    let status: u16 = wire
+        .strip_prefix("HTTP/1.1 ")
+        .and_then(|rest| rest.get(..3))
+        .and_then(|code| code.parse().ok())
+        .unwrap_or_else(|| panic!("unparseable response {wire:?}"));
+    let (head, mut rest) = wire
+        .split_once("\r\n\r\n")
+        .unwrap_or_else(|| panic!("no header terminator in {wire:?}"));
+    if !head
+        .to_ascii_lowercase()
+        .contains("transfer-encoding: chunked")
+    {
+        return (status, head.to_owned(), rest.to_owned());
+    }
+    let mut body = String::new();
+    loop {
+        let (size_line, after) = rest
+            .split_once("\r\n")
+            .unwrap_or_else(|| panic!("truncated chunk size in {rest:?}"));
+        let size = usize::from_str_radix(size_line.trim(), 16)
+            .unwrap_or_else(|_| panic!("bad chunk size {size_line:?}"));
+        if size == 0 {
+            break;
+        }
+        body.push_str(&after[..size]);
+        rest = after[size..]
+            .strip_prefix("\r\n")
+            .unwrap_or_else(|| panic!("chunk of {size} not CRLF-terminated"));
+    }
+    (status, head.to_owned(), body)
+}
+
+/// The `/v1/stream` endpoint emits chunked JSON-lines progress frames
+/// while a multi-item batch runs, and the per-peer token bucket answers
+/// over-budget peers `429` + `Retry-After`; `/v1/stats` counts both.
+#[test]
+fn daemon_streams_progress_and_rate_limits_peers() {
+    let daemon = Daemon::spawn(&["--workers", "2", "--rate-limit", "4", "--rate-burst", "40"]);
+
+    // ---- the stream: 3 items, 2 succeed, 1 fails ------------------------
+    // Distinct fault lists (no in-batch dedupe), the empty list failing
+    // generation — so the frame stream must show per-item successes AND
+    // a failure, ending in the terminal totals.
+    let body = r#"[{"faults": ["SAF"]}, {"faults": ["SAF", "TF"]}, {"faults": []}]"#;
+    let mut stream = TcpStream::connect(&daemon.addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .unwrap();
+    write!(
+        stream,
+        "POST /v1/stream HTTP/1.1\r\nhost: marchgend\r\nconnection: close\r\ncontent-length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("send stream request");
+    let mut wire = String::new();
+    stream.read_to_string(&mut wire).expect("read stream");
+    let (status, head, frames) = dechunk(&wire);
+    assert_eq!(status, 200, "{wire}");
+    assert!(
+        head.to_ascii_lowercase()
+            .contains("transfer-encoding: chunked"),
+        "{head}"
+    );
+    assert!(
+        head.to_ascii_lowercase()
+            .contains("content-type: application/x-ndjson"),
+        "{head}"
+    );
+    let lines: Vec<&str> = frames.lines().collect();
+    assert_eq!(lines.len(), 7, "started x3 + item x3 + completed: {frames}");
+    // ≥ 3 distinct frame kinds: start, item, terminal.
+    assert!(
+        lines
+            .iter()
+            .filter(|l| l.starts_with("{\"event\":\"started\""))
+            .count()
+            == 3,
+        "{frames}"
+    );
+    assert!(
+        lines.iter().any(|l| l.contains("\"event\":\"item\"")
+            && l.contains("\"ok\":true")
+            && l.contains("\"complexity\":")
+            && l.contains("\"diagnostics\"")),
+        "{frames}"
+    );
+    assert!(
+        lines
+            .iter()
+            .any(|l| l.contains("\"event\":\"item\"") && l.contains("\"ok\":false")),
+        "{frames}"
+    );
+    assert_eq!(
+        *lines.last().unwrap(),
+        "{\"event\":\"completed\",\"total\":3,\"succeeded\":2,\"failed\":1}",
+        "terminal frame is last"
+    );
+
+    // ---- exhaust the per-peer bucket ------------------------------------
+    // Burst 40 minus what the test already spent; hammering quick
+    // health probes must hit a 429 with a Retry-After hint well within
+    // the attempt budget.
+    let mut rejected = None;
+    for _ in 0..80 {
+        let mut probe = TcpStream::connect(&daemon.addr).expect("connect");
+        probe
+            .set_read_timeout(Some(Duration::from_secs(120)))
+            .unwrap();
+        write!(
+            probe,
+            "GET /v1/health HTTP/1.1\r\nhost: x\r\nconnection: close\r\n\r\n"
+        )
+        .expect("send probe");
+        let mut wire = String::new();
+        probe.read_to_string(&mut wire).expect("read probe");
+        if wire.starts_with("HTTP/1.1 429") {
+            rejected = Some(wire);
+            break;
+        }
+        assert!(wire.starts_with("HTTP/1.1 200"), "{wire}");
+    }
+    let rejected = rejected.expect("bucket of 40 must exhaust within 80 rapid probes");
+    assert!(rejected.contains("\"code\":\"rate_limited\""), "{rejected}");
+    let retry_after: u64 = rejected
+        .to_ascii_lowercase()
+        .split_once("retry-after: ")
+        .map(|(_, rest)| {
+            rest.chars()
+                .take_while(char::is_ascii_digit)
+                .collect::<String>()
+        })
+        .and_then(|digits| digits.parse().ok())
+        .unwrap_or_else(|| panic!("429 must carry Retry-After: {rejected}"));
+    assert!(retry_after >= 1, "{rejected}");
+
+    // ---- stats count both, once the bucket refills ----------------------
+    let stats = {
+        let mut attempt = 0;
+        loop {
+            std::thread::sleep(Duration::from_millis(600));
+            let (status, body) = daemon.request("GET", "/v1/stats", "");
+            if status == 200 {
+                break body;
+            }
+            attempt += 1;
+            assert!(attempt < 60, "stats stayed rate-limited: {body}");
+        }
+    };
+    assert_eq!(counter(&stats, "streams"), 1, "{stats}");
+    assert_eq!(counter(&stats, "stream"), 1, "{stats}");
+    assert!(counter(&stats, "rejected_rate_limited") >= 1, "{stats}");
+
+    // ---- graceful shutdown (may need the bucket to refill) --------------
+    let mut attempt = 0;
+    loop {
+        let (status, _) = daemon.request("POST", "/v1/shutdown", "");
+        if status == 200 {
+            break;
+        }
+        attempt += 1;
+        assert!(attempt < 60, "shutdown stayed rate-limited");
+        std::thread::sleep(Duration::from_millis(600));
+    }
+    daemon.wait_for_exit();
 }
 
 /// A fresh daemon pointed at a pre-warmed `--cache-dir` serves its very
