@@ -270,7 +270,67 @@ mod tests {
 
         signal.trigger();
         handle.join().unwrap();
-        assert_eq!(stats.snapshot().streams, 2, "both streams counted");
+        let snapshot = stats.snapshot();
+        assert_eq!(snapshot.streams, 2, "both streams counted");
+        assert_eq!(snapshot.streams_active, 0, "no stream left on the wire");
+        assert_eq!(snapshot.in_flight, 0, "gauge balanced across streams");
+    }
+
+    /// A peer that opens a stream and then stops reading (zero TCP
+    /// receive window, socket still open) must not pin its worker
+    /// forever: the configured write timeout surfaces the stall as a
+    /// send error, the producer stops, and the worker is freed for
+    /// other connections.
+    #[test]
+    fn stalled_stream_reader_frees_its_worker() {
+        fn firehose_handler(request: &Request) -> Reply {
+            match request.path.as_str() {
+                "/firehose" => Reply::Stream(StreamResponse::new(|sink| {
+                    // Far more bytes than the loopback send + receive
+                    // buffers hold, so an unread stream must block.
+                    let frame = vec![b'x'; 64 * 1024];
+                    for _ in 0..1024 {
+                        sink.send(&frame)?;
+                    }
+                    Ok(())
+                })),
+                _ => Reply::Full(Response::json(&Json::object([("ok", Json::Bool(true))]))),
+            }
+        }
+        let server = Server::bind(
+            "127.0.0.1:0",
+            ServerConfig {
+                workers: 1,
+                write_timeout: Duration::from_millis(200),
+                ..ServerConfig::default()
+            },
+            firehose_handler,
+        )
+        .unwrap();
+        let addr = server.local_addr().unwrap();
+        let stats = server.stats();
+        let signal = server.shutdown_signal();
+        let handle = std::thread::spawn(move || server.run());
+
+        // Open the stream and never read a byte from it.
+        let mut stalled = TcpStream::connect(addr).unwrap();
+        stalled
+            .write_all(b"GET /firehose HTTP/1.1\r\n\r\n")
+            .unwrap();
+
+        // With a single worker this request can only be answered once
+        // the stalled stream has been torn down by the write timeout —
+        // a response here *is* the proof that the worker was freed.
+        let ok = roundtrip(addr, "GET /x HTTP/1.1\r\nConnection: close\r\n\r\n");
+        assert!(ok.starts_with("HTTP/1.1 200 OK"), "{ok}");
+
+        drop(stalled);
+        signal.trigger();
+        handle.join().unwrap();
+        let snapshot = stats.snapshot();
+        assert_eq!(snapshot.streams, 1);
+        assert_eq!(snapshot.streams_active, 0, "stalled stream released");
+        assert_eq!(snapshot.in_flight, 0);
     }
 
     #[test]

@@ -38,6 +38,13 @@ const MAX_TRACKED_PEERS: usize = 4096;
 /// into a full-table scan.
 const SWEEP_INTERVAL: Duration = Duration::from_secs(1);
 
+/// Largest `Retry-After` hint ever reported, in seconds. `1e18` is
+/// exactly representable in both `f64` and `u64`; waits beyond it (a
+/// peer facing a near-zero refill rate) clamp *here*, never down to 1 —
+/// a 1-second hint against a bucket that will not refill within any
+/// client's lifetime would invite a tight 429 retry loop.
+const MAX_RETRY_AFTER_SECS: f64 = 1e18;
+
 /// Tunables of the per-peer token bucket.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RateLimitConfig {
@@ -157,26 +164,34 @@ impl RateLimiter {
             refreshed: now,
         });
         // Refill for the time elapsed since the last decision, capped
-        // at the burst budget. `saturating_duration_since` tolerates
-        // out-of-order `now` values from racing callers.
+        // at the burst budget. Out-of-order `now` values from racing
+        // callers are tolerated by never rewinding the bucket's clock:
+        // `saturating_duration_since` credits an out-of-order call zero
+        // refill, and `refreshed` only moves forward — assigning the
+        // earlier instant would let the next call re-credit the span
+        // between the two clocks and admit the peer above its rate.
         let elapsed = now.saturating_duration_since(bucket.refreshed);
         bucket.tokens =
             (bucket.tokens + elapsed.as_secs_f64() * self.config.per_second).min(self.config.burst);
-        bucket.refreshed = now;
+        if now > bucket.refreshed {
+            bucket.refreshed = now;
+        }
         if bucket.tokens >= 1.0 {
             bucket.tokens -= 1.0;
             RateDecision::Admit
         } else {
             // Seconds until the deficit refills to one whole token,
             // rounded up and floored at 1 — a `Retry-After: 0` would
-            // invite an immediate busy retry.
+            // invite an immediate busy retry. Oversized or non-finite
+            // waits (a pathologically small per-second rate) clamp up
+            // to the cap, not down.
             let deficit = 1.0 - bucket.tokens;
             let wait = (deficit / self.config.per_second).ceil();
             #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
-            let retry_after = if wait.is_finite() && (1.0..=1e18).contains(&wait) {
-                wait as u64
+            let retry_after = if wait.is_finite() && wait <= MAX_RETRY_AFTER_SECS {
+                wait.max(1.0) as u64
             } else {
-                1
+                MAX_RETRY_AFTER_SECS as u64
             };
             RateDecision::Reject { retry_after }
         }
@@ -270,6 +285,42 @@ mod tests {
             panic!("over budget");
         };
         assert_eq!(retry_after, 10);
+    }
+
+    #[test]
+    fn out_of_order_clocks_do_not_double_credit_refill() {
+        let limiter = RateLimiter::new(RateLimitConfig::new(1.0, 1.0));
+        let t0 = Instant::now();
+        let t1 = t0 + Duration::from_secs(1);
+        // The burst token is spent at the *later* instant first.
+        assert_eq!(limiter.check_at(ip(1), t1), RateDecision::Admit);
+        // A racing caller with an earlier clock gets zero refill...
+        assert!(matches!(
+            limiter.check_at(ip(1), t0),
+            RateDecision::Reject { .. }
+        ));
+        // ...and must not rewind `refreshed` to t0: if it did, this
+        // repeat at t1 would credit the [t0, t1] second a second time
+        // and admit the peer above its configured rate.
+        assert!(matches!(
+            limiter.check_at(ip(1), t1),
+            RateDecision::Reject { .. }
+        ));
+    }
+
+    #[test]
+    fn pathological_refill_rate_clamps_retry_after_up_not_down() {
+        // At 1e-300 tokens/s the true wait is ~1e300 seconds. The hint
+        // must saturate at the cap — reporting 1s (the old fallback)
+        // would tell the client to hammer a bucket that can never
+        // refill, 429 after 429, forever.
+        let limiter = RateLimiter::new(RateLimitConfig::new(1e-300, 1.0));
+        let t0 = Instant::now();
+        assert_eq!(limiter.check_at(ip(1), t0), RateDecision::Admit);
+        let RateDecision::Reject { retry_after } = limiter.check_at(ip(1), t0) else {
+            panic!("over budget");
+        };
+        assert_eq!(retry_after, 1_000_000_000_000_000_000);
     }
 
     #[test]

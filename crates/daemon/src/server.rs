@@ -6,7 +6,9 @@
 //!
 //! * one accept loop polls the listener and pushes connections into a
 //!   **bounded** queue — when the queue is full the connection is
-//!   answered `429` immediately, which is the backpressure surface;
+//!   answered `429`, which is the backpressure surface (the answer is
+//!   written by a dedicated reject-drainer thread, so a misbehaving
+//!   peer can never stall the accept loop itself);
 //! * `workers` threads pop connections and serve them keep-alive,
 //!   dispatching each parsed request to the application [`Handler`];
 //! * graceful shutdown (a handler response flagged
@@ -30,6 +32,11 @@ use std::time::Duration;
 const MAX_KEEPALIVE_REQUESTS: usize = 1024;
 /// Accept-loop poll interval while idle or draining.
 const ACCEPT_POLL: Duration = Duration::from_millis(5);
+/// Most rejected connections queued for the reject drainer; beyond it
+/// the socket is dropped unanswered (the peer sees a reset instead of
+/// a structured `429` — better than backlogging the drainer behind a
+/// flood).
+const REJECT_QUEUE_CAPACITY: usize = 128;
 
 /// What a [`Handler`] answers a request with: either a fully buffered
 /// [`Response`] (the common case — small JSON documents) or a
@@ -88,6 +95,14 @@ pub struct ServerConfig {
     /// Per-read socket timeout; an idle keep-alive connection is
     /// recycled after this long.
     pub read_timeout: Duration,
+    /// Per-write socket timeout. A peer that stays connected but stops
+    /// reading (zero TCP receive window) never produces a write error
+    /// on its own, so without this bound a blocked response write — in
+    /// particular a chunked `/v1/stream` body, whose producer holds the
+    /// sink while the batch runs — would pin its worker forever. The
+    /// timeout turns the stall into an error, which tears the
+    /// connection down and frees the worker.
+    pub write_timeout: Duration,
     /// Per-peer connection rate limit (token bucket keyed by peer IP);
     /// `None` disables limiting. Enforced in the accept loop, before
     /// the queue: an over-budget peer is answered `429` +
@@ -102,6 +117,7 @@ impl Default for ServerConfig {
             queue_capacity: 256,
             max_body_bytes: 1 << 20,
             read_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(30),
             rate_limit: None,
         }
     }
@@ -202,8 +218,47 @@ impl<H: Handler> Server<H> {
         };
         let queue: Mutex<VecDeque<TcpStream>> = Mutex::new(VecDeque::new());
         let available = Condvar::new();
+        // Connections turned away at accept time (rate limit, queue
+        // full) are answered off the accept thread: the write + drain
+        // in `reject_connection` can stall on a misbehaving peer, and
+        // the accept loop's stall radius is every future connection.
+        let rejects: Mutex<VecDeque<(TcpStream, Response)>> = Mutex::new(VecDeque::new());
+        let reject_available = Condvar::new();
 
         std::thread::scope(|scope| {
+            // ---- reject drainer -----------------------------------------
+            scope.spawn(|| loop {
+                let next = {
+                    let mut q = rejects.lock().expect("reject queue lock");
+                    loop {
+                        if let Some(next) = q.pop_front() {
+                            break Some(next);
+                        }
+                        if shutdown.load(Ordering::SeqCst) {
+                            break None;
+                        }
+                        q = reject_available
+                            .wait_timeout(q, ACCEPT_POLL * 20)
+                            .expect("reject queue lock")
+                            .0;
+                    }
+                };
+                let Some((stream, response)) = next else {
+                    break;
+                };
+                if shutdown.load(Ordering::SeqCst) {
+                    // Draining: each stalled peer in the backlog could
+                    // cost up to the write timeout plus the drain
+                    // deadline, serializing shutdown behind a reject
+                    // flood. Drop the socket instead (the peer sees a
+                    // reset — the same forfeit as queue overflow);
+                    // shutdown then waits on at most the one reject
+                    // already in flight.
+                    continue;
+                }
+                reject_connection(stream, &response);
+            });
+
             for _ in 0..workers {
                 scope.spawn(|| loop {
                     let conn = {
@@ -246,9 +301,11 @@ impl<H: Handler> Server<H> {
                         if let Some(limiter) = &limiter {
                             if let RateDecision::Reject { retry_after } = limiter.check(peer.ip()) {
                                 stats.rate_limited();
-                                reject_connection(
+                                enqueue_reject(
+                                    &rejects,
+                                    &reject_available,
                                     stream,
-                                    &Response::error(
+                                    Response::error(
                                         429,
                                         "rate_limited",
                                         format!(
@@ -265,9 +322,11 @@ impl<H: Handler> Server<H> {
                         if q.len() >= config.queue_capacity {
                             drop(q);
                             stats.queue_full();
-                            reject_connection(
+                            enqueue_reject(
+                                &rejects,
+                                &reject_available,
                                 stream,
-                                &Response::error(
+                                Response::error(
                                     429,
                                     "queue_full",
                                     "accept queue is full; retry with backoff",
@@ -287,7 +346,26 @@ impl<H: Handler> Server<H> {
                 }
             }
             available.notify_all();
+            reject_available.notify_all();
         });
+    }
+}
+
+/// Hands a turned-away connection to the reject drainer. When the
+/// drainer is itself backlogged (a reject flood) the socket is dropped
+/// unanswered — the peer sees a reset instead of a structured `429`,
+/// which beats serializing the flood through the accept loop.
+fn enqueue_reject(
+    queue: &Mutex<VecDeque<(TcpStream, Response)>>,
+    available: &Condvar,
+    stream: TcpStream,
+    response: Response,
+) {
+    let mut q = queue.lock().expect("reject queue lock");
+    if q.len() < REJECT_QUEUE_CAPACITY {
+        q.push_back((stream, response));
+        drop(q);
+        available.notify_one();
     }
 }
 
@@ -297,11 +375,16 @@ impl<H: Handler> Server<H> {
 /// its request bytes, and dropping the socket with them unread would
 /// RST and destroy the queued response before the client reads it.
 ///
-/// Runs on the accept thread, whose stall radius is every future
-/// connection — the drain deadline is kept short: an honest client
-/// reads the error and closes within a round trip; a peer still
-/// trickling bytes at the deadline forfeits clean delivery.
+/// Runs on the reject drainer (accept-time rejects) or a worker
+/// (shutdown drain) — never on the accept thread — and is still
+/// bounded tightly: an honest client reads the error and closes within
+/// a round trip; a peer stalled or trickling at a deadline forfeits
+/// clean delivery.
 fn reject_connection(mut stream: TcpStream, response: &Response) {
+    // The response is a small JSON document that fits the socket
+    // buffer, so the write normally completes instantly; the timeout
+    // only fires against a peer whose receive window is already full.
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
     let _ = response.write_to(&mut stream);
     let mut reader = match stream.try_clone() {
         Ok(reader) => reader,
@@ -335,6 +418,27 @@ fn drain_before_close(stream: &TcpStream, reader: &mut impl std::io::Read, deadl
     }
 }
 
+/// Balances [`ServerStats::dispatch_begin`] when dropped, so the
+/// in-flight gauge falls on every exit path — including early returns
+/// and panics while the response (or stream body) is being written.
+struct InFlightGuard<'a>(&'a ServerStats);
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        self.0.dispatch_end();
+    }
+}
+
+/// Balances the active-streams gauge of [`ServerStats::stream_begin`]
+/// once the stream body is off the wire (cleanly or not).
+struct StreamGuard<'a>(&'a ServerStats);
+
+impl Drop for StreamGuard<'_> {
+    fn drop(&mut self) {
+        self.0.stream_end();
+    }
+}
+
 /// Serves one connection keep-alive until close, error, idle timeout or
 /// the keep-alive cap.
 ///
@@ -355,6 +459,13 @@ fn serve_connection(
     // timeouts, so reset explicitly (a no-op on Linux).
     let _ = stream.set_nonblocking(false);
     let _ = stream.set_nodelay(true);
+    // A peer that stops reading but keeps the socket open never
+    // produces a write error on its own; the write timeout turns the
+    // stall into one. For a stream this unblocks the producer inside
+    // `ChunkSink::send`, which marks the sink dead and lets the batch
+    // finish — instead of the blocked send pinning this worker (and,
+    // through the sink mutex, every batch worker) forever.
+    let _ = stream.set_write_timeout(Some(config.write_timeout));
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
@@ -404,13 +515,19 @@ fn serve_connection(
             }
             Ok(ReadOutcome::Complete(request)) => request,
         };
-        let reply = if shutdown.load(Ordering::SeqCst) {
+        let (reply, _in_flight) = if shutdown.load(Ordering::SeqCst) {
             stats.shutdown_reject();
-            Reply::Full(
+            let reply = Reply::Full(
                 Response::error(503, "shutting_down", "server is shutting down").with_close(),
-            )
+            );
+            (reply, None)
         } else {
             stats.dispatch_begin();
+            // The in-flight gauge covers the response write too — a
+            // streaming reply occupies this worker long after the
+            // handler returns, and `/v1/stats` must report that load.
+            // The guard balances `dispatch_begin` on every exit path.
+            let in_flight = InFlightGuard(stats);
             let reply =
                 std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| handler.handle(&request)))
                     .unwrap_or_else(|_| {
@@ -419,8 +536,7 @@ fn serve_connection(
                                 .with_close(),
                         )
                     });
-            stats.dispatch_end();
-            reply
+            (reply, Some(in_flight))
         };
         match reply {
             Reply::Full(mut response) => {
@@ -436,6 +552,7 @@ fn serve_connection(
             }
             Reply::Stream(mut stream_response) => {
                 stats.stream_begin();
+                let _active = StreamGuard(stats);
                 stream_response.close = stream_response.close || request.wants_close();
                 // The producer is application code running after the
                 // response head is on the wire: a panic cannot be

@@ -16,6 +16,7 @@ pub struct ServerStats {
     rejected_shutdown: AtomicU64,
     protocol_errors: AtomicU64,
     streams: AtomicU64,
+    streams_active: AtomicU64,
 }
 
 /// A point-in-time copy of every counter.
@@ -25,7 +26,9 @@ pub struct ServerStatsSnapshot {
     pub connections: u64,
     /// Requests fully parsed and dispatched to the handler.
     pub requests: u64,
-    /// Requests currently inside the handler.
+    /// Requests currently being served: handler execution plus the
+    /// response write, so a chunked stream counts for its whole
+    /// duration — this is the live worker-occupancy gauge.
     pub in_flight: u64,
     /// Connections turned away with `429` because the accept queue was
     /// full.
@@ -38,8 +41,12 @@ pub struct ServerStatsSnapshot {
     /// Requests rejected at the protocol layer (4xx before dispatch).
     pub protocol_errors: u64,
     /// Streaming responses started (chunked bodies; each pins a worker
-    /// for its duration).
+    /// for its duration). Cumulative — see
+    /// [`ServerStatsSnapshot::streams_active`] for the live gauge.
     pub streams: u64,
+    /// Streaming responses currently on the wire (gauge; each occupies
+    /// one worker until its batch finishes).
+    pub streams_active: u64,
 }
 
 impl ServerStats {
@@ -57,6 +64,11 @@ impl ServerStats {
 
     pub(crate) fn stream_begin(&self) {
         self.streams.fetch_add(1, Ordering::Relaxed);
+        self.streams_active.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn stream_end(&self) {
+        self.streams_active.fetch_sub(1, Ordering::Relaxed);
     }
 
     pub(crate) fn shutdown_reject(&self) {
@@ -88,6 +100,7 @@ impl ServerStats {
             rejected_shutdown: self.rejected_shutdown.load(Ordering::Relaxed),
             protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
             streams: self.streams.load(Ordering::Relaxed),
+            streams_active: self.streams_active.load(Ordering::Relaxed),
         }
     }
 }

@@ -26,7 +26,7 @@ use marchgen::daemon::{
     StreamResponse, ToJson,
 };
 use marchgen::service::Batch;
-use marchgen::{Diagnostics, GenerateRequest};
+use marchgen::{Diagnostics, GenerateOutcome, GenerateRequest};
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -90,6 +90,24 @@ impl PhaseAggregates {
         self.verify_micros
             .fetch_add(diagnostics.verify_micros, Ordering::Relaxed);
         self.wall_micros.fetch_add(wall_micros, Ordering::Relaxed);
+    }
+
+    /// Folds one batch/stream call's results into the aggregates:
+    /// per-phase micros for every *computed* (non-cache-hit) outcome,
+    /// plus the call's shared wall time exactly once — and only when
+    /// something was actually computed, so all-hit calls stay invisible
+    /// (phases are per outcome; wall time is per call).
+    fn record_batch<E>(&self, results: &[Result<GenerateOutcome, E>], wall_micros: u64) {
+        let mut computed = false;
+        for outcome in results.iter().flatten() {
+            if !outcome.diagnostics.cache_hit {
+                computed = true;
+                self.record(&outcome.diagnostics, 0);
+            }
+        }
+        if computed {
+            self.wall_micros.fetch_add(wall_micros, Ordering::Relaxed);
+        }
     }
 
     fn to_json(&self) -> Json {
@@ -275,23 +293,12 @@ impl App {
         let started = Instant::now();
         let results = self.batch.run_cached(&self.cache, requests, |_| {});
         let wall = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
-        let mut computed = 0u64;
+        self.timing.record_batch(&results, wall);
         let entries = results.iter().map(|result| match result {
-            Ok(outcome) => {
-                if !outcome.diagnostics.cache_hit {
-                    computed += 1;
-                    self.timing.record(&outcome.diagnostics, 0);
-                }
-                Json::object([("outcome", outcome.to_json())])
-            }
+            Ok(outcome) => Json::object([("outcome", outcome.to_json())]),
             Err(error) => Json::object([("error", Json::Str(error_chain(error)))]),
         });
-        let body = Json::array(entries.collect::<Vec<_>>());
-        if computed > 0 {
-            // Wall time is per batch call (phases are per outcome).
-            self.timing.wall_micros.fetch_add(wall, Ordering::Relaxed);
-        }
-        Response::json(&body)
+        Response::json(&Json::array(entries.collect::<Vec<_>>()))
     }
 
     /// `GET|POST /v1/stream`: the same batch document as `/v1/batch`,
@@ -334,17 +341,7 @@ impl App {
                 }
             });
             let wall = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
-            let mut computed = 0u64;
-            for outcome in results.iter().flatten() {
-                if !outcome.diagnostics.cache_hit {
-                    computed += 1;
-                    app.timing.record(&outcome.diagnostics, 0);
-                }
-            }
-            if computed > 0 {
-                // Wall time is per stream call (phases are per outcome).
-                app.timing.wall_micros.fetch_add(wall, Ordering::Relaxed);
-            }
+            app.timing.record_batch(&results, wall);
             if dead.load(Ordering::Relaxed) {
                 return Err(std::io::Error::other("stream client went away"));
             }
@@ -378,6 +375,7 @@ impl App {
                     ("rejected_shutdown", Json::from(server.rejected_shutdown)),
                     ("protocol_errors", Json::from(server.protocol_errors)),
                     ("streams", Json::from(server.streams)),
+                    ("streams_active", Json::from(server.streams_active)),
                 ]),
             ),
             (
