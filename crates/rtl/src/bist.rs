@@ -1,0 +1,170 @@
+//! The `bist_if`-style top-level wrapper: drives the pattern generator
+//! into a synchronous-read memory port and compares read data against
+//! the expected value one cycle after each read (the memory registers
+//! `dout` at the clock edge, so the check value, read strobe and address
+//! are pipelined one stage to line up with it).
+
+use crate::emit::{element_ascii, ADDR_ZERO, DATA_ZERO};
+use crate::options::RtlOptions;
+use marchgen_march::MarchTest;
+use std::fmt::Write as _;
+
+/// Emits the `<name>_bist` module. Callers validate the test first.
+pub(crate) fn bist_module(test: &MarchTest, o: &RtlOptions) -> String {
+    let name = &o.name;
+    let mut s = String::new();
+    let _ = writeln!(s, "// {name}_bist -- BIST wrapper around {name}_patgen.");
+    let _ = writeln!(
+        s,
+        "// Hold en high after releasing rst; done rises when the March"
+    );
+    let _ = writeln!(
+        s,
+        "// sequence completes or the first mismatch is caught, fail latches"
+    );
+    let _ = writeln!(
+        s,
+        "// the verdict and fail_addr/fail_expected/fail_actual freeze the"
+    );
+    let _ = writeln!(
+        s,
+        "// first failing access. Expects a memory with 1-cycle read latency."
+    );
+    let _ = writeln!(s, "// March elements:");
+    for (k, element) in test.elements().iter().enumerate() {
+        let _ = writeln!(s, "//   {}: {}", k + 1, element_ascii(element));
+    }
+    let _ = writeln!(s, "module {name}_bist #(");
+    let _ = writeln!(
+        s,
+        "    parameter int unsigned ADDR_WIDTH = {},",
+        o.addr_width
+    );
+    let _ = writeln!(
+        s,
+        "    parameter int unsigned DATA_WIDTH = {},",
+        o.data_width
+    );
+    let _ = writeln!(
+        s,
+        "    parameter logic [ADDR_WIDTH-1:0] MAX_ADDR = {{ADDR_WIDTH{{1'b1}}}},"
+    );
+    let _ = writeln!(
+        s,
+        "    parameter int unsigned DELAY_CYCLES = {}",
+        o.delay_cycles
+    );
+    let _ = writeln!(s, ") (");
+    let _ = writeln!(s, "    input  logic clk,");
+    let _ = writeln!(s, "    input  logic rst,");
+    let _ = writeln!(s, "    input  logic en,");
+    let _ = writeln!(s, "    // Memory port (synchronous read, 1-cycle latency).");
+    let _ = writeln!(s, "    output logic [ADDR_WIDTH-1:0] addr,");
+    let _ = writeln!(s, "    output logic [DATA_WIDTH-1:0] data,");
+    let _ = writeln!(s, "    output logic we,");
+    let _ = writeln!(s, "    output logic re,");
+    let _ = writeln!(s, "    input  logic [DATA_WIDTH-1:0] dout,");
+    let _ = writeln!(s, "    // Verdict.");
+    let _ = writeln!(s, "    output logic done,");
+    let _ = writeln!(s, "    output logic fail,");
+    let _ = writeln!(s, "    output logic [ADDR_WIDTH-1:0] fail_addr,");
+    let _ = writeln!(s, "    output logic [DATA_WIDTH-1:0] fail_expected,");
+    let _ = writeln!(s, "    output logic [DATA_WIDTH-1:0] fail_actual");
+    let _ = writeln!(s, ");");
+    let _ = writeln!(s);
+    let _ = writeln!(s, "  localparam logic [1:0] ST_TEST = 2'd0;");
+    let _ = writeln!(s, "  localparam logic [1:0] ST_SUCCESS = 2'd1;");
+    let _ = writeln!(s, "  localparam logic [1:0] ST_FAILED = 2'd2;");
+    let _ = writeln!(s);
+    let _ = writeln!(s, "  logic [1:0] bist_state;");
+    let _ = writeln!(s, "  logic run;");
+    let _ = writeln!(s, "  logic patgen_done;");
+    let _ = writeln!(s, "  logic [DATA_WIDTH-1:0] check;");
+    let _ = writeln!(
+        s,
+        "  // Read pipeline: the memory registers dout at the edge, so the"
+    );
+    let _ = writeln!(
+        s,
+        "  // compare happens one cycle after the read was issued."
+    );
+    let _ = writeln!(s, "  logic prev_re;");
+    let _ = writeln!(s, "  logic [DATA_WIDTH-1:0] prev_check;");
+    let _ = writeln!(s, "  logic [ADDR_WIDTH-1:0] prev_addr;");
+    let _ = writeln!(s);
+    let _ = writeln!(s, "  assign run = en && (bist_state == ST_TEST);");
+    let _ = writeln!(s);
+    let _ = writeln!(s, "  {name}_patgen #(");
+    let _ = writeln!(s, "      .ADDR_WIDTH(ADDR_WIDTH),");
+    let _ = writeln!(s, "      .DATA_WIDTH(DATA_WIDTH),");
+    let _ = writeln!(s, "      .MAX_ADDR(MAX_ADDR),");
+    let _ = writeln!(s, "      .DELAY_CYCLES(DELAY_CYCLES)");
+    let _ = writeln!(s, "  ) patgen (");
+    let _ = writeln!(s, "      .clk(clk),");
+    let _ = writeln!(s, "      .rst(rst),");
+    let _ = writeln!(s, "      .en(run),");
+    let _ = writeln!(s, "      .addr(addr),");
+    let _ = writeln!(s, "      .data(data),");
+    let _ = writeln!(s, "      .we(we),");
+    let _ = writeln!(s, "      .re(re),");
+    let _ = writeln!(s, "      .check(check),");
+    let _ = writeln!(s, "      .done(patgen_done)");
+    let _ = writeln!(s, "  );");
+    let _ = writeln!(s);
+    let _ = writeln!(s, "  always_ff @(posedge clk) begin");
+    let _ = writeln!(s, "    if (rst) begin");
+    let _ = writeln!(s, "      bist_state <= ST_TEST;");
+    let _ = writeln!(s, "      prev_re <= 1'b0;");
+    let _ = writeln!(s, "      prev_check <= {DATA_ZERO};");
+    let _ = writeln!(s, "      prev_addr <= {ADDR_ZERO};");
+    let _ = writeln!(s, "      fail_addr <= {ADDR_ZERO};");
+    let _ = writeln!(s, "      fail_expected <= {DATA_ZERO};");
+    let _ = writeln!(s, "      fail_actual <= {DATA_ZERO};");
+    let _ = writeln!(s, "    end else begin");
+    let _ = writeln!(s, "      prev_re <= re && run;");
+    let _ = writeln!(s, "      prev_check <= check;");
+    let _ = writeln!(s, "      prev_addr <= addr;");
+    let _ = writeln!(s, "      if ((bist_state == ST_TEST) && en) begin");
+    let _ = writeln!(s, "        if (prev_re && (dout != prev_check)) begin");
+    let _ = writeln!(s, "          bist_state <= ST_FAILED;");
+    let _ = writeln!(s, "          fail_addr <= prev_addr;");
+    let _ = writeln!(s, "          fail_expected <= prev_check;");
+    let _ = writeln!(s, "          fail_actual <= dout;");
+    let _ = writeln!(s, "        end else if (patgen_done) begin");
+    let _ = writeln!(s, "          bist_state <= ST_SUCCESS;");
+    let _ = writeln!(s, "        end");
+    let _ = writeln!(s, "      end");
+    let _ = writeln!(s, "    end");
+    let _ = writeln!(s, "  end");
+    let _ = writeln!(s);
+    let _ = writeln!(
+        s,
+        "  assign done = (bist_state == ST_SUCCESS) || (bist_state == ST_FAILED);"
+    );
+    let _ = writeln!(s, "  assign fail = (bist_state == ST_FAILED);");
+    let _ = writeln!(s);
+    let _ = writeln!(s, "endmodule // {name}_bist");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use marchgen_march::known;
+
+    #[test]
+    fn wrapper_instantiates_patgen_and_latches_failures() {
+        let sv = bist_module(&known::march_c_minus(), &RtlOptions::default().normalize());
+        assert!(sv.contains("module march_test_bist #("), "{sv}");
+        assert!(sv.contains("march_test_patgen #("), "{sv}");
+        assert!(
+            sv.contains("if (prev_re && (dout != prev_check)) begin"),
+            "{sv}"
+        );
+        assert!(sv.contains("fail_actual <= dout;"), "{sv}");
+        assert!(
+            sv.contains("assign fail = (bist_state == ST_FAILED);"),
+            "{sv}"
+        );
+    }
+}

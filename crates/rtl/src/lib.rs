@@ -1,0 +1,218 @@
+//! # marchgen-rtl
+//!
+//! SystemVerilog BIST backend: compiles a verified
+//! [`MarchTest`] into synthesizable RTL.
+//!
+//! Three modules come out of one call to [`emit_sv`], all sharing a base
+//! name (`<name>_patgen`, `<name>_bist`, `<name>_tb`):
+//!
+//! 1. **Pattern generator** ([`emit_patgen`]) — a parameterized module
+//!    (`ADDR_WIDTH`/`DATA_WIDTH` generics) with **one FSM state per March
+//!    element**: an address counter that sweeps up or down per the
+//!    element's `⇑`/`⇓`/`⇕` direction and an op sub-sequencer that steps
+//!    the `rN`/`wN` operations inside the element. The paper's 1-bit cell
+//!    values expand to word-wide data backgrounds (`0` → all-zeros,
+//!    `1` → all-ones).
+//! 2. **BIST wrapper** ([`emit_bist`]) — a `bist_if`-style top level
+//!    (`clk`/`rst`/`en` in, `done`/`fail` plus failure diagnostics out)
+//!    that drives a synchronous-read memory port and compares read data
+//!    against the expected value one cycle after each read.
+//! 3. **Self-checking testbench** ([`emit_testbench`]) — instantiates the
+//!    wrapper against a behavioral memory model, runs once fault-free
+//!    (must pass) and once with an injected stuck-at cell (must fail).
+//!
+//! No simulator ships with this repository, so the [`lint`] module
+//! provides a token-level sanity checker (module/endmodule pairing,
+//! balanced `begin`/`end`, identifiers declared before use) that the
+//! offline golden-file harness runs over every emitted file.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bist;
+mod emit;
+pub mod lint;
+mod options;
+mod testbench;
+
+pub use lint::{lint_sv, LintIssue};
+pub use options::RtlOptions;
+
+use marchgen_march::{ConsistencyError, MarchTest};
+use std::fmt;
+
+/// Why a March test cannot be emitted as RTL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RtlError {
+    /// The test has no elements — there is nothing to generate.
+    EmptyTest,
+    /// The test fails the read-consistency check (a read expects a value
+    /// no preceding write guarantees); hardware generated from it would
+    /// flag healthy memories as faulty.
+    Inconsistent(ConsistencyError),
+}
+
+impl fmt::Display for RtlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RtlError::EmptyTest => f.write_str("march test has no elements"),
+            RtlError::Inconsistent(e) => write!(f, "march test is inconsistent: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RtlError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RtlError::EmptyTest => None,
+            RtlError::Inconsistent(e) => Some(e),
+        }
+    }
+}
+
+/// Rejects tests that must not reach hardware: empty or inconsistent.
+fn validate(test: &MarchTest) -> Result<(), RtlError> {
+    if test.element_count() == 0 {
+        return Err(RtlError::EmptyTest);
+    }
+    test.check_consistency().map_err(RtlError::Inconsistent)?;
+    Ok(())
+}
+
+/// Emits the pattern-generator module only (`<name>_patgen`).
+///
+/// # Errors
+/// [`RtlError`] if the test is empty or inconsistent.
+pub fn emit_patgen(test: &MarchTest, options: &RtlOptions) -> Result<String, RtlError> {
+    validate(test)?;
+    Ok(emit::patgen_module(test, &options.normalize()))
+}
+
+/// Emits the BIST wrapper module only (`<name>_bist`); it instantiates
+/// `<name>_patgen`, so pair it with [`emit_patgen`] output.
+///
+/// # Errors
+/// [`RtlError`] if the test is empty or inconsistent.
+pub fn emit_bist(test: &MarchTest, options: &RtlOptions) -> Result<String, RtlError> {
+    validate(test)?;
+    Ok(bist::bist_module(test, &options.normalize()))
+}
+
+/// Emits the self-checking testbench module only (`<name>_tb`).
+///
+/// # Errors
+/// [`RtlError`] if the test is empty or inconsistent.
+pub fn emit_testbench(test: &MarchTest, options: &RtlOptions) -> Result<String, RtlError> {
+    validate(test)?;
+    Ok(testbench::testbench_module(test, &options.normalize()))
+}
+
+/// Emits the complete single-file RTL bundle: pattern generator + BIST
+/// wrapper, plus the testbench unless [`RtlOptions::testbench`] is off.
+/// The result is a self-contained `.sv` file.
+///
+/// ```
+/// use marchgen_march::known;
+/// use marchgen_rtl::{emit_sv, lint_sv, RtlOptions};
+///
+/// let sv = emit_sv(
+///     &known::march_c_minus(),
+///     &RtlOptions::default().with_name("march_c_minus"),
+/// )?;
+/// assert!(sv.contains("module march_c_minus_patgen"));
+/// assert!(sv.contains("module march_c_minus_bist"));
+/// assert!(lint_sv(&sv).is_empty());
+/// # Ok::<(), marchgen_rtl::RtlError>(())
+/// ```
+///
+/// # Errors
+/// [`RtlError`] if the test is empty or inconsistent.
+pub fn emit_sv(test: &MarchTest, options: &RtlOptions) -> Result<String, RtlError> {
+    validate(test)?;
+    let o = options.normalize();
+    let mut s = String::new();
+    s.push_str(&emit::file_banner(test, &o));
+    s.push('\n');
+    s.push_str(&emit::patgen_module(test, &o));
+    s.push('\n');
+    s.push_str(&bist::bist_module(test, &o));
+    if o.testbench {
+        s.push('\n');
+        s.push_str(&testbench::testbench_module(test, &o));
+    }
+    Ok(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use marchgen_march::{known, MarchElement, MarchOp, MarchTest};
+
+    #[test]
+    fn empty_test_is_rejected() {
+        let empty = MarchTest::new(vec![]);
+        let err = emit_sv(&empty, &RtlOptions::default()).unwrap_err();
+        assert_eq!(err, RtlError::EmptyTest);
+    }
+
+    #[test]
+    fn inconsistent_test_is_rejected() {
+        // r1 with no initializing write.
+        let bad = MarchTest::new(vec![MarchElement::up(vec![MarchOp::R1])]);
+        let err = emit_sv(&bad, &RtlOptions::default()).unwrap_err();
+        assert!(matches!(err, RtlError::Inconsistent(_)), "{err}");
+    }
+
+    #[test]
+    fn bundle_contains_all_three_modules() {
+        let sv = emit_sv(
+            &known::mats_plus(),
+            &RtlOptions::default().with_name("mats_plus"),
+        )
+        .expect("catalog test emits");
+        for module in ["mats_plus_patgen", "mats_plus_bist", "mats_plus_tb"] {
+            assert!(sv.contains(&format!("module {module}")), "missing {module}");
+            assert!(
+                sv.contains(&format!("endmodule // {module}")),
+                "unclosed {module}"
+            );
+        }
+    }
+
+    #[test]
+    fn testbench_can_be_suppressed() {
+        let opts = RtlOptions::default().with_testbench(false);
+        let sv = emit_sv(&known::mats_plus(), &opts).unwrap();
+        assert!(!sv.contains("_tb"), "{sv}");
+    }
+
+    #[test]
+    fn whole_catalog_emits_and_lints_clean() {
+        for (name, test) in known::all() {
+            let sv = emit_sv(&test, &RtlOptions::default()).expect(name);
+            let issues = lint_sv(&sv);
+            assert!(issues.is_empty(), "{name}: {issues:?}\n{sv}");
+        }
+    }
+
+    #[test]
+    fn one_fsm_state_per_element() {
+        for (name, test) in known::all() {
+            let sv = emit_patgen(&test, &RtlOptions::default()).expect(name);
+            for k in 0..test.element_count() {
+                assert!(sv.contains(&format!("S_E{k}")), "{name}: missing state {k}");
+            }
+            assert!(
+                !sv.contains(&format!("S_E{}", test.element_count())),
+                "{name}"
+            );
+        }
+    }
+
+    #[test]
+    fn hostile_name_is_sanitized_in_module_headers() {
+        let opts = RtlOptions::default().with_name("march c-");
+        let sv = emit_sv(&known::mats_plus(), &opts).unwrap();
+        assert!(sv.contains("module march_c__patgen"), "{sv}");
+    }
+}

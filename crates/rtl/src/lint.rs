@@ -1,0 +1,778 @@
+//! Token-level SystemVerilog sanity checks.
+//!
+//! CI has no simulator or synthesis tool, so the golden-file harness
+//! runs this lightweight lint over every emitted file instead. It is not
+//! a parser — it tokenizes the source (comments, strings and compiler
+//! directives stripped) and checks three structural invariants that
+//! catch virtually every template bug a code emitter can introduce:
+//!
+//! 1. `module`/`endmodule` pairing — every module is named, none nest,
+//!    and the file ends outside a module;
+//! 2. balanced blocks per module — `begin`/`end`, `case`/`endcase`,
+//!    `task`/`endtask`, `function`/`endfunction`;
+//! 3. identifiers declared before use — every referenced name must be a
+//!    prior port, parameter, net/variable, task, instance or module.
+
+use std::collections::HashSet;
+use std::fmt;
+
+/// One problem found by [`lint_sv`], anchored to a 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintIssue {
+    /// 1-based line in the linted source.
+    pub line: usize,
+    /// Human-readable description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for LintIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Kind {
+    /// Identifier or keyword.
+    Word(String),
+    /// Numeric literal (including based literals like `4'd10`).
+    Number,
+    /// `.name` — a named port/parameter connection (never a usage).
+    Dotted,
+    /// `$name` — a system task/function.
+    Sys,
+    /// Any other single character.
+    Punct(char),
+}
+
+#[derive(Debug, Clone)]
+struct Token {
+    line: usize,
+    kind: Kind,
+}
+
+/// Language words that are never signal references.
+const KEYWORDS: &[&str] = &[
+    "always",
+    "always_comb",
+    "always_ff",
+    "always_latch",
+    "assign",
+    "automatic",
+    "begin",
+    "bit",
+    "break",
+    "byte",
+    "case",
+    "casex",
+    "casez",
+    "const",
+    "continue",
+    "default",
+    "disable",
+    "do",
+    "else",
+    "end",
+    "endcase",
+    "endfunction",
+    "endgenerate",
+    "endinterface",
+    "endmodule",
+    "endpackage",
+    "endtask",
+    "enum",
+    "final",
+    "for",
+    "forever",
+    "fork",
+    "function",
+    "generate",
+    "genvar",
+    "if",
+    "iff",
+    "import",
+    "initial",
+    "inout",
+    "input",
+    "inside",
+    "int",
+    "integer",
+    "interface",
+    "join",
+    "join_any",
+    "join_none",
+    "localparam",
+    "logic",
+    "longint",
+    "modport",
+    "module",
+    "negedge",
+    "or",
+    "output",
+    "package",
+    "packed",
+    "parameter",
+    "posedge",
+    "priority",
+    "real",
+    "ref",
+    "reg",
+    "repeat",
+    "return",
+    "shortint",
+    "signed",
+    "static",
+    "string",
+    "struct",
+    "supply0",
+    "supply1",
+    "task",
+    "time",
+    "timeprecision",
+    "timeunit",
+    "tri",
+    "typedef",
+    "union",
+    "unique",
+    "unsigned",
+    "void",
+    "wait",
+    "while",
+    "wire",
+];
+
+/// Keywords that open a declaration (and so introduce names).
+const DECL_KEYWORDS: &[&str] = &[
+    "bit",
+    "byte",
+    "genvar",
+    "inout",
+    "input",
+    "int",
+    "integer",
+    "localparam",
+    "logic",
+    "longint",
+    "output",
+    "parameter",
+    "real",
+    "reg",
+    "shortint",
+    "time",
+    "wire",
+];
+
+/// Type/qualifier words that may appear between a declaration keyword
+/// and the declared name.
+const MODIFIER_KEYWORDS: &[&str] = &[
+    "automatic",
+    "bit",
+    "byte",
+    "int",
+    "integer",
+    "logic",
+    "longint",
+    "real",
+    "reg",
+    "shortint",
+    "signed",
+    "time",
+    "unsigned",
+    "wire",
+];
+
+fn is_keyword(word: &str) -> bool {
+    KEYWORDS.binary_search(&word).is_ok()
+}
+
+fn tokenize(source: &str) -> Vec<Token> {
+    let bytes = source.as_bytes();
+    let mut tokens = Vec::new();
+    let mut line = 1;
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                i += 2;
+                while i < bytes.len() && !(bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/')) {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+                i = (i + 2).min(bytes.len());
+            }
+            b'"' => {
+                i += 1;
+                while i < bytes.len() && bytes[i] != b'"' {
+                    if bytes[i] == b'\\' {
+                        i += 1;
+                    }
+                    i += 1;
+                }
+                i += 1;
+            }
+            // Compiler directive (`timescale, `include, ...): skip the line.
+            b'`' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'$' | b'.' => {
+                let start = i;
+                i += 1;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                if i == start + 1 {
+                    tokens.push(Token {
+                        line,
+                        kind: Kind::Punct(c as char),
+                    });
+                } else {
+                    let kind = if c == b'$' { Kind::Sys } else { Kind::Dotted };
+                    tokens.push(Token { line, kind });
+                }
+            }
+            c if c.is_ascii_digit() => {
+                while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                if bytes.get(i) == Some(&b'\'') {
+                    i += 1;
+                    if matches!(bytes.get(i), Some(b's' | b'S')) {
+                        i += 1;
+                    }
+                    if matches!(
+                        bytes.get(i),
+                        Some(b'd' | b'D' | b'b' | b'B' | b'h' | b'H' | b'o' | b'O')
+                    ) {
+                        i += 1;
+                        while i < bytes.len()
+                            && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                        {
+                            i += 1;
+                        }
+                    }
+                }
+                tokens.push(Token {
+                    line,
+                    kind: Kind::Number,
+                });
+            }
+            // Unbased unsized literal: '0 '1 'x 'z
+            b'\''
+                if matches!(
+                    bytes.get(i + 1),
+                    Some(b'0' | b'1' | b'x' | b'X' | b'z' | b'Z')
+                ) =>
+            {
+                i += 2;
+                tokens.push(Token {
+                    line,
+                    kind: Kind::Number,
+                });
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] == b'$')
+                {
+                    i += 1;
+                }
+                let word = String::from_utf8_lossy(&bytes[start..i]).into_owned();
+                tokens.push(Token {
+                    line,
+                    kind: Kind::Word(word),
+                });
+            }
+            _ => {
+                tokens.push(Token {
+                    line,
+                    kind: Kind::Punct(c as char),
+                });
+                i += 1;
+            }
+        }
+    }
+    tokens
+}
+
+/// Per-module lint state.
+struct ModuleScope {
+    name: String,
+    line: usize,
+    begin_depth: i64,
+    case_depth: i64,
+    task_depth: i64,
+    function_depth: i64,
+    declared: HashSet<String>,
+}
+
+struct Linter<'a> {
+    tokens: &'a [Token],
+    module_names: HashSet<String>,
+    issues: Vec<LintIssue>,
+}
+
+impl Linter<'_> {
+    fn issue(&mut self, line: usize, message: impl Into<String>) {
+        self.issues.push(LintIssue {
+            line,
+            message: message.into(),
+        });
+    }
+
+    fn word_at(&self, i: usize) -> Option<&str> {
+        match self.tokens.get(i).map(|t| &t.kind) {
+            Some(Kind::Word(w)) => Some(w.as_str()),
+            _ => None,
+        }
+    }
+
+    fn punct_at(&self, i: usize) -> Option<char> {
+        match self.tokens.get(i).map(|t| &t.kind) {
+            Some(Kind::Punct(c)) => Some(*c),
+            _ => None,
+        }
+    }
+
+    /// Reports `word` if it is a plain identifier unknown to the scope.
+    fn check_usage(&mut self, scope: &ModuleScope, i: usize) {
+        if let Some(Kind::Word(w)) = self.tokens.get(i).map(|t| &t.kind) {
+            if !is_keyword(w) && !scope.declared.contains(w) && !self.module_names.contains(w) {
+                let line = self.tokens[i].line;
+                let w = w.clone();
+                self.issue(line, format!("identifier `{w}` used before declaration"));
+            }
+        }
+    }
+
+    /// Consumes a balanced bracket group starting at `i` (which must be
+    /// the opening bracket), usage-checking identifiers inside. Returns
+    /// the index just past the closing bracket.
+    fn skip_group(&mut self, scope: &ModuleScope, i: usize) -> usize {
+        let mut depth = 0i64;
+        let mut j = i;
+        while j < self.tokens.len() {
+            match self.tokens[j].kind {
+                Kind::Punct('(' | '[' | '{') => depth += 1,
+                Kind::Punct(')' | ']' | '}') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return j + 1;
+                    }
+                }
+                Kind::Word(_) => self.check_usage(scope, j),
+                _ => {}
+            }
+            j += 1;
+        }
+        j
+    }
+
+    /// Parses one declaration starting at the decl keyword at `i`;
+    /// inserts declared names into the scope. Returns the index of the
+    /// first unconsumed token.
+    fn parse_decl(&mut self, scope: &mut ModuleScope, i: usize) -> usize {
+        let mut j = i + 1;
+        loop {
+            // Qualifiers and packed dimensions before the name.
+            loop {
+                if self
+                    .word_at(j)
+                    .is_some_and(|w| MODIFIER_KEYWORDS.contains(&w))
+                {
+                    j += 1;
+                } else if self.punct_at(j) == Some('[') {
+                    j = self.skip_group(scope, j);
+                } else {
+                    break;
+                }
+            }
+            match self.word_at(j) {
+                Some(w) if !is_keyword(w) => {
+                    scope.declared.insert(w.to_owned());
+                    j += 1;
+                }
+                _ => return j,
+            }
+            // Unpacked dimensions after the name.
+            while self.punct_at(j) == Some('[') {
+                j = self.skip_group(scope, j);
+            }
+            // Initializer: consume up to a top-level `,`, `;` or `)`.
+            if self.punct_at(j) == Some('=') {
+                j += 1;
+                let mut depth = 0i64;
+                while j < self.tokens.len() {
+                    match self.tokens[j].kind {
+                        Kind::Punct('(' | '[' | '{') => depth += 1,
+                        Kind::Punct(')' | ']' | '}') => {
+                            if depth == 0 {
+                                break;
+                            }
+                            depth -= 1;
+                        }
+                        Kind::Punct(',' | ';') if depth == 0 => break,
+                        Kind::Word(_) => self.check_usage(scope, j),
+                        _ => {}
+                    }
+                    j += 1;
+                }
+            }
+            // `, name` continues the declaration only if what follows is
+            // a plain identifier (a keyword starts a fresh declaration).
+            if self.punct_at(j) == Some(',') && self.word_at(j + 1).is_some_and(|w| !is_keyword(w))
+            {
+                j += 1;
+                continue;
+            }
+            return j;
+        }
+    }
+
+    /// Parses a module instantiation whose module name sits at `i`:
+    /// `name #( params ) instance ( ports );` — declares the instance
+    /// name and usage-checks the connection expressions.
+    fn parse_instance(&mut self, scope: &mut ModuleScope, i: usize) -> usize {
+        let mut j = i + 1;
+        if self.punct_at(j) == Some('#') {
+            j += 1;
+            if self.punct_at(j) == Some('(') {
+                j = self.skip_group(scope, j);
+            }
+        }
+        match self.word_at(j) {
+            Some(w) if !is_keyword(w) => {
+                scope.declared.insert(w.to_owned());
+                j += 1;
+            }
+            _ => {
+                let line = self.tokens[i].line;
+                let name = self.word_at(i).unwrap_or("?").to_owned();
+                self.issue(line, format!("malformed instantiation of `{name}`"));
+                return j;
+            }
+        }
+        if self.punct_at(j) == Some('(') {
+            j = self.skip_group(scope, j);
+        }
+        if self.punct_at(j) == Some(';') {
+            j += 1;
+        }
+        j
+    }
+
+    fn close_module(&mut self, scope: &ModuleScope, line: usize) {
+        let name = &scope.name;
+        if scope.begin_depth != 0 {
+            self.issue(line, format!("module `{name}`: unbalanced begin/end"));
+        }
+        if scope.case_depth != 0 {
+            self.issue(line, format!("module `{name}`: unbalanced case/endcase"));
+        }
+        if scope.task_depth != 0 {
+            self.issue(line, format!("module `{name}`: unbalanced task/endtask"));
+        }
+        if scope.function_depth != 0 {
+            self.issue(
+                line,
+                format!("module `{name}`: unbalanced function/endfunction"),
+            );
+        }
+    }
+
+    fn run(&mut self) {
+        let mut scope: Option<ModuleScope> = None;
+        let mut i = 0;
+        while i < self.tokens.len() {
+            let line = self.tokens[i].line;
+            let word = self.word_at(i).map(str::to_owned);
+            match word.as_deref() {
+                Some("module") => {
+                    if let Some(open) = &scope {
+                        let prev = open.name.clone();
+                        self.issue(line, format!("`module` while `{prev}` is still open"));
+                    }
+                    let name = match self.word_at(i + 1) {
+                        Some(w) if !is_keyword(w) => w.to_owned(),
+                        _ => {
+                            self.issue(line, "`module` without a name");
+                            i += 1;
+                            continue;
+                        }
+                    };
+                    scope = Some(ModuleScope {
+                        name,
+                        line,
+                        begin_depth: 0,
+                        case_depth: 0,
+                        task_depth: 0,
+                        function_depth: 0,
+                        declared: HashSet::new(),
+                    });
+                    i += 2;
+                }
+                Some("endmodule") => {
+                    match scope.take() {
+                        Some(s) => self.close_module(&s, line),
+                        None => self.issue(line, "`endmodule` without an open module"),
+                    }
+                    i += 1;
+                }
+                Some(w) => {
+                    if scope.is_none() {
+                        if !is_keyword(w) {
+                            self.issue(line, format!("token `{w}` outside any module"));
+                        }
+                        i += 1;
+                        continue;
+                    }
+                    let s = scope.as_mut().expect("checked above");
+                    match w {
+                        "begin" => {
+                            s.begin_depth += 1;
+                            i += 1;
+                        }
+                        "end" => {
+                            s.begin_depth -= 1;
+                            if s.begin_depth < 0 {
+                                s.begin_depth = 0;
+                                self.issue(line, "`end` without matching `begin`");
+                            }
+                            i += 1;
+                        }
+                        "case" | "casez" | "casex" => {
+                            s.case_depth += 1;
+                            i += 1;
+                        }
+                        "endcase" => {
+                            s.case_depth -= 1;
+                            if s.case_depth < 0 {
+                                s.case_depth = 0;
+                                self.issue(line, "`endcase` without matching `case`");
+                            }
+                            i += 1;
+                        }
+                        "task" | "function" => {
+                            if w == "task" {
+                                s.task_depth += 1;
+                            } else {
+                                s.function_depth += 1;
+                            }
+                            let mut j = i + 1;
+                            while self
+                                .word_at(j)
+                                .is_some_and(|m| MODIFIER_KEYWORDS.contains(&m) || m == "void")
+                            {
+                                j += 1;
+                            }
+                            if let Some(name) = self.word_at(j) {
+                                if !is_keyword(name) {
+                                    s.declared.insert(name.to_owned());
+                                    j += 1;
+                                }
+                            }
+                            i = j;
+                        }
+                        "endtask" => {
+                            s.task_depth -= 1;
+                            if s.task_depth < 0 {
+                                s.task_depth = 0;
+                                self.issue(line, "`endtask` without matching `task`");
+                            }
+                            i += 1;
+                        }
+                        "endfunction" => {
+                            s.function_depth -= 1;
+                            if s.function_depth < 0 {
+                                s.function_depth = 0;
+                                self.issue(line, "`endfunction` without matching `function`");
+                            }
+                            i += 1;
+                        }
+                        _ if DECL_KEYWORDS.contains(&w) => {
+                            i = self.parse_decl(s, i);
+                        }
+                        _ if is_keyword(w) => i += 1,
+                        _ if self.module_names.contains(w) && s.name != *w => {
+                            i = self.parse_instance(s, i);
+                        }
+                        _ => {
+                            if !s.declared.contains(w) && !self.module_names.contains(w) {
+                                let w = w.to_owned();
+                                self.issue(
+                                    line,
+                                    format!("identifier `{w}` used before declaration"),
+                                );
+                            }
+                            i += 1;
+                        }
+                    }
+                }
+                None => i += 1,
+            }
+        }
+        if let Some(s) = scope {
+            let name = s.name.clone();
+            self.issue(s.line, format!("module `{name}` is never closed"));
+        }
+    }
+}
+
+/// Lints SystemVerilog source; returns all structural problems found
+/// (empty means the checks pass). See the module docs for what is and
+/// is not covered — this is an emitter-sanity net, not a compiler.
+#[must_use]
+pub fn lint_sv(source: &str) -> Vec<LintIssue> {
+    let tokens = tokenize(source);
+    let mut module_names = HashSet::new();
+    for pair in tokens.windows(2) {
+        if let (Kind::Word(a), Kind::Word(b)) = (&pair[0].kind, &pair[1].kind) {
+            if a == "module" && !is_keyword(b) {
+                module_names.insert(b.clone());
+            }
+        }
+    }
+    let mut linter = Linter {
+        tokens: &tokens,
+        module_names,
+        issues: Vec::new(),
+    };
+    linter.run();
+    linter.issues
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CLEAN: &str = r#"
+`timescale 1ns / 1ps
+// a comment with module endmodule begin inside
+module good #(
+    parameter int unsigned W = 4
+) (
+    input  logic clk,
+    input  logic [W-1:0] a,
+    output logic [W-1:0] y
+);
+  localparam logic [W-1:0] ZED = {W{1'b0}};
+  logic [W-1:0] held;
+  always_ff @(posedge clk) begin
+    if (a == ZED) begin
+      held <= a + 1'b1;
+    end else begin
+      held <= ZED;
+    end
+  end
+  assign y = held;
+endmodule // good
+
+module top;
+  logic clk;
+  logic [3:0] a;
+  logic [3:0] y;
+  good #(
+      .W(4)
+  ) dut (
+      .clk(clk),
+      .a(a),
+      .y(y)
+  );
+  initial begin
+    a = 4'd3;
+    $display("y=%0d", y);
+    $finish;
+  end
+endmodule // top
+"#;
+
+    #[test]
+    fn keyword_table_is_sorted_for_binary_search() {
+        let mut sorted = KEYWORDS.to_vec();
+        sorted.sort_unstable();
+        assert_eq!(sorted, KEYWORDS);
+    }
+
+    #[test]
+    fn clean_source_passes() {
+        let issues = lint_sv(CLEAN);
+        assert!(issues.is_empty(), "{issues:?}");
+    }
+
+    #[test]
+    fn undeclared_identifier_is_flagged() {
+        let src = "module m;\n  assign mystery = 1'b0;\nendmodule\n";
+        let issues = lint_sv(src);
+        assert_eq!(issues.len(), 1, "{issues:?}");
+        assert!(issues[0].message.contains("`mystery`"), "{issues:?}");
+        assert_eq!(issues[0].line, 2);
+    }
+
+    #[test]
+    fn use_before_declaration_is_flagged() {
+        let src = "module m;\n  assign y = x;\n  logic x;\n  logic y;\nendmodule\n";
+        let issues = lint_sv(src);
+        assert!(
+            issues
+                .iter()
+                .any(|i| i.message.contains("`x`") && i.line == 2),
+            "{issues:?}"
+        );
+    }
+
+    #[test]
+    fn unbalanced_begin_end_is_flagged() {
+        let src =
+            "module m;\n  logic c;\n  always_ff @(posedge c) begin\n    c <= ~c;\nendmodule\n";
+        let issues = lint_sv(src);
+        assert!(
+            issues.iter().any(|i| i.message.contains("begin/end")),
+            "{issues:?}"
+        );
+    }
+
+    #[test]
+    fn nested_and_unterminated_modules_are_flagged() {
+        assert!(lint_sv("module a;\nmodule b;\nendmodule\nendmodule\n")
+            .iter()
+            .any(|i| i.message.contains("still open")));
+        assert!(lint_sv("module a;\n")
+            .iter()
+            .any(|i| i.message.contains("never closed")));
+        assert!(lint_sv("endmodule\n")
+            .iter()
+            .any(|i| i.message.contains("without an open module")));
+    }
+
+    #[test]
+    fn instance_of_unknown_module_is_flagged() {
+        let src = "module m;\n  logic clk;\n  ghost u0 (.clk(clk));\nendmodule\n";
+        let issues = lint_sv(src);
+        // `ghost` is not a module in this file and not declared.
+        assert!(
+            issues.iter().any(|i| i.message.contains("`ghost`")),
+            "{issues:?}"
+        );
+    }
+
+    #[test]
+    fn strings_and_directives_are_opaque() {
+        let src =
+            "module m;\n  initial $display(\"undeclared_thing endmodule begin\");\nendmodule\n";
+        assert!(lint_sv(src).is_empty());
+    }
+}

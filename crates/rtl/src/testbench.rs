@@ -1,0 +1,230 @@
+//! The emitted self-checking testbench: instantiates the BIST wrapper
+//! against a behavioral synchronous-read memory model, runs the March
+//! sequence once fault-free (must pass) and once with a stuck-at fault
+//! injected at address 0 (must fail). Exits via `$fatal` on any
+//! mismatch, so a simulator run doubles as a regression check.
+
+use crate::emit::ADDR_ZERO;
+use crate::options::RtlOptions;
+use marchgen_march::{MarchOp, MarchTest};
+use std::fmt::Write as _;
+
+/// The stuck-at polarity this test can catch at address 0, if any: a
+/// `r1` somewhere in the per-cell sequence exposes a stuck-at-0 cell, a
+/// `r0` exposes a stuck-at-1 cell. (Consistency guarantees the read's
+/// expected value was established by an earlier write, so the stuck cell
+/// must mismatch.)
+fn injectable_fault(test: &MarchTest) -> Option<(&'static str, &'static str)> {
+    let seq = test.per_cell_sequence();
+    if seq.contains(&MarchOp::R1) {
+        Some(("stuck-at-0", "{DATA_WIDTH{1'b0}}"))
+    } else if seq.contains(&MarchOp::R0) {
+        Some(("stuck-at-1", "{DATA_WIDTH{1'b1}}"))
+    } else {
+        None
+    }
+}
+
+/// Emits the `<name>_tb` module. Callers validate the test first.
+pub(crate) fn testbench_module(test: &MarchTest, o: &RtlOptions) -> String {
+    let name = &o.name;
+    let inject = injectable_fault(test);
+    let mut s = String::new();
+    let _ = writeln!(s, "`timescale 1ns / 1ps");
+    let _ = writeln!(
+        s,
+        "// {name}_tb -- self-checking testbench for {name}_bist."
+    );
+    let _ = writeln!(
+        s,
+        "// Run 1: fault-free behavioral memory, the BIST must pass."
+    );
+    match inject {
+        Some((label, _)) => {
+            let _ = writeln!(
+                s,
+                "// Run 2: a {label} cell injected at address 0, the BIST must"
+            );
+            let _ = writeln!(s, "// fail and report the faulty address.");
+        }
+        None => {
+            let _ = writeln!(
+                s,
+                "// (No read ops in the March sequence, so no stuck-at fault is"
+            );
+            let _ = writeln!(s, "// observable; only the fault-free run is exercised.)");
+        }
+    }
+    let _ = writeln!(s, "module {name}_tb;");
+    let _ = writeln!(s);
+    let _ = writeln!(
+        s,
+        "  localparam int unsigned ADDR_WIDTH = {};",
+        o.addr_width
+    );
+    let _ = writeln!(
+        s,
+        "  localparam int unsigned DATA_WIDTH = {};",
+        o.data_width
+    );
+    let _ = writeln!(
+        s,
+        "  localparam logic [ADDR_WIDTH-1:0] MAX_ADDR = {{ADDR_WIDTH{{1'b1}}}};"
+    );
+    let _ = writeln!(
+        s,
+        "  localparam int unsigned DELAY_CYCLES = {};",
+        o.delay_cycles
+    );
+    let _ = writeln!(s, "  localparam int unsigned DEPTH = 32'd1 << ADDR_WIDTH;");
+    let _ = writeln!(s);
+    let _ = writeln!(s, "  logic clk;");
+    let _ = writeln!(s, "  logic rst;");
+    let _ = writeln!(s, "  logic en;");
+    let _ = writeln!(s, "  logic [ADDR_WIDTH-1:0] addr;");
+    let _ = writeln!(s, "  logic [DATA_WIDTH-1:0] data;");
+    let _ = writeln!(s, "  logic we;");
+    let _ = writeln!(s, "  logic re;");
+    let _ = writeln!(s, "  logic [DATA_WIDTH-1:0] dout;");
+    let _ = writeln!(s, "  logic done;");
+    let _ = writeln!(s, "  logic fail;");
+    let _ = writeln!(s, "  logic [ADDR_WIDTH-1:0] fail_addr;");
+    let _ = writeln!(s, "  logic [DATA_WIDTH-1:0] fail_expected;");
+    let _ = writeln!(s, "  logic [DATA_WIDTH-1:0] fail_actual;");
+    if inject.is_some() {
+        let _ = writeln!(s, "  logic saf_enable;");
+    }
+    let _ = writeln!(s, "  logic failed;");
+    let _ = writeln!(s);
+    let _ = writeln!(
+        s,
+        "  // Behavioral memory, synchronous read (1-cycle latency)."
+    );
+    let _ = writeln!(s, "  logic [DATA_WIDTH-1:0] mem [0:DEPTH-1];");
+    let _ = writeln!(s);
+    let _ = writeln!(s, "  always_ff @(posedge clk) begin");
+    let _ = writeln!(s, "    if (we) begin");
+    if let Some((_, stuck)) = inject {
+        let _ = writeln!(s, "      if (saf_enable && (addr == {ADDR_ZERO})) begin");
+        let _ = writeln!(
+            s,
+            "        mem[addr] <= {stuck};  // the injected stuck-at cell"
+        );
+        let _ = writeln!(s, "      end else begin");
+        let _ = writeln!(s, "        mem[addr] <= data;");
+        let _ = writeln!(s, "      end");
+    } else {
+        let _ = writeln!(s, "      mem[addr] <= data;");
+    }
+    let _ = writeln!(s, "    end");
+    let _ = writeln!(s, "    if (re) begin");
+    let _ = writeln!(s, "      dout <= mem[addr];");
+    let _ = writeln!(s, "    end");
+    let _ = writeln!(s, "  end");
+    let _ = writeln!(s);
+    let _ = writeln!(s, "  {name}_bist #(");
+    let _ = writeln!(s, "      .ADDR_WIDTH(ADDR_WIDTH),");
+    let _ = writeln!(s, "      .DATA_WIDTH(DATA_WIDTH),");
+    let _ = writeln!(s, "      .MAX_ADDR(MAX_ADDR),");
+    let _ = writeln!(s, "      .DELAY_CYCLES(DELAY_CYCLES)");
+    let _ = writeln!(s, "  ) dut (");
+    let _ = writeln!(s, "      .clk(clk),");
+    let _ = writeln!(s, "      .rst(rst),");
+    let _ = writeln!(s, "      .en(en),");
+    let _ = writeln!(s, "      .addr(addr),");
+    let _ = writeln!(s, "      .data(data),");
+    let _ = writeln!(s, "      .we(we),");
+    let _ = writeln!(s, "      .re(re),");
+    let _ = writeln!(s, "      .dout(dout),");
+    let _ = writeln!(s, "      .done(done),");
+    let _ = writeln!(s, "      .fail(fail),");
+    let _ = writeln!(s, "      .fail_addr(fail_addr),");
+    let _ = writeln!(s, "      .fail_expected(fail_expected),");
+    let _ = writeln!(s, "      .fail_actual(fail_actual)");
+    let _ = writeln!(s, "  );");
+    let _ = writeln!(s);
+    let _ = writeln!(s, "  initial clk = 1'b0;");
+    let _ = writeln!(s, "  always #5 clk = ~clk;");
+    let _ = writeln!(s);
+    let _ = writeln!(s, "  task automatic run_bist;");
+    let _ = writeln!(s, "    begin");
+    let _ = writeln!(s, "      rst = 1'b1;");
+    let _ = writeln!(s, "      en = 1'b0;");
+    let _ = writeln!(s, "      repeat (2) @(posedge clk);");
+    let _ = writeln!(s, "      rst = 1'b0;");
+    let _ = writeln!(s, "      en = 1'b1;");
+    let _ = writeln!(s, "      @(posedge clk);");
+    let _ = writeln!(s, "      wait (done);");
+    let _ = writeln!(s, "      @(posedge clk);");
+    let _ = writeln!(s, "      failed = fail;");
+    let _ = writeln!(s, "      en = 1'b0;");
+    let _ = writeln!(s, "      @(posedge clk);");
+    let _ = writeln!(s, "    end");
+    let _ = writeln!(s, "  endtask");
+    let _ = writeln!(s);
+    let _ = writeln!(s, "  initial begin");
+    if inject.is_some() {
+        let _ = writeln!(s, "    saf_enable = 1'b0;");
+    }
+    let _ = writeln!(s, "    run_bist;");
+    let _ = writeln!(s, "    if (failed) begin");
+    let _ = writeln!(
+        s,
+        "      $display(\"FAIL: fault-free memory flagged at %0h (expected %0h, got %0h)\","
+    );
+    let _ = writeln!(s, "               fail_addr, fail_expected, fail_actual);");
+    let _ = writeln!(s, "      $fatal(1);");
+    let _ = writeln!(s, "    end");
+    let _ = writeln!(s, "    $display(\"PASS: fault-free run clean\");");
+    if let Some((label, _)) = inject {
+        let _ = writeln!(s, "    saf_enable = 1'b1;");
+        let _ = writeln!(s, "    run_bist;");
+        let _ = writeln!(s, "    if (!failed) begin");
+        let _ = writeln!(
+            s,
+            "      $display(\"FAIL: injected {label} at address 0 escaped\");"
+        );
+        let _ = writeln!(s, "      $fatal(1);");
+        let _ = writeln!(s, "    end");
+        let _ = writeln!(
+            s,
+            "    $display(\"PASS: injected {label} detected at %0h (expected %0h, got %0h)\","
+        );
+        let _ = writeln!(s, "             fail_addr, fail_expected, fail_actual);");
+    }
+    let _ = writeln!(s, "    $finish;");
+    let _ = writeln!(s, "  end");
+    let _ = writeln!(s);
+    let _ = writeln!(s, "endmodule // {name}_tb");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use marchgen_march::{known, MarchElement, MarchTest};
+
+    #[test]
+    fn testbench_injects_stuck_at_zero_when_r1_present() {
+        let sv = testbench_module(&known::mats_plus(), &RtlOptions::default().normalize());
+        assert!(sv.contains("module march_test_tb;"), "{sv}");
+        assert!(sv.contains("saf_enable"), "{sv}");
+        assert!(sv.contains("stuck-at-0"), "{sv}");
+        assert!(sv.contains("$fatal(1);"), "{sv}");
+    }
+
+    #[test]
+    fn write_only_test_skips_injection() {
+        let t = MarchTest::new(vec![MarchElement::up(vec![MarchOp::W0, MarchOp::W1])]);
+        let sv = testbench_module(&t, &RtlOptions::default().normalize());
+        assert!(!sv.contains("saf_enable"), "{sv}");
+        assert!(sv.contains("no stuck-at fault"), "{sv}");
+    }
+
+    #[test]
+    fn r0_only_test_injects_stuck_at_one() {
+        let t = MarchTest::new(vec![MarchElement::up(vec![MarchOp::W0, MarchOp::R0])]);
+        let sv = testbench_module(&t, &RtlOptions::default().normalize());
+        assert!(sv.contains("stuck-at-1"), "{sv}");
+    }
+}

@@ -5,7 +5,8 @@
 //! marchgen validate <march> <fault-list> [--json]
 //!                                             simulate a test against faults
 //! marchgen analyze  <march> [--json]          static detection conditions
-//! marchgen codegen  <march> [c|rust]          emit BIST source code
+//! marchgen codegen  <march> [--lang c|rust|sv] [--json]
+//!                                             emit BIST source code or RTL
 //! marchgen known    [name]                    show the classical library
 //! marchgen batch    <file> [--json] [--threads N]
 //!                                             run one fault list per line
@@ -42,7 +43,7 @@ fn main() -> ExitCode {
         Some("generate") => generate_cmd(&args[1..], json, knobs),
         Some("validate") => validate(&args[1..], json),
         Some("analyze") => analyze_cmd(&args[1..], json),
-        Some("codegen") => codegen_cmd(&args[1..]),
+        Some("codegen") => codegen_cmd(&args[1..], json),
         Some("known") => known_cmd(&args[1..]),
         Some("batch") => batch_cmd(&args[1..], json, threads, knobs),
         _ => {
@@ -69,7 +70,12 @@ usage:
   marchgen validate <march> <fault-list> [--json]
                                             e.g. marchgen validate \"m(w0); u(r0,w1); d(r1)\" SAF
   marchgen analyze  <march> [--json]        static detection conditions
-  marchgen codegen  <march> [c|rust]        emit BIST source code
+  marchgen codegen  <march> [--lang c|rust|sv] [--json] [--name IDENT]
+                    [--addr-width N] [--data-width N] [--delay-cycles N] [--no-testbench]
+                                            emit BIST source code; `sv` produces a
+                                            synthesizable patgen + BIST wrapper +
+                                            testbench bundle (see docs/RTL notes)
+                                            e.g. marchgen codegen \"March C-\" --lang sv
   marchgen known    [name]                  list/show the classical test library
   marchgen batch    <file> [--json] [--threads N] [--solver NAME] [--verifier auto|scalar|bitsim]
                     [--search-threads N] [--cache-dir DIR]
@@ -356,17 +362,100 @@ fn print_conditions_json(_test: &MarchTest, _c: &analysis::Conditions) -> Result
     Err("this build has no JSON support (rebuild with the `serde` feature)".into())
 }
 
-fn codegen_cmd(args: &[String]) -> Result<(), String> {
+fn codegen_cmd(args: &[String], json: bool) -> Result<(), String> {
+    use marchgen::rtl::RtlOptions;
+
+    let mut args = args.to_vec();
+    let lang_flag = take_str_option(&mut args, "--lang")?;
+    let name = take_str_option(&mut args, "--name")?;
+    let addr_width = take_option(&mut args, "--addr-width")?;
+    let data_width = take_option(&mut args, "--data-width")?;
+    let delay_cycles = take_option(&mut args, "--delay-cycles")?;
+    let no_testbench = take_flag(&mut args, "--no-testbench");
+
     let march = args.first().ok_or("codegen needs a march test")?;
     let test = parse_march_arg(march)?;
     test.check_consistency()
         .map_err(|e| format!("inconsistent march test: {e}"))?;
-    match args.get(1).map(String::as_str).unwrap_or("c") {
-        "c" => print!("{}", codegen::to_c(&test, "march_test")),
-        "rust" => print!("{}", codegen::to_rust(&test, "march_test")),
-        other => return Err(format!("unknown language {other:?} (use c or rust)")),
+
+    // `--lang` is the documented spelling; the second positional is kept
+    // for compatibility with the original `codegen <march> [c|rust]`.
+    let lang = match (lang_flag, args.get(1).map(String::as_str)) {
+        (Some(flag), Some(pos)) if flag != pos => {
+            return Err(format!("both --lang {flag:?} and positional {pos:?} given"));
+        }
+        (Some(flag), _) => flag,
+        (None, Some(pos)) => pos.to_owned(),
+        (None, None) => "c".to_owned(),
+    };
+    if !matches!(lang.as_str(), "c" | "rust" | "sv") {
+        return Err(format!("unknown language {lang:?} (use c, rust or sv)"));
     }
+    // The RTL knobs only shape SystemVerilog; reject them elsewhere so a
+    // stray `--addr-width` on `--lang c` is a loud error, not a no-op.
+    if lang != "sv" {
+        for (flag, given) in [
+            ("--addr-width", addr_width.is_some()),
+            ("--data-width", data_width.is_some()),
+            ("--delay-cycles", delay_cycles.is_some()),
+            ("--no-testbench", no_testbench),
+        ] {
+            if given {
+                return Err(format!("{flag} only applies to --lang sv"));
+            }
+        }
+    }
+
+    let name = name.unwrap_or_else(|| "march_test".to_owned());
+    let code = match lang.as_str() {
+        "c" => codegen::to_c(&test, &name),
+        "rust" => codegen::to_rust(&test, &name),
+        _ => {
+            let mut options = RtlOptions::default().with_name(&name);
+            if let Some(w) = addr_width {
+                options = options.with_addr_width(u32::try_from(w).unwrap_or(u32::MAX));
+            }
+            if let Some(w) = data_width {
+                options = options.with_data_width(u32::try_from(w).unwrap_or(u32::MAX));
+            }
+            if let Some(cycles) = delay_cycles {
+                options = options.with_delay_cycles(u32::try_from(cycles).unwrap_or(u32::MAX));
+            }
+            options = options.with_testbench(!no_testbench);
+            marchgen::rtl::emit_sv(&test, &options).map_err(|e| e.to_string())?
+        }
+    };
+    if json {
+        print_codegen_json(&test, &lang, &codegen::sanitize_ident(&name), &code)
+    } else {
+        print!("{code}");
+        Ok(())
+    }
+}
+
+#[cfg(feature = "serde")]
+fn print_codegen_json(test: &MarchTest, lang: &str, name: &str, code: &str) -> Result<(), String> {
+    use marchgen::json::Json;
+    let doc = Json::object([
+        ("schema", Json::Int(1)),
+        ("test", Json::Str(test.to_string())),
+        ("complexity", Json::from(test.complexity())),
+        ("lang", Json::from(lang)),
+        ("name", Json::from(name)),
+        ("code", Json::from(code)),
+    ]);
+    print!("{}", doc.render_pretty());
     Ok(())
+}
+
+#[cfg(not(feature = "serde"))]
+fn print_codegen_json(
+    _test: &MarchTest,
+    _lang: &str,
+    _name: &str,
+    _code: &str,
+) -> Result<(), String> {
+    Err("this build has no JSON support (rebuild with the `serde` feature)".into())
 }
 
 fn known_cmd(args: &[String]) -> Result<(), String> {

@@ -15,18 +15,20 @@
 //! POST /v1/generate   one GenerateRequest  → one GenerateOutcome
 //! POST /v1/batch      [GenerateRequest...] → [{"outcome"|"error"}...]
 //! GET|POST /v1/stream [GenerateRequest...] → chunked JSON-lines progress frames
+//! POST /v1/rtl        march or GenerateRequest → SystemVerilog BIST bundle
 //! GET  /v1/health     liveness + version
 //! GET  /v1/stats      server / cache / per-phase timing counters
 //! POST /v1/shutdown   graceful drain and exit
 //! ```
 
-use marchgen::cache::{OutcomeCache, KEY_SCHEMA};
+use marchgen::cache::{canonical_key_text, key_for_text, OutcomeCache, ShardedLru, KEY_SCHEMA};
 use marchgen::daemon::{
     FromJson, Json, RateLimitConfig, Reply, Request, Response, Server, ServerConfig, ServerStats,
     StreamResponse, ToJson,
 };
+use marchgen::rtl::RtlOptions;
 use marchgen::service::Batch;
-use marchgen::{Diagnostics, GenerateOutcome, GenerateRequest};
+use marchgen::{known, Diagnostics, GenerateOutcome, GenerateRequest, MarchTest};
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -64,8 +66,42 @@ usage:
                     at least 1); only meaningful with --rate-limit
 
 endpoints: POST /v1/generate, POST /v1/batch, GET|POST /v1/stream,
-           GET /v1/health, GET /v1/stats, POST /v1/shutdown
+           POST /v1/rtl, GET /v1/health, GET /v1/stats, POST /v1/shutdown
 ";
+
+/// Capacity of the `/v1/rtl` render cache, in entries. Deliberately
+/// smaller than the outcome cache: one RTL bundle is a multi-kilobyte
+/// source file, and re-rendering from a cached outcome is cheap — the
+/// cache only has to absorb repeated fetches of the same bundle.
+const RTL_CACHE_CAPACITY: usize = 256;
+
+/// One rendered `/v1/rtl` bundle. The canonical key text is stored next
+/// to the code so a 128-bit key collision degrades to a re-render, never
+/// to serving another request's bytes — the same safety contract as
+/// [`OutcomeCache`].
+struct RtlEntry {
+    canonical: String,
+    test: String,
+    complexity: usize,
+    name: String,
+    code: String,
+}
+
+impl RtlEntry {
+    /// The response document — the `marchgen codegen --json` envelope
+    /// plus the `cache_hit` bit.
+    fn to_json(&self, cache_hit: bool) -> Json {
+        Json::object([
+            ("schema", Json::Int(1)),
+            ("test", Json::Str(self.test.clone())),
+            ("complexity", Json::from(self.complexity)),
+            ("lang", Json::from("sv")),
+            ("name", Json::from(self.name.as_str())),
+            ("code", Json::from(self.code.as_str())),
+            ("cache_hit", Json::Bool(cache_hit)),
+        ])
+    }
+}
 
 /// Cumulative per-phase timing over every *computed* (non-cache-hit)
 /// outcome this daemon produced, plus the wall time spent producing
@@ -145,6 +181,13 @@ struct App {
     generate_requests: AtomicU64,
     batch_requests: AtomicU64,
     stream_requests: AtomicU64,
+    rtl_requests: AtomicU64,
+    // `/v1/rtl` render cache: canonical (march ⊕ normalized RTL knobs)
+    // key text → emitted SystemVerilog. Separate from the outcome cache
+    // because the value is rendered source, not a generation outcome.
+    rtl_cache: ShardedLru<Arc<RtlEntry>>,
+    rtl_hits: AtomicU64,
+    rtl_misses: AtomicU64,
     // Set right after bind (the server owns counter allocation), read
     // by `/v1/stats`.
     server_stats: OnceLock<Arc<ServerStats>>,
@@ -159,6 +202,7 @@ impl App {
         match (request.method.as_str(), request.path.as_str()) {
             ("POST", "/v1/generate") => self.generate_endpoint(&request.body).into(),
             ("POST", "/v1/batch") => self.batch_endpoint(&request.body).into(),
+            ("POST", "/v1/rtl") => self.rtl_endpoint(&request.body).into(),
             // GET is accepted alongside POST so interactive clients
             // (curl without -d, browsers) can watch an empty-body
             // stream fail fast with a structured 400 instead of a
@@ -171,7 +215,7 @@ impl App {
                     .with_shutdown()
                     .into()
             }
-            (_, "/v1/generate" | "/v1/batch" | "/v1/shutdown") => Response::error(
+            (_, "/v1/generate" | "/v1/batch" | "/v1/rtl" | "/v1/shutdown") => Response::error(
                 405,
                 "method_not_allowed",
                 format!("{} requires POST", request.path),
@@ -209,12 +253,12 @@ impl App {
             .map_err(|e| Response::error(422, "invalid_request", e.message))
     }
 
-    fn generate_endpoint(&self, body: &[u8]) -> Response {
-        self.generate_requests.fetch_add(1, Ordering::Relaxed);
-        let mut request = match App::decode_request(body) {
-            Ok(request) => request,
-            Err(response) => return response,
-        };
+    /// Runs one decoded request through the shared outcome cache — the
+    /// compute core of `/v1/generate` and the generated-test path of
+    /// `/v1/rtl`. Applies the daemon's anti-oversubscription rule and
+    /// folds computed (non-cache-hit) outcomes into the timing
+    /// aggregates; failures come back as a ready-to-send 422.
+    fn run_generate(&self, mut request: GenerateRequest) -> Result<GenerateOutcome, Response> {
         // Same anti-oversubscription rule as `Batch::run_workers`: an
         // auto-threaded request would spawn one shard worker per CPU
         // inside a daemon that already runs one connection worker per
@@ -238,10 +282,136 @@ impl App {
                     let wall = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
                     self.timing.record(&outcome.diagnostics, wall);
                 }
-                Response::json(&outcome.to_json())
+                Ok(outcome)
             }
-            Err(error) => Response::error(422, "generation_failed", error_chain(&error)),
+            Err(error) => Err(Response::error(
+                422,
+                "generation_failed",
+                error_chain(&error),
+            )),
         }
+    }
+
+    fn generate_endpoint(&self, body: &[u8]) -> Response {
+        self.generate_requests.fetch_add(1, Ordering::Relaxed);
+        let request = match App::decode_request(body) {
+            Ok(request) => request,
+            Err(response) => return response,
+        };
+        match self.run_generate(request) {
+            Ok(outcome) => Response::json(&outcome.to_json()),
+            Err(response) => response,
+        }
+    }
+
+    /// `POST /v1/rtl`: compiles a March test into the synthesizable
+    /// SystemVerilog BIST bundle (`marchgen::rtl::emit_sv` — pattern
+    /// generator FSM, BIST wrapper, self-checking testbench). The body
+    /// either names the test directly —
+    /// `{"march": "March C-", "rtl": {...}}`, accepting a known-test
+    /// name or March notation — or is a plain [`GenerateRequest`]
+    /// document with an optional `"rtl"` sibling key, in which case the
+    /// test is generated (through the shared outcome cache) and must
+    /// verify before any RTL is emitted. Rendered bundles are cached by
+    /// the canonical (march ⊕ normalized options) key, so repeated
+    /// fetches of the same hardware are a string clone.
+    fn rtl_endpoint(&self, body: &[u8]) -> Response {
+        self.rtl_requests.fetch_add(1, Ordering::Relaxed);
+        let text = match std::str::from_utf8(body) {
+            Ok(text) => text,
+            Err(_) => return Response::error(400, "invalid_json", "body is not UTF-8"),
+        };
+        let doc = match Json::parse(text) {
+            Ok(doc) => doc,
+            Err(e) => return Response::error(400, "invalid_json", e.to_string()),
+        };
+        let options = match doc.get("rtl") {
+            None => RtlOptions::default(),
+            Some(node) => match RtlOptions::from_json(node) {
+                Ok(options) => options,
+                Err(e) => {
+                    return Response::error(
+                        422,
+                        "invalid_request",
+                        format!("\"rtl\": {}", e.message),
+                    )
+                }
+            },
+        };
+        let options = options.normalize();
+        let fragment = options.canonical_fragment();
+
+        // Two ways to name the hardware under test: a march given
+        // directly (validated, not re-generated), or a fault list the
+        // generator turns into one. The canonical key text mirrors the
+        // split so the two namespaces can never collide.
+        let (test, canonical) = if let Some(node) = doc.get("march") {
+            let Some(march) = node.as_str() else {
+                return Response::error(
+                    422,
+                    "invalid_request",
+                    "\"march\" must be a string (a known test name or March notation)",
+                );
+            };
+            let parsed = known::by_name(march)
+                .map(Ok)
+                .unwrap_or_else(|| march.parse::<MarchTest>());
+            let test = match parsed {
+                Ok(test) => test,
+                Err(e) => {
+                    return Response::error(422, "invalid_request", format!("\"march\": {e}"))
+                }
+            };
+            if let Err(e) = test.check_consistency() {
+                return Response::error(
+                    422,
+                    "invalid_request",
+                    format!("inconsistent march test: {e}"),
+                );
+            }
+            let canonical = format!("rtl-direct/v1;march={};{fragment}", test.to_ascii());
+            (test, canonical)
+        } else {
+            let request = match GenerateRequest::from_json(&doc) {
+                Ok(request) => request,
+                Err(e) => return Response::error(422, "invalid_request", e.message),
+            };
+            let canonical = format!("{};{fragment}", canonical_key_text(&request));
+            let outcome = match self.run_generate(request) {
+                Ok(outcome) => outcome,
+                Err(response) => return response,
+            };
+            if !outcome.verified {
+                return Response::error(
+                    422,
+                    "generation_failed",
+                    "generated test failed verification; refusing to emit unproven RTL",
+                );
+            }
+            (outcome.test, canonical)
+        };
+
+        let key = key_for_text(&canonical);
+        if let Some(entry) = self.rtl_cache.get(key) {
+            if entry.canonical == canonical {
+                self.rtl_hits.fetch_add(1, Ordering::Relaxed);
+                return Response::json(&entry.to_json(true));
+            }
+        }
+        self.rtl_misses.fetch_add(1, Ordering::Relaxed);
+        let code = match marchgen::rtl::emit_sv(&test, &options) {
+            Ok(code) => code,
+            Err(e) => return Response::error(422, "invalid_request", e.to_string()),
+        };
+        let entry = Arc::new(RtlEntry {
+            canonical,
+            test: test.to_string(),
+            complexity: test.complexity(),
+            name: options.name.clone(),
+            code,
+        });
+        self.rtl_cache.insert(key, Arc::clone(&entry));
+        Response::json(&entry.to_json(false))
     }
 
     /// Decodes a batch document — a JSON array of request documents, or
@@ -392,6 +562,18 @@ impl App {
                     ("resident", Json::from(self.cache.resident())),
                 ]),
             ),
+            (
+                "rtl_cache",
+                Json::object([
+                    ("hits", Json::from(self.rtl_hits.load(Ordering::Relaxed))),
+                    (
+                        "misses",
+                        Json::from(self.rtl_misses.load(Ordering::Relaxed)),
+                    ),
+                    ("resident", Json::from(self.rtl_cache.len())),
+                    ("evictions", Json::from(self.rtl_cache.evictions())),
+                ]),
+            ),
             ("timing", self.timing.to_json()),
             (
                 "endpoints",
@@ -408,6 +590,7 @@ impl App {
                         "stream",
                         Json::from(self.stream_requests.load(Ordering::Relaxed)),
                     ),
+                    ("rtl", Json::from(self.rtl_requests.load(Ordering::Relaxed))),
                 ]),
             ),
         ]))
@@ -499,6 +682,10 @@ fn run() -> Result<(), String> {
         generate_requests: AtomicU64::new(0),
         batch_requests: AtomicU64::new(0),
         stream_requests: AtomicU64::new(0),
+        rtl_requests: AtomicU64::new(0),
+        rtl_cache: ShardedLru::new(RTL_CACHE_CAPACITY),
+        rtl_hits: AtomicU64::new(0),
+        rtl_misses: AtomicU64::new(0),
         server_stats: OnceLock::new(),
     });
 

@@ -62,6 +62,7 @@
 //! | [`march`] | §1 \[1\] | March test algebra, notation, classical test library |
 //! | [`generator`] | §4.1–4.3 | request/outcome core, GTS, scheduler, pipeline, baseline |
 //! | [`sim`] | §6 | fault simulator, coverage matrix, set covering, verifier trait |
+//! | [`rtl`] | §1 (March BIST) | SystemVerilog backend: patgen FSM, BIST wrapper, testbench, SV lint |
 //! | [`cache`] | — | content-addressed outcome cache (keys, LRU, disk, single-flight) |
 //! | [`daemon`] | — | dependency-free HTTP/1.1 service engine behind `marchgend` |
 //!
@@ -87,6 +88,12 @@ pub use marchgen_daemon as daemon;
 pub use marchgen_generator as generator;
 pub use marchgen_march as march;
 pub use marchgen_model as model;
+
+/// The SystemVerilog BIST backend: compiles a verified March test into a
+/// synthesizable pattern generator, BIST wrapper and self-checking
+/// testbench (`serde` feature: `RtlOptions` is JSON-codable for the
+/// daemon's `/v1/rtl` endpoint and the CLI `--json` envelope).
+pub use marchgen_rtl as rtl;
 pub use marchgen_sim as sim;
 pub use marchgen_tpg as tpg;
 

@@ -540,6 +540,118 @@ fn daemon_streams_progress_and_rate_limits_peers() {
     daemon.wait_for_exit();
 }
 
+/// `POST /v1/rtl` serves the SystemVerilog BIST bundle for a march
+/// given directly or generated from a fault list, caches rendered
+/// bundles by the canonical (march ⊕ options) key, matches the CLI
+/// byte-for-byte, and shows up in `/v1/stats`.
+#[test]
+fn daemon_serves_rtl_bundles() {
+    use marchgen::json::Json;
+    let daemon = Daemon::spawn(&["--workers", "2"]);
+    let code_of = |body: &str| -> (String, Json) {
+        let doc = Json::parse(body).unwrap_or_else(|e| panic!("bad JSON {body:?}: {e}"));
+        let code = doc
+            .get("code")
+            .and_then(Json::as_str)
+            .unwrap_or_else(|| panic!("no \"code\" in {body}"))
+            .to_owned();
+        (code, doc)
+    };
+
+    // ---- direct march path: render, then replay from the RTL cache ------
+    let rtl_doc = r#"{"march": "March C-", "rtl": {"name": "march_c_minus", "addr_width": 4}}"#;
+    let (status, body) = daemon.request("POST", "/v1/rtl", rtl_doc);
+    assert_eq!(status, 200, "{body}");
+    let (cold_code, doc) = code_of(&body);
+    assert_eq!(doc.get("schema").and_then(Json::as_int), Some(1));
+    assert_eq!(doc.get("lang").and_then(Json::as_str), Some("sv"));
+    assert_eq!(doc.get("complexity").and_then(Json::as_int), Some(10));
+    assert!(body.contains("\"cache_hit\":false"), "{body}");
+    assert!(
+        cold_code.contains("module march_c_minus_patgen"),
+        "{cold_code}"
+    );
+    assert!(
+        cold_code.contains("module march_c_minus_bist"),
+        "{cold_code}"
+    );
+    assert!(cold_code.contains("module march_c_minus_tb"), "{cold_code}");
+
+    let (status, body) = daemon.request("POST", "/v1/rtl", rtl_doc);
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"cache_hit\":true"), "{body}");
+    let (warm_code, _) = code_of(&body);
+    assert_eq!(cold_code, warm_code, "replayed bundle must be identical");
+
+    // ---- daemon bytes ≡ CLI bytes for the same march and options --------
+    let cli = Command::new(env!("CARGO_BIN_EXE_marchgen"))
+        .args([
+            "codegen",
+            "March C-",
+            "--lang",
+            "sv",
+            "--name",
+            "march_c_minus",
+            "--addr-width",
+            "4",
+        ])
+        .output()
+        .expect("run marchgen CLI");
+    assert!(cli.status.success());
+    assert_eq!(
+        String::from_utf8(cli.stdout).unwrap(),
+        cold_code,
+        "daemon and CLI must emit identical SystemVerilog"
+    );
+
+    // ---- generated path: fault list → verified test → RTL ---------------
+    let gen_doc = format!("{{\"faults\": {FAULTS}, \"rtl\": {{\"testbench\": false}}}}");
+    let (status, body) = daemon.request("POST", "/v1/rtl", &gen_doc);
+    assert_eq!(status, 200, "{body}");
+    let (gen_code, doc) = code_of(&body);
+    assert_eq!(doc.get("complexity").and_then(Json::as_int), Some(10));
+    assert!(body.contains("\"cache_hit\":false"), "{body}");
+    assert!(gen_code.contains("module march_test_patgen"), "{gen_code}");
+    assert!(!gen_code.contains("module march_test_tb"), "{gen_code}");
+    let (status, body) = daemon.request("POST", "/v1/rtl", &gen_doc);
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"cache_hit\":true"), "{body}");
+
+    // ---- failure modes map onto the shared error taxonomy ---------------
+    let (status, body) = daemon.request("POST", "/v1/rtl", "{not json");
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("invalid_json"), "{body}");
+    let (status, body) = daemon.request("POST", "/v1/rtl", r#"{"march": 7}"#);
+    assert_eq!(status, 422, "{body}");
+    assert!(body.contains("invalid_request"), "{body}");
+    let (status, body) = daemon.request("POST", "/v1/rtl", r#"{"march": "{ u(r0) }"}"#);
+    assert_eq!(status, 422, "uninitialized read must be rejected: {body}");
+    let (status, body) = daemon.request(
+        "POST",
+        "/v1/rtl",
+        r#"{"march": "MATS", "rtl": {"addr_width": "ten"}}"#,
+    );
+    assert_eq!(status, 422, "{body}");
+    let (status, body) = daemon.request("GET", "/v1/rtl", "");
+    assert_eq!(status, 405, "{body}");
+
+    // ---- stats: endpoint counter + render-cache hit/miss ----------------
+    let (status, stats) = daemon.request("GET", "/v1/stats", "");
+    assert_eq!(status, 200, "{stats}");
+    assert_eq!(counter(&stats, "rtl"), 8, "{stats}");
+    let rtl_cache = stats
+        .split_once("\"rtl_cache\":")
+        .map(|(_, rest)| rest)
+        .expect("rtl_cache block in stats");
+    assert_eq!(counter(rtl_cache, "hits"), 2, "{stats}");
+    assert_eq!(counter(rtl_cache, "misses"), 2, "{stats}");
+    assert_eq!(counter(rtl_cache, "resident"), 2, "{stats}");
+
+    let (status, _) = daemon.request("POST", "/v1/shutdown", "");
+    assert_eq!(status, 200);
+    daemon.wait_for_exit();
+}
+
 /// A fresh daemon pointed at a pre-warmed `--cache-dir` serves its very
 /// first request from disk — memoization across processes.
 #[test]

@@ -1,0 +1,199 @@
+//! Golden-file pinning of the SystemVerilog BIST backend: every test in
+//! the classical `march::known` catalog is compiled to RTL and compared
+//! byte-for-byte against a checked-in golden under
+//! `tests/goldens/rtl/<slug>.sv`. Any intentional change to the emitters
+//! regenerates the whole set with
+//!
+//! ```sh
+//! UPDATE_GOLDENS=1 cargo test --test rtl_golden
+//! ```
+//!
+//! and shows up in review as a plain-text diff of the affected `.sv`
+//! files. Every emitted bundle is also run through the offline
+//! token-level sanity lint ([`marchgen::rtl::lint_sv`]) — no simulator
+//! or synthesis tool in CI — and the `marchgen codegen --lang sv` CLI
+//! is checked to produce the exact same bytes as the library call.
+
+use marchgen::march::codegen::sanitize_ident;
+use marchgen::march::known;
+use marchgen::rtl::{emit_sv, lint_sv, RtlOptions};
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+use std::process::Command;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/goldens/rtl")
+}
+
+/// Catalog name → golden file stem: `+`/`-` spelled out (so MATS, MATS+
+/// and MATS++ stay distinct through sanitization), then the shared
+/// identifier rewrite, lowercased. The same string is used as the
+/// module base name inside the golden, so the file is self-describing.
+fn slug(name: &str) -> String {
+    let spelled = name.replace('+', "_plus").replace('-', "_minus");
+    sanitize_ident(&spelled).to_ascii_lowercase()
+}
+
+/// The options every golden is emitted with: defaults, module base name
+/// set to the catalog slug.
+fn golden_options(slug: &str) -> RtlOptions {
+    RtlOptions::default().with_name(slug)
+}
+
+#[test]
+fn catalog_slugs_are_unique_filenames() {
+    let mut seen = BTreeSet::new();
+    for (name, _) in known::all() {
+        let slug = slug(name);
+        assert!(
+            seen.insert(slug.clone()),
+            "catalog names {name:?} collide on golden slug {slug:?}"
+        );
+    }
+}
+
+/// The core pin: emitted SystemVerilog for the whole catalog is
+/// byte-identical to the checked-in goldens, and every bundle passes
+/// the sanity lint. `UPDATE_GOLDENS=1` rewrites the set instead.
+#[test]
+fn catalog_rtl_matches_goldens_and_lints_clean() {
+    let update = std::env::var_os("UPDATE_GOLDENS").is_some();
+    let dir = golden_dir();
+    if update {
+        std::fs::create_dir_all(&dir).expect("create golden dir");
+    }
+    let mut expected_files = BTreeSet::new();
+    for (name, test) in known::all() {
+        let slug = slug(name);
+        let sv = emit_sv(&test, &golden_options(&slug))
+            .unwrap_or_else(|e| panic!("{name} must emit: {e}"));
+
+        let issues = lint_sv(&sv);
+        assert!(issues.is_empty(), "{name} must lint clean: {issues:?}");
+
+        let path = dir.join(format!("{slug}.sv"));
+        expected_files.insert(format!("{slug}.sv"));
+        if update {
+            std::fs::write(&path, &sv).expect("write golden");
+            continue;
+        }
+        let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "missing golden {path:?} for {name} ({e}); \
+                 regenerate with UPDATE_GOLDENS=1 cargo test --test rtl_golden"
+            )
+        });
+        assert_eq!(
+            sv, golden,
+            "{name}: emitted SystemVerilog diverged from {path:?}; if the \
+             change is intentional, regenerate with UPDATE_GOLDENS=1 \
+             cargo test --test rtl_golden and review the diff"
+        );
+    }
+
+    // No stale goldens: every file in the directory belongs to a
+    // catalog test, so a renamed test cannot leave an orphan pin.
+    let on_disk: BTreeSet<String> = std::fs::read_dir(&dir)
+        .expect("golden dir exists")
+        .map(|entry| entry.expect("dir entry").file_name().into_string().unwrap())
+        .collect();
+    assert_eq!(
+        on_disk, expected_files,
+        "tests/goldens/rtl holds exactly one .sv per catalog test"
+    );
+}
+
+/// `marchgen codegen <name> --lang sv` emits the exact bytes of the
+/// library call with the same options — the CLI is a transport for the
+/// backend, not a second implementation.
+#[test]
+fn cli_codegen_sv_matches_library_bytes() {
+    for (name, test) in known::all().into_iter().take(3) {
+        let slug = slug(name);
+        let expected = emit_sv(&test, &golden_options(&slug)).expect("catalog tests emit");
+        let cli = Command::new(env!("CARGO_BIN_EXE_marchgen"))
+            .args(["codegen", name, "--lang", "sv", "--name", &slug])
+            .output()
+            .expect("run marchgen CLI");
+        assert!(
+            cli.status.success(),
+            "codegen {name:?} failed: {}",
+            String::from_utf8_lossy(&cli.stderr)
+        );
+        let stdout = String::from_utf8(cli.stdout).expect("utf-8 SV");
+        assert_eq!(stdout, expected, "{name}: CLI bytes diverge from emit_sv");
+    }
+}
+
+/// The `--json` envelope carries the same code, plus the test notation
+/// and sanitized name — the machine-readable twin of the raw emission.
+#[test]
+fn cli_codegen_json_envelope_carries_the_same_code() {
+    use marchgen::json::Json;
+    let test = known::march_c_minus();
+    let expected = emit_sv(&test, &golden_options("march_c_minus")).expect("emits");
+    let cli = Command::new(env!("CARGO_BIN_EXE_marchgen"))
+        .args([
+            "codegen",
+            "March C-",
+            "--lang",
+            "sv",
+            "--name",
+            "march_c_minus",
+            "--json",
+        ])
+        .output()
+        .expect("run marchgen CLI");
+    assert!(cli.status.success());
+    let doc = Json::parse(&String::from_utf8(cli.stdout).unwrap()).expect("valid JSON");
+    assert_eq!(doc.get("schema").and_then(Json::as_int), Some(1));
+    assert_eq!(doc.get("lang").and_then(Json::as_str), Some("sv"));
+    assert_eq!(
+        doc.get("name").and_then(Json::as_str),
+        Some("march_c_minus")
+    );
+    assert_eq!(
+        doc.get("test").and_then(Json::as_str),
+        Some(test.to_string().as_str())
+    );
+    assert_eq!(
+        doc.get("code").and_then(Json::as_str),
+        Some(expected.as_str())
+    );
+}
+
+/// Knob pass-through: widths, delay cycles and `--no-testbench` reach
+/// the emitted parameters (spot-check on one catalog test).
+#[test]
+fn cli_codegen_sv_knobs_shape_the_output() {
+    let cli = Command::new(env!("CARGO_BIN_EXE_marchgen"))
+        .args([
+            "codegen",
+            "March G",
+            "--lang",
+            "sv",
+            "--name",
+            "g",
+            "--addr-width",
+            "6",
+            "--data-width",
+            "16",
+            "--delay-cycles",
+            "200",
+            "--no-testbench",
+        ])
+        .output()
+        .expect("run marchgen CLI");
+    assert!(cli.status.success());
+    let sv = String::from_utf8(cli.stdout).unwrap();
+    assert!(sv.contains("ADDR_WIDTH = 6"), "{sv}");
+    assert!(sv.contains("DATA_WIDTH = 16"), "{sv}");
+    assert!(sv.contains("DELAY_CYCLES = 200"), "{sv}");
+    assert!(sv.contains("module g_patgen"), "{sv}");
+    assert!(sv.contains("module g_bist"), "{sv}");
+    assert!(
+        !sv.contains("module g_tb"),
+        "--no-testbench must drop the tb"
+    );
+    assert!(lint_sv(&sv).is_empty());
+}
