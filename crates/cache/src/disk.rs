@@ -10,16 +10,52 @@
 //! entry (see [`OutcomeCache`](crate::OutcomeCache)). Writes go through
 //! a process-unique temp file in the same directory followed by a
 //! rename, which is atomic on POSIX: readers (including concurrent
-//! daemons sharing the directory) never observe a torn entry. Corrupt,
-//! unreadable or pre-envelope files behave as misses.
+//! daemons sharing the directory) never observe a torn entry.
+//!
+//! # Failure handling
+//!
+//! The store is an accelerator, never an authority, and its failure
+//! modes are explicit rather than silent:
+//!
+//! - **Corrupt entries are quarantined.** Renames are atomic, so an
+//!   undecodable file is genuine corruption (bit rot, truncation by an
+//!   external tool, a pre-envelope entry from an old schema). Instead
+//!   of re-parsing it as a miss on every request forever, `load` moves
+//!   it aside to `<name>.quarantined` once, counts it, and the next
+//!   compute overwrites the slot with a good entry.
+//! - **Persistent write failures flip the store into degraded
+//!   (memory-only) mode.** A full disk or revoked permissions
+//!   (ENOSPC/EACCES) would otherwise pay the failing syscalls on every
+//!   insert; after the first failure the store skips disk writes and
+//!   probes for recovery with exponential backoff (500ms doubling to
+//!   60s). A successful probe restores normal service. The flag is
+//!   surfaced as `disk_degraded` in
+//!   [`CacheStatsSnapshot`](crate::CacheStatsSnapshot) and on
+//!   `marchgend`'s `/v1/stats`. Reads keep working throughout — a full
+//!   disk can still serve existing entries — and no request a memory
+//!   tier or recompute can serve ever fails because of the disk.
+//!
+//! With the `failpoints` cargo feature, the injection sites
+//! `cache.disk.read`, `cache.disk.write` and `cache.disk.rename` let
+//! the chaos suite (`tests/chaos_smoke.rs`) drive every one of these
+//! paths deliberately.
 
 use crate::key::CacheKey;
+use marchgen_failpoint::fail_point;
 use marchgen_generator::GenerateOutcome;
 use marchgen_json::{FromJson, Json, ToJson};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 static TEMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// First recovery probe delay after a write failure; doubles per failed
+/// probe up to [`MAX_BACKOFF`].
+const INITIAL_BACKOFF: Duration = Duration::from_millis(500);
+/// Ceiling on the recovery-probe backoff.
+const MAX_BACKOFF: Duration = Duration::from_secs(60);
 
 /// One decoded disk entry: the outcome plus the canonical request text
 /// it was stored under. Callers must compare `canonical` against the
@@ -33,22 +69,75 @@ pub struct StoredEntry {
     pub outcome: GenerateOutcome,
 }
 
+/// Point-in-time health counters for a [`DiskStore`] — the disk slice
+/// of [`CacheStatsSnapshot`](crate::CacheStatsSnapshot).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DiskStatsSnapshot {
+    /// `true` while the store is memory-only after persistent write
+    /// failures, awaiting a successful recovery probe.
+    pub degraded: bool,
+    /// Corrupt entries renamed aside (`<name>.quarantined`) instead of
+    /// being re-parsed as misses forever.
+    pub quarantined: u64,
+    /// Failed entry writes (including failed recovery probes).
+    pub write_failures: u64,
+    /// Recovery probes attempted while degraded.
+    pub probes: u64,
+}
+
+/// Backoff bookkeeping while degraded; `None` when healthy.
+#[derive(Debug)]
+struct Degraded {
+    next_probe: Instant,
+    backoff: Duration,
+}
+
 /// A directory of cached outcomes keyed by [`CacheKey`].
 #[derive(Debug)]
 pub struct DiskStore {
     dir: PathBuf,
+    /// Fast-path mirror of `degraded.lock().is_some()`.
+    degraded_flag: AtomicBool,
+    degraded: Mutex<Option<Degraded>>,
+    quarantined: AtomicU64,
+    write_failures: AtomicU64,
+    probes: AtomicU64,
 }
 
 impl DiskStore {
-    /// Opens (creating if needed) the store rooted at `dir`.
+    /// Opens (creating if needed) the store rooted at `dir` and probes
+    /// that it is actually writable, so a misconfigured cache directory
+    /// fails fast at boot instead of degrading silently per-request.
     ///
     /// # Errors
     ///
-    /// Propagates directory-creation failures.
+    /// Propagates directory-creation failures and failure of the
+    /// writability probe (a create-then-delete of a throwaway file).
     pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<DiskStore> {
         let dir = dir.into();
-        std::fs::create_dir_all(&dir)?;
-        Ok(DiskStore { dir })
+        std::fs::create_dir_all(&dir).map_err(|err| {
+            std::io::Error::new(
+                err.kind(),
+                format!("cannot create cache dir {}: {err}", dir.display()),
+            )
+        })?;
+        let probe = dir.join(format!(".probe.{}", std::process::id()));
+        std::fs::write(&probe, b"marchgen cache writability probe\n")
+            .and_then(|()| std::fs::remove_file(&probe))
+            .map_err(|err| {
+                std::io::Error::new(
+                    err.kind(),
+                    format!("cache dir {} is not writable: {err}", dir.display()),
+                )
+            })?;
+        Ok(DiskStore {
+            dir,
+            degraded_flag: AtomicBool::new(false),
+            degraded: Mutex::new(None),
+            quarantined: AtomicU64::new(0),
+            write_failures: AtomicU64::new(0),
+            probes: AtomicU64::new(0),
+        })
     }
 
     /// The directory this store persists into.
@@ -57,29 +146,137 @@ impl DiskStore {
         &self.dir
     }
 
+    /// Whether the store is currently memory-only after write failures.
+    #[must_use]
+    pub fn is_degraded(&self) -> bool {
+        self.degraded_flag.load(Ordering::Relaxed)
+    }
+
+    /// The store's health counters.
+    #[must_use]
+    pub fn stats(&self) -> DiskStatsSnapshot {
+        DiskStatsSnapshot {
+            degraded: self.is_degraded(),
+            quarantined: self.quarantined.load(Ordering::Relaxed),
+            write_failures: self.write_failures.load(Ordering::Relaxed),
+            probes: self.probes.load(Ordering::Relaxed),
+        }
+    }
+
     fn path_for(&self, key: CacheKey) -> PathBuf {
         self.dir.join(format!("{key}.json"))
     }
 
     /// Loads the entry stored under `key`; `None` when absent or
-    /// undecodable (a corrupt entry is a miss, never an error).
-    /// Pre-envelope files — bare outcomes without a canonical text —
-    /// also read as misses: without the text the entry cannot be
-    /// verified against the request being served.
+    /// undecodable (a corrupt entry is a miss, never an error). An
+    /// undecodable file — corrupt JSON, or a pre-envelope bare outcome
+    /// that cannot be verified against the request being served — is
+    /// additionally **quarantined**: renamed to `<name>.quarantined`
+    /// and counted, so the slot is reclaimed by the next compute
+    /// instead of being re-parsed on every request.
     #[must_use]
     pub fn load(&self, key: CacheKey) -> Option<StoredEntry> {
-        let text = std::fs::read_to_string(self.path_for(key)).ok()?;
-        let doc = Json::parse(&text).ok()?;
-        let canonical = doc.get("canonical_request")?.as_str()?.to_owned();
-        let outcome = GenerateOutcome::from_json(doc.get("outcome")?).ok()?;
-        Some(StoredEntry { canonical, outcome })
+        let path = self.path_for(key);
+        let text = match self.read_entry(&path) {
+            Ok(text) => text,
+            // Absent or unreadable (I/O, not content): a plain miss.
+            Err(_) => return None,
+        };
+        match decode_entry(&text) {
+            Some(entry) => Some(entry),
+            None => {
+                self.quarantine(&path);
+                None
+            }
+        }
+    }
+
+    /// The raw read behind [`DiskStore::load`], split out so the
+    /// `cache.disk.read` failpoint can inject I/O errors distinctly
+    /// from content corruption.
+    fn read_entry(&self, path: &Path) -> std::io::Result<String> {
+        fail_point!("cache.disk.read", |msg: String| {
+            Err(std::io::Error::other(msg))
+        });
+        std::fs::read_to_string(path)
+    }
+
+    /// Moves a corrupt entry aside so it is inspected once, not
+    /// re-parsed forever. Best-effort: if even the rename fails the
+    /// entry simply stays a per-request miss, as before.
+    fn quarantine(&self, path: &Path) {
+        let mut aside = path.as_os_str().to_owned();
+        aside.push(".quarantined");
+        if std::fs::rename(path, &aside).is_ok() {
+            self.quarantined.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Persists `outcome` under `key` atomically (temp file + rename),
     /// alongside the canonical request text a future hit verifies.
-    /// Storage failures are swallowed: the cache is an accelerator, and
-    /// a full disk must not fail the request that computed the outcome.
+    /// Storage failures never propagate to the request that computed
+    /// the outcome; they flip the store into degraded (memory-only)
+    /// mode with exponential-backoff recovery probes — see the module
+    /// docs.
     pub fn store(&self, key: CacheKey, canonical: &str, outcome: &GenerateOutcome) {
+        let now = Instant::now();
+        if self.degraded_flag.load(Ordering::Relaxed) && !self.probe_due(now) {
+            return;
+        }
+        let result = self.write_entry(key, canonical, outcome);
+        self.note_write(result.is_ok(), now);
+    }
+
+    /// Whether a degraded store should attempt this write as a
+    /// recovery probe. Races between callers are benign: at worst two
+    /// threads probe instead of one.
+    fn probe_due(&self, now: Instant) -> bool {
+        let state = self.degraded.lock().expect("disk degraded state");
+        match state.as_ref() {
+            Some(degraded) => {
+                if now < degraded.next_probe {
+                    false
+                } else {
+                    self.probes.fetch_add(1, Ordering::Relaxed);
+                    true
+                }
+            }
+            // Another thread recovered the store between the fast-path
+            // flag read and here.
+            None => true,
+        }
+    }
+
+    /// Records a write outcome: success restores (or keeps) normal
+    /// service; failure enters degraded mode or doubles the backoff of
+    /// an already-degraded store.
+    fn note_write(&self, ok: bool, now: Instant) {
+        let mut state = self.degraded.lock().expect("disk degraded state");
+        if ok {
+            if state.take().is_some() {
+                self.degraded_flag.store(false, Ordering::Relaxed);
+            }
+            return;
+        }
+        self.write_failures.fetch_add(1, Ordering::Relaxed);
+        let backoff = match state.as_ref() {
+            Some(degraded) => MAX_BACKOFF.min(degraded.backoff * 2),
+            None => INITIAL_BACKOFF,
+        };
+        *state = Some(Degraded {
+            next_probe: now + backoff,
+            backoff,
+        });
+        self.degraded_flag.store(true, Ordering::Relaxed);
+    }
+
+    /// The actual temp-write + rename, with its two failpoint sites.
+    fn write_entry(
+        &self,
+        key: CacheKey,
+        canonical: &str,
+        outcome: &GenerateOutcome,
+    ) -> std::io::Result<()> {
         let envelope = Json::object([
             ("canonical_request", Json::from(canonical)),
             ("outcome", outcome.to_json()),
@@ -90,12 +287,34 @@ impl DiskStore {
             std::process::id(),
             TEMP_SEQ.fetch_add(1, Ordering::Relaxed)
         ));
-        let written = std::fs::write(&temp_path, envelope.render_pretty())
-            .and_then(|()| std::fs::rename(&temp_path, &final_path));
+        let written = write_temp(&temp_path, &envelope.render_pretty())
+            .and_then(|()| rename_entry(&temp_path, &final_path));
         if written.is_err() {
             let _ = std::fs::remove_file(&temp_path);
         }
+        written
     }
+}
+
+fn write_temp(temp_path: &Path, rendered: &str) -> std::io::Result<()> {
+    fail_point!("cache.disk.write", |msg: String| {
+        Err(std::io::Error::other(msg))
+    });
+    std::fs::write(temp_path, rendered)
+}
+
+fn rename_entry(temp_path: &Path, final_path: &Path) -> std::io::Result<()> {
+    fail_point!("cache.disk.rename", |msg: String| {
+        Err(std::io::Error::other(msg))
+    });
+    std::fs::rename(temp_path, final_path)
+}
+
+fn decode_entry(text: &str) -> Option<StoredEntry> {
+    let doc = Json::parse(text).ok()?;
+    let canonical = doc.get("canonical_request")?.as_str()?.to_owned();
+    let outcome = GenerateOutcome::from_json(doc.get("outcome")?).ok()?;
+    Some(StoredEntry { canonical, outcome })
 }
 
 #[cfg(test)]
@@ -110,11 +329,15 @@ mod tests {
         dir
     }
 
+    fn outcome() -> GenerateOutcome {
+        generate(&GenerateRequest::from_fault_list("SAF").unwrap()).unwrap()
+    }
+
     #[test]
     fn store_then_load_roundtrips() {
         let dir = temp_dir("roundtrip");
         let store = DiskStore::open(&dir).unwrap();
-        let outcome = generate(&GenerateRequest::from_fault_list("SAF").unwrap()).unwrap();
+        let outcome = outcome();
         let key = CacheKey(42);
         assert!(store.load(key).is_none());
         store.store(key, "canonical-text", &outcome);
@@ -128,27 +351,41 @@ mod tests {
             .map(|e| e.unwrap().file_name().into_string().unwrap())
             .collect();
         assert_eq!(entries, vec![format!("{key}.json")]);
+        assert_eq!(store.stats(), DiskStatsSnapshot::default());
         let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
-    fn corrupt_entries_read_as_misses() {
+    fn corrupt_entries_read_as_misses_and_are_quarantined() {
         let dir = temp_dir("corrupt");
         let store = DiskStore::open(&dir).unwrap();
         let key = CacheKey(7);
-        std::fs::write(store.dir().join(format!("{key}.json")), "not json").unwrap();
+        let path = store.dir().join(format!("{key}.json"));
+        std::fs::write(&path, "not json").unwrap();
         assert!(store.load(key).is_none());
+        // Quarantined: moved aside and counted, so the next load is a
+        // clean not-found miss rather than a re-parse.
+        assert!(!path.exists());
+        let aside = store.dir().join(format!("{key}.json.quarantined"));
+        assert_eq!(std::fs::read_to_string(&aside).unwrap(), "not json");
+        assert_eq!(store.stats().quarantined, 1);
+        assert!(store.load(key).is_none());
+        assert_eq!(store.stats().quarantined, 1, "quarantined exactly once");
+        // The slot is reclaimable by a fresh write.
+        store.store(key, "fresh", &outcome());
+        assert!(store.load(key).is_some());
         let _ = std::fs::remove_dir_all(&dir);
     }
 
     /// Entries written before the canonical-text envelope (a bare
-    /// outcome document) cannot be verified and must read as misses.
+    /// outcome document) cannot be verified and must read as misses —
+    /// and, being undecodable for serving purposes, are quarantined.
     #[test]
     fn pre_envelope_entries_read_as_misses() {
         use marchgen_json::ToJson as _;
         let dir = temp_dir("pre-envelope");
         let store = DiskStore::open(&dir).unwrap();
-        let outcome = generate(&GenerateRequest::from_fault_list("SAF").unwrap()).unwrap();
+        let outcome = outcome();
         let key = CacheKey(9);
         std::fs::write(
             store.dir().join(format!("{key}.json")),
@@ -156,6 +393,85 @@ mod tests {
         )
         .unwrap();
         assert!(store.load(key).is_none());
+        assert_eq!(store.stats().quarantined, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The boot-time writability probe: a cache dir that cannot be
+    /// created (its parent is a plain file) fails `open` with a
+    /// path-bearing message instead of degrading silently later.
+    #[test]
+    fn open_fails_fast_when_dir_cannot_be_created() {
+        let dir = temp_dir("not-a-dir");
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("plain-file");
+        std::fs::write(&file, "x").unwrap();
+        let err = DiskStore::open(file.join("cache")).unwrap_err();
+        assert!(err.to_string().contains("cache dir"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn open_fails_fast_when_dir_is_unwritable() {
+        use std::os::unix::fs::PermissionsExt as _;
+        let dir = temp_dir("unwritable");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut perms = std::fs::metadata(&dir).unwrap().permissions();
+        perms.set_mode(0o555);
+        std::fs::set_permissions(&dir, perms.clone()).unwrap();
+        // Root bypasses permission bits; only assert when the probe can
+        // actually fail.
+        let result = DiskStore::open(&dir);
+        if std::fs::write(dir.join(".can-write"), "x").is_err() {
+            let err = result.unwrap_err();
+            assert!(err.to_string().contains("not writable"), "{err}");
+        }
+        perms.set_mode(0o755);
+        std::fs::set_permissions(&dir, perms).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Write failures flip the store into memory-only degraded mode;
+    /// recovery probes with exponential backoff restore it once the
+    /// fault clears. Driven here by deleting the directory out from
+    /// under the store (the ENOSPC/EACCES stand-in available to a unit
+    /// test); the chaos suite drives the same path via failpoints.
+    #[test]
+    fn write_failures_degrade_then_probes_recover() {
+        let dir = temp_dir("degrade");
+        let store = DiskStore::open(&dir).unwrap();
+        let outcome = outcome();
+        std::fs::remove_dir_all(&dir).unwrap();
+        store.store(CacheKey(1), "c1", &outcome);
+        let stats = store.stats();
+        assert!(stats.degraded);
+        assert_eq!(stats.write_failures, 1);
+        // Inside the backoff window: no disk attempt, no new failure.
+        store.store(CacheKey(2), "c2", &outcome);
+        assert_eq!(store.stats().write_failures, 1);
+        assert_eq!(store.stats().probes, 0);
+        // Fault still present at probe time: stays degraded, backoff
+        // doubles.
+        std::thread::sleep(INITIAL_BACKOFF + Duration::from_millis(50));
+        store.store(CacheKey(3), "c3", &outcome);
+        let stats = store.stats();
+        assert!(stats.degraded);
+        assert_eq!(stats.probes, 1);
+        assert_eq!(stats.write_failures, 2);
+        // Fault cleared, but the next probe is now 1s out: still
+        // memory-only until it fires.
+        std::fs::create_dir_all(&dir).unwrap();
+        store.store(CacheKey(4), "c4", &outcome);
+        assert!(store.stats().degraded);
+        std::thread::sleep(2 * INITIAL_BACKOFF + Duration::from_millis(50));
+        store.store(CacheKey(5), "c5", &outcome);
+        let stats = store.stats();
+        assert!(!stats.degraded, "successful probe restores service");
+        assert_eq!(stats.probes, 2);
+        assert!(store.load(CacheKey(5)).is_some());
+        // The writes skipped while degraded were dropped, not queued.
+        assert!(store.load(CacheKey(2)).is_none());
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -41,7 +41,7 @@ pub mod disk;
 pub mod key;
 pub mod lru;
 
-pub use disk::{DiskStore, StoredEntry};
+pub use disk::{DiskStatsSnapshot, DiskStore, StoredEntry};
 pub use key::{canonical_key_text, key_for_text, request_key, CacheKey, KEY_SCHEMA};
 pub use lru::ShardedLru;
 
@@ -72,6 +72,10 @@ pub struct CacheStatsSnapshot {
     /// canonical request text — an FNV collision or corruption. Each
     /// one was served as a miss instead of a wrong outcome.
     pub key_mismatches: u64,
+    /// Health of the attached persistent store (degraded flag,
+    /// quarantine and write-failure counters); `None` for memory-only
+    /// caches.
+    pub disk: Option<DiskStatsSnapshot>,
 }
 
 impl CacheStatsSnapshot {
@@ -329,6 +333,7 @@ impl OutcomeCache {
             evictions: self.memory.evictions(),
             coalesced: self.stats.coalesced.load(Ordering::Relaxed),
             key_mismatches: self.stats.key_mismatches.load(Ordering::Relaxed),
+            disk: self.disk.as_ref().map(DiskStore::stats),
         }
     }
 

@@ -18,6 +18,7 @@
 
 use marchgen_json::Json;
 use std::io::{BufRead, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Longest accepted request line (method + path + version).
 const MAX_REQUEST_LINE: usize = 8 * 1024;
@@ -25,14 +26,32 @@ const MAX_REQUEST_LINE: usize = 8 * 1024;
 const MAX_HEADER_LINE: usize = 8 * 1024;
 /// Most headers accepted per request.
 const MAX_HEADERS: usize = 64;
+/// Longest client-supplied `X-Request-Id` honored verbatim; anything
+/// longer (or carrying non-printable bytes) is replaced by a generated
+/// id rather than echoed into logs and headers.
+const MAX_REQUEST_ID: usize = 128;
+
+static REQUEST_ID_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A process-unique request id (`req-<pid>-<seq>`), used when the
+/// client did not supply a usable `X-Request-Id`.
+#[must_use]
+pub fn next_request_id() -> String {
+    format!(
+        "req-{:x}-{:x}",
+        std::process::id(),
+        REQUEST_ID_SEQ.fetch_add(1, Ordering::Relaxed)
+    )
+}
 
 /// A parsed HTTP request.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Request {
     /// Uppercase method token (`GET`, `POST`, ...).
     pub method: String,
-    /// The path component as sent (query strings are not split off;
-    /// the service API does not use them).
+    /// The path component as sent, query string included; route on
+    /// [`Request::route_path`] and read parameters via
+    /// [`Request::query_param`].
     pub path: String,
     /// Header `(name, value)` pairs; names lowercased.
     pub headers: Vec<(String, String)>,
@@ -41,6 +60,11 @@ pub struct Request {
     /// `true` when the request line said `HTTP/1.0`, whose connection
     /// default is close (1.1 defaults to keep-alive).
     pub http10: bool,
+    /// The request's correlation id: the client's `X-Request-Id` header
+    /// when it is printable ASCII of a sane length, otherwise generated
+    /// (`req-<pid>-<seq>`). Echoed on every response and in the
+    /// engine's log lines.
+    pub request_id: String,
 }
 
 impl Request {
@@ -68,6 +92,32 @@ impl Request {
             .filter(|(n, _)| *n == name)
             .map(|(_, v)| v.as_str())
             .collect()
+    }
+
+    /// The path with any query string removed — what routing matches
+    /// on (`/v1/stream?resume=x` routes as `/v1/stream`).
+    #[must_use]
+    pub fn route_path(&self) -> &str {
+        match self.path.split_once('?') {
+            Some((path, _)) => path,
+            None => &self.path,
+        }
+    }
+
+    /// The raw value of query parameter `name` (`?a=1&b=2` style).
+    /// Values are returned byte-for-byte as sent — no percent-decoding;
+    /// the service API's parameters (resume tokens, sequence numbers)
+    /// are plain `[0-9a-z-]` text. A key without `=` yields `Some("")`.
+    #[must_use]
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        let (_, query) = self.path.split_once('?')?;
+        query.split('&').find_map(|pair| {
+            let (key, value) = match pair.split_once('=') {
+                Some((key, value)) => (key, value),
+                None => (pair, ""),
+            };
+            (key == name).then_some(value)
+        })
     }
 
     /// `true` when the connection should drop after this exchange: the
@@ -101,6 +151,11 @@ pub struct Response {
     /// standard companion of `429`/`503` answers telling well-behaved
     /// clients how long to back off before retrying.
     pub retry_after: Option<u64>,
+    /// When set, an `X-Request-Id: <id>` header is emitted. Handlers
+    /// normally leave this `None`; the connection engine stamps the
+    /// request's id onto every response — including rejects — before
+    /// serialization.
+    pub request_id: Option<String>,
 }
 
 impl Response {
@@ -114,6 +169,7 @@ impl Response {
             close: false,
             shutdown: false,
             retry_after: None,
+            request_id: None,
         }
     }
 
@@ -137,6 +193,7 @@ impl Response {
             close: status >= 500,
             shutdown: false,
             retry_after: None,
+            request_id: None,
         }
     }
 
@@ -162,6 +219,13 @@ impl Response {
         self
     }
 
+    /// Builder-style: echo `id` as the `X-Request-Id` header.
+    #[must_use]
+    pub fn with_request_id(mut self, id: impl Into<String>) -> Response {
+        self.request_id = Some(id.into());
+        self
+    }
+
     /// Serializes onto `stream` (HTTP/1.1, explicit `Content-Length`).
     /// The whole response is assembled in memory and written in one
     /// call, so it leaves as a single segment on unfragmented paths.
@@ -175,8 +239,12 @@ impl Response {
             Some(seconds) => format!("retry-after: {seconds}\r\n"),
             None => String::new(),
         };
+        let request_id = match &self.request_id {
+            Some(id) => format!("x-request-id: {id}\r\n"),
+            None => String::new(),
+        };
         let mut wire = format!(
-            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\n{retry}connection: {connection}\r\n\r\n",
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\n{retry}{request_id}connection: {connection}\r\n\r\n",
             self.status,
             reason(self.status),
             self.content_type,
@@ -213,6 +281,11 @@ impl ChunkSink<'_> {
             // An empty chunk would terminate the chunked body early.
             return Ok(());
         }
+        // Chaos site: `delay(...)` models a slow peer / congested
+        // socket, `err` models the peer hanging up mid-stream.
+        marchgen_failpoint::fail_point!("daemon.socket.write", |msg: String| {
+            Err(std::io::Error::other(msg))
+        });
         if self.chunked {
             write!(self.writer, "{:x}\r\n", frame.len())?;
             self.writer.write_all(frame)?;
@@ -256,6 +329,10 @@ pub struct StreamResponse {
     /// Close the connection after the stream completes instead of
     /// keeping it alive for the next request.
     pub close: bool,
+    /// When set, an `X-Request-Id: <id>` header is emitted with the
+    /// head; stamped by the connection engine like
+    /// [`Response::request_id`].
+    pub request_id: Option<String>,
     producer: StreamProducer,
 }
 
@@ -269,6 +346,7 @@ impl StreamResponse {
             status: 200,
             content_type: "application/x-ndjson",
             close: false,
+            request_id: None,
             producer: Box::new(producer),
         }
     }
@@ -299,9 +377,13 @@ impl StreamResponse {
         } else {
             "transfer-encoding: chunked\r\n".to_owned()
         };
+        let request_id = match &self.request_id {
+            Some(id) => format!("x-request-id: {id}\r\n"),
+            None => String::new(),
+        };
         write!(
             stream,
-            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\n{framing}connection: {connection}\r\n\r\n",
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\n{framing}{request_id}connection: {connection}\r\n\r\n",
             self.status,
             reason(self.status),
             self.content_type,
@@ -338,12 +420,14 @@ pub fn reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        410 => "Gone",
         411 => "Length Required",
         413 => "Content Too Large",
         422 => "Unprocessable Content",
         429 => "Too Many Requests",
         431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
+        501 => "Not Implemented",
         503 => "Service Unavailable",
         _ => "Unknown",
     }
@@ -467,12 +551,21 @@ pub fn read_request(reader: &mut impl BufRead, max_body: usize) -> std::io::Resu
         headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
     }
 
+    let request_id = headers
+        .iter()
+        .find(|(n, _)| n == "x-request-id")
+        .map(|(_, v)| v.as_str())
+        .filter(|id| {
+            !id.is_empty() && id.len() <= MAX_REQUEST_ID && id.bytes().all(|b| b.is_ascii_graphic())
+        })
+        .map_or_else(next_request_id, str::to_owned);
     let mut request = Request {
         method,
         path,
         headers,
         body: Vec::new(),
         http10: version == "HTTP/1.0",
+        request_id,
     };
 
     // ---- body -----------------------------------------------------------
@@ -585,6 +678,75 @@ mod tests {
         };
         assert_eq!(req.method, "GET");
         assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn route_path_and_query_params_split_correctly() {
+        let ReadOutcome::Complete(req) =
+            parse("GET /v1/stream?resume=b-12ab&from=7&flag HTTP/1.1\r\n\r\n")
+        else {
+            panic!("expected complete");
+        };
+        assert_eq!(req.path, "/v1/stream?resume=b-12ab&from=7&flag");
+        assert_eq!(req.route_path(), "/v1/stream");
+        assert_eq!(req.query_param("resume"), Some("b-12ab"));
+        assert_eq!(req.query_param("from"), Some("7"));
+        assert_eq!(req.query_param("flag"), Some(""));
+        assert_eq!(req.query_param("missing"), None);
+        let ReadOutcome::Complete(req) = parse("GET /v1/stream HTTP/1.1\r\n\r\n") else {
+            panic!("expected complete");
+        };
+        assert_eq!(req.route_path(), "/v1/stream");
+        assert_eq!(req.query_param("resume"), None);
+    }
+
+    #[test]
+    fn client_request_ids_are_honored_or_replaced() {
+        let ReadOutcome::Complete(req) =
+            parse("GET /v1/health HTTP/1.1\r\nX-Request-Id: trace-41\r\n\r\n")
+        else {
+            panic!("expected complete");
+        };
+        assert_eq!(req.request_id, "trace-41");
+        // Unusable ids (whitespace/control bytes, oversized, empty) are
+        // replaced by a generated one rather than echoed verbatim into
+        // headers and logs.
+        for bad in [
+            "X-Request-Id: has space\r\n".to_owned(),
+            "X-Request-Id: \r\n".to_owned(),
+            format!("X-Request-Id: {}\r\n", "x".repeat(200)),
+        ] {
+            let ReadOutcome::Complete(req) = parse(&format!("GET / HTTP/1.1\r\n{bad}\r\n")) else {
+                panic!("expected complete");
+            };
+            assert!(req.request_id.starts_with("req-"), "{}", req.request_id);
+        }
+        // Absent header: generated, and unique per request.
+        let parse_id = || match parse("GET / HTTP/1.1\r\n\r\n") {
+            ReadOutcome::Complete(req) => req.request_id,
+            other => panic!("expected complete, got {other:?}"),
+        };
+        let (a, b) = (parse_id(), parse_id());
+        assert!(a.starts_with("req-"));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn responses_echo_the_request_id_header() {
+        let mut wire = Vec::new();
+        Response::error(404, "not_found", "no route")
+            .with_request_id("trace-9")
+            .write_to(&mut wire)
+            .unwrap();
+        let text = String::from_utf8(wire).unwrap();
+        assert!(text.contains("x-request-id: trace-9\r\n"), "{text}");
+
+        let mut wire = Vec::new();
+        let mut stream = StreamResponse::new(|sink| sink.send(b"x\n"));
+        stream.request_id = Some("trace-10".to_owned());
+        stream.write_to(&mut wire, false).unwrap();
+        let text = String::from_utf8(wire).unwrap();
+        assert!(text.contains("x-request-id: trace-10\r\n"), "{text}");
     }
 
     #[test]

@@ -383,4 +383,72 @@ mod tests {
             RateDecision::Reject { .. }
         ));
     }
+
+    fn flood(limiter: &RateLimiter, count: usize, at: Instant) {
+        for n in 0..count {
+            #[allow(clippy::cast_possible_truncation)]
+            let peer = IpAddr::V4(Ipv4Addr::new(10, 8, (n >> 8) as u8, (n & 0xff) as u8));
+            let _ = limiter.check_at(peer, at);
+        }
+    }
+
+    /// The exact capacity boundary: peer number 4096 is the last one
+    /// tracked (and therefore limited); peer 4097 is the first one the
+    /// full table fails open for. One peer on each side of the bound,
+    /// not just "a flood eventually saturates".
+    #[test]
+    fn the_4096th_peer_is_tracked_and_the_4097th_fails_open() {
+        let limiter = RateLimiter::new(RateLimitConfig::new(0.001, 1.0));
+        let t0 = Instant::now();
+        flood(&limiter, MAX_TRACKED_PEERS - 1, t0);
+        assert_eq!(limiter.tracked_peers(), MAX_TRACKED_PEERS - 1);
+        // Peer 4096 fills the table to exactly the cap and is limited
+        // like any tracked peer: its second connection in the same
+        // instant rejects.
+        let last_tracked = IpAddr::V4(Ipv4Addr::new(192, 0, 2, 96));
+        assert_eq!(limiter.check_at(last_tracked, t0), RateDecision::Admit);
+        assert_eq!(limiter.tracked_peers(), MAX_TRACKED_PEERS);
+        assert!(matches!(
+            limiter.check_at(last_tracked, t0),
+            RateDecision::Reject { .. }
+        ));
+        // Peer 4097 meets a full, unsweepable table (nothing refills at
+        // 0.001 tokens/s): admitted untracked — fail-open — and the
+        // table does not grow.
+        let first_untracked = IpAddr::V4(Ipv4Addr::new(192, 0, 2, 97));
+        assert_eq!(limiter.check_at(first_untracked, t0), RateDecision::Admit);
+        assert_eq!(limiter.check_at(first_untracked, t0), RateDecision::Admit);
+        assert_eq!(limiter.tracked_peers(), MAX_TRACKED_PEERS);
+    }
+
+    /// The eviction sweep is throttled to once per `SWEEP_INTERVAL`:
+    /// even when every bucket has refilled to sweepability, a newcomer
+    /// arriving inside the interval must not trigger a second O(table)
+    /// scan (it is admitted untracked instead); one arriving after the
+    /// interval sweeps and is tracked.
+    #[test]
+    fn capacity_sweep_runs_at_most_once_per_interval() {
+        let limiter = RateLimiter::new(RateLimitConfig::new(10.0, 1.0));
+        let t0 = Instant::now();
+        flood(&limiter, MAX_TRACKED_PEERS, t0);
+        assert_eq!(limiter.tracked_peers(), MAX_TRACKED_PEERS);
+        // First newcomer: the sweep runs (never swept before) but
+        // nothing has refilled yet — fail-open, and the sweep clock
+        // starts.
+        let t1 = t0 + Duration::from_millis(10);
+        assert_eq!(limiter.check_at(ip(201), t1), RateDecision::Admit);
+        assert_eq!(limiter.tracked_peers(), MAX_TRACKED_PEERS);
+        // 500ms later every bucket has refilled to the full burst
+        // (sweepable), but the interval since the last sweep has not
+        // elapsed: the table must stay full — a sweep here would be the
+        // per-accept O(table) scan the throttle exists to prevent.
+        let t2 = t0 + Duration::from_millis(510);
+        assert_eq!(limiter.check_at(ip(202), t2), RateDecision::Admit);
+        assert_eq!(limiter.tracked_peers(), MAX_TRACKED_PEERS);
+        // Past the interval: the sweep clears the refilled table and
+        // the newcomer is tracked again.
+        let t3 = t1 + SWEEP_INTERVAL + Duration::from_millis(10);
+        assert_eq!(limiter.check_at(ip(203), t3), RateDecision::Admit);
+        assert_eq!(limiter.tracked_peers(), 1);
+    }
 }

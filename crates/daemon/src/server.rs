@@ -17,9 +17,10 @@
 //!   in-flight requests finish, and joins every thread before
 //!   [`Server::run`] returns.
 
-use crate::http::{read_request, ReadOutcome, Request, Response, StreamResponse};
+use crate::http::{next_request_id, read_request, ReadOutcome, Request, Response, StreamResponse};
 use crate::limit::{RateDecision, RateLimiter};
 use crate::stats::ServerStats;
+use marchgen_failpoint::fail_point;
 use std::collections::VecDeque;
 use std::io::{BufRead, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -108,6 +109,10 @@ pub struct ServerConfig {
     /// the queue: an over-budget peer is answered `429` +
     /// `Retry-After` and never occupies a worker.
     pub rate_limit: Option<crate::limit::RateLimitConfig>,
+    /// Emit one stderr line per served request
+    /// (`peer "METHOD /path" status id=<request-id>`), correlating log
+    /// output with the `X-Request-Id` echoed on the response.
+    pub log_requests: bool,
 }
 
 impl Default for ServerConfig {
@@ -119,6 +124,7 @@ impl Default for ServerConfig {
             read_timeout: Duration::from_secs(30),
             write_timeout: Duration::from_secs(30),
             rate_limit: None,
+            log_requests: false,
         }
     }
 }
@@ -381,6 +387,7 @@ fn enqueue_reject(
 /// a round trip; a peer stalled or trickling at a deadline forfeits
 /// clean delivery.
 fn reject_connection(mut stream: TcpStream, response: &Response) {
+    fail_point!("daemon.reject.drain");
     // The response is a small JSON document that fits the socket
     // buffer, so the write normally completes instantly; the timeout
     // only fires against a peer whose receive window is already full.
@@ -439,6 +446,15 @@ impl Drop for StreamGuard<'_> {
     }
 }
 
+/// One served request's stderr log line (gated by
+/// [`ServerConfig::log_requests`]): peer, request line, status and the
+/// correlation id echoed as `X-Request-Id`.
+fn log_request(config: &ServerConfig, peer: &str, method: &str, path: &str, status: u16, id: &str) {
+    if config.log_requests {
+        eprintln!("marchgen-daemon: {peer} \"{method} {path}\" {status} id={id}");
+    }
+}
+
 /// Serves one connection keep-alive until close, error, idle timeout or
 /// the keep-alive cap.
 ///
@@ -454,6 +470,9 @@ fn serve_connection(
     shutdown: &AtomicBool,
 ) {
     let boundary_poll = Duration::from_millis(100);
+    let peer = stream
+        .peer_addr()
+        .map_or_else(|_| "-".to_owned(), |addr| addr.to_string());
     // BSD-derived platforms make accepted sockets inherit the
     // listener's O_NONBLOCK; this loop assumes blocking reads with
     // timeouts, so reset explicitly (a no-op on Linux).
@@ -500,8 +519,14 @@ fn serve_connection(
         let request = match read_request(&mut reader, config.max_body_bytes) {
             // I/O failures (including idle timeouts) end the connection.
             Err(_) | Ok(ReadOutcome::Closed) => return,
-            Ok(ReadOutcome::Reject(response)) => {
+            Ok(ReadOutcome::Reject(mut response)) => {
                 stats.protocol_error();
+                // The request never parsed far enough to carry an id;
+                // generate one so even protocol rejects correlate with
+                // the log line.
+                let request_id = next_request_id();
+                response.request_id = Some(request_id.clone());
+                log_request(config, &peer, "-", "-", response.status, &request_id);
                 let _ = response.write_to(&mut writer);
                 // The reject may leave unread request bytes (e.g. a 413
                 // body that was never read); closing now would RST and
@@ -528,14 +553,18 @@ fn serve_connection(
             // handler returns, and `/v1/stats` must report that load.
             // The guard balances `dispatch_begin` on every exit path.
             let in_flight = InFlightGuard(stats);
-            let reply =
-                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| handler.handle(&request)))
-                    .unwrap_or_else(|_| {
-                        Reply::Full(
-                            Response::error(500, "handler_panic", "internal handler failure")
-                                .with_close(),
-                        )
-                    });
+            let reply = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                // Chaos site: a panic injected here exercises the same
+                // recovery path as a handler bug — the worker answers a
+                // structured 500 and lives on.
+                fail_point!("daemon.worker.dispatch");
+                handler.handle(&request)
+            }))
+            .unwrap_or_else(|_| {
+                Reply::Full(
+                    Response::error(500, "handler_panic", "internal handler failure").with_close(),
+                )
+            });
             (reply, Some(in_flight))
         };
         match reply {
@@ -543,9 +572,20 @@ fn serve_connection(
                 // Honor the client's `Connection: close` in the
                 // advertised header, not just in behaviour.
                 response.close = response.close || request.wants_close();
+                if response.request_id.is_none() {
+                    response.request_id = Some(request.request_id.clone());
+                }
                 if response.shutdown {
                     shutdown.store(true, Ordering::SeqCst);
                 }
+                log_request(
+                    config,
+                    &peer,
+                    &request.method,
+                    &request.path,
+                    response.status,
+                    &request.request_id,
+                );
                 if response.write_to(&mut writer).is_err() || response.close {
                     return;
                 }
@@ -554,6 +594,17 @@ fn serve_connection(
                 stats.stream_begin();
                 let _active = StreamGuard(stats);
                 stream_response.close = stream_response.close || request.wants_close();
+                if stream_response.request_id.is_none() {
+                    stream_response.request_id = Some(request.request_id.clone());
+                }
+                log_request(
+                    config,
+                    &peer,
+                    &request.method,
+                    &request.path,
+                    stream_response.status,
+                    &request.request_id,
+                );
                 // The producer is application code running after the
                 // response head is on the wire: a panic cannot be
                 // turned into a 500 anymore, so it tears the

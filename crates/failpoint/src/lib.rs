@@ -1,0 +1,491 @@
+//! Named-site fault injection ("failpoints") for the marchgen stack.
+//!
+//! A failpoint is a named place in production code — `"cache.disk.write"`,
+//! `"daemon.socket.write"` — where a test harness can inject a failure at
+//! runtime: return an error, sleep, or panic. Sites are declared with the
+//! [`fail_point!`] macro and cost **nothing** unless the `failpoints`
+//! cargo feature is enabled: without it the macro expands to an empty
+//! block and none of the registry machinery below is compiled in, so
+//! production builds carry zero overhead (verified by the no-feature
+//! test `macro_is_inert_without_feature`).
+//!
+//! With the feature on, sites consult a process-global registry
+//! configured two ways:
+//!
+//! - the `MARCHGEND_FAILPOINTS` environment variable, parsed once on
+//!   first use (e.g. `MARCHGEND_FAILPOINTS="cache.disk.write=err;\
+//!   daemon.socket.write=delay(50)"`), and
+//! - the runtime API ([`set`], [`remove`], [`clear`], [`list`]), which
+//!   `marchgend` exposes over HTTP as the `/v1/failpoints` admin
+//!   endpoint.
+//!
+//! # Action grammar
+//!
+//! ```text
+//! spec   := [ count "*" ] action
+//! action := "off"
+//!         | "err"   [ "(" message ")" ]
+//!         | "delay" "(" millis ")"
+//!         | "panic" [ "(" message ")" ]
+//! ```
+//!
+//! A `count` prefix (`3*err`) arms the action for that many firings,
+//! after which the site turns itself `off` — the idiom for "the disk
+//! fails twice, then recovers", which is exactly what the degraded-mode
+//! backoff probes in `marchgen-cache` are tested against.
+//!
+//! # Declaring sites
+//!
+//! ```
+//! fn write_entry() -> std::io::Result<()> {
+//!     marchgen_failpoint::fail_point!("example.write", |msg: String| {
+//!         Err(std::io::Error::other(msg))
+//!     });
+//!     Ok(())
+//! }
+//! # write_entry().unwrap();
+//! ```
+//!
+//! The closure form runs (and `return`s from the enclosing function)
+//! only when the site is armed with `err`; `delay` sleeps in place and
+//! `panic` panics without invoking the closure. The closure-free form
+//! `fail_point!("site")` supports `delay`/`panic` only and treats a
+//! fired `err` as a programming error (panic), since the site declared
+//! no error path.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+#[cfg(feature = "failpoints")]
+mod registry {
+    use std::collections::HashMap;
+    use std::sync::{Mutex, OnceLock};
+    use std::time::Duration;
+
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub(crate) enum Action {
+        Off,
+        Err(String),
+        Delay(u64),
+        Panic(String),
+    }
+
+    #[derive(Debug, Clone)]
+    pub(crate) struct Site {
+        pub(crate) action: Action,
+        /// `Some(n)` fires `n` more times then turns off; `None` is
+        /// unlimited.
+        pub(crate) remaining: Option<u64>,
+        /// The spec text the site was armed with, echoed by `list()`.
+        pub(crate) spec: String,
+    }
+
+    fn table() -> &'static Mutex<HashMap<String, Site>> {
+        static TABLE: OnceLock<Mutex<HashMap<String, Site>>> = OnceLock::new();
+        TABLE.get_or_init(|| {
+            let mut map = HashMap::new();
+            if let Ok(spec) = std::env::var("MARCHGEND_FAILPOINTS") {
+                // A malformed boot-time spec is a hard error: failing to
+                // arm a chaos experiment silently would invalidate it.
+                match parse_config(&spec) {
+                    Ok(sites) => {
+                        for (name, site) in sites {
+                            map.insert(name, site);
+                        }
+                    }
+                    Err(err) => panic!("invalid MARCHGEND_FAILPOINTS: {err}"),
+                }
+            }
+            Mutex::new(map)
+        })
+    }
+
+    pub(crate) fn parse_site(spec: &str) -> Result<Site, String> {
+        let spec = spec.trim();
+        let (count, action_text) = match spec.split_once('*') {
+            Some((n, rest)) => {
+                let n: u64 = n
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("bad count in failpoint spec `{spec}`"))?;
+                (Some(n), rest.trim())
+            }
+            None => (None, spec),
+        };
+        let (kind, arg) = match action_text.split_once('(') {
+            Some((kind, rest)) => {
+                let arg = rest
+                    .strip_suffix(')')
+                    .ok_or_else(|| format!("unclosed `(` in failpoint spec `{spec}`"))?;
+                (kind.trim(), Some(arg))
+            }
+            None => (action_text, None),
+        };
+        let action = match kind {
+            "off" => Action::Off,
+            "err" => Action::Err(
+                arg.filter(|a| !a.is_empty())
+                    .unwrap_or("injected by failpoint")
+                    .to_owned(),
+            ),
+            "delay" => {
+                let millis = arg
+                    .unwrap_or("")
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("delay needs integer millis in `{spec}`"))?;
+                Action::Delay(millis)
+            }
+            "panic" => Action::Panic(
+                arg.filter(|a| !a.is_empty())
+                    .unwrap_or("panic injected by failpoint")
+                    .to_owned(),
+            ),
+            other => return Err(format!("unknown failpoint action `{other}` in `{spec}`")),
+        };
+        Ok(Site {
+            action,
+            remaining: count,
+            spec: spec.to_owned(),
+        })
+    }
+
+    pub(crate) fn parse_config(config: &str) -> Result<Vec<(String, Site)>, String> {
+        let mut out = Vec::new();
+        for clause in config.split(';') {
+            let clause = clause.trim();
+            if clause.is_empty() {
+                continue;
+            }
+            let (name, spec) = clause
+                .split_once('=')
+                .ok_or_else(|| format!("failpoint clause `{clause}` is not `site=action`"))?;
+            let name = name.trim();
+            if name.is_empty() {
+                return Err(format!("empty site name in `{clause}`"));
+            }
+            out.push((name.to_owned(), parse_site(spec)?));
+        }
+        Ok(out)
+    }
+
+    /// The hot-path hook behind `fail_point!`. Returns `Some(message)`
+    /// when the site is armed with `err`; performs `delay` and `panic`
+    /// in place.
+    pub fn eval(name: &str) -> Option<String> {
+        let fired = {
+            let mut table = table().lock().expect("failpoint registry poisoned");
+            let site = table.get_mut(name)?;
+            match site.remaining {
+                Some(0) => return None,
+                Some(ref mut n) => *n -= 1,
+                None => {}
+            }
+            site.action.clone()
+        };
+        match fired {
+            Action::Off => None,
+            Action::Err(msg) => Some(msg),
+            Action::Delay(millis) => {
+                std::thread::sleep(Duration::from_millis(millis));
+                None
+            }
+            Action::Panic(msg) => panic!("{msg}"),
+        }
+    }
+
+    pub(crate) fn set(name: &str, spec: &str) -> Result<(), String> {
+        let site = parse_site(spec)?;
+        let mut table = table().lock().expect("failpoint registry poisoned");
+        if site.action == Action::Off && site.remaining.is_none() {
+            table.remove(name);
+        } else {
+            table.insert(name.to_owned(), site);
+        }
+        Ok(())
+    }
+
+    pub(crate) fn configure(config: &str) -> Result<(), String> {
+        let sites = parse_config(config)?;
+        let mut table = table().lock().expect("failpoint registry poisoned");
+        for (name, site) in sites {
+            if site.action == Action::Off && site.remaining.is_none() {
+                table.remove(&name);
+            } else {
+                table.insert(name, site);
+            }
+        }
+        Ok(())
+    }
+
+    pub(crate) fn remove(name: &str) {
+        table()
+            .lock()
+            .expect("failpoint registry poisoned")
+            .remove(name);
+    }
+
+    pub(crate) fn clear() {
+        table().lock().expect("failpoint registry poisoned").clear();
+    }
+
+    pub(crate) fn list() -> Vec<(String, String)> {
+        let table = table().lock().expect("failpoint registry poisoned");
+        let mut out: Vec<(String, String)> = table
+            .iter()
+            .map(|(name, site)| {
+                let spec = match site.remaining {
+                    Some(n) => format!("{} [{} left]", site.spec, n),
+                    None => site.spec.clone(),
+                };
+                (name.clone(), spec)
+            })
+            .collect();
+        out.sort();
+        out
+    }
+}
+
+/// Whether fault injection is compiled into this build. `false` means
+/// every [`fail_point!`] in the binary expanded to an empty block.
+#[must_use]
+pub fn enabled() -> bool {
+    cfg!(feature = "failpoints")
+}
+
+/// Arms (or, with `off`, disarms) a single site from an action spec —
+/// see the crate docs for the grammar.
+///
+/// # Errors
+///
+/// Returns the parse error for a malformed spec, or a "compiled out"
+/// error when the `failpoints` feature is disabled.
+pub fn set(name: &str, spec: &str) -> Result<(), String> {
+    #[cfg(feature = "failpoints")]
+    return registry::set(name, spec);
+    #[cfg(not(feature = "failpoints"))]
+    {
+        let _ = (name, spec);
+        Err(compiled_out())
+    }
+}
+
+/// Applies a multi-site config string (`site=action;site=action`), the
+/// same grammar as the `MARCHGEND_FAILPOINTS` environment variable.
+/// Sites not named in `config` are left untouched.
+///
+/// # Errors
+///
+/// Returns the parse error for a malformed config (no clauses applied),
+/// or a "compiled out" error when the `failpoints` feature is disabled.
+pub fn configure(config: &str) -> Result<(), String> {
+    #[cfg(feature = "failpoints")]
+    return registry::configure(config);
+    #[cfg(not(feature = "failpoints"))]
+    {
+        let _ = config;
+        Err(compiled_out())
+    }
+}
+
+/// Disarms one site. A no-op when the feature is off or the site is
+/// not armed.
+pub fn remove(name: &str) {
+    #[cfg(feature = "failpoints")]
+    registry::remove(name);
+    #[cfg(not(feature = "failpoints"))]
+    let _ = name;
+}
+
+/// Disarms every site.
+pub fn clear() {
+    #[cfg(feature = "failpoints")]
+    registry::clear();
+}
+
+/// The armed sites as `(name, spec)` pairs, sorted by name; count-limited
+/// sites render their remaining budget. Empty when the feature is off.
+#[must_use]
+pub fn list() -> Vec<(String, String)> {
+    #[cfg(feature = "failpoints")]
+    return registry::list();
+    #[cfg(not(feature = "failpoints"))]
+    Vec::new()
+}
+
+#[cfg(feature = "failpoints")]
+pub use registry::eval;
+
+#[cfg(not(feature = "failpoints"))]
+fn compiled_out() -> String {
+    "failpoints are compiled out of this build (enable the `failpoints` cargo feature)".to_owned()
+}
+
+/// Declares a failpoint site.
+///
+/// `fail_point!("site")` supports `delay` and `panic` actions;
+/// `fail_point!("site", |msg| expr)` additionally supports `err`, in
+/// which case the closure is invoked with the injected message and its
+/// value is `return`ed from the enclosing function. Without the
+/// `failpoints` feature both forms expand to an empty block.
+#[cfg(feature = "failpoints")]
+#[macro_export]
+macro_rules! fail_point {
+    ($name:expr) => {{
+        let name = $name;
+        if let Some(msg) = $crate::eval(name) {
+            panic!("failpoint {name:?} fired `err` ({msg}) at a site with no error path");
+        }
+    }};
+    ($name:expr, $handler:expr) => {{
+        if let Some(msg) = $crate::eval($name) {
+            #[allow(clippy::redundant_closure_call)]
+            return ($handler)(msg);
+        }
+    }};
+}
+
+/// Declares a failpoint site (inert: the `failpoints` feature is off,
+/// so this expands to an empty block and injects nothing).
+#[cfg(not(feature = "failpoints"))]
+#[macro_export]
+macro_rules! fail_point {
+    ($name:expr) => {{}};
+    ($name:expr, $handler:expr) => {{}};
+}
+
+#[cfg(all(test, not(feature = "failpoints")))]
+mod inert_tests {
+    /// The zero-overhead contract: without the feature the macro
+    /// expands to nothing, so an armed-looking site never fires, the
+    /// handler is never invoked, and the runtime API reports the
+    /// subsystem as compiled out. CI runs this in the default
+    /// (no-feature) test job.
+    #[test]
+    fn macro_is_inert_without_feature() {
+        fn guarded() -> Result<u32, String> {
+            crate::fail_point!("inert.site", |msg: String| Err(msg));
+            crate::fail_point!("inert.unit");
+            Ok(7)
+        }
+        assert!(!crate::enabled());
+        assert!(crate::set("inert.site", "err").is_err());
+        assert!(crate::configure("inert.site=err").is_err());
+        assert_eq!(guarded(), Ok(7));
+        assert!(crate::list().is_empty());
+        crate::remove("inert.site");
+        crate::clear();
+    }
+}
+
+#[cfg(all(test, feature = "failpoints"))]
+mod tests {
+    use std::time::{Duration, Instant};
+
+    /// Serializes tests that touch the process-global registry.
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        static GATE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        GATE.lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn guarded(site: &str) -> Result<u32, String> {
+        crate::fail_point!(site, |msg: String| Err(msg));
+        Ok(7)
+    }
+
+    #[test]
+    fn unarmed_sites_pass_through() {
+        let _gate = lock();
+        crate::clear();
+        assert_eq!(guarded("chaos.unarmed"), Ok(7));
+        assert!(crate::list().is_empty());
+    }
+
+    #[test]
+    fn err_action_returns_through_handler() {
+        let _gate = lock();
+        crate::clear();
+        crate::set("chaos.err", "err(boom)").unwrap();
+        assert_eq!(guarded("chaos.err"), Err("boom".to_owned()));
+        // Default message when none is given.
+        crate::set("chaos.err", "err").unwrap();
+        assert_eq!(
+            guarded("chaos.err"),
+            Err("injected by failpoint".to_owned())
+        );
+        crate::clear();
+    }
+
+    #[test]
+    fn count_limited_sites_burn_down_then_disarm() {
+        let _gate = lock();
+        crate::clear();
+        crate::set("chaos.count", "2*err(x)").unwrap();
+        assert!(guarded("chaos.count").is_err());
+        assert!(guarded("chaos.count").is_err());
+        assert_eq!(guarded("chaos.count"), Ok(7));
+        assert_eq!(guarded("chaos.count"), Ok(7));
+        crate::clear();
+    }
+
+    #[test]
+    fn delay_sleeps_then_passes_through() {
+        let _gate = lock();
+        crate::clear();
+        crate::set("chaos.delay", "delay(30)").unwrap();
+        let start = Instant::now();
+        assert_eq!(guarded("chaos.delay"), Ok(7));
+        assert!(start.elapsed() >= Duration::from_millis(30));
+        crate::clear();
+    }
+
+    #[test]
+    fn panic_action_panics_with_message() {
+        let _gate = lock();
+        crate::clear();
+        crate::set("chaos.panic", "panic(chaos-panic)").unwrap();
+        let payload = std::panic::catch_unwind(|| {
+            crate::fail_point!("chaos.panic");
+        })
+        .expect_err("armed panic site must panic");
+        let text = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_owned()))
+            .unwrap_or_default();
+        assert_eq!(text, "chaos-panic");
+        crate::clear();
+    }
+
+    #[test]
+    fn configure_parses_multi_site_specs_and_off_disarms() {
+        let _gate = lock();
+        crate::clear();
+        crate::configure("a.site=err(one); b.site = delay(5) ;; c.site=3*panic(p)").unwrap();
+        let names: Vec<String> = crate::list().into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names, ["a.site", "b.site", "c.site"]);
+        crate::configure("b.site=off").unwrap();
+        assert_eq!(crate::list().len(), 2);
+        crate::remove("a.site");
+        assert_eq!(crate::list().len(), 1);
+        crate::clear();
+        assert!(crate::list().is_empty());
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected_atomically() {
+        let _gate = lock();
+        crate::clear();
+        assert!(crate::set("s", "explode").is_err());
+        assert!(crate::set("s", "delay").is_err());
+        assert!(crate::set("s", "delay(abc)").is_err());
+        assert!(crate::set("s", "x*err").is_err());
+        assert!(crate::set("s", "err(unclosed").is_err());
+        assert!(crate::configure("just-a-name").is_err());
+        assert!(crate::configure("=err").is_err());
+        // A config that fails to parse arms nothing.
+        assert!(crate::configure("ok.site=err;bad.site=explode").is_err());
+        assert!(crate::list().is_empty());
+    }
+}

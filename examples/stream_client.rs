@@ -1,27 +1,51 @@
-//! A minimal `/v1/stream` consumer: submits a batch of fault lists to a
-//! running `marchgend` daemon and prints each progress frame as it
-//! arrives — no HTTP library, just a `TcpStream` and the chunked
+//! A fault-tolerant `/v1/stream` consumer: submits a batch of fault
+//! lists to a running `marchgend` daemon and prints each progress frame
+//! as it arrives — no HTTP library, just a `TcpStream` and the chunked
 //! transfer coding decoded by hand, to show exactly what is on the
-//! wire.
+//! wire. If the connection drops mid-batch the client does NOT
+//! resubmit: it reconnects with the resumption token from the stream's
+//! `batch` announcement frame (`?resume=<batch_id>&from=<seq>`,
+//! retrying with exponential backoff) and picks up exactly where it
+//! left off — the server kept computing the whole time.
 //!
 //! Start a daemon, then stream a batch against it:
 //!
 //! ```text
 //! $ marchgend --addr 127.0.0.1:8378 &
 //! $ cargo run --example stream_client -- 127.0.0.1:8378 "SAF" "SAF, TF" "CFin, CFid"
-//! frame: {"event":"started","index":0,"faults":["SA0","SA1"]}
-//! frame: {"event":"item","index":0,"ok":true,"outcome":{...}}
+//! frame: {"event":"batch","batch_id":"b-...","request_id":"req-...","seq":0}
+//! frame: {"event":"started","index":0,"faults":["SA0","SA1"],"seq":1}
+//! frame: {"event":"item","index":0,"ok":true,"outcome":{...},"seq":2}
 //! ...
-//! frame: {"event":"completed","total":3,"succeeded":3,"failed":0}
+//! frame: {"event":"completed","total":3,"succeeded":3,"failed":0,"seq":7}
 //! ```
 //!
 //! Each line of the body is one self-describing JSON frame (see
-//! `docs/WIRE_FORMAT.md`): `"started"` when a worker picks an item up,
+//! `docs/WIRE_FORMAT.md`): a leading `"batch"` announcing the
+//! resumption token, `"started"` when a worker picks an item up,
 //! `"item"` with the outcome summary (or the error) when it finishes,
-//! and a terminal `"completed"` carrying the batch totals.
+//! and a terminal `"completed"` carrying the batch totals. Every frame
+//! carries a monotone `"seq"` — the cursor a resume continues from.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
+use std::time::Duration;
+
+/// Reconnection attempts before giving up on a broken stream.
+const MAX_ATTEMPTS: u32 = 5;
+/// First retry delay; doubles per attempt (250ms → 4s).
+const INITIAL_BACKOFF: Duration = Duration::from_millis(250);
+
+/// Where the client is in the stream — everything a reconnect needs.
+#[derive(Default)]
+struct Progress {
+    /// The resumption token from the `batch` announcement frame.
+    batch_id: Option<String>,
+    /// The next frame sequence we have not yet printed.
+    next_seq: u64,
+    /// Set once the terminal `completed` frame arrived.
+    completed: bool,
+}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut args = std::env::args().skip(1);
@@ -43,12 +67,57 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .join(", ")
     );
 
-    let mut stream = TcpStream::connect(&addr)?;
-    write!(
-        stream,
-        "POST /v1/stream HTTP/1.1\r\nhost: {addr}\r\nconnection: close\r\ncontent-length: {}\r\n\r\n{body}",
-        body.len()
-    )?;
+    let mut progress = Progress::default();
+    let mut backoff = INITIAL_BACKOFF;
+    let mut attempts = 0u32;
+    loop {
+        let outcome = run_stream(&addr, &body, &mut progress);
+        if progress.completed {
+            return Ok(());
+        }
+        let reason = match outcome {
+            Err(error) => error.to_string(),
+            // EOF without the terminal frame: the server (or a proxy)
+            // closed early — same recovery as an I/O error.
+            Ok(()) => "connection closed before the terminal frame".to_owned(),
+        };
+        if progress.batch_id.is_none() || attempts >= MAX_ATTEMPTS {
+            eprintln!("stream failed ({reason}); giving up");
+            std::process::exit(1);
+        }
+        attempts += 1;
+        eprintln!(
+            "stream interrupted ({reason}); resuming from seq {} in {backoff:?} \
+             (attempt {attempts}/{MAX_ATTEMPTS})",
+            progress.next_seq
+        );
+        std::thread::sleep(backoff);
+        backoff *= 2;
+    }
+}
+
+/// One connection's worth of streaming: submits the batch (first call)
+/// or resumes it (reconnects), printing frames and advancing `progress`
+/// until the stream ends or breaks.
+fn run_stream(
+    addr: &str,
+    body: &str,
+    progress: &mut Progress,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(120)))?;
+    match &progress.batch_id {
+        None => write!(
+            stream,
+            "POST /v1/stream HTTP/1.1\r\nhost: {addr}\r\nconnection: close\r\ncontent-length: {}\r\n\r\n{body}",
+            body.len()
+        )?,
+        Some(batch_id) => write!(
+            stream,
+            "GET /v1/stream?resume={batch_id}&from={} HTTP/1.1\r\nhost: {addr}\r\nconnection: close\r\n\r\n",
+            progress.next_seq
+        )?,
+    }
 
     let mut reader = BufReader::new(stream);
 
@@ -56,8 +125,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut status_line = String::new();
     reader.read_line(&mut status_line)?;
     if !status_line.starts_with("HTTP/1.1 200") {
-        // Validation failures arrive buffered (Content-Length), so the
-        // rest of the stream is the structured error document.
+        // Validation and resume failures arrive buffered
+        // (Content-Length), so the rest of the stream is the structured
+        // error document. `resume_unknown` (404) and `resume_gap` (410)
+        // are not retryable — the replay window is gone; resubmit.
         let mut rest = String::new();
         reader.read_to_string(&mut rest)?;
         let error_body = rest.rsplit("\r\n\r\n").next().unwrap_or(&rest);
@@ -99,15 +170,37 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             reader.read_exact(&mut chunk)?;
             pending.push_str(std::str::from_utf8(&chunk[..size])?);
             while let Some(newline) = pending.find('\n') {
-                println!("frame: {}", &pending[..newline]);
+                handle_frame(progress, &pending[..newline]);
                 pending.drain(..=newline);
             }
         }
     } else {
         // An HTTP/1.0-style peer fallback: EOF-delimited raw lines.
         for line in reader.lines() {
-            println!("frame: {}", line?);
+            handle_frame(progress, &line?);
         }
     }
     Ok(())
+}
+
+/// Prints one frame and advances the resume cursor: remembers the
+/// `batch_id` announcement, tracks the last `seq`, and spots the
+/// terminal frame.
+fn handle_frame(progress: &mut Progress, line: &str) {
+    println!("frame: {line}");
+    if progress.batch_id.is_none() && line.starts_with("{\"event\":\"batch\"") {
+        progress.batch_id = line
+            .split_once("\"batch_id\":\"")
+            .and_then(|(_, rest)| rest.split_once('"'))
+            .map(|(id, _)| id.to_owned());
+    }
+    if let Some((_, rest)) = line.rsplit_once("\"seq\":") {
+        let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+        if let Ok(seq) = digits.parse::<u64>() {
+            progress.next_seq = seq + 1;
+        }
+    }
+    if line.starts_with("{\"event\":\"completed\"") {
+        progress.completed = true;
+    }
 }

@@ -15,23 +15,32 @@
 //! POST /v1/generate   one GenerateRequest  → one GenerateOutcome
 //! POST /v1/batch      [GenerateRequest...] → [{"outcome"|"error"}...]
 //! GET|POST /v1/stream [GenerateRequest...] → chunked JSON-lines progress frames
+//!     ?resume=ID&from=N                    → replay + re-attach to a running batch
 //! POST /v1/rtl        march or GenerateRequest → SystemVerilog BIST bundle
 //! GET  /v1/health     liveness + version
-//! GET  /v1/stats      server / cache / per-phase timing counters
+//! GET  /v1/stats      server / cache / stream / per-phase timing counters
+//! GET|POST /v1/failpoints  fault-injection admin (no-op without the feature)
 //! POST /v1/shutdown   graceful drain and exit
 //! ```
+//!
+//! Every `/v1/stream` batch is backed by a replay ring
+//! ([`marchgen::resume`]): the first frame announces a `batch_id`,
+//! every frame carries a monotone `seq`, and a client that loses its
+//! connection mid-batch reconnects with `?resume=<batch_id>&from=<seq>`
+//! to get the missed frames replayed byte-identically and then follow
+//! live — the computation never restarts.
 
 use marchgen::cache::{canonical_key_text, key_for_text, OutcomeCache, ShardedLru, KEY_SCHEMA};
 use marchgen::daemon::{
     FromJson, Json, RateLimitConfig, Reply, Request, Response, Server, ServerConfig, ServerStats,
     StreamResponse, ToJson,
 };
+use marchgen::resume::{CompleteOnDrop, FollowError, StreamRegistry};
 use marchgen::rtl::RtlOptions;
 use marchgen::service::Batch;
 use marchgen::{known, Diagnostics, GenerateOutcome, GenerateRequest, MarchTest};
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
@@ -65,8 +74,10 @@ usage:
   --rate-burst      per-peer burst bucket size (default: 2x rate-limit,
                     at least 1); only meaningful with --rate-limit
 
-endpoints: POST /v1/generate, POST /v1/batch, GET|POST /v1/stream,
-           POST /v1/rtl, GET /v1/health, GET /v1/stats, POST /v1/shutdown
+endpoints: POST /v1/generate, POST /v1/batch, GET|POST /v1/stream
+           (?resume=ID&from=N re-attaches to a running batch),
+           POST /v1/rtl, GET /v1/health, GET /v1/stats,
+           GET|POST /v1/failpoints, POST /v1/shutdown
 ";
 
 /// Capacity of the `/v1/rtl` render cache, in entries. Deliberately
@@ -177,6 +188,8 @@ impl PhaseAggregates {
 struct App {
     cache: OutcomeCache,
     batch: Batch,
+    // Resumable `/v1/stream` batches: batch_id → replay ring.
+    streams: StreamRegistry,
     timing: PhaseAggregates,
     generate_requests: AtomicU64,
     batch_requests: AtomicU64,
@@ -199,15 +212,19 @@ impl App {
     /// call: it runs on the connection worker after the response head
     /// is on the wire, so it must carry its own strong reference.
     fn handle(self: &Arc<App>, request: &Request) -> Reply {
-        match (request.method.as_str(), request.path.as_str()) {
+        // Routing matches on the path *without* its query string —
+        // `/v1/stream?resume=...` still routes to the stream endpoint.
+        match (request.method.as_str(), request.route_path()) {
             ("POST", "/v1/generate") => self.generate_endpoint(&request.body).into(),
             ("POST", "/v1/batch") => self.batch_endpoint(&request.body).into(),
             ("POST", "/v1/rtl") => self.rtl_endpoint(&request.body).into(),
             // GET is accepted alongside POST so interactive clients
             // (curl without -d, browsers) can watch an empty-body
             // stream fail fast with a structured 400 instead of a
-            // method error; the body semantics are identical.
-            ("GET" | "POST", "/v1/stream") => self.stream_endpoint(&request.body),
+            // method error, and so resumption (which carries no body)
+            // works from anything that can issue a plain GET.
+            ("GET" | "POST", "/v1/stream") => self.stream_endpoint(request),
+            ("GET" | "POST", "/v1/failpoints") => self.failpoints_endpoint(request).into(),
             ("GET", "/v1/health") => health_endpoint().into(),
             ("GET", "/v1/stats") => self.stats_endpoint().into(),
             ("POST", "/v1/shutdown") => {
@@ -218,19 +235,19 @@ impl App {
             (_, "/v1/generate" | "/v1/batch" | "/v1/rtl" | "/v1/shutdown") => Response::error(
                 405,
                 "method_not_allowed",
-                format!("{} requires POST", request.path),
+                format!("{} requires POST", request.route_path()),
             )
             .into(),
             (_, "/v1/health" | "/v1/stats") => Response::error(
                 405,
                 "method_not_allowed",
-                format!("{} requires GET", request.path),
+                format!("{} requires GET", request.route_path()),
             )
             .into(),
-            (_, "/v1/stream") => Response::error(
+            (_, "/v1/stream" | "/v1/failpoints") => Response::error(
                 405,
                 "method_not_allowed",
-                format!("{} requires GET or POST", request.path),
+                format!("{} requires GET or POST", request.route_path()),
             )
             .into(),
             _ => Response::error(
@@ -294,6 +311,13 @@ impl App {
 
     fn generate_endpoint(&self, body: &[u8]) -> Response {
         self.generate_requests.fetch_add(1, Ordering::Relaxed);
+        // Chaos site: a fault inside the handler itself, before any
+        // decoding — exercises the engine's structured-error path.
+        marchgen_failpoint::fail_point!("marchgend.generate", |msg: String| Response::error(
+            500,
+            "injected_fault",
+            msg
+        ));
         let request = match App::decode_request(body) {
             Ok(request) => request,
             Err(response) => return response,
@@ -480,44 +504,175 @@ impl App {
     /// (400/422 with the usual structured body): the status line is
     /// already on the wire once streaming starts, so all validation
     /// happens first.
-    fn stream_endpoint(self: &Arc<App>, body: &[u8]) -> Reply {
+    ///
+    /// Every stream is resumable: the batch runs on its own thread and
+    /// *publishes* frames into a [`marchgen::resume::BatchStream`]
+    /// replay ring, announced up front by a `{"event":"batch"}` frame
+    /// carrying the `batch_id` token; every frame carries a monotone
+    /// `seq`. This connection is merely the ring's first follower — a
+    /// peer hanging up cancels nothing (the batch keeps feeding the
+    /// ring and any coalesced cache waiters), and the client comes back
+    /// via `?resume=<batch_id>&from=<seq>` ([`App::resume_stream`]).
+    fn stream_endpoint(self: &Arc<App>, request: &Request) -> Reply {
         self.stream_requests.fetch_add(1, Ordering::Relaxed);
-        let requests = match App::decode_batch(body) {
+        if let Some(batch_id) = request.query_param("resume") {
+            return self.resume_stream(batch_id, request.query_param("from"));
+        }
+        let requests = match App::decode_batch(&request.body) {
             Ok(requests) => requests,
             Err(response) => return response.into(),
         };
         let app = Arc::clone(self);
+        let stream = self.streams.begin();
+        let request_id = request.request_id.clone();
         StreamResponse::new(move |sink| {
-            // Workers emit events concurrently; the mutex serializes
-            // whole frames so lines never interleave mid-document. A
-            // peer hanging up mid-stream must not cancel computations
-            // other cache waiters may be coalesced onto, so write
-            // errors stop emission (sticky `dead` flag) while the
-            // batch runs to completion; the producer then reports the
-            // failure so the engine closes the desynchronized
-            // connection.
-            let sink = Mutex::new(sink);
-            let dead = std::sync::atomic::AtomicBool::new(false);
-            let started = Instant::now();
-            let results = app.batch.run_cached(&app.cache, requests, |event| {
-                // Nothing renders once the peer is gone — the batch
-                // only keeps running for coalesced cache waiters.
-                if !dead.load(Ordering::Relaxed) {
-                    let frame = event.to_json();
-                    let mut sink = sink.lock().expect("stream sink lock");
-                    if sink.send_json(&frame).is_err() {
-                        dead.store(true, Ordering::Relaxed);
-                    }
-                }
+            stream.publish(|seq| {
+                frame_line(
+                    Json::object([
+                        ("event", Json::from("batch")),
+                        ("batch_id", Json::from(stream.id())),
+                        ("request_id", Json::from(request_id.as_str())),
+                    ]),
+                    seq,
+                )
             });
-            let wall = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
-            app.timing.record_batch(&results, wall);
-            if dead.load(Ordering::Relaxed) {
-                return Err(std::io::Error::other("stream client went away"));
+            let produced = std::thread::scope(|scope| {
+                let producer_stream = Arc::clone(&stream);
+                let producer = scope.spawn(move || {
+                    // Completes the ring even if the batch panics, so
+                    // followers (this connection and any resumers) are
+                    // always released.
+                    let _done = CompleteOnDrop(Arc::clone(&producer_stream));
+                    let started = Instant::now();
+                    let results = app.batch.run_cached(&app.cache, requests, |event| {
+                        let doc = event.to_json();
+                        producer_stream.publish(|seq| frame_line(doc, seq));
+                    });
+                    let wall = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+                    app.timing.record_batch(&results, wall);
+                });
+                let followed = stream.follow(0, |line| sink.send(line.as_bytes()));
+                // The batch always runs to completion — coalesced cache
+                // waiters and future resumers depend on it — so a dead
+                // peer merely stops this follower while the join waits.
+                (producer.join(), followed)
+            });
+            let (ran, followed) = produced;
+            if ran.is_err() {
+                return Err(std::io::Error::other("stream batch producer panicked"));
             }
-            Ok(())
+            match followed {
+                Ok(()) => Ok(()),
+                Err(FollowError::Io(error)) => Err(error),
+                Err(FollowError::Gap { .. }) => Err(std::io::Error::other(
+                    "stream client fell behind the replay ring",
+                )),
+            }
         })
         .into()
+    }
+
+    /// `GET /v1/stream?resume=<batch_id>&from=<seq>`: re-attaches to a
+    /// live or recently-completed batch stream — frames still in the
+    /// replay ring are resent byte-identically from `from`, then the
+    /// follower tails live publishes to the terminal frame. Validation
+    /// happens before the response head is written: a malformed `from`
+    /// is a 422, an unknown/expired/evicted token a structured 404
+    /// (`resume_unknown` — resubmit the batch), a start sequence that
+    /// already left the ring a 410 (`resume_gap`).
+    fn resume_stream(&self, batch_id: &str, from: Option<&str>) -> Reply {
+        let from = match from.map_or(Ok(0), str::parse::<u64>) {
+            Ok(from) => from,
+            Err(_) => {
+                return Response::error(
+                    422,
+                    "invalid_request",
+                    "\"from\" must be a non-negative frame sequence number",
+                )
+                .into()
+            }
+        };
+        let Some(stream) = self.streams.resume(batch_id) else {
+            return Response::error(
+                404,
+                "resume_unknown",
+                format!(
+                    "no resumable batch {batch_id:?} (unknown, expired, or evicted); \
+                     resubmit the batch"
+                ),
+            )
+            .into();
+        };
+        if let Err(oldest) = stream.check_from(from) {
+            return Response::error(
+                410,
+                "resume_gap",
+                format!(
+                    "frames before seq {oldest} have left the replay ring; \
+                     resume with from={oldest} (accepting a gap) or resubmit the batch"
+                ),
+            )
+            .into();
+        }
+        StreamResponse::new(move |sink| {
+            match stream.follow(from, |line| sink.send(line.as_bytes())) {
+                Ok(()) => Ok(()),
+                Err(FollowError::Io(error)) => Err(error),
+                // An eviction raced the check above; refuse to skip
+                // frames silently — the truncated stream (no terminal
+                // frame) tells the client to start over.
+                Err(FollowError::Gap { oldest }) => Err(std::io::Error::other(format!(
+                    "replay ring overtook the resume point (oldest retained seq {oldest})"
+                ))),
+            }
+        })
+        .into()
+    }
+
+    /// `GET /v1/failpoints` lists armed fault-injection sites;
+    /// `POST /v1/failpoints` re-arms them with the same grammar as the
+    /// `MARCHGEND_FAILPOINTS` environment variable —
+    /// `{"config": "cache.disk.write=err(boom);daemon.socket.write=delay(50)"}`
+    /// merges sites (`site=off` disarms one), `{"clear": true}` disarms
+    /// everything. In a build without the `failpoints` cargo feature the
+    /// sites do not exist: GET reports `"enabled": false` and POST
+    /// answers 501 `failpoints_disabled`.
+    fn failpoints_endpoint(&self, request: &Request) -> Response {
+        if request.method == "GET" {
+            return failpoints_table();
+        }
+        if !marchgen_failpoint::enabled() {
+            return Response::error(
+                501,
+                "failpoints_disabled",
+                "this build has no fault-injection sites; rebuild with --features failpoints",
+            );
+        }
+        let text = match std::str::from_utf8(&request.body) {
+            Ok(text) => text,
+            Err(_) => return Response::error(400, "invalid_json", "body is not UTF-8"),
+        };
+        let doc = match Json::parse(text) {
+            Ok(doc) => doc,
+            Err(e) => return Response::error(400, "invalid_json", e.to_string()),
+        };
+        if let Some(node) = doc.get("config") {
+            let Some(config) = node.as_str() else {
+                return Response::error(422, "invalid_request", "\"config\" must be a string");
+            };
+            if let Err(message) = marchgen_failpoint::configure(config) {
+                return Response::error(422, "invalid_request", message);
+            }
+        } else if doc.get("clear").and_then(Json::as_bool) == Some(true) {
+            marchgen_failpoint::clear();
+        } else {
+            return Response::error(
+                422,
+                "invalid_request",
+                "body must be {\"config\": \"site=spec;...\"} or {\"clear\": true}",
+            );
+        }
+        failpoints_table()
     }
 
     fn stats_endpoint(&self) -> Response {
@@ -527,6 +682,35 @@ impl App {
             .map(|stats| stats.snapshot())
             .unwrap_or_default();
         let cache = self.cache.stats();
+        let streams = self.streams.snapshot();
+        let mut cache_pairs: Vec<(String, Json)> = [
+            ("memory_hits", Json::from(cache.memory_hits)),
+            ("disk_hits", Json::from(cache.disk_hits)),
+            ("hits", Json::from(cache.hits())),
+            ("misses", Json::from(cache.misses)),
+            ("inserts", Json::from(cache.inserts)),
+            ("evictions", Json::from(cache.evictions)),
+            ("coalesced", Json::from(cache.coalesced)),
+            ("key_mismatches", Json::from(cache.key_mismatches)),
+            ("resident", Json::from(self.cache.resident())),
+        ]
+        .into_iter()
+        .map(|(key, value)| (key.to_owned(), value))
+        .collect();
+        // Disk-tier health appears only when a disk tier is configured:
+        // `disk_degraded: false` on a memory-only daemon would read as
+        // "the disk is fine" when there is no disk.
+        if let Some(disk) = cache.disk {
+            cache_pairs.extend([
+                ("disk_degraded".to_owned(), Json::Bool(disk.degraded)),
+                ("disk_quarantined".to_owned(), Json::from(disk.quarantined)),
+                (
+                    "disk_write_failures".to_owned(),
+                    Json::from(disk.write_failures),
+                ),
+                ("disk_probes".to_owned(), Json::from(disk.probes)),
+            ]);
+        }
         Response::json(&Json::object([
             (
                 "server",
@@ -548,18 +732,15 @@ impl App {
                     ("streams_active", Json::from(server.streams_active)),
                 ]),
             ),
+            ("cache", Json::object(cache_pairs)),
             (
-                "cache",
+                "streams",
                 Json::object([
-                    ("memory_hits", Json::from(cache.memory_hits)),
-                    ("disk_hits", Json::from(cache.disk_hits)),
-                    ("hits", Json::from(cache.hits())),
-                    ("misses", Json::from(cache.misses)),
-                    ("inserts", Json::from(cache.inserts)),
-                    ("evictions", Json::from(cache.evictions)),
-                    ("coalesced", Json::from(cache.coalesced)),
-                    ("key_mismatches", Json::from(cache.key_mismatches)),
-                    ("resident", Json::from(self.cache.resident())),
+                    ("retained", Json::from(streams.retained)),
+                    ("started", Json::from(streams.started)),
+                    ("resumed", Json::from(streams.resumed)),
+                    ("expired", Json::from(streams.expired)),
+                    ("evicted", Json::from(streams.evicted)),
                 ]),
             ),
             (
@@ -597,6 +778,37 @@ impl App {
     }
 }
 
+/// Renders one stream frame: the event document plus its ring-assigned
+/// `"seq"` field (appended, so the frame prefix clients already parse
+/// is unchanged), newline-terminated — one frame per line.
+fn frame_line(mut doc: Json, seq: u64) -> String {
+    if let Json::Object(pairs) = &mut doc {
+        pairs.push(("seq".to_owned(), Json::from(seq)));
+    }
+    let mut line = doc.render();
+    line.push('\n');
+    line
+}
+
+/// The `/v1/failpoints` response body: whether the build carries
+/// injection sites at all, and which are currently armed.
+fn failpoints_table() -> Response {
+    Response::json(&Json::object([
+        ("enabled", Json::Bool(marchgen_failpoint::enabled())),
+        (
+            "failpoints",
+            Json::array(
+                marchgen_failpoint::list()
+                    .into_iter()
+                    .map(|(name, spec)| {
+                        Json::object([("name", Json::Str(name)), ("config", Json::Str(spec))])
+                    })
+                    .collect::<Vec<_>>(),
+            ),
+        ),
+    ]))
+}
+
 fn health_endpoint() -> Response {
     Response::json(&Json::object([
         ("status", Json::from("ok")),
@@ -627,7 +839,13 @@ fn run() -> Result<(), String> {
     let addr = take_str_option(&mut args, "--addr")?.unwrap_or_else(|| "127.0.0.1:8378".to_owned());
     let cache_dir = take_str_option(&mut args, "--cache-dir")?;
     let cache_capacity = take_option(&mut args, "--cache-capacity")?.unwrap_or(4096);
-    let mut config = ServerConfig::default();
+    // One stderr line per served request, carrying the request id —
+    // the daemon's only log stream, so operators can correlate client
+    // reports (which echo the same id) with server-side activity.
+    let mut config = ServerConfig {
+        log_requests: true,
+        ..ServerConfig::default()
+    };
     if let Some(workers) = take_option(&mut args, "--workers")? {
         config.workers = workers;
     }
@@ -678,6 +896,7 @@ fn run() -> Result<(), String> {
     let app = Arc::new(App {
         cache,
         batch: Batch::new(),
+        streams: StreamRegistry::new(),
         timing: PhaseAggregates::default(),
         generate_requests: AtomicU64::new(0),
         batch_requests: AtomicU64::new(0),

@@ -104,6 +104,7 @@ pub use marchgen_tpg as tpg;
 pub use marchgen_json as json;
 
 mod error;
+pub mod resume;
 pub mod service;
 
 pub use error::Error;

@@ -1,0 +1,485 @@
+//! Stream resumption: sequence-numbered replay rings for `/v1/stream`.
+//!
+//! A streaming batch is expensive to lose. Before this module, a
+//! `/v1/stream` client whose connection dropped mid-batch had exactly
+//! one option: reconnect and resubmit, recomputing (or at best
+//! re-serving from cache) everything it had already watched complete.
+//! Now every stream is backed by a [`BatchStream`] — a bounded,
+//! monotonically sequence-numbered ring of rendered frames — published
+//! under a `batch_id` token in a process-wide [`StreamRegistry`]. The
+//! serving path becomes:
+//!
+//! 1. A fresh `POST /v1/stream` creates a `BatchStream`, announces
+//!    `{"event":"batch","batch_id":...,"seq":0}` as its first frame,
+//!    and runs the batch on a worker thread that *publishes* every
+//!    progress frame into the ring. The client's connection is just a
+//!    **follower** of the ring from sequence 0.
+//! 2. A reconnecting client sends `GET /v1/stream?resume=<batch_id>&`
+//!    `from=<seq>`: missed frames still in the ring are replayed
+//!    byte-identically, then the follower re-attaches live until the
+//!    terminal frame. The computation itself never restarts — it kept
+//!    running server-side while the client was gone (the same property
+//!    that already fed cache waiters).
+//!
+//! Bounds, because every ring is held in memory: a ring keeps at most
+//! [`RING_CAPACITY`] frames (a resumer further behind than that gets a
+//! structured `resume_gap` error and must resubmit); the registry
+//! retains at most [`MAX_RETAINED`] batches (oldest completed evicted
+//! first) and expires completed batches [`RETAIN_COMPLETED`] after
+//! their terminal frame. Gauges for all of this surface on
+//! `/v1/stats`.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::hash::{BuildHasher, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Most frames a batch ring retains; a resumer asking for anything
+/// older receives a gap error instead of a silently incomplete replay.
+pub const RING_CAPACITY: usize = 1024;
+/// Most batches the registry retains at once; beyond it the oldest
+/// completed (then oldest overall) batch loses resumability.
+pub const MAX_RETAINED: usize = 64;
+/// How long a completed batch stays resumable after its terminal frame.
+pub const RETAIN_COMPLETED: Duration = Duration::from_secs(120);
+/// Follower poll slice while waiting for the producer to publish more
+/// frames (a condvar wait bound, not a busy loop).
+const FOLLOW_POLL: Duration = Duration::from_millis(200);
+
+/// Why a follow attempt could not serve frames.
+#[derive(Debug)]
+pub enum FollowError {
+    /// The requested start sequence has been evicted from the ring: the
+    /// client is too far behind to be replayed faithfully.
+    Gap {
+        /// The oldest sequence the ring can still replay.
+        oldest: u64,
+    },
+    /// Frame delivery failed — the follower's peer went away.
+    Io(std::io::Error),
+}
+
+struct RingState {
+    /// Retained frames; `frames[0]` carries sequence `base_seq`.
+    frames: VecDeque<Arc<str>>,
+    /// Sequence number of `frames.front()`.
+    base_seq: u64,
+    /// Sequence the next published frame will get.
+    next_seq: u64,
+    /// Set once the producer finished (successfully or not); no more
+    /// frames will arrive.
+    done: bool,
+    finished_at: Option<Instant>,
+}
+
+/// One batch's replay ring: the producer publishes rendered frames,
+/// any number of followers replay + tail them concurrently.
+pub struct BatchStream {
+    id: String,
+    created: Instant,
+    state: Mutex<RingState>,
+    published: Condvar,
+}
+
+impl BatchStream {
+    fn new(id: String) -> BatchStream {
+        BatchStream {
+            id,
+            created: Instant::now(),
+            state: Mutex::new(RingState {
+                frames: VecDeque::new(),
+                base_seq: 0,
+                next_seq: 0,
+                done: false,
+                finished_at: None,
+            }),
+            published: Condvar::new(),
+        }
+    }
+
+    /// The resumption token clients present as `resume=<batch_id>`.
+    #[must_use]
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// Publishes one frame. `render` receives the frame's assigned
+    /// sequence number (so the producer can embed it in the frame
+    /// itself) and returns the rendered line; the ring stores it and
+    /// wakes every follower. Returns the assigned sequence.
+    pub fn publish(&self, render: impl FnOnce(u64) -> String) -> u64 {
+        let mut state = self.state.lock().expect("batch ring lock");
+        let seq = state.next_seq;
+        let line: Arc<str> = Arc::from(render(seq));
+        state.next_seq += 1;
+        state.frames.push_back(line);
+        if state.frames.len() > RING_CAPACITY {
+            state.frames.pop_front();
+            state.base_seq += 1;
+        }
+        drop(state);
+        self.published.notify_all();
+        seq
+    }
+
+    /// Marks the batch finished: followers drain the ring and return
+    /// instead of waiting for more frames. Idempotent.
+    pub fn complete(&self) {
+        let mut state = match self.state.lock() {
+            Ok(state) => state,
+            // Completion must also run from unwind paths.
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if !state.done {
+            state.done = true;
+            state.finished_at = Some(Instant::now());
+        }
+        drop(state);
+        self.published.notify_all();
+    }
+
+    /// `true` once [`BatchStream::complete`] ran.
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.state.lock().expect("batch ring lock").done
+    }
+
+    /// Validates a resume point *before* any response head is written:
+    /// `Ok` when `from` is still replayable (or in the live future),
+    /// `Err(oldest)` when it has been evicted from the ring.
+    ///
+    /// # Errors
+    ///
+    /// The oldest still-replayable sequence, for the error message.
+    pub fn check_from(&self, from: u64) -> Result<(), u64> {
+        let state = self.state.lock().expect("batch ring lock");
+        if from < state.base_seq {
+            Err(state.base_seq)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Serves frames `from..` to `deliver`, replaying what the ring
+    /// holds and then tailing live publishes until the batch completes.
+    /// `deliver` returning an error (the peer hung up) aborts the
+    /// follow; the batch itself is unaffected.
+    ///
+    /// # Errors
+    ///
+    /// [`FollowError::Gap`] when `from` was already evicted (possible
+    /// even after a successful [`BatchStream::check_from`] if the
+    /// producer laps the follower mid-flight), [`FollowError::Io`] when
+    /// delivery failed.
+    pub fn follow(
+        &self,
+        from: u64,
+        mut deliver: impl FnMut(&str) -> std::io::Result<()>,
+    ) -> Result<(), FollowError> {
+        let mut cursor = from;
+        let mut state = self.state.lock().expect("batch ring lock");
+        loop {
+            if cursor < state.base_seq {
+                return Err(FollowError::Gap {
+                    oldest: state.base_seq,
+                });
+            }
+            // Batch up everything currently available past the cursor,
+            // then deliver outside the lock: a stalled peer must not
+            // block the producer or other followers.
+            let available: Vec<Arc<str>> = state
+                .frames
+                .iter()
+                .skip((cursor - state.base_seq) as usize)
+                .cloned()
+                .collect();
+            let done = state.done;
+            drop(state);
+            for line in &available {
+                deliver(line).map_err(FollowError::Io)?;
+                cursor += 1;
+            }
+            if done && available.is_empty() {
+                return Ok(());
+            }
+            state = self.state.lock().expect("batch ring lock");
+            while !state.done && state.next_seq <= cursor {
+                state = self
+                    .published
+                    .wait_timeout(state, FOLLOW_POLL)
+                    .expect("batch ring lock")
+                    .0;
+            }
+        }
+    }
+}
+
+/// Completes a [`BatchStream`] on drop — the producer-side guard that
+/// guarantees followers are released even when the producing thread
+/// unwinds from a panic mid-batch.
+pub struct CompleteOnDrop(pub Arc<BatchStream>);
+
+impl Drop for CompleteOnDrop {
+    fn drop(&mut self) {
+        self.0.complete();
+    }
+}
+
+/// Cumulative counters and gauges of a [`StreamRegistry`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StreamRegistrySnapshot {
+    /// Batches currently resumable (running or within retention).
+    pub retained: u64,
+    /// Batch streams ever registered.
+    pub started: u64,
+    /// Successful resume attachments.
+    pub resumed: u64,
+    /// Completed batches dropped after [`RETAIN_COMPLETED`].
+    pub expired: u64,
+    /// Batches dropped early because the registry hit [`MAX_RETAINED`].
+    pub evicted: u64,
+}
+
+/// The process-wide table of resumable batches, keyed by `batch_id`.
+#[derive(Default)]
+pub struct StreamRegistry {
+    batches: Mutex<HashMap<String, Arc<BatchStream>>>,
+    id_seq: AtomicU64,
+    started: AtomicU64,
+    resumed: AtomicU64,
+    expired: AtomicU64,
+    evicted: AtomicU64,
+}
+
+impl StreamRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> StreamRegistry {
+        StreamRegistry::default()
+    }
+
+    /// Creates, registers and returns a fresh batch stream, sweeping
+    /// expired entries and enforcing [`MAX_RETAINED`] first.
+    pub fn begin(&self) -> Arc<BatchStream> {
+        let id = new_batch_id(self.id_seq.fetch_add(1, Ordering::Relaxed));
+        let stream = Arc::new(BatchStream::new(id.clone()));
+        self.started.fetch_add(1, Ordering::Relaxed);
+        let mut batches = self.batches.lock().expect("stream registry lock");
+        Self::expire(&mut batches, &self.expired);
+        Self::enforce_cap(&mut batches, &self.evicted);
+        batches.insert(id, Arc::clone(&stream));
+        stream
+    }
+
+    /// Looks a resume token up, counting a successful attachment.
+    /// `None` for unknown or already-expired tokens.
+    #[must_use]
+    pub fn resume(&self, batch_id: &str) -> Option<Arc<BatchStream>> {
+        let mut batches = self.batches.lock().expect("stream registry lock");
+        Self::expire(&mut batches, &self.expired);
+        let stream = batches.get(batch_id).cloned();
+        drop(batches);
+        if stream.is_some() {
+            self.resumed.fetch_add(1, Ordering::Relaxed);
+        }
+        stream
+    }
+
+    /// Drops completed batches past their retention window. Followers
+    /// holding an `Arc` keep streaming; the batch merely stops being
+    /// resumable.
+    fn expire(batches: &mut HashMap<String, Arc<BatchStream>>, expired: &AtomicU64) {
+        let now = Instant::now();
+        let before = batches.len();
+        batches.retain(|_, stream| {
+            let state = stream.state.lock().expect("batch ring lock");
+            state
+                .finished_at
+                .is_none_or(|at| now.saturating_duration_since(at) < RETAIN_COMPLETED)
+        });
+        expired.fetch_add((before - batches.len()) as u64, Ordering::Relaxed);
+    }
+
+    /// Makes room for one incoming batch: while the table would exceed
+    /// [`MAX_RETAINED`], drops the oldest batches, completed ones first.
+    fn enforce_cap(batches: &mut HashMap<String, Arc<BatchStream>>, evicted: &AtomicU64) {
+        if batches.len() >= MAX_RETAINED {
+            let mut victims: Vec<(bool, Instant, String)> = batches
+                .iter()
+                .map(|(id, stream)| {
+                    let done = stream.is_done();
+                    // `!done` sorts running batches after completed
+                    // ones, so live streams are the last to lose
+                    // resumability.
+                    (!done, stream.created, id.clone())
+                })
+                .collect();
+            victims.sort();
+            for (_, _, id) in victims.into_iter().take(batches.len() + 1 - MAX_RETAINED) {
+                batches.remove(&id);
+                evicted.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Current counters and gauges.
+    #[must_use]
+    pub fn snapshot(&self) -> StreamRegistrySnapshot {
+        StreamRegistrySnapshot {
+            retained: self.batches.lock().expect("stream registry lock").len() as u64,
+            started: self.started.load(Ordering::Relaxed),
+            resumed: self.resumed.load(Ordering::Relaxed),
+            expired: self.expired.load(Ordering::Relaxed),
+            evicted: self.evicted.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An unguessable-enough, process-unique resume token. Uniqueness comes
+/// from the sequence; the [`RandomState`](std::collections::hash_map::RandomState)
+/// prefix keeps tokens from being enumerable across batches (they are
+/// capability tokens, if weak ones — resuming only replays progress
+/// frames).
+fn new_batch_id(seq: u64) -> String {
+    static STATE: OnceLock<std::collections::hash_map::RandomState> = OnceLock::new();
+    let mut hasher = STATE
+        .get_or_init(std::collections::hash_map::RandomState::new)
+        .build_hasher();
+    hasher.write_u64(seq);
+    hasher.write_u32(std::process::id());
+    format!("b-{:016x}-{seq:x}", hasher.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect(stream: &BatchStream, from: u64) -> Vec<String> {
+        let mut seen = Vec::new();
+        stream
+            .follow(from, |line| {
+                seen.push(line.to_owned());
+                Ok(())
+            })
+            .expect("follow completes");
+        seen
+    }
+
+    #[test]
+    fn frames_are_sequenced_replayed_and_tailed() {
+        let registry = StreamRegistry::new();
+        let stream = registry.begin();
+        assert!(stream.id().starts_with("b-"));
+        for n in 0..3 {
+            let seq = stream.publish(|seq| format!("frame-{seq}"));
+            assert_eq!(seq, n);
+        }
+        // A follower started after completion replays everything.
+        let tail = Arc::clone(&stream);
+        let tailer = std::thread::spawn(move || collect(&tail, 1));
+        // Give the tailer a moment to catch up and block on the ring.
+        std::thread::sleep(Duration::from_millis(50));
+        stream.publish(|seq| format!("frame-{seq}"));
+        stream.complete();
+        assert_eq!(
+            collect(&stream, 0),
+            ["frame-0", "frame-1", "frame-2", "frame-3"]
+        );
+        // The live tailer saw the replay (from 1) plus the late frame.
+        assert_eq!(tailer.join().unwrap(), ["frame-1", "frame-2", "frame-3"]);
+        // Resuming from the exact end of a finished stream returns
+        // immediately with nothing.
+        assert_eq!(collect(&stream, 4), Vec::<String>::new());
+    }
+
+    #[test]
+    fn ring_eviction_produces_gap_errors_not_silent_holes() {
+        let stream = StreamRegistry::new().begin();
+        for _ in 0..(RING_CAPACITY + 10) {
+            stream.publish(|seq| format!("f{seq}"));
+        }
+        stream.complete();
+        assert!(stream.check_from(0).is_err());
+        let Err(FollowError::Gap { oldest }) = stream.follow(0, |_| Ok(())) else {
+            panic!("evicted start must be a gap error");
+        };
+        assert_eq!(oldest, 10);
+        assert!(stream.check_from(oldest).is_ok());
+        assert_eq!(collect(&stream, oldest).len(), RING_CAPACITY);
+    }
+
+    #[test]
+    fn delivery_errors_abort_the_follow_but_not_the_batch() {
+        let stream = StreamRegistry::new().begin();
+        stream.publish(|seq| format!("f{seq}"));
+        stream.publish(|seq| format!("f{seq}"));
+        let result = stream.follow(0, |_| Err(std::io::Error::other("peer gone")));
+        assert!(matches!(result, Err(FollowError::Io(_))));
+        // The ring is intact for the next follower.
+        stream.complete();
+        assert_eq!(collect(&stream, 0), ["f0", "f1"]);
+    }
+
+    #[test]
+    fn complete_on_drop_releases_followers_on_unwind() {
+        let stream = StreamRegistry::new().begin();
+        let producer = Arc::clone(&stream);
+        let handle = std::thread::spawn(move || {
+            let _guard = CompleteOnDrop(Arc::clone(&producer));
+            producer.publish(|seq| format!("f{seq}"));
+            panic!("producer died mid-batch");
+        });
+        assert!(handle.join().is_err());
+        // Without the guard this would block forever.
+        assert_eq!(collect(&stream, 0), ["f0"]);
+    }
+
+    #[test]
+    fn registry_resumes_known_tokens_and_counts() {
+        let registry = StreamRegistry::new();
+        let stream = registry.begin();
+        assert!(registry.resume("b-nonexistent").is_none());
+        let found = registry.resume(stream.id()).expect("token resolves");
+        assert!(Arc::ptr_eq(&found, &stream));
+        let snapshot = registry.snapshot();
+        assert_eq!(snapshot.started, 1);
+        assert_eq!(snapshot.resumed, 1);
+        assert_eq!(snapshot.retained, 1);
+    }
+
+    #[test]
+    fn retained_batches_are_capped_with_completed_evicted_first() {
+        let registry = StreamRegistry::new();
+        let keep_alive: Vec<_> = (0..MAX_RETAINED).map(|_| registry.begin()).collect();
+        // Complete the first few; they become the preferred victims.
+        for stream in keep_alive.iter().take(8) {
+            stream.complete();
+        }
+        let newcomer = registry.begin();
+        let snapshot = registry.snapshot();
+        assert_eq!(snapshot.retained as usize, MAX_RETAINED);
+        assert_eq!(snapshot.evicted, 1);
+        // The evicted one is a completed batch, not a running one: the
+        // newcomer and every running stream still resolve.
+        assert!(registry.resume(newcomer.id()).is_some());
+        for stream in keep_alive.iter().skip(8) {
+            assert!(registry.resume(stream.id()).is_some(), "running stays");
+        }
+        let resolved: usize = keep_alive
+            .iter()
+            .take(8)
+            .filter(|s| registry.resume(s.id()).is_some())
+            .count();
+        assert_eq!(resolved, 7, "exactly one completed batch was evicted");
+    }
+
+    #[test]
+    fn batch_ids_are_unique_and_unpredictable_shaped() {
+        let registry = StreamRegistry::new();
+        let a = registry.begin();
+        let b = registry.begin();
+        assert_ne!(a.id(), b.id());
+    }
+}

@@ -127,6 +127,17 @@ impl Daemon {
     }
 }
 
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        // A panicking test must not leak its daemon: the orphan would
+        // keep the harness's inherited stderr pipe open forever,
+        // wedging `cargo test | ...` pipelines long after the test
+        // binary exited. Killing an already-exited child is a no-op.
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
 /// One persistent daemon connection (see [`Daemon::keepalive`]).
 struct KeepAlive {
     stream: TcpStream,
@@ -442,9 +453,55 @@ fn daemon_streams_progress_and_rate_limits_peers() {
             .contains("content-type: application/x-ndjson"),
         "{head}"
     );
+    // Every response carries a request id (generated here — the client
+    // sent none), and the id echoed on the head is the one the batch
+    // announcement frame attributes the stream to.
+    assert!(
+        head.to_ascii_lowercase().contains("x-request-id: req-"),
+        "{head}"
+    );
+
+    // A client-supplied id is echoed back verbatim instead.
+    let mut tagged = TcpStream::connect(&daemon.addr).expect("connect");
+    tagged
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .unwrap();
+    write!(
+        tagged,
+        "GET /v1/health HTTP/1.1\r\nhost: x\r\nx-request-id: chaos-cafe-42\r\nconnection: close\r\n\r\n"
+    )
+    .expect("send tagged request");
+    let mut tagged_wire = String::new();
+    tagged
+        .read_to_string(&mut tagged_wire)
+        .expect("read tagged response");
+    assert!(
+        tagged_wire
+            .to_ascii_lowercase()
+            .contains("x-request-id: chaos-cafe-42"),
+        "{tagged_wire}"
+    );
     let lines: Vec<&str> = frames.lines().collect();
-    assert_eq!(lines.len(), 7, "started x3 + item x3 + completed: {frames}");
-    // ≥ 3 distinct frame kinds: start, item, terminal.
+    assert_eq!(
+        lines.len(),
+        8,
+        "batch + started x3 + item x3 + completed: {frames}"
+    );
+    // Frame 0 announces the resumption token; every frame carries a
+    // gapless monotone sequence number.
+    assert!(
+        lines[0].starts_with("{\"event\":\"batch\",\"batch_id\":\"b-"),
+        "{frames}"
+    );
+    assert!(lines[0].contains("\"request_id\":\""), "{frames}");
+    for (expected_seq, line) in lines.iter().enumerate() {
+        assert!(
+            line.ends_with(&format!(",\"seq\":{expected_seq}}}")),
+            "{line}"
+        );
+    }
+    // ≥ 3 distinct frame kinds besides the announcement: start, item,
+    // terminal.
     assert!(
         lines
             .iter()
@@ -466,11 +523,67 @@ fn daemon_streams_progress_and_rate_limits_peers() {
             .any(|l| l.contains("\"event\":\"item\"") && l.contains("\"ok\":false")),
         "{frames}"
     );
-    assert_eq!(
-        *lines.last().unwrap(),
-        "{\"event\":\"completed\",\"total\":3,\"succeeded\":2,\"failed\":1}",
-        "terminal frame is last"
+    assert!(
+        lines
+            .last()
+            .unwrap()
+            .starts_with("{\"event\":\"completed\",\"total\":3,\"succeeded\":2,\"failed\":1"),
+        "terminal frame is last: {frames}"
     );
+
+    // ---- resumption: the replay is byte-identical -----------------------
+    // The batch is complete but stays in the replay ring; re-attaching
+    // from seq 0 must resend every frame exactly as first delivered.
+    let batch_id = lines[0]
+        .split_once("\"batch_id\":\"")
+        .and_then(|(_, rest)| rest.split_once('"'))
+        .map(|(id, _)| id.to_owned())
+        .expect("batch frame carries batch_id");
+    let mut resume = TcpStream::connect(&daemon.addr).expect("connect");
+    resume
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .unwrap();
+    write!(
+        resume,
+        "GET /v1/stream?resume={batch_id}&from=0 HTTP/1.1\r\nhost: marchgend\r\nconnection: close\r\n\r\n"
+    )
+    .expect("send resume request");
+    let mut resumed_wire = String::new();
+    resume
+        .read_to_string(&mut resumed_wire)
+        .expect("read resumed stream");
+    let (status, _, replayed) = dechunk(&resumed_wire);
+    assert_eq!(status, 200, "{resumed_wire}");
+    assert_eq!(replayed, frames, "resumed replay must be byte-identical");
+
+    // Resuming mid-stream replays only the tail, and the error paths
+    // are structured: unknown tokens 404, malformed cursors 422.
+    let mut tail = TcpStream::connect(&daemon.addr).expect("connect");
+    tail.set_read_timeout(Some(Duration::from_secs(120)))
+        .unwrap();
+    write!(
+        tail,
+        "GET /v1/stream?resume={batch_id}&from=7 HTTP/1.1\r\nhost: marchgend\r\nconnection: close\r\n\r\n"
+    )
+    .expect("send tail resume");
+    let mut tail_wire = String::new();
+    tail.read_to_string(&mut tail_wire).expect("read tail");
+    let (status, _, tail_frames) = dechunk(&tail_wire);
+    assert_eq!(status, 200, "{tail_wire}");
+    assert_eq!(
+        tail_frames.lines().collect::<Vec<_>>(),
+        vec![*lines.last().unwrap()],
+        "from=7 replays exactly the terminal frame"
+    );
+    let (status, body) = daemon.request("GET", "/v1/stream?resume=b-bogus&from=0", "");
+    assert_eq!(status, 404, "{body}");
+    assert!(body.contains("\"code\":\"resume_unknown\""), "{body}");
+    let (status, body) = daemon.request(
+        "GET",
+        &format!("/v1/stream?resume={batch_id}&from=banana"),
+        "",
+    );
+    assert_eq!(status, 422, "{body}");
 
     // ---- exhaust the per-peer bucket ------------------------------------
     // Burst 40 minus what the test already spent; hammering quick
@@ -522,8 +635,16 @@ fn daemon_streams_progress_and_rate_limits_peers() {
             assert!(attempt < 60, "stats stayed rate-limited: {body}");
         }
     };
-    assert_eq!(counter(&stats, "streams"), 1, "{stats}");
-    assert_eq!(counter(&stats, "stream"), 1, "{stats}");
+    // Server-side stream connections: the original batch plus the two
+    // successful resume re-attachments (this finds the `server` block's
+    // numeric `"streams"` counter, which renders before the stream
+    // registry's `"streams"` object).
+    assert_eq!(counter(&stats, "streams"), 3, "{stats}");
+    // Endpoint hits include the two rejected resume attempts (404/422).
+    assert_eq!(counter(&stats, "stream"), 5, "{stats}");
+    // The stream-registry gauges: one retained batch, two resumes.
+    assert_eq!(counter(&stats, "retained"), 1, "{stats}");
+    assert_eq!(counter(&stats, "resumed"), 2, "{stats}");
     assert!(counter(&stats, "rejected_rate_limited") >= 1, "{stats}");
 
     // ---- graceful shutdown (may need the bucket to refill) --------------
