@@ -173,6 +173,22 @@ impl Response {
         }
     }
 
+    /// A `200 OK` plain-text response with an explicit content type —
+    /// the Prometheus `/metrics` exposition
+    /// (`text/plain; version=0.0.4`), for example.
+    #[must_use]
+    pub fn text(body: String, content_type: &'static str) -> Response {
+        Response {
+            status: 200,
+            body,
+            content_type,
+            close: false,
+            shutdown: false,
+            retry_after: None,
+            request_id: None,
+        }
+    }
+
     /// A structured JSON error: `{"error": {"status", "code", "message"}}`.
     #[must_use]
     pub fn error(status: u16, code: &str, message: impl Into<String>) -> Response {

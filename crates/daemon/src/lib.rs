@@ -371,6 +371,10 @@ mod tests {
         handle.join().unwrap();
         let snapshot = stats.snapshot();
         assert_eq!(snapshot.rejected_rate_limited, 1);
+        assert_eq!(
+            snapshot.rate_limit_allowed, 2,
+            "both admitted decisions counted"
+        );
         assert_eq!(snapshot.requests, 2, "the rejected connection never ran");
     }
 

@@ -26,7 +26,7 @@ use std::io::{BufRead, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Most requests served on one keep-alive connection before it is
 /// recycled.
@@ -113,6 +113,13 @@ pub struct ServerConfig {
     /// (`peer "METHOD /path" status id=<request-id>`), correlating log
     /// output with the `X-Request-Id` echoed on the response.
     pub log_requests: bool,
+    /// Threshold in milliseconds past which a served request earns a
+    /// `slow request` warning line on stderr, measured from dispatch
+    /// to the end of the response write (so a slow stream consumer
+    /// counts too). Emitted even when `log_requests` is off — a
+    /// latency cliff matters regardless of access logging. `0`
+    /// disables the warning.
+    pub slow_request_millis: u64,
 }
 
 impl Default for ServerConfig {
@@ -125,6 +132,7 @@ impl Default for ServerConfig {
             write_timeout: Duration::from_secs(30),
             rate_limit: None,
             log_requests: false,
+            slow_request_millis: 1000,
         }
     }
 }
@@ -323,6 +331,7 @@ impl<H: Handler> Server<H> {
                                 );
                                 continue;
                             }
+                            stats.rate_allowed();
                         }
                         let mut q = queue.lock().expect("accept queue lock");
                         if q.len() >= config.queue_capacity {
@@ -455,6 +464,32 @@ fn log_request(config: &ServerConfig, peer: &str, method: &str, path: &str, stat
     }
 }
 
+/// Stderr warning for a request that took longer than
+/// [`ServerConfig::slow_request_millis`] from dispatch to the end of
+/// the response write. Unconditional on `log_requests` (see the
+/// config-field docs); `0` disables.
+fn warn_slow_request(
+    config: &ServerConfig,
+    peer: &str,
+    method: &str,
+    path: &str,
+    status: u16,
+    id: &str,
+    elapsed: Duration,
+) {
+    let threshold = config.slow_request_millis;
+    if threshold == 0 {
+        return;
+    }
+    let millis = elapsed.as_millis();
+    if millis >= u128::from(threshold) {
+        eprintln!(
+            "marchgen-daemon: slow request: {peer} \"{method} {path}\" {status} id={id} \
+             took {millis}ms (threshold {threshold}ms)"
+        );
+    }
+}
+
 /// Serves one connection keep-alive until close, error, idle timeout or
 /// the keep-alive cap.
 ///
@@ -540,6 +575,10 @@ fn serve_connection(
             }
             Ok(ReadOutcome::Complete(request)) => request,
         };
+        // Slow-request timing covers the handler *and* the response
+        // write: a stream whose consumer reads slowly is slow from the
+        // operator's point of view even when the handler returned fast.
+        let dispatched = Instant::now();
         let (reply, _in_flight) = if shutdown.load(Ordering::SeqCst) {
             stats.shutdown_reject();
             let reply = Reply::Full(
@@ -586,7 +625,17 @@ fn serve_connection(
                     response.status,
                     &request.request_id,
                 );
-                if response.write_to(&mut writer).is_err() || response.close {
+                let write_failed = response.write_to(&mut writer).is_err();
+                warn_slow_request(
+                    config,
+                    &peer,
+                    &request.method,
+                    &request.path,
+                    response.status,
+                    &request.request_id,
+                    dispatched.elapsed(),
+                );
+                if write_failed || response.close {
                     return;
                 }
             }
@@ -611,9 +660,19 @@ fn serve_connection(
                 // connection down instead — the truncated chunked body
                 // (no terminal zero chunk) tells the client the stream
                 // died.
+                let status = stream_response.status;
                 let served = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                     stream_response.write_to(&mut writer, request.http10)
                 }));
+                warn_slow_request(
+                    config,
+                    &peer,
+                    &request.method,
+                    &request.path,
+                    status,
+                    &request.request_id,
+                    dispatched.elapsed(),
+                );
                 match served {
                     Ok(Ok(true)) => {} // clean stream; keep the connection
                     _ => return,

@@ -13,6 +13,7 @@ pub struct ServerStats {
     in_flight: AtomicU64,
     rejected_queue_full: AtomicU64,
     rejected_rate_limited: AtomicU64,
+    rate_limit_allowed: AtomicU64,
     rejected_shutdown: AtomicU64,
     protocol_errors: AtomicU64,
     streams: AtomicU64,
@@ -36,6 +37,10 @@ pub struct ServerStatsSnapshot {
     /// Connections turned away with `429` by the per-peer rate limiter
     /// (`ServerConfig::rate_limit`).
     pub rejected_rate_limited: u64,
+    /// Connections the per-peer rate limiter admitted (the other half
+    /// of the limiter-decision pair; zero when no limiter is
+    /// configured).
+    pub rate_limit_allowed: u64,
     /// Requests/connections answered `503` during shutdown.
     pub rejected_shutdown: u64,
     /// Requests rejected at the protocol layer (4xx before dispatch).
@@ -60,6 +65,10 @@ impl ServerStats {
 
     pub(crate) fn rate_limited(&self) {
         self.rejected_rate_limited.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn rate_allowed(&self) {
+        self.rate_limit_allowed.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn stream_begin(&self) {
@@ -97,6 +106,7 @@ impl ServerStats {
             in_flight: self.in_flight.load(Ordering::Relaxed),
             rejected_queue_full: self.rejected_queue_full.load(Ordering::Relaxed),
             rejected_rate_limited: self.rejected_rate_limited.load(Ordering::Relaxed),
+            rate_limit_allowed: self.rate_limit_allowed.load(Ordering::Relaxed),
             rejected_shutdown: self.rejected_shutdown.load(Ordering::Relaxed),
             protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
             streams: self.streams.load(Ordering::Relaxed),

@@ -18,10 +18,20 @@
 //!     ?resume=ID&from=N                    → replay + re-attach to a running batch
 //! POST /v1/rtl        march or GenerateRequest → SystemVerilog BIST bundle
 //! GET  /v1/health     liveness + version
-//! GET  /v1/stats      server / cache / stream / per-phase timing counters
+//! GET  /v1/stats      server / cache / stream / per-phase timing counters (JSON)
+//! GET  /metrics       the same counters as Prometheus text exposition
 //! GET|POST /v1/failpoints  fault-injection admin (no-op without the feature)
 //! POST /v1/shutdown   graceful drain and exit
 //! ```
+//!
+//! Observability ([`marchgen::obs`], docs/OBSERVABILITY.md): every
+//! request feeds per-endpoint counters and latency histograms plus
+//! per-phase duration histograms in one lock-sharded registry.
+//! `GET /metrics` renders it in Prometheus format; `/v1/stats` is the
+//! JSON view over the *same* atomics (mirrored at snapshot time), so
+//! the two can never drift. A request carrying `?trace=1` or
+//! `X-Trace: 1` additionally gets a span tree in its response's
+//! `diagnostics.trace` block.
 //!
 //! Every `/v1/stream` batch is backed by a replay ring
 //! ([`marchgen::resume`]): the first frame announces a `batch_id`,
@@ -35,6 +45,7 @@ use marchgen::daemon::{
     FromJson, Json, RateLimitConfig, Reply, Request, Response, Server, ServerConfig, ServerStats,
     StreamResponse, ToJson,
 };
+use marchgen::obs::{Histogram, Registry, SpanNode, Tracer};
 use marchgen::resume::{CompleteOnDrop, FollowError, StreamRegistry};
 use marchgen::rtl::RtlOptions;
 use marchgen::service::Batch;
@@ -56,6 +67,7 @@ usage:
   marchgend [--addr HOST:PORT] [--cache-dir DIR] [--cache-capacity N]
             [--workers N] [--queue-capacity N] [--max-body-bytes N]
             [--rate-limit PER_SECOND] [--rate-burst N]
+            [--slow-request-ms N]
 
   --addr            listen address (default 127.0.0.1:8378; port 0 picks
                     a free port — the bound address is printed on stdout)
@@ -73,10 +85,13 @@ usage:
                     reaching a worker.
   --rate-burst      per-peer burst bucket size (default: 2x rate-limit,
                     at least 1); only meaningful with --rate-limit
+  --slow-request-ms warn on stderr when serving a request (handler +
+                    response write) takes at least this long
+                    (default 1000; 0 disables)
 
 endpoints: POST /v1/generate, POST /v1/batch, GET|POST /v1/stream
            (?resume=ID&from=N re-attaches to a running batch),
-           POST /v1/rtl, GET /v1/health, GET /v1/stats,
+           POST /v1/rtl, GET /v1/health, GET /v1/stats, GET /metrics,
            GET|POST /v1/failpoints, POST /v1/shutdown
 ";
 
@@ -183,6 +198,232 @@ impl PhaseAggregates {
     }
 }
 
+/// Bucket bounds for every duration histogram, µs: 100µs to 30s.
+/// Generation runs span sub-millisecond cache hits to multi-second
+/// pair-fault searches, so the grid is logarithmic-ish.
+const DURATION_BUCKETS_MICROS: &[u64] = &[
+    100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 500_000,
+    1_000_000, 2_500_000, 5_000_000, 10_000_000, 30_000_000,
+];
+
+/// Family name + help for per-phase duration histograms — shared
+/// between the tracer's observer (live spans: `request`, `decode`,
+/// `generate`, `render`) and [`Metrics::record_outcome`] (generator
+/// phases measured by the pipeline itself: `expand`, `search`,
+/// `solve`, `schedule`, `verify`).
+const PHASE_FAMILY: &str = "marchgend_phase_duration_microseconds";
+const PHASE_HELP: &str = "Duration of one request phase, microseconds, labeled by phase \
+                          (request/decode/generate/render are daemon wall time; \
+                          expand/search/solve/schedule/verify come from generator diagnostics \
+                          of computed, non-cache-hit outcomes).";
+
+/// The daemon's metric surface: one shared lock-sharded [`Registry`]
+/// holding both *owned* instruments (updated inline on the request
+/// path) and *mirror* instruments (synced from the authoritative
+/// atomics of other subsystems by [`App::sync_metrics`] at snapshot
+/// time, so `/v1/stats` and `GET /metrics` can never disagree).
+struct Metrics {
+    registry: Arc<Registry>,
+}
+
+impl Metrics {
+    fn new() -> Metrics {
+        let registry = Arc::new(Registry::new());
+        registry
+            .gauge(
+                "marchgend_build_info",
+                "Constant 1, labeled with the daemon version.",
+                &[("version", env!("CARGO_PKG_VERSION"))],
+            )
+            .set(1);
+        Metrics { registry }
+    }
+
+    fn phase(&self, phase: &str) -> Arc<Histogram> {
+        self.registry.histogram(
+            PHASE_FAMILY,
+            PHASE_HELP,
+            &[("phase", phase)],
+            DURATION_BUCKETS_MICROS,
+        )
+    }
+
+    /// One routed request: endpoint/status-class counter plus the
+    /// handler-latency histogram. For streaming endpoints the latency
+    /// covers handler setup, not body delivery (the engine's
+    /// slow-request warning covers the write).
+    fn observe_http(&self, endpoint: &'static str, status: u16, micros: u64) {
+        self.registry
+            .counter(
+                "marchgend_http_requests_total",
+                "Requests dispatched to the application router, by endpoint and status class.",
+                &[("endpoint", endpoint), ("class", status_class(status))],
+            )
+            .inc();
+        self.registry
+            .histogram(
+                "marchgend_http_request_duration_microseconds",
+                "Handler wall time per endpoint, microseconds (streaming endpoints count \
+                 handler setup, not body delivery).",
+                &[("endpoint", endpoint)],
+                DURATION_BUCKETS_MICROS,
+            )
+            .observe(micros);
+    }
+
+    /// Phase histograms + solver counters for one *computed*
+    /// (non-cache-hit) outcome. Cache hits contribute nothing — same
+    /// contract as [`PhaseAggregates`].
+    fn record_outcome(&self, diagnostics: &Diagnostics) {
+        let (solve, schedule) = solve_schedule_split(diagnostics);
+        self.phase("expand").observe(diagnostics.expand_micros);
+        self.phase("search").observe(diagnostics.search_micros);
+        self.phase("solve").observe(solve);
+        self.phase("schedule").observe(schedule);
+        self.phase("verify").observe(diagnostics.verify_micros);
+        let backend = if diagnostics.solver.is_empty() {
+            "unknown"
+        } else {
+            diagnostics.solver.as_str()
+        };
+        self.registry
+            .counter(
+                "marchgend_solver_outcomes_total",
+                "Computed outcomes by resolved ATSP solver backend.",
+                &[("backend", backend)],
+            )
+            .inc();
+        self.registry
+            .counter(
+                "marchgend_solver_iterations_total",
+                "Improving local-search moves across computed outcomes, by backend.",
+                &[("backend", backend)],
+            )
+            .add(diagnostics.solver_iterations);
+        self.registry
+            .counter(
+                "marchgend_solver_restarts_total",
+                "Local-search perturbation restarts across computed outcomes, by backend.",
+                &[("backend", backend)],
+            )
+            .add(diagnostics.solver_restarts);
+    }
+
+    /// A per-request [`Tracer`]: its observer feeds the phase
+    /// histograms on every live span drop; the span *tree* is
+    /// collected only when the client asked for one.
+    fn tracer(&self, collect_tree: bool) -> Tracer {
+        let registry = Arc::clone(&self.registry);
+        Tracer::new(collect_tree).with_observer(move |name, micros| {
+            registry
+                .histogram(
+                    PHASE_FAMILY,
+                    PHASE_HELP,
+                    &[("phase", name)],
+                    DURATION_BUCKETS_MICROS,
+                )
+                .observe(micros);
+        })
+    }
+}
+
+/// Splits `search_micros` into its solver and scheduling shares.
+/// `shard_micros` are per-TP-set solve times that may overlap in wall
+/// time (shards run in parallel), so the solve share is clamped to the
+/// measured search wall time; the remainder is enumeration+scheduling.
+fn solve_schedule_split(diagnostics: &Diagnostics) -> (u64, u64) {
+    let solve = diagnostics
+        .shard_micros
+        .iter()
+        .sum::<u64>()
+        .min(diagnostics.search_micros);
+    (solve, diagnostics.search_micros - solve)
+}
+
+/// Synthesizes the generator's own phase timings (already measured by
+/// the pipeline and reported in [`Diagnostics`]) as children of the
+/// currently open span, so a traced request shows where the computed
+/// time went: `expand`, `search` (→ `solve` + `schedule`), `verify`.
+/// These go through [`Tracer::record`], which bypasses the observer —
+/// [`Metrics::record_outcome`] already feeds the histograms.
+fn record_phases(tracer: &Tracer, diagnostics: &Diagnostics) {
+    let (solve, schedule) = solve_schedule_split(diagnostics);
+    tracer.record("expand", diagnostics.expand_micros, |_| {});
+    tracer.record("search", diagnostics.search_micros, |t| {
+        t.record("solve", solve, |_| {});
+        t.record("schedule", schedule, |_| {});
+    });
+    tracer.record("verify", diagnostics.verify_micros, |_| {});
+}
+
+/// `2xx`/`4xx`-style label value for the status-class counter.
+fn status_class(status: u16) -> &'static str {
+    match status / 100 {
+        1 => "1xx",
+        2 => "2xx",
+        3 => "3xx",
+        4 => "4xx",
+        5 => "5xx",
+        _ => "other",
+    }
+}
+
+/// Stable `endpoint` label values — a fixed vocabulary, so hostile
+/// paths cannot mint unbounded label sets.
+fn endpoint_label(route_path: &str) -> &'static str {
+    match route_path {
+        "/v1/generate" => "/v1/generate",
+        "/v1/batch" => "/v1/batch",
+        "/v1/stream" => "/v1/stream",
+        "/v1/rtl" => "/v1/rtl",
+        "/v1/health" => "/v1/health",
+        "/v1/stats" => "/v1/stats",
+        "/v1/failpoints" => "/v1/failpoints",
+        "/v1/shutdown" => "/v1/shutdown",
+        "/metrics" => "/metrics",
+        _ => "other",
+    }
+}
+
+/// `true` when the client asked for a span tree in the response
+/// (`?trace=1` or `X-Trace: 1`).
+fn trace_requested(request: &Request) -> bool {
+    request.query_param("trace") == Some("1")
+        || request.header("x-trace").map(str::trim) == Some("1")
+}
+
+/// Injects the assembled span tree into the outcome document's
+/// `diagnostics` object as its `trace` key (top-level fallback only if
+/// a future document shape drops `diagnostics`).
+fn attach_trace(doc: &mut Json, root: &SpanNode) {
+    let trace = span_json(root);
+    if let Json::Object(pairs) = doc {
+        if let Some((_, Json::Object(diagnostics))) =
+            pairs.iter_mut().find(|(key, _)| key == "diagnostics")
+        {
+            diagnostics.push(("trace".to_owned(), trace));
+        } else {
+            pairs.push(("trace".to_owned(), trace));
+        }
+    }
+}
+
+/// `{"name": ..., "micros": ..., "children": [...]}` — leaves omit
+/// `children` (docs/WIRE_FORMAT.md).
+fn span_json(node: &SpanNode) -> Json {
+    let mut pairs = vec![
+        ("name".to_owned(), Json::from(node.name)),
+        ("micros".to_owned(), Json::from(node.micros)),
+    ];
+    if !node.children.is_empty() {
+        pairs.push((
+            "children".to_owned(),
+            Json::array(node.children.iter().map(span_json).collect::<Vec<_>>()),
+        ));
+    }
+    Json::Object(pairs)
+}
+
 /// The application half of the daemon: routing, codec glue, cache and
 /// batch wiring. Shared by every connection worker.
 struct App {
@@ -204,6 +445,14 @@ struct App {
     // Set right after bind (the server owns counter allocation), read
     // by `/v1/stats`.
     server_stats: OnceLock<Arc<ServerStats>>,
+    // The shared metrics registry behind `GET /metrics` and the
+    // `/v1/stats` mirrors (docs/OBSERVABILITY.md).
+    metrics: Metrics,
+    // Process start, for `uptime_seconds`.
+    started: Instant,
+    // Monotone `/v1/stats` snapshot sequence: scrapers detect stale
+    // snapshots (seq not advancing) and restarts (seq going backwards).
+    stats_seq: AtomicU64,
 }
 
 impl App {
@@ -212,10 +461,23 @@ impl App {
     /// call: it runs on the connection worker after the response head
     /// is on the wire, so it must carry its own strong reference.
     fn handle(self: &Arc<App>, request: &Request) -> Reply {
+        let endpoint = endpoint_label(request.route_path());
+        let started = Instant::now();
+        let reply = self.route(request);
+        let status = match &reply {
+            Reply::Full(response) => response.status,
+            Reply::Stream(stream) => stream.status,
+        };
+        let micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+        self.metrics.observe_http(endpoint, status, micros);
+        reply
+    }
+
+    fn route(self: &Arc<App>, request: &Request) -> Reply {
         // Routing matches on the path *without* its query string —
         // `/v1/stream?resume=...` still routes to the stream endpoint.
         match (request.method.as_str(), request.route_path()) {
-            ("POST", "/v1/generate") => self.generate_endpoint(&request.body).into(),
+            ("POST", "/v1/generate") => self.generate_endpoint(request).into(),
             ("POST", "/v1/batch") => self.batch_endpoint(&request.body).into(),
             ("POST", "/v1/rtl") => self.rtl_endpoint(&request.body).into(),
             // GET is accepted alongside POST so interactive clients
@@ -227,6 +489,7 @@ impl App {
             ("GET" | "POST", "/v1/failpoints") => self.failpoints_endpoint(request).into(),
             ("GET", "/v1/health") => health_endpoint().into(),
             ("GET", "/v1/stats") => self.stats_endpoint().into(),
+            ("GET", "/metrics") => self.metrics_endpoint().into(),
             ("POST", "/v1/shutdown") => {
                 Response::json(&Json::object([("stopping", Json::Bool(true))]))
                     .with_shutdown()
@@ -238,7 +501,7 @@ impl App {
                 format!("{} requires POST", request.route_path()),
             )
             .into(),
-            (_, "/v1/health" | "/v1/stats") => Response::error(
+            (_, "/v1/health" | "/v1/stats" | "/metrics") => Response::error(
                 405,
                 "method_not_allowed",
                 format!("{} requires GET", request.route_path()),
@@ -275,7 +538,11 @@ impl App {
     /// `/v1/rtl`. Applies the daemon's anti-oversubscription rule and
     /// folds computed (non-cache-hit) outcomes into the timing
     /// aggregates; failures come back as a ready-to-send 422.
-    fn run_generate(&self, mut request: GenerateRequest) -> Result<GenerateOutcome, Response> {
+    fn run_generate(
+        &self,
+        mut request: GenerateRequest,
+        tracer: &Tracer,
+    ) -> Result<GenerateOutcome, Response> {
         // Same anti-oversubscription rule as `Batch::run_workers`: an
         // auto-threaded request would spawn one shard worker per CPU
         // inside a daemon that already runs one connection worker per
@@ -293,12 +560,20 @@ impl App {
             request = request.with_search_threads(1);
         }
         let started = Instant::now();
+        let generate_span = tracer.span("generate");
         match self.cache.get_or_compute(&request, marchgen::generate) {
             Ok(outcome) => {
                 if !outcome.diagnostics.cache_hit {
                     let wall = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
                     self.timing.record(&outcome.diagnostics, wall);
+                    self.metrics.record_outcome(&outcome.diagnostics);
+                    // Synthesize the pipeline's own phase timings under
+                    // the still-open `generate` span. Cache hits get no
+                    // phase children: their Diagnostics micros describe
+                    // the *original* computation, not this request.
+                    record_phases(tracer, &outcome.diagnostics);
                 }
+                drop(generate_span);
                 Ok(outcome)
             }
             Err(error) => Err(Response::error(
@@ -309,7 +584,7 @@ impl App {
         }
     }
 
-    fn generate_endpoint(&self, body: &[u8]) -> Response {
+    fn generate_endpoint(&self, request: &Request) -> Response {
         self.generate_requests.fetch_add(1, Ordering::Relaxed);
         // Chaos site: a fault inside the handler itself, before any
         // decoding — exercises the engine's structured-error path.
@@ -318,14 +593,31 @@ impl App {
             "injected_fault",
             msg
         ));
-        let request = match App::decode_request(body) {
-            Ok(request) => request,
-            Err(response) => return response,
+        let tracer = self.metrics.tracer(trace_requested(request));
+        let mut doc = {
+            let _request_span = tracer.span("request");
+            let decoded = {
+                let _decode = tracer.span("decode");
+                App::decode_request(&request.body)
+            };
+            let generate_request = match decoded {
+                Ok(generate_request) => generate_request,
+                Err(response) => return response,
+            };
+            match self.run_generate(generate_request, &tracer) {
+                Ok(outcome) => {
+                    let _render = tracer.span("render");
+                    outcome.to_json()
+                }
+                Err(response) => return response,
+            }
         };
-        match self.run_generate(request) {
-            Ok(outcome) => Response::json(&outcome.to_json()),
-            Err(response) => response,
+        // The `request` span just closed; attach the assembled tree to
+        // the outcome's diagnostics when the client asked for it.
+        if let Some(root) = tracer.finish().into_iter().next() {
+            attach_trace(&mut doc, &root);
         }
+        Response::json(&doc)
     }
 
     /// `POST /v1/rtl`: compiles a March test into the synthesizable
@@ -401,7 +693,7 @@ impl App {
                 Err(e) => return Response::error(422, "invalid_request", e.message),
             };
             let canonical = format!("{};{fragment}", canonical_key_text(&request));
-            let outcome = match self.run_generate(request) {
+            let outcome = match self.run_generate(request, &Tracer::disabled()) {
                 Ok(outcome) => outcome,
                 Err(response) => return response,
             };
@@ -531,13 +823,14 @@ impl App {
                     Json::object([
                         ("event", Json::from("batch")),
                         ("batch_id", Json::from(stream.id())),
-                        ("request_id", Json::from(request_id.as_str())),
                     ]),
                     seq,
+                    &request_id,
                 )
             });
             let produced = std::thread::scope(|scope| {
                 let producer_stream = Arc::clone(&stream);
+                let producer_request_id = request_id.clone();
                 let producer = scope.spawn(move || {
                     // Completes the ring even if the batch panics, so
                     // followers (this connection and any resumers) are
@@ -546,7 +839,7 @@ impl App {
                     let started = Instant::now();
                     let results = app.batch.run_cached(&app.cache, requests, |event| {
                         let doc = event.to_json();
-                        producer_stream.publish(|seq| frame_line(doc, seq));
+                        producer_stream.publish(|seq| frame_line(doc, seq, &producer_request_id));
                     });
                     let wall = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
                     app.timing.record_batch(&results, wall);
@@ -675,7 +968,301 @@ impl App {
         failpoints_table()
     }
 
+    /// `GET /metrics`: the registry in Prometheus text exposition
+    /// format. Mirror instruments are synced first, so a scrape and a
+    /// concurrent `/v1/stats` read the same authoritative atomics.
+    fn metrics_endpoint(&self) -> Response {
+        // Chaos site: a fault inside the scrape path itself — verifies
+        // a panicking/failing exposition answers structured errors
+        // without poisoning the registry for the next scrape.
+        marchgen_failpoint::fail_point!("marchgend.metrics", |msg: String| Response::error(
+            500,
+            "injected_fault",
+            msg
+        ));
+        self.sync_metrics();
+        self.metrics
+            .registry
+            .counter(
+                "marchgend_metrics_scrapes_total",
+                "Completed GET /metrics expositions.",
+                &[],
+            )
+            .inc();
+        Response::text(self.metrics.registry.render(), "text/plain; version=0.0.4")
+    }
+
+    /// Copies every externally owned statistic (server stats, outcome
+    /// cache, RTL cache, stream registry, uptime) into its mirror
+    /// instrument. Called on both snapshot paths (`/v1/stats` and
+    /// `/metrics`) — both views therefore render from the same
+    /// registry state and cannot drift.
+    fn sync_metrics(&self) {
+        let registry = &self.metrics.registry;
+        registry
+            .gauge(
+                "marchgend_uptime_seconds",
+                "Seconds since process start.",
+                &[],
+            )
+            .set(i64::try_from(self.started.elapsed().as_secs()).unwrap_or(i64::MAX));
+
+        let server = self
+            .server_stats
+            .get()
+            .map(|stats| stats.snapshot())
+            .unwrap_or_default();
+        let mirror = |name: &str, help: &str, labels: &[(&str, &str)], value: u64| {
+            registry.counter(name, help, labels).store(value);
+        };
+        mirror(
+            "marchgend_connections_total",
+            "TCP connections accepted, including ones later rejected.",
+            &[],
+            server.connections,
+        );
+        mirror(
+            "marchgend_requests_total",
+            "Requests fully parsed and dispatched to the application handler.",
+            &[],
+            server.requests,
+        );
+        registry
+            .gauge(
+                "marchgend_in_flight",
+                "Requests currently being served (handler execution plus response write).",
+                &[],
+            )
+            .set(i64::try_from(server.in_flight).unwrap_or(i64::MAX));
+        let rejected_help =
+            "Connections/requests turned away before dispatch, by reason (queue_full and \
+             rate_limited answer 429; shutdown answers 503).";
+        mirror(
+            "marchgend_rejected_total",
+            rejected_help,
+            &[("reason", "queue_full")],
+            server.rejected_queue_full,
+        );
+        mirror(
+            "marchgend_rejected_total",
+            rejected_help,
+            &[("reason", "rate_limited")],
+            server.rejected_rate_limited,
+        );
+        mirror(
+            "marchgend_rejected_total",
+            rejected_help,
+            &[("reason", "shutdown")],
+            server.rejected_shutdown,
+        );
+        let limiter_help = "Per-peer rate limiter decisions by outcome (zero when no limiter \
+                            is configured).";
+        mirror(
+            "marchgend_limiter_decisions_total",
+            limiter_help,
+            &[("outcome", "allow")],
+            server.rate_limit_allowed,
+        );
+        mirror(
+            "marchgend_limiter_decisions_total",
+            limiter_help,
+            &[("outcome", "reject")],
+            server.rejected_rate_limited,
+        );
+        mirror(
+            "marchgend_protocol_errors_total",
+            "Requests rejected at the protocol layer (4xx before dispatch).",
+            &[],
+            server.protocol_errors,
+        );
+        mirror(
+            "marchgend_streams_started_total",
+            "Streaming responses started (each pins a worker for its duration).",
+            &[],
+            server.streams,
+        );
+        registry
+            .gauge(
+                "marchgend_streams_active",
+                "Streaming responses currently on the wire.",
+                &[],
+            )
+            .set(i64::try_from(server.streams_active).unwrap_or(i64::MAX));
+
+        let cache = self.cache.stats();
+        let hits_help = "Outcome cache hits by tier.";
+        mirror(
+            "marchgend_cache_hits_total",
+            hits_help,
+            &[("tier", "memory")],
+            cache.memory_hits,
+        );
+        mirror(
+            "marchgend_cache_hits_total",
+            hits_help,
+            &[("tier", "disk")],
+            cache.disk_hits,
+        );
+        mirror(
+            "marchgend_cache_misses_total",
+            "Outcome cache misses (a generation was computed).",
+            &[],
+            cache.misses,
+        );
+        mirror(
+            "marchgend_cache_inserts_total",
+            "Outcomes inserted into the cache.",
+            &[],
+            cache.inserts,
+        );
+        mirror(
+            "marchgend_cache_evictions_total",
+            "Outcomes evicted from the in-memory LRU.",
+            &[],
+            cache.evictions,
+        );
+        mirror(
+            "marchgend_cache_coalesced_total",
+            "Requests served by waiting on an identical in-flight computation \
+             (single-flight).",
+            &[],
+            cache.coalesced,
+        );
+        mirror(
+            "marchgend_cache_key_mismatches_total",
+            "128-bit key collisions detected by canonical-text comparison (each degraded \
+             to a recompute, never to serving foreign bytes).",
+            &[],
+            cache.key_mismatches,
+        );
+        registry
+            .gauge(
+                "marchgend_cache_resident",
+                "Outcomes currently resident in the in-memory LRU.",
+                &[],
+            )
+            .set(i64::try_from(self.cache.resident()).unwrap_or(i64::MAX));
+        // Disk-tier families exist only when a disk tier is configured
+        // — same contract as the JSON view: absent, not zero.
+        if let Some(disk) = cache.disk {
+            registry
+                .gauge(
+                    "marchgend_cache_disk_degraded",
+                    "1 while the disk tier is in degraded (memory-only) mode, else 0.",
+                    &[],
+                )
+                .set(i64::from(disk.degraded));
+            mirror(
+                "marchgend_cache_disk_quarantined_total",
+                "Corrupt disk entries quarantined instead of served.",
+                &[],
+                disk.quarantined,
+            );
+            mirror(
+                "marchgend_cache_disk_write_failures_total",
+                "Failed disk-tier writes (each pushes toward degraded mode).",
+                &[],
+                disk.write_failures,
+            );
+            mirror(
+                "marchgend_cache_disk_probes_total",
+                "Recovery probes issued while the disk tier was degraded.",
+                &[],
+                disk.probes,
+            );
+        }
+
+        let rtl_help = "RTL render cache traffic.";
+        mirror(
+            "marchgend_rtl_cache_hits_total",
+            rtl_help,
+            &[],
+            self.rtl_hits.load(Ordering::Relaxed),
+        );
+        mirror(
+            "marchgend_rtl_cache_misses_total",
+            rtl_help,
+            &[],
+            self.rtl_misses.load(Ordering::Relaxed),
+        );
+        mirror(
+            "marchgend_rtl_cache_evictions_total",
+            rtl_help,
+            &[],
+            self.rtl_cache.evictions(),
+        );
+        registry
+            .gauge(
+                "marchgend_rtl_cache_resident",
+                "RTL bundles currently resident in the render cache.",
+                &[],
+            )
+            .set(i64::try_from(self.rtl_cache.len()).unwrap_or(i64::MAX));
+
+        let streams = self.streams.snapshot();
+        registry
+            .gauge(
+                "marchgend_stream_batches_retained",
+                "Batches currently resumable (running or within retention).",
+                &[],
+            )
+            .set(i64::try_from(streams.retained).unwrap_or(i64::MAX));
+        mirror(
+            "marchgend_stream_batches_started_total",
+            "Batch replay rings ever registered.",
+            &[],
+            streams.started,
+        );
+        mirror(
+            "marchgend_stream_resumes_total",
+            "Successful ?resume= re-attachments.",
+            &[],
+            streams.resumed,
+        );
+        mirror(
+            "marchgend_stream_batches_expired_total",
+            "Completed batches dropped after their retention window.",
+            &[],
+            streams.expired,
+        );
+        mirror(
+            "marchgend_stream_batches_evicted_total",
+            "Batches dropped early because the registry hit its retention cap.",
+            &[],
+            streams.evicted,
+        );
+        mirror(
+            "marchgend_stream_frames_published_total",
+            "Frames published into replay rings.",
+            &[],
+            streams.frames_published,
+        );
+        mirror(
+            "marchgend_stream_frames_replayed_total",
+            "Frames delivered to followers (ring replays and live tails alike).",
+            &[],
+            streams.frames_replayed,
+        );
+        mirror(
+            "marchgend_stream_frames_dropped_total",
+            "Frames evicted from a ring that outgrew its capacity.",
+            &[],
+            streams.frames_dropped,
+        );
+        registry
+            .gauge(
+                "marchgend_stream_ring_frames",
+                "Frames currently held across every retained replay ring.",
+                &[],
+            )
+            .set(i64::try_from(streams.ring_frames).unwrap_or(i64::MAX));
+    }
+
     fn stats_endpoint(&self) -> Response {
+        // Keep the Prometheus mirrors in lockstep with this JSON
+        // snapshot — both endpoints sample the same atomics.
+        self.sync_metrics();
+        let stats_seq = self.stats_seq.fetch_add(1, Ordering::Relaxed) + 1;
         let server = self
             .server_stats
             .get()
@@ -713,6 +1300,11 @@ impl App {
         }
         Response::json(&Json::object([
             (
+                "uptime_seconds",
+                Json::from(self.started.elapsed().as_secs()),
+            ),
+            ("stats_seq", Json::from(stats_seq)),
+            (
                 "server",
                 Json::object([
                     ("connections", Json::from(server.connections)),
@@ -726,6 +1318,7 @@ impl App {
                         "rejected_rate_limited",
                         Json::from(server.rejected_rate_limited),
                     ),
+                    ("rate_limit_allowed", Json::from(server.rate_limit_allowed)),
                     ("rejected_shutdown", Json::from(server.rejected_shutdown)),
                     ("protocol_errors", Json::from(server.protocol_errors)),
                     ("streams", Json::from(server.streams)),
@@ -741,6 +1334,10 @@ impl App {
                     ("resumed", Json::from(streams.resumed)),
                     ("expired", Json::from(streams.expired)),
                     ("evicted", Json::from(streams.evicted)),
+                    ("frames_published", Json::from(streams.frames_published)),
+                    ("frames_replayed", Json::from(streams.frames_replayed)),
+                    ("frames_dropped", Json::from(streams.frames_dropped)),
+                    ("ring_frames", Json::from(streams.ring_frames)),
                 ]),
             ),
             (
@@ -778,11 +1375,16 @@ impl App {
     }
 }
 
-/// Renders one stream frame: the event document plus its ring-assigned
-/// `"seq"` field (appended, so the frame prefix clients already parse
-/// is unchanged), newline-terminated — one frame per line.
-fn frame_line(mut doc: Json, seq: u64) -> String {
+/// Renders one stream frame: the event document plus the originating
+/// request's `"request_id"` and the ring-assigned `"seq"` (appended in
+/// that order, so the frame prefix clients already parse is unchanged
+/// and `"seq"` stays the terminal key). The request id rides on every
+/// frame because a resumed follower replays ring bytes verbatim and
+/// never saw the original response headers — this is its only way to
+/// correlate frames with the submitting request's access-log lines.
+fn frame_line(mut doc: Json, seq: u64, request_id: &str) -> String {
     if let Json::Object(pairs) = &mut doc {
+        pairs.push(("request_id".to_owned(), Json::from(request_id)));
         pairs.push(("seq".to_owned(), Json::from(seq)));
     }
     let mut line = doc.render();
@@ -855,6 +1457,9 @@ fn run() -> Result<(), String> {
     if let Some(max_body) = take_option(&mut args, "--max-body-bytes")? {
         config.max_body_bytes = max_body;
     }
+    if let Some(millis) = take_option(&mut args, "--slow-request-ms")? {
+        config.slow_request_millis = millis as u64;
+    }
     let take_f64 = |args: &mut Vec<String>, name: &str| -> Result<Option<f64>, String> {
         match take_str_option(args, name)? {
             None => Ok(None),
@@ -906,6 +1511,9 @@ fn run() -> Result<(), String> {
         rtl_hits: AtomicU64::new(0),
         rtl_misses: AtomicU64::new(0),
         server_stats: OnceLock::new(),
+        metrics: Metrics::new(),
+        started: Instant::now(),
+        stats_seq: AtomicU64::new(0),
     });
 
     let handler_app = Arc::clone(&app);

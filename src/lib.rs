@@ -89,6 +89,12 @@ pub use marchgen_generator as generator;
 pub use marchgen_march as march;
 pub use marchgen_model as model;
 
+/// The observability kit behind `marchgend` (`serde` feature): the
+/// lock-sharded metrics registry rendered at `GET /metrics` and the
+/// span tracer behind `?trace=1` / `X-Trace: 1` request tracing.
+#[cfg(feature = "serde")]
+pub use marchgen_obs as obs;
+
 /// The SystemVerilog BIST backend: compiles a verified March test into a
 /// synthesizable pattern generator, BIST wrapper and self-checking
 /// testbench (`serde` feature: `RtlOptions` is JSON-codable for the

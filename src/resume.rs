@@ -61,6 +61,17 @@ pub enum FollowError {
     Io(std::io::Error),
 }
 
+/// Registry-wide frame-flow counters, shared by every ring the
+/// registry creates (a batch ring increments them as it publishes,
+/// replays and drops frames; `/v1/stats` and `/metrics` read them via
+/// [`StreamRegistry::snapshot`]).
+#[derive(Debug, Default)]
+struct RingCounters {
+    published: AtomicU64,
+    replayed: AtomicU64,
+    dropped: AtomicU64,
+}
+
 struct RingState {
     /// Retained frames; `frames[0]` carries sequence `base_seq`.
     frames: VecDeque<Arc<str>>,
@@ -81,10 +92,11 @@ pub struct BatchStream {
     created: Instant,
     state: Mutex<RingState>,
     published: Condvar,
+    counters: Arc<RingCounters>,
 }
 
 impl BatchStream {
-    fn new(id: String) -> BatchStream {
+    fn new(id: String, counters: Arc<RingCounters>) -> BatchStream {
         BatchStream {
             id,
             created: Instant::now(),
@@ -96,6 +108,7 @@ impl BatchStream {
                 finished_at: None,
             }),
             published: Condvar::new(),
+            counters,
         }
     }
 
@@ -115,9 +128,11 @@ impl BatchStream {
         let line: Arc<str> = Arc::from(render(seq));
         state.next_seq += 1;
         state.frames.push_back(line);
+        self.counters.published.fetch_add(1, Ordering::Relaxed);
         if state.frames.len() > RING_CAPACITY {
             state.frames.pop_front();
             state.base_seq += 1;
+            self.counters.dropped.fetch_add(1, Ordering::Relaxed);
         }
         drop(state);
         self.published.notify_all();
@@ -200,6 +215,7 @@ impl BatchStream {
             for line in &available {
                 deliver(line).map_err(FollowError::Io)?;
                 cursor += 1;
+                self.counters.replayed.fetch_add(1, Ordering::Relaxed);
             }
             if done && available.is_empty() {
                 return Ok(());
@@ -240,6 +256,17 @@ pub struct StreamRegistrySnapshot {
     pub expired: u64,
     /// Batches dropped early because the registry hit [`MAX_RETAINED`].
     pub evicted: u64,
+    /// Frames published into rings (all batches, cumulative).
+    pub frames_published: u64,
+    /// Frames delivered to followers — ring replays and live tails
+    /// alike (one frame delivered to two followers counts twice).
+    pub frames_replayed: u64,
+    /// Frames evicted from a ring because it outgrew [`RING_CAPACITY`]
+    /// (each is a sequence a late resumer can no longer replay).
+    pub frames_dropped: u64,
+    /// Frames currently held across every retained ring (gauge; bounds
+    /// the registry's frame memory).
+    pub ring_frames: u64,
 }
 
 /// The process-wide table of resumable batches, keyed by `batch_id`.
@@ -251,6 +278,7 @@ pub struct StreamRegistry {
     resumed: AtomicU64,
     expired: AtomicU64,
     evicted: AtomicU64,
+    ring: Arc<RingCounters>,
 }
 
 impl StreamRegistry {
@@ -264,7 +292,7 @@ impl StreamRegistry {
     /// expired entries and enforcing [`MAX_RETAINED`] first.
     pub fn begin(&self) -> Arc<BatchStream> {
         let id = new_batch_id(self.id_seq.fetch_add(1, Ordering::Relaxed));
-        let stream = Arc::new(BatchStream::new(id.clone()));
+        let stream = Arc::new(BatchStream::new(id.clone(), Arc::clone(&self.ring)));
         self.started.fetch_add(1, Ordering::Relaxed);
         let mut batches = self.batches.lock().expect("stream registry lock");
         Self::expire(&mut batches, &self.expired);
@@ -327,12 +355,23 @@ impl StreamRegistry {
     /// Current counters and gauges.
     #[must_use]
     pub fn snapshot(&self) -> StreamRegistrySnapshot {
+        let batches = self.batches.lock().expect("stream registry lock");
+        let retained = batches.len() as u64;
+        let ring_frames = batches
+            .values()
+            .map(|stream| stream.state.lock().expect("batch ring lock").frames.len() as u64)
+            .sum();
+        drop(batches);
         StreamRegistrySnapshot {
-            retained: self.batches.lock().expect("stream registry lock").len() as u64,
+            retained,
             started: self.started.load(Ordering::Relaxed),
             resumed: self.resumed.load(Ordering::Relaxed),
             expired: self.expired.load(Ordering::Relaxed),
             evicted: self.evicted.load(Ordering::Relaxed),
+            frames_published: self.ring.published.load(Ordering::Relaxed),
+            frames_replayed: self.ring.replayed.load(Ordering::Relaxed),
+            frames_dropped: self.ring.dropped.load(Ordering::Relaxed),
+            ring_frames,
         }
     }
 }
@@ -473,6 +512,28 @@ mod tests {
             .filter(|s| registry.resume(s.id()).is_some())
             .count();
         assert_eq!(resolved, 7, "exactly one completed batch was evicted");
+    }
+
+    #[test]
+    fn frame_counters_track_publish_replay_drop_and_occupancy() {
+        let registry = StreamRegistry::new();
+        let stream = registry.begin();
+        for _ in 0..(RING_CAPACITY + 3) {
+            stream.publish(|seq| format!("f{seq}"));
+        }
+        stream.complete();
+        // One follower replays the whole surviving ring.
+        let snapshot = registry.snapshot();
+        assert_eq!(snapshot.frames_published, (RING_CAPACITY + 3) as u64);
+        assert_eq!(snapshot.frames_dropped, 3);
+        assert_eq!(snapshot.ring_frames, RING_CAPACITY as u64);
+        assert_eq!(snapshot.frames_replayed, 0);
+        assert_eq!(collect(&stream, 3).len(), RING_CAPACITY);
+        assert_eq!(
+            registry.snapshot().frames_replayed,
+            RING_CAPACITY as u64,
+            "every delivered frame counts as replayed"
+        );
     }
 
     #[test]

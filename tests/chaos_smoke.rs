@@ -318,6 +318,21 @@ fn chaos_disk_faults_degrade_then_recover() {
     assert!(stats.contains("\"disk_degraded\":true"), "{stats}");
     assert!(!stats.contains("\"disk_write_failures\":0"), "{stats}");
 
+    // The Prometheus view agrees: the injected fault shows up as failed
+    // disk writes and the degraded-mode gauge flips to 1.
+    let (status, metrics) = daemon.request("GET", "/metrics", "");
+    assert_eq!(status, 200, "{metrics}");
+    let write_failures: u64 = metrics
+        .lines()
+        .find_map(|line| line.strip_prefix("marchgend_cache_disk_write_failures_total "))
+        .and_then(|value| value.trim().parse().ok())
+        .unwrap_or_else(|| panic!("no disk write-failure counter in:\n{metrics}"));
+    assert!(write_failures >= 1, "{metrics}");
+    assert!(
+        metrics.contains("marchgend_cache_disk_degraded 1"),
+        "{metrics}"
+    );
+
     // While degraded, further requests neither fail nor touch the disk;
     // the memory tier replays the outcome.
     let (status, body) = daemon.request("POST", "/v1/generate", r#"{"faults": ["SAF"]}"#);
@@ -430,6 +445,48 @@ fn chaos_handler_panics_and_errors_stay_structured() {
     assert_eq!(status, 200);
     assert!(body.contains("\"enabled\":true"), "{body}");
     assert!(body.contains("\"failpoints\":[]"), "{body}");
+    daemon.shutdown();
+}
+
+/// A panic injected into the `/metrics` render path produces one
+/// structured 500 and must not poison the registry: the very next
+/// scrape succeeds with every family intact. (Registry locks recover
+/// poisoned state instead of propagating it.)
+#[test]
+fn chaos_metrics_panic_does_not_poison_registry() {
+    let daemon = Daemon::spawn(&[], &[]);
+
+    // Baseline: a healthy scrape with the always-on families present.
+    let (status, baseline) = daemon.request("GET", "/metrics", "");
+    assert_eq!(status, 200, "{baseline}");
+    assert!(baseline.contains("marchgend_build_info"), "{baseline}");
+
+    daemon.arm("marchgend.metrics=1*panic(injected metrics panic)");
+    let (status, body) = daemon.request("GET", "/metrics", "");
+    assert_eq!(status, 500, "{body}");
+    assert!(body.contains("\"code\":\"handler_panic\""), "{body}");
+
+    // The panic burned its one charge and left the registry usable:
+    // the next scrape renders the full catalog again.
+    let (status, recovered) = daemon.request("GET", "/metrics", "");
+    assert_eq!(status, 200, "{recovered}");
+    for family in [
+        "marchgend_build_info",
+        "marchgend_http_requests_total",
+        "marchgend_cache_misses_total",
+        "marchgend_metrics_scrapes_total",
+        "marchgend_uptime_seconds",
+    ] {
+        assert!(recovered.contains(family), "missing {family}:\n{recovered}");
+    }
+    // Injected handler *errors* on the same site surface structured too.
+    daemon.arm("marchgend.metrics=1*err(injected metrics fault)");
+    let (status, body) = daemon.request("GET", "/metrics", "");
+    assert_eq!(status, 500, "{body}");
+    assert!(body.contains("\"code\":\"injected_fault\""), "{body}");
+    let (status, _) = daemon.request("GET", "/metrics", "");
+    assert_eq!(status, 200, "the error spec burns down and scrapes resume");
+    daemon.disarm_all();
     daemon.shutdown();
 }
 

@@ -20,12 +20,18 @@ struct Daemon {
 
 impl Daemon {
     fn spawn(extra_args: &[&str]) -> Daemon {
+        Daemon::spawn_with(extra_args, Stdio::inherit())
+    }
+
+    /// Like [`Daemon::spawn`], but with the given stderr disposition —
+    /// pass `Stdio::piped()` to capture daemon warnings for assertion.
+    fn spawn_with(extra_args: &[&str], stderr: Stdio) -> Daemon {
         let mut child = Command::new(env!("CARGO_BIN_EXE_marchgend"))
             .arg("--addr")
             .arg("127.0.0.1:0")
             .args(extra_args)
             .stdout(Stdio::piped())
-            .stderr(Stdio::inherit())
+            .stderr(stderr)
             .spawn()
             .expect("spawn marchgend");
         let stdout = child.stdout.take().expect("piped stdout");
@@ -799,4 +805,102 @@ fn daemon_serves_from_a_prewarmed_disk_cache() {
     assert_eq!(status, 200);
     second.wait_for_exit();
     let _ = std::fs::remove_dir_all(&cache_dir);
+}
+
+/// Extracts the integer sample value of one exact series (metric name
+/// plus rendered label block) from a Prometheus text exposition.
+fn metric_value(exposition: &str, series: &str) -> i64 {
+    exposition
+        .lines()
+        .find_map(|line| line.strip_prefix(series)?.trim().parse().ok())
+        .unwrap_or_else(|| panic!("series {series} not found in:\n{exposition}"))
+}
+
+/// `/v1/stats` and `GET /metrics` are two views over the same registry:
+/// after a cold/warm request pair they must agree on cache hit counts.
+/// The stats document also carries `uptime_seconds` and a `stats_seq`
+/// that increases monotonically across snapshots.
+#[test]
+fn daemon_stats_and_metrics_agree_on_cache_hits() {
+    let daemon = Daemon::spawn(&["--workers", "2"]);
+
+    let (status, _) = daemon.request("POST", "/v1/generate", r#"{"faults": ["SAF", "TF"]}"#);
+    assert_eq!(status, 200);
+    let (status, warm) = daemon.request("POST", "/v1/generate", r#"{"faults": ["TF", "SAF"]}"#);
+    assert_eq!(status, 200);
+    assert!(warm.contains("\"cache_hit\":true"), "{warm}");
+
+    let (status, stats) = daemon.request("GET", "/v1/stats", "");
+    assert_eq!(status, 200, "{stats}");
+    assert!(stats.contains("\"uptime_seconds\":"), "{stats}");
+    let first_seq = counter(&stats, "stats_seq");
+    assert!(first_seq >= 1, "{stats}");
+    let stats_hits = counter(&stats, "hits");
+    assert!(stats_hits >= 1, "{stats}");
+
+    let (status, metrics) = daemon.request("GET", "/metrics", "");
+    assert_eq!(status, 200, "{metrics}");
+    let metric_hits: i64 = ["memory", "disk"]
+        .iter()
+        .map(|tier| {
+            metric_value(
+                &metrics,
+                &format!("marchgend_cache_hits_total{{tier=\"{tier}\"}}"),
+            )
+        })
+        .sum();
+    assert_eq!(
+        metric_hits, stats_hits,
+        "stats and metrics disagree on cache hits:\n{stats}\n---\n{metrics}"
+    );
+
+    let (status, stats) = daemon.request("GET", "/v1/stats", "");
+    assert_eq!(status, 200, "{stats}");
+    assert!(
+        counter(&stats, "stats_seq") > first_seq,
+        "stats_seq must increase monotonically: {stats}"
+    );
+
+    let (status, _) = daemon.request("POST", "/v1/shutdown", "");
+    assert_eq!(status, 200);
+    daemon.wait_for_exit();
+}
+
+/// `--slow-request-ms` warns on stderr when serving a request (handler
+/// plus response write) takes at least the threshold; a 1ms threshold
+/// makes a cold five-model generate slow.
+#[test]
+fn daemon_warns_on_slow_requests() {
+    let mut daemon = Daemon::spawn_with(
+        &["--workers", "2", "--slow-request-ms", "1"],
+        Stdio::piped(),
+    );
+    let stderr = daemon.child.stderr.take().expect("piped stderr");
+    // Drain stderr concurrently so the daemon can never block on a full
+    // pipe while we wait for it to exit.
+    let reader = std::thread::spawn(move || {
+        let mut text = String::new();
+        BufReader::new(stderr)
+            .read_to_string(&mut text)
+            .expect("read stderr");
+        text
+    });
+
+    let (status, body) = daemon.request(
+        "POST",
+        "/v1/generate",
+        &format!(r#"{{"faults": {FAULTS}}}"#),
+    );
+    assert_eq!(status, 200, "{body}");
+    let (status, _) = daemon.request("POST", "/v1/shutdown", "");
+    assert_eq!(status, 200);
+    daemon.wait_for_exit();
+
+    let stderr_text = reader.join().expect("stderr reader");
+    assert!(
+        stderr_text.contains("slow request:"),
+        "expected a slow-request warning on stderr, got:\n{stderr_text}"
+    );
+    assert!(stderr_text.contains("POST /v1/generate"), "{stderr_text}");
+    assert!(stderr_text.contains("(threshold 1ms)"), "{stderr_text}");
 }
