@@ -167,6 +167,15 @@ impl DiskStore {
         self.dir.join(format!("{key}.json"))
     }
 
+    /// Whether an entry file exists under `key`, without decoding it.
+    /// Used by the stale-schema probe: a hit here on the *previous*
+    /// schema's key means the miss being served was caused by a key
+    /// schema bump, not a cold cache.
+    #[must_use]
+    pub fn contains(&self, key: CacheKey) -> bool {
+        self.path_for(key).exists()
+    }
+
     /// Loads the entry stored under `key`; `None` when absent or
     /// undecodable (a corrupt entry is a miss, never an error). An
     /// undecodable file — corrupt JSON, or a pre-envelope bare outcome

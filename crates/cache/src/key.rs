@@ -21,7 +21,17 @@ use std::fmt;
 
 /// Version tag folded into every key. Bump when the canonical encoding
 /// or the outcome schema changes incompatibly.
-pub const KEY_SCHEMA: u32 = 1;
+///
+/// History: v1 was the pre-primitive-layer encoding (classical fault
+/// taxonomy, no `setup` field in the TP wire schema); v2 covers the
+/// extended workload space (dynamic + linked faults). Entries persisted
+/// under v1 keys are clean misses for a v2 process — the stale-entry
+/// probe ([`previous_schema_key`]) lets the cache *count* them
+/// (`key_schema_stale`) instead of mistaking them for cold misses.
+pub const KEY_SCHEMA: u32 = 2;
+
+/// The schema tag the previous release stamped into its keys.
+const PREVIOUS_KEY_SCHEMA: u32 = 1;
 
 const FNV_OFFSET_128: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
 const FNV_PRIME_128: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
@@ -64,8 +74,21 @@ fn fnv1a_128(bytes: &[u8]) -> u128 {
 /// diverge.
 #[must_use]
 pub fn canonical_key_text(request: &GenerateRequest) -> String {
+    canonical_text_for_schema(request, KEY_SCHEMA)
+}
+
+/// The key this request would have hashed to under the *previous*
+/// schema tag. The cache probes this on a disk miss to tell "pre-bump
+/// entry invalidated by the schema change" apart from a genuinely cold
+/// key (surfaced as `key_schema_stale`).
+#[must_use]
+pub fn previous_schema_key(request: &GenerateRequest) -> CacheKey {
+    key_for_text(&canonical_text_for_schema(request, PREVIOUS_KEY_SCHEMA))
+}
+
+fn canonical_text_for_schema(request: &GenerateRequest, schema: u32) -> String {
     let normal = request.clone().normalize();
-    let mut text = format!("marchgen-cache/v{KEY_SCHEMA};faults=");
+    let mut text = format!("marchgen-cache/v{schema};faults=");
     for (k, model) in normal.faults.iter().enumerate() {
         if k > 0 {
             text.push(',');
@@ -148,6 +171,30 @@ mod tests {
             .with_verifier(VerifierChoice::Scalar)
             .with_search_threads(7);
         assert_eq!(request_key(&base), request_key(&tweaked));
+    }
+
+    #[test]
+    fn schema_tag_is_stamped_and_versions_never_collide() {
+        let request = GenerateRequest::from_fault_list("SAF, TF").unwrap();
+        assert!(
+            canonical_key_text(&request).starts_with("marchgen-cache/v2;"),
+            "{}",
+            canonical_key_text(&request)
+        );
+        assert_ne!(
+            request_key(&request),
+            previous_schema_key(&request),
+            "a schema bump must invalidate every persisted key"
+        );
+    }
+
+    #[test]
+    fn extended_fault_classes_key_distinctly() {
+        let a = GenerateRequest::from_fault_list("dRDF<0>").unwrap();
+        let b = GenerateRequest::from_fault_list("dDRDF<0>").unwrap();
+        let c = GenerateRequest::from_fault_list("LCF<0>").unwrap();
+        assert_ne!(request_key(&a), request_key(&b));
+        assert_ne!(request_key(&a), request_key(&c));
     }
 
     #[test]

@@ -42,7 +42,9 @@ pub mod key;
 pub mod lru;
 
 pub use disk::{DiskStatsSnapshot, DiskStore, StoredEntry};
-pub use key::{canonical_key_text, key_for_text, request_key, CacheKey, KEY_SCHEMA};
+pub use key::{
+    canonical_key_text, key_for_text, previous_schema_key, request_key, CacheKey, KEY_SCHEMA,
+};
 pub use lru::ShardedLru;
 
 use marchgen_generator::{GenerateOutcome, GenerateRequest};
@@ -72,6 +74,11 @@ pub struct CacheStatsSnapshot {
     /// canonical request text — an FNV collision or corruption. Each
     /// one was served as a miss instead of a wrong outcome.
     pub key_mismatches: u64,
+    /// Misses whose request has a persisted entry under the *previous*
+    /// key schema ([`key::KEY_SCHEMA`] history): recomputes forced by a
+    /// schema bump rather than a cold cache. Pre-refactor disk entries
+    /// surface here instead of looking like ordinary misses.
+    pub key_schema_stale: u64,
     /// Health of the attached persistent store (degraded flag,
     /// quarantine and write-failure counters); `None` for memory-only
     /// caches.
@@ -94,6 +101,7 @@ struct CacheStats {
     inserts: AtomicU64,
     coalesced: AtomicU64,
     key_mismatches: AtomicU64,
+    key_schema_stale: AtomicU64,
 }
 
 /// A completion latch for one in-flight computation. Carries no result:
@@ -305,6 +313,7 @@ impl OutcomeCache {
                     // The guard lands the flight even if `compute`
                     // panics — an abandoned flight would wedge every
                     // future request for this key forever.
+                    self.probe_stale_schema(request);
                     let _guard = FlightGuard { cache: self, key };
                     let result = compute(&request.clone().normalize());
                     if let Ok(outcome) = &result {
@@ -321,6 +330,19 @@ impl OutcomeCache {
         }
     }
 
+    /// On a miss about to be recomputed, checks whether the persistent
+    /// store still holds this request's entry under the *previous* key
+    /// schema — a pre-bump entry the schema change invalidated. Counts
+    /// it so operators can tell a schema-bump recompute storm from a
+    /// genuinely cold cache.
+    fn probe_stale_schema(&self, request: &GenerateRequest) {
+        if let Some(disk) = &self.disk {
+            if disk.contains(key::previous_schema_key(request)) {
+                self.stats.key_schema_stale.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
     /// A consistent-enough snapshot of the cumulative counters (each
     /// counter is read atomically; the set is not).
     #[must_use]
@@ -333,6 +355,7 @@ impl OutcomeCache {
             evictions: self.memory.evictions(),
             coalesced: self.stats.coalesced.load(Ordering::Relaxed),
             key_mismatches: self.stats.key_mismatches.load(Ordering::Relaxed),
+            key_schema_stale: self.stats.key_schema_stale.load(Ordering::Relaxed),
             disk: self.disk.as_ref().map(DiskStore::stats),
         }
     }
@@ -485,7 +508,7 @@ mod tests {
         // Simulate a colliding request: same 128-bit key, different
         // canonical text (the attack/accident the key alone cannot
         // distinguish).
-        let impostor_text = "marchgen-cache/v1;faults=TF<u>;something-else";
+        let impostor_text = "marchgen-cache/v2;faults=TF<u>;something-else";
         assert!(
             cache.lookup(key, impostor_text).is_none(),
             "colliding lookup must miss"
@@ -520,6 +543,46 @@ mod tests {
         assert!(cache.lookup(key, "different-canonical-text").is_none());
         assert_eq!(cache.stats().key_mismatches, 1);
         assert!(cache.lookup(key, &canonical_key_text(&saf)).is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A disk directory populated by the previous release (entries
+    /// keyed under schema v1) serves clean misses — and the probe
+    /// counts each one as `key_schema_stale`, so the recompute storm a
+    /// schema bump causes is distinguishable from a cold cache.
+    #[test]
+    fn pre_bump_disk_entries_count_as_schema_stale_misses() {
+        let dir = std::env::temp_dir().join(format!(
+            "marchgen-cache-schema-stale-test-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let request = req("SAF, TF");
+        let outcome = generate(&request).unwrap();
+        {
+            // Simulate the previous release: its entry sits under the
+            // v1 key, with v1 canonical text.
+            let cache = OutcomeCache::new(64).with_disk(&dir).unwrap();
+            let old_text = canonical_key_text(&request).replacen("/v2;", "/v1;", 1);
+            cache.insert(previous_schema_key(&request), &old_text, &outcome);
+        }
+        let cache = OutcomeCache::new(64).with_disk(&dir).unwrap();
+        let replayed = cache.get_or_compute(&request, generate).unwrap();
+        assert!(!replayed.diagnostics.cache_hit, "v1 entry must not serve");
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.key_schema_stale, 1);
+        // A genuinely cold request does not count as schema-stale.
+        let _ = cache.get_or_compute(&req("SOF"), generate).unwrap();
+        assert_eq!(cache.stats().key_schema_stale, 1);
+        // Once recomputed under v2, the request hits normally again.
+        assert!(
+            cache
+                .get_or_compute(&request, generate)
+                .unwrap()
+                .diagnostics
+                .cache_hit
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -1,386 +1,45 @@
 //! The curated fault catalog: coverage requirements (TP equivalence
 //! classes) and behavioural two-cell machines for every [`FaultModel`].
 //!
-//! TPs follow the standard detection-condition derivations of van de Goor
-//! \[1\]; for the pair faults they coincide with the machine-derived BFE
-//! patterns of [`crate::bfe`] (cross-checked by tests). Single-cell TPs
-//! use the [`TpKind::SingleCell`](crate::TpKind) convention: they apply
-//! at every cell a March sweep visits.
+//! Since the primitive-layer refactor this module is a thin facade over
+//! [`crate::lowering`] — the single module holding per-model knowledge.
+//! [`requirements`] are the model's [`PrimitiveClass`](crate::PrimitiveClass)es
+//! converted to [`CoverageRequirement`]s; the tests below pin the paper's
+//! worked examples (Figures 2–3, f.2.3) against that lowering so the
+//! legacy catalog stays byte-identical.
 
-use crate::dir::TransitionDir;
-use crate::model::{AdfKind, FaultModel};
+use crate::lowering;
+use crate::model::FaultModel;
 use crate::req::CoverageRequirement;
-use crate::tp::{Observation, TestPattern};
-use marchgen_model::{Bit, Cell, MemOp, PairState, Tri, TwoCellMachine};
-
-fn read_obs(cell: Cell, expected: Bit) -> Observation {
-    Observation::Read { cell, expected }
-}
+use marchgen_model::TwoCellMachine;
 
 /// Coverage requirements of one fault model (see
 /// [`requirements_for`](crate::requirements_for) for lists).
 #[must_use]
 pub fn requirements(model: FaultModel) -> Vec<CoverageRequirement> {
-    match model {
-        FaultModel::StuckAt(v) => {
-            // SA⟨v⟩ is exposed by writing v̄ and reading it back, from any
-            // starting state.
-            let w = v.flip();
-            vec![CoverageRequirement::new(
-                format!("SA{v}"),
-                vec![TestPattern::single(
-                    Tri::X,
-                    MemOp::write(Cell::I, w),
-                    read_obs(Cell::I, w),
-                )],
-            )]
-        }
-        FaultModel::Transition(d) => {
-            // TF⟨d⟩: the d transition must actually be exercised, so the
-            // initialization pins the pre-transition value.
-            vec![CoverageRequirement::new(
-                format!("TF<{d}>"),
-                vec![TestPattern::single(
-                    d.from_value().into(),
-                    MemOp::write(Cell::I, d.to_value()),
-                    read_obs(Cell::I, d.to_value()),
-                )],
-            )]
-        }
-        FaultModel::StuckOpen => {
-            // SOF: the latch must hold the stale pre-transition value when
-            // the verifying read fires, hence pre-read + immediate.
-            let alt = |d: TransitionDir| {
-                TestPattern::single(
-                    d.from_value().into(),
-                    MemOp::write(Cell::I, d.to_value()),
-                    read_obs(Cell::I, d.to_value()),
-                )
-                .with_immediate()
-                .with_pre_read()
-            };
-            vec![CoverageRequirement::new(
-                "SOF".to_string(),
-                vec![alt(TransitionDir::Up), alt(TransitionDir::Down)],
-            )]
-        }
-        FaultModel::AddressDecoder(AdfKind::Write) => {
-            // Writes aimed at one cell also reach the other: expose by
-            // writing the aggressor address with the complement of the
-            // observed cell's content. Either polarity works — one class
-            // of two alternatives per address order.
-            let class = |aggr: Cell| {
-                let victim = aggr.other();
-                let alt = |v: Bit| {
-                    let init = PairState::UNKNOWN.with(victim, v.into());
-                    TestPattern::pair(init, MemOp::write(aggr, v.flip()), read_obs(victim, v))
-                };
-                CoverageRequirement::new(
-                    format!("ADF<w> ({aggr}-writes reach {victim})"),
-                    vec![alt(Bit::One), alt(Bit::Zero)],
-                )
-            };
-            vec![class(Cell::J), class(Cell::I)]
-        }
-        FaultModel::AddressDecoder(AdfKind::Read) => {
-            // Reads of one cell return the other cell's content: expose by
-            // reading while the two cells hold opposite values.
-            let class = |read: Cell| {
-                let alt = |iv: Bit| {
-                    let init = PairState::new_known(iv, iv.flip());
-                    let expected = match read {
-                        Cell::I => iv,
-                        Cell::J => iv.flip(),
-                    };
-                    TestPattern::pair(init, MemOp::read(read), Observation::SelfRead { expected })
-                };
-                CoverageRequirement::new(
-                    format!("ADF<r> (reads of {read} return {})", read.other()),
-                    vec![alt(Bit::Zero), alt(Bit::One)],
-                )
-            };
-            vec![class(Cell::J), class(Cell::I)]
-        }
-        FaultModel::CouplingInversion(d) => {
-            // CFin⟨d⟩: the victim flips whichever value it holds, so the
-            // two victim polarities are alternatives (Section 5 example).
-            let class = |aggr: Cell| {
-                let victim = aggr.other();
-                let alt = |v: Bit| {
-                    let init = PairState::UNKNOWN
-                        .with(aggr, d.from_value().into())
-                        .with(victim, v.into());
-                    TestPattern::pair(init, MemOp::write(aggr, d.to_value()), read_obs(victim, v))
-                };
-                CoverageRequirement::new(
-                    format!("CFin<{d}> (aggressor {aggr})"),
-                    vec![alt(Bit::Zero), alt(Bit::One)],
-                )
-            };
-            vec![class(Cell::I), class(Cell::J)]
-        }
-        FaultModel::CouplingIdempotent(d, f) => {
-            // CFid⟨d,f⟩: only a victim holding f̄ shows the forcing — a
-            // single TP per address order (paper Figure 3 / f.2.3).
-            let class = |aggr: Cell| {
-                let victim = aggr.other();
-                let init = PairState::UNKNOWN
-                    .with(aggr, d.from_value().into())
-                    .with(victim, f.flip().into());
-                CoverageRequirement::new(
-                    format!("CFid<{d},{f}> (aggressor {aggr})"),
-                    vec![TestPattern::pair(
-                        init,
-                        MemOp::write(aggr, d.to_value()),
-                        read_obs(victim, f.flip()),
-                    )],
-                )
-            };
-            vec![class(Cell::I), class(Cell::J)]
-        }
-        FaultModel::CouplingState(s, f) => {
-            // CFst⟨s,f⟩: while the aggressor holds s the victim is forced
-            // to f. Two excitations work: entering the aggressor state
-            // with a sensitized victim, or writing the victim under the
-            // active condition.
-            let class = |aggr: Cell| {
-                let victim = aggr.other();
-                let enter_condition = TestPattern::pair(
-                    PairState::UNKNOWN
-                        .with(aggr, s.flip().into())
-                        .with(victim, f.flip().into()),
-                    MemOp::write(aggr, s),
-                    read_obs(victim, f.flip()),
-                );
-                let write_under_condition = TestPattern::pair(
-                    PairState::UNKNOWN.with(aggr, s.into()),
-                    MemOp::write(victim, f.flip()),
-                    read_obs(victim, f.flip()),
-                );
-                CoverageRequirement::new(
-                    format!("CFst<{s},{f}> (aggressor {aggr})"),
-                    vec![enter_condition, write_under_condition],
-                )
-            };
-            vec![class(Cell::I), class(Cell::J)]
-        }
-        FaultModel::ReadDestructive(x) | FaultModel::IncorrectRead(x) => {
-            // Both return the wrong value on the exciting read itself.
-            let label = model.to_string();
-            vec![CoverageRequirement::new(
-                label,
-                vec![TestPattern::single(
-                    x.into(),
-                    MemOp::read(Cell::I),
-                    Observation::SelfRead { expected: x },
-                )],
-            )]
-        }
-        FaultModel::DeceptiveReadDestructive(x) => {
-            // The exciting read answers correctly; a second read catches
-            // the flipped cell.
-            vec![CoverageRequirement::new(
-                model.to_string(),
-                vec![TestPattern::single(
-                    x.into(),
-                    MemOp::read(Cell::I),
-                    read_obs(Cell::I, x),
-                )],
-            )]
-        }
-        FaultModel::DataRetention(x) => {
-            // The cell decays after the wait period T.
-            vec![CoverageRequirement::new(
-                model.to_string(),
-                vec![TestPattern::single(
-                    x.into(),
-                    MemOp::Delay,
-                    read_obs(Cell::I, x),
-                )],
-            )]
-        }
-    }
+    lowering::classes(model)
+        .into_iter()
+        .map(crate::primitives::PrimitiveClass::into_requirement)
+        .collect()
 }
 
 /// Behavioural two-cell machines of the fault model's instances, labelled
 /// by which cell (or ordered pair role) is affected. Returns an empty
-/// vector for [`FaultModel::StuckOpen`], whose sense-amplifier latch is
-/// not a function of the pair state (the n-cell simulator models it
-/// directly).
+/// vector for [`FaultModel::StuckOpen`] and the dynamic faults, whose
+/// behaviour is not a function of the pair state alone (the n-cell
+/// simulator models them directly).
 #[must_use]
 pub fn machines(model: FaultModel) -> Vec<(String, TwoCellMachine)> {
-    let m0 = TwoCellMachine::fault_free();
-    let states = PairState::all_known();
-    match model {
-        FaultModel::StuckOpen => Vec::new(),
-        FaultModel::StuckAt(v) => per_cell(model, |c| {
-            let mut m = m0.clone();
-            for s in states {
-                for d in Bit::ALL {
-                    m = m.with_delta(s, MemOp::write(c, d), {
-                        let good = m0.transition(s, MemOp::write(c, d)).next;
-                        good.with(c, v.into())
-                    });
-                }
-                m = m.with_override(
-                    s,
-                    MemOp::read(c),
-                    marchgen_model::Transition {
-                        next: s,
-                        output: Some(v),
-                    },
-                );
-            }
-            m
-        }),
-        FaultModel::Transition(dir) => per_cell(model, |c| {
-            let mut m = m0.clone();
-            for s in states {
-                if s.get(c) == dir.from_value().into() {
-                    m = m.with_delta(s, MemOp::write(c, dir.to_value()), s);
-                }
-            }
-            m
-        }),
-        FaultModel::ReadDestructive(x) => per_cell(model, |c| {
-            let mut m = m0.clone();
-            for s in states {
-                if s.get(c) == x.into() {
-                    m = m.with_override(
-                        s,
-                        MemOp::read(c),
-                        marchgen_model::Transition {
-                            next: s.with(c, x.flip().into()),
-                            output: Some(x.flip()),
-                        },
-                    );
-                }
-            }
-            m
-        }),
-        FaultModel::DeceptiveReadDestructive(x) => per_cell(model, |c| {
-            let mut m = m0.clone();
-            for s in states {
-                if s.get(c) == x.into() {
-                    m = m.with_delta(s, MemOp::read(c), s.with(c, x.flip().into()));
-                }
-            }
-            m
-        }),
-        FaultModel::IncorrectRead(x) => per_cell(model, |c| {
-            let mut m = m0.clone();
-            for s in states {
-                if s.get(c) == x.into() {
-                    m = m.with_lambda(s, MemOp::read(c), Some(x.flip()));
-                }
-            }
-            m
-        }),
-        FaultModel::DataRetention(x) => per_cell(model, |c| {
-            let mut m = m0.clone();
-            for s in states {
-                if s.get(c) == x.into() {
-                    m = m.with_delta(s, MemOp::Delay, s.with(c, x.flip().into()));
-                }
-            }
-            m
-        }),
-        FaultModel::AddressDecoder(AdfKind::Write) => per_aggressor(model, |aggr| {
-            let victim = aggr.other();
-            let mut m = m0.clone();
-            for s in states {
-                for d in Bit::ALL {
-                    let good = m0.transition(s, MemOp::write(aggr, d)).next;
-                    m = m.with_delta(s, MemOp::write(aggr, d), good.with(victim, d.into()));
-                }
-            }
-            m
-        }),
-        FaultModel::AddressDecoder(AdfKind::Read) => per_aggressor(model, |read| {
-            let other = read.other();
-            let mut m = m0.clone();
-            for s in states {
-                m = m.with_lambda(s, MemOp::read(read), s.get(other).bit());
-            }
-            m
-        }),
-        FaultModel::CouplingInversion(dir) => per_aggressor(model, |aggr| {
-            let victim = aggr.other();
-            let mut m = m0.clone();
-            for s in states {
-                if s.get(aggr) == dir.from_value().into() {
-                    let good = m0.transition(s, MemOp::write(aggr, dir.to_value())).next;
-                    m = m.with_delta(
-                        s,
-                        MemOp::write(aggr, dir.to_value()),
-                        good.with(victim, good.get(victim).flip()),
-                    );
-                }
-            }
-            m
-        }),
-        FaultModel::CouplingIdempotent(dir, f) => per_aggressor(model, |aggr| {
-            let victim = aggr.other();
-            let mut m = m0.clone();
-            for s in states {
-                if s.get(aggr) == dir.from_value().into() && s.get(victim) == f.flip().into() {
-                    let good = m0.transition(s, MemOp::write(aggr, dir.to_value())).next;
-                    m = m.with_delta(
-                        s,
-                        MemOp::write(aggr, dir.to_value()),
-                        good.with(victim, f.into()),
-                    );
-                }
-            }
-            m
-        }),
-        FaultModel::CouplingState(cond, f) => per_aggressor(model, |aggr| {
-            let victim = aggr.other();
-            let mut m = m0.clone();
-            for s in states {
-                // Entering the condition with a sensitized victim.
-                if s.get(aggr) == cond.flip().into() && s.get(victim) == f.flip().into() {
-                    let good = m0.transition(s, MemOp::write(aggr, cond)).next;
-                    m = m.with_delta(s, MemOp::write(aggr, cond), good.with(victim, f.into()));
-                }
-                // Victim writes that cannot stick while the condition holds.
-                if s.get(aggr) == cond.into() {
-                    let good = m0.transition(s, MemOp::write(victim, f.flip())).next;
-                    m = m.with_delta(
-                        s,
-                        MemOp::write(victim, f.flip()),
-                        good.with(victim, f.into()),
-                    );
-                }
-            }
-            m
-        }),
-    }
-}
-
-fn per_cell(
-    model: FaultModel,
-    build: impl Fn(Cell) -> TwoCellMachine,
-) -> Vec<(String, TwoCellMachine)> {
-    Cell::ALL
-        .into_iter()
-        .map(|c| (format!("{model} on cell {c}"), build(c)))
-        .collect()
-}
-
-fn per_aggressor(
-    model: FaultModel,
-    build: impl Fn(Cell) -> TwoCellMachine,
-) -> Vec<(String, TwoCellMachine)> {
-    Cell::ALL
-        .into_iter()
-        .map(|c| (format!("{model} (aggressor {c})"), build(c)))
-        .collect()
+    lowering::machines(model)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::dir::TransitionDir;
+    use crate::model::AdfKind;
+    use crate::tp::Observation;
+    use marchgen_model::{Bit, Cell, MemOp, PairState, Tri};
 
     /// Paper Figure 2: the CFid ⟨↑,0⟩ machine with aggressor `i` differs
     /// from `M0` in exactly one transition (01 --w1i--> 10).
@@ -414,7 +73,7 @@ mod tests {
     #[test]
     fn every_machine_differs_from_m0() {
         let m0 = TwoCellMachine::fault_free();
-        for model in FaultModel::all_classical() {
+        for model in FaultModel::all_extended() {
             for (label, m) in machines(model) {
                 assert!(!m0.diff(&m).is_empty(), "{label} equals M0");
             }
@@ -423,7 +82,7 @@ mod tests {
 
     #[test]
     fn all_catalog_tps_are_consistent() {
-        for model in FaultModel::all_classical() {
+        for model in FaultModel::all_extended() {
             for req in requirements(model) {
                 for tp in &req.alternatives {
                     assert!(tp.is_consistent(), "{model}: inconsistent TP {tp}");
@@ -481,5 +140,15 @@ mod tests {
         assert_eq!(machines(FaultModel::StuckOpen).len(), 0);
         assert_eq!(machines(FaultModel::StuckAt(Bit::Zero)).len(), 2);
         assert_eq!(machines(FaultModel::AddressDecoder(AdfKind::Read)).len(), 2);
+    }
+
+    #[test]
+    fn dynamic_requirements_carry_setup_sequences() {
+        let reqs = requirements(FaultModel::DynamicReadDestructive(Bit::Zero));
+        assert_eq!(reqs.len(), 1);
+        let tp = reqs[0].alternatives[0];
+        assert_eq!(tp.setup, Some(MemOp::write(Cell::I, Bit::Zero)));
+        assert_eq!(tp.excite, MemOp::read(Cell::I));
+        assert_eq!(tp.to_string(), "(--, w0i:ri, =0)");
     }
 }

@@ -47,16 +47,23 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod behavior;
 pub mod bfe;
 pub mod catalog;
 mod dir;
+pub mod lowering;
 mod model;
 mod parse;
+pub mod primitives;
 mod req;
 mod tp;
 
+pub use behavior::{
+    FaultBehavior, Invariant, ReadOutput, ReadRule, Role, StoreEffect, WriteEffect, WriteRule,
+};
 pub use dir::TransitionDir;
-pub use model::{AdfKind, FaultModel};
+pub use model::{AdfKind, FaultModel, FAULT_CLASS_LABELS};
 pub use parse::{parse_fault_list, ParseFaultError};
+pub use primitives::{PrimitiveClass, TestPrimitive};
 pub use req::{requirements_for, CoverageRequirement};
 pub use tp::{dedupe_subsumed, generalize, Observation, TestPattern, TpKind};

@@ -66,6 +66,23 @@ pub enum FaultModel {
     /// DRF ⟨value⟩ — data retention: a cell holding `value` decays to the
     /// complement after the wait period `T`.
     DataRetention(Bit),
+    /// dRDF ⟨value⟩ — two-operation dynamic read-destructive: a read of
+    /// `value` *immediately after writing* `value` to the same cell flips
+    /// the cell and returns the flipped value. (Reads not preceded by the
+    /// write behave normally — the static RDF does not cover this.)
+    DynamicReadDestructive(Bit),
+    /// dDRDF ⟨value⟩ — dynamic deceptive read-destructive: the
+    /// write-then-read sequence returns the correct value but flips the
+    /// cell.
+    DynamicDeceptiveReadDestructive(Bit),
+    /// dIRF ⟨value⟩ — dynamic incorrect-read: the write-then-read
+    /// sequence returns the complement; the cell itself is untouched.
+    DynamicIncorrectRead(Bit),
+    /// LCF ⟨value⟩ — linked idempotent coupling: CFid ⟨↑,value⟩ and
+    /// CFid ⟨↓,v̄alue⟩ share one aggressor/victim pair, so the two
+    /// component faults can mask each other under naive excitation
+    /// ordering.
+    LinkedIdempotent(Bit),
 }
 
 impl FaultModel {
@@ -79,6 +96,7 @@ impl FaultModel {
                 | FaultModel::CouplingInversion(_)
                 | FaultModel::CouplingIdempotent(..)
                 | FaultModel::CouplingState(..)
+                | FaultModel::LinkedIdempotent(..)
         )
     }
 
@@ -115,7 +133,51 @@ impl FaultModel {
         v.extend(Bit::ALL.map(FaultModel::DataRetention));
         v
     }
+
+    /// The classical taxonomy plus the linked and two-operation dynamic
+    /// extensions, for exhaustive sweeps over everything the lowering
+    /// layer supports.
+    #[must_use]
+    pub fn all_extended() -> Vec<FaultModel> {
+        let mut v = FaultModel::all_classical();
+        v.extend(Bit::ALL.map(FaultModel::DynamicReadDestructive));
+        v.extend(Bit::ALL.map(FaultModel::DynamicDeceptiveReadDestructive));
+        v.extend(Bit::ALL.map(FaultModel::DynamicIncorrectRead));
+        v.extend(Bit::ALL.map(FaultModel::LinkedIdempotent));
+        v
+    }
+
+    /// The model's *class* label — the family name without polarity or
+    /// direction qualifiers. This is the fixed metric-label vocabulary
+    /// ([`FAULT_CLASS_LABELS`]) used by the daemon's per-class counters.
+    #[must_use]
+    pub fn class_label(&self) -> &'static str {
+        match self {
+            FaultModel::StuckAt(_) => "SAF",
+            FaultModel::Transition(_) => "TF",
+            FaultModel::StuckOpen => "SOF",
+            FaultModel::AddressDecoder(_) => "ADF",
+            FaultModel::CouplingInversion(_) => "CFin",
+            FaultModel::CouplingIdempotent(..) => "CFid",
+            FaultModel::CouplingState(..) => "CFst",
+            FaultModel::ReadDestructive(_) => "RDF",
+            FaultModel::DeceptiveReadDestructive(_) => "DRDF",
+            FaultModel::IncorrectRead(_) => "IRF",
+            FaultModel::DataRetention(_) => "DRF",
+            FaultModel::DynamicReadDestructive(_) => "dRDF",
+            FaultModel::DynamicDeceptiveReadDestructive(_) => "dDRDF",
+            FaultModel::DynamicIncorrectRead(_) => "dIRF",
+            FaultModel::LinkedIdempotent(_) => "LCF",
+        }
+    }
 }
+
+/// The fixed `fault_class` metric-label vocabulary, in canonical model
+/// order. Every [`FaultModel::class_label`] value appears exactly once.
+pub const FAULT_CLASS_LABELS: [&str; 15] = [
+    "SAF", "TF", "SOF", "ADF", "CFin", "CFid", "CFst", "RDF", "DRDF", "IRF", "DRF", "dRDF",
+    "dDRDF", "dIRF", "LCF",
+];
 
 impl fmt::Display for FaultModel {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -131,6 +193,10 @@ impl fmt::Display for FaultModel {
             FaultModel::DeceptiveReadDestructive(b) => write!(f, "DRDF<{b}>"),
             FaultModel::IncorrectRead(b) => write!(f, "IRF<{b}>"),
             FaultModel::DataRetention(b) => write!(f, "DRF<{b}>"),
+            FaultModel::DynamicReadDestructive(b) => write!(f, "dRDF<{b}>"),
+            FaultModel::DynamicDeceptiveReadDestructive(b) => write!(f, "dDRDF<{b}>"),
+            FaultModel::DynamicIncorrectRead(b) => write!(f, "dIRF<{b}>"),
+            FaultModel::LinkedIdempotent(b) => write!(f, "LCF<{b}>"),
         }
     }
 }
@@ -173,12 +239,52 @@ mod tests {
 
     #[test]
     fn names_are_unique() {
-        let mut names: Vec<String> = FaultModel::all_classical()
+        let mut names: Vec<String> = FaultModel::all_extended()
             .iter()
             .map(FaultModel::name)
             .collect();
         names.sort();
         names.dedup();
-        assert_eq!(names.len(), FaultModel::all_classical().len());
+        assert_eq!(names.len(), FaultModel::all_extended().len());
+    }
+
+    #[test]
+    fn extended_taxonomy_size() {
+        // 25 classical + 2 dRDF + 2 dDRDF + 2 dIRF + 2 LCF = 33.
+        assert_eq!(FaultModel::all_extended().len(), 33);
+    }
+
+    #[test]
+    fn extended_display_names() {
+        assert_eq!(
+            FaultModel::DynamicReadDestructive(Bit::Zero).to_string(),
+            "dRDF<0>"
+        );
+        assert_eq!(
+            FaultModel::DynamicDeceptiveReadDestructive(Bit::One).to_string(),
+            "dDRDF<1>"
+        );
+        assert_eq!(
+            FaultModel::DynamicIncorrectRead(Bit::Zero).to_string(),
+            "dIRF<0>"
+        );
+        assert_eq!(FaultModel::LinkedIdempotent(Bit::One).to_string(), "LCF<1>");
+        assert!(FaultModel::LinkedIdempotent(Bit::One).is_pair_fault());
+        assert!(!FaultModel::DynamicReadDestructive(Bit::Zero).is_pair_fault());
+    }
+
+    #[test]
+    fn class_labels_cover_vocabulary() {
+        for m in FaultModel::all_extended() {
+            assert!(
+                FAULT_CLASS_LABELS.contains(&m.class_label()),
+                "{m} has unlisted class label {}",
+                m.class_label()
+            );
+        }
+        let mut labels: Vec<&str> = FAULT_CLASS_LABELS.to_vec();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), FAULT_CLASS_LABELS.len());
     }
 }

@@ -34,6 +34,9 @@ impl std::error::Error for ParseFaultError {}
 /// * `CFin` → both directions; `CFid` → all four `⟨dir, value⟩`
 /// * `CFst` → all four `⟨state, value⟩`
 /// * `RDF`/`DRDF`/`IRF`/`DRF` → both polarities
+/// * `LCF` → both polarities of the linked idempotent coupling pair
+/// * `dRDF`/`dDRDF`/`dIRF` (**case-sensitive** leading `d`) → both
+///   polarities of the two-operation dynamic read faults
 ///
 /// Qualified forms use `<...>` with `u`/`d` (or `↑`/`↓`) and `0`/`1`, e.g.
 /// `CFid<u,0>`, `TF<d>`, `DRF<1>`. Parsing is case-insensitive.
@@ -113,6 +116,36 @@ fn split_args(token: &str) -> Result<(&str, Option<&str>), ParseFaultError> {
 
 fn parse_token(token: &str) -> Result<Vec<FaultModel>, ParseFaultError> {
     let (name, args) = split_args(token)?;
+    // The dynamic-fault mnemonics are case-sensitive: the leading
+    // lowercase `d` distinguishes dRDF/dIRF from the static DRF-family
+    // tokens (`drdf` etc. still reach the case-insensitive match below).
+    match name.trim() {
+        "dRDF" => {
+            return match args {
+                None => Ok(Bit::ALL.map(FaultModel::DynamicReadDestructive).to_vec()),
+                Some(a) => Ok(vec![FaultModel::DynamicReadDestructive(parse_bit(
+                    token, a,
+                )?)]),
+            }
+        }
+        "dDRDF" => {
+            return match args {
+                None => Ok(Bit::ALL
+                    .map(FaultModel::DynamicDeceptiveReadDestructive)
+                    .to_vec()),
+                Some(a) => Ok(vec![FaultModel::DynamicDeceptiveReadDestructive(
+                    parse_bit(token, a)?,
+                )]),
+            }
+        }
+        "dIRF" => {
+            return match args {
+                None => Ok(Bit::ALL.map(FaultModel::DynamicIncorrectRead).to_vec()),
+                Some(a) => Ok(vec![FaultModel::DynamicIncorrectRead(parse_bit(token, a)?)]),
+            }
+        }
+        _ => {}
+    }
     let upper = name.trim().to_ascii_uppercase();
     let one_dir = |args: Option<&str>| -> Result<Vec<FaultModel>, ParseFaultError> {
         match args {
@@ -202,6 +235,10 @@ fn parse_token(token: &str) -> Result<Vec<FaultModel>, ParseFaultError> {
             None => Ok(Bit::ALL.map(FaultModel::DataRetention).to_vec()),
             Some(a) => Ok(vec![FaultModel::DataRetention(parse_bit(token, a)?)]),
         },
+        "LCF" => match args {
+            None => Ok(Bit::ALL.map(FaultModel::LinkedIdempotent).to_vec()),
+            Some(a) => Ok(vec![FaultModel::LinkedIdempotent(parse_bit(token, a)?)]),
+        },
         other => Err(err(token, format!("unknown fault model {other:?}"))),
     }
 }
@@ -255,10 +292,54 @@ mod tests {
 
     #[test]
     fn display_roundtrip() {
-        for model in FaultModel::all_classical() {
+        // Property: every variant's printed form re-parses to exactly
+        // itself — including the linked and dynamic extensions.
+        for model in FaultModel::all_extended() {
             let parsed = parse_fault_list(&model.to_string()).unwrap();
             assert_eq!(parsed, vec![model], "roundtrip of {model}");
         }
+    }
+
+    #[test]
+    fn dynamic_tokens_are_case_sensitive() {
+        assert_eq!(
+            parse_fault_list("dRDF<0>").unwrap(),
+            vec![FaultModel::DynamicReadDestructive(Bit::Zero)]
+        );
+        assert_eq!(
+            parse_fault_list("dRDF").unwrap(),
+            vec![
+                FaultModel::DynamicReadDestructive(Bit::Zero),
+                FaultModel::DynamicReadDestructive(Bit::One),
+            ]
+        );
+        assert_eq!(
+            parse_fault_list("dDRDF<1>").unwrap(),
+            vec![FaultModel::DynamicDeceptiveReadDestructive(Bit::One)]
+        );
+        assert_eq!(
+            parse_fault_list("dIRF").unwrap().len(),
+            2,
+            "family token expands both polarities"
+        );
+        // A lowercased `drdf` is still the static deceptive read fault.
+        assert_eq!(
+            parse_fault_list("drdf").unwrap(),
+            Bit::ALL.map(FaultModel::DeceptiveReadDestructive).to_vec()
+        );
+    }
+
+    #[test]
+    fn linked_tokens() {
+        assert_eq!(
+            parse_fault_list("LCF").unwrap(),
+            Bit::ALL.map(FaultModel::LinkedIdempotent).to_vec()
+        );
+        assert_eq!(
+            parse_fault_list("lcf<1>").unwrap(),
+            vec![FaultModel::LinkedIdempotent(Bit::One)]
+        );
+        assert!(parse_fault_list("LCF<x>").is_err());
     }
 
     #[test]

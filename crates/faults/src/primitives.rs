@@ -1,0 +1,222 @@
+//! Composable **test primitives** — the generation-side lowering target.
+//!
+//! A [`TestPrimitive`] is the small shared vocabulary every fault model
+//! lowers onto: a required initialization state, an excitation
+//! *sequence* of one or two memory operations (two-operation dynamic
+//! faults need a write immediately followed by a read), an observation
+//! channel, and the scheduling attributes the March constructor honours.
+//! [`crate::lowering::lower`] maps `FaultModel -> Vec<TestPrimitive>`;
+//! grouped into [`PrimitiveClass`]es they reproduce the coverage
+//! requirements (`Cᵢ` classes) the generator consumes — byte-identical
+//! to the legacy per-model catalog, which is pinned by the
+//! lowering-equivalence test suite.
+
+use crate::tp::{Observation, TestPattern, TpKind};
+use crate::CoverageRequirement;
+use marchgen_model::{MemOp, PairState, Tri};
+use std::fmt;
+
+/// One composable test primitive: initialization, an excitation
+/// sequence of length ≥ 1, and an observation channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TestPrimitive {
+    /// Required fault-free state before the sequence (`-` = don't-care).
+    pub init: PairState,
+    /// Optional leading sensitizing operation (dynamic faults: the write
+    /// that must *immediately* precede the exciting read on the same
+    /// cell). `None` for the classical single-operation excitations.
+    pub setup: Option<MemOp>,
+    /// The excitation operation proper (last element of the sequence).
+    pub excite: MemOp,
+    /// How the fault effect is observed.
+    pub observe: Observation,
+    /// Single-cell or aggressor/victim pair scope.
+    pub scope: TpKind,
+    /// Observation must immediately follow excitation (stuck-open).
+    pub immediate: bool,
+    /// Excitation must be immediately preceded by a read of the
+    /// initialization value (stuck-open).
+    pub pre_read: bool,
+}
+
+impl TestPrimitive {
+    /// A pair-scope primitive with a single-operation excitation.
+    #[must_use]
+    pub fn pair(init: PairState, excite: MemOp, observe: Observation) -> TestPrimitive {
+        TestPrimitive {
+            init,
+            setup: None,
+            excite,
+            observe,
+            scope: TpKind::Pair,
+            immediate: false,
+            pre_read: false,
+        }
+    }
+
+    /// A single-cell primitive (`init_j` forced to `-`).
+    #[must_use]
+    pub fn single(init: Tri, excite: MemOp, observe: Observation) -> TestPrimitive {
+        TestPrimitive {
+            init: PairState::new(init, Tri::X),
+            setup: None,
+            excite,
+            observe,
+            scope: TpKind::SingleCell,
+            immediate: false,
+            pre_read: false,
+        }
+    }
+
+    /// Builder-style: marks the observation as immediate.
+    #[must_use]
+    pub fn with_immediate(mut self) -> TestPrimitive {
+        self.immediate = true;
+        self
+    }
+
+    /// Builder-style: requires a read of the init value right before
+    /// the excitation.
+    #[must_use]
+    pub fn with_pre_read(mut self) -> TestPrimitive {
+        self.pre_read = true;
+        self
+    }
+
+    /// Builder-style: prepends a sensitizing operation, making this a
+    /// two-operation (dynamic) excitation sequence.
+    #[must_use]
+    pub fn with_setup(mut self, op: MemOp) -> TestPrimitive {
+        self.setup = Some(op);
+        self
+    }
+
+    /// The excitation sequence in order (length 1 or 2).
+    #[must_use]
+    pub fn sequence(&self) -> Vec<MemOp> {
+        match self.setup {
+            Some(s) => vec![s, self.excite],
+            None => vec![self.excite],
+        }
+    }
+
+    /// The equivalent scheduling [`TestPattern`] (field-for-field).
+    #[must_use]
+    pub fn to_pattern(&self) -> TestPattern {
+        TestPattern {
+            init: self.init,
+            excite: self.excite,
+            observe: self.observe,
+            kind: self.scope,
+            immediate: self.immediate,
+            pre_read: self.pre_read,
+            setup: self.setup,
+        }
+    }
+
+    /// The primitive a [`TestPattern`] denotes (inverse of
+    /// [`TestPrimitive::to_pattern`]).
+    #[must_use]
+    pub fn from_pattern(tp: &TestPattern) -> TestPrimitive {
+        TestPrimitive {
+            init: tp.init,
+            setup: tp.setup,
+            excite: tp.excite,
+            observe: tp.observe,
+            scope: tp.kind,
+            immediate: tp.immediate,
+            pre_read: tp.pre_read,
+        }
+    }
+}
+
+impl fmt::Display for TestPrimitive {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_pattern())
+    }
+}
+
+/// One equivalence class of primitives: a labelled fault instance plus
+/// the alternative primitives that each cover it. The lowering-layer
+/// counterpart of [`CoverageRequirement`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrimitiveClass {
+    /// Human-readable instance description.
+    pub label: String,
+    /// Alternative primitives; realizing any one covers the instance.
+    pub alternatives: Vec<TestPrimitive>,
+}
+
+impl PrimitiveClass {
+    /// Creates a class.
+    #[must_use]
+    pub fn new(label: impl Into<String>, alternatives: Vec<TestPrimitive>) -> PrimitiveClass {
+        PrimitiveClass {
+            label: label.into(),
+            alternatives,
+        }
+    }
+
+    /// The equivalent coverage requirement for the generator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the class has no alternatives (a lowering bug).
+    #[must_use]
+    pub fn into_requirement(self) -> CoverageRequirement {
+        CoverageRequirement::new(
+            self.label,
+            self.alternatives
+                .iter()
+                .map(TestPrimitive::to_pattern)
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use marchgen_model::{Bit, Cell};
+
+    #[test]
+    fn pattern_roundtrip() {
+        let p = TestPrimitive::single(
+            Tri::X,
+            MemOp::read(Cell::I),
+            Observation::SelfRead { expected: Bit::One },
+        )
+        .with_setup(MemOp::write(Cell::I, Bit::One));
+        assert_eq!(p.sequence().len(), 2);
+        let tp = p.to_pattern();
+        assert_eq!(TestPrimitive::from_pattern(&tp), p);
+    }
+
+    #[test]
+    fn classical_sequences_have_length_one() {
+        let p = TestPrimitive::single(
+            Tri::Zero,
+            MemOp::write(Cell::I, Bit::One),
+            Observation::Read {
+                cell: Cell::I,
+                expected: Bit::One,
+            },
+        );
+        assert_eq!(p.sequence(), vec![MemOp::write(Cell::I, Bit::One)]);
+    }
+
+    #[test]
+    fn class_converts_to_requirement() {
+        let p = TestPrimitive::single(
+            Tri::X,
+            MemOp::write(Cell::I, Bit::One),
+            Observation::Read {
+                cell: Cell::I,
+                expected: Bit::One,
+            },
+        );
+        let req = PrimitiveClass::new("SA0", vec![p]).into_requirement();
+        assert_eq!(req.label, "SA0");
+        assert_eq!(req.alternatives, vec![p.to_pattern()]);
+    }
+}

@@ -84,6 +84,10 @@ pub struct TestPattern {
     /// initialization value on the same cell (stuck-open faults again:
     /// the latch must hold the pre-transition value).
     pub pre_read: bool,
+    /// Optional sensitizing operation that must *immediately* precede the
+    /// excitation on the same cell, making `E` a two-operation sequence
+    /// (dynamic faults: e.g. dRDF's `w0` right before the exciting `r0`).
+    pub setup: Option<MemOp>,
 }
 
 impl TestPattern {
@@ -97,6 +101,7 @@ impl TestPattern {
             kind: TpKind::Pair,
             immediate: false,
             pre_read: false,
+            setup: None,
         }
     }
 
@@ -110,6 +115,7 @@ impl TestPattern {
             kind: TpKind::SingleCell,
             immediate: false,
             pre_read: false,
+            setup: None,
         }
     }
 
@@ -128,15 +134,27 @@ impl TestPattern {
         self
     }
 
+    /// Builder-style: prepends a sensitizing operation that must
+    /// immediately precede the excitation (two-operation dynamic TPs).
+    #[must_use]
+    pub fn with_setup(mut self, op: MemOp) -> TestPattern {
+        self.setup = Some(op);
+        self
+    }
+
     /// The *observation state* used by the TPG weight function (f.4.1):
     /// the fault-free memory state after applying `E` to `I` (reads and
     /// `T` leave the state unchanged; the observing read never changes
     /// it either).
     #[must_use]
     pub fn obs_state(&self) -> PairState {
+        let after_setup = match self.setup {
+            Some(MemOp::Write(c, d)) => self.init.with(c, d.into()),
+            Some(MemOp::Read(_) | MemOp::Delay) | None => self.init,
+        };
         match self.excite {
-            MemOp::Write(c, d) => self.init.with(c, d.into()),
-            MemOp::Read(_) | MemOp::Delay => self.init,
+            MemOp::Write(c, d) => after_setup.with(c, d.into()),
+            MemOp::Read(_) | MemOp::Delay => after_setup,
         }
     }
 
@@ -176,6 +194,7 @@ impl TestPattern {
             && self.kind == other.kind
             && self.immediate == other.immediate
             && self.pre_read == other.pre_read
+            && self.setup == other.setup
             && component_subsumes(self.init.i, other.init.i)
             && component_subsumes(self.init.j, other.init.j)
     }
@@ -198,6 +217,7 @@ impl TestPattern {
             init: self.init.mirrored(),
             excite: self.excite.mirrored(),
             observe,
+            setup: self.setup.map(MemOp::mirrored),
             ..*self
         }
     }
@@ -218,10 +238,15 @@ impl TestPattern {
                 expected: expected.flip(),
             },
         };
+        let setup = self.setup.map(|op| match op {
+            MemOp::Write(c, d) => MemOp::Write(c, d.flip()),
+            other => other,
+        });
         TestPattern {
             init: self.init.complement(),
             excite,
             observe,
+            setup,
             ..*self
         }
     }
@@ -236,6 +261,9 @@ impl TestPattern {
                 return false;
             }
             if self.excite.cell() == Some(Cell::J) || self.observe_cell() == Cell::J {
+                return false;
+            }
+            if self.setup.and_then(|op| op.cell()) == Some(Cell::J) {
                 return false;
             }
         }
@@ -260,7 +288,10 @@ impl fmt::Display for TestPattern {
             Observation::SelfRead { expected } => format!("={expected}"),
             Observation::Read { cell, expected } => format!("r{expected}{cell}"),
         };
-        write!(f, "({}, {}, {})", self.init, self.excite, o)?;
+        match self.setup {
+            Some(s) => write!(f, "({}, {}:{}, {})", self.init, s, self.excite, o)?,
+            None => write!(f, "({}, {}, {})", self.init, self.excite, o)?,
+        }
         if self.immediate {
             f.write_str("!")?;
         }
@@ -304,6 +335,7 @@ pub fn generalize(tps: &[TestPattern]) -> Vec<TestPattern> {
                     || a.kind != b.kind
                     || a.immediate != b.immediate
                     || a.pre_read != b.pre_read
+                    || a.setup != b.setup
                 {
                     continue;
                 }
@@ -504,5 +536,33 @@ mod tests {
         .with_immediate()
         .with_pre_read();
         assert_eq!(sof.to_string(), "(0-, w1i, r1i)!^");
+    }
+
+    #[test]
+    fn setup_sequences_thread_through() {
+        // dRDF<0> detection: write 0, then immediately read it back.
+        let drdf = TestPattern::single(
+            Tri::X,
+            MemOp::read(Cell::I),
+            Observation::SelfRead {
+                expected: Bit::Zero,
+            },
+        )
+        .with_setup(MemOp::write(Cell::I, Bit::Zero));
+        assert_eq!(drdf.to_string(), "(--, w0i:ri, =0)");
+        assert!(drdf.is_consistent());
+        assert_eq!(drdf.obs_state(), PairState::new(Tri::Zero, Tri::X));
+        // Setup participates in subsumption identity: the plain read TP
+        // neither subsumes nor is subsumed by the dynamic one.
+        let plain = TestPattern {
+            setup: None,
+            init: PairState::new(Tri::Zero, Tri::X),
+            ..drdf
+        };
+        assert!(!plain.subsumes(&drdf));
+        assert!(!drdf.subsumes(&plain));
+        // Complement flips the setup write; mirror of single-cell is id.
+        assert_eq!(drdf.complement().to_string(), "(--, w1i:ri, =1)");
+        assert_eq!(drdf.mirrored(), drdf);
     }
 }

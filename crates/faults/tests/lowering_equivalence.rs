@@ -1,0 +1,273 @@
+//! Lowering-equivalence suite: the primitive-driven requirement
+//! derivation (`FaultModel` → [`marchgen_faults::lowering`] →
+//! [`TestPrimitive`](marchgen_faults::TestPrimitive) →
+//! [`CoverageRequirement`]) must reproduce the legacy hand-written
+//! per-model catalog **exactly** — labels byte-identical, alternatives
+//! in the same order, `immediate`/`pre_read` attributes preserved —
+//! for every instance of the classical taxonomy.
+//!
+//! The oracle below is the pre-refactor `catalog::requirements` match,
+//! copied verbatim. It is intentionally frozen: if the lowering ever
+//! drifts, this suite localizes the divergence to a single model.
+
+use marchgen_faults::{
+    requirements_for, AdfKind, CoverageRequirement, FaultModel, Observation, TestPattern,
+    TransitionDir,
+};
+use marchgen_model::{Bit, Cell, MemOp, PairState, Tri};
+
+fn read_obs(cell: Cell, expected: Bit) -> Observation {
+    Observation::Read { cell, expected }
+}
+
+/// The legacy per-model requirements derivation, frozen as an oracle.
+fn legacy_requirements(model: FaultModel) -> Vec<CoverageRequirement> {
+    match model {
+        FaultModel::StuckAt(v) => {
+            // SA⟨v⟩ is exposed by writing v̄ and reading it back, from any
+            // starting state.
+            let w = v.flip();
+            vec![CoverageRequirement::new(
+                format!("SA{v}"),
+                vec![TestPattern::single(
+                    Tri::X,
+                    MemOp::write(Cell::I, w),
+                    read_obs(Cell::I, w),
+                )],
+            )]
+        }
+        FaultModel::Transition(d) => {
+            // TF⟨d⟩: the d transition must actually be exercised, so the
+            // initialization pins the pre-transition value.
+            vec![CoverageRequirement::new(
+                format!("TF<{d}>"),
+                vec![TestPattern::single(
+                    d.from_value().into(),
+                    MemOp::write(Cell::I, d.to_value()),
+                    read_obs(Cell::I, d.to_value()),
+                )],
+            )]
+        }
+        FaultModel::StuckOpen => {
+            // SOF: the latch must hold the stale pre-transition value when
+            // the verifying read fires, hence pre-read + immediate.
+            let alt = |d: TransitionDir| {
+                TestPattern::single(
+                    d.from_value().into(),
+                    MemOp::write(Cell::I, d.to_value()),
+                    read_obs(Cell::I, d.to_value()),
+                )
+                .with_immediate()
+                .with_pre_read()
+            };
+            vec![CoverageRequirement::new(
+                "SOF".to_string(),
+                vec![alt(TransitionDir::Up), alt(TransitionDir::Down)],
+            )]
+        }
+        FaultModel::AddressDecoder(AdfKind::Write) => {
+            // Writes aimed at one cell also reach the other: expose by
+            // writing the aggressor address with the complement of the
+            // observed cell's content. Either polarity works — one class
+            // of two alternatives per address order.
+            let class = |aggr: Cell| {
+                let victim = aggr.other();
+                let alt = |v: Bit| {
+                    let init = PairState::UNKNOWN.with(victim, v.into());
+                    TestPattern::pair(init, MemOp::write(aggr, v.flip()), read_obs(victim, v))
+                };
+                CoverageRequirement::new(
+                    format!("ADF<w> ({aggr}-writes reach {victim})"),
+                    vec![alt(Bit::One), alt(Bit::Zero)],
+                )
+            };
+            vec![class(Cell::J), class(Cell::I)]
+        }
+        FaultModel::AddressDecoder(AdfKind::Read) => {
+            // Reads of one cell return the other cell's content: expose by
+            // reading while the two cells hold opposite values.
+            let class = |read: Cell| {
+                let alt = |iv: Bit| {
+                    let init = PairState::new_known(iv, iv.flip());
+                    let expected = match read {
+                        Cell::I => iv,
+                        Cell::J => iv.flip(),
+                    };
+                    TestPattern::pair(init, MemOp::read(read), Observation::SelfRead { expected })
+                };
+                CoverageRequirement::new(
+                    format!("ADF<r> (reads of {read} return {})", read.other()),
+                    vec![alt(Bit::Zero), alt(Bit::One)],
+                )
+            };
+            vec![class(Cell::J), class(Cell::I)]
+        }
+        FaultModel::CouplingInversion(d) => {
+            // CFin⟨d⟩: the victim flips whichever value it holds, so the
+            // two victim polarities are alternatives (Section 5 example).
+            let class = |aggr: Cell| {
+                let victim = aggr.other();
+                let alt = |v: Bit| {
+                    let init = PairState::UNKNOWN
+                        .with(aggr, d.from_value().into())
+                        .with(victim, v.into());
+                    TestPattern::pair(init, MemOp::write(aggr, d.to_value()), read_obs(victim, v))
+                };
+                CoverageRequirement::new(
+                    format!("CFin<{d}> (aggressor {aggr})"),
+                    vec![alt(Bit::Zero), alt(Bit::One)],
+                )
+            };
+            vec![class(Cell::I), class(Cell::J)]
+        }
+        FaultModel::CouplingIdempotent(d, f) => {
+            // CFid⟨d,f⟩: only a victim holding f̄ shows the forcing — a
+            // single TP per address order (paper Figure 3 / f.2.3).
+            let class = |aggr: Cell| {
+                let victim = aggr.other();
+                let init = PairState::UNKNOWN
+                    .with(aggr, d.from_value().into())
+                    .with(victim, f.flip().into());
+                CoverageRequirement::new(
+                    format!("CFid<{d},{f}> (aggressor {aggr})"),
+                    vec![TestPattern::pair(
+                        init,
+                        MemOp::write(aggr, d.to_value()),
+                        read_obs(victim, f.flip()),
+                    )],
+                )
+            };
+            vec![class(Cell::I), class(Cell::J)]
+        }
+        FaultModel::CouplingState(s, f) => {
+            // CFst⟨s,f⟩: while the aggressor holds s the victim is forced
+            // to f. Two excitations work: entering the aggressor state
+            // with a sensitized victim, or writing the victim under the
+            // active condition.
+            let class = |aggr: Cell| {
+                let victim = aggr.other();
+                let enter_condition = TestPattern::pair(
+                    PairState::UNKNOWN
+                        .with(aggr, s.flip().into())
+                        .with(victim, f.flip().into()),
+                    MemOp::write(aggr, s),
+                    read_obs(victim, f.flip()),
+                );
+                let write_under_condition = TestPattern::pair(
+                    PairState::UNKNOWN.with(aggr, s.into()),
+                    MemOp::write(victim, f.flip()),
+                    read_obs(victim, f.flip()),
+                );
+                CoverageRequirement::new(
+                    format!("CFst<{s},{f}> (aggressor {aggr})"),
+                    vec![enter_condition, write_under_condition],
+                )
+            };
+            vec![class(Cell::I), class(Cell::J)]
+        }
+        FaultModel::ReadDestructive(x) | FaultModel::IncorrectRead(x) => {
+            // Both return the wrong value on the exciting read itself.
+            let label = model.to_string();
+            vec![CoverageRequirement::new(
+                label,
+                vec![TestPattern::single(
+                    x.into(),
+                    MemOp::read(Cell::I),
+                    Observation::SelfRead { expected: x },
+                )],
+            )]
+        }
+        FaultModel::DeceptiveReadDestructive(x) => {
+            // The exciting read answers correctly; a second read catches
+            // the flipped cell.
+            vec![CoverageRequirement::new(
+                model.to_string(),
+                vec![TestPattern::single(
+                    x.into(),
+                    MemOp::read(Cell::I),
+                    read_obs(Cell::I, x),
+                )],
+            )]
+        }
+        FaultModel::DataRetention(x) => {
+            // The cell decays after the wait period T.
+            vec![CoverageRequirement::new(
+                model.to_string(),
+                vec![TestPattern::single(
+                    x.into(),
+                    MemOp::Delay,
+                    read_obs(Cell::I, x),
+                )],
+            )]
+        }
+        other => unreachable!("oracle covers the classical taxonomy only, got {other}"),
+    }
+}
+
+/// Every classical instance: the primitive-lowered requirements equal
+/// the legacy hand-written derivation exactly (labels, alternative
+/// order, TP attributes).
+#[test]
+fn primitive_lowering_reproduces_legacy_catalog() {
+    for model in FaultModel::all_classical() {
+        let lowered = marchgen_faults::catalog::requirements(model);
+        let legacy = legacy_requirements(model);
+        assert_eq!(
+            lowered, legacy,
+            "primitive lowering diverged from the legacy catalog on {model}"
+        );
+    }
+}
+
+/// The aggregate path the pipeline consumes ([`requirements_for`])
+/// matches the legacy oracle fed through the same cross-model merge
+/// (requirements with identical alternative sets collapse into one
+/// class with a concatenated label) over the whole classical catalog.
+#[test]
+fn requirements_for_matches_merged_legacy_oracle() {
+    let models = FaultModel::all_classical();
+    let lowered = requirements_for(&models);
+    let mut legacy: Vec<CoverageRequirement> = Vec::new();
+    for req in models.iter().copied().flat_map(legacy_requirements) {
+        if let Some(existing) = legacy
+            .iter_mut()
+            .find(|r| r.alternatives == req.alternatives)
+        {
+            if !existing.label.contains(&req.label) {
+                existing.label = format!("{} + {}", existing.label, req.label);
+            }
+        } else {
+            legacy.push(req);
+        }
+    }
+    assert_eq!(lowered, legacy);
+}
+
+/// Field-level localization: if the structural equality above ever
+/// fails, these per-field checks name the first divergent label or
+/// attribute instead of dumping two whole requirement trees.
+#[test]
+fn labels_and_attributes_match_per_model() {
+    for model in FaultModel::all_classical() {
+        let lowered = marchgen_faults::catalog::requirements(model);
+        let legacy = legacy_requirements(model);
+        assert_eq!(lowered.len(), legacy.len(), "class count for {model}");
+        for (new_req, old_req) in lowered.iter().zip(&legacy) {
+            assert_eq!(new_req.label, old_req.label, "label for {model}");
+            assert_eq!(
+                new_req.alternatives.len(),
+                old_req.alternatives.len(),
+                "alternative count for {model} / {}",
+                new_req.label
+            );
+            for (new_tp, old_tp) in new_req.alternatives.iter().zip(&old_req.alternatives) {
+                assert_eq!(new_tp.kind, old_tp.kind, "TP kind for {model}");
+                assert_eq!(new_tp.excite, old_tp.excite, "excitation for {model}");
+                assert_eq!(new_tp.observe, old_tp.observe, "observation for {model}");
+                assert_eq!(new_tp.setup, old_tp.setup, "setup op for {model}");
+                assert_eq!(new_tp.immediate, old_tp.immediate, "immediate for {model}");
+                assert_eq!(new_tp.pre_read, old_tp.pre_read, "pre_read for {model}");
+            }
+        }
+    }
+}

@@ -62,6 +62,16 @@ impl Gts {
                     state = state.with(c, d.into());
                 }
             }
+            if let Some(setup) = tp.setup {
+                ops.push(GtsOp {
+                    op: setup,
+                    verify: None,
+                    tp_index: Some(k),
+                });
+                if let MemOp::Write(c, d) = setup {
+                    state = state.with(c, d.into());
+                }
+            }
             ops.push(GtsOp {
                 op: tp.excite,
                 verify: match tp.observe {

@@ -775,6 +775,39 @@ mod tests {
         assert_eq!(out.test.complexity(), 5, "{}", out.test);
     }
 
+    /// The dynamic workload space: every two-operation fault family
+    /// generates a verified test (the back-to-back w,r sequence survives
+    /// scheduling, March execution and both simulators).
+    #[test]
+    fn dynamic_fault_lists_generate_verified_tests() {
+        for faults in ["dRDF", "dDRDF<1>", "dIRF", "dRDF, dDRDF, dIRF"] {
+            let out = Generator::from_fault_list(faults).unwrap().run().unwrap();
+            assert!(out.verified, "{faults}: {:?}", out.report);
+        }
+    }
+
+    /// Linked idempotent coupling generates a verified test end-to-end.
+    #[test]
+    fn linked_fault_list_generates_verified_test() {
+        let out = Generator::from_fault_list("LCF").unwrap().run().unwrap();
+        assert!(out.verified, "{:?}", out.report);
+    }
+
+    /// Mixed classical + dynamic + linked workloads verify identically on
+    /// the scalar and bit-parallel backends.
+    #[test]
+    fn extended_workload_backends_agree() {
+        for faults in ["SAF, dRDF, dIRF", "TF, LCF<1>", "SAF, TF, dDRDF, LCF"] {
+            let base = GenerateRequest::from_fault_list(faults).unwrap();
+            let scalar = generate(&base.clone().with_verifier(VerifierChoice::Scalar)).unwrap();
+            let packed =
+                generate(&base.clone().with_verifier(VerifierChoice::BitParallel)).unwrap();
+            assert_eq!(scalar.test, packed.test, "{faults}");
+            assert_eq!(scalar.report, packed.report, "{faults}");
+            assert!(scalar.verified, "{faults}: {:?}", scalar.report);
+        }
+    }
+
     #[test]
     fn unverified_mode_still_returns_a_candidate() {
         let out = Generator::from_fault_list("SAF")

@@ -289,6 +289,9 @@ pub fn schedule_tour(tour: &[TestPattern]) -> Result<MarchTest, ScheduleError> {
 
 fn place_single(b: &mut Builder, tp: &TestPattern) -> Result<(), ScheduleError> {
     let x = tp.init.i.bit();
+    if let Some(setup) = tp.setup {
+        return place_single_sequence(b, tp, x, setup);
+    }
     match tp.excite {
         MemOp::Write(_, d) => {
             b.ensure_value(x)?;
@@ -346,6 +349,48 @@ fn place_single(b: &mut Builder, tp: &TestPattern) -> Result<(), ScheduleError> 
                 mark: None,
             });
         }
+    }
+    Ok(())
+}
+
+/// Places a two-operation (dynamic-fault) single-cell TP: the setup op
+/// and the excitation must reach the cell back-to-back, which March
+/// semantics guarantee for adjacent operations of one element.
+fn place_single_sequence(
+    b: &mut Builder,
+    tp: &TestPattern,
+    x: Option<Bit>,
+    setup: MemOp,
+) -> Result<(), ScheduleError> {
+    let MemOp::Write(_, s) = setup else {
+        // Only write-setup sequences are in the workload space.
+        return Err(ScheduleError::UnknownValue);
+    };
+    b.ensure_value(x)?;
+    // `push_write` discharges pendings first, so nothing can slip in
+    // between the setup write and the excitation below.
+    b.push_write(s, None)?;
+    match tp.excite {
+        MemOp::Read(_) => {
+            let expected = tp.observe.expected();
+            b.push_read(expected, None)?;
+            if matches!(tp.observe, Observation::Read { .. }) {
+                // Deceptive dynamic faults: the excitation read returns
+                // the correct value, a trailing read catches the flip.
+                b.pendings.push(Pending {
+                    expected,
+                    mark: None,
+                });
+            }
+        }
+        MemOp::Write(_, d) => {
+            b.push_write(d, None)?;
+            b.pendings.push(Pending {
+                expected: d,
+                mark: None,
+            });
+        }
+        MemOp::Delay => return Err(ScheduleError::UnknownValue),
     }
     Ok(())
 }

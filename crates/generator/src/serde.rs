@@ -175,20 +175,27 @@ fn observation_from_json(json: &Json) -> Result<Observation, JsonError> {
 }
 
 fn tp_to_json(tp: &TestPattern) -> Json {
-    Json::object([
-        ("init", Json::Str(tp.init.to_string())),
-        ("excite", Json::Str(tp.excite.to_string())),
-        ("observe", observation_to_json(tp.observe)),
+    // Schema note: `setup` is an *optional* key (emitted only for
+    // two-operation dynamic-fault TPs), so pre-existing clients keep
+    // decoding classical TPs unchanged.
+    let mut pairs = vec![
+        ("init".to_owned(), Json::Str(tp.init.to_string())),
+        ("excite".to_owned(), Json::Str(tp.excite.to_string())),
+        ("observe".to_owned(), observation_to_json(tp.observe)),
         (
-            "kind",
+            "kind".to_owned(),
             Json::from(match tp.kind {
                 TpKind::SingleCell => "single",
                 TpKind::Pair => "pair",
             }),
         ),
-        ("immediate", Json::Bool(tp.immediate)),
-        ("pre_read", Json::Bool(tp.pre_read)),
-    ])
+        ("immediate".to_owned(), Json::Bool(tp.immediate)),
+        ("pre_read".to_owned(), Json::Bool(tp.pre_read)),
+    ];
+    if let Some(setup) = tp.setup {
+        pairs.push(("setup".to_owned(), Json::Str(setup.to_string())));
+    }
+    Json::Object(pairs)
 }
 
 fn tp_from_json(json: &Json) -> Result<TestPattern, JsonError> {
@@ -197,8 +204,13 @@ fn tp_from_json(json: &Json) -> Result<TestPattern, JsonError> {
         "pair" => TpKind::Pair,
         other => return Err(JsonError::decode(format!("invalid TP kind {other:?}"))),
     };
+    let setup = match json.get("setup") {
+        Some(j) => Some(op_from_json(j)?),
+        None => None,
+    };
     Ok(TestPattern {
         init: pair_state_from_json(field(json, "init")?)?,
+        setup,
         excite: op_from_json(field(json, "excite")?)?,
         observe: observation_from_json(field(json, "observe")?)?,
         kind,

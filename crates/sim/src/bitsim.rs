@@ -44,7 +44,9 @@
 use crate::coverage::{CoverageReport, ModelCoverage};
 use crate::engine::{latch_values, power_up_patterns, resolution_vectors, FaultSite};
 use crate::memory::SiteCells;
-use marchgen_faults::{AdfKind, FaultModel};
+use marchgen_faults::{
+    lowering, FaultBehavior, FaultModel, ReadOutput, Role, StoreEffect, WriteEffect,
+};
 use marchgen_march::{Direction, MarchOp, MarchTest};
 use marchgen_model::Bit;
 
@@ -89,9 +91,13 @@ fn lanes_for(sites: &[FaultSite], n: usize) -> Vec<Lane> {
 }
 
 /// A packed batch of up to 64 scenario lanes sharing one fault model.
+///
+/// Like the scalar `FaultyMemory`, the batch is a generic interpreter
+/// over the model's [`FaultBehavior`] rule table — fault semantics are
+/// bitwise formulas derived from the rules, with no per-variant matches.
 struct LaneBatch {
     n: usize,
-    model: FaultModel,
+    behavior: FaultBehavior,
     /// Post-power-up packed contents, restored on every [`Self::reset`].
     init: Vec<u64>,
     latch_init: u64,
@@ -108,6 +114,11 @@ struct LaneBatch {
     // Execution state.
     cells: Vec<u64>,
     latch: u64,
+    /// Operation history for dynamic faults: the immediately preceding
+    /// operation, when it was a write (address, value). Shared control
+    /// flow — every lane sees the same op stream, so one scalar slot
+    /// serves all 64 lanes.
+    last_write: Option<(usize, Bit)>,
     mismatch: u64,
 }
 
@@ -158,7 +169,7 @@ impl LaneBatch {
         }
         let mut batch = LaneBatch {
             n,
-            model,
+            behavior: lowering::behavior(model),
             init,
             latch_init,
             single_mask,
@@ -168,19 +179,20 @@ impl LaneBatch {
             vict_groups,
             cells: vec![0u64; n],
             latch: 0,
+            last_write: None,
             mismatch: 0,
         };
         // Apply power-up consequences once, into the restorable image
         // (mirrors `FaultyMemory::power_up`).
         batch.cells.copy_from_slice(&batch.init);
-        if let FaultModel::StuckAt(v) = model {
+        if let Some(v) = batch.behavior.powerup_force {
             let vb = splat(v);
             for addr in 0..n {
                 let sm = batch.single_mask[addr];
                 batch.cells[addr] = (batch.cells[addr] & !sm) | (vb & sm);
             }
         }
-        batch.apply_state_coupling();
+        batch.apply_invariant();
         batch.init.copy_from_slice(&batch.cells);
         batch
     }
@@ -189,16 +201,18 @@ impl LaneBatch {
     fn reset(&mut self) {
         self.cells.copy_from_slice(&self.init);
         self.latch = self.latch_init;
+        self.last_write = None;
         self.mismatch = 0;
     }
 
-    /// CFst is a *condition*, not an event (see `FaultyMemory`): enforce
-    /// it after every operation, lane-wise.
-    fn apply_state_coupling(&mut self) {
-        if let FaultModel::CouplingState(s, f) = self.model {
+    /// State coupling is a *condition*, not an event (see
+    /// `FaultyMemory`): enforce the behaviour's invariant after every
+    /// operation, lane-wise.
+    fn apply_invariant(&mut self) {
+        if let Some(inv) = self.behavior.invariant {
             let mut cond = 0u64;
             for &(a, m) in &self.aggr_groups {
-                let held = if s == Bit::One {
+                let held = if inv.when == Bit::One {
                     self.cells[a]
                 } else {
                     !self.cells[a]
@@ -207,7 +221,7 @@ impl LaneBatch {
             }
             for &(v, m) in &self.vict_groups {
                 let active = cond & m;
-                self.cells[v] = if f == Bit::One {
+                self.cells[v] = if inv.force == Bit::One {
                     self.cells[v] | active
                 } else {
                     self.cells[v] & !active
@@ -216,130 +230,143 @@ impl LaneBatch {
         }
     }
 
-    /// Lane-parallel `write(addr, value)` with the model's fault
-    /// semantics (mirrors `FaultyMemory::write` arm for arm).
+    /// Lanes at which `role` resolves to `addr`.
+    fn role_mask(&self, role: Role, addr: usize) -> u64 {
+        match role {
+            Role::Single => self.single_mask[addr],
+            Role::Aggressor => self.aggr_mask[addr],
+        }
+    }
+
+    /// Lanes whose word `w` matches an optional bit trigger.
+    fn value_held(w: u64, trigger: Option<Bit>) -> u64 {
+        match trigger {
+            None => !0,
+            Some(Bit::One) => w,
+            Some(Bit::Zero) => !w,
+        }
+    }
+
+    /// Lane-parallel `write(addr, value)`: a generic interpretation of
+    /// the behaviour's write rules (same two-pass order as
+    /// `FaultyMemory::write`).
     fn write(&mut self, addr: usize, value: Bit) {
         let vb = splat(value);
-        match self.model {
-            FaultModel::StuckAt(v) => {
-                let sm = self.single_mask[addr];
-                self.cells[addr] = (vb & !sm) | (splat(v) & sm);
-            }
-            FaultModel::Transition(dir) => {
-                let cur = self.cells[addr];
-                let blocked = if value == dir.to_value() {
-                    let from_held = if dir.from_value() == Bit::One {
-                        cur
-                    } else {
-                        !cur
-                    };
-                    self.single_mask[addr] & from_held
-                } else {
-                    0
-                };
-                self.cells[addr] = (cur & blocked) | (vb & !blocked);
-            }
-            FaultModel::StuckOpen => {
-                let sm = self.single_mask[addr];
-                self.cells[addr] = (self.cells[addr] & sm) | (vb & !sm);
-            }
-            FaultModel::AddressDecoder(AdfKind::Write) => {
-                self.cells[addr] = vb;
-                for k in 0..self.victims_of[addr].len() {
-                    let (v, m) = self.victims_of[addr][k];
-                    self.cells[v] = (self.cells[v] & !m) | (vb & m);
-                }
-            }
-            FaultModel::CouplingInversion(dir) => {
-                let trigger = self.coupling_trigger(addr, value, dir);
-                self.cells[addr] = vb;
-                for k in 0..self.victims_of[addr].len() {
-                    let (v, m) = self.victims_of[addr][k];
-                    self.cells[v] ^= trigger & m;
-                }
-            }
-            FaultModel::CouplingIdempotent(dir, f) => {
-                let trigger = self.coupling_trigger(addr, value, dir);
-                self.cells[addr] = vb;
-                for k in 0..self.victims_of[addr].len() {
-                    let (v, m) = self.victims_of[addr][k];
-                    let forced = trigger & m;
-                    self.cells[v] = if f == Bit::One {
-                        self.cells[v] | forced
-                    } else {
-                        self.cells[v] & !forced
-                    };
-                }
-            }
-            _ => self.cells[addr] = vb,
-        }
-        self.apply_state_coupling();
-    }
-
-    /// Lanes whose aggressor sits at `addr` and observes the sensitizing
-    /// transition `dir` when `value` is written over the current content.
-    fn coupling_trigger(
-        &self,
-        addr: usize,
-        value: Bit,
-        dir: marchgen_faults::TransitionDir,
-    ) -> u64 {
-        if value != dir.to_value() {
-            return 0;
-        }
         let cur = self.cells[addr];
-        let from_held = if dir.from_value() == Bit::One {
-            cur
-        } else {
-            !cur
-        };
-        self.aggr_mask[addr] & from_held
+        // Pass 1: rules on the written cell itself (block / force).
+        let mut blocked = 0u64;
+        let mut force_mask = 0u64;
+        let mut force_val = 0u64;
+        for ri in 0..self.behavior.write_rules.len() {
+            let rule = self.behavior.write_rules[ri];
+            if rule.value.is_some_and(|v| v != value) {
+                continue;
+            }
+            let armed = self.role_mask(rule.at, addr) & Self::value_held(cur, rule.pre);
+            match rule.effect {
+                WriteEffect::Block => blocked |= armed,
+                WriteEffect::Force(v) => {
+                    force_mask |= armed;
+                    if v == Bit::One {
+                        force_val |= armed;
+                    } else {
+                        force_val &= !armed;
+                    }
+                }
+                WriteEffect::CopyToVictim
+                | WriteEffect::FlipVictim
+                | WriteEffect::ForceVictim(_) => {}
+            }
+        }
+        self.cells[addr] =
+            (cur & blocked) | (force_val & force_mask & !blocked) | (vb & !blocked & !force_mask);
+        // Pass 2: coupled-victim effects, armed on the pre-write content.
+        for ri in 0..self.behavior.write_rules.len() {
+            let rule = self.behavior.write_rules[ri];
+            if rule.value.is_some_and(|v| v != value) {
+                continue;
+            }
+            let armed = self.role_mask(rule.at, addr) & Self::value_held(cur, rule.pre);
+            if armed == 0 {
+                continue;
+            }
+            match rule.effect {
+                WriteEffect::CopyToVictim => {
+                    for k in 0..self.victims_of[addr].len() {
+                        let (v, m) = self.victims_of[addr][k];
+                        let hit = m & armed;
+                        self.cells[v] = (self.cells[v] & !hit) | (vb & hit);
+                    }
+                }
+                WriteEffect::FlipVictim => {
+                    for k in 0..self.victims_of[addr].len() {
+                        let (v, m) = self.victims_of[addr][k];
+                        self.cells[v] ^= m & armed;
+                    }
+                }
+                WriteEffect::ForceVictim(f) => {
+                    for k in 0..self.victims_of[addr].len() {
+                        let (v, m) = self.victims_of[addr][k];
+                        let forced = m & armed;
+                        self.cells[v] = if f == Bit::One {
+                            self.cells[v] | forced
+                        } else {
+                            self.cells[v] & !forced
+                        };
+                    }
+                }
+                WriteEffect::Block | WriteEffect::Force(_) => {}
+            }
+        }
+        self.last_write = Some((addr, value));
+        self.apply_invariant();
     }
 
-    /// Lane-parallel `read(addr)` (mirrors `FaultyMemory::read`),
+    /// Lane-parallel `read(addr)`: a generic interpretation of the
+    /// behaviour's read rules (first armed rule wins per lane),
     /// returning the per-lane device outputs.
     fn read(&mut self, addr: usize) -> u64 {
         let cur = self.cells[addr];
-        let out = match self.model {
-            FaultModel::StuckOpen => {
-                let sm = self.single_mask[addr];
-                (cur & !sm) | (self.latch & sm)
+        let mut out = cur;
+        let mut taken = 0u64;
+        for ri in 0..self.behavior.read_rules.len() {
+            let rule = self.behavior.read_rules[ri];
+            let dyn_ok = match rule.after_write {
+                None => !0u64,
+                Some(x) if self.last_write == Some((addr, x)) => !0u64,
+                Some(_) => 0,
+            };
+            let m =
+                self.role_mask(rule.at, addr) & Self::value_held(cur, rule.holds) & dyn_ok & !taken;
+            if m == 0 {
+                continue;
             }
-            FaultModel::AddressDecoder(AdfKind::Read) => {
-                let am = self.aggr_mask[addr];
-                let mut out = cur & !am;
-                for &(v, m) in &self.victims_of[addr] {
-                    out |= self.cells[v] & m;
+            taken |= m;
+            match rule.output {
+                ReadOutput::Stored => {}
+                ReadOutput::Complement => out = (out & !m) | (!cur & m),
+                ReadOutput::Latch => out = (out & !m) | (self.latch & m),
+                ReadOutput::Victim => {
+                    out &= !m;
+                    for k in 0..self.victims_of[addr].len() {
+                        let (v, vm) = self.victims_of[addr][k];
+                        out |= self.cells[v] & vm & m;
+                    }
                 }
-                out
             }
-            FaultModel::ReadDestructive(x) => {
-                let affected = self.read_affected(addr, cur, x);
-                self.cells[addr] = cur ^ affected;
-                cur ^ affected
+            if rule.store == StoreEffect::Flip {
+                self.cells[addr] ^= m;
             }
-            FaultModel::DeceptiveReadDestructive(x) => {
-                let affected = self.read_affected(addr, cur, x);
-                self.cells[addr] = cur ^ affected;
-                cur
-            }
-            FaultModel::IncorrectRead(x) => cur ^ self.read_affected(addr, cur, x),
-            _ => cur,
-        };
+        }
+        self.last_write = None;
         self.latch = out;
-        self.apply_state_coupling();
+        self.apply_invariant();
         out
-    }
-
-    /// Lanes whose faulty cell is `addr` and currently holds `x`.
-    fn read_affected(&self, addr: usize, cur: u64, x: Bit) -> u64 {
-        let holds_x = if x == Bit::One { cur } else { !cur };
-        self.single_mask[addr] & holds_x
     }
 
     /// Lane-parallel wait period (mirrors `FaultyMemory::delay`).
     fn delay(&mut self) {
-        if let FaultModel::DataRetention(x) = self.model {
+        if let Some(x) = self.behavior.delay_flip {
             for addr in 0..self.n {
                 let sm = self.single_mask[addr];
                 if sm == 0 {
@@ -350,7 +377,8 @@ impl LaneBatch {
                 self.cells[addr] = cur ^ (sm & holds_x);
             }
         }
-        self.apply_state_coupling();
+        self.last_write = None;
+        self.apply_invariant();
     }
 
     /// Executes `test` once across all lanes under one `⇕` resolution

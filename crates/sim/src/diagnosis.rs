@@ -97,9 +97,10 @@ fn role_of(addr: usize, cells: &SiteCells) -> FailRole {
 #[must_use]
 pub fn syndrome(test: &MarchTest, site: &FaultSite, n: usize) -> Syndrome {
     let mut entries = BTreeSet::new();
+    let latches = latch_suite(site.model);
     for pattern in power_up_patterns(site, n) {
         for resolution in resolution_vectors(test) {
-            for &latch in latch_suite(site.model) {
+            for &latch in latches {
                 let mut mem = FaultyMemory::new(pattern.clone(), site.model, site.cells, latch);
                 for record in run(test, &mut mem, &resolution) {
                     if record.mismatch() {
@@ -113,9 +114,10 @@ pub fn syndrome(test: &MarchTest, site: &FaultSite, n: usize) -> Syndrome {
 }
 
 fn latch_suite(model: FaultModel) -> &'static [Bit] {
-    match model {
-        FaultModel::StuckOpen => &Bit::ALL,
-        _ => &[Bit::Zero],
+    if marchgen_faults::lowering::behavior(model).uses_latch {
+        &Bit::ALL
+    } else {
+        &[Bit::Zero]
     }
 }
 

@@ -227,11 +227,13 @@ pub fn power_up_patterns(site: &FaultSite, n: usize) -> Vec<Vec<Bit>> {
     patterns
 }
 
-/// Latch power-up values worth checking (only stuck-open reads it).
+/// Latch power-up values worth checking (only latch-reading behaviours —
+/// stuck-open — observe it).
 pub(crate) fn latch_values(site: &FaultSite) -> &'static [Bit] {
-    match site.model {
-        FaultModel::StuckOpen => &Bit::ALL,
-        _ => &[Bit::Zero],
+    if marchgen_faults::lowering::behavior(site.model).uses_latch {
+        &Bit::ALL
+    } else {
+        &[Bit::Zero]
     }
 }
 
@@ -248,10 +250,11 @@ pub(crate) fn latch_values(site: &FaultSite) -> &'static [Bit] {
 pub fn detects(test: &MarchTest, site: &FaultSite, n: usize) -> bool {
     let resolutions = resolution_vectors(test);
     let patterns = power_up_patterns(site, n);
+    let latches = latch_values(site);
     let mut mem = FaultyMemory::new(vec![Bit::Zero; n], site.model, site.cells, Bit::Zero);
     for pattern in &patterns {
         for resolution in &resolutions {
-            for &latch in latch_values(site) {
+            for &latch in latches {
                 mem.reset(pattern, latch);
                 let mut mismatched = false;
                 run_with(test, &mut mem, resolution, |r| {
@@ -285,10 +288,11 @@ pub fn detecting_scenarios(test: &MarchTest, site: &FaultSite, n: usize) -> Dete
     let mut scenarios = 0usize;
     let mut mismatch_ops = Vec::new();
     let resolutions = resolution_vectors(test);
+    let latches = latch_values(site);
     let mut mem = FaultyMemory::new(vec![Bit::Zero; n], site.model, site.cells, Bit::Zero);
     for pattern in power_up_patterns(site, n) {
         for resolution in &resolutions {
-            for &latch in latch_values(site) {
+            for &latch in latches {
                 scenarios += 1;
                 mem.reset(&pattern, latch);
                 let mut ops: Vec<usize> = Vec::new();

@@ -1,7 +1,15 @@
 //! Behavioural memories: the fault-free array and the single-fault
 //! injected array implementing every [`FaultModel`].
+//!
+//! [`FaultyMemory`] is a *generic interpreter* over the declarative
+//! [`FaultBehavior`] rule table produced by
+//! [`marchgen_faults::lowering::behavior`] — it contains no per-variant
+//! fault knowledge of its own. The tests below pin the interpreted
+//! semantics against the behavioural definitions of the catalog.
 
-use marchgen_faults::{AdfKind, FaultModel};
+use marchgen_faults::{
+    lowering, FaultBehavior, FaultModel, ReadOutput, Role, StoreEffect, WriteEffect,
+};
 use marchgen_model::Bit;
 
 /// The behavioural interface a March engine drives.
@@ -104,10 +112,15 @@ impl SiteCells {
 pub struct FaultyMemory {
     cells: Vec<Bit>,
     model: FaultModel,
+    behavior: FaultBehavior,
     site: SiteCells,
     /// Sense-amplifier latch for stuck-open faults: holds the value of
     /// the last read performed on *any* address.
     latch: Bit,
+    /// Operation history for dynamic faults: the immediately preceding
+    /// operation, when it was a write (address, value). Cleared by any
+    /// read or delay.
+    last_write: Option<(usize, Bit)>,
 }
 
 impl FaultyMemory {
@@ -135,8 +148,10 @@ impl FaultyMemory {
         let mut mem = FaultyMemory {
             cells,
             model,
+            behavior: lowering::behavior(model),
             site,
             latch,
+            last_write: None,
         };
         mem.power_up();
         mem
@@ -145,10 +160,10 @@ impl FaultyMemory {
     /// Applies power-up consequences of the fault (stuck cells hold their
     /// stuck value from the start).
     fn power_up(&mut self) {
-        if let (FaultModel::StuckAt(v), SiteCells::Single(c)) = (self.model, self.site) {
+        if let (Some(v), Some(c)) = (self.behavior.powerup_force, self.single()) {
             self.cells[c] = v;
         }
-        self.apply_state_coupling();
+        self.apply_invariant();
     }
 
     fn pair(&self) -> Option<(usize, usize)> {
@@ -165,13 +180,21 @@ impl FaultyMemory {
         }
     }
 
-    /// CFst is a *condition*, not an event: enforce it after every
-    /// operation.
-    fn apply_state_coupling(&mut self) {
-        if let (FaultModel::CouplingState(s, f), Some((a, v))) = (self.model, self.pair()) {
-            if self.cells[a] == s {
-                self.cells[v] = f;
+    /// State coupling is a *condition*, not an event: enforce the
+    /// behaviour's invariant after every operation.
+    fn apply_invariant(&mut self) {
+        if let (Some(inv), Some((a, v))) = (self.behavior.invariant, self.pair()) {
+            if self.cells[a] == inv.when {
+                self.cells[v] = inv.force;
             }
+        }
+    }
+
+    /// The address a rule role resolves to on this site.
+    fn role_addr(&self, role: Role) -> Option<usize> {
+        match role {
+            Role::Single => self.single(),
+            Role::Aggressor => self.pair().map(|(a, _)| a),
         }
     }
 
@@ -188,6 +211,7 @@ impl FaultyMemory {
         assert_eq!(pattern.len(), self.cells.len(), "pattern size mismatch");
         self.cells.copy_from_slice(pattern);
         self.latch = latch;
+        self.last_write = None;
         self.power_up();
     }
 
@@ -216,12 +240,12 @@ impl FaultyMemory {
     /// composition to mirror the other fault's corruption.
     pub fn poke(&mut self, addr: usize, value: Bit) {
         self.cells[addr] = value;
-        if let (FaultModel::StuckAt(v), SiteCells::Single(c)) = (self.model, self.site) {
+        if let (Some(v), Some(c)) = (self.behavior.powerup_force, self.single()) {
             if c == addr {
                 self.cells[addr] = v;
             }
         }
-        self.apply_state_coupling();
+        self.apply_invariant();
     }
 }
 
@@ -231,105 +255,103 @@ impl MemoryBehavior for FaultyMemory {
     }
 
     fn write(&mut self, addr: usize, value: Bit) {
-        match self.model {
-            FaultModel::StuckAt(v) => {
-                if self.single() == Some(addr) {
-                    self.cells[addr] = v; // writes cannot move a stuck cell
-                } else {
-                    self.cells[addr] = value;
-                }
+        let pre = self.cells[addr];
+        // Pass 1: rules on the written cell itself (block / force).
+        let mut blocked = false;
+        let mut force: Option<Bit> = None;
+        for ri in 0..self.behavior.write_rules.len() {
+            let rule = self.behavior.write_rules[ri];
+            if self.role_addr(rule.at) != Some(addr)
+                || rule.value.is_some_and(|v| v != value)
+                || rule.pre.is_some_and(|p| p != pre)
+            {
+                continue;
             }
-            FaultModel::Transition(dir) => {
-                let blocked = self.single() == Some(addr)
-                    && self.cells[addr] == dir.from_value()
-                    && value == dir.to_value();
-                if !blocked {
-                    self.cells[addr] = value;
-                }
+            match rule.effect {
+                WriteEffect::Block => blocked = true,
+                WriteEffect::Force(v) => force = Some(v),
+                WriteEffect::CopyToVictim
+                | WriteEffect::FlipVictim
+                | WriteEffect::ForceVictim(_) => {}
             }
-            FaultModel::StuckOpen => {
-                if self.single() != Some(addr) {
-                    self.cells[addr] = value;
-                } // writes to the open cell are lost
-            }
-            FaultModel::AddressDecoder(AdfKind::Write) => {
-                self.cells[addr] = value;
-                if let Some((a, v)) = self.pair() {
-                    if addr == a {
-                        self.cells[v] = value; // the decoder also selects the victim
-                    }
-                }
-            }
-            FaultModel::CouplingInversion(dir) => {
-                let trigger = self.pair().is_some_and(|(a, _)| addr == a)
-                    && self.cells[addr] == dir.from_value()
-                    && value == dir.to_value();
-                self.cells[addr] = value;
-                if trigger {
-                    let (_, v) = self.pair().expect("pair fault");
-                    self.cells[v] = self.cells[v].flip();
-                }
-            }
-            FaultModel::CouplingIdempotent(dir, f) => {
-                let trigger = self.pair().is_some_and(|(a, _)| addr == a)
-                    && self.cells[addr] == dir.from_value()
-                    && value == dir.to_value();
-                self.cells[addr] = value;
-                if trigger {
-                    let (_, v) = self.pair().expect("pair fault");
-                    self.cells[v] = f;
-                }
-            }
-            _ => self.cells[addr] = value,
         }
-        self.apply_state_coupling();
+        if !blocked {
+            self.cells[addr] = force.unwrap_or(value);
+        }
+        // Pass 2: coupled-victim effects, armed on the *pre-write*
+        // content of the aggressor (re-writing 1 over 1 is not a
+        // transition), applied after the aggressor's own store.
+        for ri in 0..self.behavior.write_rules.len() {
+            let rule = self.behavior.write_rules[ri];
+            if self.role_addr(rule.at) != Some(addr)
+                || rule.value.is_some_and(|v| v != value)
+                || rule.pre.is_some_and(|p| p != pre)
+            {
+                continue;
+            }
+            let victim = match self.pair() {
+                Some((_, v)) => v,
+                None => continue,
+            };
+            match rule.effect {
+                WriteEffect::CopyToVictim => self.cells[victim] = value,
+                WriteEffect::FlipVictim => self.cells[victim] = self.cells[victim].flip(),
+                WriteEffect::ForceVictim(f) => self.cells[victim] = f,
+                WriteEffect::Block | WriteEffect::Force(_) => {}
+            }
+        }
+        self.last_write = Some((addr, value));
+        self.apply_invariant();
     }
 
     fn read(&mut self, addr: usize) -> Bit {
-        let out = match self.model {
-            FaultModel::StuckOpen if self.single() == Some(addr) => self.latch,
-            FaultModel::AddressDecoder(AdfKind::Read) => match self.pair() {
-                Some((a, v)) if addr == a => self.cells[v],
-                _ => self.cells[addr],
-            },
-            FaultModel::ReadDestructive(x)
-                if self.single() == Some(addr) && self.cells[addr] == x =>
+        let cur = self.cells[addr];
+        let mut out = cur;
+        for ri in 0..self.behavior.read_rules.len() {
+            let rule = self.behavior.read_rules[ri];
+            if self.role_addr(rule.at) != Some(addr)
+                || rule.holds.is_some_and(|h| h != cur)
+                || rule
+                    .after_write
+                    .is_some_and(|x| self.last_write != Some((addr, x)))
             {
-                self.cells[addr] = x.flip();
-                x.flip()
+                continue;
             }
-            FaultModel::DeceptiveReadDestructive(x)
-                if self.single() == Some(addr) && self.cells[addr] == x =>
-            {
-                self.cells[addr] = x.flip();
-                x
+            out = match rule.output {
+                ReadOutput::Stored => cur,
+                ReadOutput::Complement => cur.flip(),
+                ReadOutput::Latch => self.latch,
+                ReadOutput::Victim => {
+                    let (_, v) = self.pair().expect("victim output needs a pair site");
+                    self.cells[v]
+                }
+            };
+            if rule.store == StoreEffect::Flip {
+                self.cells[addr] = cur.flip();
             }
-            FaultModel::IncorrectRead(x)
-                if self.single() == Some(addr) && self.cells[addr] == x =>
-            {
-                x.flip()
-            }
-            _ => self.cells[addr],
-        };
+            break; // first armed rule wins
+        }
+        self.last_write = None;
         self.latch = out;
-        self.apply_state_coupling();
+        self.apply_invariant();
         out
     }
 
     fn delay(&mut self) {
-        if let (FaultModel::DataRetention(x), Some(c)) = (self.model, self.single()) {
+        if let (Some(x), Some(c)) = (self.behavior.delay_flip, self.single()) {
             if self.cells[c] == x {
                 self.cells[c] = x.flip();
             }
         }
-        self.apply_state_coupling();
+        self.last_write = None;
+        self.apply_invariant();
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use marchgen_faults::TransitionDir;
+    use marchgen_faults::{AdfKind, TransitionDir};
 
     fn zeros(n: usize) -> Vec<Bit> {
         vec![Bit::Zero; n]
@@ -529,6 +551,73 @@ mod tests {
         assert_eq!(m.read(0), Bit::One);
         m.delay();
         assert_eq!(m.read(0), Bit::Zero);
+    }
+
+    #[test]
+    fn dynamic_read_faults_need_the_write_read_sequence() {
+        // dRDF<0>: w0 immediately followed by r0 flips and lies.
+        let mut m = FaultyMemory::new(
+            zeros(2),
+            FaultModel::DynamicReadDestructive(Bit::Zero),
+            SiteCells::Single(0),
+            Bit::Zero,
+        );
+        assert_eq!(m.read(0), Bit::Zero, "plain read of 0 is fine");
+        m.write(0, Bit::Zero);
+        assert_eq!(m.read(0), Bit::One, "w0:r0 sequence excites the fault");
+        assert_eq!(m.peek(0), Bit::One, "cell really flipped");
+        // An intervening op on another address breaks the sequence.
+        m.write(0, Bit::Zero);
+        m.write(1, Bit::One);
+        assert_eq!(m.read(0), Bit::Zero, "sequence broken by other write");
+        // An intervening read breaks it too.
+        m.write(0, Bit::Zero);
+        let _ = m.read(1);
+        assert_eq!(m.read(0), Bit::Zero, "sequence broken by a read");
+
+        // dDRDF<1>: w1:r1 answers correctly but flips the cell.
+        let mut m = FaultyMemory::new(
+            zeros(1),
+            FaultModel::DynamicDeceptiveReadDestructive(Bit::One),
+            SiteCells::Single(0),
+            Bit::Zero,
+        );
+        m.write(0, Bit::One);
+        assert_eq!(m.read(0), Bit::One, "deceptive: first read is correct");
+        assert_eq!(m.read(0), Bit::Zero, "second read sees the flip");
+
+        // dIRF<0>: w0:r0 lies, cell intact.
+        let mut m = FaultyMemory::new(
+            zeros(1),
+            FaultModel::DynamicIncorrectRead(Bit::Zero),
+            SiteCells::Single(0),
+            Bit::Zero,
+        );
+        m.write(0, Bit::Zero);
+        assert_eq!(m.read(0), Bit::One, "w0:r0 lies");
+        assert_eq!(m.read(0), Bit::Zero, "cell was never corrupted");
+    }
+
+    #[test]
+    fn linked_idempotent_couples_both_directions() {
+        // LCF<1> = CFid⟨↑,1⟩ ∘ CFid⟨↓,0⟩ on one aggressor/victim pair.
+        let mut m = FaultyMemory::new(
+            zeros(2),
+            FaultModel::LinkedIdempotent(Bit::One),
+            SiteCells::Pair {
+                aggressor: 0,
+                victim: 1,
+            },
+            Bit::Zero,
+        );
+        m.write(0, Bit::One); // ↑-link forces victim to 1
+        assert_eq!(m.read(1), Bit::One);
+        m.write(0, Bit::Zero); // ↓-link forces victim back to 0
+        assert_eq!(m.read(1), Bit::Zero, "the two links mask each other");
+        // Re-writing the held value is not a transition.
+        m.write(1, Bit::One);
+        m.write(0, Bit::Zero);
+        assert_eq!(m.read(1), Bit::One);
     }
 
     #[test]

@@ -49,12 +49,13 @@ fn random_march(rng: &mut Rng) -> MarchTest {
     test
 }
 
-/// Every model of the classical taxonomy × every known test: identical
-/// reports, including per-site escape lists.
+/// Every model of the extended taxonomy (classical + dynamic + linked)
+/// × every known test: identical reports, including per-site escape
+/// lists.
 #[test]
 fn full_catalog_matches_on_known_tests() {
     let n = 4;
-    let catalog = FaultModel::all_classical();
+    let catalog = FaultModel::all_extended();
     for (name, test) in known::all() {
         for &model in &catalog {
             let scalar = coverage::model_coverage(&test, model, n);
@@ -74,7 +75,7 @@ fn full_catalog_matches_on_larger_memory() {
         ("March C-", known::march_c_minus()),
         ("March G", known::march_g()),
     ] {
-        for model in FaultModel::all_classical() {
+        for model in FaultModel::all_extended() {
             let scalar = coverage::model_coverage(&test, model, n);
             let packed = bitsim::model_coverage(&test, model, n);
             assert_eq!(packed, scalar, "{name} × {model} at n={n}");
@@ -86,7 +87,7 @@ fn full_catalog_matches_on_larger_memory() {
 /// memory sizes: reports and `covers_all` agree.
 #[test]
 fn random_tests_match_scalar_reports() {
-    let catalog = FaultModel::all_classical();
+    let catalog = FaultModel::all_extended();
     run_cases("bitsim ≡ scalar on random tests", 48, |rng| {
         let test = random_march(rng);
         let n = rng.range(2, 6);
@@ -114,6 +115,9 @@ fn verifier_backends_agree_on_compaction() {
         "SAF, TF, ADF, CFin",
         "CFid<u,1>, CFid<d,1>",
         "CFin, CFid, CFst",
+        "dRDF, dDRDF, dIRF",
+        "SAF, dRDF<0>, LCF<1>",
+        "LCF",
     ] {
         let models = parse_fault_list(list).unwrap();
         let scalar = SimVerifier::new(n);
@@ -141,7 +145,7 @@ fn verifier_backends_agree_on_compaction() {
 /// Random tests through both verifiers end to end (verify + compact).
 #[test]
 fn random_tests_match_through_verifier_trait() {
-    let catalog = FaultModel::all_classical();
+    let catalog = FaultModel::all_extended();
     run_cases("verifier backends ≡ on random tests", 24, |rng| {
         let test = random_march(rng);
         let n = rng.range(2, 5);

@@ -91,6 +91,11 @@ usage:
   --cache-dir       persistent content-addressed outcome cache: identical
                     requests (modulo fault-list order and execution knobs)
                     are replayed instead of recomputed, across processes
+
+fault lists:        families SAF TF SOF ADF CFin CFid CFst RDF DRDF IRF
+                    DRF, dynamic dRDF dDRDF dIRF (case-sensitive d),
+                    linked LCF; or qualified instances like SA0, TF<u>,
+                    CFid<u,0>, dRDF<1>, LCF<0>
 ";
 
 /// Request-level knobs applied uniformly by `generate` and `batch`.

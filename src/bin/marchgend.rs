@@ -40,11 +40,12 @@
 //! to get the missed frames replayed byte-identically and then follow
 //! live — the computation never restarts.
 
-use marchgen::cache::{canonical_key_text, key_for_text, OutcomeCache, ShardedLru, KEY_SCHEMA};
+use marchgen::cache::{canonical_key_text, key_for_text, OutcomeCache, ShardedLru};
 use marchgen::daemon::{
     FromJson, Json, RateLimitConfig, Reply, Request, Response, Server, ServerConfig, ServerStats,
     StreamResponse, ToJson,
 };
+use marchgen::faults::FAULT_CLASS_LABELS;
 use marchgen::obs::{Histogram, Registry, SpanNode, Tracer};
 use marchgen::resume::{CompleteOnDrop, FollowError, StreamRegistry};
 use marchgen::rtl::RtlOptions;
@@ -424,6 +425,17 @@ fn span_json(node: &SpanNode) -> Json {
     Json::Object(pairs)
 }
 
+/// Help text of the per-`fault_class` request counter (shared by the
+/// increment path and the fixed-vocabulary pre-registration).
+const FAULT_CLASS_REQUESTS_HELP: &str =
+    "Generation requests by fault class (one tick per distinct class in the request's \
+     fault list; fixed label vocabulary).";
+
+/// Help text of the per-`fault_class` verification-outcome counter.
+const FAULT_CLASS_VERIFY_HELP: &str =
+    "Served generation outcomes by fault class and verification outcome \
+     (verified|unverified; fixed label vocabulary).";
+
 /// The application half of the daemon: routing, codec glue, cache and
 /// batch wiring. Shared by every connection worker.
 struct App {
@@ -559,10 +571,12 @@ impl App {
         if contended && request.search_threads == 0 {
             request = request.with_search_threads(1);
         }
+        self.count_fault_classes(&request);
         let started = Instant::now();
         let generate_span = tracer.span("generate");
         match self.cache.get_or_compute(&request, marchgen::generate) {
             Ok(outcome) => {
+                self.count_verify_outcomes(&request, outcome.verified);
                 if !outcome.diagnostics.cache_hit {
                     let wall = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
                     self.timing.record(&outcome.diagnostics, wall);
@@ -992,6 +1006,54 @@ impl App {
         Response::text(self.metrics.registry.render(), "text/plain; version=0.0.4")
     }
 
+    /// Increments the per-`fault_class` request counters: one tick per
+    /// distinct class label in the request's fault list. The label set
+    /// is the fixed [`FAULT_CLASS_LABELS`] vocabulary, so cardinality
+    /// is bounded regardless of request contents.
+    fn count_fault_classes(&self, request: &GenerateRequest) {
+        let mut seen: Vec<&'static str> = request
+            .faults
+            .iter()
+            .map(marchgen::FaultModel::class_label)
+            .collect();
+        seen.sort_unstable();
+        seen.dedup();
+        for label in seen {
+            self.metrics
+                .registry
+                .counter(
+                    "marchgend_fault_class_requests_total",
+                    FAULT_CLASS_REQUESTS_HELP,
+                    &[("fault_class", label)],
+                )
+                .inc();
+        }
+    }
+
+    /// Increments the per-`fault_class` verification-outcome counters
+    /// for a served generation (cache hits included — the outcome is
+    /// what the client received).
+    fn count_verify_outcomes(&self, request: &GenerateRequest, verified: bool) {
+        let outcome = if verified { "verified" } else { "unverified" };
+        let mut seen: Vec<&'static str> = request
+            .faults
+            .iter()
+            .map(marchgen::FaultModel::class_label)
+            .collect();
+        seen.sort_unstable();
+        seen.dedup();
+        for label in seen {
+            self.metrics
+                .registry
+                .counter(
+                    "marchgend_fault_class_verify_total",
+                    FAULT_CLASS_VERIFY_HELP,
+                    &[("fault_class", label), ("outcome", outcome)],
+                )
+                .inc();
+        }
+    }
+
     /// Copies every externally owned statistic (server stats, outcome
     /// cache, RTL cache, stream registry, uptime) into its mirror
     /// instrument. Called on both snapshot paths (`/v1/stats` and
@@ -1135,6 +1197,30 @@ impl App {
             &[],
             cache.key_mismatches,
         );
+        mirror(
+            "marchgend_cache_key_schema_stale_total",
+            "Misses whose request still has a persisted entry under the previous cache \
+             key schema — recomputes forced by a schema bump, not a cold cache.",
+            &[],
+            cache.key_schema_stale,
+        );
+        // Fixed fault-class vocabulary: every series exists from the
+        // first scrape (zeros, not gaps), and cardinality is bounded by
+        // the taxonomy rather than by traffic.
+        for label in FAULT_CLASS_LABELS {
+            let _ = registry.counter(
+                "marchgend_fault_class_requests_total",
+                FAULT_CLASS_REQUESTS_HELP,
+                &[("fault_class", label)],
+            );
+            for outcome in ["verified", "unverified"] {
+                let _ = registry.counter(
+                    "marchgend_fault_class_verify_total",
+                    FAULT_CLASS_VERIFY_HELP,
+                    &[("fault_class", label), ("outcome", outcome)],
+                );
+            }
+        }
         registry
             .gauge(
                 "marchgend_cache_resident",
@@ -1279,6 +1365,7 @@ impl App {
             ("evictions", Json::from(cache.evictions)),
             ("coalesced", Json::from(cache.coalesced)),
             ("key_mismatches", Json::from(cache.key_mismatches)),
+            ("key_schema_stale", Json::from(cache.key_schema_stale)),
             ("resident", Json::from(self.cache.resident())),
         ]
         .into_iter()
@@ -1416,7 +1503,9 @@ fn health_endpoint() -> Response {
         ("status", Json::from("ok")),
         ("service", Json::from("marchgend")),
         ("version", Json::from(env!("CARGO_PKG_VERSION"))),
-        ("schema", Json::Int(i64::from(KEY_SCHEMA))),
+        // The wire *document* schema (docs/WIRE_FORMAT.md), not the
+        // cache KEY_SCHEMA — the two version independently.
+        ("schema", Json::Int(1)),
     ]))
 }
 

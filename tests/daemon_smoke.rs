@@ -866,6 +866,63 @@ fn daemon_stats_and_metrics_agree_on_cache_hits() {
     daemon.wait_for_exit();
 }
 
+/// The extended workload space passes through the wire end-to-end:
+/// dynamic and linked fault classes generate over HTTP, echo their
+/// grammar tokens in the response document, and tick the per-class
+/// counters — whose fixed vocabulary exposes zero-valued series for
+/// classes never requested.
+#[test]
+fn daemon_serves_extended_fault_classes_and_counts_them() {
+    let daemon = Daemon::spawn(&["--workers", "2"]);
+
+    let (status, body) = daemon.request(
+        "POST",
+        "/v1/generate",
+        r#"{"faults": ["SAF", "dRDF<0>", "LCF<1>"]}"#,
+    );
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"verified\":true"), "{body}");
+    assert!(body.contains("dRDF<0>"), "{body}");
+    assert!(body.contains("LCF<1>"), "{body}");
+
+    let (status, metrics) = daemon.request("GET", "/metrics", "");
+    assert_eq!(status, 200);
+    for class in ["SAF", "dRDF", "LCF"] {
+        assert_eq!(
+            metric_value(
+                &metrics,
+                &format!("marchgend_fault_class_requests_total{{fault_class=\"{class}\"}}"),
+            ),
+            1,
+            "request counter for {class}:\n{metrics}"
+        );
+        assert_eq!(
+            metric_value(
+                &metrics,
+                &format!(
+                    "marchgend_fault_class_verify_total\
+                     {{fault_class=\"{class}\",outcome=\"verified\"}}"
+                ),
+            ),
+            1,
+            "verify counter for {class}:\n{metrics}"
+        );
+    }
+    // Fixed vocabulary: a class never requested still has its series.
+    assert_eq!(
+        metric_value(
+            &metrics,
+            "marchgend_fault_class_requests_total{fault_class=\"dIRF\"}",
+        ),
+        0,
+        "{metrics}"
+    );
+
+    let (status, _) = daemon.request("POST", "/v1/shutdown", "");
+    assert_eq!(status, 200);
+    daemon.wait_for_exit();
+}
+
 /// `--slow-request-ms` warns on stderr when serving a request (handler
 /// plus response write) takes at least the threshold; a 1ms threshold
 /// makes a cold five-model generate slow.

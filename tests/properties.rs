@@ -12,7 +12,9 @@ use marchgen_testkit::{run_cases, Rng};
 /// A non-empty sublist of the polarity-complete fault families
 /// (complement symmetry holds for these).
 fn random_family_list(rng: &mut Rng) -> Vec<FaultModel> {
-    let families = ["SAF", "TF", "ADF", "CFin", "CFid", "CFst", "RDF", "IRF"];
+    let families = [
+        "SAF", "TF", "ADF", "CFin", "CFid", "CFst", "RDF", "IRF", "dRDF", "dDRDF", "dIRF", "LCF",
+    ];
     let mut models = Vec::new();
     for _ in 0..rng.range(1, 4) {
         let family = families[rng.range(0, families.len())];
@@ -80,6 +82,32 @@ fn display_parse_roundtrip() {
         assert_eq!(reparsed, test);
         let ascii: MarchTest = test.to_ascii().parse().expect("ascii parses back");
         assert_eq!(ascii, test);
+    });
+}
+
+/// Display → parse is the identity on fault lists too: any sublist of
+/// the extended taxonomy (classical + dynamic + linked), printed with
+/// the canonical `", "` separator, re-parses to exactly itself.
+#[test]
+fn fault_list_display_parse_roundtrip() {
+    let catalog = FaultModel::all_extended();
+    // Exhaustive single-model pass first: every variant's printed form
+    // is its own parse.
+    for &model in &catalog {
+        let parsed = parse_fault_list(&model.to_string()).expect("variant re-parses");
+        assert_eq!(parsed, vec![model], "roundtrip of {model}");
+    }
+    run_cases("fault_list_display_parse_roundtrip", 96, |rng| {
+        let models: Vec<FaultModel> = (0..rng.range(1, 6))
+            .map(|_| catalog[rng.range(0, catalog.len())])
+            .collect();
+        let printed = models
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(", ");
+        let parsed = parse_fault_list(&printed).expect("list re-parses");
+        assert_eq!(parsed, models, "roundtrip of {printed:?}");
     });
 }
 

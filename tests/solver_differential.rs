@@ -59,10 +59,11 @@ fn unique_tp_sets(faults: &str) -> Vec<Vec<TestPattern>> {
     seen
 }
 
-/// The catalog workloads: every classical fault model alone, plus the
-/// paper's Table 3 combinations and the §4 worked example.
+/// The catalog workloads: every model of the extended taxonomy alone
+/// (classical, dynamic and linked), plus the paper's Table 3
+/// combinations, the §4 worked example and mixed extended lists.
 fn catalog_fault_lists() -> Vec<String> {
-    let mut lists: Vec<String> = FaultModel::all_classical()
+    let mut lists: Vec<String> = FaultModel::all_extended()
         .iter()
         .map(|m| m.name())
         .collect();
@@ -77,6 +78,10 @@ fn catalog_fault_lists() -> Vec<String> {
         "CFid<u,1>, CFid<d,1>",
         "CFin, CFid",
         "SAF, TF, DRF",
+        "dRDF, dDRDF, dIRF",
+        "SAF, TF, dRDF",
+        "LCF",
+        "CFid, LCF<1>",
     ] {
         lists.push(combo.to_owned());
     }
