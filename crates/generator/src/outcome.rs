@@ -73,6 +73,21 @@ pub struct Diagnostics {
     /// workers), in deterministic first-seen order. The *length* is
     /// independent of the thread count; only the values vary run to run.
     pub shard_micros: Vec<u64>,
+    /// The verification backend the run resolved its
+    /// [`VerifierChoice`](crate::VerifierChoice) to (the trait name:
+    /// `"simulator"`, `"bitsim"`, `"widesim"`). Empty when verification
+    /// was disabled (`verify_cells == 0`) or on documents predating the
+    /// verifier diagnostics.
+    pub verifier: String,
+    /// Per-shard verify times, µs: one entry per verification shard of
+    /// each coverage sweep the pipeline ran (candidate screening plus
+    /// the final or fallback re-verify), in deterministic shard-plan
+    /// order. The shard plan depends only on the fault list and memory
+    /// size, so the *length* is independent of the thread count; only
+    /// the values vary run to run. Shards run concurrently, so the sum
+    /// can exceed the wall-clock `verify_micros`. Empty on documents
+    /// predating the sharded verifier.
+    pub verify_shard_micros: Vec<u64>,
     /// `true` when this outcome was replayed from a content-addressed
     /// cache (`marchgen-cache`) rather than computed by the pipeline.
     /// Freshly computed outcomes always carry `false`; the cache

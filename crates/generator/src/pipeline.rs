@@ -19,7 +19,7 @@ use marchgen_faults::{
 };
 use marchgen_march::MarchTest;
 use marchgen_sim::coverage::CoverageReport;
-use marchgen_sim::{BitSimVerifier, SimVerifier, Verifier};
+use marchgen_sim::{widesim, BitSimVerifier, SimVerifier, Verifier, WideSimVerifier};
 use marchgen_tpg::{plan_tour_with_stats, StartPolicy, Tpg};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -91,23 +91,29 @@ pub fn generate_with_registry(
 /// Resolves the request's [`VerifierChoice`] into a concrete backend
 /// (`None` when `verify_cells == 0` disables verification).
 ///
-/// `Auto` picks the bit-parallel simulator exactly when the fault list
-/// contains pair faults — the workloads whose `n·(n−1)` site sweeps
-/// dominate verification time.
+/// `Auto` picks by scenario lane count: the wide-lane simulator when
+/// any model of the fault list sweeps more than 64 scenario lanes (one
+/// full bitsim batch) — pair faults on realistic memories, but also
+/// wide single-cell sweeps — and the 64-lane bit-parallel simulator
+/// otherwise. Every model of the extended taxonomy, dynamic and linked
+/// classes included, is supported by the packed rule-table
+/// interpreters, so `Auto` never selects the scalar backend.
 #[must_use]
 pub fn verifier_for(request: &GenerateRequest) -> Option<Box<dyn Verifier>> {
     if request.verify_cells == 0 {
         return None;
     }
-    let bit_parallel = match request.verifier {
-        VerifierChoice::Scalar => false,
-        VerifierChoice::BitParallel => true,
-        VerifierChoice::Auto => request.faults.iter().any(FaultModel::is_pair_fault),
-    };
-    Some(if bit_parallel {
-        Box::new(BitSimVerifier::new(request.verify_cells))
-    } else {
-        Box::new(SimVerifier::new(request.verify_cells))
+    Some(match request.verifier {
+        VerifierChoice::Scalar => Box::new(SimVerifier::new(request.verify_cells)),
+        VerifierChoice::BitParallel => Box::new(BitSimVerifier::new(request.verify_cells)),
+        VerifierChoice::Wide => Box::new(WideSimVerifier::new(request.verify_cells)),
+        VerifierChoice::Auto => {
+            if widesim::max_model_lanes(&request.faults, request.verify_cells) > 64 {
+                Box::new(WideSimVerifier::new(request.verify_cells))
+            } else {
+                Box::new(BitSimVerifier::new(request.verify_cells))
+            }
+        }
     })
 }
 
@@ -234,17 +240,24 @@ pub fn generate_with(
         });
     };
 
+    // Every coverage sweep fans out through `verify_sharded`, reusing
+    // the search worker budget; per-shard timings accumulate in
+    // `verify_shard_micros` (shard counts are data-defined, so the
+    // vector's length is thread-count-invariant).
+    diagnostics.verifier = verifier.name().to_owned();
     let verify_started = Instant::now();
     let mut fallback: Option<(MarchTest, Vec<TestPattern>)> = None;
     for (test, tour) in &candidates {
-        let report = verifier.verify(test, &request.faults);
-        if report.complete() {
+        let run = verifier.verify_sharded(test, &request.faults, workers);
+        diagnostics.verify_shard_micros.extend(run.shard_micros);
+        if run.report.complete() {
             let final_test = if request.compact {
                 verifier.compact(test, &request.faults).into_owned()
             } else {
                 test.clone()
             };
-            let report = verifier.verify(&final_test, &request.faults);
+            let run = verifier.verify_sharded(&final_test, &request.faults, workers);
+            diagnostics.verify_shard_micros.extend(run.shard_micros);
             let non_redundant = if request.compact || request.check_redundancy {
                 Some(verifier.is_non_redundant(&final_test, &request.faults))
             } else {
@@ -255,7 +268,7 @@ pub fn generate_with(
                 test: final_test,
                 tour: tour.clone(),
                 verified: true,
-                report: Some(report),
+                report: Some(run.report),
                 non_redundant,
                 diagnostics,
             });
@@ -267,13 +280,14 @@ pub fn generate_with(
 
     // No candidate verified — report the best one honestly.
     let (test, tour) = fallback.expect("candidates non-empty");
-    let report = verifier.verify(&test, &request.faults);
+    let run = verifier.verify_sharded(&test, &request.faults, workers);
+    diagnostics.verify_shard_micros.extend(run.shard_micros);
     diagnostics.verify_micros = as_micros(verify_started);
     Ok(GenerateOutcome {
         test,
         tour,
         verified: false,
-        report: Some(report),
+        report: Some(run.report),
         non_redundant: None,
         diagnostics,
     })
@@ -671,22 +685,40 @@ mod tests {
                 o.diagnostics.search_micros = 0;
                 o.diagnostics.verify_micros = 0;
                 o.diagnostics.shard_micros = vec![0; o.diagnostics.shard_micros.len()];
+                o.diagnostics.verify_shard_micros =
+                    vec![0; o.diagnostics.verify_shard_micros.len()];
             }
             assert_eq!(outcomes[0], outcomes[1], "{faults}: 1 vs 2 threads");
             assert_eq!(outcomes[0], outcomes[2], "{faults}: 1 vs 8 threads");
         }
     }
 
-    /// `Auto` resolves to the bit-parallel backend exactly on pair-fault
-    /// lists, and explicit choices are honored.
+    /// `Auto` resolves by scenario lane count — the 64-lane backend for
+    /// sweeps that fit one bitsim batch, the wide backend beyond — and
+    /// explicit choices are honored.
     #[test]
     fn verifier_resolution_rules() {
+        // SAF+TF at the default 4 cells: ≤ 64 scenario lanes → bitsim.
         let single = GenerateRequest::from_fault_list("SAF, TF").unwrap();
+        // Any pair-fault list at 4 cells: 12 sites × 8 patterns = 96
+        // lanes → wide.
         let pair = GenerateRequest::from_fault_list("SAF, CFin").unwrap();
-        assert_eq!(verifier_for(&single).unwrap().name(), "simulator");
-        assert_eq!(verifier_for(&pair).unwrap().name(), "bitsim");
+        assert_eq!(verifier_for(&single).unwrap().name(), "bitsim");
+        assert_eq!(verifier_for(&pair).unwrap().name(), "widesim");
         assert_eq!(
-            verifier_for(&single.clone().with_verifier(VerifierChoice::BitParallel))
+            verifier_for(&single.clone().with_verifier(VerifierChoice::Scalar))
+                .unwrap()
+                .name(),
+            "simulator"
+        );
+        assert_eq!(
+            verifier_for(&single.clone().with_verifier(VerifierChoice::Wide))
+                .unwrap()
+                .name(),
+            "widesim"
+        );
+        assert_eq!(
+            verifier_for(&pair.clone().with_verifier(VerifierChoice::BitParallel))
                 .unwrap()
                 .name(),
             "bitsim"
@@ -700,8 +732,41 @@ mod tests {
         assert!(verifier_for(&pair.with_verify_cells(0)).is_none());
     }
 
-    /// Scalar and bit-parallel verification produce the same outcome on
-    /// the paper workloads (end-to-end pipeline agreement).
+    /// Regression (PR 9 routed only pair-fault lists to bitsim): `auto`
+    /// never selects the scalar backend — dynamic and linked lists
+    /// included, at any memory size the packed interpreters support.
+    #[test]
+    fn auto_never_selects_scalar_when_packed_backend_supports_the_list() {
+        for faults in [
+            "SAF",
+            "SAF, TF",
+            "RDF, DRDF, IRF",
+            "dRDF, dDRDF, dIRF",
+            "dRDF<0>",
+            "LCF",
+            "LCF<1>",
+            "SAF, dRDF, LCF",
+            "SAF, CFin",
+            "CFin, CFid, CFst",
+        ] {
+            for cells in [2usize, 4, 8] {
+                let request = GenerateRequest::from_fault_list(faults)
+                    .unwrap()
+                    .with_verify_cells(cells);
+                let name = verifier_for(&request).unwrap().name().to_owned();
+                assert_ne!(name, "simulator", "{faults} at {cells} cells");
+                let expected = if widesim::max_model_lanes(&request.faults, cells) > 64 {
+                    "widesim"
+                } else {
+                    "bitsim"
+                };
+                assert_eq!(name, expected, "{faults} at {cells} cells");
+            }
+        }
+    }
+
+    /// All three verification backends produce the same outcome on the
+    /// paper workloads (end-to-end pipeline agreement).
     #[test]
     fn verifier_backends_agree_end_to_end() {
         for faults in ["SAF, TF", "CFid<u,0>, CFid<u,1>", "SAF, TF, ADF, CFin"] {
@@ -709,13 +774,46 @@ mod tests {
                 .unwrap()
                 .with_check_redundancy(true);
             let scalar = generate(&base.clone().with_verifier(VerifierChoice::Scalar)).unwrap();
-            let packed =
-                generate(&base.clone().with_verifier(VerifierChoice::BitParallel)).unwrap();
-            assert_eq!(scalar.test, packed.test, "{faults}");
-            assert_eq!(scalar.report, packed.report, "{faults}");
-            assert_eq!(scalar.non_redundant, packed.non_redundant, "{faults}");
-            assert_eq!(scalar.verified, packed.verified, "{faults}");
+            for choice in [VerifierChoice::BitParallel, VerifierChoice::Wide] {
+                let packed = generate(&base.clone().with_verifier(choice)).unwrap();
+                assert_eq!(scalar.test, packed.test, "{faults} via {choice}");
+                assert_eq!(scalar.report, packed.report, "{faults} via {choice}");
+                assert_eq!(
+                    scalar.non_redundant, packed.non_redundant,
+                    "{faults} via {choice}"
+                );
+                assert_eq!(scalar.verified, packed.verified, "{faults} via {choice}");
+            }
         }
+    }
+
+    /// The resolved backend and per-shard verify timings land in the
+    /// diagnostics; inline (single-threaded) shard times sum to at most
+    /// the verify phase's wall clock.
+    #[test]
+    fn verify_shard_diagnostics_are_recorded() {
+        let request = GenerateRequest::from_fault_list("SAF, CFin")
+            .unwrap()
+            .with_search_threads(1);
+        let out = generate(&request).unwrap();
+        let d = &out.diagnostics;
+        assert_eq!(d.verifier, "widesim");
+        assert!(!d.verify_shard_micros.is_empty());
+        // One plan's worth of shards per coverage sweep the pipeline ran.
+        let plan_len = widesim::shard_plan(&request.faults, request.verify_cells).len();
+        assert_eq!(d.verify_shard_micros.len() % plan_len, 0);
+        // Inline shards nest inside the verify phase: Σ shards ≤ wall
+        // clock (strictly concurrent runs could exceed it).
+        let total: u64 = d.verify_shard_micros.iter().sum();
+        assert!(
+            total <= d.verify_micros,
+            "Σ verify_shard_micros {total} > verify_micros {}",
+            d.verify_micros
+        );
+        // Verification disabled → no backend, no shards.
+        let off = generate(&request.with_verify_cells(0)).unwrap();
+        assert_eq!(off.diagnostics.verifier, "");
+        assert!(off.diagnostics.verify_shard_micros.is_empty());
     }
 
     #[test]
@@ -794,17 +892,18 @@ mod tests {
     }
 
     /// Mixed classical + dynamic + linked workloads verify identically on
-    /// the scalar and bit-parallel backends.
+    /// the scalar, bit-parallel and wide backends.
     #[test]
     fn extended_workload_backends_agree() {
         for faults in ["SAF, dRDF, dIRF", "TF, LCF<1>", "SAF, TF, dDRDF, LCF"] {
             let base = GenerateRequest::from_fault_list(faults).unwrap();
             let scalar = generate(&base.clone().with_verifier(VerifierChoice::Scalar)).unwrap();
-            let packed =
-                generate(&base.clone().with_verifier(VerifierChoice::BitParallel)).unwrap();
-            assert_eq!(scalar.test, packed.test, "{faults}");
-            assert_eq!(scalar.report, packed.report, "{faults}");
-            assert!(scalar.verified, "{faults}: {:?}", scalar.report);
+            for choice in [VerifierChoice::BitParallel, VerifierChoice::Wide] {
+                let packed = generate(&base.clone().with_verifier(choice)).unwrap();
+                assert_eq!(scalar.test, packed.test, "{faults} via {choice}");
+                assert_eq!(scalar.report, packed.report, "{faults} via {choice}");
+                assert!(scalar.verified, "{faults}: {:?}", scalar.report);
+            }
         }
     }
 

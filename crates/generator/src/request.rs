@@ -15,10 +15,13 @@ use std::fmt;
 /// redundancy checks of a request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum VerifierChoice {
-    /// Pick per request: the bit-parallel simulator when the fault list
-    /// contains pair (coupling / address-decoder) faults — where the
-    /// `n·(n−1)` site sweep dominates — and the scalar simulator
-    /// otherwise. The default.
+    /// Pick per request by scenario lane count: the wide-lane simulator
+    /// when any fault model sweeps more than 64 lanes (one full bitsim
+    /// batch), the 64-lane bit-parallel simulator otherwise. Every
+    /// model of the extended taxonomy — including dynamic (`dRDF` /
+    /// `dDRDF` / `dIRF`) and linked (`LCF`) classes — routes to a
+    /// packed backend; the scalar simulator is never auto-selected.
+    /// The default.
     #[default]
     Auto,
     /// The scalar behavioural simulator
@@ -30,16 +33,25 @@ pub enum VerifierChoice {
     /// lanes per `u64` word. Exact agreement with the scalar backend is
     /// enforced by the differential test suite.
     BitParallel,
+    /// The wide-lane simulator
+    /// ([`WideSimVerifier`](marchgen_sim::WideSimVerifier)), `[u64; W]`
+    /// lane blocks with W ∈ {2, 4, 8} picked by scenario count
+    /// (128–512 lanes per word), sharding the verify phase across
+    /// `search_threads` workers. Exact agreement with the scalar
+    /// backend at every width is enforced by the differential suite.
+    Wide,
 }
 
 impl VerifierChoice {
-    /// The stable serialization key (`"auto"` / `"scalar"` / `"bitsim"`).
+    /// The stable serialization key (`"auto"` / `"scalar"` / `"bitsim"`
+    /// / `"wide"`).
     #[must_use]
     pub fn key(self) -> &'static str {
         match self {
             VerifierChoice::Auto => "auto",
             VerifierChoice::Scalar => "scalar",
             VerifierChoice::BitParallel => "bitsim",
+            VerifierChoice::Wide => "wide",
         }
     }
 
@@ -50,6 +62,7 @@ impl VerifierChoice {
             "auto" => Some(VerifierChoice::Auto),
             "scalar" => Some(VerifierChoice::Scalar),
             "bitsim" => Some(VerifierChoice::BitParallel),
+            "wide" => Some(VerifierChoice::Wide),
             _ => None,
         }
     }
@@ -256,11 +269,13 @@ mod tests {
             VerifierChoice::Auto,
             VerifierChoice::Scalar,
             VerifierChoice::BitParallel,
+            VerifierChoice::Wide,
         ] {
             assert_eq!(VerifierChoice::from_key(choice.key()), Some(choice));
         }
         assert_eq!(VerifierChoice::from_key("bogus"), None);
         assert_eq!(VerifierChoice::BitParallel.to_string(), "bitsim");
+        assert_eq!(VerifierChoice::Wide.to_string(), "wide");
     }
 
     #[test]

@@ -380,7 +380,7 @@ impl FromJson for GenerateRequest {
                 .and_then(VerifierChoice::from_key)
                 .ok_or_else(|| {
                     JsonError::decode(
-                        "field \"verifier\" must be \"auto\", \"scalar\" or \"bitsim\"",
+                        "field \"verifier\" must be \"auto\", \"scalar\", \"bitsim\" or \"wide\"",
                     )
                 })?,
         };
@@ -436,6 +436,11 @@ impl ToJson for Diagnostics {
                 "shard_micros",
                 Json::array(self.shard_micros.iter().map(|&m| Json::from(m))),
             ),
+            ("verifier", Json::Str(self.verifier.clone())),
+            (
+                "verify_shard_micros",
+                Json::array(self.verify_shard_micros.iter().map(|&m| Json::from(m))),
+            ),
             ("cache_hit", Json::Bool(self.cache_hit)),
         ])
     }
@@ -465,6 +470,28 @@ impl FromJson for Diagnostics {
                         .and_then(|m| u64::try_from(m).ok())
                         .ok_or_else(|| {
                             JsonError::decode("shard timings must be non-negative integers")
+                        })
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+        };
+        // Optional and backward compatible: documents predating the
+        // sharded verifier (schema ≤ v2) omit the resolved backend name
+        // and the per-shard verify timings.
+        let verifier = match json.get("verifier") {
+            None => String::new(),
+            Some(_) => str_field(json, "verifier")?.to_owned(),
+        };
+        let verify_shard_micros = match json.get("verify_shard_micros") {
+            None => Vec::new(),
+            Some(value) => value
+                .as_array()
+                .ok_or_else(|| JsonError::decode("field \"verify_shard_micros\" must be an array"))?
+                .iter()
+                .map(|v| {
+                    v.as_int()
+                        .and_then(|m| u64::try_from(m).ok())
+                        .ok_or_else(|| {
+                            JsonError::decode("verify shard timings must be non-negative integers")
                         })
                 })
                 .collect::<Result<Vec<_>, _>>()?,
@@ -501,6 +528,8 @@ impl FromJson for Diagnostics {
             search_micros: u64_field(json, "search_micros")?,
             verify_micros: u64_field(json, "verify_micros")?,
             shard_micros,
+            verifier,
+            verify_shard_micros,
             cache_hit,
         })
     }
@@ -625,6 +654,9 @@ mod tests {
         let back =
             GenerateRequest::from_json_str(r#"{"faults": ["SAF"], "verifier": "scalar"}"#).unwrap();
         assert_eq!(back.verifier, VerifierChoice::Scalar);
+        let back =
+            GenerateRequest::from_json_str(r#"{"faults": ["SAF"], "verifier": "wide"}"#).unwrap();
+        assert_eq!(back.verifier, VerifierChoice::Wide);
         assert!(
             GenerateRequest::from_json_str(r#"{"faults": ["SAF"], "verifier": "quantum"}"#)
                 .is_err()
@@ -647,6 +679,39 @@ mod tests {
         assert_eq!(d.solver, "", "pre-solver-diagnostics documents decode");
         assert_eq!(d.solver_iterations, 0);
         assert_eq!(d.solver_restarts, 0);
+        assert_eq!(d.verifier, "", "pre-sharded-verifier documents decode");
+        assert!(d.verify_shard_micros.is_empty());
+    }
+
+    /// The sharded-verifier diagnostics survive a round trip, and the
+    /// new keys decode what the encoder writes.
+    #[test]
+    fn verify_shard_diagnostics_roundtrip() {
+        let d = Diagnostics {
+            verifier: "widesim".to_owned(),
+            verify_shard_micros: vec![11, 0, 42],
+            shard_micros: vec![7],
+            combinations: 1,
+            unique_tp_sets: 1,
+            tours_tried: 1,
+            candidates: 1,
+            candidate_complexities: vec![4],
+            ..Diagnostics::default()
+        };
+        let back = Diagnostics::from_json_str(&d.to_json_string()).unwrap();
+        assert_eq!(back, d);
+        assert!(
+            Diagnostics::from_json_str(
+                r#"{
+                    "combinations": 1, "unique_tp_sets": 1, "tours_tried": 1,
+                    "candidates": 1, "candidate_complexities": [4],
+                    "expand_micros": 1, "search_micros": 2, "verify_micros": 3,
+                    "verify_shard_micros": "soon"
+                }"#
+            )
+            .is_err(),
+            "malformed verify_shard_micros is rejected, not defaulted"
+        );
     }
 
     /// Regression (default consistency): spelling out the `verifier` and

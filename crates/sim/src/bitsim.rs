@@ -59,21 +59,24 @@ fn splat(bit: Bit) -> u64 {
 }
 
 /// One scenario lane: which site it simulates and its power-up state.
+///
+/// Shared with [`crate::widesim`], which packs the same lanes — in the
+/// same enumeration order — into multi-word blocks.
 #[derive(Debug, Clone)]
-struct Lane {
+pub(crate) struct Lane {
     /// Index into the site list the sweep runs over.
-    site_index: usize,
+    pub(crate) site_index: usize,
     /// Site placement (drives the address masks).
-    cells: SiteCells,
+    pub(crate) cells: SiteCells,
     /// Power-up pattern of the whole array.
-    pattern: Vec<Bit>,
+    pub(crate) pattern: Vec<Bit>,
     /// Sense-amplifier latch power-up value.
-    latch: Bit,
+    pub(crate) latch: Bit,
 }
 
 /// Every scenario lane of a site sweep, in the scalar engine's
 /// enumeration order (site-major, then pattern, then latch).
-fn lanes_for(sites: &[FaultSite], n: usize) -> Vec<Lane> {
+pub(crate) fn lanes_for(sites: &[FaultSite], n: usize) -> Vec<Lane> {
     let mut lanes = Vec::new();
     for (site_index, site) in sites.iter().enumerate() {
         for pattern in power_up_patterns(site, n) {
@@ -468,6 +471,36 @@ fn sweep(
         }
     }
     detected
+}
+
+/// Per-resolution, per-lane mismatch verdicts for every scenario lane of
+/// `model` on an `n`-cell memory: `out[r][l]` is `true` when lane `l`
+/// (in the crate-internal `lanes_for` enumeration order) produced at
+/// least one mismatching read under resolution vector `r`.
+///
+/// This is the finest observable the packed engines have — the
+/// differential suite compares it bit-for-bit across the scalar, 64-lane
+/// and wide backends, so a disagreement on a *single* scenario lane
+/// fails the build even when the aggregated site verdicts happen to
+/// coincide.
+#[must_use]
+pub fn lane_mismatches(test: &MarchTest, model: FaultModel, n: usize) -> Vec<Vec<bool>> {
+    let sites = FaultSite::enumerate(model, n);
+    let lanes = lanes_for(&sites, n);
+    let resolutions = resolution_vectors(test);
+    let mut out = vec![vec![false; lanes.len()]; resolutions.len()];
+    let mut base = 0usize;
+    for chunk in lanes.chunks(64) {
+        let mut batch = LaneBatch::new(model, n, chunk);
+        for (ri, resolution) in resolutions.iter().enumerate() {
+            let mismatch = batch.run(test, resolution);
+            for l in 0..chunk.len() {
+                out[ri][base + l] = mismatch & (1u64 << l) != 0;
+            }
+        }
+        base += chunk.len();
+    }
+    out
 }
 
 /// Bit-parallel equivalent of [`crate::coverage::model_coverage`]:

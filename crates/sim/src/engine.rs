@@ -269,6 +269,33 @@ pub fn detects(test: &MarchTest, site: &FaultSite, n: usize) -> bool {
     true
 }
 
+/// Scalar reference for the packed backends' lane-level differential
+/// tests: `out[r][l]` is `true` when scenario lane `l` produced at least
+/// one mismatching read under `⇕` resolution vector `r`. Lanes are
+/// enumerated site-major, then power-up pattern, then latch value — the
+/// exact order [`crate::bitsim`] and [`crate::widesim`] pack them in.
+#[must_use]
+pub fn lane_mismatches(test: &MarchTest, model: FaultModel, n: usize) -> Vec<Vec<bool>> {
+    let resolutions = resolution_vectors(test);
+    let mut out = vec![Vec::new(); resolutions.len()];
+    for site in FaultSite::enumerate(model, n) {
+        let mut mem = FaultyMemory::new(vec![Bit::Zero; n], site.model, site.cells, Bit::Zero);
+        for pattern in power_up_patterns(&site, n) {
+            for &latch in latch_values(&site) {
+                for (ri, resolution) in resolutions.iter().enumerate() {
+                    mem.reset(&pattern, latch);
+                    let mut mismatched = false;
+                    run_with(test, &mut mem, resolution, |r| {
+                        mismatched = mismatched || r.mismatch();
+                    });
+                    out[ri].push(mismatched);
+                }
+            }
+        }
+    }
+    out
+}
+
 /// Detection details across scenarios.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DetectionOutcome {

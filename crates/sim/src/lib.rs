@@ -23,6 +23,10 @@
 //! * [`bitsim`] — the bit-parallel sweep: up to 64 scenario lanes packed
 //!   into one `u64` per memory word, exact-agreement verified against
 //!   the scalar engine and exposed as [`BitSimVerifier`],
+//! * [`widesim`] — the wide-lane sweep: `[u64; W]` lane blocks (W ∈
+//!   {2,4,8}, auto-vectorized) carrying 128–512 scenario lanes per
+//!   memory word, plus the deterministic shard plan behind the
+//!   thread-fanned [`WideSimVerifier`],
 //! * [`matrix`] — the Coverage Matrix over elementary blocks (Section 6),
 //! * [`set_cover`] — exact set covering over the matrix: the paper's
 //!   non-redundancy proof,
@@ -54,9 +58,10 @@ pub mod memory;
 pub mod redundancy;
 pub mod set_cover;
 pub mod verify;
+pub mod widesim;
 
 pub use coverage::{coverage_report, covers_all, CoverageReport, ModelCoverage};
 pub use engine::{detects, FaultSite};
 pub use matrix::CoverageMatrix;
 pub use memory::SiteCells;
-pub use verify::{BitSimVerifier, SimVerifier, Verifier};
+pub use verify::{BitSimVerifier, SimVerifier, Verifier, VerifyRun, WideSimVerifier};

@@ -8,17 +8,40 @@
 //! simulator by implementing this trait. Two backends ship in-tree:
 //!
 //! * [`SimVerifier`] — the scalar behavioural simulator (one scenario at
-//!   a time), and
+//!   a time),
 //! * [`BitSimVerifier`] — the bit-parallel sweep of [`crate::bitsim`]
 //!   (64 scenario lanes per `u64` word), exact-agreement verified
 //!   against the scalar backend and roughly an order of magnitude
-//!   faster on coupling-fault lists.
+//!   faster on coupling-fault lists, and
+//! * [`WideSimVerifier`] — the wide-lane sweep of [`crate::widesim`]
+//!   (`[u64; W]` lane blocks, 128–512 lanes per word), which also
+//!   implements real sharded verification: [`Verifier::verify_sharded`]
+//!   fans the deterministic [`crate::widesim::shard_plan`] across scoped
+//!   worker threads and reports per-shard timings.
 
 use crate::coverage::{coverage_report, CoverageReport};
-use crate::{bitsim, redundancy};
+use crate::engine::FaultSite;
+use crate::{bitsim, redundancy, widesim};
 use marchgen_faults::FaultModel;
 use marchgen_march::MarchTest;
 use std::borrow::Cow;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// The result of a (possibly sharded) verification sweep: the coverage
+/// report plus per-shard wall-clock timings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyRun {
+    /// Full per-model coverage, identical to what [`Verifier::verify`]
+    /// returns for the same inputs — sharding never changes verdicts.
+    pub report: CoverageReport,
+    /// Wall-clock microseconds per verification shard, in shard-plan
+    /// order. Backends without real sharding report a single entry
+    /// covering the whole sweep. Shards run concurrently, so the sum can
+    /// exceed the phase's wall-clock time.
+    pub shard_micros: Vec<u64>,
+}
 
 /// A verification backend for generated March tests.
 ///
@@ -48,6 +71,28 @@ pub trait Verifier: Send + Sync {
         let _ = (test, models);
         false
     }
+
+    /// [`Verifier::verify`] with the sweep partitioned across up to
+    /// `workers` threads, reporting per-shard timings. The report must
+    /// be identical to the unsharded [`Verifier::verify`] at any worker
+    /// count, and the shard *count* must depend only on the inputs
+    /// (never on `workers`) so diagnostics stay deterministic. The
+    /// default runs the whole sweep as one timed shard — backends
+    /// without internal parallelism need nothing more.
+    fn verify_sharded(&self, test: &MarchTest, models: &[FaultModel], workers: usize) -> VerifyRun {
+        let _ = workers;
+        let start = Instant::now();
+        let report = self.verify(test, models);
+        VerifyRun {
+            report,
+            shard_micros: vec![elapsed_micros(start)],
+        }
+    }
+}
+
+/// Saturating whole-microsecond reading of a started clock.
+fn elapsed_micros(start: Instant) -> u64 {
+    u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX)
 }
 
 /// The built-in scalar behavioural fault simulator (paper §6) on an
@@ -146,6 +191,135 @@ impl Verifier for BitSimVerifier {
     }
 }
 
+/// The wide-lane fault simulator of [`crate::widesim`]: `[u64; W]` lane
+/// blocks (W ∈ {2, 4, 8} picked by scenario count) carrying 128–512
+/// scenario lanes per memory word.
+///
+/// Produces bit-identical [`CoverageReport`]s, compactions and
+/// non-redundancy verdicts to [`SimVerifier`] and [`BitSimVerifier`]
+/// (enforced by the three-way differential suite). Unlike the other
+/// backends it implements *real* sharded verification:
+/// [`Verifier::verify_sharded`] fans the deterministic
+/// [`widesim::shard_plan`] across scoped worker threads, merging shard
+/// verdicts in plan order so the report is byte-identical at any worker
+/// count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WideSimVerifier {
+    /// Memory size the sweeps run on.
+    pub cells: usize,
+}
+
+impl WideSimVerifier {
+    /// A wide-lane verifier on `cells` memory cells.
+    #[must_use]
+    pub fn new(cells: usize) -> WideSimVerifier {
+        WideSimVerifier { cells }
+    }
+}
+
+impl Default for WideSimVerifier {
+    /// The pipeline's default: a 4-cell memory.
+    fn default() -> WideSimVerifier {
+        WideSimVerifier { cells: 4 }
+    }
+}
+
+impl Verifier for WideSimVerifier {
+    fn name(&self) -> &str {
+        "widesim"
+    }
+
+    fn verify(&self, test: &MarchTest, models: &[FaultModel]) -> CoverageReport {
+        widesim::coverage_report(test, models, self.cells)
+    }
+
+    fn compact<'a>(&self, test: &'a MarchTest, models: &[FaultModel]) -> Cow<'a, MarchTest> {
+        let site_lists = bitsim::enumerate_sites(models, self.cells);
+        redundancy::compact_with(test, &|cand| {
+            widesim::covers_all_sites(cand, &site_lists, self.cells)
+        })
+    }
+
+    fn is_non_redundant(&self, test: &MarchTest, models: &[FaultModel]) -> bool {
+        let site_lists = bitsim::enumerate_sites(models, self.cells);
+        redundancy::is_non_redundant_with(test, &|cand| {
+            widesim::covers_all_sites(cand, &site_lists, self.cells)
+        })
+    }
+
+    fn verify_sharded(&self, test: &MarchTest, models: &[FaultModel], workers: usize) -> VerifyRun {
+        let n = self.cells;
+        let site_lists: Vec<Vec<FaultSite>> =
+            models.iter().map(|&m| FaultSite::enumerate(m, n)).collect();
+        let plan = widesim::shard_plan(models, n);
+        let results = run_indexed(plan.len(), workers, |k| {
+            let shard = &plan[k];
+            let start = Instant::now();
+            let verdicts = widesim::site_verdicts(
+                test,
+                models[shard.model_index],
+                n,
+                &site_lists[shard.model_index][shard.sites.clone()],
+            );
+            (verdicts, elapsed_micros(start))
+        });
+        // Shards of one model are contiguous ascending site ranges, so
+        // concatenating their verdicts in plan order reproduces the
+        // unsharded enumeration exactly.
+        let mut per_model: Vec<Vec<bool>> = vec![Vec::new(); models.len()];
+        let mut shard_micros = Vec::with_capacity(plan.len());
+        for (shard, (verdicts, micros)) in plan.iter().zip(results) {
+            per_model[shard.model_index].extend(verdicts);
+            shard_micros.push(micros);
+        }
+        let report = CoverageReport {
+            models: models
+                .iter()
+                .enumerate()
+                .map(|(i, &m)| widesim::coverage_from_verdicts(m, &site_lists[i], &per_model[i]))
+                .collect(),
+            memory_size: n,
+        };
+        VerifyRun {
+            report,
+            shard_micros,
+        }
+    }
+}
+
+/// Runs `f(0..jobs)` across up to `workers` scoped threads pulling from
+/// a shared queue, collecting results **by index** — the same machinery
+/// the generator uses for its search shards, so the merged output is
+/// identical to the inline `workers <= 1` path regardless of
+/// scheduling.
+fn run_indexed<T: Send>(jobs: usize, workers: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
+    if workers <= 1 || jobs <= 1 {
+        return (0..jobs).map(f).collect();
+    }
+    let mut slots: Vec<Option<T>> = Vec::new();
+    slots.resize_with(jobs, || None);
+    let slots = Mutex::new(slots);
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers.min(jobs) {
+            scope.spawn(|| loop {
+                let k = next.fetch_add(1, Ordering::Relaxed);
+                if k >= jobs {
+                    break;
+                }
+                let out = f(k);
+                slots.lock().expect("verify shard slots lock")[k] = Some(out);
+            });
+        }
+    });
+    slots
+        .into_inner()
+        .expect("verify shard slots lock")
+        .into_iter()
+        .map(|slot| slot.expect("every verify shard ran"))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -187,6 +361,58 @@ mod tests {
         let report = verifier.verify(&known::mats(), &models);
         assert!(report.complete());
         assert_eq!(verifier.name(), "simulator");
+    }
+
+    #[test]
+    fn widesim_verifier_matches_scalar_backend() {
+        let models = parse_fault_list("SAF, TF, CFin, CFid, CFst").unwrap();
+        let test = known::march_c_minus();
+        let scalar = SimVerifier::new(4);
+        let wide = WideSimVerifier::new(4);
+        assert_eq!(wide.verify(&test, &models), scalar.verify(&test, &models));
+        assert_eq!(
+            *wide.compact(&test, &models),
+            *scalar.compact(&test, &models)
+        );
+        assert_eq!(
+            wide.is_non_redundant(&test, &models),
+            scalar.is_non_redundant(&test, &models)
+        );
+        assert_eq!(wide.name(), "widesim");
+    }
+
+    #[test]
+    fn default_verify_sharded_is_one_timed_shard() {
+        let models = parse_fault_list("SAF, TF").unwrap();
+        let test = known::march_c_minus();
+        for verifier in [
+            Box::new(SimVerifier::new(4)) as Box<dyn Verifier>,
+            Box::new(BitSimVerifier::new(4)),
+        ] {
+            let run = verifier.verify_sharded(&test, &models, 4);
+            assert_eq!(run.report, verifier.verify(&test, &models));
+            assert_eq!(run.shard_micros.len(), 1);
+        }
+    }
+
+    #[test]
+    fn sharded_wide_verify_is_worker_invariant() {
+        let wide = WideSimVerifier::new(6);
+        for list in ["SAF, TF, ADF", "CFin, CFid, CFst", "dRDF, LCF", "SOF, DRF"] {
+            let models = parse_fault_list(list).unwrap();
+            for test in [known::march_c_minus(), known::mats(), known::march_g()] {
+                let unsharded = wide.verify(&test, &models);
+                let plan_len = crate::widesim::shard_plan(&models, 6).len();
+                let mut runs = Vec::new();
+                for workers in [1usize, 2, 8] {
+                    let run = wide.verify_sharded(&test, &models, workers);
+                    assert_eq!(run.report, unsharded, "{list} at {workers} workers");
+                    assert_eq!(run.shard_micros.len(), plan_len, "{list}: shard count");
+                    runs.push(run.report);
+                }
+                assert!(runs.windows(2).all(|w| w[0] == w[1]));
+            }
+        }
     }
 
     #[test]

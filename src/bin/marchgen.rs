@@ -64,7 +64,7 @@ const USAGE: &str = "\
 marchgen — automatic generation of optimal March tests (Benso et al., DATE 2002)
 
 usage:
-  marchgen generate <fault-list> [--json] [--solver NAME] [--verifier auto|scalar|bitsim]
+  marchgen generate <fault-list> [--json] [--solver NAME] [--verifier auto|scalar|bitsim|wide]
                     [--search-threads N] [--cache-dir DIR]
                                             e.g. marchgen generate \"SAF, TF, CFin\"
   marchgen validate <march> <fault-list> [--json]
@@ -77,15 +77,17 @@ usage:
                                             testbench bundle (see docs/RTL notes)
                                             e.g. marchgen codegen \"March C-\" --lang sv
   marchgen known    [name]                  list/show the classical test library
-  marchgen batch    <file> [--json] [--threads N] [--solver NAME] [--verifier auto|scalar|bitsim]
+  marchgen batch    <file> [--json] [--threads N] [--solver NAME] [--verifier auto|scalar|bitsim|wide]
                     [--search-threads N] [--cache-dir DIR]
                                             one fault list per line through the batch service
 
   --solver          ATSP backend: auto (exact up to 40 nodes, then the
                     LKH-style local search; the default), held-karp,
                     branch-bound, heuristic, or local-search
-  --verifier        verification backend: auto (bit-parallel on pair-fault
-                    lists, the default), scalar, or bitsim (bit-parallel)
+  --verifier        verification backend: auto (packed backend by scenario
+                    lane count: bitsim up to 64 lanes, wide beyond; the
+                    default), scalar, bitsim (64-lane bit-parallel), or
+                    wide (multi-word lanes + sharded verify)
   --search-threads  worker threads for the sharded in-request candidate
                     search (0 = one per CPU; never changes the result)
   --cache-dir       persistent content-addressed outcome cache: identical
@@ -155,13 +157,12 @@ fn take_global_options(args: &mut Vec<String>) -> Result<(Option<usize>, Request
             Some(choice)
         }
     };
-    let verifier =
-        match take_str_option(args, "--verifier")? {
-            None => None,
-            Some(name) => Some(VerifierChoice::from_key(&name).ok_or_else(|| {
-                format!("--verifier must be auto, scalar or bitsim, got {name:?}")
-            })?),
-        };
+    let verifier = match take_str_option(args, "--verifier")? {
+        None => None,
+        Some(name) => Some(VerifierChoice::from_key(&name).ok_or_else(|| {
+            format!("--verifier must be auto, scalar, bitsim or wide, got {name:?}")
+        })?),
+    };
     Ok((
         threads,
         RequestKnobs {

@@ -281,7 +281,32 @@ impl Metrics {
         self.phase("search").observe(diagnostics.search_micros);
         self.phase("solve").observe(solve);
         self.phase("schedule").observe(schedule);
-        self.phase("verify").observe(diagnostics.verify_micros);
+        // The verify phase is fed per shard when the backend sharded it
+        // (one observation per verification shard, so the histogram
+        // shows the distributed work units), falling back to the single
+        // wall-clock observation for unsharded backends and documents
+        // predating the sharded verifier.
+        if diagnostics.verify_shard_micros.is_empty() {
+            self.phase("verify").observe(diagnostics.verify_micros);
+        } else {
+            let verify = self.phase("verify");
+            for &micros in &diagnostics.verify_shard_micros {
+                verify.observe(micros);
+            }
+        }
+        let verifier = if diagnostics.verifier.is_empty() {
+            "none"
+        } else {
+            diagnostics.verifier.as_str()
+        };
+        self.registry
+            .counter(
+                "marchgend_verifier_outcomes_total",
+                "Computed outcomes by resolved verification backend (\"none\" when \
+                 verification was disabled).",
+                &[("backend", verifier)],
+            )
+            .inc();
         let backend = if diagnostics.solver.is_empty() {
             "unknown"
         } else {
@@ -1220,6 +1245,17 @@ impl App {
                     &[("fault_class", label), ("outcome", outcome)],
                 );
             }
+        }
+        // Fixed verification-backend vocabulary, same contract: the
+        // trait names of the in-tree backends plus "none" for
+        // verification-disabled requests.
+        for backend in ["simulator", "bitsim", "widesim", "none"] {
+            let _ = registry.counter(
+                "marchgend_verifier_outcomes_total",
+                "Computed outcomes by resolved verification backend (\"none\" when \
+                 verification was disabled).",
+                &[("backend", backend)],
+            );
         }
         registry
             .gauge(

@@ -160,8 +160,8 @@ fn allowlist_entries_exist_and_are_needed() {
     }
 }
 
-/// The key tentpole claim, pinned explicitly: the scalar and
-/// bit-parallel interpreters are fully behaviour-driven.
+/// The key tentpole claim, pinned explicitly: the scalar, bit-parallel
+/// and wide-lane interpreters are fully behaviour-driven.
 #[test]
 fn interpreters_are_variant_free() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR"));
@@ -169,6 +169,7 @@ fn interpreters_are_variant_free() {
         "crates/sim/src/engine.rs",
         "crates/sim/src/memory.rs",
         "crates/sim/src/bitsim.rs",
+        "crates/sim/src/widesim.rs",
         "crates/sim/src/linked.rs",
         "crates/sim/src/diagnosis.rs",
     ] {

@@ -456,6 +456,7 @@ fn live_daemon_exposition_is_lint_clean_and_covers_key_families() {
         "marchgend_http_request_duration_microseconds_bucket",
         "marchgend_phase_duration_microseconds_bucket",
         "marchgend_solver_outcomes_total",
+        "marchgend_verifier_outcomes_total",
         "marchgend_cache_hits_total{tier=\"memory\"}",
         "marchgend_cache_misses_total",
         "marchgend_rtl_cache_hits_total",
@@ -476,6 +477,25 @@ fn live_daemon_exposition_is_lint_clean_and_covers_key_families() {
         let series = format!("marchgend_phase_duration_microseconds_bucket{{phase=\"{phase}\"");
         assert!(text.contains(&series), "missing phase {phase}:\n{text}");
     }
+    // The verifier-outcome family carries the full fixed backend
+    // vocabulary from the first scrape (zeros, not gaps), and the
+    // computed SAF+TF requests above actually landed on the packed
+    // 64-lane backend the auto heuristic selects for that list.
+    for backend in ["simulator", "bitsim", "widesim", "none"] {
+        let series = format!("marchgend_verifier_outcomes_total{{backend=\"{backend}\"}}");
+        assert!(text.contains(&series), "missing backend {backend}:\n{text}");
+    }
+    let bitsim_count = text
+        .lines()
+        .find_map(|line| {
+            line.strip_prefix("marchgend_verifier_outcomes_total{backend=\"bitsim\"} ")
+        })
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .expect("bitsim verifier counter present");
+    assert!(
+        bitsim_count >= 1,
+        "computed SAF+TF outcome should count under bitsim:\n{text}"
+    );
     daemon.shutdown();
 }
 
